@@ -1,0 +1,51 @@
+// Command tailbench-report prints the suite's reference information: the
+// applications and their domains (Table I columns), the simulated system
+// description (Table II), and per-application calibration summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tailbench"
+	"tailbench/sweep"
+)
+
+func main() {
+	var (
+		calibrate = flag.Bool("calibrate", false, "measure per-application service-time summaries (slower)")
+		scale     = flag.Float64("scale", 0.05, "application dataset scale used for calibration")
+	)
+	flag.Parse()
+
+	fmt.Println("TailBench-Go application suite")
+	fmt.Println()
+	fmt.Printf("%-10s %s\n", "app", "domain")
+	for _, app := range tailbench.Apps() {
+		fmt.Printf("%-10s %s\n", app, sweep.Domain(app))
+	}
+	fmt.Println()
+	fmt.Println("Simulated system (Table II):", tailbench.SystemDescription())
+
+	if !*calibrate {
+		return
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %-14s %-14s %-14s %s\n", "app", "mean_service", "p95_service", "p99_service", "saturation_qps(1 thread)")
+	for _, app := range tailbench.Apps() {
+		opts := sweep.Quick()
+		opts.Scale = *scale
+		cal, err := sweep.Calibrate(app, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench-report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %-14v %-14v %-14v %.0f\n", app,
+			cal.Service.Mean.Round(time.Microsecond),
+			cal.Service.P95.Round(time.Microsecond),
+			cal.Service.P99.Round(time.Microsecond),
+			cal.SaturationQPS)
+	}
+}

@@ -1,0 +1,98 @@
+// Command tailbench runs a single latency measurement of one TailBench
+// application under one harness configuration and prints the latency
+// statistics.
+//
+// Example:
+//
+//	tailbench -app masstree -mode integrated -qps 2000 -threads 2 -requests 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tailbench"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "masstree", "application to run ("+strings.Join(tailbench.Apps(), ", ")+")")
+		mode     = flag.String("mode", "integrated", "harness configuration: integrated, loopback, networked, simulated")
+		qps      = flag.Float64("qps", 1000, "offered load in queries per second (0 = saturation)")
+		threads  = flag.Int("threads", 1, "application worker threads")
+		clients  = flag.Int("clients", 0, "client connections for loopback/networked modes (0 = auto)")
+		requests = flag.Int("requests", 2000, "measured requests")
+		warmup   = flag.Int("warmup", 0, "warmup requests (0 = 10% of requests)")
+		scale    = flag.Float64("scale", 1.0, "application dataset scale")
+		seed     = flag.Int64("seed", 1, "random seed")
+		repeats  = flag.Int("repeats", 1, "repeated runs with fresh seeds")
+		validate = flag.Bool("validate", false, "validate every response")
+		netDelay = flag.Duration("netdelay", 25*time.Microsecond, "one-way synthetic network delay (networked mode)")
+		ideal    = flag.Bool("idealmem", false, "idealized memory system (simulated mode)")
+	)
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := tailbench.Run(tailbench.RunSpec{
+		App:          *appName,
+		Mode:         m,
+		QPS:          *qps,
+		Threads:      *threads,
+		Clients:      *clients,
+		Requests:     *requests,
+		Warmup:       *warmup,
+		Scale:        *scale,
+		Seed:         *seed,
+		Repeats:      *repeats,
+		Validate:     *validate,
+		NetworkDelay: *netDelay,
+		IdealMemory:  *ideal,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(1)
+	}
+	printResult(res)
+}
+
+func parseMode(s string) (tailbench.Mode, error) {
+	switch strings.ToLower(s) {
+	case "integrated":
+		return tailbench.ModeIntegrated, nil
+	case "loopback":
+		return tailbench.ModeLoopback, nil
+	case "networked":
+		return tailbench.ModeNetworked, nil
+	case "simulated":
+		return tailbench.ModeSimulated, nil
+	default:
+		return 0, fmt.Errorf("tailbench: unknown mode %q", s)
+	}
+}
+
+func printResult(res *tailbench.Result) {
+	fmt.Printf("app         : %s\n", res.App)
+	fmt.Printf("mode        : %s\n", res.Mode)
+	fmt.Printf("threads     : %d\n", res.Threads)
+	fmt.Printf("offered QPS : %.1f\n", res.OfferedQPS)
+	fmt.Printf("achieved QPS: %.1f\n", res.AchievedQPS)
+	fmt.Printf("requests    : %d (errors %d, runs %d)\n", res.Requests, res.Errors, res.Runs)
+	row := func(name string, s tailbench.LatencyStats) {
+		fmt.Printf("%-8s mean=%-12v p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+			name, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	row("queue", res.Queue)
+	row("service", res.Service)
+	row("sojourn", res.Sojourn)
+	if res.Runs > 1 {
+		fmt.Printf("p95 95%% CI  : ±%.2f%%\n", res.P95CIRelative*100)
+	}
+}

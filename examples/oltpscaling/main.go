@@ -1,0 +1,61 @@
+// Oltpscaling: reproduce the spirit of the paper's case study (Sec. VII) for
+// the silo in-memory OLTP engine — compare how tail latency scales from one
+// to four worker threads against the M/G/k queueing-model prediction, and
+// show how an idealized memory system changes (or fails to change) the
+// picture, separating synchronization overheads from memory contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tailbench"
+	"tailbench/sweep"
+)
+
+func main() {
+	opts := sweep.Quick()
+	opts.Requests = 3000
+	opts.Loads = []float64{0.2, 0.5, 0.8}
+
+	// Real measurements: 1 vs 4 threads on the actual engine.
+	fmt.Println("silo, measured on the real engine (integrated harness):")
+	curves, err := sweep.ThreadScaling("silo", []int{1, 4}, sweep.Options{
+		Scale: 1, Requests: 800, Warmup: 100, CalibrationRequests: 200,
+		Loads: opts.Loads, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printCurves(curves)
+
+	// Case study: queueing-model prediction vs idealized-memory simulation.
+	cs, err := sweep.CaseStudy("silo", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := float64(cs.BaselineP95)
+	fmt.Println("\nsilo, simulated (normalized p95; M/G/n = no threading overheads):")
+	fmt.Println("series          load   normalized p95")
+	for name, c := range map[string]*sweep.LoadCurve{
+		"M/G/1        ": cs.MG1, "M/G/4        ": cs.MG4,
+		"ideal-mem 1th": cs.Ideal1, "ideal-mem 4th": cs.Ideal4,
+	} {
+		for _, p := range c.Points {
+			fmt.Printf("%s  %.0f%%   %.2f\n", name, p.Load*100, float64(p.P95)/base)
+		}
+	}
+	fmt.Println("\nIf the ideal-memory 4-thread curve stays far above M/G/4, the lost")
+	fmt.Println("scaling is synchronization, not the memory system — the paper's")
+	fmt.Println("conclusion for silo.")
+}
+
+func printCurves(curves []*sweep.LoadCurve) {
+	fmt.Println("threads  load   qps/thread   p95")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Printf("%d        %.0f%%   %8.0f   %v\n", c.Threads, p.Load*100, p.QPS/float64(c.Threads), p.P95)
+		}
+	}
+	_ = tailbench.ModeIntegrated // the curves above use the integrated harness
+}

@@ -1,0 +1,45 @@
+// Quickstart: measure the tail latency of the masstree key-value store under
+// the integrated harness configuration at a moderate load, the simplest
+// possible use of the TailBench API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tailbench"
+)
+
+func main() {
+	// Measure uncontended service times first to pick a sensible load.
+	services, err := tailbench.MeasureServiceTimes("masstree", 0.1, 1, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saturation := tailbench.SaturationQPS(services, 1)
+	fmt.Printf("masstree single-thread saturation estimate: %.0f QPS\n", saturation)
+
+	// Run at 50% of saturation with the open-loop integrated harness.
+	res, err := tailbench.Run(tailbench.RunSpec{
+		App:      "masstree",
+		Mode:     tailbench.ModeIntegrated,
+		QPS:      0.5 * saturation,
+		Threads:  1,
+		Requests: 2000,
+		Scale:    0.1,
+		Seed:     1,
+		Validate: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offered %.0f QPS, achieved %.0f QPS over %d requests (%d errors)\n",
+		res.OfferedQPS, res.AchievedQPS, res.Requests, res.Errors)
+	fmt.Printf("sojourn latency: mean=%v p95=%v p99=%v\n",
+		res.Sojourn.Mean.Round(time.Microsecond),
+		res.Sojourn.P95.Round(time.Microsecond),
+		res.Sojourn.P99.Round(time.Microsecond))
+	fmt.Printf("queuing delay:   mean=%v (service mean=%v)\n",
+		res.Queue.Mean.Round(time.Microsecond), res.Service.Mean.Round(time.Microsecond))
+}

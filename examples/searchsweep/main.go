@@ -1,0 +1,54 @@
+// Searchsweep: characterize the xapian search engine the way Sec. V of the
+// paper characterizes its applications — sweep the offered load and report
+// how mean and tail latency diverge as the server approaches saturation,
+// then locate the "knee" load beyond which p95 latency more than doubles.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tailbench"
+	"tailbench/sweep"
+)
+
+func main() {
+	opts := sweep.Quick()
+	opts.Scale = 0.1
+	opts.Requests = 600
+	opts.Loads = []float64{0.1, 0.3, 0.5, 0.7, 0.85}
+
+	cal, err := sweep.Calibrate("xapian", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("xapian: mean service %v, p95 service %v, saturation %.0f QPS\n",
+		cal.Service.Mean.Round(time.Microsecond), cal.Service.P95.Round(time.Microsecond), cal.SaturationQPS)
+
+	curve, err := sweep.LatencyVsLoad("xapian", tailbench.ModeIntegrated, 1, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nload   qps      mean       p95        p99")
+	for _, p := range curve.Points {
+		fmt.Printf("%.0f%%   %7.0f  %-9v  %-9v  %v\n", p.Load*100, p.QPS,
+			p.Mean.Round(time.Microsecond), p.P95.Round(time.Microsecond), p.P99.Round(time.Microsecond))
+	}
+
+	// Locate the knee: the lowest load whose p95 exceeds twice the p95 at
+	// the lightest load. Operators provision below this point.
+	base := curve.Points[0].P95
+	knee := -1.0
+	for _, p := range curve.Points[1:] {
+		if p.P95 > 2*base {
+			knee = p.Load
+			break
+		}
+	}
+	if knee < 0 {
+		fmt.Println("\nno knee below the highest measured load; the server still has headroom")
+	} else {
+		fmt.Printf("\ntail-latency knee: p95 more than doubles beyond ~%.0f%% load\n", knee*100)
+	}
+}

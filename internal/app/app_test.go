@@ -1,0 +1,97 @@
+package app
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.Threads != 1 || c.Scale != 1.0 || c.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	c = Config{Threads: 4, Scale: 0.5, Seed: 99}.Normalize()
+	if c.Threads != 4 || c.Scale != 0.5 || c.Seed != 99 {
+		t.Errorf("explicit values must be preserved: %+v", c)
+	}
+	c = Config{Threads: -1, Scale: -2}.Normalize()
+	if c.Threads != 1 || c.Scale != 1.0 {
+		t.Errorf("negative values must normalize: %+v", c)
+	}
+}
+
+func TestErrorWrappers(t *testing.T) {
+	err := BadResponsef("want %d got %d", 1, 2)
+	if !errors.Is(err, ErrBadResponse) {
+		t.Errorf("BadResponsef should wrap ErrBadResponse")
+	}
+	err = BadRequestf("truncated at byte %d", 7)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Errorf("BadRequestf should wrap ErrBadRequest")
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendStringField(buf, "hello")
+	buf = AppendUint64Field(buf, 123456789)
+	buf = AppendField(buf, []byte{1, 2, 3})
+	buf = AppendField(buf, nil)
+
+	s, rest, ok := ReadStringField(buf)
+	if !ok || s != "hello" {
+		t.Fatalf("string field: %q %v", s, ok)
+	}
+	v, rest, ok := ReadUint64Field(rest)
+	if !ok || v != 123456789 {
+		t.Fatalf("uint64 field: %d %v", v, ok)
+	}
+	f, rest, ok := ReadField(rest)
+	if !ok || !bytes.Equal(f, []byte{1, 2, 3}) {
+		t.Fatalf("bytes field: %v %v", f, ok)
+	}
+	f, rest, ok = ReadField(rest)
+	if !ok || len(f) != 0 {
+		t.Fatalf("empty field: %v %v", f, ok)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %d", len(rest))
+	}
+}
+
+func TestFieldTruncation(t *testing.T) {
+	buf := AppendStringField(nil, "payload")
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, ok := ReadField(buf[:cut]); ok && cut < len(buf) {
+			// Only the full buffer should decode.
+			t.Fatalf("truncated buffer of length %d decoded successfully", cut)
+		}
+	}
+	if _, _, ok := ReadUint64Field(AppendField(nil, []byte{1, 2, 3})); ok {
+		t.Error("uint64 field with wrong width should fail")
+	}
+}
+
+func TestFieldPropertyRoundTrip(t *testing.T) {
+	f := func(a []byte, b string, c uint64) bool {
+		var buf []byte
+		buf = AppendField(buf, a)
+		buf = AppendStringField(buf, b)
+		buf = AppendUint64Field(buf, c)
+		ga, rest, ok := ReadField(buf)
+		if !ok || !bytes.Equal(ga, a) {
+			return false
+		}
+		gb, rest, ok := ReadStringField(rest)
+		if !ok || gb != b {
+			return false
+		}
+		gc, rest, ok := ReadUint64Field(rest)
+		return ok && gc == c && len(rest) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package app
+
+import "encoding/binary"
+
+// Simple length-prefixed field codec shared by the applications for their
+// request/response payloads. Each field is a uint32 length followed by that
+// many bytes. Applications keep their wire formats deliberately simple: the
+// point of the suite is the service-time behaviour of the request handler,
+// not serialization machinery.
+
+// AppendField appends one length-prefixed field to buf and returns the
+// extended slice.
+func AppendField(buf []byte, field []byte) []byte {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(field)))
+	buf = append(buf, lenBuf[:]...)
+	return append(buf, field...)
+}
+
+// AppendStringField appends a string field.
+func AppendStringField(buf []byte, s string) []byte {
+	return AppendField(buf, []byte(s))
+}
+
+// AppendUint64Field appends a fixed-width uint64 field.
+func AppendUint64Field(buf []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return AppendField(buf, b[:])
+}
+
+// ReadField reads one length-prefixed field from buf, returning the field
+// and the remaining bytes. ok is false if buf is truncated.
+func ReadField(buf []byte) (field, rest []byte, ok bool) {
+	if len(buf) < 4 {
+		return nil, nil, false
+	}
+	n := binary.BigEndian.Uint32(buf[:4])
+	if uint32(len(buf)-4) < n {
+		return nil, nil, false
+	}
+	return buf[4 : 4+n], buf[4+n:], true
+}
+
+// ReadStringField reads one field as a string.
+func ReadStringField(buf []byte) (s string, rest []byte, ok bool) {
+	f, rest, ok := ReadField(buf)
+	return string(f), rest, ok
+}
+
+// ReadUint64Field reads one fixed-width uint64 field.
+func ReadUint64Field(buf []byte) (v uint64, rest []byte, ok bool) {
+	f, rest, ok := ReadField(buf)
+	if !ok || len(f) != 8 {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint64(f), rest, true
+}

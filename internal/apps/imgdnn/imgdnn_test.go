@@ -1,0 +1,173 @@
+package imgdnn
+
+import (
+	"math"
+	"testing"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+func testNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		Hidden1:       64,
+		Hidden2:       32,
+		TrainSamples:  200,
+		TrainEpochs:   4,
+		LearningRate:  0.5,
+		Seed:          3,
+		PretrainAE:    true,
+		PretrainSteps: 60,
+	}
+}
+
+func TestNetworkLearnsToClassify(t *testing.T) {
+	net := TrainNetwork(testNetworkConfig())
+	gen := workload.NewDigitGen(99)
+	test := gen.DigitDataset(200)
+	acc := net.Accuracy(test)
+	// Chance is 10%; the synthetic digits are highly separable, so a trained
+	// network should do far better.
+	if acc < 0.5 {
+		t.Errorf("test accuracy %.2f too low; model did not learn", acc)
+	}
+}
+
+func TestNetworkClassifyOutput(t *testing.T) {
+	net := TrainNetwork(testNetworkConfig())
+	gen := workload.NewDigitGen(7)
+	img := gen.NextLabeled(3)
+	label, conf := net.Classify(img.Pixels)
+	if label < 0 || label >= workload.DigitLabels {
+		t.Errorf("label %d out of range", label)
+	}
+	if conf <= 0 || conf > 1 || math.IsNaN(conf) {
+		t.Errorf("confidence %f out of range", conf)
+	}
+}
+
+func TestNetworkConfigClamping(t *testing.T) {
+	net := TrainNetwork(NetworkConfig{Seed: 1})
+	if net == nil {
+		t.Fatal("degenerate config should still build a network")
+	}
+	if net.Accuracy(nil) != 0 {
+		t.Errorf("accuracy on empty set should be 0")
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	gen := workload.NewDigitGen(11)
+	img := gen.NextLabeled(5)
+	dec, err := DecodeRequest(EncodeRequest(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Label != 5 || len(dec.Pixels) != workload.DigitPixels {
+		t.Fatalf("decoded label=%d pixels=%d", dec.Label, len(dec.Pixels))
+	}
+	for i := range img.Pixels {
+		if dec.Pixels[i] != img.Pixels[i] {
+			t.Fatalf("pixel %d mismatch", i)
+		}
+	}
+	if _, err := DecodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated request should fail")
+	}
+	// Wrong pixel count.
+	var bad []byte
+	bad = app.AppendUint64Field(bad, 1)
+	bad = app.AppendField(bad, make([]byte, 16))
+	if _, err := DecodeRequest(bad); err == nil {
+		t.Error("wrong-sized pixel payload should fail")
+	}
+}
+
+func TestResponseCodec(t *testing.T) {
+	label, conf, err := DecodeResponse(EncodeResponse(7, 0.93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 7 || conf != 0.93 {
+		t.Fatalf("decoded %d %f", label, conf)
+	}
+	if _, _, err := DecodeResponse([]byte{1}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	cfg := app.Config{Scale: 0.2, Seed: 5}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "img-dnn" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	client, err := NewClient(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 300
+	for i := 0; i < total; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d validation: %v", i, err)
+		}
+		img, _ := DecodeRequest(req)
+		if label, _, _ := DecodeResponse(resp); label == img.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.4 {
+		t.Errorf("end-to-end accuracy %.2f too low", acc)
+	}
+	if _, err := srv.Process([]byte{0xde, 0xad}); err == nil {
+		t.Error("malformed request should error")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	client, err := NewClient(app.Config{}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := client.NextRequest()
+	if err := client.CheckResponse(req, EncodeResponse(3, 0.5)); err != nil {
+		t.Errorf("valid response rejected: %v", err)
+	}
+	if err := client.CheckResponse(req, EncodeResponse(99, 0.5)); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+	if err := client.CheckResponse(req, EncodeResponse(1, 1.5)); err == nil {
+		t.Error("confidence > 1 should fail")
+	}
+	if err := client.CheckResponse(req, []byte{1}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "img-dnn" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Scale: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Process(cl.NextRequest()); err != nil {
+		t.Fatal(err)
+	}
+}

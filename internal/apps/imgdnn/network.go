@@ -1,0 +1,306 @@
+// Package imgdnn implements the TailBench image-recognition benchmark: a
+// handwriting classifier built from a stacked autoencoder feeding a softmax
+// regression layer, mirroring the structure of the img-dnn application
+// (Sec. III), driven by synthetic MNIST-like digit images.
+//
+// The network is trained at server construction on a synthetic training set
+// generated from the same stroke prototypes as the request stream, so the
+// classifier genuinely separates the classes and response validation can
+// check prediction quality. Per-request work is a dense forward pass, which
+// is what dominates img-dnn's service time.
+package imgdnn
+
+import (
+	"math"
+	"math/rand"
+
+	"tailbench/internal/workload"
+)
+
+// layer is one dense layer with a sigmoid activation.
+type layer struct {
+	inDim, outDim int
+	weights       []float64 // outDim x inDim, row major
+	bias          []float64
+}
+
+func newLayer(inDim, outDim int, r *rand.Rand) *layer {
+	l := &layer{
+		inDim:   inDim,
+		outDim:  outDim,
+		weights: make([]float64, inDim*outDim),
+		bias:    make([]float64, outDim),
+	}
+	// Xavier-style initialization keeps sigmoid activations in range.
+	scale := math.Sqrt(6.0 / float64(inDim+outDim))
+	for i := range l.weights {
+		l.weights[i] = (r.Float64()*2 - 1) * scale
+	}
+	return l
+}
+
+// forward computes sigmoid(W*x + b) into out (allocated if nil).
+func (l *layer) forward(x, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, l.outDim)
+	}
+	for o := 0; o < l.outDim; o++ {
+		sum := l.bias[o]
+		row := l.weights[o*l.inDim : (o+1)*l.inDim]
+		for i, w := range row {
+			sum += w * x[i]
+		}
+		out[o] = sigmoid(sum)
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Network is the stacked-autoencoder classifier: two sigmoid hidden layers
+// (pretrained as denoising-free autoencoders) and a softmax output layer.
+type Network struct {
+	hidden1 *layer
+	hidden2 *layer
+	// softmax output layer parameters.
+	outWeights []float64 // labels x hidden2.outDim
+	outBias    []float64
+	numLabels  int
+}
+
+// NetworkConfig sizes the network and its training run.
+type NetworkConfig struct {
+	Hidden1       int
+	Hidden2       int
+	TrainSamples  int
+	TrainEpochs   int
+	LearningRate  float64
+	Seed          int64
+	PretrainAE    bool // greedy autoencoder pretraining of the hidden layers
+	PretrainSteps int  // samples used per autoencoder layer
+}
+
+// DefaultNetworkConfig returns the standard img-dnn network sizing.
+func DefaultNetworkConfig(seed int64) NetworkConfig {
+	return NetworkConfig{
+		Hidden1:       256,
+		Hidden2:       128,
+		TrainSamples:  300,
+		TrainEpochs:   6,
+		LearningRate:  0.3,
+		Seed:          seed,
+		PretrainAE:    true,
+		PretrainSteps: 100,
+	}
+}
+
+// TrainNetwork builds and trains the classifier on synthetic digits.
+func TrainNetwork(cfg NetworkConfig) *Network {
+	if cfg.Hidden1 < 8 {
+		cfg.Hidden1 = 8
+	}
+	if cfg.Hidden2 < 8 {
+		cfg.Hidden2 = 8
+	}
+	if cfg.TrainSamples < 50 {
+		cfg.TrainSamples = 50
+	}
+	if cfg.TrainEpochs < 1 {
+		cfg.TrainEpochs = 1
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.5
+	}
+	r := workload.NewRand(workload.SplitSeed(cfg.Seed, 71))
+	n := &Network{
+		hidden1:    newLayer(workload.DigitPixels, cfg.Hidden1, r),
+		hidden2:    newLayer(cfg.Hidden1, cfg.Hidden2, r),
+		outWeights: make([]float64, workload.DigitLabels*cfg.Hidden2),
+		outBias:    make([]float64, workload.DigitLabels),
+		numLabels:  workload.DigitLabels,
+	}
+	gen := workload.NewDigitGen(workload.SplitSeed(cfg.Seed, 72))
+	train := gen.DigitDataset(cfg.TrainSamples)
+
+	if cfg.PretrainAE {
+		n.pretrainAutoencoder(n.hidden1, train, nil, cfg, r)
+		n.pretrainAutoencoder(n.hidden2, train, n.hidden1, cfg, r)
+	}
+	n.trainSupervised(train, cfg)
+	return n
+}
+
+// pretrainAutoencoder greedily trains one hidden layer to reconstruct its
+// input (tied decoder weights), the classic stacked-autoencoder recipe.
+// prev, if non-nil, maps raw pixels to this layer's input space.
+func (n *Network) pretrainAutoencoder(l *layer, train []workload.DigitImage, prev *layer, cfg NetworkConfig, r *rand.Rand) {
+	steps := cfg.PretrainSteps
+	if steps <= 0 || steps > len(train) {
+		steps = len(train)
+	}
+	lr := cfg.LearningRate * 0.2
+	hid := make([]float64, l.outDim)
+	recon := make([]float64, l.inDim)
+	reconErr := make([]float64, l.inDim)
+	hidErr := make([]float64, l.outDim)
+	var buf []float64
+	if prev != nil {
+		buf = make([]float64, prev.outDim)
+	}
+	for s := 0; s < steps; s++ {
+		img := train[r.Intn(len(train))]
+		x := img.Pixels
+		if prev != nil {
+			x = prev.forward(img.Pixels, buf)
+		}
+		// Encode.
+		l.forward(x, hid)
+		// Decode with tied weights: recon = sigmoid(W^T * hid).
+		for i := 0; i < l.inDim; i++ {
+			sum := 0.0
+			for o := 0; o < l.outDim; o++ {
+				sum += l.weights[o*l.inDim+i] * hid[o]
+			}
+			recon[i] = sigmoid(sum)
+			reconErr[i] = (recon[i] - x[i]) * recon[i] * (1 - recon[i])
+		}
+		// Back-propagate reconstruction error into the encoder.
+		for o := 0; o < l.outDim; o++ {
+			sum := 0.0
+			for i := 0; i < l.inDim; i++ {
+				sum += reconErr[i] * l.weights[o*l.inDim+i]
+			}
+			hidErr[o] = sum * hid[o] * (1 - hid[o])
+		}
+		for o := 0; o < l.outDim; o++ {
+			row := l.weights[o*l.inDim : (o+1)*l.inDim]
+			for i := range row {
+				row[i] -= lr * (reconErr[i]*hid[o] + hidErr[o]*x[i])
+			}
+			l.bias[o] -= lr * hidErr[o]
+		}
+	}
+}
+
+// trainSupervised fine-tunes the whole stack with backpropagation from the
+// softmax cross-entropy loss, starting from the autoencoder-pretrained
+// hidden layers — the standard stacked-autoencoder training recipe.
+func (n *Network) trainSupervised(train []workload.DigitImage, cfg NetworkConfig) {
+	lr := cfg.LearningRate
+	h1 := make([]float64, n.hidden1.outDim)
+	h2 := make([]float64, n.hidden2.outDim)
+	probs := make([]float64, n.numLabels)
+	deltaOut := make([]float64, n.numLabels)
+	delta2 := make([]float64, n.hidden2.outDim)
+	delta1 := make([]float64, n.hidden1.outDim)
+	for epoch := 0; epoch < cfg.TrainEpochs; epoch++ {
+		for _, img := range train {
+			x := img.Pixels
+			n.hidden1.forward(x, h1)
+			n.hidden2.forward(h1, h2)
+			n.softmax(h2, probs)
+
+			// Output (softmax) deltas: dL/dlogit = p - y.
+			for c := 0; c < n.numLabels; c++ {
+				target := 0.0
+				if c == img.Label {
+					target = 1.0
+				}
+				deltaOut[c] = probs[c] - target
+			}
+			// Hidden-2 deltas.
+			for j := 0; j < n.hidden2.outDim; j++ {
+				sum := 0.0
+				for c := 0; c < n.numLabels; c++ {
+					sum += deltaOut[c] * n.outWeights[c*n.hidden2.outDim+j]
+				}
+				delta2[j] = sum * h2[j] * (1 - h2[j])
+			}
+			// Hidden-1 deltas.
+			for j := 0; j < n.hidden1.outDim; j++ {
+				sum := 0.0
+				for k := 0; k < n.hidden2.outDim; k++ {
+					sum += delta2[k] * n.hidden2.weights[k*n.hidden2.inDim+j]
+				}
+				delta1[j] = sum * h1[j] * (1 - h1[j])
+			}
+			// Parameter updates, output layer first so the hidden updates
+			// use the gradients computed above (all deltas are already
+			// captured, so update order does not change the math).
+			for c := 0; c < n.numLabels; c++ {
+				row := n.outWeights[c*n.hidden2.outDim : (c+1)*n.hidden2.outDim]
+				for j := range row {
+					row[j] -= lr * deltaOut[c] * h2[j]
+				}
+				n.outBias[c] -= lr * deltaOut[c]
+			}
+			for k := 0; k < n.hidden2.outDim; k++ {
+				row := n.hidden2.weights[k*n.hidden2.inDim : (k+1)*n.hidden2.inDim]
+				for j := range row {
+					row[j] -= lr * delta2[k] * h1[j]
+				}
+				n.hidden2.bias[k] -= lr * delta2[k]
+			}
+			for k := 0; k < n.hidden1.outDim; k++ {
+				row := n.hidden1.weights[k*n.hidden1.inDim : (k+1)*n.hidden1.inDim]
+				for j := range row {
+					row[j] -= lr * delta1[k] * x[j]
+				}
+				n.hidden1.bias[k] -= lr * delta1[k]
+			}
+		}
+	}
+}
+
+// softmax fills probs with the class distribution for features h.
+func (n *Network) softmax(h, probs []float64) {
+	maxLogit := math.Inf(-1)
+	for c := 0; c < n.numLabels; c++ {
+		row := n.outWeights[c*len(h) : (c+1)*len(h)]
+		sum := n.outBias[c]
+		for i, w := range row {
+			sum += w * h[i]
+		}
+		probs[c] = sum
+		if sum > maxLogit {
+			maxLogit = sum
+		}
+	}
+	var total float64
+	for c := range probs {
+		probs[c] = math.Exp(probs[c] - maxLogit)
+		total += probs[c]
+	}
+	for c := range probs {
+		probs[c] /= total
+	}
+}
+
+// Classify returns the predicted label and its probability for an image.
+func (n *Network) Classify(pixels []float64) (label int, confidence float64) {
+	h1 := n.hidden1.forward(pixels, nil)
+	h2 := n.hidden2.forward(h1, nil)
+	probs := make([]float64, n.numLabels)
+	n.softmax(h2, probs)
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best, probs[best]
+}
+
+// Accuracy evaluates the classifier on a labeled dataset.
+func (n *Network) Accuracy(samples []workload.DigitImage) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, img := range samples {
+		if label, _ := n.Classify(img.Pixels); label == img.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,158 @@
+package imgdnn
+
+import (
+	"encoding/binary"
+	"math"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+// Server is the img-dnn application server: it holds the trained classifier
+// and answers classification requests.
+type Server struct {
+	net *Network
+	cfg app.Config
+}
+
+// NewServer trains the classifier (at reduced size for small scales) and
+// returns the server.
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	ncfg := DefaultNetworkConfig(cfg.Seed)
+	if cfg.Scale < 1 {
+		// Shrink the hidden layers (which set per-request cost) but keep the
+		// training set large enough that the model still learns; validation
+		// and the accuracy-oriented tests depend on a working classifier.
+		ncfg.Hidden1 = int(float64(ncfg.Hidden1) * cfg.Scale)
+		ncfg.Hidden2 = int(float64(ncfg.Hidden2) * cfg.Scale)
+		if ncfg.TrainSamples > 200 {
+			ncfg.TrainSamples = 200
+		}
+		ncfg.PretrainSteps = 50
+	}
+	return &Server{net: TrainNetwork(ncfg), cfg: cfg}, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "img-dnn" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Network exposes the trained model for white-box tests.
+func (s *Server) Network() *Network { return s.net }
+
+// Request wire format: trueLabel(uint64) | pixels (DigitPixels float64 bits).
+// Response wire format: predictedLabel(uint64) | confidenceBits(uint64).
+
+// EncodeRequest serializes a classification request.
+func EncodeRequest(img workload.DigitImage) app.Request {
+	pix := make([]byte, 8*len(img.Pixels))
+	for i, p := range img.Pixels {
+		binary.BigEndian.PutUint64(pix[i*8:], math.Float64bits(p))
+	}
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(img.Label))
+	buf = app.AppendField(buf, pix)
+	return buf
+}
+
+// DecodeRequest parses a serialized classification request.
+func DecodeRequest(req app.Request) (workload.DigitImage, error) {
+	label, rest, ok := app.ReadUint64Field(req)
+	if !ok {
+		return workload.DigitImage{}, app.BadRequestf("img-dnn: missing label")
+	}
+	pix, _, ok := app.ReadField(rest)
+	if !ok || len(pix) != 8*workload.DigitPixels {
+		return workload.DigitImage{}, app.BadRequestf("img-dnn: bad pixel payload (%d bytes)", len(pix))
+	}
+	img := workload.DigitImage{Label: int(label), Pixels: make([]float64, workload.DigitPixels)}
+	for i := range img.Pixels {
+		img.Pixels[i] = math.Float64frombits(binary.BigEndian.Uint64(pix[i*8:]))
+	}
+	return img, nil
+}
+
+// EncodeResponse serializes a prediction.
+func EncodeResponse(label int, confidence float64) app.Response {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(label))
+	buf = app.AppendUint64Field(buf, math.Float64bits(confidence))
+	return buf
+}
+
+// DecodeResponse parses a prediction.
+func DecodeResponse(resp app.Response) (label int, confidence float64, err error) {
+	l, rest, ok := app.ReadUint64Field(resp)
+	if !ok {
+		return 0, 0, app.BadResponsef("img-dnn: missing label")
+	}
+	c, _, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return 0, 0, app.BadResponsef("img-dnn: missing confidence")
+	}
+	return int(l), math.Float64frombits(c), nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	img, err := DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	label, conf := s.net.Classify(img.Pixels)
+	return EncodeResponse(label, conf), nil
+}
+
+// Client generates classification requests from the synthetic digit
+// generator.
+type Client struct {
+	gen *workload.DigitGen
+}
+
+// NewClient returns a request generator.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	return &Client{gen: workload.NewDigitGen(seed)}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	return EncodeRequest(c.gen.Next())
+}
+
+// CheckResponse implements app.Client. Individual misclassifications are
+// legitimate (the model is imperfect), so validation only checks structural
+// properties: a label in range and a sane confidence.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	label, conf, err := DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if label < 0 || label >= workload.DigitLabels {
+		return app.BadResponsef("img-dnn: label %d out of range", label)
+	}
+	if conf < 0 || conf > 1 || math.IsNaN(conf) {
+		return app.BadResponsef("img-dnn: confidence %f out of range", conf)
+	}
+	return nil
+}
+
+// Factory registers img-dnn with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "img-dnn" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

@@ -1,0 +1,336 @@
+package masstree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := newBTree()
+	if _, ok := bt.get("missing"); ok {
+		t.Fatal("empty tree should miss")
+	}
+	if !bt.put("a", []byte("1")) {
+		t.Fatal("first insert should report new key")
+	}
+	if bt.put("a", []byte("2")) {
+		t.Fatal("overwrite should not report new key")
+	}
+	v, ok := bt.get("a")
+	if !ok || string(v) != "2" {
+		t.Fatalf("get a = %q %v", v, ok)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if !bt.delete("a") {
+		t.Fatal("delete existing key")
+	}
+	if bt.delete("a") {
+		t.Fatal("delete missing key should report false")
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("len after delete = %d", bt.Len())
+	}
+}
+
+func TestBTreeManyKeysOrderedScan(t *testing.T) {
+	bt := newBTree()
+	r := rand.New(rand.NewSource(5))
+	keys := make([]string, 5000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%08d", r.Intn(1000000))
+	}
+	unique := map[string]bool{}
+	for i, k := range keys {
+		bt.put(k, []byte(fmt.Sprintf("v%d", i)))
+		unique[k] = true
+	}
+	if bt.Len() != len(unique) {
+		t.Fatalf("len = %d, want %d unique keys", bt.Len(), len(unique))
+	}
+	for _, k := range keys {
+		if _, ok := bt.get(k); !ok {
+			t.Fatalf("key %s lost", k)
+		}
+	}
+	// Full scan must return every key in sorted order.
+	var scanned []string
+	bt.scan("", bt.Len()+10, func(k string, v []byte) bool {
+		scanned = append(scanned, k)
+		return true
+	})
+	if len(scanned) != len(unique) {
+		t.Fatalf("scan returned %d keys, want %d", len(scanned), len(unique))
+	}
+	if !sort.StringsAreSorted(scanned) {
+		t.Fatal("scan results not sorted")
+	}
+}
+
+func TestBTreeScanLimitAndEarlyStop(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 100; i++ {
+		bt.put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	var got []string
+	n := bt.scan("k050", 10, func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if n != 10 || len(got) != 10 {
+		t.Fatalf("scan visited %d, want 10", n)
+	}
+	if got[0] != "k050" || got[9] != "k059" {
+		t.Fatalf("scan range wrong: %v", got)
+	}
+	n = bt.scan("k000", 100, func(k string, v []byte) bool { return false })
+	if n != 1 {
+		t.Fatalf("early-stopped scan visited %d, want 1", n)
+	}
+}
+
+func TestBTreeMatchesMapProperty(t *testing.T) {
+	// Property: after an arbitrary operation sequence, the B+tree agrees
+	// with a reference map.
+	f := func(ops []struct {
+		Key    uint8
+		Value  uint8
+		Delete bool
+	}) bool {
+		bt := newBTree()
+		ref := map[string][]byte{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%03d", op.Key)
+			if op.Delete {
+				delete(ref, key)
+				bt.delete(key)
+			} else {
+				ref[key] = []byte{op.Value}
+				bt.put(key, []byte{op.Value})
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := bt.get(k)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				s.Put(key, []byte(key))
+				if v, ok := s.Get(key); !ok || string(v) != key {
+					t.Errorf("lost key %s", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perW {
+		t.Fatalf("len = %d, want %d", s.Len(), workers*perW)
+	}
+}
+
+func TestStoreDeleteAndScan(t *testing.T) {
+	s := NewStore()
+	s.Put("abc1", []byte("x"))
+	s.Put("abc2", []byte("y"))
+	if !s.Delete("abc1") {
+		t.Fatal("delete should succeed")
+	}
+	if s.Delete("abc1") {
+		t.Fatal("double delete should fail")
+	}
+	if _, ok := s.Get("abc1"); ok {
+		t.Fatal("deleted key should miss")
+	}
+	// Scans are per-partition: scanning from an existing key finds it.
+	count := s.Scan("abc2", 10, func(k string, v []byte) bool {
+		if k != "abc2" {
+			t.Errorf("unexpected key %s", k)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("scan found %d keys, want 1", count)
+	}
+}
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	ops := []workload.KVOp{
+		{Type: workload.KVGet, Key: "user000000000001"},
+		{Type: workload.KVPut, Key: "user000000000002", Value: []byte("hello")},
+		{Type: workload.KVScan, Key: "user000000000003", ScanLen: 25},
+		{Type: workload.KVDelete, Key: "user000000000004"},
+	}
+	for _, op := range ops {
+		got, err := DecodeRequest(EncodeRequest(op))
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if got.Type != op.Type || got.Key != op.Key || string(got.Value) != string(op.Value) || got.ScanLen != op.ScanLen {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, op)
+		}
+	}
+	if _, err := DecodeRequest([]byte{1, 2}); err == nil {
+		t.Fatal("truncated request should fail to decode")
+	}
+}
+
+func TestServerProcess(t *testing.T) {
+	srv, err := NewServer(app.Config{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "masstree" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	if srv.Store().Len() == 0 {
+		t.Fatal("store should be preloaded")
+	}
+	// GET of a preloaded key.
+	resp, err := srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVGet, Key: workload.Key(0)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, rest, _ := app.ReadUint64Field(resp)
+	if status != statusOK {
+		t.Fatalf("GET status = %d", status)
+	}
+	if v, _, _ := app.ReadField(rest); len(v) != defaultValueSize {
+		t.Fatalf("GET value size = %d", len(v))
+	}
+	// GET of a missing key.
+	resp, err = srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVGet, Key: "nosuchkey"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := app.ReadUint64Field(resp); status != statusNotFound {
+		t.Fatalf("missing GET status = %d", status)
+	}
+	// PUT then GET.
+	if _, err := srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVPut, Key: "newkey", Value: []byte("val")})); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVGet, Key: "newkey"}))
+	if status, _, _ := app.ReadUint64Field(resp); status != statusOK {
+		t.Fatal("PUT key should be gettable")
+	}
+	// DELETE.
+	resp, _ = srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVDelete, Key: "newkey"}))
+	if status, _, _ := app.ReadUint64Field(resp); status != statusOK {
+		t.Fatal("DELETE should succeed")
+	}
+	// SCAN.
+	resp, err = srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVScan, Key: workload.Key(0), ScanLen: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := app.ReadUint64Field(resp); status != statusOK {
+		t.Fatal("SCAN should succeed")
+	}
+	// Malformed requests error.
+	if _, err := srv.Process([]byte{0xFF}); err == nil {
+		t.Fatal("malformed request should error")
+	}
+	if _, err := srv.Process(EncodeRequest(workload.KVOp{Type: workload.KVOpType(77), Key: "x"})); err == nil {
+		t.Fatal("unknown op type should error")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	cfg := app.Config{Scale: 0.01, Seed: 5}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d failed validation: %v", i, err)
+		}
+	}
+	// A mangled response must fail validation.
+	req := EncodeRequest(workload.KVOp{Type: workload.KVGet, Key: workload.Key(1)})
+	bad := app.AppendUint64Field(nil, statusNotFound)
+	bad = app.AppendField(bad, nil)
+	if err := client.CheckResponse(req, bad); err == nil {
+		t.Fatal("missing GET should fail validation")
+	}
+	if err := client.CheckResponse(req, []byte{1}); err == nil {
+		t.Fatal("truncated response should fail validation")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "masstree" {
+		t.Errorf("factory name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Scale: 0.005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{Scale: 0.005, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cl.NextRequest()
+	if _, err := srv.Process(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionStability(t *testing.T) {
+	// Same key always maps to the same partition; different prefixes spread.
+	if partition("user000000000001") != partition("user000000000001") {
+		t.Fatal("partition must be deterministic")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[partition(fmt.Sprintf("%08d-key", i))] = true
+	}
+	if len(seen) < numPartitions/2 {
+		t.Errorf("keys spread over only %d/%d partitions", len(seen), numPartitions)
+	}
+}

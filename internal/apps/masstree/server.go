@@ -1,0 +1,216 @@
+package masstree
+
+import (
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+// Default dataset sizing at Scale = 1.0. The paper loads a 1.1 GB table;
+// we keep the access pattern (Zipfian over a fixed key population, 50/50
+// get/put) and shrink the resident set so the suite runs anywhere.
+const (
+	defaultKeys      = 200000
+	defaultValueSize = 128
+)
+
+// Server is the masstree application server.
+type Server struct {
+	store *Store
+	cfg   app.Config
+	keys  uint64
+}
+
+// NewServer builds and preloads the store.
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	keys := uint64(float64(defaultKeys) * cfg.Scale)
+	if keys < 16 {
+		keys = 16
+	}
+	s := &Server{store: NewStore(), cfg: cfg, keys: keys}
+	r := workload.NewRand(workload.SplitSeed(cfg.Seed, 51))
+	value := make([]byte, defaultValueSize)
+	for i := uint64(0); i < keys; i++ {
+		for j := range value {
+			value[j] = byte('a' + r.Intn(26))
+		}
+		s.store.Put(workload.Key(i), append([]byte(nil), value...))
+	}
+	return s, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "masstree" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// NumKeys returns the size of the preloaded key population.
+func (s *Server) NumKeys() uint64 { return s.keys }
+
+// Store exposes the underlying store for white-box tests and examples.
+func (s *Server) Store() *Store { return s.store }
+
+// Request wire format: opType(uint64) | key(string) | value(bytes) | scanLen(uint64).
+// Response wire format: status(uint64) | value(bytes).
+const (
+	statusOK       = 0
+	statusNotFound = 1
+)
+
+// EncodeRequest serializes a key-value operation.
+func EncodeRequest(op workload.KVOp) app.Request {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(op.Type))
+	buf = app.AppendStringField(buf, op.Key)
+	buf = app.AppendField(buf, op.Value)
+	buf = app.AppendUint64Field(buf, uint64(op.ScanLen))
+	return buf
+}
+
+// DecodeRequest parses a serialized key-value operation.
+func DecodeRequest(req app.Request) (workload.KVOp, error) {
+	var op workload.KVOp
+	t, rest, ok := app.ReadUint64Field(req)
+	if !ok {
+		return op, app.BadRequestf("masstree: missing op type")
+	}
+	key, rest, ok := app.ReadStringField(rest)
+	if !ok {
+		return op, app.BadRequestf("masstree: missing key")
+	}
+	value, rest, ok := app.ReadField(rest)
+	if !ok {
+		return op, app.BadRequestf("masstree: missing value")
+	}
+	scanLen, _, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return op, app.BadRequestf("masstree: missing scan length")
+	}
+	op.Type = workload.KVOpType(t)
+	op.Key = key
+	if len(value) > 0 {
+		op.Value = value
+	}
+	op.ScanLen = int(scanLen)
+	return op, nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	op, err := DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp []byte
+	switch op.Type {
+	case workload.KVGet:
+		value, ok := s.store.Get(op.Key)
+		if !ok {
+			resp = app.AppendUint64Field(resp, statusNotFound)
+			resp = app.AppendField(resp, nil)
+		} else {
+			resp = app.AppendUint64Field(resp, statusOK)
+			resp = app.AppendField(resp, value)
+		}
+	case workload.KVPut:
+		s.store.Put(op.Key, append([]byte(nil), op.Value...))
+		resp = app.AppendUint64Field(resp, statusOK)
+		resp = app.AppendField(resp, nil)
+	case workload.KVDelete:
+		if s.store.Delete(op.Key) {
+			resp = app.AppendUint64Field(resp, statusOK)
+		} else {
+			resp = app.AppendUint64Field(resp, statusNotFound)
+		}
+		resp = app.AppendField(resp, nil)
+	case workload.KVScan:
+		var out []byte
+		n := 0
+		s.store.Scan(op.Key, op.ScanLen, func(key string, value []byte) bool {
+			n++
+			out = app.AppendStringField(out, key)
+			return true
+		})
+		resp = app.AppendUint64Field(resp, statusOK)
+		resp = app.AppendField(resp, out)
+	default:
+		return nil, app.BadRequestf("masstree: unknown op type %d", op.Type)
+	}
+	return resp, nil
+}
+
+// Client generates the YCSB-A request stream against the preloaded key
+// population.
+type Client struct {
+	gen *workload.YCSBGen
+}
+
+// NewClient builds a client whose key space matches the server's.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	keys := uint64(float64(defaultKeys) * cfg.Scale)
+	if keys < 16 {
+		keys = 16
+	}
+	return &Client{gen: workload.NewYCSBGen(workload.YCSBA(keys, defaultValueSize), seed)}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	return EncodeRequest(c.gen.Next())
+}
+
+// CheckResponse implements app.Client.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	op, err := DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	status, rest, ok := app.ReadUint64Field(resp)
+	if !ok {
+		return app.BadResponsef("masstree: missing status")
+	}
+	value, _, ok := app.ReadField(rest)
+	if !ok {
+		return app.BadResponsef("masstree: missing value field")
+	}
+	switch op.Type {
+	case workload.KVGet:
+		// All YCSB keys are preloaded, so GETs must hit unless a concurrent
+		// delete removed the key (the YCSB-A mix has no deletes).
+		if status != statusOK {
+			return app.BadResponsef("masstree: GET %s missed", op.Key)
+		}
+		if len(value) == 0 {
+			return app.BadResponsef("masstree: GET %s returned empty value", op.Key)
+		}
+	case workload.KVPut:
+		if status != statusOK {
+			return app.BadResponsef("masstree: PUT %s failed with status %d", op.Key, status)
+		}
+	}
+	return nil
+}
+
+// Factory registers masstree with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "masstree" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+// String aids debugging.
+func (Factory) String() string { return "masstree factory" }
+
+// check interface conformance at compile time.
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

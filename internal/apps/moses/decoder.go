@@ -1,0 +1,167 @@
+package moses
+
+import (
+	"sort"
+)
+
+// DecoderConfig tunes the beam-search stack decoder.
+type DecoderConfig struct {
+	// BeamSize is the maximum number of hypotheses kept per stack.
+	BeamSize int
+	// WordPenalty is subtracted per emitted target word, discouraging
+	// overly long translations.
+	WordPenalty float64
+	// OOVPenalty is the log-probability assigned to copying an
+	// out-of-vocabulary source word through to the output.
+	OOVPenalty float64
+}
+
+// DefaultDecoderConfig returns the decoder settings used by the benchmark.
+func DefaultDecoderConfig() DecoderConfig {
+	return DecoderConfig{BeamSize: 64, WordPenalty: 0.1, OOVPenalty: -8.0}
+}
+
+// hypothesis is a partial translation covering the first `covered` source
+// words (monotone decoding, as with Moses' monotone phrase decoding mode).
+type hypothesis struct {
+	covered  int
+	lastWord string
+	score    float64
+	// back-pointer chain to reconstruct the output without copying slices
+	// on every expansion.
+	prev   *hypothesis
+	phrase []string
+}
+
+// Translation is the decoder's output for one sentence.
+type Translation struct {
+	Words []string
+	Score float64
+}
+
+// Decoder translates sentences with beam-search stack decoding.
+type Decoder struct {
+	model *Model
+	cfg   DecoderConfig
+}
+
+// NewDecoder builds a decoder over a trained model.
+func NewDecoder(model *Model, cfg DecoderConfig) *Decoder {
+	if cfg.BeamSize <= 0 {
+		cfg.BeamSize = 64
+	}
+	return &Decoder{model: model, cfg: cfg}
+}
+
+// Translate decodes one source sentence.
+func (d *Decoder) Translate(source []string) Translation {
+	n := len(source)
+	if n == 0 {
+		return Translation{}
+	}
+	// stacks[i] holds hypotheses covering exactly i source words.
+	stacks := make([][]*hypothesis, n+1)
+	stacks[0] = []*hypothesis{{covered: 0, score: 0}}
+	for i := 0; i < n; i++ {
+		if len(stacks[i]) == 0 {
+			continue
+		}
+		for _, hyp := range stacks[i] {
+			// Expand by translating the next 1..maxPhraseLen source words.
+			for l := 1; l <= maxPhraseLen && i+l <= n; l++ {
+				phrase := source[i : i+l]
+				options := d.model.Phrases.Lookup(phrase)
+				if len(options) == 0 {
+					if l == 1 {
+						// OOV: copy the source word through.
+						options = []PhraseOption{{Target: phrase, LogProb: d.cfg.OOVPenalty}}
+					} else {
+						continue
+					}
+				}
+				for _, opt := range options {
+					score := hyp.score + opt.LogProb
+					prev := hyp.lastWord
+					for _, w := range opt.Target {
+						score += d.model.LM.LogProb(prev, w)
+						score -= d.cfg.WordPenalty
+						prev = w
+					}
+					next := &hypothesis{
+						covered:  i + l,
+						lastWord: prev,
+						score:    score,
+						prev:     hyp,
+						phrase:   opt.Target,
+					}
+					stacks[i+l] = append(stacks[i+l], next)
+				}
+			}
+		}
+		// Prune the stacks this iteration filled.
+		for j := i + 1; j <= n && j <= i+maxPhraseLen; j++ {
+			stacks[j] = prune(stacks[j], d.cfg.BeamSize)
+		}
+	}
+	final := stacks[n]
+	if len(final) == 0 {
+		return Translation{}
+	}
+	best := final[0]
+	for _, h := range final[1:] {
+		if h.score > best.score {
+			best = h
+		}
+	}
+	// Reconstruct the output by walking the back-pointers.
+	var reversedPhrases [][]string
+	for h := best; h != nil && h.prev != nil; h = h.prev {
+		reversedPhrases = append(reversedPhrases, h.phrase)
+	}
+	var words []string
+	for i := len(reversedPhrases) - 1; i >= 0; i-- {
+		words = append(words, reversedPhrases[i]...)
+	}
+	return Translation{Words: words, Score: best.score}
+}
+
+// prune keeps the top beamSize hypotheses by score, additionally
+// recombining hypotheses that agree on (covered, lastWord) — the standard
+// dynamic-programming recombination of phrase-based decoding.
+func prune(hyps []*hypothesis, beamSize int) []*hypothesis {
+	if len(hyps) == 0 {
+		return hyps
+	}
+	// Recombine: keep only the best hypothesis per (covered, lastWord).
+	bestByState := make(map[string]*hypothesis, len(hyps))
+	for _, h := range hyps {
+		key := h.lastWord
+		if cur, ok := bestByState[key]; !ok || h.score > cur.score {
+			bestByState[key] = h
+		}
+	}
+	merged := make([]*hypothesis, 0, len(bestByState))
+	for _, h := range bestByState {
+		merged = append(merged, h)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].score > merged[j].score })
+	if len(merged) > beamSize {
+		merged = merged[:beamSize]
+	}
+	return merged
+}
+
+// OOVRate returns the fraction of source words with no phrase-table entry,
+// a workload statistic reported in the suite's characterization tables.
+func (d *Decoder) OOVRate(source []string) float64 {
+	if len(source) == 0 {
+		return 0
+	}
+	oov := 0
+	for _, w := range source {
+		if len(d.model.Phrases.Lookup([]string{w})) == 0 {
+			oov++
+		}
+	}
+	return float64(oov) / float64(len(source))
+}

@@ -1,0 +1,156 @@
+// Package moses implements the TailBench real-time translation benchmark: a
+// phrase-based statistical machine translation decoder in the spirit of the
+// Moses phrase decoder the paper drives with opensubtitles dialogue snippets
+// (Sec. III).
+//
+// The system has the three classic components of phrase-based SMT:
+// a phrase table learned from a parallel corpus, an n-gram (bigram) language
+// model over the target language, and a beam-search stack decoder that
+// searches over segmentations and translations of the source sentence. Per
+// request, the decoder translates one sentence; service time is dominated by
+// hypothesis expansion and language-model scoring, as in Moses.
+package moses
+
+import (
+	"math"
+	"strings"
+
+	"tailbench/internal/workload"
+)
+
+// maxPhraseLen is the maximum source phrase length extracted into the phrase
+// table and considered by the decoder.
+const maxPhraseLen = 3
+
+// translationOptionsPerPhrase bounds the number of target options kept per
+// source phrase.
+const translationOptionsPerPhrase = 8
+
+// PhraseOption is one candidate translation of a source phrase.
+type PhraseOption struct {
+	Target  []string
+	LogProb float64
+}
+
+// PhraseTable maps source phrases (space-joined) to candidate translations.
+type PhraseTable struct {
+	options map[string][]PhraseOption
+}
+
+// Lookup returns the translation options for a source phrase.
+func (pt *PhraseTable) Lookup(phrase []string) []PhraseOption {
+	return pt.options[strings.Join(phrase, " ")]
+}
+
+// Size returns the number of distinct source phrases.
+func (pt *PhraseTable) Size() int { return len(pt.options) }
+
+// LanguageModel is a bigram model with add-k smoothing over the target
+// vocabulary.
+type LanguageModel struct {
+	unigrams map[string]float64
+	bigrams  map[string]float64 // "w1 w2" -> count
+	total    float64
+	vocab    float64
+	k        float64
+}
+
+// LogProb returns the smoothed log P(word | prev). An empty prev scores the
+// unigram probability.
+func (lm *LanguageModel) LogProb(prev, word string) float64 {
+	if prev == "" {
+		return math.Log((lm.unigrams[word] + lm.k) / (lm.total + lm.k*lm.vocab))
+	}
+	joint := lm.bigrams[prev+" "+word]
+	prior := lm.unigrams[prev]
+	return math.Log((joint + lm.k) / (prior + lm.k*lm.vocab))
+}
+
+// ScoreSequence returns the total bigram log-probability of a word sequence.
+func (lm *LanguageModel) ScoreSequence(words []string) float64 {
+	score := 0.0
+	prev := ""
+	for _, w := range words {
+		score += lm.LogProb(prev, w)
+		prev = w
+	}
+	return score
+}
+
+// Model bundles the phrase table and language model.
+type Model struct {
+	Phrases *PhraseTable
+	LM      *LanguageModel
+}
+
+// TrainModel extracts a phrase table and bigram language model from the
+// parallel corpus. The synthetic corpus has (mostly) positional alignment,
+// so phrase pairs are extracted from co-positioned spans — a simplification
+// of GIZA-style alignment that preserves what matters for the benchmark:
+// a realistic-sized phrase table with ambiguous options per source phrase.
+func TrainModel(corpus *workload.ParallelCorpus) *Model {
+	type optionCount struct {
+		target string
+		count  int
+	}
+	phraseCounts := make(map[string]map[string]int)
+	lm := &LanguageModel{
+		unigrams: make(map[string]float64),
+		bigrams:  make(map[string]float64),
+		k:        0.1,
+	}
+	for _, pair := range corpus.Pairs {
+		n := len(pair.Source)
+		for start := 0; start < n; start++ {
+			for l := 1; l <= maxPhraseLen && start+l <= n; l++ {
+				src := strings.Join(pair.Source[start:start+l], " ")
+				tgt := strings.Join(pair.Target[start:start+l], " ")
+				m, ok := phraseCounts[src]
+				if !ok {
+					m = make(map[string]int)
+					phraseCounts[src] = m
+				}
+				m[tgt]++
+			}
+		}
+		prev := ""
+		for _, w := range pair.Target {
+			lm.unigrams[w]++
+			lm.total++
+			if prev != "" {
+				lm.bigrams[prev+" "+w]++
+			}
+			prev = w
+		}
+	}
+	lm.vocab = float64(len(lm.unigrams)) + 1
+	pt := &PhraseTable{options: make(map[string][]PhraseOption, len(phraseCounts))}
+	for src, targets := range phraseCounts {
+		var total int
+		var counts []optionCount
+		for tgt, c := range targets {
+			counts = append(counts, optionCount{tgt, c})
+			total += c
+		}
+		// Keep the most frequent options.
+		for i := 0; i < len(counts); i++ {
+			for j := i + 1; j < len(counts); j++ {
+				if counts[j].count > counts[i].count {
+					counts[i], counts[j] = counts[j], counts[i]
+				}
+			}
+		}
+		if len(counts) > translationOptionsPerPhrase {
+			counts = counts[:translationOptionsPerPhrase]
+		}
+		opts := make([]PhraseOption, len(counts))
+		for i, oc := range counts {
+			opts[i] = PhraseOption{
+				Target:  strings.Fields(oc.target),
+				LogProb: math.Log(float64(oc.count) / float64(total)),
+			}
+		}
+		pt.options[src] = opts
+	}
+	return &Model{Phrases: pt, LM: lm}
+}

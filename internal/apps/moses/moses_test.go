@@ -1,0 +1,231 @@
+package moses
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+func smallCorpus() *workload.ParallelCorpus {
+	src := workload.NewVocabulary(300, 0.9, 17)
+	tgt := workload.NewVocabulary(300, 0.9, 19)
+	return workload.NewParallelCorpus(src, tgt, 2000, 4, 14, 23)
+}
+
+func TestTrainModel(t *testing.T) {
+	corpus := smallCorpus()
+	model := TrainModel(corpus)
+	if model.Phrases.Size() == 0 {
+		t.Fatal("phrase table is empty")
+	}
+	// Single-word phrases for common words must exist.
+	common := corpus.SrcVocab.Word(0)
+	opts := model.Phrases.Lookup([]string{common})
+	if len(opts) == 0 {
+		t.Fatalf("no translation options for the most common word %q", common)
+	}
+	for _, o := range opts {
+		if o.LogProb > 0 || math.IsNaN(o.LogProb) {
+			t.Errorf("log prob %f out of range", o.LogProb)
+		}
+		if len(o.Target) == 0 {
+			t.Error("empty target phrase")
+		}
+	}
+	if len(opts) > translationOptionsPerPhrase {
+		t.Errorf("too many options kept: %d", len(opts))
+	}
+	// Language model sanity: common bigrams beat unseen ones.
+	lm := model.LM
+	w := corpus.Pairs[0].Target
+	if len(w) >= 2 {
+		seen := lm.LogProb(w[0], w[1])
+		unseen := lm.LogProb(w[0], "neverseenword")
+		if seen <= unseen {
+			t.Errorf("seen bigram (%f) should outscore unseen (%f)", seen, unseen)
+		}
+	}
+	if s := lm.ScoreSequence([]string{w[0], "neverseenword"}); s >= 0 {
+		t.Errorf("sequence score should be negative, got %f", s)
+	}
+}
+
+func TestDecoderTranslates(t *testing.T) {
+	corpus := smallCorpus()
+	model := TrainModel(corpus)
+	dec := NewDecoder(model, DefaultDecoderConfig())
+	// Translate a sentence taken from the training corpus: output should be
+	// non-empty, of similar length, and mostly in-vocabulary target words.
+	pair := corpus.Pairs[7]
+	tr := dec.Translate(pair.Source)
+	if len(tr.Words) == 0 {
+		t.Fatal("empty translation")
+	}
+	if len(tr.Words) < len(pair.Source)/2 || len(tr.Words) > len(pair.Source)*maxPhraseLen {
+		t.Errorf("translation length %d unreasonable for source length %d", len(tr.Words), len(pair.Source))
+	}
+	if tr.Score >= 0 {
+		t.Errorf("score should be negative, got %f", tr.Score)
+	}
+	// Since the synthetic corpus translates word ranks deterministically,
+	// the decoder should recover a large fraction of the reference words.
+	refSet := map[string]bool{}
+	for _, w := range pair.Target {
+		refSet[w] = true
+	}
+	match := 0
+	for _, w := range tr.Words {
+		if refSet[w] {
+			match++
+		}
+	}
+	if frac := float64(match) / float64(len(tr.Words)); frac < 0.5 {
+		t.Errorf("only %.0f%% of translated words match the reference; decoder or model is broken", frac*100)
+	}
+}
+
+func TestDecoderEdgeCases(t *testing.T) {
+	model := TrainModel(smallCorpus())
+	dec := NewDecoder(model, DecoderConfig{BeamSize: 0}) // clamps to default
+	if tr := dec.Translate(nil); len(tr.Words) != 0 || tr.Score != 0 {
+		t.Errorf("empty source should give empty translation")
+	}
+	// Out-of-vocabulary words pass through.
+	tr := dec.Translate([]string{"zzzunknownzzz"})
+	if len(tr.Words) != 1 || tr.Words[0] != "zzzunknownzzz" {
+		t.Errorf("OOV word should pass through, got %v", tr.Words)
+	}
+	if rate := dec.OOVRate([]string{"zzzunknownzzz", model.someKnownWord()}); rate != 0.5 {
+		t.Errorf("OOV rate = %f, want 0.5", rate)
+	}
+	if dec.OOVRate(nil) != 0 {
+		t.Errorf("OOV rate of empty sentence should be 0")
+	}
+}
+
+// someKnownWord returns an arbitrary in-vocabulary source word (test helper).
+func (m *Model) someKnownWord() string {
+	for phrase := range m.Phrases.options {
+		if !strings.Contains(phrase, " ") {
+			return phrase
+		}
+	}
+	return ""
+}
+
+func TestBeamPruning(t *testing.T) {
+	hyps := []*hypothesis{
+		{lastWord: "a", score: -1},
+		{lastWord: "a", score: -3}, // recombined away (same state, worse score)
+		{lastWord: "b", score: -2},
+		{lastWord: "c", score: -5},
+	}
+	out := prune(hyps, 2)
+	if len(out) != 2 {
+		t.Fatalf("beam of 2 kept %d", len(out))
+	}
+	if out[0].score != -1 || out[1].score != -2 {
+		t.Errorf("kept wrong hypotheses: %v %v", out[0].score, out[1].score)
+	}
+	if prune(nil, 4) != nil {
+		t.Errorf("pruning empty stack should be nil")
+	}
+}
+
+func TestRequestResponseCodec(t *testing.T) {
+	words := []string{"hello", "world"}
+	got, err := DecodeRequest(EncodeRequest(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "hello" || got[1] != "world" {
+		t.Fatalf("decoded %v", got)
+	}
+	if _, err := DecodeRequest([]byte{3}); err == nil {
+		t.Error("truncated request should fail")
+	}
+	tr := Translation{Words: []string{"hola", "mundo"}, Score: -3.5}
+	dt, err := DecodeResponse(EncodeResponse(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Score != -3.5 || len(dt.Words) != 2 || dt.Words[0] != "hola" {
+		t.Fatalf("decoded %+v", dt)
+	}
+	if _, err := DecodeResponse([]byte{1}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	cfg := app.Config{Scale: 0.05, Seed: 3}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "moses" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	client, err := NewClient(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d validation: %v", i, err)
+		}
+	}
+	if _, err := srv.Process([]byte{0xFF}); err == nil {
+		t.Error("malformed request should error")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	client, err := NewClient(app.Config{Scale: 0.05, Seed: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := client.NextRequest()
+	if err := client.CheckResponse(req, EncodeResponse(Translation{})); err == nil {
+		t.Error("empty translation should fail validation")
+	}
+	long := Translation{Words: make([]string, 500), Score: -1}
+	if err := client.CheckResponse(req, EncodeResponse(long)); err == nil {
+		t.Error("absurdly long translation should fail validation")
+	}
+	bad := Translation{Words: []string{"x"}, Score: 5}
+	if err := client.CheckResponse(req, EncodeResponse(bad)); err == nil {
+		t.Error("positive score should fail validation")
+	}
+	if err := client.CheckResponse(req, []byte{1}); err == nil {
+		t.Error("truncated response should fail validation")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "moses" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{Scale: 0.05, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Process(cl.NextRequest()); err != nil {
+		t.Fatal(err)
+	}
+}

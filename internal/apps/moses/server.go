@@ -1,0 +1,209 @@
+package moses
+
+import (
+	"math"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+// Corpus sizing at Scale = 1.0. The paper uses the opensubtitles
+// English-Spanish corpus; we train on a synthetic parallel corpus with the
+// same Zipfian word statistics (see internal/workload).
+const (
+	defaultSrcVocab      = 6000
+	defaultTgtVocab      = 6000
+	defaultTrainPairs    = 20000
+	defaultMinSentence   = 4
+	defaultMaxSentence   = 18
+	defaultQueryMinWords = 6
+	defaultQueryMaxWords = 20
+)
+
+// Server is the moses application server.
+type Server struct {
+	decoder *Decoder
+}
+
+// NewServer trains the translation model from the synthetic parallel corpus
+// and builds the decoder.
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	srcVocab, tgtVocab, pairs := scaledCorpusDims(cfg.Scale)
+	src := workload.NewVocabulary(srcVocab, 0.9, workload.SplitSeed(cfg.Seed, 91))
+	tgt := workload.NewVocabulary(tgtVocab, 0.9, workload.SplitSeed(cfg.Seed, 92))
+	corpus := workload.NewParallelCorpus(src, tgt, pairs, defaultMinSentence, defaultMaxSentence, workload.SplitSeed(cfg.Seed, 93))
+	model := TrainModel(corpus)
+	return &Server{decoder: NewDecoder(model, DefaultDecoderConfig())}, nil
+}
+
+// scaledCorpusDims shrinks the corpus with Scale while keeping it dense
+// enough that most query words are in vocabulary.
+func scaledCorpusDims(scale float64) (srcVocab, tgtVocab, pairs int) {
+	srcVocab = int(float64(defaultSrcVocab) * math.Sqrt(scale))
+	tgtVocab = int(float64(defaultTgtVocab) * math.Sqrt(scale))
+	pairs = int(float64(defaultTrainPairs) * scale)
+	if srcVocab < 200 {
+		srcVocab = 200
+	}
+	if tgtVocab < 200 {
+		tgtVocab = 200
+	}
+	if pairs < 500 {
+		pairs = 500
+	}
+	return srcVocab, tgtVocab, pairs
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "moses" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Decoder exposes the decoder for white-box tests.
+func (s *Server) Decoder() *Decoder { return s.decoder }
+
+// Request wire format: numWords(uint64) | word*...
+// Response wire format: numWords(uint64) | word*... | scoreBits(uint64).
+
+// EncodeRequest serializes a source sentence.
+func EncodeRequest(words []string) app.Request {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = app.AppendStringField(buf, w)
+	}
+	return buf
+}
+
+// DecodeRequest parses a serialized source sentence.
+func DecodeRequest(req app.Request) ([]string, error) {
+	n, rest, ok := app.ReadUint64Field(req)
+	if !ok {
+		return nil, app.BadRequestf("moses: missing word count")
+	}
+	if n > 4096 {
+		return nil, app.BadRequestf("moses: unreasonable sentence length %d", n)
+	}
+	words := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var w string
+		w, rest, ok = app.ReadStringField(rest)
+		if !ok {
+			return nil, app.BadRequestf("moses: truncated sentence")
+		}
+		words = append(words, w)
+	}
+	return words, nil
+}
+
+// EncodeResponse serializes a translation.
+func EncodeResponse(t Translation) app.Response {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(len(t.Words)))
+	for _, w := range t.Words {
+		buf = app.AppendStringField(buf, w)
+	}
+	buf = app.AppendUint64Field(buf, math.Float64bits(t.Score))
+	return buf
+}
+
+// DecodeResponse parses a translation.
+func DecodeResponse(resp app.Response) (Translation, error) {
+	var t Translation
+	n, rest, ok := app.ReadUint64Field(resp)
+	if !ok {
+		return t, app.BadResponsef("moses: missing word count")
+	}
+	for i := uint64(0); i < n; i++ {
+		var w string
+		w, rest, ok = app.ReadStringField(rest)
+		if !ok {
+			return t, app.BadResponsef("moses: truncated translation")
+		}
+		t.Words = append(t.Words, w)
+	}
+	bits, _, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return t, app.BadResponsef("moses: missing score")
+	}
+	t.Score = math.Float64frombits(bits)
+	return t, nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	words, err := DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeResponse(s.decoder.Translate(words)), nil
+}
+
+// Client generates source sentences ("dialogue snippets") to translate.
+type Client struct {
+	sampler *workload.VocabSampler
+	r       interface{ Intn(int) int }
+}
+
+// NewClient builds a sentence generator over the server's source vocabulary
+// (same seed derivation), with its own sampling stream per client seed.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	srcVocab, _, _ := scaledCorpusDims(cfg.Scale)
+	vocab := workload.NewVocabulary(srcVocab, 0.9, workload.SplitSeed(cfg.Seed, 91))
+	return &Client{sampler: vocab.Sampler(seed), r: workload.NewRand(workload.SplitSeed(seed, 1))}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	n := defaultQueryMinWords + c.r.Intn(defaultQueryMaxWords-defaultQueryMinWords+1)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = c.sampler.Word()
+	}
+	return EncodeRequest(words)
+}
+
+// CheckResponse implements app.Client. Every source word yields at least one
+// target word (phrase translation or OOV pass-through), so the translation
+// must be non-empty and of comparable length to the source.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	src, err := DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	t, err := DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if len(src) > 0 && len(t.Words) == 0 {
+		return app.BadResponsef("moses: empty translation for %d-word sentence", len(src))
+	}
+	if len(t.Words) > maxPhraseLen*len(src) {
+		return app.BadResponsef("moses: translation length %d unreasonable for %d source words", len(t.Words), len(src))
+	}
+	if math.IsNaN(t.Score) || t.Score > 0 {
+		return app.BadResponsef("moses: invalid model score %f", t.Score)
+	}
+	return nil
+}
+
+// Factory registers moses with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "moses" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

@@ -1,0 +1,429 @@
+package shore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tailbench/internal/tpcc"
+	"tailbench/internal/workload"
+)
+
+// EngineConfig sizes the shore instance.
+type EngineConfig struct {
+	Warehouses  int
+	BufferPages int
+	Disk        DiskConfig
+	Seed        int64
+}
+
+// DefaultEngineConfig returns the standard configuration: a buffer pool that
+// holds only part of the dataset (so transactions take page misses) over
+// SSD-class latencies.
+func DefaultEngineConfig(seed int64) EngineConfig {
+	return EngineConfig{
+		Warehouses:  2,
+		BufferPages: 512,
+		Disk:        DefaultDiskConfig(),
+		Seed:        seed,
+	}
+}
+
+// Engine is the TPC-C application logic over the page-based storage manager.
+// Concurrency control is coarse two-phase locking at warehouse granularity
+// (a documented simplification of Shore-MT's hierarchical locking).
+type Engine struct {
+	cfg   EngineConfig
+	bp    *BufferPool
+	store *KVStore
+	wal   *WAL
+	locks []sync.Mutex
+	seqMu sync.Mutex
+	seq   int
+}
+
+// NewEngine builds and populates the database.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Warehouses < 1 {
+		cfg.Warehouses = 1
+	}
+	if cfg.BufferPages < 64 {
+		cfg.BufferPages = 64
+	}
+	bp := NewBufferPool(cfg.BufferPages, cfg.Disk)
+	e := &Engine{
+		cfg:   cfg,
+		bp:    bp,
+		store: NewKVStore(bp),
+		wal:   NewWAL(cfg.Disk),
+		locks: make([]sync.Mutex, cfg.Warehouses),
+	}
+	if err := e.populate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// populate loads the initial TPC-C dataset. Population bypasses logging (as
+// bulk loads do) and flushes the buffer pool at the end.
+func (e *Engine) populate() error {
+	// Population uses zero-latency disk parameters so startup stays fast;
+	// the measured run pays the configured latencies.
+	savedCfg := e.bp.disk.cfg
+	e.bp.disk.cfg = DiskConfig{}
+	defer func() { e.bp.disk.cfg = savedCfg }()
+
+	r := workload.NewRand(workload.SplitSeed(e.cfg.Seed, 121))
+	put := func(key string, row interface{}) error {
+		rec, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		return e.store.Put(key, rec)
+	}
+	for i := 0; i < tpcc.ItemsPerWarehouse; i++ {
+		if err := put(tpcc.ItemKey(i), tpcc.MakeItem(i, r)); err != nil {
+			return err
+		}
+	}
+	for w := 0; w < e.cfg.Warehouses; w++ {
+		if err := put(tpcc.WarehouseKey(w), tpcc.MakeWarehouse(w)); err != nil {
+			return err
+		}
+		for i := 0; i < tpcc.ItemsPerWarehouse; i++ {
+			if err := put(tpcc.StockKey(w, i), tpcc.MakeStock(w, i, r)); err != nil {
+				return err
+			}
+		}
+		for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+			if err := put(tpcc.DistrictKey(w, d), tpcc.MakeDistrict(w, d)); err != nil {
+				return err
+			}
+			for c := 0; c < tpcc.CustomersPerDistrict; c++ {
+				if err := put(tpcc.CustomerKey(w, d, c), tpcc.MakeCustomer(w, d, c, r)); err != nil {
+					return err
+				}
+			}
+			for o := 1; o <= tpcc.InitialOrdersPerDist; o++ {
+				order, lines := tpcc.MakeInitialOrder(w, d, o, r)
+				if err := put(tpcc.OrderKey(w, d, o), order); err != nil {
+					return err
+				}
+				if err := put(tpcc.CustomerOrderKey(w, d, order.Customer), order.ID); err != nil {
+					return err
+				}
+				for _, ol := range lines {
+					if err := put(tpcc.OrderLineKey(w, d, o, ol.Number), ol); err != nil {
+						return err
+					}
+				}
+				if order.Carrier == 0 {
+					entry := tpcc.NewOrderEntry{Order: o, District: d, Warehouse: w}
+					if err := put(tpcc.NewOrderKey(w, d, o), entry); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	e.bp.FlushAll()
+	return nil
+}
+
+// Store exposes the key-value layer for white-box tests.
+func (e *Engine) Store() *KVStore { return e.store }
+
+// BufferPool exposes the buffer pool for white-box tests and reports.
+func (e *Engine) BufferPool() *BufferPool { return e.bp }
+
+// WAL exposes the log for white-box tests.
+func (e *Engine) WAL() *WAL { return e.wal }
+
+// Warehouses returns the configured warehouse count.
+func (e *Engine) Warehouses() int { return e.cfg.Warehouses }
+
+// getJSON reads and decodes a row.
+func (e *Engine) getJSON(key string, out interface{}) error {
+	rec, err := e.store.Get(key)
+	if err != nil {
+		return fmt.Errorf("%w (key %s)", err, key)
+	}
+	return json.Unmarshal(rec, out)
+}
+
+// putJSON encodes and stores a row, and appends a WAL record for it.
+func (e *Engine) putJSON(key string, row interface{}) error {
+	rec, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	logRec := make([]byte, 0, len(key)+1+len(rec))
+	logRec = append(logRec, key...)
+	logRec = append(logRec, '=')
+	logRec = append(logRec, rec...)
+	e.wal.Append(logRec)
+	return e.store.Put(key, rec)
+}
+
+// TxResult mirrors silo.TxResult: the summarized outcome of a transaction.
+type TxResult struct {
+	Type  tpcc.TxType
+	OK    bool
+	Value int64
+}
+
+// Execute runs one TPC-C transaction under warehouse-granularity 2PL and
+// forces the log at commit.
+func (e *Engine) Execute(in tpcc.TxInput) (TxResult, error) {
+	if in.Warehouse < 0 || in.Warehouse >= e.cfg.Warehouses {
+		return TxResult{}, fmt.Errorf("shore: warehouse %d out of range", in.Warehouse)
+	}
+	// Lock the home warehouse plus any remote supply warehouses, in order,
+	// to avoid deadlock.
+	needed := map[int]bool{in.Warehouse: true}
+	for _, l := range in.Lines {
+		if l.SupplyWH >= 0 && l.SupplyWH < e.cfg.Warehouses {
+			needed[l.SupplyWH] = true
+		}
+	}
+	order := make([]int, 0, len(needed))
+	for w := range needed {
+		order = append(order, w)
+	}
+	sort.Ints(order)
+	for _, w := range order {
+		e.locks[w].Lock()
+	}
+	defer func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			e.locks[order[i]].Unlock()
+		}
+	}()
+
+	var (
+		res TxResult
+		err error
+	)
+	switch in.Type {
+	case tpcc.TxNewOrder:
+		res, err = e.newOrder(in)
+	case tpcc.TxPayment:
+		res, err = e.payment(in)
+	case tpcc.TxOrderStatus:
+		res, err = e.orderStatus(in)
+	case tpcc.TxDelivery:
+		res, err = e.delivery(in)
+	case tpcc.TxStockLevel:
+		res, err = e.stockLevel(in)
+	default:
+		return TxResult{}, fmt.Errorf("shore: unknown transaction type %d", in.Type)
+	}
+	if err != nil {
+		return TxResult{Type: in.Type}, err
+	}
+	// Commit: force the log to stable storage.
+	e.wal.Force()
+	return res, nil
+}
+
+func (e *Engine) newOrder(in tpcc.TxInput) (TxResult, error) {
+	var district tpcc.District
+	if err := e.getJSON(tpcc.DistrictKey(in.Warehouse, in.District), &district); err != nil {
+		return TxResult{}, err
+	}
+	orderID := district.NextOrderID
+	district.NextOrderID++
+	if err := e.putJSON(tpcc.DistrictKey(in.Warehouse, in.District), district); err != nil {
+		return TxResult{}, err
+	}
+	var total int64
+	allLocal := true
+	for i, line := range in.Lines {
+		var item tpcc.Item
+		if err := e.getJSON(tpcc.ItemKey(line.Item), &item); err != nil {
+			return TxResult{}, err
+		}
+		var stock tpcc.Stock
+		if err := e.getJSON(tpcc.StockKey(line.SupplyWH, line.Item), &stock); err != nil {
+			return TxResult{}, err
+		}
+		if stock.Quantity >= line.Quantity+10 {
+			stock.Quantity -= line.Quantity
+		} else {
+			stock.Quantity = stock.Quantity - line.Quantity + 91
+		}
+		stock.YTD += int64(line.Quantity)
+		stock.OrderCnt++
+		if line.SupplyWH != in.Warehouse {
+			stock.RemoteCnt++
+			allLocal = false
+		}
+		if err := e.putJSON(tpcc.StockKey(line.SupplyWH, line.Item), stock); err != nil {
+			return TxResult{}, err
+		}
+		amount := item.Price * int64(line.Quantity)
+		total += amount
+		ol := tpcc.OrderLine{
+			Order: orderID, District: in.District, Warehouse: in.Warehouse,
+			Number: i + 1, Item: line.Item, SupplyWH: line.SupplyWH,
+			Quantity: line.Quantity, Amount: amount,
+		}
+		if err := e.putJSON(tpcc.OrderLineKey(in.Warehouse, in.District, orderID, i+1), ol); err != nil {
+			return TxResult{}, err
+		}
+	}
+	orderRow := tpcc.Order{
+		ID: orderID, District: in.District, Warehouse: in.Warehouse,
+		Customer: in.Customer, LineCount: len(in.Lines), AllLocal: allLocal,
+	}
+	if err := e.putJSON(tpcc.OrderKey(in.Warehouse, in.District, orderID), orderRow); err != nil {
+		return TxResult{}, err
+	}
+	entry := tpcc.NewOrderEntry{Order: orderID, District: in.District, Warehouse: in.Warehouse}
+	if err := e.putJSON(tpcc.NewOrderKey(in.Warehouse, in.District, orderID), entry); err != nil {
+		return TxResult{}, err
+	}
+	if err := e.putJSON(tpcc.CustomerOrderKey(in.Warehouse, in.District, in.Customer), orderID); err != nil {
+		return TxResult{}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: total}, nil
+}
+
+func (e *Engine) payment(in tpcc.TxInput) (TxResult, error) {
+	var warehouse tpcc.Warehouse
+	if err := e.getJSON(tpcc.WarehouseKey(in.Warehouse), &warehouse); err != nil {
+		return TxResult{}, err
+	}
+	warehouse.YTD += in.Amount
+	if err := e.putJSON(tpcc.WarehouseKey(in.Warehouse), warehouse); err != nil {
+		return TxResult{}, err
+	}
+	var district tpcc.District
+	if err := e.getJSON(tpcc.DistrictKey(in.Warehouse, in.District), &district); err != nil {
+		return TxResult{}, err
+	}
+	district.YTD += in.Amount
+	if err := e.putJSON(tpcc.DistrictKey(in.Warehouse, in.District), district); err != nil {
+		return TxResult{}, err
+	}
+	var customer tpcc.Customer
+	if err := e.getJSON(tpcc.CustomerKey(in.Warehouse, in.District, in.Customer), &customer); err != nil {
+		return TxResult{}, err
+	}
+	customer.Balance -= in.Amount
+	customer.YTDPayment += in.Amount
+	customer.PaymentCount++
+	if err := e.putJSON(tpcc.CustomerKey(in.Warehouse, in.District, in.Customer), customer); err != nil {
+		return TxResult{}, err
+	}
+	e.seqMu.Lock()
+	seq := e.seq
+	e.seq++
+	e.seqMu.Unlock()
+	hist := tpcc.History{Customer: in.Customer, District: in.District, Warehouse: in.Warehouse, Amount: in.Amount}
+	if err := e.putJSON(tpcc.HistoryKey(in.Warehouse, in.District, in.Customer, seq), hist); err != nil {
+		return TxResult{}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: customer.Balance}, nil
+}
+
+func (e *Engine) orderStatus(in tpcc.TxInput) (TxResult, error) {
+	var orderID int
+	if err := e.getJSON(tpcc.CustomerOrderKey(in.Warehouse, in.District, in.Customer), &orderID); err != nil {
+		return TxResult{}, err
+	}
+	var order tpcc.Order
+	if err := e.getJSON(tpcc.OrderKey(in.Warehouse, in.District, orderID), &order); err != nil {
+		return TxResult{}, err
+	}
+	var total int64
+	for l := 1; l <= order.LineCount; l++ {
+		var ol tpcc.OrderLine
+		if err := e.getJSON(tpcc.OrderLineKey(in.Warehouse, in.District, orderID, l), &ol); err != nil {
+			return TxResult{}, err
+		}
+		total += ol.Amount
+	}
+	return TxResult{Type: in.Type, OK: true, Value: total}, nil
+}
+
+func (e *Engine) delivery(in tpcc.TxInput) (TxResult, error) {
+	var delivered int64
+	for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+		keys := e.store.Keys(tpcc.NewOrderKey(in.Warehouse, d, 0), tpcc.NewOrderKey(in.Warehouse, d, 99999999))
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+		oldestKey := keys[0]
+		var entry tpcc.NewOrderEntry
+		if err := e.getJSON(oldestKey, &entry); err != nil {
+			return TxResult{}, err
+		}
+		e.store.Delete(oldestKey)
+		var order tpcc.Order
+		if err := e.getJSON(tpcc.OrderKey(in.Warehouse, d, entry.Order), &order); err != nil {
+			return TxResult{}, err
+		}
+		order.Carrier = in.Carrier
+		if err := e.putJSON(tpcc.OrderKey(in.Warehouse, d, entry.Order), order); err != nil {
+			return TxResult{}, err
+		}
+		var total int64
+		for l := 1; l <= order.LineCount; l++ {
+			var ol tpcc.OrderLine
+			if err := e.getJSON(tpcc.OrderLineKey(in.Warehouse, d, entry.Order, l), &ol); err != nil {
+				return TxResult{}, err
+			}
+			total += ol.Amount
+		}
+		var customer tpcc.Customer
+		if err := e.getJSON(tpcc.CustomerKey(in.Warehouse, d, order.Customer), &customer); err != nil {
+			return TxResult{}, err
+		}
+		customer.Balance += total
+		customer.DeliveryCnt++
+		if err := e.putJSON(tpcc.CustomerKey(in.Warehouse, d, order.Customer), customer); err != nil {
+			return TxResult{}, err
+		}
+		delivered++
+	}
+	return TxResult{Type: in.Type, OK: true, Value: delivered}, nil
+}
+
+func (e *Engine) stockLevel(in tpcc.TxInput) (TxResult, error) {
+	var district tpcc.District
+	if err := e.getJSON(tpcc.DistrictKey(in.Warehouse, in.District), &district); err != nil {
+		return TxResult{}, err
+	}
+	seen := make(map[int]bool)
+	var low int64
+	for o := district.NextOrderID - 20; o < district.NextOrderID; o++ {
+		if o < 1 {
+			continue
+		}
+		var order tpcc.Order
+		if err := e.getJSON(tpcc.OrderKey(in.Warehouse, in.District, o), &order); err != nil {
+			continue
+		}
+		for l := 1; l <= order.LineCount; l++ {
+			var ol tpcc.OrderLine
+			if err := e.getJSON(tpcc.OrderLineKey(in.Warehouse, in.District, o, l), &ol); err != nil {
+				continue
+			}
+			if seen[ol.Item] {
+				continue
+			}
+			seen[ol.Item] = true
+			var stock tpcc.Stock
+			if err := e.getJSON(tpcc.StockKey(in.Warehouse, ol.Item), &stock); err != nil {
+				continue
+			}
+			if stock.Quantity < in.Threshold {
+				low++
+			}
+		}
+	}
+	return TxResult{Type: in.Type, OK: true, Value: low}, nil
+}

@@ -1,0 +1,112 @@
+package shore
+
+import (
+	"tailbench/internal/app"
+	"tailbench/internal/apps/silo"
+	"tailbench/internal/tpcc"
+)
+
+// Server is the shore application server.
+type Server struct {
+	engine *Engine
+}
+
+// NewServer builds and populates the page-based database. Scale multiplies
+// the default warehouse count. (The paper runs shore with 10 warehouses;
+// the default here is smaller so the suite loads quickly — raise Scale to
+// match the paper's sizing.)
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	ecfg := DefaultEngineConfig(cfg.Seed)
+	ecfg.Warehouses = int(float64(ecfg.Warehouses) * cfg.Scale)
+	if ecfg.Warehouses < 1 {
+		ecfg.Warehouses = 1
+	}
+	engine, err := NewEngine(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{engine: engine}, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "shore" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Engine exposes the storage engine for white-box tests.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Process implements app.Server. The wire format is shared with silo (both
+// run TPC-C), so the two engines are drop-in replacements for each other
+// behind the harness.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	in, err := silo.DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.engine.Execute(in)
+	if err != nil {
+		return nil, err
+	}
+	return silo.EncodeResponse(silo.TxResult{Type: res.Type, OK: res.OK, Value: res.Value}), nil
+}
+
+// Client generates the TPC-C mix for shore. It reuses silo's wire format.
+type Client struct {
+	gen *tpcc.Generator
+}
+
+// NewClient builds a transaction generator sized to the server's warehouse
+// count.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	w := int(float64(DefaultEngineConfig(cfg.Seed).Warehouses) * cfg.Scale)
+	if w < 1 {
+		w = 1
+	}
+	return &Client{gen: tpcc.NewGenerator(w, seed)}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	return silo.EncodeRequest(c.gen.Next())
+}
+
+// CheckResponse implements app.Client.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	in, err := silo.DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	ok, value, err := silo.DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return app.BadResponsef("shore: %v transaction failed", in.Type)
+	}
+	if in.Type == tpcc.TxNewOrder && value <= 0 {
+		return app.BadResponsef("shore: new order total %d must be positive", value)
+	}
+	return nil
+}
+
+// Factory registers shore with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "shore" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

@@ -1,0 +1,412 @@
+package shore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/apps/silo"
+	"tailbench/internal/tpcc"
+)
+
+func fastDisk() DiskConfig { return DiskConfig{} } // zero latencies for unit tests
+
+func TestPageAddRead(t *testing.T) {
+	p := NewPage()
+	if p.NumRecords() != 0 {
+		t.Fatalf("new page has %d records", p.NumRecords())
+	}
+	var slots []uint16
+	var recs [][]byte
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d-%s", i, string(make([]byte, i))))
+		slot, ok := p.AddRecord(rec)
+		if !ok {
+			t.Fatalf("record %d did not fit", i)
+		}
+		slots = append(slots, slot)
+		recs = append(recs, rec)
+	}
+	for i, slot := range slots {
+		got, err := p.ReadRecord(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := p.ReadRecord(uint16(len(slots))); err == nil {
+		t.Error("out-of-range slot should error")
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 1000)
+	n := 0
+	for {
+		if _, ok := p.AddRecord(rec); !ok {
+			break
+		}
+		n++
+	}
+	// 8 KiB page with 1000-byte records plus slot overhead: 8 records.
+	if n != 8 {
+		t.Errorf("fit %d 1000-byte records, want 8", n)
+	}
+	if p.FreeSpace() >= 1000 {
+		t.Errorf("free space %d should be below a record", p.FreeSpace())
+	}
+}
+
+func TestPagePropertyRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		p := NewPage()
+		var stored [][]byte
+		var slots []uint16
+		for _, rec := range payloads {
+			if len(rec) > 512 {
+				rec = rec[:512]
+			}
+			slot, ok := p.AddRecord(rec)
+			if !ok {
+				break
+			}
+			stored = append(stored, rec)
+			slots = append(slots, slot)
+		}
+		for i := range stored {
+			got, err := p.ReadRecord(slots[i])
+			if err != nil || !bytes.Equal(got, stored[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferPoolEvictionAndPersistence(t *testing.T) {
+	bp := NewBufferPool(8, fastDisk())
+	// Create more pages than the pool holds, writing a marker into each.
+	ids := make([]uint32, 32)
+	for i := range ids {
+		id, page, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := page.AddRecord([]byte(fmt.Sprintf("page-%d", i))); !ok {
+			t.Fatal("record did not fit")
+		}
+		bp.Unpin(id, true)
+		ids[i] = id
+	}
+	// Every page's contents must survive eviction and re-fetch.
+	for i, id := range ids {
+		page, err := bp.FetchPage(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := page.ReadRecord(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rec) != fmt.Sprintf("page-%d", i) {
+			t.Fatalf("page %d content lost after eviction: %q", id, rec)
+		}
+		bp.Unpin(id, false)
+	}
+	hits, misses, reads, writes, _ := bp.Stats()
+	if misses == 0 || reads == 0 || writes == 0 {
+		t.Errorf("expected misses/reads/writes with a small pool: h=%d m=%d r=%d w=%d", hits, misses, reads, writes)
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	bp := NewBufferPool(8, fastDisk())
+	for i := 0; i < 8; i++ {
+		if _, _, err := bp.NewPage(); err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately keep every page pinned.
+	}
+	if _, _, err := bp.NewPage(); err != ErrBufferFull {
+		t.Fatalf("expected ErrBufferFull, got %v", err)
+	}
+	// Unpinning an unknown page is a no-op.
+	bp.Unpin(9999, false)
+}
+
+func TestDiskLatencySimulation(t *testing.T) {
+	cfg := DiskConfig{ReadLatency: 2 * time.Millisecond}
+	bp := NewBufferPool(8, cfg)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, true)
+	// Evict it by allocating past capacity.
+	for i := 0; i < 10; i++ {
+		nid, _, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(nid, false)
+	}
+	start := time.Now()
+	if _, err := bp.FetchPage(id); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("page miss took %v, want >= simulated read latency", elapsed)
+	}
+}
+
+func TestWAL(t *testing.T) {
+	w := NewWAL(fastDisk())
+	w.Append([]byte("a"))
+	w.Append([]byte("b"))
+	if w.FlushedRecords() != 0 {
+		t.Error("records should not be flushed before Force")
+	}
+	w.Force()
+	if w.FlushedRecords() != 2 {
+		t.Errorf("flushed = %d", w.FlushedRecords())
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	bp := NewBufferPool(64, fastDisk())
+	s := NewKVStore(bp)
+	if _, err := s.Get("missing"); err != ErrKeyNotFound {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := s.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("k1")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("get after update: %q %v", v, err)
+	}
+	if !s.Has("k1") || s.Has("k2") {
+		t.Error("Has is wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if !s.Delete("k1") || s.Delete("k1") {
+		t.Error("delete semantics wrong")
+	}
+	// Keys range query.
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys("key03", "key07")
+	if len(keys) != 4 {
+		t.Errorf("range keys = %v", keys)
+	}
+}
+
+func TestKVStoreManyRecordsAcrossPages(t *testing.T) {
+	bp := NewBufferPool(16, fastDisk())
+	s := NewKVStore(bp)
+	value := make([]byte, 300)
+	for i := 0; i < 2000; i++ {
+		copy(value, fmt.Sprintf("value-%d", i))
+		if err := s.Put(fmt.Sprintf("key-%d", i), value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i += 37 {
+		v, err := s.Get(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			t.Fatalf("key-%d: %v", i, err)
+		}
+		if want := fmt.Sprintf("value-%d", i); string(v[:len(want)]) != want {
+			t.Fatalf("key-%d value corrupted", i)
+		}
+	}
+}
+
+func testEngine(t *testing.T, warehouses int) *Engine {
+	t.Helper()
+	cfg := EngineConfig{Warehouses: warehouses, BufferPages: 256, Disk: fastDisk(), Seed: 5}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnginePopulation(t *testing.T) {
+	e := testEngine(t, 1)
+	if e.Warehouses() != 1 {
+		t.Errorf("warehouses = %d", e.Warehouses())
+	}
+	if !e.Store().Has(tpcc.WarehouseKey(0)) {
+		t.Error("warehouse row missing")
+	}
+	if !e.Store().Has(tpcc.StockKey(0, tpcc.ItemsPerWarehouse-1)) {
+		t.Error("stock rows missing")
+	}
+	if !e.Store().Has(tpcc.CustomerKey(0, tpcc.DistrictsPerWarehouse-1, tpcc.CustomersPerDistrict-1)) {
+		t.Error("customer rows missing")
+	}
+	// WAL is untouched during population.
+	if e.WAL().FlushedRecords() != 0 {
+		t.Error("population should bypass the log")
+	}
+}
+
+func TestEngineTransactions(t *testing.T) {
+	e := testEngine(t, 1)
+	gen := tpcc.NewGenerator(1, 7)
+
+	no := gen.NewOrderInput()
+	res, err := e.Execute(no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Value <= 0 {
+		t.Fatalf("new order: %+v", res)
+	}
+	// The commit forced the log.
+	if e.WAL().FlushedRecords() == 0 {
+		t.Error("commit should force WAL records")
+	}
+	osRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxOrderStatus, Warehouse: no.Warehouse, District: no.District, Customer: no.Customer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osRes.Value != res.Value {
+		t.Errorf("order status total %d, want %d", osRes.Value, res.Value)
+	}
+	pRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxPayment, Warehouse: 0, District: 0, Customer: 0, Amount: 100})
+	if err != nil || !pRes.OK {
+		t.Fatalf("payment: %+v %v", pRes, err)
+	}
+	dRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxDelivery, Warehouse: 0, Carrier: 2})
+	if err != nil || dRes.Value == 0 {
+		t.Fatalf("delivery: %+v %v", dRes, err)
+	}
+	sRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxStockLevel, Warehouse: 0, District: 0, Threshold: 20})
+	if err != nil || !sRes.OK {
+		t.Fatalf("stock level: %+v %v", sRes, err)
+	}
+	if _, err := e.Execute(tpcc.TxInput{Type: tpcc.TxType(99)}); err == nil {
+		t.Error("unknown type should error")
+	}
+	if _, err := e.Execute(tpcc.TxInput{Type: tpcc.TxPayment, Warehouse: 7}); err == nil {
+		t.Error("out-of-range warehouse should error")
+	}
+}
+
+func TestEngineConcurrentMix(t *testing.T) {
+	e := testEngine(t, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := tpcc.NewGenerator(2, seed)
+			for i := 0; i < 100; i++ {
+				if _, err := e.Execute(gen.Next()); err != nil {
+					t.Errorf("transaction: %v", err)
+					return
+				}
+			}
+		}(int64(w + 20))
+	}
+	wg.Wait()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	// Small scale and default (SSD-latency) disk: exercise the full path.
+	srv, err := NewServer(app.Config{Scale: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "shore" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	client, err := NewClient(app.Config{Scale: 0.5, Seed: 3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d validation: %v", i, err)
+		}
+	}
+	if _, err := srv.Process([]byte{9}); err == nil {
+		t.Error("malformed request should error")
+	}
+	// Requests are longer than silo's because of page misses and log forces:
+	// sanity-check that the buffer pool actually saw traffic.
+	hits, misses, _, _, syncs := srv.Engine().BufferPool().Stats()
+	if hits == 0 {
+		t.Error("buffer pool saw no traffic")
+	}
+	_ = misses
+	if syncs := syncs; syncs == 0 {
+		_ = syncs // log syncs are counted on the WAL's own disk; checked below
+	}
+	if srv.Engine().WAL().FlushedRecords() == 0 {
+		t.Error("commits should flush WAL records")
+	}
+}
+
+func TestShoreAndSiloShareWireFormat(t *testing.T) {
+	in := tpcc.TxInput{Type: tpcc.TxPayment, Warehouse: 0, District: 1, Customer: 2, Amount: 100}
+	req := silo.EncodeRequest(in)
+	srv, err := NewServer(app.Config{Scale: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := srv.Process(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := silo.DecodeResponse(resp)
+	if err != nil || !ok {
+		t.Fatalf("shared wire format broken: %v %v", ok, err)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "shore" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Scale: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{Scale: 0.5, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Process(cl.NextRequest()); err != nil {
+		t.Fatal(err)
+	}
+}

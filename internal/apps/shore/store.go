@@ -1,0 +1,155 @@
+package shore
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrKeyNotFound is returned by Get for missing keys.
+var ErrKeyNotFound = errors.New("shore: key not found")
+
+// RecordStore is a heap file of variable-length records stored in slotted
+// pages through the buffer pool. A single store latch serializes page
+// operations — the storage manager's internal critical sections — which is
+// one of the structural reasons page-based engines scale worse than
+// memory-optimized ones like silo.
+type RecordStore struct {
+	mu       sync.Mutex
+	bp       *BufferPool
+	fillPage uint32
+	havePage bool
+}
+
+// NewRecordStore returns an empty heap over the buffer pool.
+func NewRecordStore(bp *BufferPool) *RecordStore {
+	return &RecordStore{bp: bp}
+}
+
+// Insert appends a record and returns its RID.
+func (rs *RecordStore) Insert(rec []byte) (RID, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if !rs.havePage {
+			id, _, err := rs.bp.NewPage()
+			if err != nil {
+				return RID{}, err
+			}
+			// Keep the fill page unpinned between inserts; it is re-fetched
+			// (and usually hits) on the next insert.
+			rs.bp.Unpin(id, true)
+			rs.fillPage = id
+			rs.havePage = true
+		}
+		page, err := rs.bp.FetchPage(rs.fillPage)
+		if err != nil {
+			return RID{}, err
+		}
+		slot, ok := page.AddRecord(rec)
+		rs.bp.Unpin(rs.fillPage, ok)
+		if ok {
+			return RID{Page: rs.fillPage, Slot: slot}, nil
+		}
+		// Page full: allocate a fresh fill page and retry once.
+		rs.havePage = false
+	}
+	return RID{}, errors.New("shore: record larger than a page")
+}
+
+// Get returns a copy of the record at rid.
+func (rs *RecordStore) Get(rid RID) ([]byte, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	page, err := rs.bp.FetchPage(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := page.ReadRecord(rid.Slot)
+	if err != nil {
+		rs.bp.Unpin(rid.Page, false)
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	rs.bp.Unpin(rid.Page, false)
+	return out, nil
+}
+
+// KVStore is the record store plus an in-memory hash index from key to RID.
+// (Shore-MT uses persistent B+tree indexes; the in-memory index is a
+// documented simplification — index probes are cheap in both cases, while
+// record accesses still go through pages and the buffer pool.)
+type KVStore struct {
+	records *RecordStore
+	mu      sync.RWMutex
+	index   map[string]RID
+}
+
+// NewKVStore returns an empty key-value store over the buffer pool.
+func NewKVStore(bp *BufferPool) *KVStore {
+	return &KVStore{records: NewRecordStore(bp), index: make(map[string]RID)}
+}
+
+// Put stores rec under key. Updates append a new record version and repoint
+// the index (old versions become garbage, as in a no-steal append heap).
+func (s *KVStore) Put(key string, rec []byte) error {
+	rid, err := s.records.Insert(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.index[key] = rid
+	s.mu.Unlock()
+	return nil
+}
+
+// Get returns the current record stored under key.
+func (s *KVStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	rid, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrKeyNotFound
+	}
+	return s.records.Get(rid)
+}
+
+// Delete removes key from the index (the record version becomes garbage).
+func (s *KVStore) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return false
+	}
+	delete(s.index, key)
+	return true
+}
+
+// Has reports whether key is present.
+func (s *KVStore) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Keys returns all keys in [start, end) — used for the small ordered scans
+// TPC-C needs (oldest undelivered order).
+func (s *KVStore) Keys(start, end string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k := range s.index {
+		if k >= start && (end == "" || k < end) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Len returns the number of live keys.
+func (s *KVStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}

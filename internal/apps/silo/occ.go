@@ -1,0 +1,345 @@
+// Package silo implements the TailBench in-memory OLTP benchmark: a
+// transactional in-memory database with Silo-style optimistic concurrency
+// control (Tu et al., SOSP 2013) running the TPC-C transaction mix with one
+// warehouse, as configured in Sec. III of the paper.
+//
+// The engine keeps every table in memory, buffers transaction reads and
+// writes in per-transaction sets, and validates at commit time: write rows
+// are locked in a global order, the read set is checked for unchanged
+// versions, and writes are installed with a new transaction id. Conflicting
+// transactions abort and retry, so the engine never blocks readers — the
+// property that makes silo fast and scalable, and that the paper's case
+// study probes when silo's thread scaling falls short.
+package silo
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConflict is returned when commit-time validation fails and the
+// transaction must retry.
+var ErrConflict = errors.New("silo: transaction conflict")
+
+// ErrNotFound is returned by reads of missing keys.
+var ErrNotFound = errors.New("silo: key not found")
+
+// row is a versioned record. The value is immutable once installed; writers
+// install a fresh value and bump the TID under the row lock.
+type row struct {
+	mu  sync.Mutex
+	tid uint64
+	val interface{}
+}
+
+// tableShards is the number of shards per table; operations on different
+// shards never contend on the shard maps.
+const tableShards = 64
+
+// Table is one sharded in-memory table.
+type Table struct {
+	name   string
+	shards [tableShards]struct {
+		mu sync.RWMutex
+		m  map[string]*row
+	}
+}
+
+func newTable(name string) *Table {
+	t := &Table{name: name}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*row)
+	}
+	return t
+}
+
+func shardOf(key string) int {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return int(h % tableShards)
+}
+
+// getRow returns the row for key, or nil.
+func (t *Table) getRow(key string) *row {
+	s := &t.shards[shardOf(key)]
+	s.mu.RLock()
+	r := s.m[key]
+	s.mu.RUnlock()
+	return r
+}
+
+// getOrCreateRow returns the row for key, creating an empty unversioned row
+// if absent.
+func (t *Table) getOrCreateRow(key string) *row {
+	s := &t.shards[shardOf(key)]
+	s.mu.Lock()
+	r, ok := s.m[key]
+	if !ok {
+		r = &row{}
+		s.m[key] = r
+	}
+	s.mu.Unlock()
+	return r
+}
+
+// Len returns the number of rows with installed values.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, r := range s.m {
+			r.mu.Lock()
+			present := r.val != nil
+			r.mu.Unlock()
+			if present {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// DB is the in-memory transactional database.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	nextTID atomic.Uint64
+	aborts  atomic.Uint64
+	commits atomic.Uint64
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Table returns (creating if needed) the named table.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	db.mu.RUnlock()
+	if ok {
+		return t
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok = db.tables[name]; ok {
+		return t
+	}
+	t = newTable(name)
+	db.tables[name] = t
+	return t
+}
+
+// Stats returns the number of committed and aborted transactions.
+func (db *DB) Stats() (commits, aborts uint64) {
+	return db.commits.Load(), db.aborts.Load()
+}
+
+// LoadRow installs a value directly, bypassing concurrency control. Only for
+// initial population.
+func (db *DB) LoadRow(table, key string, val interface{}) {
+	r := db.Table(table).getOrCreateRow(key)
+	r.val = val
+	r.tid = db.nextTID.Add(1)
+}
+
+// writeEntry is a buffered write.
+type writeEntry struct {
+	table string
+	key   string
+	val   interface{}
+	r     *row // resolved at commit
+}
+
+// readEntry is a read-set entry.
+type readEntry struct {
+	r   *row
+	tid uint64
+}
+
+// Tx is one optimistic transaction.
+type Tx struct {
+	db     *DB
+	reads  []readEntry
+	writes map[string]writeEntry // "table\x00key" -> entry
+}
+
+// NewTx begins a transaction.
+func (db *DB) NewTx() *Tx {
+	return &Tx{db: db, writes: make(map[string]writeEntry)}
+}
+
+func writeKey(table, key string) string { return table + "\x00" + key }
+
+// Read returns the value of key in table as observed by this transaction
+// (its own buffered write, if any, else the committed value).
+func (tx *Tx) Read(table, key string) (interface{}, error) {
+	if w, ok := tx.writes[writeKey(table, key)]; ok {
+		if w.val == nil {
+			return nil, ErrNotFound
+		}
+		return w.val, nil
+	}
+	r := tx.db.Table(table).getRow(key)
+	if r == nil {
+		return nil, ErrNotFound
+	}
+	r.mu.Lock()
+	tid := r.tid
+	val := r.val
+	r.mu.Unlock()
+	if val == nil {
+		return nil, ErrNotFound
+	}
+	tx.reads = append(tx.reads, readEntry{r: r, tid: tid})
+	return val, nil
+}
+
+// Write buffers a write of val (nil deletes the row logically).
+func (tx *Tx) Write(table, key string, val interface{}) {
+	tx.writes[writeKey(table, key)] = writeEntry{table: table, key: key, val: val}
+}
+
+// Scan visits committed rows in the table whose keys are in [start, end) in
+// key order, up to limit rows. It is a read-only snapshot-less scan: each
+// visited row joins the read set so commit-time validation catches
+// conflicting updates (phantoms from concurrent inserts are not detected,
+// matching Silo's default behaviour without range locks).
+func (tx *Tx) Scan(table string, start, end string, limit int, fn func(key string, val interface{}) bool) int {
+	t := tx.db.Table(table)
+	// Collect matching keys shard by shard, then order them. Row contents
+	// are examined only through tx.Read, which takes the row lock; deleted
+	// rows (nil values) are skipped there.
+	var keys []string
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			if k >= start && (end == "" || k < end) {
+				keys = append(keys, k)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	visited := 0
+	for _, k := range keys {
+		if limit > 0 && visited >= limit {
+			break
+		}
+		val, err := tx.Read(table, k)
+		if err != nil {
+			continue
+		}
+		visited++
+		if !fn(k, val) {
+			break
+		}
+	}
+	return visited
+}
+
+// Commit validates and installs the transaction. On conflict it returns
+// ErrConflict and the caller retries with a fresh transaction.
+func (tx *Tx) Commit() error {
+	// Phase 1: lock the write set in deterministic order.
+	keys := make([]string, 0, len(tx.writes))
+	for k := range tx.writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	locked := make([]*row, 0, len(keys))
+	unlock := func() {
+		for _, r := range locked {
+			r.mu.Unlock()
+		}
+	}
+	for _, k := range keys {
+		w := tx.writes[k]
+		r := tx.db.Table(w.table).getOrCreateRow(w.key)
+		r.mu.Lock()
+		locked = append(locked, r)
+		w.r = r
+		tx.writes[k] = w
+	}
+	// Phase 2: validate the read set: every read row must still carry the
+	// observed TID (rows we also wrote are locked by us, so a TID match is
+	// exactly the "unchanged since read" condition).
+	for _, re := range tx.reads {
+		owned := false
+		for _, l := range locked {
+			if l == re.r {
+				owned = true
+				break
+			}
+		}
+		if owned {
+			if re.r.tid != re.tid {
+				unlock()
+				tx.db.aborts.Add(1)
+				return ErrConflict
+			}
+			continue
+		}
+		re.r.mu.Lock()
+		changed := re.r.tid != re.tid
+		re.r.mu.Unlock()
+		if changed {
+			unlock()
+			tx.db.aborts.Add(1)
+			return ErrConflict
+		}
+	}
+	// Phase 3: install writes with a fresh TID.
+	tid := tx.db.nextTID.Add(1)
+	for _, k := range keys {
+		w := tx.writes[k]
+		w.r.val = w.val
+		w.r.tid = tid
+	}
+	unlock()
+	tx.db.commits.Add(1)
+	return nil
+}
+
+// RunTx executes fn inside a transaction, retrying on conflicts up to
+// maxRetries times.
+func (db *DB) RunTx(maxRetries int, fn func(tx *Tx) error) error {
+	if maxRetries < 1 {
+		maxRetries = 1
+	}
+	var err error
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		if attempt > 0 {
+			// Yield before retrying so the conflicting transaction can
+			// finish; OCC livelock is otherwise possible under heavy
+			// same-district contention (the TPC-C single-warehouse case).
+			runtime.Gosched()
+		}
+		tx := db.NewTx()
+		if err = fn(tx); err != nil {
+			if errors.Is(err, ErrConflict) {
+				continue
+			}
+			return err
+		}
+		if err = tx.Commit(); err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+	return fmt.Errorf("silo: giving up after %d attempts: %w", maxRetries, err)
+}

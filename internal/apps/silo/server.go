@@ -1,0 +1,191 @@
+package silo
+
+import (
+	"tailbench/internal/app"
+	"tailbench/internal/tpcc"
+)
+
+// defaultWarehouses matches the paper's silo configuration: TPC-C with one
+// warehouse.
+const defaultWarehouses = 1
+
+// Server is the silo application server.
+type Server struct {
+	engine *Engine
+}
+
+// NewServer populates the in-memory database. Scale multiplies the warehouse
+// count (minimum one warehouse).
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	w := int(float64(defaultWarehouses) * cfg.Scale)
+	if w < 1 {
+		w = 1
+	}
+	return &Server{engine: NewEngine(w, cfg.Seed)}, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "silo" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Engine exposes the OCC engine for white-box tests.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Request wire format:
+//   type(uint64) | warehouse | district | customer | amount | carrier |
+//   threshold | numLines | (item supplyWH quantity)*
+// Response wire format: ok(uint64) | value(uint64).
+
+// EncodeRequest serializes a TPC-C transaction input.
+func EncodeRequest(in tpcc.TxInput) app.Request {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(in.Type))
+	buf = app.AppendUint64Field(buf, uint64(in.Warehouse))
+	buf = app.AppendUint64Field(buf, uint64(in.District))
+	buf = app.AppendUint64Field(buf, uint64(in.Customer))
+	buf = app.AppendUint64Field(buf, uint64(in.Amount))
+	buf = app.AppendUint64Field(buf, uint64(in.Carrier))
+	buf = app.AppendUint64Field(buf, uint64(in.Threshold))
+	buf = app.AppendUint64Field(buf, uint64(len(in.Lines)))
+	for _, l := range in.Lines {
+		buf = app.AppendUint64Field(buf, uint64(l.Item))
+		buf = app.AppendUint64Field(buf, uint64(l.SupplyWH))
+		buf = app.AppendUint64Field(buf, uint64(l.Quantity))
+	}
+	return buf
+}
+
+// DecodeRequest parses a serialized TPC-C transaction input.
+func DecodeRequest(req app.Request) (tpcc.TxInput, error) {
+	var in tpcc.TxInput
+	fields := make([]uint64, 8)
+	rest := []byte(req)
+	var ok bool
+	for i := range fields {
+		fields[i], rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return in, app.BadRequestf("silo: truncated header")
+		}
+	}
+	in.Type = tpcc.TxType(fields[0])
+	in.Warehouse = int(fields[1])
+	in.District = int(fields[2])
+	in.Customer = int(fields[3])
+	in.Amount = int64(fields[4])
+	in.Carrier = int(fields[5])
+	in.Threshold = int(fields[6])
+	numLines := fields[7]
+	if numLines > 64 {
+		return in, app.BadRequestf("silo: unreasonable line count %d", numLines)
+	}
+	for i := uint64(0); i < numLines; i++ {
+		vals := make([]uint64, 3)
+		for j := range vals {
+			vals[j], rest, ok = app.ReadUint64Field(rest)
+			if !ok {
+				return in, app.BadRequestf("silo: truncated lines")
+			}
+		}
+		in.Lines = append(in.Lines, tpcc.OrderLineInput{Item: int(vals[0]), SupplyWH: int(vals[1]), Quantity: int(vals[2])})
+	}
+	return in, nil
+}
+
+// EncodeResponse serializes a transaction result.
+func EncodeResponse(res TxResult) app.Response {
+	var buf []byte
+	okVal := uint64(0)
+	if res.OK {
+		okVal = 1
+	}
+	buf = app.AppendUint64Field(buf, okVal)
+	buf = app.AppendUint64Field(buf, uint64(res.Value))
+	return buf
+}
+
+// DecodeResponse parses a transaction result.
+func DecodeResponse(resp app.Response) (ok bool, value int64, err error) {
+	o, rest, found := app.ReadUint64Field(resp)
+	if !found {
+		return false, 0, app.BadResponsef("silo: missing status")
+	}
+	v, _, found := app.ReadUint64Field(rest)
+	if !found {
+		return false, 0, app.BadResponsef("silo: missing value")
+	}
+	return o == 1, int64(v), nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	in, err := DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.engine.Execute(in)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeResponse(res), nil
+}
+
+// Client generates the TPC-C transaction mix.
+type Client struct {
+	gen *tpcc.Generator
+}
+
+// NewClient builds a transaction generator sized to the server's warehouse
+// count.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	w := int(float64(defaultWarehouses) * cfg.Scale)
+	if w < 1 {
+		w = 1
+	}
+	return &Client{gen: tpcc.NewGenerator(w, seed)}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	return EncodeRequest(c.gen.Next())
+}
+
+// CheckResponse implements app.Client.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	in, err := DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	ok, value, err := DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return app.BadResponsef("silo: %v transaction failed", in.Type)
+	}
+	if in.Type == tpcc.TxNewOrder && value <= 0 {
+		return app.BadResponsef("silo: new order total %d must be positive", value)
+	}
+	return nil
+}
+
+// Factory registers silo with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "silo" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

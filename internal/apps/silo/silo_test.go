@@ -1,0 +1,338 @@
+package silo
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tailbench/internal/app"
+	"tailbench/internal/tpcc"
+)
+
+func TestOCCBasicReadWrite(t *testing.T) {
+	db := NewDB()
+	db.LoadRow("t", "k1", 100)
+	tx := db.NewTx()
+	v, err := tx.Read("t", "k1")
+	if err != nil || v.(int) != 100 {
+		t.Fatalf("read: %v %v", v, err)
+	}
+	if _, err := tx.Read("t", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	tx.Write("t", "k2", 200)
+	// Reads observe the transaction's own writes.
+	if v, err := tx.Read("t", "k2"); err != nil || v.(int) != 200 {
+		t.Fatalf("read own write: %v %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed value is visible to later transactions.
+	tx2 := db.NewTx()
+	if v, err := tx2.Read("t", "k2"); err != nil || v.(int) != 200 {
+		t.Fatalf("read committed: %v %v", v, err)
+	}
+	commits, aborts := db.Stats()
+	if commits != 1 || aborts != 0 {
+		t.Errorf("stats: %d commits %d aborts", commits, aborts)
+	}
+}
+
+func TestOCCConflictDetection(t *testing.T) {
+	db := NewDB()
+	db.LoadRow("t", "k", 1)
+	// tx1 reads k; tx2 updates k and commits; tx1's commit (which also
+	// writes k based on the stale read) must abort.
+	tx1 := db.NewTx()
+	if _, err := tx1.Read("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	tx1.Write("t", "k", 10)
+
+	tx2 := db.NewTx()
+	if _, err := tx2.Read("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Write("t", "k", 20)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	// The winning write is in place.
+	tx3 := db.NewTx()
+	if v, _ := tx3.Read("t", "k"); v.(int) != 20 {
+		t.Fatalf("value = %v, want 20", v)
+	}
+}
+
+func TestOCCReadOnlyDoesNotConflict(t *testing.T) {
+	db := NewDB()
+	db.LoadRow("t", "a", 1)
+	tx := db.NewTx()
+	if _, err := tx.Read("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-only transaction should commit: %v", err)
+	}
+}
+
+func TestOCCLogicalDelete(t *testing.T) {
+	db := NewDB()
+	db.LoadRow("t", "k", 5)
+	tx := db.NewTx()
+	tx.Write("t", "k", nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.NewTx()
+	if _, err := tx2.Read("t", "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key should be missing, got %v", err)
+	}
+	if db.Table("t").Len() != 0 {
+		t.Errorf("table len should exclude deleted rows")
+	}
+}
+
+func TestOCCScan(t *testing.T) {
+	db := NewDB()
+	db.LoadRow("t", "k03", 3)
+	db.LoadRow("t", "k01", 1)
+	db.LoadRow("t", "k02", 2)
+	db.LoadRow("t", "k10", 10)
+	tx := db.NewTx()
+	var keys []string
+	n := tx.Scan("t", "k01", "k10", 0, func(k string, v interface{}) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if n != 3 || len(keys) != 3 {
+		t.Fatalf("scan visited %d", n)
+	}
+	if keys[0] != "k01" || keys[2] != "k03" {
+		t.Fatalf("scan order wrong: %v", keys)
+	}
+	// Limit and early stop.
+	if n := tx.Scan("t", "", "", 2, func(string, interface{}) bool { return true }); n != 2 {
+		t.Fatalf("limited scan visited %d", n)
+	}
+	if n := tx.Scan("t", "", "", 0, func(string, interface{}) bool { return false }); n != 1 {
+		t.Fatalf("early-stop scan visited %d", n)
+	}
+}
+
+func TestRunTxRetries(t *testing.T) {
+	db := NewDB()
+	db.LoadRow("t", "counter", 0)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := db.RunTx(100, func(tx *Tx) error {
+					v, err := tx.Read("t", "counter")
+					if err != nil {
+						return err
+					}
+					tx.Write("t", "counter", v.(int)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("increment failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx := db.NewTx()
+	v, _ := tx.Read("t", "counter")
+	if v.(int) != workers*perWorker {
+		t.Fatalf("counter = %v, want %d (lost updates under OCC)", v, workers*perWorker)
+	}
+	if _, aborts := db.Stats(); aborts == 0 {
+		t.Log("note: no aborts observed; contention was low but correctness holds")
+	}
+	// Non-conflict errors are returned as-is and not retried forever.
+	sentinel := errors.New("boom")
+	if err := db.RunTx(5, func(tx *Tx) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("non-conflict error should propagate, got %v", err)
+	}
+}
+
+func TestEnginePopulation(t *testing.T) {
+	e := NewEngine(1, 3)
+	db := e.DB()
+	if got := db.Table(tpcc.TableItem).Len(); got != tpcc.ItemsPerWarehouse {
+		t.Errorf("items = %d", got)
+	}
+	if got := db.Table(tpcc.TableCustomer).Len(); got != tpcc.DistrictsPerWarehouse*tpcc.CustomersPerDistrict {
+		t.Errorf("customers = %d", got)
+	}
+	if got := db.Table(tpcc.TableOrder).Len(); got != tpcc.DistrictsPerWarehouse*tpcc.InitialOrdersPerDist {
+		t.Errorf("orders = %d", got)
+	}
+	if db.Table(tpcc.TableNewOrder).Len() == 0 {
+		t.Error("some initial orders must be undelivered")
+	}
+	if e.Warehouses() != 1 {
+		t.Errorf("warehouses = %d", e.Warehouses())
+	}
+}
+
+func TestEngineTransactions(t *testing.T) {
+	e := NewEngine(1, 5)
+	gen := tpcc.NewGenerator(1, 7)
+
+	// NewOrder increments the district's next order id and is retrievable.
+	no := gen.NewOrderInput()
+	res, err := e.Execute(no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Value <= 0 {
+		t.Fatalf("new order result: %+v", res)
+	}
+	// OrderStatus for that customer now returns the new order's total.
+	osRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxOrderStatus, Warehouse: no.Warehouse, District: no.District, Customer: no.Customer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !osRes.OK || osRes.Value != res.Value {
+		t.Fatalf("order status total %d, want %d", osRes.Value, res.Value)
+	}
+
+	// Payment decreases the balance.
+	pay := tpcc.TxInput{Type: tpcc.TxPayment, Warehouse: 0, District: 0, Customer: 0, Amount: 5000}
+	pRes, err := e.Execute(pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pRes.OK {
+		t.Fatal("payment failed")
+	}
+
+	// Delivery delivers at least one order per district that has pending ones.
+	dRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxDelivery, Warehouse: 0, Carrier: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dRes.OK || dRes.Value == 0 {
+		t.Fatalf("delivery delivered %d orders", dRes.Value)
+	}
+
+	// StockLevel returns a non-negative count.
+	sRes, err := e.Execute(tpcc.TxInput{Type: tpcc.TxStockLevel, Warehouse: 0, District: 0, Threshold: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sRes.OK || sRes.Value < 0 {
+		t.Fatalf("stock level: %+v", sRes)
+	}
+
+	// Unknown type errors.
+	if _, err := e.Execute(tpcc.TxInput{Type: tpcc.TxType(99)}); err == nil {
+		t.Error("unknown transaction type should error")
+	}
+}
+
+func TestEngineConcurrentMix(t *testing.T) {
+	e := NewEngine(1, 9)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := tpcc.NewGenerator(1, seed)
+			for i := 0; i < 300; i++ {
+				if _, err := e.Execute(gen.Next()); err != nil {
+					t.Errorf("transaction failed: %v", err)
+					return
+				}
+			}
+		}(int64(w + 10))
+	}
+	wg.Wait()
+	commits, _ := e.DB().Stats()
+	if commits == 0 {
+		t.Error("no commits recorded")
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	in := tpcc.TxInput{
+		Type: tpcc.TxNewOrder, Warehouse: 0, District: 3, Customer: 42, Amount: 100, Carrier: 2, Threshold: 15,
+		Lines: []tpcc.OrderLineInput{{Item: 7, SupplyWH: 0, Quantity: 3}},
+	}
+	got, err := DecodeRequest(EncodeRequest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != in.Type || got.District != 3 || got.Customer != 42 || len(got.Lines) != 1 || got.Lines[0].Item != 7 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := DecodeRequest([]byte{1}); err == nil {
+		t.Error("truncated request should fail")
+	}
+	ok, value, err := DecodeResponse(EncodeResponse(TxResult{OK: true, Value: -77}))
+	if err != nil || !ok || value != -77 {
+		t.Fatalf("response round trip: %v %d %v", ok, value, err)
+	}
+	if _, _, err := DecodeResponse([]byte{1}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	cfg := app.Config{Seed: 3}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "silo" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	client, err := NewClient(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d validation: %v", i, err)
+		}
+	}
+	if _, err := srv.Process([]byte{1, 2, 3}); err == nil {
+		t.Error("malformed request should error")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "silo" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Process(cl.NextRequest()); err != nil {
+		t.Fatal(err)
+	}
+}

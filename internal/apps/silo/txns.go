@@ -1,0 +1,329 @@
+package silo
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tailbench/internal/tpcc"
+	"tailbench/internal/workload"
+)
+
+// maxTxRetries bounds OCC retry loops. Single-warehouse TPC-C concentrates
+// every NewOrder on one of ten district rows, so bursts of conflicts are
+// normal; the engine retries generously (as Silo does) rather than surfacing
+// aborts to clients.
+const maxTxRetries = 200
+
+// Engine is the TPC-C application logic running over the OCC database.
+type Engine struct {
+	db         *DB
+	warehouses int
+	histSeq    atomic.Uint64
+}
+
+// NewEngine populates a fresh database with the TPC-C dataset.
+func NewEngine(warehouses int, seed int64) *Engine {
+	if warehouses < 1 {
+		warehouses = 1
+	}
+	e := &Engine{db: NewDB(), warehouses: warehouses}
+	r := workload.NewRand(workload.SplitSeed(seed, 111))
+	for i := 0; i < tpcc.ItemsPerWarehouse; i++ {
+		item := tpcc.MakeItem(i, r)
+		e.db.LoadRow(tpcc.TableItem, tpcc.ItemKey(i), item)
+	}
+	for w := 0; w < warehouses; w++ {
+		e.db.LoadRow(tpcc.TableWarehouse, tpcc.WarehouseKey(w), tpcc.MakeWarehouse(w))
+		for i := 0; i < tpcc.ItemsPerWarehouse; i++ {
+			e.db.LoadRow(tpcc.TableStock, tpcc.StockKey(w, i), tpcc.MakeStock(w, i, r))
+		}
+		for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+			e.db.LoadRow(tpcc.TableDistrict, tpcc.DistrictKey(w, d), tpcc.MakeDistrict(w, d))
+			for c := 0; c < tpcc.CustomersPerDistrict; c++ {
+				e.db.LoadRow(tpcc.TableCustomer, tpcc.CustomerKey(w, d, c), tpcc.MakeCustomer(w, d, c, r))
+			}
+			for o := 1; o <= tpcc.InitialOrdersPerDist; o++ {
+				order, lines := tpcc.MakeInitialOrder(w, d, o, r)
+				e.db.LoadRow(tpcc.TableOrder, tpcc.OrderKey(w, d, o), order)
+				e.db.LoadRow(tpcc.TableCustomerOrder, tpcc.CustomerOrderKey(w, d, order.Customer), o)
+				for _, ol := range lines {
+					e.db.LoadRow(tpcc.TableOrderLine, tpcc.OrderLineKey(w, d, o, ol.Number), ol)
+				}
+				if order.Carrier == 0 {
+					e.db.LoadRow(tpcc.TableNewOrder, tpcc.NewOrderKey(w, d, o), tpcc.NewOrderEntry{Order: o, District: d, Warehouse: w})
+				}
+			}
+		}
+	}
+	return e
+}
+
+// DB exposes the underlying database for white-box tests.
+func (e *Engine) DB() *DB { return e.db }
+
+// Warehouses returns the configured warehouse count.
+func (e *Engine) Warehouses() int { return e.warehouses }
+
+// TxResult is the summarized outcome of a transaction, returned to clients.
+type TxResult struct {
+	Type    tpcc.TxType
+	OK      bool
+	Value   int64 // transaction-specific scalar (order total, balance, count)
+	Retries int
+}
+
+// Execute runs one TPC-C transaction to completion (with OCC retries).
+func (e *Engine) Execute(in tpcc.TxInput) (TxResult, error) {
+	switch in.Type {
+	case tpcc.TxNewOrder:
+		return e.newOrder(in)
+	case tpcc.TxPayment:
+		return e.payment(in)
+	case tpcc.TxOrderStatus:
+		return e.orderStatus(in)
+	case tpcc.TxDelivery:
+		return e.delivery(in)
+	case tpcc.TxStockLevel:
+		return e.stockLevel(in)
+	default:
+		return TxResult{}, fmt.Errorf("silo: unknown transaction type %d", in.Type)
+	}
+}
+
+func (e *Engine) newOrder(in tpcc.TxInput) (TxResult, error) {
+	var total int64
+	err := e.db.RunTx(maxTxRetries, func(tx *Tx) error {
+		total = 0
+		dv, err := tx.Read(tpcc.TableDistrict, tpcc.DistrictKey(in.Warehouse, in.District))
+		if err != nil {
+			return err
+		}
+		district := dv.(tpcc.District)
+		orderID := district.NextOrderID
+		district.NextOrderID++
+		tx.Write(tpcc.TableDistrict, tpcc.DistrictKey(in.Warehouse, in.District), district)
+
+		cv, err := tx.Read(tpcc.TableCustomer, tpcc.CustomerKey(in.Warehouse, in.District, in.Customer))
+		if err != nil {
+			return err
+		}
+		customer := cv.(tpcc.Customer)
+
+		allLocal := true
+		for i, line := range in.Lines {
+			iv, err := tx.Read(tpcc.TableItem, tpcc.ItemKey(line.Item))
+			if err != nil {
+				return err
+			}
+			item := iv.(tpcc.Item)
+			sv, err := tx.Read(tpcc.TableStock, tpcc.StockKey(line.SupplyWH, line.Item))
+			if err != nil {
+				return err
+			}
+			stock := sv.(tpcc.Stock)
+			if stock.Quantity >= line.Quantity+10 {
+				stock.Quantity -= line.Quantity
+			} else {
+				stock.Quantity = stock.Quantity - line.Quantity + 91
+			}
+			stock.YTD += int64(line.Quantity)
+			stock.OrderCnt++
+			if line.SupplyWH != in.Warehouse {
+				stock.RemoteCnt++
+				allLocal = false
+			}
+			tx.Write(tpcc.TableStock, tpcc.StockKey(line.SupplyWH, line.Item), stock)
+
+			amount := item.Price * int64(line.Quantity)
+			total += amount
+			ol := tpcc.OrderLine{
+				Order: orderID, District: in.District, Warehouse: in.Warehouse,
+				Number: i + 1, Item: line.Item, SupplyWH: line.SupplyWH,
+				Quantity: line.Quantity, Amount: amount,
+			}
+			tx.Write(tpcc.TableOrderLine, tpcc.OrderLineKey(in.Warehouse, in.District, orderID, i+1), ol)
+		}
+		order := tpcc.Order{
+			ID: orderID, District: in.District, Warehouse: in.Warehouse,
+			Customer: in.Customer, LineCount: len(in.Lines), AllLocal: allLocal,
+		}
+		tx.Write(tpcc.TableOrder, tpcc.OrderKey(in.Warehouse, in.District, orderID), order)
+		tx.Write(tpcc.TableNewOrder, tpcc.NewOrderKey(in.Warehouse, in.District, orderID),
+			tpcc.NewOrderEntry{Order: orderID, District: in.District, Warehouse: in.Warehouse})
+		tx.Write(tpcc.TableCustomerOrder, tpcc.CustomerOrderKey(in.Warehouse, in.District, in.Customer), orderID)
+		_ = customer // customer credit is read per TPC-C but not modified here
+		return nil
+	})
+	if err != nil {
+		return TxResult{Type: in.Type}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: total}, nil
+}
+
+func (e *Engine) payment(in tpcc.TxInput) (TxResult, error) {
+	var balance int64
+	err := e.db.RunTx(maxTxRetries, func(tx *Tx) error {
+		wv, err := tx.Read(tpcc.TableWarehouse, tpcc.WarehouseKey(in.Warehouse))
+		if err != nil {
+			return err
+		}
+		warehouse := wv.(tpcc.Warehouse)
+		warehouse.YTD += in.Amount
+		tx.Write(tpcc.TableWarehouse, tpcc.WarehouseKey(in.Warehouse), warehouse)
+
+		dv, err := tx.Read(tpcc.TableDistrict, tpcc.DistrictKey(in.Warehouse, in.District))
+		if err != nil {
+			return err
+		}
+		district := dv.(tpcc.District)
+		district.YTD += in.Amount
+		tx.Write(tpcc.TableDistrict, tpcc.DistrictKey(in.Warehouse, in.District), district)
+
+		cv, err := tx.Read(tpcc.TableCustomer, tpcc.CustomerKey(in.Warehouse, in.District, in.Customer))
+		if err != nil {
+			return err
+		}
+		customer := cv.(tpcc.Customer)
+		customer.Balance -= in.Amount
+		customer.YTDPayment += in.Amount
+		customer.PaymentCount++
+		balance = customer.Balance
+		tx.Write(tpcc.TableCustomer, tpcc.CustomerKey(in.Warehouse, in.District, in.Customer), customer)
+
+		seq := int(e.histSeq.Add(1))
+		tx.Write(tpcc.TableHistory, tpcc.HistoryKey(in.Warehouse, in.District, in.Customer, seq),
+			tpcc.History{Customer: in.Customer, District: in.District, Warehouse: in.Warehouse, Amount: in.Amount})
+		return nil
+	})
+	if err != nil {
+		return TxResult{Type: in.Type}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: balance}, nil
+}
+
+func (e *Engine) orderStatus(in tpcc.TxInput) (TxResult, error) {
+	var total int64
+	err := e.db.RunTx(maxTxRetries, func(tx *Tx) error {
+		total = 0
+		ov, err := tx.Read(tpcc.TableCustomerOrder, tpcc.CustomerOrderKey(in.Warehouse, in.District, in.Customer))
+		if err != nil {
+			return err
+		}
+		orderID := ov.(int)
+		orderVal, err := tx.Read(tpcc.TableOrder, tpcc.OrderKey(in.Warehouse, in.District, orderID))
+		if err != nil {
+			return err
+		}
+		order := orderVal.(tpcc.Order)
+		for l := 1; l <= order.LineCount; l++ {
+			lv, err := tx.Read(tpcc.TableOrderLine, tpcc.OrderLineKey(in.Warehouse, in.District, orderID, l))
+			if err != nil {
+				return err
+			}
+			total += lv.(tpcc.OrderLine).Amount
+		}
+		return nil
+	})
+	if err != nil {
+		return TxResult{Type: in.Type}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: total}, nil
+}
+
+func (e *Engine) delivery(in tpcc.TxInput) (TxResult, error) {
+	var delivered int64
+	err := e.db.RunTx(maxTxRetries, func(tx *Tx) error {
+		delivered = 0
+		for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+			// Oldest undelivered order of the district.
+			start := tpcc.NewOrderKey(in.Warehouse, d, 0)
+			end := tpcc.NewOrderKey(in.Warehouse, d, 99999999)
+			var oldestKey string
+			var oldest tpcc.NewOrderEntry
+			tx.Scan(tpcc.TableNewOrder, start, end, 1, func(key string, val interface{}) bool {
+				oldestKey = key
+				oldest = val.(tpcc.NewOrderEntry)
+				return false
+			})
+			if oldestKey == "" {
+				continue
+			}
+			tx.Write(tpcc.TableNewOrder, oldestKey, nil) // delete from the queue
+			ov, err := tx.Read(tpcc.TableOrder, tpcc.OrderKey(in.Warehouse, d, oldest.Order))
+			if err != nil {
+				return err
+			}
+			order := ov.(tpcc.Order)
+			order.Carrier = in.Carrier
+			tx.Write(tpcc.TableOrder, tpcc.OrderKey(in.Warehouse, d, oldest.Order), order)
+			var total int64
+			for l := 1; l <= order.LineCount; l++ {
+				lv, err := tx.Read(tpcc.TableOrderLine, tpcc.OrderLineKey(in.Warehouse, d, oldest.Order, l))
+				if err != nil {
+					return err
+				}
+				total += lv.(tpcc.OrderLine).Amount
+			}
+			cv, err := tx.Read(tpcc.TableCustomer, tpcc.CustomerKey(in.Warehouse, d, order.Customer))
+			if err != nil {
+				return err
+			}
+			customer := cv.(tpcc.Customer)
+			customer.Balance += total
+			customer.DeliveryCnt++
+			tx.Write(tpcc.TableCustomer, tpcc.CustomerKey(in.Warehouse, d, order.Customer), customer)
+			delivered++
+		}
+		return nil
+	})
+	if err != nil {
+		return TxResult{Type: in.Type}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: delivered}, nil
+}
+
+func (e *Engine) stockLevel(in tpcc.TxInput) (TxResult, error) {
+	var low int64
+	err := e.db.RunTx(maxTxRetries, func(tx *Tx) error {
+		low = 0
+		dv, err := tx.Read(tpcc.TableDistrict, tpcc.DistrictKey(in.Warehouse, in.District))
+		if err != nil {
+			return err
+		}
+		district := dv.(tpcc.District)
+		seen := make(map[int]bool)
+		for o := district.NextOrderID - 20; o < district.NextOrderID; o++ {
+			if o < 1 {
+				continue
+			}
+			ov, err := tx.Read(tpcc.TableOrder, tpcc.OrderKey(in.Warehouse, in.District, o))
+			if err != nil {
+				continue // order ids may have gaps near the start
+			}
+			order := ov.(tpcc.Order)
+			for l := 1; l <= order.LineCount; l++ {
+				lv, err := tx.Read(tpcc.TableOrderLine, tpcc.OrderLineKey(in.Warehouse, in.District, o, l))
+				if err != nil {
+					continue
+				}
+				item := lv.(tpcc.OrderLine).Item
+				if seen[item] {
+					continue
+				}
+				seen[item] = true
+				sv, err := tx.Read(tpcc.TableStock, tpcc.StockKey(in.Warehouse, item))
+				if err != nil {
+					continue
+				}
+				if sv.(tpcc.Stock).Quantity < in.Threshold {
+					low++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return TxResult{Type: in.Type}, err
+	}
+	return TxResult{Type: in.Type, OK: true, Value: low}, nil
+}

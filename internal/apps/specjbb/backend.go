@@ -1,0 +1,316 @@
+// Package specjbb implements the TailBench Java-middleware benchmark: a
+// three-tier wholesale-company system in the spirit of SPECjbb (Sec. III).
+// Tier 1 is the request front end (Process), tier 2 is the business logic
+// (the transaction methods below), and tier 3 is the in-memory backing store
+// (the per-warehouse maps). Requests follow the SPECjbb operation mix:
+// new orders, payments, order status queries, deliveries, stock-level
+// checks, and customer reports.
+package specjbb
+
+import (
+	"fmt"
+	"sync"
+
+	"tailbench/internal/workload"
+)
+
+// Dataset sizing per warehouse, following the SPECjbb/TPC-C wholesale model.
+const (
+	districtsPerWarehouse = 10
+	customersPerDistrict  = 300
+	itemsPerCompany       = 2000
+	initialOrdersPerDist  = 100
+)
+
+// Customer is a wholesale customer account.
+type Customer struct {
+	ID       int
+	District int
+	Name     string
+	Balance  int64 // cents
+	Payments int
+	Orders   int
+}
+
+// OrderLine is one item of an order.
+type OrderLine struct {
+	ItemID   int
+	Quantity int
+	Amount   int64
+}
+
+// Order is a customer order.
+type Order struct {
+	ID        int
+	District  int
+	Customer  int
+	Lines     []OrderLine
+	Total     int64
+	Delivered bool
+}
+
+// district holds per-district state: its customers, orders, and the next
+// order number.
+type district struct {
+	nextOrderID int
+	customers   map[int]*Customer
+	orders      map[int]*Order
+	undelivered []int // order IDs pending delivery, FIFO
+	ytd         int64
+}
+
+// warehouse is one warehouse of the wholesale company; it is the unit of
+// locking, as in SPECjbb where warehouses are the unit of parallelism.
+type warehouse struct {
+	mu        sync.Mutex
+	id        int
+	districts []*district
+	stock     map[int]int // item -> quantity
+	ytd       int64
+}
+
+// Company is the tier-3 backing store: all warehouses plus the item catalog.
+type Company struct {
+	warehouses []*warehouse
+	items      map[int]int64 // item -> price (cents)
+}
+
+// NewCompany populates numWarehouses warehouses.
+func NewCompany(numWarehouses int, seed int64) *Company {
+	if numWarehouses < 1 {
+		numWarehouses = 1
+	}
+	r := workload.NewRand(workload.SplitSeed(seed, 81))
+	c := &Company{items: make(map[int]int64, itemsPerCompany)}
+	for i := 0; i < itemsPerCompany; i++ {
+		c.items[i] = int64(100 + r.Intn(9900)) // $1 .. $100
+	}
+	for w := 0; w < numWarehouses; w++ {
+		wh := &warehouse{id: w, stock: make(map[int]int, itemsPerCompany)}
+		for i := 0; i < itemsPerCompany; i++ {
+			wh.stock[i] = 50 + r.Intn(50)
+		}
+		for d := 0; d < districtsPerWarehouse; d++ {
+			dist := &district{
+				nextOrderID: 1,
+				customers:   make(map[int]*Customer, customersPerDistrict),
+				orders:      make(map[int]*Order),
+			}
+			for cid := 0; cid < customersPerDistrict; cid++ {
+				dist.customers[cid] = &Customer{
+					ID:       cid,
+					District: d,
+					Name:     fmt.Sprintf("customer-%d-%d-%d", w, d, cid),
+					Balance:  0,
+				}
+			}
+			// Preload order history: every customer gets one order (so
+			// order-status queries always find one, as in TPC-C population)
+			// plus extra orders for random customers.
+			for o := 0; o < customersPerDistrict+initialOrdersPerDist; o++ {
+				cid := o
+				if cid >= customersPerDistrict {
+					cid = r.Intn(customersPerDistrict)
+				}
+				order := buildOrder(dist.nextOrderID, d, cid, c.items, r.Intn(10)+5, r)
+				dist.orders[order.ID] = order
+				dist.customers[cid].Orders++
+				dist.nextOrderID++
+				if o%3 == 0 {
+					dist.undelivered = append(dist.undelivered, order.ID)
+				} else {
+					order.Delivered = true
+				}
+			}
+			wh.districts = append(wh.districts, dist)
+		}
+		c.warehouses = append(c.warehouses, wh)
+	}
+	return c
+}
+
+// buildOrder assembles an order with numLines random items.
+func buildOrder(id, districtID, customerID int, items map[int]int64, numLines int, r interface{ Intn(int) int }) *Order {
+	o := &Order{ID: id, District: districtID, Customer: customerID}
+	for l := 0; l < numLines; l++ {
+		item := r.Intn(itemsPerCompany)
+		qty := 1 + r.Intn(10)
+		amount := items[item] * int64(qty)
+		o.Lines = append(o.Lines, OrderLine{ItemID: item, Quantity: qty, Amount: amount})
+		o.Total += amount
+	}
+	return o
+}
+
+// NumWarehouses returns the company size.
+func (c *Company) NumWarehouses() int { return len(c.warehouses) }
+
+// NewOrder places an order for the given customer with the given item lines,
+// updating stock levels. It returns the assigned order ID and total price.
+func (c *Company) NewOrder(w, d, customer int, lines []OrderLine) (orderID int, total int64, err error) {
+	wh, dist, err := c.locate(w, d)
+	if err != nil {
+		return 0, 0, err
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	cust, ok := dist.customers[customer]
+	if !ok {
+		return 0, 0, fmt.Errorf("specjbb: no customer %d in warehouse %d district %d", customer, w, d)
+	}
+	order := &Order{ID: dist.nextOrderID, District: d, Customer: customer}
+	dist.nextOrderID++
+	for _, l := range lines {
+		price, ok := c.items[l.ItemID]
+		if !ok {
+			return 0, 0, fmt.Errorf("specjbb: no item %d", l.ItemID)
+		}
+		// Replenish stock when it runs low, as the TPC-C/SPECjbb rules do.
+		if wh.stock[l.ItemID] < l.Quantity {
+			wh.stock[l.ItemID] += 100
+		}
+		wh.stock[l.ItemID] -= l.Quantity
+		amount := price * int64(l.Quantity)
+		order.Lines = append(order.Lines, OrderLine{ItemID: l.ItemID, Quantity: l.Quantity, Amount: amount})
+		order.Total += amount
+	}
+	dist.orders[order.ID] = order
+	dist.undelivered = append(dist.undelivered, order.ID)
+	cust.Orders++
+	return order.ID, order.Total, nil
+}
+
+// Payment applies a customer payment.
+func (c *Company) Payment(w, d, customer int, amount int64) (newBalance int64, err error) {
+	wh, dist, err := c.locate(w, d)
+	if err != nil {
+		return 0, err
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	cust, ok := dist.customers[customer]
+	if !ok {
+		return 0, fmt.Errorf("specjbb: no customer %d", customer)
+	}
+	cust.Balance -= amount
+	cust.Payments++
+	dist.ytd += amount
+	wh.ytd += amount
+	return cust.Balance, nil
+}
+
+// OrderStatus returns the most recent order of a customer.
+func (c *Company) OrderStatus(w, d, customer int) (*Order, error) {
+	wh, dist, err := c.locate(w, d)
+	if err != nil {
+		return nil, err
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	var latest *Order
+	for _, o := range dist.orders {
+		if o.Customer == customer && (latest == nil || o.ID > latest.ID) {
+			latest = o
+		}
+	}
+	if latest == nil {
+		return nil, fmt.Errorf("specjbb: customer %d has no orders", customer)
+	}
+	// Return a copy so callers can use it outside the lock.
+	cp := *latest
+	cp.Lines = append([]OrderLine(nil), latest.Lines...)
+	return &cp, nil
+}
+
+// Delivery delivers up to batch oldest undelivered orders in each district
+// of the warehouse, returning how many were delivered.
+func (c *Company) Delivery(w int, batch int) (int, error) {
+	if w < 0 || w >= len(c.warehouses) {
+		return 0, fmt.Errorf("specjbb: no warehouse %d", w)
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	wh := c.warehouses[w]
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	delivered := 0
+	for _, dist := range wh.districts {
+		for i := 0; i < batch && len(dist.undelivered) > 0; i++ {
+			id := dist.undelivered[0]
+			dist.undelivered = dist.undelivered[1:]
+			if o, ok := dist.orders[id]; ok && !o.Delivered {
+				o.Delivered = true
+				if cust, ok := dist.customers[o.Customer]; ok {
+					cust.Balance += o.Total
+				}
+				delivered++
+			}
+		}
+	}
+	return delivered, nil
+}
+
+// StockLevel counts items in the warehouse whose stock is below threshold
+// among items referenced by the district's recent orders.
+func (c *Company) StockLevel(w, d, threshold int) (int, error) {
+	wh, dist, err := c.locate(w, d)
+	if err != nil {
+		return 0, err
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	// Examine the last 20 orders of the district.
+	start := dist.nextOrderID - 20
+	low := 0
+	seen := make(map[int]bool)
+	for id := start; id < dist.nextOrderID; id++ {
+		o, ok := dist.orders[id]
+		if !ok {
+			continue
+		}
+		for _, l := range o.Lines {
+			if seen[l.ItemID] {
+				continue
+			}
+			seen[l.ItemID] = true
+			if wh.stock[l.ItemID] < threshold {
+				low++
+			}
+		}
+	}
+	return low, nil
+}
+
+// CustomerReport summarizes a customer's account: balance, payment count,
+// and total value of their recent orders.
+func (c *Company) CustomerReport(w, d, customer int) (balance int64, payments int, recentTotal int64, err error) {
+	wh, dist, err := c.locate(w, d)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wh.mu.Lock()
+	defer wh.mu.Unlock()
+	cust, ok := dist.customers[customer]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("specjbb: no customer %d", customer)
+	}
+	for _, o := range dist.orders {
+		if o.Customer == customer {
+			recentTotal += o.Total
+		}
+	}
+	return cust.Balance, cust.Payments, recentTotal, nil
+}
+
+// locate resolves warehouse and district indices.
+func (c *Company) locate(w, d int) (*warehouse, *district, error) {
+	if w < 0 || w >= len(c.warehouses) {
+		return nil, nil, fmt.Errorf("specjbb: no warehouse %d", w)
+	}
+	wh := c.warehouses[w]
+	if d < 0 || d >= len(wh.districts) {
+		return nil, nil, fmt.Errorf("specjbb: no district %d", d)
+	}
+	return wh, wh.districts[d], nil
+}

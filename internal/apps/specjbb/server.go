@@ -1,0 +1,287 @@
+package specjbb
+
+import (
+	"math/rand"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+// OpType enumerates the SPECjbb-style business operations.
+type OpType uint64
+
+// Business operations and their mix weights (percent), following the
+// SPECjbb wholesale-company transaction mix.
+const (
+	OpNewOrder OpType = iota
+	OpPayment
+	OpOrderStatus
+	OpDelivery
+	OpStockLevel
+	OpCustomerReport
+)
+
+// opMix is the cumulative probability distribution of operations.
+var opMix = []struct {
+	op     OpType
+	weight float64
+}{
+	{OpNewOrder, 0.303},
+	{OpPayment, 0.303},
+	{OpCustomerReport, 0.303},
+	{OpOrderStatus, 0.031},
+	{OpDelivery, 0.030},
+	{OpStockLevel, 0.030},
+}
+
+// defaultWarehouses is the company size at Scale = 1.0.
+const defaultWarehouses = 4
+
+// Server is the specjbb application server.
+type Server struct {
+	company *Company
+}
+
+// NewServer builds and populates the wholesale company.
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	n := int(float64(defaultWarehouses) * cfg.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return &Server{company: NewCompany(n, cfg.Seed)}, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "specjbb" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Company exposes the backing store for white-box tests.
+func (s *Server) Company() *Company { return s.company }
+
+// Request wire format:
+//
+//	op(uint64) | warehouse(uint64) | district(uint64) | customer(uint64) |
+//	amount(uint64) | numLines(uint64) | (item(uint64) qty(uint64))*
+//
+// Response wire format: status(uint64) | value(uint64).
+const (
+	statusOK     = 0
+	statusFailed = 1
+)
+
+// Request is a decoded specjbb request.
+type Request struct {
+	Op        OpType
+	Warehouse int
+	District  int
+	Customer  int
+	Amount    int64
+	Lines     []OrderLine
+}
+
+// EncodeRequest serializes a business operation.
+func EncodeRequest(r Request) app.Request {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(r.Op))
+	buf = app.AppendUint64Field(buf, uint64(r.Warehouse))
+	buf = app.AppendUint64Field(buf, uint64(r.District))
+	buf = app.AppendUint64Field(buf, uint64(r.Customer))
+	buf = app.AppendUint64Field(buf, uint64(r.Amount))
+	buf = app.AppendUint64Field(buf, uint64(len(r.Lines)))
+	for _, l := range r.Lines {
+		buf = app.AppendUint64Field(buf, uint64(l.ItemID))
+		buf = app.AppendUint64Field(buf, uint64(l.Quantity))
+	}
+	return buf
+}
+
+// DecodeRequest parses a serialized business operation.
+func DecodeRequest(req app.Request) (Request, error) {
+	var out Request
+	fields := make([]uint64, 6)
+	rest := []byte(req)
+	var ok bool
+	for i := range fields {
+		fields[i], rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return out, app.BadRequestf("specjbb: truncated header")
+		}
+	}
+	out.Op = OpType(fields[0])
+	out.Warehouse = int(fields[1])
+	out.District = int(fields[2])
+	out.Customer = int(fields[3])
+	out.Amount = int64(fields[4])
+	numLines := fields[5]
+	if numLines > 64 {
+		return out, app.BadRequestf("specjbb: unreasonable line count %d", numLines)
+	}
+	for i := uint64(0); i < numLines; i++ {
+		var item, qty uint64
+		item, rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return out, app.BadRequestf("specjbb: truncated lines")
+		}
+		qty, rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return out, app.BadRequestf("specjbb: truncated lines")
+		}
+		out.Lines = append(out.Lines, OrderLine{ItemID: int(item), Quantity: int(qty)})
+	}
+	return out, nil
+}
+
+// EncodeResponse serializes an operation result.
+func EncodeResponse(status uint64, value int64) app.Response {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, status)
+	buf = app.AppendUint64Field(buf, uint64(value))
+	return buf
+}
+
+// DecodeResponse parses an operation result.
+func DecodeResponse(resp app.Response) (status uint64, value int64, err error) {
+	s, rest, ok := app.ReadUint64Field(resp)
+	if !ok {
+		return 0, 0, app.BadResponsef("specjbb: missing status")
+	}
+	v, _, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return 0, 0, app.BadResponsef("specjbb: missing value")
+	}
+	return s, int64(v), nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(reqBytes app.Request) (app.Response, error) {
+	r, err := DecodeRequest(reqBytes)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		value  int64
+		opErr  error
+		status uint64 = statusOK
+	)
+	switch r.Op {
+	case OpNewOrder:
+		_, total, err := s.company.NewOrder(r.Warehouse, r.District, r.Customer, r.Lines)
+		value, opErr = total, err
+	case OpPayment:
+		value, opErr = s.company.Payment(r.Warehouse, r.District, r.Customer, r.Amount)
+	case OpOrderStatus:
+		var o *Order
+		o, opErr = s.company.OrderStatus(r.Warehouse, r.District, r.Customer)
+		if opErr == nil {
+			value = o.Total
+		}
+	case OpDelivery:
+		var n int
+		n, opErr = s.company.Delivery(r.Warehouse, int(r.Amount))
+		value = int64(n)
+	case OpStockLevel:
+		var n int
+		n, opErr = s.company.StockLevel(r.Warehouse, r.District, int(r.Amount))
+		value = int64(n)
+	case OpCustomerReport:
+		var balance, total int64
+		balance, _, total, opErr = s.company.CustomerReport(r.Warehouse, r.District, r.Customer)
+		value = balance + total
+	default:
+		return nil, app.BadRequestf("specjbb: unknown op %d", r.Op)
+	}
+	if opErr != nil {
+		status = statusFailed
+	}
+	return EncodeResponse(status, value), nil
+}
+
+// Client generates the SPECjbb operation mix.
+type Client struct {
+	r          *rand.Rand
+	warehouses int
+}
+
+// NewClient returns a request generator sized to the server's company.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	n := int(float64(defaultWarehouses) * cfg.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return &Client{r: workload.NewRand(seed), warehouses: n}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	p := c.r.Float64()
+	var op OpType
+	cum := 0.0
+	for _, m := range opMix {
+		cum += m.weight
+		if p < cum {
+			op = m.op
+			break
+		}
+	}
+	req := Request{
+		Op:        op,
+		Warehouse: c.r.Intn(c.warehouses),
+		District:  c.r.Intn(districtsPerWarehouse),
+		Customer:  c.r.Intn(customersPerDistrict),
+	}
+	switch op {
+	case OpNewOrder:
+		lines := 5 + c.r.Intn(11)
+		for i := 0; i < lines; i++ {
+			req.Lines = append(req.Lines, OrderLine{ItemID: c.r.Intn(itemsPerCompany), Quantity: 1 + c.r.Intn(10)})
+		}
+	case OpPayment:
+		req.Amount = int64(100 + c.r.Intn(500000))
+	case OpDelivery:
+		req.Amount = int64(1 + c.r.Intn(3)) // batch size
+	case OpStockLevel:
+		req.Amount = int64(60 + c.r.Intn(30)) // threshold
+	}
+	return EncodeRequest(req)
+}
+
+// CheckResponse implements app.Client.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	r, err := DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	status, value, err := DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return app.BadResponsef("specjbb: op %d failed", r.Op)
+	}
+	if r.Op == OpNewOrder && value <= 0 {
+		return app.BadResponsef("specjbb: new order total %d must be positive", value)
+	}
+	return nil
+}
+
+// Factory registers specjbb with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "specjbb" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

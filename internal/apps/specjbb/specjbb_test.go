@@ -1,0 +1,313 @@
+package specjbb
+
+import (
+	"sync"
+	"testing"
+
+	"tailbench/internal/app"
+)
+
+func newTestCompany(t *testing.T) *Company {
+	t.Helper()
+	return NewCompany(2, 7)
+}
+
+func TestNewCompanyPopulation(t *testing.T) {
+	c := newTestCompany(t)
+	if c.NumWarehouses() != 2 {
+		t.Fatalf("warehouses = %d", c.NumWarehouses())
+	}
+	if len(c.items) != itemsPerCompany {
+		t.Fatalf("items = %d", len(c.items))
+	}
+	for _, wh := range c.warehouses {
+		if len(wh.districts) != districtsPerWarehouse {
+			t.Fatalf("districts = %d", len(wh.districts))
+		}
+		for _, d := range wh.districts {
+			if len(d.customers) != customersPerDistrict {
+				t.Fatalf("customers = %d", len(d.customers))
+			}
+			if len(d.orders) != customersPerDistrict+initialOrdersPerDist {
+				t.Fatalf("preloaded orders = %d", len(d.orders))
+			}
+		}
+	}
+	// Clamping.
+	if NewCompany(0, 1).NumWarehouses() != 1 {
+		t.Error("warehouse count should clamp to 1")
+	}
+}
+
+func TestNewOrderUpdatesState(t *testing.T) {
+	c := newTestCompany(t)
+	lines := []OrderLine{{ItemID: 1, Quantity: 3}, {ItemID: 2, Quantity: 1}}
+	before := c.warehouses[0].stock[1]
+	id, total, err := c.NewOrder(0, 0, 5, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= customersPerDistrict+initialOrdersPerDist {
+		t.Errorf("order id %d should continue after preload", id)
+	}
+	want := c.items[1]*3 + c.items[2]*1
+	if total != want {
+		t.Errorf("total = %d, want %d", total, want)
+	}
+	if got := c.warehouses[0].stock[1]; got != before-3 {
+		t.Errorf("stock not decremented: %d -> %d", before, got)
+	}
+	// Errors.
+	if _, _, err := c.NewOrder(9, 0, 0, lines); err == nil {
+		t.Error("bad warehouse should error")
+	}
+	if _, _, err := c.NewOrder(0, 99, 0, lines); err == nil {
+		t.Error("bad district should error")
+	}
+	if _, _, err := c.NewOrder(0, 0, 9999, lines); err == nil {
+		t.Error("bad customer should error")
+	}
+	if _, _, err := c.NewOrder(0, 0, 0, []OrderLine{{ItemID: 999999, Quantity: 1}}); err == nil {
+		t.Error("bad item should error")
+	}
+}
+
+func TestNewOrderStockReplenishment(t *testing.T) {
+	c := newTestCompany(t)
+	c.warehouses[0].stock[3] = 1
+	if _, _, err := c.NewOrder(0, 0, 0, []OrderLine{{ItemID: 3, Quantity: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.warehouses[0].stock[3]; got != 91 {
+		t.Errorf("stock after replenish = %d, want 91", got)
+	}
+}
+
+func TestPaymentAndReport(t *testing.T) {
+	c := newTestCompany(t)
+	bal, err := c.Payment(0, 1, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != -1000 {
+		t.Errorf("balance = %d, want -1000", bal)
+	}
+	balance, payments, recent, err := c.CustomerReport(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balance != -1000 || payments != 1 {
+		t.Errorf("report balance=%d payments=%d", balance, payments)
+	}
+	if recent < 0 {
+		t.Errorf("recent total should be non-negative")
+	}
+	if _, err := c.Payment(0, 0, 99999, 5); err == nil {
+		t.Error("bad customer should error")
+	}
+	if _, _, _, err := c.CustomerReport(5, 0, 0); err == nil {
+		t.Error("bad warehouse should error")
+	}
+}
+
+func TestOrderStatusAndDelivery(t *testing.T) {
+	c := newTestCompany(t)
+	// Place an order so the customer definitely has one.
+	if _, _, err := c.NewOrder(0, 2, 7, []OrderLine{{ItemID: 5, Quantity: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.OrderStatus(0, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Customer != 7 || len(o.Lines) == 0 {
+		t.Errorf("order status returned wrong order: %+v", o)
+	}
+	n, err := c.Delivery(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("delivery should deliver preloaded undelivered orders")
+	}
+	if _, err := c.Delivery(9, 1); err == nil {
+		t.Error("bad warehouse should error")
+	}
+	// Delivery with non-positive batch defaults to 1 per district.
+	if _, err := c.Delivery(0, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStockLevel(t *testing.T) {
+	c := newTestCompany(t)
+	n, err := c.StockLevel(0, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("with a high threshold every referenced item should count as low")
+	}
+	n, err = c.StockLevel(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("with threshold 0 nothing is low, got %d", n)
+	}
+}
+
+func TestConcurrentOperations(t *testing.T) {
+	c := newTestCompany(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w := (g + i) % c.NumWarehouses()
+				switch i % 4 {
+				case 0:
+					if _, _, err := c.NewOrder(w, i%districtsPerWarehouse, i%customersPerDistrict,
+						[]OrderLine{{ItemID: i % itemsPerCompany, Quantity: 1}}); err != nil {
+						t.Errorf("new order: %v", err)
+						return
+					}
+				case 1:
+					if _, err := c.Payment(w, i%districtsPerWarehouse, i%customersPerDistrict, 100); err != nil {
+						t.Errorf("payment: %v", err)
+						return
+					}
+				case 2:
+					if _, _, _, err := c.CustomerReport(w, i%districtsPerWarehouse, i%customersPerDistrict); err != nil {
+						t.Errorf("report: %v", err)
+						return
+					}
+				case 3:
+					if _, err := c.Delivery(w, 1); err != nil {
+						t.Errorf("delivery: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRequestCodec(t *testing.T) {
+	r := Request{Op: OpNewOrder, Warehouse: 1, District: 2, Customer: 3, Amount: 400,
+		Lines: []OrderLine{{ItemID: 10, Quantity: 2}, {ItemID: 20, Quantity: 5}}}
+	got, err := DecodeRequest(EncodeRequest(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != r.Op || got.Warehouse != 1 || got.District != 2 || got.Customer != 3 || got.Amount != 400 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Lines) != 2 || got.Lines[1].ItemID != 20 || got.Lines[1].Quantity != 5 {
+		t.Fatalf("lines mismatch: %+v", got.Lines)
+	}
+	if _, err := DecodeRequest([]byte{1}); err == nil {
+		t.Error("truncated request should fail")
+	}
+}
+
+func TestResponseCodec(t *testing.T) {
+	status, value, err := DecodeResponse(EncodeResponse(statusOK, -250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusOK || value != -250 {
+		t.Fatalf("decoded %d %d", status, value)
+	}
+	if _, _, err := DecodeResponse([]byte{1}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	cfg := app.Config{Scale: 0.5, Seed: 3}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "specjbb" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	client, err := NewClient(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d validation: %v", i, err)
+		}
+	}
+	if _, err := srv.Process([]byte{7}); err == nil {
+		t.Error("malformed request should error")
+	}
+	if _, err := srv.Process(EncodeRequest(Request{Op: OpType(42)})); err == nil {
+		t.Error("unknown op should error")
+	}
+	// An operation targeting a non-existent warehouse reports failure status.
+	resp, err := srv.Process(EncodeRequest(Request{Op: OpPayment, Warehouse: 999}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := DecodeResponse(resp); status != statusFailed {
+		t.Error("bad warehouse should yield failure status")
+	}
+}
+
+func TestOperationMixCoverage(t *testing.T) {
+	client, err := NewClient(app.Config{}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpType]int{}
+	for i := 0; i < 20000; i++ {
+		r, err := DecodeRequest(client.NextRequest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[r.Op]++
+	}
+	for _, m := range opMix {
+		if counts[m.op] == 0 {
+			t.Errorf("operation %d never generated", m.op)
+		}
+	}
+	// The three heavy operations should each be ~30% of the mix.
+	for _, op := range []OpType{OpNewOrder, OpPayment, OpCustomerReport} {
+		frac := float64(counts[op]) / 20000
+		if frac < 0.25 || frac > 0.36 {
+			t.Errorf("op %d fraction %.3f outside expected ~0.30", op, frac)
+		}
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "specjbb" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Scale: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{Scale: 0.25, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Process(cl.NextRequest()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package sphinx implements the TailBench speech-recognition benchmark: a
+// hidden-Markov-model recognizer with Viterbi token-passing search, in the
+// spirit of the Sphinx system the paper drives with CMU AN4 utterances
+// (Sec. III). Requests are synthetic utterances (MFCC-like frames generated
+// from per-phone Gaussian prototypes, see internal/workload); the decoder
+// searches a lexicon of word HMMs with beam pruning and returns the best
+// word sequence. Speech decoding is by far the most compute-intensive
+// workload in the suite, giving TailBench its seconds-scale latency point.
+package sphinx
+
+import (
+	"math"
+
+	"tailbench/internal/workload"
+)
+
+// statesPerPhone is the number of HMM states per phone (the classic 3-state
+// left-to-right topology).
+const statesPerPhone = 3
+
+// AcousticModel scores acoustic frames against phone HMM states. Each phone
+// has a Gaussian output distribution shared by its states (a simplification
+// of per-state GMMs that keeps the same search structure).
+type AcousticModel struct {
+	phoneMeans [][]float64
+	variance   float64
+	// selfLoop and advance are the log transition probabilities of the
+	// left-to-right HMM topology.
+	selfLoop float64
+	advance  float64
+}
+
+// NewAcousticModel builds the model from phone prototype means.
+func NewAcousticModel(phoneMeans [][]float64, variance float64) *AcousticModel {
+	if variance <= 0 {
+		variance = 1
+	}
+	return &AcousticModel{
+		phoneMeans: phoneMeans,
+		variance:   variance,
+		selfLoop:   math.Log(0.6),
+		advance:    math.Log(0.4),
+	}
+}
+
+// FrameScores returns the per-phone emission log-probabilities for a frame.
+func (am *AcousticModel) FrameScores(frame []float64, out []float64) []float64 {
+	if out == nil {
+		out = make([]float64, len(am.phoneMeans))
+	}
+	for p, mean := range am.phoneMeans {
+		out[p] = workload.GaussianLogProb(frame, mean, am.variance)
+	}
+	return out
+}
+
+// Recognizer is the word-HMM Viterbi decoder.
+type Recognizer struct {
+	am      *AcousticModel
+	lexicon [][]int // word -> phone sequence
+	// flattened state table: for each word, its states are contiguous:
+	// (phoneIdx, stateIdx) pairs. statePhone[s] is the phone of global state s.
+	stateWord  []int
+	statePhone []int
+	wordStart  []int // first global state of each word
+	wordEnd    []int // last global state of each word
+	numStates  int
+	// wordPenalty is the log-probability cost of a word transition
+	// (a flat unigram language model).
+	wordPenalty float64
+	// beam is the log-probability beam width for pruning.
+	beam float64
+}
+
+// RecognizerConfig tunes the decoder.
+type RecognizerConfig struct {
+	Variance    float64
+	WordPenalty float64
+	Beam        float64
+}
+
+// DefaultRecognizerConfig returns the standard decoding parameters.
+func DefaultRecognizerConfig() RecognizerConfig {
+	return RecognizerConfig{Variance: 1.0, WordPenalty: -6.0, Beam: 220.0}
+}
+
+// NewRecognizer builds the decoder for a lexicon and acoustic model.
+func NewRecognizer(phoneMeans [][]float64, lexicon [][]int, cfg RecognizerConfig) *Recognizer {
+	if cfg.Beam <= 0 {
+		cfg.Beam = 220
+	}
+	r := &Recognizer{
+		am:          NewAcousticModel(phoneMeans, cfg.Variance),
+		lexicon:     lexicon,
+		wordPenalty: cfg.WordPenalty,
+		beam:        cfg.Beam,
+	}
+	for w, phones := range lexicon {
+		r.wordStart = append(r.wordStart, r.numStates)
+		for _, phone := range phones {
+			for s := 0; s < statesPerPhone; s++ {
+				r.stateWord = append(r.stateWord, w)
+				r.statePhone = append(r.statePhone, phone)
+				r.numStates++
+			}
+		}
+		r.wordEnd = append(r.wordEnd, r.numStates-1)
+	}
+	return r
+}
+
+// NumStates returns the size of the decoding network.
+func (r *Recognizer) NumStates() int { return r.numStates }
+
+// wordHistory is an immutable linked list of recognized words, shared
+// between tokens to avoid copying histories on every frame.
+type wordHistory struct {
+	word int
+	prev *wordHistory
+}
+
+// Hypothesis is the decoder output.
+type Hypothesis struct {
+	Words    []int
+	LogScore float64
+}
+
+// Recognize decodes one utterance.
+func (r *Recognizer) Recognize(frames [][]float64) Hypothesis {
+	if len(frames) == 0 || r.numStates == 0 {
+		return Hypothesis{LogScore: math.Inf(-1)}
+	}
+	const ninf = math.MaxFloat64
+	// Viterbi scores for the current and previous frame, per global state.
+	prev := make([]float64, r.numStates)
+	cur := make([]float64, r.numStates)
+	prevHist := make([]*wordHistory, r.numStates)
+	curHist := make([]*wordHistory, r.numStates)
+	for i := range prev {
+		prev[i] = -ninf
+	}
+	phoneScores := make([]float64, len(r.am.phoneMeans))
+
+	// Initialize: utterances may start at the first state of any word.
+	r.am.FrameScores(frames[0], phoneScores)
+	for w := range r.lexicon {
+		s := r.wordStart[w]
+		prev[s] = phoneScores[r.statePhone[s]] + r.wordPenalty
+		prevHist[s] = &wordHistory{word: w}
+	}
+
+	for f := 1; f < len(frames); f++ {
+		r.am.FrameScores(frames[f], phoneScores)
+		for i := range cur {
+			cur[i] = -ninf
+			curHist[i] = nil
+		}
+		// Best word-end score from the previous frame enables O(words)
+		// cross-word transitions.
+		bestEnd := -ninf
+		var bestEndHist *wordHistory
+		for w := range r.lexicon {
+			e := r.wordEnd[w]
+			if prev[e] > bestEnd {
+				bestEnd = prev[e]
+				bestEndHist = prevHist[e]
+			}
+		}
+		// Beam threshold relative to the best score of the previous frame.
+		bestPrev := -ninf
+		for _, v := range prev {
+			if v > bestPrev {
+				bestPrev = v
+			}
+		}
+		threshold := bestPrev - r.beam
+
+		for s := 0; s < r.numStates; s++ {
+			p := prev[s]
+			if p < threshold || p == -ninf {
+				continue
+			}
+			emitSelf := phoneScores[r.statePhone[s]]
+			// Self loop.
+			if sc := p + r.am.selfLoop + emitSelf; sc > cur[s] {
+				cur[s] = sc
+				curHist[s] = prevHist[s]
+			}
+			// Advance to the next state within the word.
+			w := r.stateWord[s]
+			if s != r.wordEnd[w] {
+				n := s + 1
+				if sc := p + r.am.advance + phoneScores[r.statePhone[n]]; sc > cur[n] {
+					cur[n] = sc
+					curHist[n] = prevHist[s]
+				}
+			}
+		}
+		// Cross-word transitions: enter the first state of every word from
+		// the best word-end hypothesis.
+		if bestEnd > threshold && bestEnd != -ninf {
+			for w := range r.lexicon {
+				s := r.wordStart[w]
+				if sc := bestEnd + r.wordPenalty + phoneScores[r.statePhone[s]]; sc > cur[s] {
+					cur[s] = sc
+					curHist[s] = &wordHistory{word: w, prev: bestEndHist}
+				}
+			}
+		}
+		prev, cur = cur, prev
+		prevHist, curHist = curHist, prevHist
+	}
+
+	// The answer is the best word-end state after the last frame.
+	best := -ninf
+	var bestHist *wordHistory
+	for w := range r.lexicon {
+		e := r.wordEnd[w]
+		if prev[e] > best {
+			best = prev[e]
+			bestHist = prevHist[e]
+		}
+	}
+	if bestHist == nil {
+		return Hypothesis{LogScore: math.Inf(-1)}
+	}
+	var reversed []int
+	for h := bestHist; h != nil; h = h.prev {
+		reversed = append(reversed, h.word)
+	}
+	words := make([]int, len(reversed))
+	for i, w := range reversed {
+		words[len(words)-1-i] = w
+	}
+	return Hypothesis{Words: words, LogScore: best}
+}
+
+// WordAccuracy compares a hypothesis against the reference word sequence,
+// returning the fraction of reference positions recognized correctly (a
+// simplified, alignment-free word accuracy adequate for the synthetic task).
+func WordAccuracy(ref, hyp []int) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	n := len(ref)
+	if len(hyp) < n {
+		n = len(hyp)
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if ref[i] == hyp[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ref))
+}

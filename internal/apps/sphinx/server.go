@@ -1,0 +1,243 @@
+package sphinx
+
+import (
+	"encoding/binary"
+	"math"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+// Lexicon and utterance sizing at Scale = 1.0. These are chosen so that
+// sphinx requests are one to two orders of magnitude longer than the OLTP
+// and key-value requests, preserving the paper's wide latency spread
+// (sphinx is its seconds-scale workload) while keeping runs tractable.
+const (
+	defaultLexiconWords  = 400
+	defaultPhones        = 40
+	defaultPhonesPerWord = 4
+	defaultMinUttWords   = 6
+	defaultMaxUttWords   = 12
+)
+
+// Server is the sphinx application server.
+type Server struct {
+	rec *Recognizer
+	cfg app.Config
+}
+
+// dims returns the scaled lexicon dimensions.
+func dims(scale float64) (words, phones, phonesPerWord int) {
+	words = int(float64(defaultLexiconWords) * scale)
+	if words < 20 {
+		words = 20
+	}
+	phones = defaultPhones
+	phonesPerWord = defaultPhonesPerWord
+	return words, phones, phonesPerWord
+}
+
+// NewServer builds the acoustic model and decoding network. The acoustic
+// model is "trained" on the same phone prototypes the utterance generator
+// uses (the supervised-training step of a real recognizer, collapsed, since
+// the synthetic corpus makes the maximum-likelihood estimates exact).
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	words, phones, ppw := dims(cfg.Scale)
+	gen := workload.NewAudioGen(words, phones, ppw, workload.SplitSeed(cfg.Seed, 95))
+	means := make([][]float64, phones)
+	for p := 0; p < phones; p++ {
+		means[p] = gen.PhonePrototype(p)
+	}
+	rec := NewRecognizer(means, gen.Lexicon(), DefaultRecognizerConfig())
+	return &Server{rec: rec, cfg: cfg}, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "sphinx" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Recognizer exposes the decoder for white-box tests.
+func (s *Server) Recognizer() *Recognizer { return s.rec }
+
+// Request wire format:
+//   numSpokenWords(uint64) | word(uint64)* | numFrames(uint64) | frames(float64 bits, FeatureDim per frame)
+// Response wire format: numWords(uint64) | word(uint64)* | scoreBits(uint64).
+
+// EncodeRequest serializes an utterance.
+func EncodeRequest(u workload.Utterance) app.Request {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(len(u.Words)))
+	for _, w := range u.Words {
+		buf = app.AppendUint64Field(buf, uint64(w))
+	}
+	buf = app.AppendUint64Field(buf, uint64(len(u.Frames)))
+	frameBytes := make([]byte, 8*workload.FeatureDim*len(u.Frames))
+	off := 0
+	for _, f := range u.Frames {
+		for _, v := range f {
+			binary.BigEndian.PutUint64(frameBytes[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	buf = app.AppendField(buf, frameBytes)
+	return buf
+}
+
+// DecodeRequest parses a serialized utterance.
+func DecodeRequest(req app.Request) (workload.Utterance, error) {
+	var u workload.Utterance
+	nWords, rest, ok := app.ReadUint64Field(req)
+	if !ok {
+		return u, app.BadRequestf("sphinx: missing word count")
+	}
+	if nWords > 4096 {
+		return u, app.BadRequestf("sphinx: unreasonable word count %d", nWords)
+	}
+	for i := uint64(0); i < nWords; i++ {
+		var w uint64
+		w, rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return u, app.BadRequestf("sphinx: truncated word list")
+		}
+		u.Words = append(u.Words, int(w))
+	}
+	nFrames, rest, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return u, app.BadRequestf("sphinx: missing frame count")
+	}
+	frameBytes, _, ok := app.ReadField(rest)
+	if !ok || uint64(len(frameBytes)) != nFrames*8*workload.FeatureDim {
+		return u, app.BadRequestf("sphinx: bad frame payload (%d bytes for %d frames)", len(frameBytes), nFrames)
+	}
+	off := 0
+	u.Frames = make([][]float64, nFrames)
+	for f := range u.Frames {
+		frame := make([]float64, workload.FeatureDim)
+		for d := range frame {
+			frame[d] = math.Float64frombits(binary.BigEndian.Uint64(frameBytes[off:]))
+			off += 8
+		}
+		u.Frames[f] = frame
+	}
+	return u, nil
+}
+
+// EncodeResponse serializes a recognition hypothesis.
+func EncodeResponse(h Hypothesis) app.Response {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(len(h.Words)))
+	for _, w := range h.Words {
+		buf = app.AppendUint64Field(buf, uint64(w))
+	}
+	buf = app.AppendUint64Field(buf, math.Float64bits(h.LogScore))
+	return buf
+}
+
+// DecodeResponse parses a recognition hypothesis.
+func DecodeResponse(resp app.Response) (Hypothesis, error) {
+	var h Hypothesis
+	n, rest, ok := app.ReadUint64Field(resp)
+	if !ok {
+		return h, app.BadResponsef("sphinx: missing word count")
+	}
+	for i := uint64(0); i < n; i++ {
+		var w uint64
+		w, rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return h, app.BadResponsef("sphinx: truncated word list")
+		}
+		h.Words = append(h.Words, int(w))
+	}
+	bits, _, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return h, app.BadResponsef("sphinx: missing score")
+	}
+	h.LogScore = math.Float64frombits(bits)
+	return h, nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	u, err := DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeResponse(s.rec.Recognize(u.Frames)), nil
+}
+
+// Client generates utterances to recognize.
+type Client struct {
+	gen      *workload.AudioGen
+	r        interface{ Intn(int) int }
+	numWords int
+}
+
+// NewClient builds an utterance generator consistent with the server's
+// lexicon (same seed derivation), randomized per client seed.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	words, phones, ppw := dims(cfg.Scale)
+	// The generator's internal randomness (noise, durations, word choice)
+	// must differ per client, but its lexicon and prototypes must match the
+	// server's. workload.NewAudioGen derives the lexicon from the seed, so
+	// the client re-creates it with the server's seed and swaps in a
+	// client-specific random stream via reseeding the utterance calls.
+	gen := workload.NewAudioGenWithStream(words, phones, ppw, workload.SplitSeed(cfg.Seed, 95), seed)
+	return &Client{gen: gen, r: workload.NewRand(workload.SplitSeed(seed, 3)), numWords: words}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	n := defaultMinUttWords + c.r.Intn(defaultMaxUttWords-defaultMinUttWords+1)
+	return EncodeRequest(c.gen.NextUtterance(n))
+}
+
+// CheckResponse implements app.Client. The decoder is imperfect, so
+// validation checks structure (word ids in range, score finite and negative)
+// rather than exact recovery; accuracy is asserted separately in tests.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	u, err := DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	h, err := DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if len(h.Words) == 0 {
+		return app.BadResponsef("sphinx: empty hypothesis for %d-frame utterance", len(u.Frames))
+	}
+	if len(h.Words) > 4*len(u.Words)+4 {
+		return app.BadResponsef("sphinx: hypothesis of %d words for %d spoken", len(h.Words), len(u.Words))
+	}
+	for _, w := range h.Words {
+		if w < 0 || w >= c.numWords {
+			return app.BadResponsef("sphinx: word id %d out of lexicon", w)
+		}
+	}
+	if math.IsNaN(h.LogScore) || h.LogScore >= 0 {
+		return app.BadResponsef("sphinx: invalid score %f", h.LogScore)
+	}
+	return nil
+}
+
+// Factory registers sphinx with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "sphinx" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

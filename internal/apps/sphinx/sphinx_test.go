@@ -1,0 +1,228 @@
+package sphinx
+
+import (
+	"math"
+	"testing"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+func testGen() *workload.AudioGen {
+	return workload.NewAudioGen(30, 16, 3, 7)
+}
+
+func testRecognizer(gen *workload.AudioGen) *Recognizer {
+	means := make([][]float64, gen.NumPhones())
+	for p := 0; p < gen.NumPhones(); p++ {
+		means[p] = gen.PhonePrototype(p)
+	}
+	return NewRecognizer(means, gen.Lexicon(), DefaultRecognizerConfig())
+}
+
+func TestRecognizerNetworkShape(t *testing.T) {
+	gen := testGen()
+	rec := testRecognizer(gen)
+	want := gen.NumWords() * 3 * statesPerPhone
+	if rec.NumStates() != want {
+		t.Fatalf("states = %d, want %d", rec.NumStates(), want)
+	}
+}
+
+func TestRecognizerRecoversWords(t *testing.T) {
+	gen := testGen()
+	rec := testRecognizer(gen)
+	totalAcc := 0.0
+	runs := 20
+	for i := 0; i < runs; i++ {
+		u := gen.NextUtterance(5)
+		hyp := rec.Recognize(u.Frames)
+		if len(hyp.Words) == 0 {
+			t.Fatalf("run %d: empty hypothesis", i)
+		}
+		if hyp.LogScore >= 0 || math.IsInf(hyp.LogScore, 1) {
+			t.Fatalf("run %d: bad score %f", i, hyp.LogScore)
+		}
+		totalAcc += WordAccuracy(u.Words, hyp.Words)
+	}
+	avg := totalAcc / float64(runs)
+	// The synthetic acoustics are clean, so the decoder should get most
+	// words right; random guessing over a 30-word lexicon would be ~3%.
+	if avg < 0.5 {
+		t.Errorf("average word accuracy %.2f too low; decoder is broken", avg)
+	}
+}
+
+func TestRecognizerEdgeCases(t *testing.T) {
+	gen := testGen()
+	rec := testRecognizer(gen)
+	if h := rec.Recognize(nil); !math.IsInf(h.LogScore, -1) || len(h.Words) != 0 {
+		t.Errorf("empty utterance should return empty, -inf hypothesis")
+	}
+	empty := NewRecognizer(nil, nil, RecognizerConfig{})
+	if h := empty.Recognize([][]float64{make([]float64, workload.FeatureDim)}); len(h.Words) != 0 {
+		t.Errorf("empty lexicon should return no words")
+	}
+}
+
+func TestAcousticModelScoring(t *testing.T) {
+	gen := testGen()
+	am := NewAcousticModel([][]float64{gen.PhonePrototype(0), gen.PhonePrototype(1)}, 1.0)
+	frame := gen.PhonePrototype(0)
+	scores := am.FrameScores(frame, nil)
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	if scores[0] <= scores[1] {
+		t.Errorf("frame at phone-0 prototype should score higher for phone 0 (%f vs %f)", scores[0], scores[1])
+	}
+	// Zero variance clamps instead of dividing by zero.
+	am = NewAcousticModel([][]float64{gen.PhonePrototype(0)}, 0)
+	if s := am.FrameScores(frame, nil); math.IsNaN(s[0]) || math.IsInf(s[0], 0) {
+		t.Errorf("zero-variance score should be finite, got %f", s[0])
+	}
+}
+
+func TestWordAccuracy(t *testing.T) {
+	if WordAccuracy([]int{1, 2, 3}, []int{1, 2, 3}) != 1.0 {
+		t.Error("perfect match should be 1.0")
+	}
+	if WordAccuracy([]int{1, 2, 3, 4}, []int{1, 9, 3}) != 0.5 {
+		t.Error("2 of 4 correct should be 0.5")
+	}
+	if WordAccuracy(nil, []int{1}) != 0 {
+		t.Error("empty reference should be 0")
+	}
+}
+
+func TestRequestResponseCodec(t *testing.T) {
+	gen := testGen()
+	u := gen.NextUtterance(3)
+	got, err := DecodeRequest(EncodeRequest(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Words) != len(u.Words) || len(got.Frames) != len(u.Frames) {
+		t.Fatalf("round trip sizes: %d/%d words, %d/%d frames", len(got.Words), len(u.Words), len(got.Frames), len(u.Frames))
+	}
+	for i := range u.Frames {
+		for d := range u.Frames[i] {
+			if got.Frames[i][d] != u.Frames[i][d] {
+				t.Fatalf("frame %d dim %d mismatch", i, d)
+			}
+		}
+	}
+	if _, err := DecodeRequest([]byte{1}); err == nil {
+		t.Error("truncated request should fail")
+	}
+
+	h := Hypothesis{Words: []int{4, 7}, LogScore: -123.5}
+	dh, err := DecodeResponse(EncodeResponse(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dh.Words) != 2 || dh.Words[1] != 7 || dh.LogScore != -123.5 {
+		t.Fatalf("decoded %+v", dh)
+	}
+	if _, err := DecodeResponse([]byte{2}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	cfg := app.Config{Scale: 0.08, Seed: 3}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "sphinx" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	client, err := NewClient(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("request %d validation: %v", i, err)
+		}
+	}
+	if _, err := srv.Process([]byte{3}); err == nil {
+		t.Error("malformed request should error")
+	}
+}
+
+func TestClientServerLexiconAgreement(t *testing.T) {
+	// The client generates utterances from the same lexicon the server
+	// decodes with, so recognition accuracy end to end should be high.
+	cfg := app.Config{Scale: 0.08, Seed: 5}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	runs := 8
+	for i := 0; i < runs; i++ {
+		req := client.NextRequest()
+		u, _ := DecodeRequest(req)
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := DecodeResponse(resp)
+		total += WordAccuracy(u.Words, h.Words)
+	}
+	if avg := total / float64(runs); avg < 0.4 {
+		t.Errorf("end-to-end word accuracy %.2f too low", avg)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	client, err := NewClient(app.Config{Scale: 0.08, Seed: 5}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := client.NextRequest()
+	if err := client.CheckResponse(req, EncodeResponse(Hypothesis{LogScore: -1})); err == nil {
+		t.Error("empty hypothesis should fail")
+	}
+	if err := client.CheckResponse(req, EncodeResponse(Hypothesis{Words: []int{999999}, LogScore: -1})); err == nil {
+		t.Error("out-of-lexicon word should fail")
+	}
+	if err := client.CheckResponse(req, EncodeResponse(Hypothesis{Words: []int{1}, LogScore: 3})); err == nil {
+		t.Error("positive score should fail")
+	}
+	if err := client.CheckResponse(req, []byte{5}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "sphinx" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(app.Config{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(app.Config{Scale: 0.05, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Process(cl.NextRequest()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package xapian implements the TailBench online-search benchmark: an
+// inverted-index search engine in the spirit of the Xapian engine the paper
+// configures as a web-search leaf node over an English Wikipedia index, with
+// Zipfian query popularity (Sec. III).
+//
+// The engine builds an in-memory inverted index over a synthetic
+// Wikipedia-like corpus (Zipfian term frequencies), ranks documents with
+// BM25, and returns the top-k results for each query. Request service time
+// is dominated by posting-list traversal and ranking, exactly the work a
+// search leaf node performs per query.
+package xapian
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// posting records one document containing a term.
+type posting struct {
+	docID    int32
+	termFreq int32
+}
+
+// Index is an immutable inverted index over a document corpus. It is built
+// once at server startup and read concurrently by worker threads.
+type Index struct {
+	postings   map[string][]posting
+	docLengths []int32
+	avgDocLen  float64
+	numDocs    int
+}
+
+// BM25 parameters (standard values).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// BuildIndex constructs the inverted index from tokenized documents.
+// docs[i] is the term sequence of document i.
+func BuildIndex(docs [][]string) *Index {
+	idx := &Index{
+		postings:   make(map[string][]posting),
+		docLengths: make([]int32, len(docs)),
+		numDocs:    len(docs),
+	}
+	var totalLen int64
+	for docID, terms := range docs {
+		idx.docLengths[docID] = int32(len(terms))
+		totalLen += int64(len(terms))
+		freqs := make(map[string]int32, len(terms))
+		for _, t := range terms {
+			freqs[t]++
+		}
+		for term, f := range freqs {
+			idx.postings[term] = append(idx.postings[term], posting{docID: int32(docID), termFreq: f})
+		}
+	}
+	if len(docs) > 0 {
+		idx.avgDocLen = float64(totalLen) / float64(len(docs))
+	}
+	// Posting lists are already in ascending docID order because documents
+	// were ingested in order, but sort defensively so the invariant holds
+	// regardless of construction order.
+	for term := range idx.postings {
+		list := idx.postings[term]
+		sort.Slice(list, func(i, j int) bool { return list[i].docID < list[j].docID })
+	}
+	return idx
+}
+
+// NumDocs returns the number of indexed documents.
+func (idx *Index) NumDocs() int { return idx.numDocs }
+
+// NumTerms returns the number of distinct terms.
+func (idx *Index) NumTerms() int { return len(idx.postings) }
+
+// PostingListLen returns the document frequency of a term.
+func (idx *Index) PostingListLen(term string) int { return len(idx.postings[term]) }
+
+// SearchResult is one ranked document.
+type SearchResult struct {
+	DocID int32
+	Score float64
+}
+
+// resultHeap is a min-heap of results keyed by score, used to keep the
+// current top-k while streaming through candidate documents.
+type resultHeap []SearchResult
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(SearchResult)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// idf returns the BM25 inverse document frequency of a term.
+func (idx *Index) idf(term string) float64 {
+	df := float64(len(idx.postings[term]))
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + (float64(idx.numDocs)-df+0.5)/(df+0.5))
+}
+
+// Search returns the top-k documents for the query terms, ranked by BM25.
+// Documents matching any query term are candidates (OR semantics, as search
+// leaf nodes use for recall); missing terms contribute nothing.
+func (idx *Index) Search(terms []string, k int) []SearchResult {
+	if k <= 0 || idx.numDocs == 0 {
+		return nil
+	}
+	// Accumulate per-document scores term by term (term-at-a-time scoring).
+	scores := make(map[int32]float64)
+	for _, term := range terms {
+		list, ok := idx.postings[term]
+		if !ok {
+			continue
+		}
+		idf := idx.idf(term)
+		for _, p := range list {
+			tf := float64(p.termFreq)
+			dl := float64(idx.docLengths[p.docID])
+			norm := tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/idx.avgDocLen))
+			scores[p.docID] += idf * norm
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	h := make(resultHeap, 0, k+1)
+	heap.Init(&h)
+	for docID, score := range scores {
+		if len(h) < k {
+			heap.Push(&h, SearchResult{DocID: docID, Score: score})
+			continue
+		}
+		if score > h[0].Score {
+			h[0] = SearchResult{DocID: docID, Score: score}
+			heap.Fix(&h, 0)
+		}
+	}
+	// Extract in descending score order.
+	out := make([]SearchResult, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(SearchResult)
+	}
+	return out
+}

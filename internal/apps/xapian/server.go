@@ -1,0 +1,213 @@
+package xapian
+
+import (
+	"math"
+
+	"tailbench/internal/app"
+	"tailbench/internal/workload"
+)
+
+// Default corpus sizing at Scale = 1.0. The paper indexes the English
+// Wikipedia; we index a synthetic corpus with the same Zipfian term
+// structure, sized so per-query service times land in the
+// hundreds-of-microseconds-to-milliseconds range the paper reports.
+const (
+	defaultDocs      = 40000
+	defaultVocab     = 20000
+	defaultMinDocLen = 60
+	defaultMaxDocLen = 240
+	defaultTopK      = 10
+)
+
+// Server is the xapian application server.
+type Server struct {
+	index *Index
+	cfg   app.Config
+}
+
+// NewServer builds the synthetic corpus and indexes it.
+func NewServer(cfg app.Config) (*Server, error) {
+	cfg = cfg.Normalize()
+	numDocs := int(float64(defaultDocs) * cfg.Scale)
+	if numDocs < 50 {
+		numDocs = 50
+	}
+	vocabSize := int(float64(defaultVocab) * math.Sqrt(cfg.Scale))
+	if vocabSize < 200 {
+		vocabSize = 200
+	}
+	vocab := workload.NewVocabulary(vocabSize, 0.85, workload.SplitSeed(cfg.Seed, 61))
+	corpus := workload.NewCorpus(vocab, numDocs, defaultMinDocLen, defaultMaxDocLen, workload.SplitSeed(cfg.Seed, 62))
+	docs := make([][]string, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		docs[i] = d.Terms
+	}
+	return &Server{index: BuildIndex(docs), cfg: cfg}, nil
+}
+
+// Name implements app.Server.
+func (s *Server) Name() string { return "xapian" }
+
+// Close implements app.Server.
+func (s *Server) Close() error { return nil }
+
+// Index exposes the underlying index for white-box tests.
+func (s *Server) Index() *Index { return s.index }
+
+// Request wire format: k(uint64) | numTerms(uint64) | term*...
+// Response wire format: numResults(uint64) | (docID(uint64) scoreBits(uint64))*.
+
+// EncodeRequest serializes a search query.
+func EncodeRequest(terms []string, k int) app.Request {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(k))
+	buf = app.AppendUint64Field(buf, uint64(len(terms)))
+	for _, t := range terms {
+		buf = app.AppendStringField(buf, t)
+	}
+	return buf
+}
+
+// DecodeRequest parses a serialized search query.
+func DecodeRequest(req app.Request) (terms []string, k int, err error) {
+	ku, rest, ok := app.ReadUint64Field(req)
+	if !ok {
+		return nil, 0, app.BadRequestf("xapian: missing k")
+	}
+	n, rest, ok := app.ReadUint64Field(rest)
+	if !ok {
+		return nil, 0, app.BadRequestf("xapian: missing term count")
+	}
+	if n > 1024 {
+		return nil, 0, app.BadRequestf("xapian: unreasonable term count %d", n)
+	}
+	terms = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var t string
+		t, rest, ok = app.ReadStringField(rest)
+		if !ok {
+			return nil, 0, app.BadRequestf("xapian: truncated term list")
+		}
+		terms = append(terms, t)
+	}
+	return terms, int(ku), nil
+}
+
+// EncodeResponse serializes search results.
+func EncodeResponse(results []SearchResult) app.Response {
+	var buf []byte
+	buf = app.AppendUint64Field(buf, uint64(len(results)))
+	for _, r := range results {
+		buf = app.AppendUint64Field(buf, uint64(r.DocID))
+		buf = app.AppendUint64Field(buf, math.Float64bits(r.Score))
+	}
+	return buf
+}
+
+// DecodeResponse parses serialized search results.
+func DecodeResponse(resp app.Response) ([]SearchResult, error) {
+	n, rest, ok := app.ReadUint64Field(resp)
+	if !ok {
+		return nil, app.BadResponsef("xapian: missing result count")
+	}
+	out := make([]SearchResult, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var docID, scoreBits uint64
+		docID, rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return nil, app.BadResponsef("xapian: truncated results")
+		}
+		scoreBits, rest, ok = app.ReadUint64Field(rest)
+		if !ok {
+			return nil, app.BadResponsef("xapian: truncated results")
+		}
+		out = append(out, SearchResult{DocID: int32(docID), Score: math.Float64frombits(scoreBits)})
+	}
+	return out, nil
+}
+
+// Process implements app.Server.
+func (s *Server) Process(req app.Request) (app.Response, error) {
+	terms, k, err := DecodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = defaultTopK
+	}
+	return EncodeResponse(s.index.Search(terms, k)), nil
+}
+
+// Client generates Zipfian-popularity search queries.
+type Client struct {
+	gen  *workload.QueryGen
+	docs int
+}
+
+// NewClient builds a query generator over the same vocabulary the server
+// indexed (same seed derivation), so queries hit real terms.
+func NewClient(cfg app.Config, seed int64) (*Client, error) {
+	cfg = cfg.Normalize()
+	vocabSize := int(float64(defaultVocab) * math.Sqrt(cfg.Scale))
+	if vocabSize < 200 {
+		vocabSize = 200
+	}
+	numDocs := int(float64(defaultDocs) * cfg.Scale)
+	if numDocs < 50 {
+		numDocs = 50
+	}
+	vocab := workload.NewVocabulary(vocabSize, 0.85, workload.SplitSeed(cfg.Seed, 61))
+	return &Client{gen: workload.NewQueryGen(vocab, 1, 4, seed), docs: numDocs}, nil
+}
+
+// NextRequest implements app.Client.
+func (c *Client) NextRequest() app.Request {
+	return EncodeRequest(c.gen.Next(), defaultTopK)
+}
+
+// CheckResponse implements app.Client. Because query terms are drawn from
+// the indexed vocabulary and the corpus is dense, every query should match
+// documents; results must be validly ranked and within the corpus.
+func (c *Client) CheckResponse(req app.Request, resp app.Response) error {
+	_, k, err := DecodeRequest(req)
+	if err != nil {
+		return err
+	}
+	results, err := DecodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return app.BadResponsef("xapian: no results for an in-vocabulary query")
+	}
+	if len(results) > k {
+		return app.BadResponsef("xapian: %d results exceed requested top-%d", len(results), k)
+	}
+	for i, r := range results {
+		if int(r.DocID) < 0 || int(r.DocID) >= c.docs {
+			return app.BadResponsef("xapian: doc id %d out of range", r.DocID)
+		}
+		if i > 0 && results[i-1].Score < r.Score {
+			return app.BadResponsef("xapian: results not sorted by score")
+		}
+	}
+	return nil
+}
+
+// Factory registers xapian with the application registry.
+type Factory struct{}
+
+// Name implements app.Factory.
+func (Factory) Name() string { return "xapian" }
+
+// NewServer implements app.Factory.
+func (Factory) NewServer(cfg app.Config) (app.Server, error) { return NewServer(cfg) }
+
+// NewClient implements app.Factory.
+func (Factory) NewClient(cfg app.Config, seed int64) (app.Client, error) { return NewClient(cfg, seed) }
+
+var (
+	_ app.Server  = (*Server)(nil)
+	_ app.Client  = (*Client)(nil)
+	_ app.Factory = Factory{}
+)

@@ -1,0 +1,208 @@
+package xapian
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tailbench/internal/app"
+)
+
+func smallConfig() app.Config { return app.Config{Scale: 0.01, Seed: 3} }
+
+func TestBuildIndexBasics(t *testing.T) {
+	docs := [][]string{
+		{"the", "quick", "brown", "fox"},
+		{"the", "lazy", "dog"},
+		{"quick", "quick", "fox"},
+	}
+	idx := BuildIndex(docs)
+	if idx.NumDocs() != 3 {
+		t.Fatalf("numDocs = %d", idx.NumDocs())
+	}
+	if idx.NumTerms() != 6 {
+		t.Fatalf("numTerms = %d", idx.NumTerms())
+	}
+	if idx.PostingListLen("the") != 2 || idx.PostingListLen("quick") != 2 || idx.PostingListLen("missing") != 0 {
+		t.Fatalf("posting lengths wrong")
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	docs := [][]string{
+		0: {"apple", "banana", "cherry"},
+		1: {"apple", "apple", "apple"},
+		2: {"banana", "banana"},
+		3: {"durian"},
+	}
+	idx := BuildIndex(docs)
+	res := idx.Search([]string{"apple"}, 10)
+	if len(res) != 2 {
+		t.Fatalf("apple should match 2 docs, got %d", len(res))
+	}
+	// Doc 1 repeats "apple" and is shorter per term, so BM25 ranks it first.
+	if res[0].DocID != 1 {
+		t.Errorf("doc 1 should rank first for 'apple', got doc %d", res[0].DocID)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Errorf("results not sorted by descending score")
+		}
+	}
+	// Multi-term OR semantics.
+	res = idx.Search([]string{"apple", "durian"}, 10)
+	if len(res) != 3 {
+		t.Errorf("apple OR durian should match 3 docs, got %d", len(res))
+	}
+	// Unknown terms match nothing.
+	if res := idx.Search([]string{"zzz"}, 5); res != nil {
+		t.Errorf("unknown term should return no results, got %v", res)
+	}
+	// k bounds the result size.
+	if res := idx.Search([]string{"apple", "banana", "cherry", "durian"}, 2); len(res) != 2 {
+		t.Errorf("top-2 returned %d results", len(res))
+	}
+	// Degenerate arguments.
+	if res := idx.Search([]string{"apple"}, 0); res != nil {
+		t.Errorf("k=0 should return nil")
+	}
+	if res := BuildIndex(nil).Search([]string{"apple"}, 3); res != nil {
+		t.Errorf("empty index should return nil")
+	}
+}
+
+func TestSearchTopKProperty(t *testing.T) {
+	// Property: top-k results are exactly the k highest-scoring documents of
+	// the full result list.
+	docs := [][]string{
+		{"a", "b", "c"}, {"a", "a"}, {"b"}, {"a", "c", "c"}, {"c"}, {"a", "b"}, {"b", "b", "a"},
+	}
+	idx := BuildIndex(docs)
+	f := func(pick uint8) bool {
+		queries := [][]string{{"a"}, {"b"}, {"c"}, {"a", "b"}, {"a", "c"}, {"a", "b", "c"}}
+		q := queries[int(pick)%len(queries)]
+		full := idx.Search(q, 100)
+		top2 := idx.Search(q, 2)
+		if len(top2) > 2 {
+			return false
+		}
+		for i, r := range top2 {
+			if r.Score != full[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestResponseCodec(t *testing.T) {
+	req := EncodeRequest([]string{"alpha", "beta"}, 7)
+	terms, k, err := DecodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 7 || len(terms) != 2 || terms[0] != "alpha" || terms[1] != "beta" {
+		t.Fatalf("decoded %v %d", terms, k)
+	}
+	if _, _, err := DecodeRequest([]byte{1}); err == nil {
+		t.Error("truncated request should fail")
+	}
+
+	results := []SearchResult{{DocID: 3, Score: 1.5}, {DocID: 9, Score: 0.25}}
+	dec, err := DecodeResponse(EncodeResponse(results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 2 || dec[0] != results[0] || dec[1] != results[1] {
+		t.Fatalf("response round trip: %v", dec)
+	}
+	if _, err := DecodeResponse([]byte{2}); err == nil {
+		t.Error("truncated response should fail")
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv, err := NewServer(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Name() != "xapian" {
+		t.Errorf("name = %q", srv.Name())
+	}
+	if srv.Index().NumDocs() < 50 {
+		t.Errorf("index too small: %d docs", srv.Index().NumDocs())
+	}
+	client, err := NewClient(smallConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		req := client.NextRequest()
+		resp, err := srv.Process(req)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if err := client.CheckResponse(req, resp); err != nil {
+			t.Fatalf("query %d validation: %v", i, err)
+		}
+	}
+	// Malformed request errors.
+	if _, err := srv.Process([]byte{0}); err == nil {
+		t.Error("malformed request should error")
+	}
+	// k defaulting: a request with k=0 still returns results.
+	resp, err := srv.Process(EncodeRequest([]string{client.gen.Next()[0]}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results, _ := DecodeResponse(resp); len(results) == 0 {
+		t.Error("k=0 should default to top-10")
+	}
+}
+
+func TestClientValidationCatchesBadResponses(t *testing.T) {
+	client, err := NewClient(smallConfig(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := client.NextRequest()
+	if err := client.CheckResponse(req, EncodeResponse(nil)); err == nil {
+		t.Error("empty result set should fail validation")
+	}
+	// Out-of-range document.
+	bad := EncodeResponse([]SearchResult{{DocID: 1 << 30, Score: 1}})
+	if err := client.CheckResponse(req, bad); err == nil {
+		t.Error("out-of-range doc should fail validation")
+	}
+	// Unsorted results.
+	bad = EncodeResponse([]SearchResult{{DocID: 1, Score: 0.1}, {DocID: 2, Score: 5}})
+	if err := client.CheckResponse(req, bad); err == nil {
+		t.Error("unsorted results should fail validation")
+	}
+	if err := client.CheckResponse(req, []byte{9}); err == nil {
+		t.Error("truncated response should fail validation")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	f := Factory{}
+	if f.Name() != "xapian" {
+		t.Errorf("name = %q", f.Name())
+	}
+	srv, err := f.NewServer(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := f.NewClient(smallConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Process(cl.NextRequest())
+	if err != nil || len(resp) == 0 {
+		t.Fatalf("factory-built pieces should interoperate: %v", err)
+	}
+}

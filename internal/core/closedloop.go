@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tailbench/internal/workload"
+
+	"tailbench/internal/app"
+)
+
+// RunClosedLoop measures an application with a conventional closed-loop load
+// tester: a fixed number of client threads that each issue a request, block
+// until its response arrives, and only then issue the next one. This is the
+// methodology used by load testers like YCSB and Faban that the paper
+// identifies as flawed (Sec. II-B): because a slow request delays the
+// client's subsequent requests, the load tester "coordinates" with the
+// system under test and systematically underestimates tail latency — the
+// coordinated-omission problem. The harness includes it so the error can be
+// quantified against the open-loop configurations.
+//
+// cfg.Clients sets the number of closed-loop client threads; cfg.QPS, if
+// positive, adds exponentially distributed think time between a response and
+// the next request so the offered load approximates QPS.
+func RunClosedLoop(server app.Server, newClient ClientFactory, cfg RunConfig) (*Result, error) {
+	if server == nil {
+		return nil, ErrNilServer
+	}
+	if newClient == nil {
+		return nil, ErrNilClient
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	collector := NewCollector(cfg.KeepRaw)
+	var wg sync.WaitGroup
+	perClient := cfg.Requests / cfg.Clients
+	perClientWarmup := cfg.WarmupRequests / cfg.Clients
+
+	for c := 0; c < cfg.Clients; c++ {
+		n := perClient
+		w := perClientWarmup
+		if c == 0 {
+			n += cfg.Requests % cfg.Clients
+			w += cfg.WarmupRequests % cfg.Clients
+		}
+		client, err := newClient(workload.SplitSeed(cfg.Seed, int64(3000+c)))
+		if err != nil {
+			return nil, fmt.Errorf("core: creating client %d: %w", c, err)
+		}
+		// Per-client think-time rate so aggregate offered load matches QPS.
+		var think *workload.ExponentialGen
+		if cfg.QPS > 0 {
+			think = workload.NewExponentialGen(cfg.QPS/float64(cfg.Clients), workload.SplitSeed(cfg.Seed, int64(4000+c)))
+		}
+		wg.Add(1)
+		go func(cl app.Client, requests, warmups int) {
+			defer wg.Done()
+			for i := 0; i < requests+warmups; i++ {
+				if think != nil {
+					time.Sleep(think.Next())
+				}
+				req := cl.NextRequest()
+				start := time.Now()
+				resp, perr := server.Process(req)
+				end := time.Now()
+				failed := perr != nil
+				if !failed && cfg.Validate {
+					failed = cl.CheckResponse(req, resp) != nil
+				}
+				collector.Record(Sample{
+					Queue:   0,
+					Service: end.Sub(start),
+					Sojourn: end.Sub(start),
+					Warmup:  i < warmups,
+					Err:     failed,
+				})
+			}
+		}(client, n, w)
+	}
+	wg.Wait()
+	return resultFromSnapshot(server.Name(), Integrated, cfg, collector.snapshot()), nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"tailbench/internal/stats"
+)
+
+// Sample is the timing record for one completed request, as collected by the
+// statistics collector (Fig. 1). All durations are measured by the harness;
+// in the networked configurations the queue and service components are
+// measured server-side and shipped back in the response header.
+type Sample struct {
+	// Queue is the time the request spent waiting in the request queue
+	// before a worker thread picked it up.
+	Queue time.Duration
+	// Service is the time a worker thread spent processing the request.
+	Service time.Duration
+	// Sojourn is the end-to-end latency: from the request's scheduled
+	// generation time until the client observed the response. It includes
+	// queuing, service, and (in the networked configurations) network and
+	// protocol-stack time.
+	Sojourn time.Duration
+	// Warmup marks samples taken during the warmup period; the collector
+	// drops them from statistics.
+	Warmup bool
+	// Err records whether the request failed (transport error or failed
+	// validation).
+	Err bool
+}
+
+// Collector aggregates request samples into latency statistics. It is safe
+// for concurrent use by any number of recording goroutines.
+type Collector struct {
+	mu sync.Mutex
+
+	keepRaw bool
+
+	queue   *stats.Histogram
+	service *stats.Histogram
+	sojourn *stats.Histogram
+
+	rawQueue   []time.Duration
+	rawService []time.Duration
+	rawSojourn []time.Duration
+
+	count   uint64
+	warmups uint64
+	errors  uint64
+
+	first time.Time
+	last  time.Time
+}
+
+// NewCollector returns an empty collector. If keepRaw is true every
+// individual sample is retained (short-run mode); histograms are always
+// maintained.
+func NewCollector(keepRaw bool) *Collector {
+	return &Collector{
+		keepRaw: keepRaw,
+		queue:   stats.NewHistogram(),
+		service: stats.NewHistogram(),
+		sojourn: stats.NewHistogram(),
+	}
+}
+
+// Record adds one sample.
+func (c *Collector) Record(s Sample) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.first.IsZero() {
+		c.first = now
+	}
+	c.last = now
+	if s.Warmup {
+		c.warmups++
+		return
+	}
+	if s.Err {
+		c.errors++
+		return
+	}
+	c.count++
+	c.queue.RecordDuration(s.Queue)
+	c.service.RecordDuration(s.Service)
+	c.sojourn.RecordDuration(s.Sojourn)
+	if c.keepRaw {
+		c.rawQueue = append(c.rawQueue, s.Queue)
+		c.rawService = append(c.rawService, s.Service)
+		c.rawSojourn = append(c.rawSojourn, s.Sojourn)
+	}
+}
+
+// Count returns the number of measured (non-warmup, non-error) samples.
+func (c *Collector) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Errors returns the number of failed requests.
+func (c *Collector) Errors() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errors
+}
+
+// snapshot builds the per-run result payload. measureStart/measureEnd bound
+// the measurement interval for throughput accounting.
+func (c *Collector) snapshot() collectorSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := collectorSnapshot{
+		count:   c.count,
+		warmups: c.warmups,
+		errors:  c.errors,
+		first:   c.first,
+		last:    c.last,
+	}
+	if c.keepRaw && len(c.rawSojourn) > 0 {
+		snap.queue = stats.SummaryFromSamples(c.rawQueue)
+		snap.service = stats.SummaryFromSamples(c.rawService)
+		snap.sojourn = stats.SummaryFromSamples(c.rawSojourn)
+		snap.serviceCDF = stats.SampleCDF(c.rawService)
+		snap.sojournCDF = stats.SampleCDF(c.rawSojourn)
+		snap.rawService = append([]time.Duration(nil), c.rawService...)
+		snap.rawSojourn = append([]time.Duration(nil), c.rawSojourn...)
+		snap.rawQueue = append([]time.Duration(nil), c.rawQueue...)
+	} else {
+		snap.queue = stats.SummaryFromHistogram(c.queue)
+		snap.service = stats.SummaryFromHistogram(c.service)
+		snap.sojourn = stats.SummaryFromHistogram(c.sojourn)
+		snap.serviceCDF = c.service.CDF()
+		snap.sojournCDF = c.sojourn.CDF()
+	}
+	return snap
+}
+
+// collectorSnapshot is the immutable view extracted at the end of a run.
+type collectorSnapshot struct {
+	count      uint64
+	warmups    uint64
+	errors     uint64
+	first      time.Time
+	last       time.Time
+	queue      stats.LatencySummary
+	service    stats.LatencySummary
+	sojourn    stats.LatencySummary
+	serviceCDF []stats.CDFPoint
+	sojournCDF []stats.CDFPoint
+	rawQueue   []time.Duration
+	rawService []time.Duration
+	rawSojourn []time.Duration
+}

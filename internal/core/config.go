@@ -1,0 +1,141 @@
+// Package core implements the TailBench harness: the open-loop traffic
+// shaper, the instrumented request queue, the statistics collector, and the
+// three measurement configurations described in Sec. IV of the paper
+// (integrated, loopback, and networked), plus the closed-loop load tester
+// used to demonstrate the coordinated-omission pitfall and the repeated-run
+// controller that enforces the confidence-interval targets of Sec. IV-C.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ConfigKind selects one of the harness configurations from Fig. 1.
+type ConfigKind int
+
+// Harness configurations.
+const (
+	// Integrated runs client, harness, and application in a single process
+	// communicating through shared memory (an in-process queue). This is the
+	// configuration meant for simulators.
+	Integrated ConfigKind = iota
+	// Loopback runs client and application in the same process but
+	// communicates over TCP through the loopback interface, capturing
+	// network-stack overheads without NIC/switch delays.
+	Loopback
+	// Networked runs clients over TCP as if on separate machines. In this
+	// reproduction the "network" is the loopback device plus an injected
+	// round-trip delay standing in for NIC and switch latency (see
+	// DESIGN.md, substitutions).
+	Networked
+	// Simulated runs the discrete-event simulated system (internal/sim) in
+	// place of the real application, the stand-in for running the
+	// integrated configuration inside a microarchitectural simulator.
+	Simulated
+)
+
+// String returns the configuration name used in reports and figures.
+func (k ConfigKind) String() string {
+	switch k {
+	case Integrated:
+		return "integrated"
+	case Loopback:
+		return "loopback"
+	case Networked:
+		return "networked"
+	case Simulated:
+		return "simulated"
+	default:
+		return fmt.Sprintf("ConfigKind(%d)", int(k))
+	}
+}
+
+// RunConfig parameterizes a single measurement run.
+type RunConfig struct {
+	// QPS is the offered load in queries per second. Zero or negative means
+	// "saturation": requests are issued back to back.
+	QPS float64
+	// Threads is the number of application worker threads.
+	Threads int
+	// Clients is the number of client generators (connections) used by the
+	// loopback and networked configurations. The harness ensures there are
+	// enough clients that client-side queuing does not skew measurements;
+	// if zero, a value is derived from QPS and Threads.
+	Clients int
+	// Requests is the number of measured requests to issue (after warmup).
+	Requests int
+	// WarmupRequests is the number of initial requests whose measurements
+	// are discarded. If zero, 10% of Requests (minimum 50) is used.
+	WarmupRequests int
+	// Seed drives all randomness in the run (inter-arrival times and request
+	// contents). Repeated runs use different seeds.
+	Seed int64
+	// KeepRaw retains every individual latency sample in the result
+	// (short-run mode, Sec. IV-C). Otherwise only histograms are kept.
+	KeepRaw bool
+	// Validate makes clients check every response and counts failures.
+	Validate bool
+	// NetworkDelay is the extra one-way delay injected per message in the
+	// Networked configuration to model NIC + switch latency. Ignored by the
+	// other configurations. Defaults to 25µs, the per-end overhead the paper
+	// measured on its tuned setup.
+	NetworkDelay time.Duration
+	// Timeout bounds the whole run. Zero means a generous default derived
+	// from the request count and offered load.
+	Timeout time.Duration
+}
+
+// Errors returned by run configuration validation.
+var (
+	ErrNoRequests = errors.New("core: RunConfig.Requests must be positive")
+	ErrNilServer  = errors.New("core: server must not be nil")
+	ErrNilClient  = errors.New("core: client factory must not be nil")
+)
+
+// withDefaults normalizes a RunConfig.
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.WarmupRequests <= 0 {
+		c.WarmupRequests = c.Requests / 10
+		if c.WarmupRequests < 50 {
+			c.WarmupRequests = 50
+		}
+	}
+	if c.Clients <= 0 {
+		// Enough connections that client-side serialization is never the
+		// bottleneck: at least 2 per worker thread, at most 16.
+		c.Clients = 2 * c.Threads
+		if c.Clients > 16 {
+			c.Clients = 16
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NetworkDelay <= 0 {
+		c.NetworkDelay = 25 * time.Microsecond
+	}
+	if c.Timeout <= 0 {
+		total := c.Requests + c.WarmupRequests
+		// Allow 50ms per request on average plus scheduling slack; latency-
+		// critical requests are far shorter, so this only matters for sphinx
+		// and for deeply saturated runs.
+		c.Timeout = time.Duration(total)*50*time.Millisecond + 10*time.Second
+	}
+	return c
+}
+
+// validate reports configuration errors that defaults cannot fix.
+func (c RunConfig) validate() error {
+	if c.Requests < 0 {
+		return ErrNoRequests
+	}
+	return nil
+}

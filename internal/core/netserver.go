@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/netproto"
+)
+
+// NetServer serves an application over TCP for the loopback and networked
+// harness configurations. Incoming requests from all connections funnel into
+// a single shared request queue consumed by the configured number of worker
+// threads, matching the structure in Fig. 1: the request queue measures both
+// queuing time and service time and ships them back to the client-side
+// statistics collector in the response header.
+type NetServer struct {
+	app     app.Server
+	threads int
+
+	ln    net.Listener
+	queue chan netPending
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	acceptors sync.WaitGroup
+	workers   sync.WaitGroup
+}
+
+// netPending is one request waiting in the server-side queue.
+type netPending struct {
+	conn    *serverConn
+	id      uint64
+	payload []byte
+	enqueue time.Time
+}
+
+// serverConn wraps a connection with a write lock so worker threads can
+// interleave responses safely.
+type serverConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (c *serverConn) writeMessage(m *netproto.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return netproto.Write(c.conn, m)
+}
+
+// NewNetServer wraps an application server with the TCP front end.
+// threads is the number of worker threads draining the request queue.
+func NewNetServer(application app.Server, threads int) *NetServer {
+	if threads <= 0 {
+		threads = 1
+	}
+	return &NetServer{
+		app:     application,
+		threads: threads,
+		queue:   make(chan netPending, 65536),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Start begins listening on addr (e.g. "127.0.0.1:0") and launches the
+// worker threads. It returns the bound address, which callers use when addr
+// requested an ephemeral port.
+func (s *NetServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("core: netserver listen: %w", err)
+	}
+	s.ln = ln
+	for i := 0; i < s.threads; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.acceptors.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listener address, or "" before Start.
+func (s *NetServer) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *NetServer) acceptLoop() {
+	defer s.acceptors.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.acceptors.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+// readLoop reads framed requests from one connection and enqueues them.
+func (s *NetServer) readLoop(conn net.Conn) {
+	defer s.acceptors.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := &serverConn{conn: conn}
+	for {
+		msg, err := netproto.Read(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// Protocol error: drop the connection.
+				return
+			}
+			return
+		}
+		switch msg.Type {
+		case netproto.TypeRequest:
+			s.queue <- netPending{conn: sc, id: msg.ID, payload: msg.Payload, enqueue: time.Now()}
+		case netproto.TypeShutdown:
+			return
+		default:
+			// Ignore unexpected frame types from clients.
+		}
+	}
+}
+
+// worker drains the request queue, processes requests on this goroutine
+// (one harness "worker thread"), and writes responses back.
+func (s *NetServer) worker() {
+	defer s.workers.Done()
+	for p := range s.queue {
+		start := time.Now()
+		resp, err := s.app.Process(p.payload)
+		end := time.Now()
+		msg := &netproto.Message{
+			ID:        p.id,
+			QueueNs:   start.Sub(p.enqueue).Nanoseconds(),
+			ServiceNs: end.Sub(start).Nanoseconds(),
+		}
+		if err != nil {
+			msg.Type = netproto.TypeError
+			msg.Payload = []byte(err.Error())
+		} else {
+			msg.Type = netproto.TypeResponse
+			msg.Payload = resp
+		}
+		// A write failure means the client went away; nothing to do.
+		_ = p.conn.writeMessage(msg)
+	}
+}
+
+// Close stops accepting connections, drains in-flight work, and shuts the
+// worker threads down. The wrapped application is not closed; the caller
+// owns it.
+func (s *NetServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.acceptors.Wait()
+	close(s.queue)
+	s.workers.Wait()
+	return err
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"tailbench/internal/workload"
+)
+
+// TrafficShaper produces the open-loop arrival schedule: request arrival
+// instants with exponentially distributed inter-arrival gaps at a
+// configurable rate (Sec. IV-A). The shaper is open-loop by construction —
+// arrival instants are computed up front, independent of when (or whether)
+// responses come back, which is what avoids the coordinated-omission pitfall
+// of closed-loop load testers.
+type TrafficShaper struct {
+	gen *workload.ExponentialGen
+}
+
+// NewTrafficShaper returns a shaper that targets the given request rate.
+// A non-positive qps produces a zero-gap schedule (saturation testing).
+func NewTrafficShaper(qps float64, seed int64) *TrafficShaper {
+	return &TrafficShaper{gen: workload.NewExponentialGen(qps, seed)}
+}
+
+// Schedule returns n arrival offsets relative to the start of the run, in
+// non-decreasing order.
+func (ts *TrafficShaper) Schedule(n int) []time.Duration {
+	offsets := make([]time.Duration, n)
+	var cum time.Duration
+	for i := range offsets {
+		cum += ts.gen.Next()
+		offsets[i] = cum
+	}
+	return offsets
+}
+
+// waitUntil sleeps until the target time. It sleeps coarsely for most of the
+// wait and spins for the final stretch so that sub-millisecond inter-arrival
+// gaps (tens of thousands of QPS) are honored with reasonable fidelity even
+// though the OS sleep granularity is much coarser. Late arrivals are simply
+// issued immediately; because sojourn time is measured from the *scheduled*
+// arrival instant, dispatcher lag shows up as latency instead of silently
+// thinning the offered load.
+func waitUntil(target time.Time) {
+	const spinWindow = 100 * time.Microsecond
+	for {
+		now := time.Now()
+		remaining := target.Sub(now)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > spinWindow {
+			time.Sleep(remaining - spinWindow)
+			continue
+		}
+		// Busy-wait the final stretch, yielding the processor between polls.
+		for time.Now().Before(target) {
+		}
+		return
+	}
+}

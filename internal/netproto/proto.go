@@ -1,0 +1,101 @@
+// Package netproto implements the length-prefixed binary framing the
+// TailBench harness uses for its networked and loopback configurations.
+// The protocol is intentionally minimal: a fixed header carrying a request
+// identifier and the server-measured queue/service times, followed by the
+// opaque application payload. Server-side timing travels back to the client
+// in the response header so the client-side statistics collector can
+// aggregate queue, service, and sojourn time without clock synchronization
+// between machines (Sec. IV-A).
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	// TypeRequest frames a client-to-server application request.
+	TypeRequest = uint8(1)
+	// TypeResponse frames a server-to-client application response.
+	TypeResponse = uint8(2)
+	// TypeShutdown tells the server a client is done; no payload.
+	TypeShutdown = uint8(3)
+	// TypeError is a server-to-client frame reporting that request
+	// processing failed; the payload carries the error text.
+	TypeError = uint8(4)
+)
+
+// magic identifies TailBench frames and guards against protocol confusion.
+const magic = uint16(0x7B01)
+
+// headerSize is the fixed frame header size in bytes:
+// magic(2) + type(1) + id(8) + queueNs(8) + serviceNs(8) + payloadLen(4).
+const headerSize = 2 + 1 + 8 + 8 + 8 + 4
+
+// MaxPayload bounds a single frame's payload (16 MiB), protecting against
+// corrupted length fields.
+const MaxPayload = 16 << 20
+
+// Message is a single framed request or response.
+type Message struct {
+	Type      uint8
+	ID        uint64
+	QueueNs   int64 // server-measured queuing time (responses only)
+	ServiceNs int64 // server-measured service time (responses only)
+	Payload   []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic        = errors.New("netproto: bad frame magic")
+	ErrPayloadTooLarge = errors.New("netproto: payload exceeds maximum size")
+)
+
+// Write encodes and writes one message to w.
+func Write(w io.Writer, m *Message) error {
+	if len(m.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(m.Payload))
+	}
+	buf := make([]byte, headerSize+len(m.Payload))
+	binary.BigEndian.PutUint16(buf[0:2], magic)
+	buf[2] = m.Type
+	binary.BigEndian.PutUint64(buf[3:11], m.ID)
+	binary.BigEndian.PutUint64(buf[11:19], uint64(m.QueueNs))
+	binary.BigEndian.PutUint64(buf[19:27], uint64(m.ServiceNs))
+	binary.BigEndian.PutUint32(buf[27:31], uint32(len(m.Payload)))
+	copy(buf[headerSize:], m.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read reads one message from r. It returns io.EOF (possibly wrapped as
+// io.ErrUnexpectedEOF mid-frame) when the stream ends.
+func Read(r io.Reader) (*Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint16(hdr[0:2]) != magic {
+		return nil, ErrBadMagic
+	}
+	m := &Message{
+		Type:      hdr[2],
+		ID:        binary.BigEndian.Uint64(hdr[3:11]),
+		QueueNs:   int64(binary.BigEndian.Uint64(hdr[11:19])),
+		ServiceNs: int64(binary.BigEndian.Uint64(hdr[19:27])),
+	}
+	n := binary.BigEndian.Uint32(hdr[27:31])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, n)
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

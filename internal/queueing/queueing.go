@@ -1,0 +1,202 @@
+// Package queueing provides the queueing-theory substrate used by the
+// paper's case study (Sec. VII): analytic M/M/1 and M/G/1 results, and a
+// discrete-event simulation of M/G/k queues whose service times are drawn
+// from an arbitrary (e.g. empirical) distribution. The M/G/k simulation
+// predicts the latency the application would achieve if adding threads had
+// no overhead (service times unchanged), which is the yardstick Fig. 8
+// compares the idealized-memory simulations against.
+package queueing
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"tailbench/internal/stats"
+	"tailbench/internal/workload"
+)
+
+// Utilization returns the offered load rho = lambda * E[S] / k.
+func Utilization(arrivalRate float64, meanService time.Duration, servers int) float64 {
+	if servers < 1 {
+		servers = 1
+	}
+	return arrivalRate * meanService.Seconds() / float64(servers)
+}
+
+// MM1MeanSojourn returns the analytic mean sojourn time of an M/M/1 queue:
+// E[T] = 1 / (mu - lambda). It returns a negative duration if the queue is
+// unstable (rho >= 1).
+func MM1MeanSojourn(arrivalRate float64, meanService time.Duration) time.Duration {
+	mu := 1 / meanService.Seconds()
+	if arrivalRate >= mu {
+		return -1
+	}
+	return time.Duration((1 / (mu - arrivalRate)) * float64(time.Second))
+}
+
+// MG1MeanWait returns the Pollaczek-Khinchine mean waiting time of an M/G/1
+// queue: E[W] = lambda * E[S^2] / (2 (1 - rho)), expressed via the squared
+// coefficient of variation of the service distribution.
+// It returns a negative duration if the queue is unstable.
+func MG1MeanWait(arrivalRate float64, meanService time.Duration, scv float64) time.Duration {
+	rho := arrivalRate * meanService.Seconds()
+	if rho >= 1 {
+		return -1
+	}
+	es2 := meanService.Seconds() * meanService.Seconds() * (1 + scv)
+	w := arrivalRate * es2 / (2 * (1 - rho))
+	return time.Duration(w * float64(time.Second))
+}
+
+// ServiceSampler draws service times for the M/G/k simulation.
+type ServiceSampler interface {
+	Sample(r *rand.Rand) time.Duration
+}
+
+// ExponentialService is a ServiceSampler with exponential service times
+// (turns the model into M/M/k).
+type ExponentialService struct {
+	Mean time.Duration
+}
+
+// Sample implements ServiceSampler.
+func (e ExponentialService) Sample(r *rand.Rand) time.Duration {
+	return time.Duration(r.ExpFloat64() * float64(e.Mean))
+}
+
+// DeterministicService is a ServiceSampler with constant service times
+// (M/D/k).
+type DeterministicService struct {
+	Value time.Duration
+}
+
+// Sample implements ServiceSampler.
+func (d DeterministicService) Sample(*rand.Rand) time.Duration { return d.Value }
+
+// MGkConfig parameterizes an M/G/k simulation run.
+type MGkConfig struct {
+	ArrivalRate float64 // requests per second (Poisson)
+	Servers     int
+	Requests    int
+	Warmup      int
+	Seed        int64
+}
+
+// MGkResult holds the simulated latency distributions.
+type MGkResult struct {
+	Wait    stats.LatencySummary
+	Sojourn stats.LatencySummary
+	// SojournSamples are the raw post-warmup sojourn times, for percentile
+	// analysis beyond the summary.
+	SojournSamples []time.Duration
+}
+
+// event kinds for the DES.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at   time.Duration
+	kind int
+	// server index for departures.
+	server int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SimulateMGk runs a discrete-event simulation of an M/G/k queue with FIFO
+// dispatch and returns the waiting-time and sojourn-time distributions.
+func SimulateMGk(cfg MGkConfig, service ServiceSampler) MGkResult {
+	if cfg.Servers < 1 {
+		cfg.Servers = 1
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 1
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+	arrivalGen := workload.NewExponentialGen(cfg.ArrivalRate, workload.SplitSeed(cfg.Seed, 1))
+	serviceRand := workload.NewRand(workload.SplitSeed(cfg.Seed, 2))
+
+	total := cfg.Requests + cfg.Warmup
+	events := &eventHeap{}
+	heap.Init(events)
+
+	// Pre-compute arrival times.
+	arrivals := make([]time.Duration, total)
+	var t time.Duration
+	for i := range arrivals {
+		t += arrivalGen.Next()
+		arrivals[i] = t
+		heap.Push(events, event{at: t, kind: evArrival})
+	}
+
+	type queuedReq struct {
+		index   int
+		arrival time.Duration
+	}
+	var (
+		fifo        []queuedReq
+		busy        = make([]bool, cfg.Servers)
+		nextArrival int
+		waits       []time.Duration
+		sojourns    []time.Duration
+	)
+	dispatch := func(now time.Duration) {
+		for len(fifo) > 0 {
+			srv := -1
+			for s, b := range busy {
+				if !b {
+					srv = s
+					break
+				}
+			}
+			if srv < 0 {
+				return
+			}
+			req := fifo[0]
+			fifo = fifo[1:]
+			busy[srv] = true
+			st := service.Sample(serviceRand)
+			done := now + st
+			heap.Push(events, event{at: done, kind: evDeparture, server: srv})
+			if req.index >= cfg.Warmup {
+				waits = append(waits, now-req.arrival)
+				sojourns = append(sojourns, done-req.arrival)
+			}
+		}
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		switch ev.kind {
+		case evArrival:
+			fifo = append(fifo, queuedReq{index: nextArrival, arrival: ev.at})
+			nextArrival++
+			dispatch(ev.at)
+		case evDeparture:
+			busy[ev.server] = false
+			dispatch(ev.at)
+		}
+	}
+	return MGkResult{
+		Wait:           stats.SummaryFromSamples(waits),
+		Sojourn:        stats.SummaryFromSamples(sojourns),
+		SojournSamples: sojourns,
+	}
+}

@@ -1,0 +1,121 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tailbench/internal/stats"
+)
+
+func TestUtilization(t *testing.T) {
+	if u := Utilization(1000, time.Millisecond, 1); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("rho = %f, want 1.0", u)
+	}
+	if u := Utilization(1000, time.Millisecond, 4); math.Abs(u-0.25) > 1e-9 {
+		t.Errorf("rho = %f, want 0.25", u)
+	}
+	if u := Utilization(500, time.Millisecond, 0); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("zero servers should clamp to 1: %f", u)
+	}
+}
+
+func TestAnalyticFormulas(t *testing.T) {
+	// M/M/1 at rho = 0.5 with E[S]=1ms: E[T] = 1/(mu-lambda) = 2ms.
+	if got := MM1MeanSojourn(500, time.Millisecond); got != 2*time.Millisecond {
+		t.Errorf("MM1 sojourn = %v, want 2ms", got)
+	}
+	if got := MM1MeanSojourn(1000, time.Millisecond); got >= 0 {
+		t.Errorf("unstable MM1 should be negative, got %v", got)
+	}
+	// M/G/1 with exponential service (SCV=1) matches M/M/1 waiting time:
+	// E[W] = E[T] - E[S] = 1ms at rho=0.5.
+	if got := MG1MeanWait(500, time.Millisecond, 1); got != time.Millisecond {
+		t.Errorf("MG1 wait = %v, want 1ms", got)
+	}
+	// Deterministic service (SCV=0) halves the wait.
+	if got := MG1MeanWait(500, time.Millisecond, 0); got != 500*time.Microsecond {
+		t.Errorf("MD1 wait = %v, want 0.5ms", got)
+	}
+	if got := MG1MeanWait(2000, time.Millisecond, 1); got >= 0 {
+		t.Errorf("unstable MG1 should be negative, got %v", got)
+	}
+}
+
+func TestSimulateMM1MatchesAnalytic(t *testing.T) {
+	cfg := MGkConfig{ArrivalRate: 500, Servers: 1, Requests: 200000, Warmup: 5000, Seed: 3}
+	res := SimulateMGk(cfg, ExponentialService{Mean: time.Millisecond})
+	want := MM1MeanSojourn(500, time.Millisecond)
+	got := res.Sojourn.Mean
+	if math.Abs(float64(got-want))/float64(want) > 0.05 {
+		t.Errorf("simulated M/M/1 mean sojourn %v differs from analytic %v by >5%%", got, want)
+	}
+	wantWait := MG1MeanWait(500, time.Millisecond, 1)
+	if math.Abs(float64(res.Wait.Mean-wantWait))/float64(wantWait) > 0.08 {
+		t.Errorf("simulated wait %v differs from P-K %v", res.Wait.Mean, wantWait)
+	}
+}
+
+func TestSimulateMD1LowerWaitThanMM1(t *testing.T) {
+	mm1 := SimulateMGk(MGkConfig{ArrivalRate: 700, Servers: 1, Requests: 50000, Warmup: 2000, Seed: 5},
+		ExponentialService{Mean: time.Millisecond})
+	md1 := SimulateMGk(MGkConfig{ArrivalRate: 700, Servers: 1, Requests: 50000, Warmup: 2000, Seed: 5},
+		DeterministicService{Value: time.Millisecond})
+	if md1.Wait.Mean >= mm1.Wait.Mean {
+		t.Errorf("deterministic service should wait less: M/D/1 %v vs M/M/1 %v", md1.Wait.Mean, mm1.Wait.Mean)
+	}
+}
+
+func TestSimulateMGkMoreServersLowerLatency(t *testing.T) {
+	// Same per-server load; more servers should reduce tail latency
+	// (pooling effect), which is the expected multithreading behaviour the
+	// paper describes for masstree and xapian (Fig. 4).
+	one := SimulateMGk(MGkConfig{ArrivalRate: 800, Servers: 1, Requests: 50000, Warmup: 2000, Seed: 7},
+		ExponentialService{Mean: time.Millisecond})
+	four := SimulateMGk(MGkConfig{ArrivalRate: 3200, Servers: 4, Requests: 50000, Warmup: 2000, Seed: 7},
+		ExponentialService{Mean: time.Millisecond})
+	p95one := stats.Percentile(one.SojournSamples, 95)
+	p95four := stats.Percentile(four.SojournSamples, 95)
+	if p95four >= p95one {
+		t.Errorf("M/G/4 p95 (%v) should beat M/G/1 p95 (%v) at equal per-server load", p95four, p95one)
+	}
+}
+
+func TestSimulateEmpiricalDistribution(t *testing.T) {
+	// A dense empirical sample set (the sparse-set case is covered by the
+	// stats package tests; with many samples the interpolated sampling
+	// distribution matches the sample mean closely).
+	samples := make([]time.Duration, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, time.Duration(100+i)*time.Microsecond)
+	}
+	dist, err := stats.NewEmpiricalDistribution(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SimulateMGk(MGkConfig{ArrivalRate: 200, Servers: 1, Requests: 20000, Warmup: 1000, Seed: 9}, dist)
+	if res.Sojourn.Count == 0 {
+		t.Fatal("no samples")
+	}
+	if res.Sojourn.Mean < dist.Mean() {
+		t.Errorf("mean sojourn %v cannot be below mean service %v", res.Sojourn.Mean, dist.Mean())
+	}
+}
+
+func TestSimulateDegenerateConfig(t *testing.T) {
+	res := SimulateMGk(MGkConfig{ArrivalRate: 100, Servers: 0, Requests: 0, Warmup: -5, Seed: 1},
+		DeterministicService{Value: time.Millisecond})
+	if res.Sojourn.Count != 1 {
+		t.Errorf("degenerate config should still simulate one request, got %d", res.Sojourn.Count)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	low := SimulateMGk(MGkConfig{ArrivalRate: 100, Servers: 1, Requests: 30000, Warmup: 1000, Seed: 11},
+		ExponentialService{Mean: time.Millisecond})
+	high := SimulateMGk(MGkConfig{ArrivalRate: 900, Servers: 1, Requests: 30000, Warmup: 1000, Seed: 11},
+		ExponentialService{Mean: time.Millisecond})
+	if high.Sojourn.P95 <= low.Sojourn.P95 {
+		t.Errorf("p95 at rho=0.9 (%v) should exceed p95 at rho=0.1 (%v)", high.Sojourn.P95, low.Sojourn.P95)
+	}
+}

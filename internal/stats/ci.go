@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// ConfidenceInterval describes a symmetric confidence interval around a mean
+// of repeated-run measurements for a single latency metric.
+type ConfidenceInterval struct {
+	Mean      float64 // mean of per-run values (nanoseconds)
+	HalfWidth float64 // half-width of the interval (nanoseconds)
+	Level     float64 // confidence level, e.g. 0.95
+	Runs      int     // number of runs aggregated
+}
+
+// Relative returns the half-width as a fraction of the mean. The harness
+// repeats runs until this is at most the configured target (1% by default,
+// per Sec. IV-C). A mean of zero yields zero.
+func (ci ConfidenceInterval) Relative() float64 {
+	if ci.Mean == 0 {
+		return 0
+	}
+	return ci.HalfWidth / ci.Mean
+}
+
+// MeanDurationValue returns the mean as a time.Duration.
+func (ci ConfidenceInterval) MeanDurationValue() time.Duration {
+	return time.Duration(ci.Mean)
+}
+
+// tCritical95 holds two-sided 95% critical values of Student's t
+// distribution for small degrees of freedom; larger dof fall back to the
+// normal approximation (1.96).
+var tCritical95 = []float64{
+	0,      // dof 0 (unused)
+	12.706, // 1
+	4.303,  // 2
+	3.182,  // 3
+	2.776,  // 4
+	2.571,  // 5
+	2.447,  // 6
+	2.365,  // 7
+	2.306,  // 8
+	2.262,  // 9
+	2.228,  // 10
+	2.201,  // 11
+	2.179,  // 12
+	2.160,  // 13
+	2.145,  // 14
+	2.131,  // 15
+	2.120,  // 16
+	2.110,  // 17
+	2.101,  // 18
+	2.093,  // 19
+	2.086,  // 20
+	2.080,  // 21
+	2.074,  // 22
+	2.069,  // 23
+	2.064,  // 24
+	2.060,  // 25
+	2.056,  // 26
+	2.052,  // 27
+	2.048,  // 28
+	2.045,  // 29
+	2.042,  // 30
+}
+
+// tCritical returns the two-sided 95% Student's t critical value for the
+// given degrees of freedom.
+func tCritical(dof int) float64 {
+	if dof <= 0 {
+		return math.Inf(1)
+	}
+	if dof < len(tCritical95) {
+		return tCritical95[dof]
+	}
+	return 1.96
+}
+
+// ConfidenceInterval95 computes the 95% confidence interval of the mean of
+// per-run metric values (e.g. the 95th-percentile latency observed in each
+// of several repeated runs).
+func ConfidenceInterval95(perRun []float64) ConfidenceInterval {
+	n := len(perRun)
+	if n == 0 {
+		return ConfidenceInterval{Level: 0.95}
+	}
+	mean, sd := MeanStddev(perRun)
+	if n == 1 {
+		return ConfidenceInterval{Mean: mean, HalfWidth: math.Inf(1), Level: 0.95, Runs: 1}
+	}
+	hw := tCritical(n-1) * sd / math.Sqrt(float64(n))
+	return ConfidenceInterval{Mean: mean, HalfWidth: hw, Level: 0.95, Runs: n}
+}
+
+// ConfidenceIntervalDurations is ConfidenceInterval95 over duration samples.
+func ConfidenceIntervalDurations(perRun []time.Duration) ConfidenceInterval {
+	xs := make([]float64, len(perRun))
+	for i, d := range perRun {
+		xs[i] = float64(d)
+	}
+	return ConfidenceInterval95(xs)
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EmpiricalDistribution is a distribution built from observed samples. The
+// simulated-system backend (internal/sim) uses it to draw service times that
+// follow the shape measured from the real application, and the queueing
+// models (internal/queueing) use it as the general service-time distribution
+// of an M/G/k system.
+type EmpiricalDistribution struct {
+	sorted []time.Duration
+	mean   time.Duration
+	scv    float64
+}
+
+// ErrEmptyDistribution is returned when building a distribution from no samples.
+var ErrEmptyDistribution = errors.New("stats: empirical distribution requires at least one sample")
+
+// NewEmpiricalDistribution builds a distribution from samples. The input
+// slice is copied.
+func NewEmpiricalDistribution(samples []time.Duration) (*EmpiricalDistribution, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &EmpiricalDistribution{
+		sorted: sorted,
+		mean:   MeanDuration(sorted),
+		scv:    CoefficientOfVariationSquared(sorted),
+	}, nil
+}
+
+// Mean returns the distribution mean.
+func (d *EmpiricalDistribution) Mean() time.Duration { return d.mean }
+
+// SCV returns the squared coefficient of variation of the distribution.
+func (d *EmpiricalDistribution) SCV() float64 { return d.scv }
+
+// Len returns the number of underlying samples.
+func (d *EmpiricalDistribution) Len() int { return len(d.sorted) }
+
+// Quantile returns the q-quantile (q in [0,1]) with linear interpolation
+// between adjacent order statistics.
+func (d *EmpiricalDistribution) Quantile(q float64) time.Duration {
+	n := len(d.sorted)
+	if n == 1 {
+		return d.sorted[0]
+	}
+	if q <= 0 {
+		return d.sorted[0]
+	}
+	if q >= 1 {
+		return d.sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	hi := lo + 1
+	frac := pos - float64(lo)
+	return d.sorted[lo] + time.Duration(frac*float64(d.sorted[hi]-d.sorted[lo]))
+}
+
+// Sample draws a value from the distribution using inverse-transform
+// sampling over the empirical quantile function.
+func (d *EmpiricalDistribution) Sample(r *rand.Rand) time.Duration {
+	return d.Quantile(r.Float64())
+}
+
+// Scaled returns a new distribution with every sample multiplied by factor.
+// This models the constant performance error a simulator introduces relative
+// to the real system (Sec. VI-B): latency-vs-load curves shift horizontally
+// by a constant factor.
+func (d *EmpiricalDistribution) Scaled(factor float64) *EmpiricalDistribution {
+	out := make([]time.Duration, len(d.sorted))
+	for i, v := range d.sorted {
+		out[i] = time.Duration(float64(v) * factor)
+	}
+	nd, _ := NewEmpiricalDistribution(out)
+	return nd
+}
+
+// Percentiles returns the distribution values at the given percentiles (0-100).
+func (d *EmpiricalDistribution) Percentiles(ps []float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		out[i] = d.Quantile(p / 100)
+	}
+	return out
+}

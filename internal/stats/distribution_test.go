@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpiricalDistributionEmpty(t *testing.T) {
+	if _, err := NewEmpiricalDistribution(nil); err != ErrEmptyDistribution {
+		t.Fatalf("expected ErrEmptyDistribution, got %v", err)
+	}
+}
+
+func TestEmpiricalDistributionQuantile(t *testing.T) {
+	d, err := NewEmpiricalDistribution([]time.Duration{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Quantile(0) != 10 || d.Quantile(1) != 50 {
+		t.Errorf("quantile edges wrong: %v %v", d.Quantile(0), d.Quantile(1))
+	}
+	if d.Quantile(0.5) != 30 {
+		t.Errorf("median = %v, want 30", d.Quantile(0.5))
+	}
+	// Interpolation between order statistics.
+	if d.Quantile(0.125) != 15 {
+		t.Errorf("q(0.125) = %v, want 15 (interpolated)", d.Quantile(0.125))
+	}
+	if d.Mean() != 30 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Len() != 5 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestEmpiricalDistributionSingle(t *testing.T) {
+	d, _ := NewEmpiricalDistribution([]time.Duration{7})
+	for _, q := range []float64{0, 0.3, 0.99, 1} {
+		if d.Quantile(q) != 7 {
+			t.Errorf("quantile(%v) = %v, want 7", q, d.Quantile(q))
+		}
+	}
+}
+
+func TestEmpiricalDistributionSamplePreservesMean(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	src := make([]time.Duration, 20000)
+	for i := range src {
+		src[i] = time.Duration(r.ExpFloat64() * float64(time.Millisecond))
+	}
+	d, _ := NewEmpiricalDistribution(src)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	got := sum / float64(n)
+	if math.Abs(got-float64(d.Mean()))/float64(d.Mean()) > 0.02 {
+		t.Errorf("resampled mean %f differs from distribution mean %v by >2%%", got, d.Mean())
+	}
+}
+
+func TestEmpiricalDistributionScaled(t *testing.T) {
+	d, _ := NewEmpiricalDistribution([]time.Duration{100, 200, 300})
+	s := d.Scaled(2)
+	if s.Mean() != 400 {
+		t.Errorf("scaled mean = %v, want 400", s.Mean())
+	}
+	if s.Quantile(1) != 600 {
+		t.Errorf("scaled max = %v, want 600", s.Quantile(1))
+	}
+	// SCV is scale invariant.
+	if math.Abs(s.SCV()-d.SCV()) > 1e-12 {
+		t.Errorf("SCV should be invariant under scaling: %f vs %f", s.SCV(), d.SCV())
+	}
+}
+
+func TestEmpiricalDistributionPercentiles(t *testing.T) {
+	d, _ := NewEmpiricalDistribution([]time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	ps := d.Percentiles([]float64{0, 50, 100})
+	if len(ps) != 3 || ps[0] != 1 || ps[2] != 10 {
+		t.Errorf("percentiles = %v", ps)
+	}
+}
+
+func TestEmpiricalDistributionQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		d, err := NewEmpiricalDistribution(samples)
+		if err != nil {
+			return false
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := d.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

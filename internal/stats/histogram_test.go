@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("empty histogram count = %d, want 0", h.Count())
+	}
+	if h.Percentile(95) != 0 {
+		t.Errorf("empty histogram p95 = %d, want 0", h.Percentile(95))
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty histogram mean = %f, want 0", h.Mean())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram min/max = %d/%d, want 0/0", h.Min(), h.Max())
+	}
+	if h.CDF() != nil {
+		t.Errorf("empty histogram CDF should be nil")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(int64(5 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	for _, p := range []float64{0, 1, 50, 95, 99, 100} {
+		got := h.Percentile(p)
+		if got != int64(5*time.Millisecond) {
+			t.Errorf("p%.0f = %d, want exactly the single recorded value", p, got)
+		}
+	}
+}
+
+func TestHistogramPrecision(t *testing.T) {
+	// Recorded percentiles must be within ~1.2% of the exact value
+	// (the paper's HDR precision target is 1%; our bucket width is 10^(1/100)).
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(42))
+	var samples []time.Duration
+	for i := 0; i < 200000; i++ {
+		// Log-uniform across 10us .. 100ms to stress many decades.
+		v := time.Duration(math.Pow(10, 4+r.Float64()*4) * 1000)
+		samples = append(samples, v)
+		h.RecordDuration(v)
+	}
+	exact := SummaryFromSamples(samples)
+	for _, tc := range []struct {
+		name  string
+		exact time.Duration
+		got   time.Duration
+	}{
+		{"p50", exact.P50, h.PercentileDuration(50)},
+		{"p95", exact.P95, h.PercentileDuration(95)},
+		{"p99", exact.P99, h.PercentileDuration(99)},
+	} {
+		rel := math.Abs(float64(tc.got-tc.exact)) / float64(tc.exact)
+		if rel > 0.013 {
+			t.Errorf("%s: histogram=%v exact=%v relative error %.4f > 1.3%%", tc.name, tc.got, tc.exact, rel)
+		}
+	}
+	if math.Abs(h.Mean()-float64(exact.Mean)) > 1 {
+		t.Errorf("mean: histogram=%f exact=%d (means are tracked exactly)", h.Mean(), exact.Mean)
+	}
+}
+
+func TestHistogramLogarithmicSpace(t *testing.T) {
+	// 1us..1000s is 9 decades; with 100 buckets per decade the histogram
+	// should use on the order of 900 buckets, as claimed in the paper.
+	h := NewHistogram()
+	if n := h.NumBuckets(); n < 800 || n > 1000 {
+		t.Errorf("NumBuckets() = %d, want roughly 900 (logarithmic space)", n)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogramRange(int64(time.Microsecond), int64(time.Second))
+	h.Record(int64(100 * time.Second)) // above range
+	h.Record(-5)                       // negative clamps to 0
+	h.Record(10)                       // below minimum
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Saturated() != 1 {
+		t.Errorf("saturated = %d, want 1", h.Saturated())
+	}
+	if h.Percentile(100) != int64(100*time.Second) {
+		t.Errorf("max should be tracked exactly even when clamped: %d", h.Percentile(100))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	all := NewHistogram()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := int64(r.ExpFloat64() * float64(time.Millisecond))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+	if a.Percentile(95) != all.Percentile(95) {
+		t.Errorf("merged p95 = %d, want %d", a.Percentile(95), all.Percentile(95))
+	}
+	if a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Errorf("merged min/max mismatch")
+	}
+}
+
+func TestHistogramMergeRangeMismatch(t *testing.T) {
+	a := NewHistogramRange(1000, int64(time.Second))
+	b := NewHistogram()
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected error merging histograms with different ranges")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merging nil should be a no-op, got %v", err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(int64(time.Millisecond))
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Errorf("reset histogram should be empty")
+	}
+}
+
+func TestHistogramCDFMonotonic(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Record(int64(r.ExpFloat64() * float64(2*time.Millisecond)))
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("CDF is empty")
+	}
+	prev := CDFPoint{}
+	for i, p := range cdf {
+		if i > 0 {
+			if p.Value <= prev.Value {
+				t.Fatalf("CDF values not increasing at %d: %v <= %v", i, p.Value, prev.Value)
+			}
+			if p.Cumulative < prev.Cumulative {
+				t.Fatalf("CDF probabilities not monotone at %d", i)
+			}
+		}
+		prev = p
+	}
+	if math.Abs(cdf[len(cdf)-1].Cumulative-1.0) > 1e-9 {
+		t.Errorf("CDF must end at 1.0, got %f", cdf[len(cdf)-1].Cumulative)
+	}
+}
+
+func TestHistogramPercentileMonotonicProperty(t *testing.T) {
+	// Property: for any sample set, percentiles are non-decreasing in p and
+	// bounded by [min, max].
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(int64(v) + 1)
+		}
+		prev := int64(0)
+		for p := 1.0; p <= 100; p += 1 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCountProperty(t *testing.T) {
+	// Property: count equals number of recorded samples and mean stays within [min, max].
+	f := func(raw []uint16) bool {
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(int64(v))
+		}
+		if h.Count() != uint64(len(raw)) {
+			return false
+		}
+		if len(raw) > 0 {
+			m := h.Mean()
+			if m < float64(h.Min()) || m > float64(h.Max()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	samples := []time.Duration{3, 1, 2, 2, 5}
+	cdf := SampleCDF(samples)
+	if len(cdf) != 4 {
+		t.Fatalf("expected 4 distinct points, got %d", len(cdf))
+	}
+	if cdf[len(cdf)-1].Cumulative != 1.0 {
+		t.Errorf("last CDF point must be 1.0")
+	}
+	if cdf[0].Value != 1 {
+		t.Errorf("first point should be the minimum")
+	}
+	if SampleCDF(nil) != nil {
+		t.Errorf("empty input should give nil CDF")
+	}
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencySummary holds the latency metrics the harness reports for a single
+// measurement stream (queue, service, or sojourn time).
+type LatencySummary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+	Min   time.Duration
+}
+
+// String renders the summary in a compact human-readable form.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// SummaryFromHistogram extracts the standard latency metrics from a histogram.
+func SummaryFromHistogram(h *Histogram) LatencySummary {
+	if h == nil || h.Count() == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  time.Duration(h.Mean()),
+		P50:   h.PercentileDuration(50),
+		P95:   h.PercentileDuration(95),
+		P99:   h.PercentileDuration(99),
+		Max:   time.Duration(h.Max()),
+		Min:   time.Duration(h.Min()),
+	}
+}
+
+// SummaryFromSamples computes exact latency metrics from raw samples.
+// Used for short runs, where the harness keeps every individual measurement
+// to maximize accuracy (Sec. IV-C).
+func SummaryFromSamples(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, v := range sorted {
+		sum += v
+	}
+	return LatencySummary{
+		Count: uint64(len(sorted)),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   PercentileOfSorted(sorted, 50),
+		P95:   PercentileOfSorted(sorted, 95),
+		P99:   PercentileOfSorted(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+		Min:   sorted[0],
+	}
+}
+
+// PercentileOfSorted returns the p-th percentile (0 < p <= 100) of an
+// already-sorted sample slice using the nearest-rank method.
+func PercentileOfSorted(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Percentile sorts a copy of samples and returns the p-th percentile.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return PercentileOfSorted(sorted, p)
+}
+
+// MeanDuration returns the arithmetic mean of the samples.
+func MeanDuration(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += float64(v)
+	}
+	return time.Duration(sum / float64(len(samples)))
+}
+
+// MeanStddev returns the mean and (sample) standard deviation of float64 data.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / (n - 1))
+}
+
+// CoefficientOfVariationSquared returns the squared coefficient of variation
+// (variance over squared mean) of the samples, the quantity that drives
+// M/G/1 queueing behaviour.
+func CoefficientOfVariationSquared(samples []time.Duration) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	xs := make([]float64, len(samples))
+	for i, v := range samples {
+		xs[i] = float64(v)
+	}
+	mean, sd := MeanStddev(xs)
+	if mean == 0 {
+		return 0
+	}
+	return (sd * sd) / (mean * mean)
+}

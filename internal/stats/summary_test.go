@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryFromSamplesBasic(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := SummaryFromSamples(samples)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", s.P95)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", s.P99)
+	}
+	if s.Max != 100*time.Millisecond || s.Min != time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 50*time.Millisecond+500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", s.Mean)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := SummaryFromSamples(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary should be zero valued: %+v", s)
+	}
+	if SummaryFromHistogram(nil).Count != 0 {
+		t.Errorf("nil histogram summary should be zero valued")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := SummaryFromSamples([]time.Duration{time.Millisecond})
+	if s.String() == "" {
+		t.Error("String() should not be empty")
+	}
+}
+
+func TestPercentileOfSortedEdges(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5}
+	if got := PercentileOfSorted(sorted, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := PercentileOfSorted(sorted, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := PercentileOfSorted(sorted, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := PercentileOfSorted(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}
+
+func TestPercentileUnsortedMatchesSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	samples := make([]time.Duration, 501)
+	for i := range samples {
+		samples[i] = time.Duration(r.Intn(1e6))
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, p := range []float64{10, 50, 90, 95, 99, 99.9} {
+		if Percentile(samples, p) != PercentileOfSorted(sorted, p) {
+			t.Errorf("Percentile(%v) mismatch", p)
+		}
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	mean, sd := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %f, want 5", mean)
+	}
+	if math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("stddev = %f, want ~2.138 (sample stddev)", sd)
+	}
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Errorf("empty MeanStddev should be 0,0")
+	}
+	if _, s := MeanStddev([]float64{3}); s != 0 {
+		t.Errorf("single-element stddev should be 0")
+	}
+}
+
+func TestCoefficientOfVariationSquared(t *testing.T) {
+	// Deterministic service times: SCV = 0.
+	constant := []time.Duration{5, 5, 5, 5, 5}
+	if scv := CoefficientOfVariationSquared(constant); scv != 0 {
+		t.Errorf("constant SCV = %f, want 0", scv)
+	}
+	// Exponential service times: SCV ~ 1.
+	r := rand.New(rand.NewSource(5))
+	exp := make([]time.Duration, 100000)
+	for i := range exp {
+		exp[i] = time.Duration(r.ExpFloat64() * 1e6)
+	}
+	if scv := CoefficientOfVariationSquared(exp); math.Abs(scv-1) > 0.05 {
+		t.Errorf("exponential SCV = %f, want ~1", scv)
+	}
+	if CoefficientOfVariationSquared(nil) != 0 {
+		t.Errorf("empty SCV should be 0")
+	}
+}
+
+func TestSummaryPropertyMeanWithinRange(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		s := SummaryFromSamples(samples)
+		return s.Mean >= s.Min && s.Mean <= s.Max && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	ci := ConfidenceInterval95([]float64{10, 10, 10, 10})
+	if ci.HalfWidth != 0 {
+		t.Errorf("identical runs should have zero half-width, got %f", ci.HalfWidth)
+	}
+	if ci.Relative() != 0 {
+		t.Errorf("relative should be 0")
+	}
+	ci = ConfidenceInterval95([]float64{100})
+	if !math.IsInf(ci.HalfWidth, 1) {
+		t.Errorf("single run should have infinite half-width")
+	}
+	ci = ConfidenceInterval95(nil)
+	if ci.Runs != 0 || ci.Mean != 0 {
+		t.Errorf("empty CI should be zero")
+	}
+	// Known example: samples 8,9,10,11,12 -> mean 10, sd ~1.58, t(4)=2.776.
+	ci = ConfidenceInterval95([]float64{8, 9, 10, 11, 12})
+	if ci.Mean != 10 {
+		t.Errorf("mean = %f", ci.Mean)
+	}
+	want := 2.776 * 1.5811 / math.Sqrt(5)
+	if math.Abs(ci.HalfWidth-want) > 0.01 {
+		t.Errorf("half-width = %f, want %f", ci.HalfWidth, want)
+	}
+	if math.Abs(ci.Relative()-want/10) > 0.001 {
+		t.Errorf("relative = %f", ci.Relative())
+	}
+}
+
+func TestConfidenceIntervalDurations(t *testing.T) {
+	ci := ConfidenceIntervalDurations([]time.Duration{time.Millisecond, time.Millisecond})
+	if ci.Runs != 2 {
+		t.Errorf("runs = %d", ci.Runs)
+	}
+	if ci.MeanDurationValue() != time.Millisecond {
+		t.Errorf("mean = %v", ci.MeanDurationValue())
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if tCritical(1) != 12.706 {
+		t.Errorf("t(1) = %f", tCritical(1))
+	}
+	if tCritical(100) != 1.96 {
+		t.Errorf("t(100) = %f", tCritical(100))
+	}
+	if !math.IsInf(tCritical(0), 1) {
+		t.Errorf("t(0) should be +Inf")
+	}
+}

@@ -1,0 +1,235 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tailbench/internal/workload"
+)
+
+// TxType enumerates the five TPC-C transactions.
+type TxType uint8
+
+// TPC-C transaction types.
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+// String returns the transaction name.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "NewOrder"
+	case TxPayment:
+		return "Payment"
+	case TxOrderStatus:
+		return "OrderStatus"
+	case TxDelivery:
+		return "Delivery"
+	case TxStockLevel:
+		return "StockLevel"
+	default:
+		return fmt.Sprintf("TxType(%d)", uint8(t))
+	}
+}
+
+// OrderLineInput is one requested item of a NewOrder transaction.
+type OrderLineInput struct {
+	Item     int
+	SupplyWH int
+	Quantity int
+}
+
+// TxInput is the decoded input of one transaction.
+type TxInput struct {
+	Type      TxType
+	Warehouse int
+	District  int
+	Customer  int
+	Amount    int64
+	Carrier   int
+	Threshold int
+	Lines     []OrderLineInput
+}
+
+// Generator produces TPC-C transaction inputs with the standard mix and
+// NURand-style skewed customer/item selection.
+type Generator struct {
+	r          *rand.Rand
+	warehouses int
+	cLast      int // NURand constant for customer selection
+	cID        int // NURand constant for item selection
+}
+
+// NewGenerator returns a generator over the given number of warehouses.
+func NewGenerator(warehouses int, seed int64) *Generator {
+	if warehouses < 1 {
+		warehouses = 1
+	}
+	r := workload.NewRand(seed)
+	return &Generator{r: r, warehouses: warehouses, cLast: r.Intn(256), cID: r.Intn(1024)}
+}
+
+// Warehouses returns the configured warehouse count.
+func (g *Generator) Warehouses() int { return g.warehouses }
+
+// nuRand is the TPC-C non-uniform random function NURand(A, x, y).
+func (g *Generator) nuRand(a, c, x, y int) int {
+	return (((g.r.Intn(a+1) | (x + g.r.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// customer picks a customer id with the TPC-C skew.
+func (g *Generator) customer() int {
+	return g.nuRand(1023, g.cID, 0, CustomersPerDistrict-1)
+}
+
+// item picks an item id with the TPC-C skew.
+func (g *Generator) item() int {
+	return g.nuRand(8191, g.cLast, 0, ItemsPerWarehouse-1)
+}
+
+// Next returns the next transaction input following the standard mix.
+func (g *Generator) Next() TxInput {
+	p := g.r.Float64()
+	switch {
+	case p < 0.45:
+		return g.NewOrderInput()
+	case p < 0.88:
+		return g.PaymentInput()
+	case p < 0.92:
+		return g.OrderStatusInput()
+	case p < 0.96:
+		return g.DeliveryInput()
+	default:
+		return g.StockLevelInput()
+	}
+}
+
+// NewOrderInput builds a NewOrder transaction input.
+func (g *Generator) NewOrderInput() TxInput {
+	w := g.r.Intn(g.warehouses)
+	in := TxInput{
+		Type:      TxNewOrder,
+		Warehouse: w,
+		District:  g.r.Intn(DistrictsPerWarehouse),
+		Customer:  g.customer(),
+	}
+	lines := 5 + g.r.Intn(11)
+	for i := 0; i < lines; i++ {
+		supply := w
+		// 1% of lines are supplied by a remote warehouse (when there is one).
+		if g.warehouses > 1 && g.r.Float64() < 0.01 {
+			supply = g.r.Intn(g.warehouses)
+		}
+		in.Lines = append(in.Lines, OrderLineInput{
+			Item:     g.item(),
+			SupplyWH: supply,
+			Quantity: 1 + g.r.Intn(10),
+		})
+	}
+	return in
+}
+
+// PaymentInput builds a Payment transaction input.
+func (g *Generator) PaymentInput() TxInput {
+	return TxInput{
+		Type:      TxPayment,
+		Warehouse: g.r.Intn(g.warehouses),
+		District:  g.r.Intn(DistrictsPerWarehouse),
+		Customer:  g.customer(),
+		Amount:    int64(100 + g.r.Intn(500000)),
+	}
+}
+
+// OrderStatusInput builds an OrderStatus transaction input.
+func (g *Generator) OrderStatusInput() TxInput {
+	return TxInput{
+		Type:      TxOrderStatus,
+		Warehouse: g.r.Intn(g.warehouses),
+		District:  g.r.Intn(DistrictsPerWarehouse),
+		Customer:  g.customer(),
+	}
+}
+
+// DeliveryInput builds a Delivery transaction input.
+func (g *Generator) DeliveryInput() TxInput {
+	return TxInput{
+		Type:      TxDelivery,
+		Warehouse: g.r.Intn(g.warehouses),
+		Carrier:   1 + g.r.Intn(10),
+	}
+}
+
+// StockLevelInput builds a StockLevel transaction input.
+func (g *Generator) StockLevelInput() TxInput {
+	return TxInput{
+		Type:      TxStockLevel,
+		Warehouse: g.r.Intn(g.warehouses),
+		District:  g.r.Intn(DistrictsPerWarehouse),
+		Threshold: 10 + g.r.Intn(11),
+	}
+}
+
+// Population data builders. Engines call these to construct initial rows.
+
+// MakeWarehouse builds the initial warehouse row.
+func MakeWarehouse(w int) Warehouse {
+	return Warehouse{ID: w, Name: fmt.Sprintf("wh-%d", w), Tax: 0.05, YTD: 0}
+}
+
+// MakeDistrict builds an initial district row.
+func MakeDistrict(w, d int) District {
+	return District{ID: d, Warehouse: w, Name: fmt.Sprintf("dist-%d-%d", w, d), Tax: 0.07, NextOrderID: InitialOrdersPerDist + 1}
+}
+
+// MakeCustomer builds an initial customer row.
+func MakeCustomer(w, d, c int, r *rand.Rand) Customer {
+	credit := "GC"
+	if r.Intn(10) == 0 {
+		credit = "BC"
+	}
+	return Customer{
+		ID: c, District: d, Warehouse: w,
+		Name:    fmt.Sprintf("cust-%d-%d-%d", w, d, c),
+		Credit:  credit,
+		Balance: -1000,
+	}
+}
+
+// MakeItem builds an initial item row.
+func MakeItem(i int, r *rand.Rand) Item {
+	return Item{ID: i, Name: fmt.Sprintf("item-%d", i), Price: int64(100 + r.Intn(9900)), Data: "original"}
+}
+
+// MakeStock builds an initial stock row.
+func MakeStock(w, i int, r *rand.Rand) Stock {
+	return Stock{Item: i, Warehouse: w, Quantity: 10 + r.Intn(91)}
+}
+
+// MakeInitialOrder builds an initial order row with its lines. orderID is
+// 1-based; customers are assigned round-robin so every customer has at least
+// one order when InitialOrdersPerDist >= CustomersPerDistrict.
+func MakeInitialOrder(w, d, orderID int, r *rand.Rand) (Order, []OrderLine) {
+	cust := (orderID - 1) % CustomersPerDistrict
+	lines := 5 + r.Intn(11)
+	o := Order{
+		ID: orderID, District: d, Warehouse: w, Customer: cust,
+		LineCount: lines, AllLocal: true,
+	}
+	if orderID <= InitialOrdersPerDist*2/3 {
+		o.Carrier = 1 + r.Intn(10) // already delivered
+	}
+	ols := make([]OrderLine, lines)
+	for l := 0; l < lines; l++ {
+		ols[l] = OrderLine{
+			Order: orderID, District: d, Warehouse: w, Number: l + 1,
+			Item: r.Intn(ItemsPerWarehouse), SupplyWH: w,
+			Quantity: 5, Amount: int64(r.Intn(10000)),
+		}
+	}
+	return o, ols
+}

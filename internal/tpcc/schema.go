@@ -1,0 +1,165 @@
+// Package tpcc provides the TPC-C substrate shared by the silo and shore
+// applications: the warehouse schema (row types and key encodings), the
+// initial database population, and the transaction input generators with the
+// standard TPC-C mix (45% NewOrder, 43% Payment, 4% each OrderStatus,
+// Delivery, StockLevel). Both OLTP engines consume the same inputs, so their
+// latency behaviour differs only because of their storage architectures —
+// exactly the contrast the paper draws between silo (in-memory) and shore
+// (on-disk) in Sec. III.
+package tpcc
+
+import "fmt"
+
+// Scale constants. The full TPC-C specification uses 100,000 items and 3,000
+// customers per district; the suite shrinks these (keeping the schema and
+// transaction logic intact) so the benchmarks run on any machine. The
+// warehouse count is the headline scale knob, as in the paper (silo: 1
+// warehouse, shore: 10 warehouses).
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 300
+	ItemsPerWarehouse     = 10000
+	InitialOrdersPerDist  = 300
+	StockPerItem          = 50
+)
+
+// Warehouse is the TPC-C WAREHOUSE row.
+type Warehouse struct {
+	ID   int
+	Name string
+	Tax  float64
+	YTD  int64
+}
+
+// District is the TPC-C DISTRICT row.
+type District struct {
+	ID          int
+	Warehouse   int
+	Name        string
+	Tax         float64
+	YTD         int64
+	NextOrderID int
+}
+
+// Customer is the TPC-C CUSTOMER row.
+type Customer struct {
+	ID           int
+	District     int
+	Warehouse    int
+	Name         string
+	Credit       string
+	Balance      int64
+	YTDPayment   int64
+	PaymentCount int
+	DeliveryCnt  int
+}
+
+// Item is the TPC-C ITEM row.
+type Item struct {
+	ID    int
+	Name  string
+	Price int64
+	Data  string
+}
+
+// Stock is the TPC-C STOCK row.
+type Stock struct {
+	Item      int
+	Warehouse int
+	Quantity  int
+	YTD       int64
+	OrderCnt  int
+	RemoteCnt int
+}
+
+// Order is the TPC-C ORDER row.
+type Order struct {
+	ID        int
+	District  int
+	Warehouse int
+	Customer  int
+	Carrier   int // 0 means undelivered
+	LineCount int
+	AllLocal  bool
+	EntryTime int64
+}
+
+// OrderLine is the TPC-C ORDER-LINE row.
+type OrderLine struct {
+	Order        int
+	District     int
+	Warehouse    int
+	Number       int
+	Item         int
+	SupplyWH     int
+	Quantity     int
+	Amount       int64
+	DeliveryTime int64
+}
+
+// NewOrderEntry is the TPC-C NEW-ORDER row (the queue of undelivered orders).
+type NewOrderEntry struct {
+	Order     int
+	District  int
+	Warehouse int
+}
+
+// History is the TPC-C HISTORY row.
+type History struct {
+	Customer  int
+	District  int
+	Warehouse int
+	Amount    int64
+	When      int64
+}
+
+// Table names used by both engines.
+const (
+	TableWarehouse = "warehouse"
+	TableDistrict  = "district"
+	TableCustomer  = "customer"
+	TableItem      = "item"
+	TableStock     = "stock"
+	TableOrder     = "order"
+	TableOrderLine = "orderline"
+	TableNewOrder  = "neworder"
+	TableHistory   = "history"
+	// TableCustomerOrder is a secondary index mapping each customer to their
+	// most recent order id (used by OrderStatus).
+	TableCustomerOrder = "customerorder"
+)
+
+// Key encodings. Both engines index rows by these string keys.
+
+// WarehouseKey returns the key of a warehouse row.
+func WarehouseKey(w int) string { return fmt.Sprintf("w:%04d", w) }
+
+// DistrictKey returns the key of a district row.
+func DistrictKey(w, d int) string { return fmt.Sprintf("d:%04d:%02d", w, d) }
+
+// CustomerKey returns the key of a customer row.
+func CustomerKey(w, d, c int) string { return fmt.Sprintf("c:%04d:%02d:%04d", w, d, c) }
+
+// ItemKey returns the key of an item row.
+func ItemKey(i int) string { return fmt.Sprintf("i:%06d", i) }
+
+// StockKey returns the key of a stock row.
+func StockKey(w, i int) string { return fmt.Sprintf("s:%04d:%06d", w, i) }
+
+// OrderKey returns the key of an order row.
+func OrderKey(w, d, o int) string { return fmt.Sprintf("o:%04d:%02d:%08d", w, d, o) }
+
+// OrderLineKey returns the key of an order-line row.
+func OrderLineKey(w, d, o, n int) string { return fmt.Sprintf("ol:%04d:%02d:%08d:%02d", w, d, o, n) }
+
+// NewOrderKey returns the key of a new-order row.
+func NewOrderKey(w, d, o int) string { return fmt.Sprintf("no:%04d:%02d:%08d", w, d, o) }
+
+// HistoryKey returns the key of a history row; seq disambiguates entries.
+func HistoryKey(w, d, c, seq int) string {
+	return fmt.Sprintf("h:%04d:%02d:%04d:%08d", w, d, c, seq)
+}
+
+// CustomerOrderKey is a secondary-index key mapping a customer to their most
+// recent order.
+func CustomerOrderKey(w, d, c int) string { return fmt.Sprintf("co:%04d:%02d:%04d", w, d, c) }

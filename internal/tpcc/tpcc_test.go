@@ -1,0 +1,219 @@
+package tpcc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tailbench/internal/workload"
+)
+
+func TestKeyEncodingsAreDistinct(t *testing.T) {
+	keys := []string{
+		WarehouseKey(1),
+		DistrictKey(1, 2),
+		CustomerKey(1, 2, 3),
+		ItemKey(42),
+		StockKey(1, 42),
+		OrderKey(1, 2, 100),
+		OrderLineKey(1, 2, 100, 3),
+		NewOrderKey(1, 2, 100),
+		HistoryKey(1, 2, 3, 7),
+		CustomerOrderKey(1, 2, 3),
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if k == "" {
+			t.Fatal("empty key")
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestOrderKeysSortByOrderID(t *testing.T) {
+	// Order keys for the same district must sort in order-id order so that
+	// ordered scans find the oldest/newest orders correctly.
+	if !(OrderKey(1, 2, 5) < OrderKey(1, 2, 6) && OrderKey(1, 2, 99) < OrderKey(1, 2, 100)) {
+		t.Error("order keys must sort by zero-padded order id")
+	}
+	if !(OrderLineKey(1, 2, 7, 1) < OrderLineKey(1, 2, 7, 2)) {
+		t.Error("order line keys must sort by line number")
+	}
+}
+
+func TestKeyUniquenessProperty(t *testing.T) {
+	f := func(w1, d1, c1, w2, d2, c2 uint8) bool {
+		k1 := CustomerKey(int(w1), int(d1), int(c1))
+		k2 := CustomerKey(int(w2), int(d2), int(c2))
+		same := w1 == w2 && d1 == d2 && c1 == c2
+		return (k1 == k2) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxTypeString(t *testing.T) {
+	for _, tt := range []TxType{TxNewOrder, TxPayment, TxOrderStatus, TxDelivery, TxStockLevel} {
+		if strings.Contains(tt.String(), "TxType(") {
+			t.Errorf("missing name for %d", tt)
+		}
+	}
+	if !strings.Contains(TxType(99).String(), "99") {
+		t.Error("unknown type should render numerically")
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	g := NewGenerator(4, 7)
+	if g.Warehouses() != 4 {
+		t.Fatalf("warehouses = %d", g.Warehouses())
+	}
+	counts := map[TxType]int{}
+	n := 50000
+	for i := 0; i < n; i++ {
+		in := g.Next()
+		counts[in.Type]++
+		if in.Warehouse < 0 || in.Warehouse >= 4 {
+			t.Fatalf("warehouse %d out of range", in.Warehouse)
+		}
+	}
+	frac := func(t TxType) float64 { return float64(counts[t]) / float64(n) }
+	if f := frac(TxNewOrder); f < 0.42 || f > 0.48 {
+		t.Errorf("NewOrder fraction %.3f, want ~0.45", f)
+	}
+	if f := frac(TxPayment); f < 0.40 || f > 0.46 {
+		t.Errorf("Payment fraction %.3f, want ~0.43", f)
+	}
+	for _, tt := range []TxType{TxOrderStatus, TxDelivery, TxStockLevel} {
+		if f := frac(tt); f < 0.02 || f > 0.06 {
+			t.Errorf("%v fraction %.3f, want ~0.04", tt, f)
+		}
+	}
+}
+
+func TestNewOrderInputShape(t *testing.T) {
+	g := NewGenerator(2, 9)
+	for i := 0; i < 1000; i++ {
+		in := g.NewOrderInput()
+		if in.Type != TxNewOrder {
+			t.Fatal("wrong type")
+		}
+		if len(in.Lines) < 5 || len(in.Lines) > 15 {
+			t.Fatalf("line count %d outside [5,15]", len(in.Lines))
+		}
+		if in.District < 0 || in.District >= DistrictsPerWarehouse {
+			t.Fatalf("district %d out of range", in.District)
+		}
+		if in.Customer < 0 || in.Customer >= CustomersPerDistrict {
+			t.Fatalf("customer %d out of range", in.Customer)
+		}
+		for _, l := range in.Lines {
+			if l.Item < 0 || l.Item >= ItemsPerWarehouse {
+				t.Fatalf("item %d out of range", l.Item)
+			}
+			if l.Quantity < 1 || l.Quantity > 10 {
+				t.Fatalf("quantity %d out of range", l.Quantity)
+			}
+			if l.SupplyWH < 0 || l.SupplyWH >= 2 {
+				t.Fatalf("supply warehouse %d out of range", l.SupplyWH)
+			}
+		}
+	}
+}
+
+func TestOtherInputs(t *testing.T) {
+	g := NewGenerator(1, 11)
+	p := g.PaymentInput()
+	if p.Type != TxPayment || p.Amount <= 0 {
+		t.Errorf("payment input: %+v", p)
+	}
+	os := g.OrderStatusInput()
+	if os.Type != TxOrderStatus || os.Customer < 0 {
+		t.Errorf("order status input: %+v", os)
+	}
+	d := g.DeliveryInput()
+	if d.Type != TxDelivery || d.Carrier < 1 || d.Carrier > 10 {
+		t.Errorf("delivery input: %+v", d)
+	}
+	s := g.StockLevelInput()
+	if s.Type != TxStockLevel || s.Threshold < 10 || s.Threshold > 20 {
+		t.Errorf("stock level input: %+v", s)
+	}
+	// Single-warehouse generators never produce remote supply warehouses.
+	for i := 0; i < 200; i++ {
+		for _, l := range g.NewOrderInput().Lines {
+			if l.SupplyWH != 0 {
+				t.Fatal("single warehouse must supply locally")
+			}
+		}
+	}
+}
+
+func TestCustomerSkew(t *testing.T) {
+	g := NewGenerator(1, 13)
+	counts := make([]int, CustomersPerDistrict)
+	for i := 0; i < 100000; i++ {
+		counts[g.customer()]++
+	}
+	// NURand concentrates selections; the most popular customer must be
+	// selected noticeably more often than the average.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	avg := 100000 / CustomersPerDistrict
+	if max < 2*avg {
+		t.Errorf("customer selection not skewed: max %d vs avg %d", max, avg)
+	}
+}
+
+func TestPopulationBuilders(t *testing.T) {
+	r := workload.NewRand(3)
+	w := MakeWarehouse(2)
+	if w.ID != 2 || w.Name == "" {
+		t.Errorf("warehouse: %+v", w)
+	}
+	d := MakeDistrict(2, 3)
+	if d.NextOrderID != InitialOrdersPerDist+1 {
+		t.Errorf("district next order id = %d", d.NextOrderID)
+	}
+	c := MakeCustomer(2, 3, 4, r)
+	if c.Warehouse != 2 || c.District != 3 || c.ID != 4 {
+		t.Errorf("customer: %+v", c)
+	}
+	it := MakeItem(5, r)
+	if it.Price < 100 || it.Price >= 10000 {
+		t.Errorf("item price %d", it.Price)
+	}
+	s := MakeStock(2, 5, r)
+	if s.Quantity < 10 || s.Quantity > 100 {
+		t.Errorf("stock quantity %d", s.Quantity)
+	}
+	o, lines := MakeInitialOrder(2, 3, 1, r)
+	if o.Customer != 0 {
+		t.Errorf("order 1 should belong to customer 0, got %d", o.Customer)
+	}
+	if len(lines) != o.LineCount {
+		t.Errorf("line count mismatch: %d vs %d", len(lines), o.LineCount)
+	}
+	for i, l := range lines {
+		if l.Number != i+1 || l.Order != 1 {
+			t.Errorf("line %d mis-numbered: %+v", i, l)
+		}
+	}
+	// Every customer gets an order when enough initial orders exist.
+	seen := map[int]bool{}
+	for oid := 1; oid <= InitialOrdersPerDist; oid++ {
+		o, _ := MakeInitialOrder(0, 0, oid, r)
+		seen[o.Customer] = true
+	}
+	if len(seen) != CustomersPerDistrict {
+		t.Errorf("initial orders cover %d customers, want %d", len(seen), CustomersPerDistrict)
+	}
+}

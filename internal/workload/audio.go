@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Acoustic feature geometry for the synthetic speech workload. The sphinx
+// benchmark processes utterances from the CMU AN4 alphanumeric corpus; we
+// stand in MFCC-like feature frames generated from per-phone Gaussian
+// prototypes so the Viterbi decoder has real structure to search over.
+const (
+	// FeatureDim is the per-frame acoustic feature dimensionality (13 MFCCs
+	// is the classic choice).
+	FeatureDim = 13
+	// FramesPerPhone is the nominal number of frames a phone occupies.
+	FramesPerPhone = 8
+)
+
+// Utterance is a synthetic spoken utterance: the sequence of word indices
+// actually "spoken" and the acoustic feature frames observed.
+type Utterance struct {
+	Words  []int       // indices into the decoder's lexicon
+	Frames [][]float64 // FeatureDim-dimensional frames
+}
+
+// AudioGen generates synthetic utterances over a lexicon of numWords words,
+// each composed of phonesPerWord phones drawn from numPhones phone classes.
+// Each phone class has a Gaussian prototype in feature space; frames are the
+// prototype plus noise, so the acoustic model built from the same prototypes
+// can recover the word sequence.
+type AudioGen struct {
+	r             *rand.Rand
+	numWords      int
+	numPhones     int
+	phonesPerWord int
+	prototypes    [][]float64 // numPhones x FeatureDim
+	lexicon       [][]int     // word -> phone sequence
+}
+
+// NewAudioGen builds a generator with a deterministic phone inventory and
+// lexicon for the given seed. The utterance noise stream is derived from the
+// same seed; use NewAudioGenWithStream to decouple them.
+func NewAudioGen(numWords, numPhones, phonesPerWord int, seed int64) *AudioGen {
+	return NewAudioGenWithStream(numWords, numPhones, phonesPerWord, seed, seed)
+}
+
+// NewAudioGenWithStream builds a generator whose phone inventory and lexicon
+// are derived from modelSeed (so a recognizer built with the same modelSeed
+// matches), while the per-utterance randomness (word choice, durations,
+// noise) comes from streamSeed. This lets multiple clients share one
+// acoustic model yet produce decorrelated utterance streams.
+func NewAudioGenWithStream(numWords, numPhones, phonesPerWord int, modelSeed, streamSeed int64) *AudioGen {
+	if numWords < 2 {
+		numWords = 2
+	}
+	if numPhones < 4 {
+		numPhones = 4
+	}
+	if phonesPerWord < 1 {
+		phonesPerWord = 1
+	}
+	g := &AudioGen{
+		r:             NewRand(streamSeed),
+		numWords:      numWords,
+		numPhones:     numPhones,
+		phonesPerWord: phonesPerWord,
+	}
+	proto := NewRand(SplitSeed(modelSeed, 201))
+	g.prototypes = make([][]float64, numPhones)
+	for p := range g.prototypes {
+		v := make([]float64, FeatureDim)
+		for d := range v {
+			v[d] = proto.NormFloat64() * 3
+		}
+		g.prototypes[p] = v
+	}
+	lex := NewRand(SplitSeed(modelSeed, 202))
+	g.lexicon = make([][]int, numWords)
+	for w := range g.lexicon {
+		seq := make([]int, phonesPerWord)
+		for i := range seq {
+			seq[i] = lex.Intn(numPhones)
+		}
+		g.lexicon[w] = seq
+	}
+	return g
+}
+
+// NumWords returns the lexicon size.
+func (g *AudioGen) NumWords() int { return g.numWords }
+
+// NumPhones returns the phone-inventory size.
+func (g *AudioGen) NumPhones() int { return g.numPhones }
+
+// Lexicon returns the word-to-phone-sequence mapping. The returned slice is
+// shared; callers must not modify it.
+func (g *AudioGen) Lexicon() [][]int { return g.lexicon }
+
+// PhonePrototype returns the mean feature vector of phone p.
+func (g *AudioGen) PhonePrototype(p int) []float64 { return g.prototypes[p] }
+
+// NextUtterance generates an utterance of numWordsSpoken words.
+func (g *AudioGen) NextUtterance(numWordsSpoken int) Utterance {
+	if numWordsSpoken < 1 {
+		numWordsSpoken = 1
+	}
+	words := make([]int, numWordsSpoken)
+	var frames [][]float64
+	for i := range words {
+		w := g.r.Intn(g.numWords)
+		words[i] = w
+		for _, phone := range g.lexicon[w] {
+			// Duration jitter around FramesPerPhone.
+			nf := FramesPerPhone + g.r.Intn(5) - 2
+			if nf < 3 {
+				nf = 3
+			}
+			for f := 0; f < nf; f++ {
+				frame := make([]float64, FeatureDim)
+				for d := 0; d < FeatureDim; d++ {
+					frame[d] = g.prototypes[phone][d] + g.r.NormFloat64()*0.8
+				}
+				frames = append(frames, frame)
+			}
+		}
+	}
+	return Utterance{Words: words, Frames: frames}
+}
+
+// GaussianLogProb returns the log-probability of observation x under an
+// isotropic Gaussian with the given mean and variance. It is shared between
+// the audio generator (which documents the generative model) and the sphinx
+// acoustic model (which scores frames against it).
+func GaussianLogProb(x, mean []float64, variance float64) float64 {
+	if variance <= 0 {
+		variance = 1
+	}
+	sum := 0.0
+	for i := range x {
+		d := x[i] - mean[i]
+		sum += d * d
+	}
+	n := float64(len(x))
+	return -0.5*(sum/variance) - 0.5*n*math.Log(2*math.Pi*variance)
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Vocabulary is a synthetic vocabulary whose word frequencies follow a
+// Zipfian law, mirroring natural-language corpora such as the Wikipedia dump
+// and the opensubtitles corpus used by the paper. Word 0 is the most
+// frequent.
+type Vocabulary struct {
+	words []string
+	zipf  *Zipf
+	theta float64
+}
+
+// NewVocabulary builds a vocabulary of size words with Zipfian skew theta.
+// Word strings are deterministic ("w0", "w1", ...) with lengths that grow
+// with rank, which roughly mimics the inverse relationship between word
+// frequency and word length in natural text.
+func NewVocabulary(size int, theta float64, seed int64) *Vocabulary {
+	if size < 1 {
+		size = 1
+	}
+	words := make([]string, size)
+	r := NewRand(SplitSeed(seed, 101))
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	for i := range words {
+		// Short frequent words, longer rare words.
+		length := 2 + i%9
+		var b strings.Builder
+		b.Grow(length + 8)
+		for j := 0; j < length; j++ {
+			b.WriteByte(letters[r.Intn(len(letters))])
+		}
+		fmt.Fprintf(&b, "%d", i)
+		words[i] = b.String()
+	}
+	return &Vocabulary{
+		words: words,
+		zipf:  NewZipf(NewRand(SplitSeed(seed, 102)), uint64(size), theta),
+		theta: theta,
+	}
+}
+
+// Sampler returns an independent Zipfian word sampler over this vocabulary,
+// seeded separately from the vocabulary itself. Multiple clients use
+// distinct sampler seeds so their query streams are decorrelated even though
+// they share one vocabulary.
+func (v *Vocabulary) Sampler(seed int64) *VocabSampler {
+	return &VocabSampler{
+		vocab: v,
+		zipf:  NewZipf(NewRand(seed), uint64(len(v.words)), v.theta),
+	}
+}
+
+// VocabSampler draws words from a vocabulary with Zipfian popularity using
+// its own random stream.
+type VocabSampler struct {
+	vocab *Vocabulary
+	zipf  *Zipf
+}
+
+// Word returns the next sampled word.
+func (s *VocabSampler) Word() string { return s.vocab.words[s.zipf.Next()] }
+
+// Rank returns the next sampled word rank.
+func (s *VocabSampler) Rank() int { return int(s.zipf.Next()) }
+
+// Size returns the number of distinct words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Word returns the word with popularity rank i (0 = most frequent).
+func (v *Vocabulary) Word(i int) string {
+	if i < 0 || i >= len(v.words) {
+		return ""
+	}
+	return v.words[i]
+}
+
+// SampleWord draws a word according to the Zipfian popularity distribution.
+func (v *Vocabulary) SampleWord() string {
+	return v.words[v.zipf.Next()]
+}
+
+// SampleWordRank draws a word rank according to the Zipfian distribution.
+func (v *Vocabulary) SampleWordRank() int {
+	return int(v.zipf.Next())
+}
+
+// Document is a synthetic document: an identifier and its term sequence.
+type Document struct {
+	ID    int
+	Terms []string
+}
+
+// Corpus is a collection of synthetic documents standing in for the English
+// Wikipedia dump that drives the xapian benchmark.
+type Corpus struct {
+	Docs  []Document
+	Vocab *Vocabulary
+}
+
+// NewCorpus generates numDocs documents whose lengths are uniform in
+// [minLen, maxLen] and whose terms follow the vocabulary's Zipfian
+// popularity.
+func NewCorpus(vocab *Vocabulary, numDocs, minLen, maxLen int, seed int64) *Corpus {
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	r := NewRand(SplitSeed(seed, 103))
+	docs := make([]Document, numDocs)
+	for i := range docs {
+		n := minLen
+		if maxLen > minLen {
+			n += r.Intn(maxLen - minLen + 1)
+		}
+		terms := make([]string, n)
+		for j := range terms {
+			terms[j] = vocab.SampleWord()
+		}
+		docs[i] = Document{ID: i, Terms: terms}
+	}
+	return &Corpus{Docs: docs, Vocab: vocab}
+}
+
+// QueryGen produces search queries whose term popularity follows a Zipfian
+// distribution, as online search query distributions do (Sec. III, xapian).
+// Each generator has its own random streams, so concurrent clients with
+// different seeds produce decorrelated query streams.
+type QueryGen struct {
+	sampler *VocabSampler
+	r       *rand.Rand
+	// minTerms and maxTerms bound query length.
+	minTerms, maxTerms int
+}
+
+// NewQueryGen returns a query generator over the vocabulary.
+func NewQueryGen(vocab *Vocabulary, minTerms, maxTerms int, seed int64) *QueryGen {
+	if minTerms < 1 {
+		minTerms = 1
+	}
+	if maxTerms < minTerms {
+		maxTerms = minTerms
+	}
+	return &QueryGen{
+		sampler:  vocab.Sampler(SplitSeed(seed, 105)),
+		r:        NewRand(SplitSeed(seed, 104)),
+		minTerms: minTerms,
+		maxTerms: maxTerms,
+	}
+}
+
+// Next returns the next query as a slice of terms.
+func (q *QueryGen) Next() []string {
+	n := q.minTerms
+	if q.maxTerms > q.minTerms {
+		n += q.r.Intn(q.maxTerms - q.minTerms + 1)
+	}
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = q.sampler.Word()
+	}
+	return terms
+}
+
+// ParallelSentence is a source-language sentence paired with its reference
+// translation, standing in for the opensubtitles English-Spanish corpus that
+// drives moses.
+type ParallelSentence struct {
+	Source []string
+	Target []string
+}
+
+// ParallelCorpus generates parallel sentences where each source word has a
+// deterministic "translation" (its rank mapped into a target vocabulary)
+// plus occasional reordering, enough structure for a phrase-based decoder to
+// learn a phrase table and language model from.
+type ParallelCorpus struct {
+	SrcVocab *Vocabulary
+	TgtVocab *Vocabulary
+	Pairs    []ParallelSentence
+}
+
+// NewParallelCorpus builds numPairs parallel sentences of length in
+// [minLen,maxLen].
+func NewParallelCorpus(srcVocab, tgtVocab *Vocabulary, numPairs, minLen, maxLen int, seed int64) *ParallelCorpus {
+	r := NewRand(SplitSeed(seed, 105))
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	pairs := make([]ParallelSentence, numPairs)
+	for i := range pairs {
+		n := minLen
+		if maxLen > minLen {
+			n += r.Intn(maxLen - minLen + 1)
+		}
+		src := make([]string, n)
+		tgt := make([]string, n)
+		for j := 0; j < n; j++ {
+			rank := srcVocab.SampleWordRank()
+			src[j] = srcVocab.Word(rank)
+			// Deterministic word translation: same rank in target vocabulary.
+			tgt[j] = tgtVocab.Word(rank % tgtVocab.Size())
+		}
+		// Local reordering with small probability, as real language pairs have.
+		for j := 0; j+1 < n; j++ {
+			if r.Float64() < 0.1 {
+				tgt[j], tgt[j+1] = tgt[j+1], tgt[j]
+			}
+		}
+		pairs[i] = ParallelSentence{Source: src, Target: tgt}
+	}
+	return &ParallelCorpus{SrcVocab: srcVocab, TgtVocab: tgtVocab, Pairs: pairs}
+}

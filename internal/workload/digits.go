@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Digit image geometry, matching the MNIST database the paper's img-dnn
+// benchmark is driven with.
+const (
+	DigitRows   = 28
+	DigitCols   = 28
+	DigitPixels = DigitRows * DigitCols
+	DigitLabels = 10
+)
+
+// DigitImage is a single synthetic handwritten-digit sample: a flattened
+// 28x28 grayscale image in [0,1] and its label.
+type DigitImage struct {
+	Pixels []float64
+	Label  int
+}
+
+// DigitGen generates synthetic MNIST-like digit images. Each class has a
+// canonical stroke pattern (a set of line segments); samples are produced by
+// rendering the strokes with random translation, scaling, stroke-width
+// jitter, and pixel noise. This preserves the property the img-dnn benchmark
+// needs: images of the same class are near each other in pixel space and
+// separable by a trained network, while individual samples vary.
+type DigitGen struct {
+	r          *rand.Rand
+	prototypes [DigitLabels][][4]float64 // per-class stroke segments (x1,y1,x2,y2) in [0,1]
+}
+
+// NewDigitGen returns a generator with the given seed.
+func NewDigitGen(seed int64) *DigitGen {
+	g := &DigitGen{r: NewRand(seed)}
+	g.prototypes = digitStrokes()
+	return g
+}
+
+// digitStrokes returns simple stroke templates for the ten digits.
+func digitStrokes() [DigitLabels][][4]float64 {
+	var p [DigitLabels][][4]float64
+	p[0] = [][4]float64{{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.7, 0.8}, {0.7, 0.8, 0.3, 0.8}, {0.3, 0.8, 0.3, 0.2}}
+	p[1] = [][4]float64{{0.5, 0.2, 0.5, 0.8}, {0.4, 0.3, 0.5, 0.2}}
+	p[2] = [][4]float64{{0.3, 0.3, 0.7, 0.3}, {0.7, 0.3, 0.7, 0.5}, {0.7, 0.5, 0.3, 0.8}, {0.3, 0.8, 0.7, 0.8}}
+	p[3] = [][4]float64{{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.5, 0.5}, {0.5, 0.5, 0.7, 0.8}, {0.7, 0.8, 0.3, 0.8}}
+	p[4] = [][4]float64{{0.3, 0.2, 0.3, 0.5}, {0.3, 0.5, 0.7, 0.5}, {0.7, 0.2, 0.7, 0.8}}
+	p[5] = [][4]float64{{0.7, 0.2, 0.3, 0.2}, {0.3, 0.2, 0.3, 0.5}, {0.3, 0.5, 0.7, 0.5}, {0.7, 0.5, 0.7, 0.8}, {0.7, 0.8, 0.3, 0.8}}
+	p[6] = [][4]float64{{0.7, 0.2, 0.3, 0.4}, {0.3, 0.4, 0.3, 0.8}, {0.3, 0.8, 0.7, 0.8}, {0.7, 0.8, 0.7, 0.5}, {0.7, 0.5, 0.3, 0.5}}
+	p[7] = [][4]float64{{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.4, 0.8}}
+	p[8] = [][4]float64{{0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.3, 0.5}, {0.3, 0.5, 0.7, 0.5}, {0.7, 0.5, 0.3, 0.8}, {0.3, 0.8, 0.7, 0.8}, {0.7, 0.8, 0.3, 0.5}, {0.3, 0.5, 0.7, 0.2}, {0.3, 0.2, 0.3, 0.5}}
+	p[9] = [][4]float64{{0.7, 0.5, 0.3, 0.5}, {0.3, 0.5, 0.3, 0.2}, {0.3, 0.2, 0.7, 0.2}, {0.7, 0.2, 0.7, 0.8}}
+	return p
+}
+
+// Next returns a synthetic digit image with a uniformly random label.
+func (g *DigitGen) Next() DigitImage {
+	return g.NextLabeled(g.r.Intn(DigitLabels))
+}
+
+// NextLabeled returns a synthetic image of the requested digit class.
+func (g *DigitGen) NextLabeled(label int) DigitImage {
+	if label < 0 || label >= DigitLabels {
+		label = 0
+	}
+	px := make([]float64, DigitPixels)
+	// Random affine jitter per sample.
+	dx := (g.r.Float64() - 0.5) * 0.15
+	dy := (g.r.Float64() - 0.5) * 0.15
+	scale := 0.85 + g.r.Float64()*0.3
+	width := 0.045 + g.r.Float64()*0.03
+	for _, seg := range g.prototypes[label] {
+		x1 := (seg[0]-0.5)*scale + 0.5 + dx
+		y1 := (seg[1]-0.5)*scale + 0.5 + dy
+		x2 := (seg[2]-0.5)*scale + 0.5 + dx
+		y2 := (seg[3]-0.5)*scale + 0.5 + dy
+		drawSegment(px, x1, y1, x2, y2, width)
+	}
+	// Pixel noise.
+	for i := range px {
+		px[i] += g.r.NormFloat64() * 0.05
+		if px[i] < 0 {
+			px[i] = 0
+		}
+		if px[i] > 1 {
+			px[i] = 1
+		}
+	}
+	return DigitImage{Pixels: px, Label: label}
+}
+
+// drawSegment rasterizes a line segment with the given half-width into the
+// flattened image buffer, using distance-based anti-aliased intensity.
+func drawSegment(px []float64, x1, y1, x2, y2, width float64) {
+	for row := 0; row < DigitRows; row++ {
+		for col := 0; col < DigitCols; col++ {
+			x := (float64(col) + 0.5) / DigitCols
+			y := (float64(row) + 0.5) / DigitRows
+			d := pointSegmentDistance(x, y, x1, y1, x2, y2)
+			if d < width {
+				v := 1.0 - d/width*0.5
+				idx := row*DigitCols + col
+				if v > px[idx] {
+					px[idx] = v
+				}
+			}
+		}
+	}
+}
+
+// pointSegmentDistance returns the Euclidean distance from point (px,py) to
+// the segment (x1,y1)-(x2,y2).
+func pointSegmentDistance(px, py, x1, y1, x2, y2 float64) float64 {
+	dx, dy := x2-x1, y2-y1
+	lenSq := dx*dx + dy*dy
+	t := 0.0
+	if lenSq > 0 {
+		t = ((px-x1)*dx + (py-y1)*dy) / lenSq
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+	}
+	cx, cy := x1+t*dx, y1+t*dy
+	return math.Hypot(px-cx, py-cy)
+}
+
+// DigitDataset generates n labeled samples for training/evaluation.
+func (g *DigitGen) DigitDataset(n int) []DigitImage {
+	out := make([]DigitImage, n)
+	for i := range out {
+		out[i] = g.NextLabeled(i % DigitLabels)
+	}
+	return out
+}

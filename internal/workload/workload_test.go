@@ -1,0 +1,364 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSplitSeedDecorrelation(t *testing.T) {
+	a := SplitSeed(42, 1)
+	b := SplitSeed(42, 2)
+	c := SplitSeed(43, 1)
+	if a == b || a == c || b == c {
+		t.Errorf("SplitSeed should produce distinct seeds: %d %d %d", a, b, c)
+	}
+	if SplitSeed(42, 1) != a {
+		t.Errorf("SplitSeed must be deterministic")
+	}
+}
+
+func TestExponentialGenMean(t *testing.T) {
+	qps := 1000.0
+	g := NewExponentialGen(qps, 1)
+	var sum time.Duration
+	n := 200000
+	for i := 0; i < n; i++ {
+		gap := g.Next()
+		if gap < 0 {
+			t.Fatalf("negative gap %v", gap)
+		}
+		sum += gap
+	}
+	mean := float64(sum) / float64(n)
+	want := float64(time.Second) / qps
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("mean gap = %v, want ~%v (2%% tolerance)", time.Duration(mean), time.Duration(want))
+	}
+	if g.MeanGap() != time.Duration(want) {
+		t.Errorf("MeanGap = %v", g.MeanGap())
+	}
+}
+
+func TestExponentialGenZeroQPS(t *testing.T) {
+	g := NewExponentialGen(0, 1)
+	for i := 0; i < 10; i++ {
+		if g.Next() != 0 {
+			t.Fatalf("zero-QPS generator should emit zero gaps (saturation mode)")
+		}
+	}
+}
+
+func TestExponentialGenDeterministic(t *testing.T) {
+	a := NewExponentialGen(500, 99)
+	b := NewExponentialGen(500, 99)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same gap sequence")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(3)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("value %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must be far more popular than the median item.
+	if counts[0] < 20*counts[500]+1 {
+		t.Errorf("Zipfian skew too weak: count[0]=%d count[500]=%d", counts[0], counts[500])
+	}
+	// Popularity must be roughly decreasing over the head of the distribution.
+	if counts[0] < counts[10] || counts[10] < counts[100] {
+		t.Errorf("popularity not decreasing: %d %d %d", counts[0], counts[10], counts[100])
+	}
+}
+
+func TestZipfParameterClamping(t *testing.T) {
+	z := NewZipf(NewRand(1), 0, 5.0)
+	if z.N() != 1 {
+		t.Errorf("n should clamp to 1")
+	}
+	if z.Theta() != 0.99 {
+		t.Errorf("invalid theta should clamp to 0.99, got %f", z.Theta())
+	}
+	if z.Next() != 0 {
+		t.Errorf("single-item generator must return 0")
+	}
+}
+
+func TestZipfScrambledInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		z := NewZipf(NewRand(seed), 4096, 0.9)
+		for i := 0; i < 100; i++ {
+			if z.NextScrambled() >= 4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary(500, 0.9, 7)
+	if v.Size() != 500 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.Word(0) == "" || v.Word(499) == "" {
+		t.Errorf("words should be non-empty")
+	}
+	if v.Word(-1) != "" || v.Word(500) != "" {
+		t.Errorf("out-of-range words should be empty")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		w := v.Word(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	// Sampling respects the popularity skew: rank 0 much more common than rank 400.
+	counts := map[int]int{}
+	for i := 0; i < 50000; i++ {
+		counts[v.SampleWordRank()]++
+	}
+	if counts[0] <= counts[400] {
+		t.Errorf("rank-0 word should be sampled more than rank-400: %d vs %d", counts[0], counts[400])
+	}
+}
+
+func TestCorpusGeneration(t *testing.T) {
+	v := NewVocabulary(200, 0.9, 11)
+	c := NewCorpus(v, 50, 20, 60, 11)
+	if len(c.Docs) != 50 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	for i, d := range c.Docs {
+		if d.ID != i {
+			t.Errorf("doc %d has ID %d", i, d.ID)
+		}
+		if len(d.Terms) < 20 || len(d.Terms) > 60 {
+			t.Errorf("doc %d length %d outside [20,60]", i, len(d.Terms))
+		}
+	}
+}
+
+func TestQueryGen(t *testing.T) {
+	v := NewVocabulary(200, 0.9, 13)
+	q := NewQueryGen(v, 1, 4, 13)
+	for i := 0; i < 100; i++ {
+		terms := q.Next()
+		if len(terms) < 1 || len(terms) > 4 {
+			t.Fatalf("query length %d outside [1,4]", len(terms))
+		}
+		for _, term := range terms {
+			if term == "" {
+				t.Fatal("empty query term")
+			}
+		}
+	}
+}
+
+func TestParallelCorpus(t *testing.T) {
+	src := NewVocabulary(300, 0.9, 17)
+	tgt := NewVocabulary(300, 0.9, 19)
+	pc := NewParallelCorpus(src, tgt, 100, 3, 12, 23)
+	if len(pc.Pairs) != 100 {
+		t.Fatalf("pairs = %d", len(pc.Pairs))
+	}
+	for _, p := range pc.Pairs {
+		if len(p.Source) != len(p.Target) {
+			t.Fatalf("source/target length mismatch: %d vs %d", len(p.Source), len(p.Target))
+		}
+		if len(p.Source) < 3 || len(p.Source) > 12 {
+			t.Errorf("sentence length %d outside bounds", len(p.Source))
+		}
+	}
+}
+
+func TestYCSBMix(t *testing.T) {
+	g := NewYCSBGen(YCSBA(10000, 64), 29)
+	gets, puts := 0, 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		switch op.Type {
+		case KVGet:
+			gets++
+			if op.Value != nil {
+				t.Fatal("GET should carry no value")
+			}
+		case KVPut:
+			puts++
+			if len(op.Value) != 64 {
+				t.Fatalf("PUT value size %d, want 64", len(op.Value))
+			}
+		default:
+			t.Fatalf("unexpected op type %v in YCSB-A", op.Type)
+		}
+		if op.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+	getFrac := float64(gets) / float64(n)
+	if math.Abs(getFrac-0.5) > 0.02 {
+		t.Errorf("GET fraction = %f, want ~0.5", getFrac)
+	}
+	if g.Config().NumKeys != 10000 {
+		t.Errorf("config NumKeys = %d", g.Config().NumKeys)
+	}
+}
+
+func TestYCSBDefaults(t *testing.T) {
+	g := NewYCSBGen(YCSBConfig{ReadRatio: 0.2, WriteRatio: 0.2, ScanRatio: 0.6}, 31)
+	sawScan := false
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Type == KVScan {
+			sawScan = true
+			if op.ScanLen < 1 || op.ScanLen > 10 {
+				t.Fatalf("scan length %d outside default bounds", op.ScanLen)
+			}
+		}
+	}
+	if !sawScan {
+		t.Error("expected at least one scan with 60% scan ratio")
+	}
+}
+
+func TestKVOpTypeString(t *testing.T) {
+	if KVGet.String() != "GET" || KVPut.String() != "PUT" || KVScan.String() != "SCAN" || KVDelete.String() != "DELETE" {
+		t.Error("KVOpType.String mismatch")
+	}
+	if KVOpType(99).String() == "" {
+		t.Error("unknown op type should still render")
+	}
+}
+
+func TestDigitGen(t *testing.T) {
+	g := NewDigitGen(37)
+	for label := 0; label < DigitLabels; label++ {
+		img := g.NextLabeled(label)
+		if img.Label != label {
+			t.Fatalf("label = %d, want %d", img.Label, label)
+		}
+		if len(img.Pixels) != DigitPixels {
+			t.Fatalf("pixels = %d, want %d", len(img.Pixels), DigitPixels)
+		}
+		var ink float64
+		for _, p := range img.Pixels {
+			if p < 0 || p > 1 {
+				t.Fatalf("pixel %f outside [0,1]", p)
+			}
+			ink += p
+		}
+		if ink < 5 {
+			t.Errorf("digit %d image nearly blank (ink=%f)", label, ink)
+		}
+	}
+	if img := g.NextLabeled(-3); img.Label != 0 {
+		t.Errorf("invalid label should clamp to 0")
+	}
+	if img := g.Next(); img.Label < 0 || img.Label >= DigitLabels {
+		t.Errorf("random label out of range")
+	}
+}
+
+func TestDigitClassesDiffer(t *testing.T) {
+	// Same-class images should be closer to each other than to other classes
+	// on average — this is what makes the classifier workload meaningful.
+	g := NewDigitGen(41)
+	a1 := g.NextLabeled(1).Pixels
+	a2 := g.NextLabeled(1).Pixels
+	b := g.NextLabeled(8).Pixels
+	same := l2(a1, a2)
+	diff := l2(a1, b)
+	if same >= diff {
+		t.Errorf("intra-class distance %f should be < inter-class distance %f", same, diff)
+	}
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestDigitDataset(t *testing.T) {
+	g := NewDigitGen(43)
+	ds := g.DigitDataset(25)
+	if len(ds) != 25 {
+		t.Fatalf("dataset size = %d", len(ds))
+	}
+	for i, img := range ds {
+		if img.Label != i%DigitLabels {
+			t.Errorf("dataset label cycling broken at %d", i)
+		}
+	}
+}
+
+func TestAudioGen(t *testing.T) {
+	g := NewAudioGen(20, 12, 3, 47)
+	if g.NumWords() != 20 || g.NumPhones() != 12 {
+		t.Fatalf("lexicon dims wrong")
+	}
+	if len(g.Lexicon()) != 20 {
+		t.Fatalf("lexicon size = %d", len(g.Lexicon()))
+	}
+	u := g.NextUtterance(4)
+	if len(u.Words) != 4 {
+		t.Fatalf("words = %d", len(u.Words))
+	}
+	// 4 words x 3 phones x >=3 frames each.
+	if len(u.Frames) < 4*3*3 {
+		t.Errorf("too few frames: %d", len(u.Frames))
+	}
+	for _, f := range u.Frames {
+		if len(f) != FeatureDim {
+			t.Fatalf("frame dim = %d", len(f))
+		}
+	}
+	if len(g.PhonePrototype(0)) != FeatureDim {
+		t.Errorf("prototype dim wrong")
+	}
+}
+
+func TestAudioGenClamping(t *testing.T) {
+	g := NewAudioGen(0, 0, 0, 1)
+	if g.NumWords() < 2 || g.NumPhones() < 4 {
+		t.Errorf("constructor should clamp tiny dimensions")
+	}
+	u := g.NextUtterance(0)
+	if len(u.Words) != 1 {
+		t.Errorf("utterance length should clamp to 1")
+	}
+}
+
+func TestGaussianLogProb(t *testing.T) {
+	x := []float64{1, 2, 3}
+	// Probability is maximized at the mean.
+	atMean := GaussianLogProb(x, x, 1)
+	off := GaussianLogProb(x, []float64{0, 0, 0}, 1)
+	if atMean <= off {
+		t.Errorf("log prob at mean (%f) should exceed off-mean (%f)", atMean, off)
+	}
+	// Zero variance must not panic or produce NaN.
+	if v := GaussianLogProb(x, x, 0); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("zero-variance log prob should be finite, got %f", v)
+	}
+}

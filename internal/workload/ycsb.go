@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KVOpType is the kind of key-value operation in a YCSB-style workload.
+type KVOpType uint8
+
+// Key-value operation kinds.
+const (
+	KVGet KVOpType = iota
+	KVPut
+	KVScan
+	KVDelete
+)
+
+// String returns the operation name.
+func (t KVOpType) String() string {
+	switch t {
+	case KVGet:
+		return "GET"
+	case KVPut:
+		return "PUT"
+	case KVScan:
+		return "SCAN"
+	case KVDelete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("KVOpType(%d)", uint8(t))
+	}
+}
+
+// KVOp is a single key-value operation.
+type KVOp struct {
+	Type  KVOpType
+	Key   string
+	Value []byte
+	// ScanLen is the number of keys to scan for KVScan operations.
+	ScanLen int
+}
+
+// YCSBConfig parameterizes the YCSB-style key-value workload. The paper's
+// masstree benchmark uses "mycsb-a": 50% GETs and 50% PUTs over a 1.1 GB
+// table with Zipfian key popularity; we keep the mix and the distribution
+// and shrink the table.
+type YCSBConfig struct {
+	NumKeys    uint64  // size of the key space
+	ValueSize  int     // bytes per value
+	ReadRatio  float64 // fraction of GETs
+	WriteRatio float64 // fraction of PUTs
+	ScanRatio  float64 // fraction of SCANs
+	ScanLen    int     // max keys per scan
+	Theta      float64 // Zipfian skew
+}
+
+// YCSBA returns the workload-A configuration used by the paper's masstree
+// benchmark (50% reads, 50% updates), scaled to numKeys keys.
+func YCSBA(numKeys uint64, valueSize int) YCSBConfig {
+	return YCSBConfig{
+		NumKeys:    numKeys,
+		ValueSize:  valueSize,
+		ReadRatio:  0.5,
+		WriteRatio: 0.5,
+		Theta:      0.99,
+	}
+}
+
+// YCSBGen generates key-value operations according to a YCSBConfig.
+type YCSBGen struct {
+	cfg  YCSBConfig
+	r    *rand.Rand
+	zipf *Zipf
+}
+
+// NewYCSBGen returns a generator for the given configuration and seed.
+func NewYCSBGen(cfg YCSBConfig, seed int64) *YCSBGen {
+	if cfg.NumKeys == 0 {
+		cfg.NumKeys = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	if cfg.Theta <= 0 || cfg.Theta >= 1 {
+		cfg.Theta = 0.99
+	}
+	if cfg.ScanLen <= 0 {
+		cfg.ScanLen = 10
+	}
+	r := NewRand(seed)
+	return &YCSBGen{cfg: cfg, r: r, zipf: NewZipf(NewRand(SplitSeed(seed, 7)), cfg.NumKeys, cfg.Theta)}
+}
+
+// Key formats key index i in the fixed-width YCSB style ("user%012d").
+func Key(i uint64) string { return fmt.Sprintf("user%012d", i) }
+
+// Next returns the next operation.
+func (g *YCSBGen) Next() KVOp {
+	key := Key(g.zipf.NextScrambled())
+	p := g.r.Float64()
+	switch {
+	case p < g.cfg.ReadRatio:
+		return KVOp{Type: KVGet, Key: key}
+	case p < g.cfg.ReadRatio+g.cfg.WriteRatio:
+		return KVOp{Type: KVPut, Key: key, Value: g.value()}
+	case p < g.cfg.ReadRatio+g.cfg.WriteRatio+g.cfg.ScanRatio:
+		return KVOp{Type: KVScan, Key: key, ScanLen: 1 + g.r.Intn(g.cfg.ScanLen)}
+	default:
+		return KVOp{Type: KVPut, Key: key, Value: g.value()}
+	}
+}
+
+// value builds a pseudo-random value payload of the configured size.
+func (g *YCSBGen) value() []byte {
+	v := make([]byte, g.cfg.ValueSize)
+	for i := range v {
+		v[i] = byte('a' + g.r.Intn(26))
+	}
+	return v
+}
+
+// Config returns the generator's configuration.
+func (g *YCSBGen) Config() YCSBConfig { return g.cfg }

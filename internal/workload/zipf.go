@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf generates integers in [0, n) following a Zipfian distribution with
+// parameter theta (0 < theta < 1, typically 0.99 as in YCSB). Item 0 is the
+// most popular. The implementation follows the method of Gray et al.
+// ("Quickly generating billion-record synthetic databases", SIGMOD 1994),
+// which is the same algorithm YCSB uses, so key popularity in our masstree
+// workload and query popularity in xapian match the paper's setup.
+//
+// Unlike math/rand.Zipf, this generator exposes the theta parameter directly
+// and supports the scrambled variant used to spread popular items across the
+// key space.
+type Zipf struct {
+	r     *rand.Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a Zipfian generator over [0, n) with skew theta.
+// n must be at least 1; theta must lie in (0, 1).
+func NewZipf(r *rand.Rand, n uint64, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipf{r: r, n: n, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next Zipfian-distributed value in [0, n); 0 is the most
+// popular item.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// NextScrambled returns a Zipfian-distributed value whose popularity ranking
+// is scattered over the item space with a fixed hash, as YCSB's
+// ScrambledZipfianGenerator does. This avoids all hot keys being adjacent.
+func (z *Zipf) NextScrambled() uint64 {
+	return fnvHash64(z.Next()) % z.n
+}
+
+// N returns the item-space size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// fnvHash64 is the 64-bit FNV-1a hash of the value's bytes.
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"testing"
+
+	"tailbench"
+)
+
+// tinyOptions keeps sweep tests fast: the smallest dataset and request
+// counts that still produce meaningful curves.
+func tinyOptions() Options {
+	return Options{
+		Scale:               0.01,
+		Requests:            150,
+		Warmup:              30,
+		CalibrationRequests: 80,
+		Loads:               []float64{0.2, 0.7},
+		Seed:                1,
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	q := Quick()
+	if o.Scale != q.Scale || o.Requests != q.Requests || len(o.Loads) != len(q.Loads) {
+		t.Errorf("normalize should fill Quick defaults: %+v", o)
+	}
+	f := Full()
+	if f.Scale != 1.0 || f.Requests <= q.Requests {
+		t.Errorf("Full should be larger than Quick: %+v", f)
+	}
+}
+
+func TestCalibrateMasstree(t *testing.T) {
+	cal, err := Calibrate("masstree", tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.App != "masstree" {
+		t.Errorf("app = %q", cal.App)
+	}
+	if len(cal.ServiceSamples) == 0 || len(cal.ServiceCDF) == 0 {
+		t.Fatal("calibration should produce samples and a CDF")
+	}
+	if cal.SaturationQPS <= 0 {
+		t.Fatal("saturation should be positive")
+	}
+	if cal.Service.Mean <= 0 {
+		t.Fatal("mean service time should be positive")
+	}
+	if _, err := Calibrate("nope", tinyOptions()); err == nil {
+		t.Error("unknown app should fail")
+	}
+}
+
+func TestLatencyVsLoadCurve(t *testing.T) {
+	// xapian has service times long enough (tens to hundreds of
+	// microseconds even at small scale) that queuing dominates harness
+	// noise, so the Fig. 3 shape is visible with few requests.
+	opts := tinyOptions()
+	opts.Scale = 0.05
+	opts.Loads = []float64{0.2, 0.85}
+	curve, err := LatencyVsLoad("xapian", tailbench.ModeIntegrated, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	lowP95, highP95 := curve.Points[0].P95, curve.Points[1].P95
+	if highP95 <= lowP95 {
+		t.Errorf("p95 at 85%% load (%v) should exceed p95 at 20%% load (%v) — the Fig. 3 shape", highP95, lowP95)
+	}
+	if curve.Label() == "" {
+		t.Error("label should be non-empty")
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	curves, err := ThreadScaling("masstree", []int{1, 2}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	if curves[0].Threads != 1 || curves[1].Threads != 2 {
+		t.Errorf("thread labels wrong")
+	}
+	// Default thread counts.
+	if _, err := ThreadScaling("nope", nil, tinyOptions()); err == nil {
+		t.Error("unknown app should fail")
+	}
+}
+
+func TestConfigComparison(t *testing.T) {
+	curves, err := ConfigComparison("specjbb", 1, Options{
+		Scale: 0.25, Requests: 120, Warmup: 30, CalibrationRequests: 60, Loads: []float64{0.3}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d, want 4 (networked, loopback, integrated, simulated)", len(curves))
+	}
+	seen := map[tailbench.Mode]bool{}
+	for _, c := range curves {
+		seen[c.Mode] = true
+		if len(c.Points) != 1 {
+			t.Errorf("curve %s has %d points", c.Label(), len(c.Points))
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("modes covered: %v", seen)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI([]string{"masstree", "specjbb"}, Options{
+		Scale: 0.05, Requests: 150, Warmup: 30, CalibrationRequests: 60, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Domain == "unknown" || row.Domain == "" {
+			t.Errorf("domain missing for %s", row.App)
+		}
+		if row.P95At20 <= 0 || row.P95At50 <= 0 || row.P95At70 <= 0 {
+			t.Errorf("%s: missing load points: %+v", row.App, row)
+		}
+		if row.MeanSvc <= 0 || row.Saturation <= 0 {
+			t.Errorf("%s: calibration columns missing: %+v", row.App, row)
+		}
+	}
+	if Domain("xapian") != "Online Search" || Domain("zzz") != "unknown" {
+		t.Error("Domain mapping broken")
+	}
+}
+
+func TestCaseStudy(t *testing.T) {
+	cs, err := CaseStudy("masstree", Options{
+		Scale: 0.01, Requests: 3000, Warmup: 300, CalibrationRequests: 100,
+		Loads: []float64{0.2, 0.7}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]*LoadCurve{"MG1": cs.MG1, "MG4": cs.MG4, "Ideal1": cs.Ideal1, "Ideal4": cs.Ideal4} {
+		if c == nil || len(c.Points) != 2 {
+			t.Fatalf("curve %s missing or wrong size", name)
+		}
+	}
+	if cs.BaselineP95 <= 0 {
+		t.Error("baseline p95 missing")
+	}
+	// masstree has negligible threading overheads, so at equal per-thread
+	// load the 4-thread ideal-memory curve should not be dramatically worse
+	// than the M/G/4 prediction (within 2x at the 70% point).
+	if got, want := cs.Ideal4.Points[1].P95, cs.MG4.Points[1].P95; got > 2*want {
+		t.Errorf("ideal-memory 4-thread p95 (%v) should track M/G/4 (%v) for a low-overhead app", got, want)
+	}
+}
+
+func TestCoordinatedOmission(t *testing.T) {
+	res, err := CoordinatedOmission("masstree", 0, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load != 0.9 {
+		t.Errorf("default load = %f", res.Load)
+	}
+	if res.UnderestimateFactor <= 1 {
+		t.Errorf("open-loop p95 (%v) should exceed closed-loop p95 (%v) near saturation",
+			res.OpenLoopP95, res.ClosedLoopP95)
+	}
+	if _, err := CoordinatedOmission("nope", 0.5, tinyOptions()); err == nil {
+		t.Error("unknown app should fail")
+	}
+}

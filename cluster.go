@@ -1,0 +1,322 @@
+package tailbench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/cluster"
+)
+
+// BalancerPolicies returns the names of the built-in load-balancing
+// policies: random, roundrobin, leastq (join the shortest queue), and jsq2
+// (power-of-two-choices).
+func BalancerPolicies() []string { return cluster.Policies() }
+
+// ClusterSpec describes one multi-replica measurement: N replica servers of
+// the same application behind a load balancer, driven by the same open-loop
+// methodology as single-server runs (sojourn time measured from scheduled
+// arrival instants).
+type ClusterSpec struct {
+	// App is the application name (see Apps).
+	App string
+	// Mode selects the execution path. ModeIntegrated (the default) runs N
+	// real in-process replica servers. ModeSimulated calibrates the
+	// application's service-time distribution once and then runs a
+	// deterministic virtual-time simulation of the cluster — orders of
+	// magnitude faster, and exactly reproducible given the seed. Loopback
+	// and networked cluster modes are not supported yet.
+	Mode Mode
+	// Policy is the balancer policy (see BalancerPolicies; default leastq).
+	Policy string
+	// Replicas is the number of replica servers (default 2).
+	Replicas int
+	// Threads is the number of worker threads per replica (default 1).
+	Threads int
+	// QPS is the cluster-wide offered load; 0 means saturation.
+	QPS float64
+	// Requests is the number of measured requests (default 1000).
+	Requests int
+	// Warmup is the number of discarded warmup requests (default 10%).
+	Warmup int
+	// Scale shrinks or grows the application dataset (default 1.0).
+	Scale float64
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// KeepRaw retains every cluster-wide latency sample in the result.
+	KeepRaw bool
+	// Validate makes the harness check every response (integrated mode).
+	Validate bool
+	// Slowdowns optionally assigns each replica a service-time inflation
+	// factor for straggler studies; empty means all replicas run at nominal
+	// speed, otherwise its length must equal Replicas.
+	Slowdowns []float64
+	// QueueCap bounds each replica's request queue (integrated mode;
+	// default 4096).
+	QueueCap int
+	// CalibrationRequests sets how many requests calibrate the simulated
+	// path's service-time distribution (simulated mode; default 300).
+	CalibrationRequests int
+	// ServiceSamples optionally supplies pre-measured service times for the
+	// simulated mode, skipping calibration. Sweeps use this to calibrate an
+	// application once and reuse the samples across many simulated points.
+	ServiceSamples []time.Duration
+}
+
+// ReplicaResult is the per-replica breakdown of a cluster run.
+type ReplicaResult struct {
+	Index      int
+	Slowdown   float64
+	Dispatched uint64
+	Requests   uint64
+	Errors     uint64
+	// AchievedQPS is the replica's measured completion rate over the
+	// cluster-wide measurement interval (per-replica rates sum to the
+	// aggregate rate).
+	AchievedQPS float64
+	Queue       LatencyStats
+	Service     LatencyStats
+	Sojourn     LatencyStats
+	// MeanQueueDepth is the mean number of outstanding requests observed at
+	// this replica at the instants requests were dispatched to it;
+	// MaxQueueDepth is the largest such observation.
+	MeanQueueDepth float64
+	MaxQueueDepth  int
+}
+
+// ClusterResult is the outcome of a cluster measurement.
+type ClusterResult struct {
+	App         string
+	Mode        Mode
+	Policy      string
+	Replicas    int
+	Threads     int
+	OfferedQPS  float64
+	AchievedQPS float64
+	Requests    uint64
+	Errors      uint64
+	Queue       LatencyStats
+	Service     LatencyStats
+	Sojourn     LatencyStats
+	ServiceCDF  []CDFPoint
+	SojournCDF  []CDFPoint
+	// ServiceSamples and SojournSamples are present when KeepRaw was set.
+	ServiceSamples []time.Duration
+	SojournSamples []time.Duration
+	Elapsed        time.Duration
+	// PerReplica is the per-replica breakdown, indexed by replica.
+	PerReplica []ReplicaResult
+}
+
+// String renders a one-line summary.
+func (r *ClusterResult) String() string {
+	return fmt.Sprintf("%s [cluster %s x%d, %s] threads=%d qps=%.1f p95=%v p99=%v n=%d err=%d",
+		r.App, r.Policy, r.Replicas, r.Mode, r.Threads, r.OfferedQPS,
+		r.Sojourn.P95.Round(time.Microsecond), r.Sojourn.P99.Round(time.Microsecond),
+		r.Requests, r.Errors)
+}
+
+// WriteReplicaTable renders the per-replica breakdown as an aligned text
+// table (one row per replica: slowdown, dispatch count, achieved QPS, tail
+// latencies, queue depth). Both the tailbench CLI and tailbench-report use
+// it so the per-replica table renders identically in the live and replayed
+// views (the surrounding aggregate summaries differ by design: the live
+// view prints full queue/service/sojourn rows, the replay a compact
+// header).
+func (r *ClusterResult) WriteReplicaTable(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %-6s %-10s %-10s %-12s %-12s %-10s %s\n",
+		"replica", "slow", "dispatched", "qps", "p95", "p99", "mean_depth", "max_depth")
+	for _, rep := range r.PerReplica {
+		fmt.Fprintf(w, "%-8d %-6.2f %-10d %-10.1f %-12v %-12v %-10.2f %d\n",
+			rep.Index, rep.Slowdown, rep.Dispatched, rep.AchievedQPS,
+			rep.Sojourn.P95.Round(time.Microsecond), rep.Sojourn.P99.Round(time.Microsecond),
+			rep.MeanQueueDepth, rep.MaxQueueDepth)
+	}
+}
+
+// ErrClusterMode is returned for cluster modes that are not supported yet.
+type ErrClusterMode struct{ Mode Mode }
+
+// Error implements error.
+func (e ErrClusterMode) Error() string {
+	return fmt.Sprintf("tailbench: cluster runs support integrated and simulated modes only, not %s", e.Mode)
+}
+
+// normalize fills ClusterSpec defaults.
+func (s ClusterSpec) normalize() ClusterSpec {
+	if s.Policy == "" {
+		s.Policy = "leastq"
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 2
+	}
+	if s.Threads <= 0 {
+		s.Threads = 1
+	}
+	if s.Requests <= 0 {
+		s.Requests = 1000
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1.0
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// RunCluster executes one cluster measurement according to the spec.
+func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
+	if spec.Requests < 0 {
+		// Match the single-server Run: a negative request count is an error,
+		// not a request for the default.
+		return nil, fmt.Errorf("tailbench: ClusterSpec.Requests must not be negative (got %d)", spec.Requests)
+	}
+	spec = spec.normalize()
+	f, err := factoryFor(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Slowdowns) != 0 && len(spec.Slowdowns) != spec.Replicas {
+		return nil, fmt.Errorf("tailbench: len(Slowdowns) = %d, must equal Replicas = %d",
+			len(spec.Slowdowns), spec.Replicas)
+	}
+	for r, s := range spec.Slowdowns {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("tailbench: Slowdowns[%d] = %v, must be finite", r, s)
+		}
+	}
+	switch spec.Mode {
+	case ModeIntegrated:
+		return runClusterIntegrated(spec, f)
+	case ModeSimulated:
+		return runClusterSimulated(spec)
+	default:
+		return nil, ErrClusterMode{Mode: spec.Mode}
+	}
+}
+
+// runClusterIntegrated builds N real replica servers and drives them live.
+func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, error) {
+	servers := make([]app.Server, 0, spec.Replicas)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	// Every replica serves the same dataset: server and client datasets are
+	// seed-derived, so replicas and the shared client must all be built from
+	// the same config (mirroring the single-server path) or queries would
+	// target data no replica holds.
+	cfg := app.Config{Threads: spec.Threads, Scale: spec.Scale, Seed: spec.Seed}.Normalize()
+	for r := 0; r < spec.Replicas; r++ {
+		server, err := f.NewServer(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tailbench: building %s replica %d: %w", spec.App, r, err)
+		}
+		servers = append(servers, server)
+	}
+	res, err := cluster.Run(spec.App, servers,
+		func(seed int64) (app.Client, error) { return f.NewClient(cfg, seed) },
+		cluster.Config{
+			Policy:         spec.Policy,
+			Threads:        spec.Threads,
+			QueueCap:       spec.QueueCap,
+			QPS:            spec.QPS,
+			Requests:       spec.Requests,
+			WarmupRequests: spec.Warmup,
+			Seed:           spec.Seed,
+			KeepRaw:        spec.KeepRaw,
+			Validate:       spec.Validate,
+			Slowdowns:      spec.Slowdowns,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return fromClusterResult(spec, res), nil
+}
+
+// runClusterSimulated calibrates the application's service-time distribution
+// from the real application once, then simulates the cluster in virtual
+// time, resampling service times from the measured distribution.
+func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
+	samples := spec.ServiceSamples
+	if len(samples) == 0 {
+		calReq := spec.CalibrationRequests
+		if calReq <= 0 {
+			calReq = 300
+		}
+		var err error
+		samples, err = MeasureServiceTimes(spec.App, spec.Scale, spec.Seed, calReq)
+		if err != nil {
+			return nil, fmt.Errorf("tailbench: calibrating %s: %w", spec.App, err)
+		}
+	}
+	replicas := make([]cluster.SimReplica, spec.Replicas)
+	for r := range replicas {
+		replicas[r] = cluster.SimReplica{Service: cluster.EmpiricalService{Samples: samples}}
+		if r < len(spec.Slowdowns) {
+			replicas[r].Slowdown = spec.Slowdowns[r]
+		}
+	}
+	res, err := cluster.Simulate(cluster.SimConfig{
+		App:            spec.App,
+		Policy:         spec.Policy,
+		Threads:        spec.Threads,
+		QPS:            spec.QPS,
+		Requests:       spec.Requests,
+		WarmupRequests: spec.Warmup,
+		Seed:           spec.Seed,
+		KeepRaw:        spec.KeepRaw,
+		Replicas:       replicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromClusterResult(spec, res), nil
+}
+
+// fromClusterResult converts the internal cluster result to the public type.
+func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
+	out := &ClusterResult{
+		App:            res.App,
+		Mode:           spec.Mode,
+		Policy:         res.Policy,
+		Replicas:       res.Replicas,
+		Threads:        res.Threads,
+		OfferedQPS:     res.OfferedQPS,
+		AchievedQPS:    res.AchievedQPS,
+		Requests:       res.Requests,
+		Errors:         res.Errors,
+		Queue:          fromSummary(res.Queue),
+		Service:        fromSummary(res.Service),
+		Sojourn:        fromSummary(res.Sojourn),
+		ServiceSamples: res.ServiceSamples,
+		SojournSamples: res.SojournSamples,
+		Elapsed:        res.Elapsed,
+	}
+	for _, p := range res.ServiceCDF {
+		out.ServiceCDF = append(out.ServiceCDF, CDFPoint{Value: p.Value, Cumulative: p.Cumulative})
+	}
+	for _, p := range res.SojournCDF {
+		out.SojournCDF = append(out.SojournCDF, CDFPoint{Value: p.Value, Cumulative: p.Cumulative})
+	}
+	for _, rs := range res.PerReplica {
+		out.PerReplica = append(out.PerReplica, ReplicaResult{
+			Index:          rs.Index,
+			Slowdown:       rs.Slowdown,
+			Dispatched:     rs.Dispatched,
+			Requests:       rs.Requests,
+			Errors:         rs.Errors,
+			AchievedQPS:    rs.AchievedQPS,
+			Queue:          fromSummary(rs.Queue),
+			Service:        fromSummary(rs.Service),
+			Sojourn:        fromSummary(rs.Sojourn),
+			MeanQueueDepth: rs.MeanQueueDepth,
+			MaxQueueDepth:  rs.MaxQueueDepth,
+		})
+	}
+	return out
+}

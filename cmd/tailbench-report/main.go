@@ -1,9 +1,13 @@
 // Command tailbench-report prints the suite's reference information: the
 // applications and their domains (Table I columns), the simulated system
-// description (Table II), and per-application calibration summaries.
+// description (Table II), and per-application calibration summaries. With
+// -input it instead renders a saved measurement result (as written by
+// `tailbench ... -json` or `tailbench cluster ... -json`), including the
+// per-replica breakdown when the result came from a cluster run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,8 +21,17 @@ func main() {
 	var (
 		calibrate = flag.Bool("calibrate", false, "measure per-application service-time summaries (slower)")
 		scale     = flag.Float64("scale", 0.05, "application dataset scale used for calibration")
+		input     = flag.String("input", "", "render a saved JSON result instead of the reference report")
 	)
 	flag.Parse()
+
+	if *input != "" {
+		if err := reportFromFile(*input); err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench-report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("TailBench-Go application suite")
 	fmt.Println()
@@ -48,4 +61,38 @@ func main() {
 			cal.Service.P99.Round(time.Microsecond),
 			cal.SaturationQPS)
 	}
+}
+
+// reportFromFile renders a saved JSON result. Cluster results (identified by
+// their per-replica breakdown) get the full replica table; single-server
+// results get the aggregate summary.
+func reportFromFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var cluster tailbench.ClusterResult
+	if err := json.Unmarshal(data, &cluster); err == nil && cluster.Policy != "" && len(cluster.PerReplica) > 0 {
+		printClusterReport(&cluster)
+		return nil
+	}
+	var single tailbench.Result
+	if err := json.Unmarshal(data, &single); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	fmt.Println(single.String())
+	return nil
+}
+
+func printClusterReport(res *tailbench.ClusterResult) {
+	fmt.Printf("%s: %d-replica cluster (%d threads each), %s balancing, %s mode\n",
+		res.App, res.Replicas, res.Threads, res.Policy, res.Mode)
+	fmt.Printf("offered %.1f qps, achieved %.1f qps, %d requests (%d errors)\n",
+		res.OfferedQPS, res.AchievedQPS, res.Requests, res.Errors)
+	fmt.Printf("sojourn: mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		res.Sojourn.Mean.Round(time.Microsecond), res.Sojourn.P50.Round(time.Microsecond),
+		res.Sojourn.P95.Round(time.Microsecond), res.Sojourn.P99.Round(time.Microsecond),
+		res.Sojourn.Max.Round(time.Microsecond))
+	fmt.Println()
+	res.WriteReplicaTable(os.Stdout)
 }

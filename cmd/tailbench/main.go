@@ -5,12 +5,20 @@
 // Example:
 //
 //	tailbench -app masstree -mode integrated -qps 2000 -threads 2 -requests 5000
+//
+// The cluster subcommand measures a multi-replica deployment behind a
+// pluggable load balancer instead:
+//
+//	tailbench cluster -app masstree -policy jsq2 -replicas 4 -qps 8000 -slow 0:3
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,6 +26,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		runCluster(os.Args[2:])
+		return
+	}
 	var (
 		appName  = flag.String("app", "masstree", "application to run ("+strings.Join(tailbench.Apps(), ", ")+")")
 		mode     = flag.String("mode", "integrated", "harness configuration: integrated, loopback, networked, simulated")
@@ -32,6 +44,7 @@ func main() {
 		validate = flag.Bool("validate", false, "validate every response")
 		netDelay = flag.Duration("netdelay", 25*time.Microsecond, "one-way synthetic network delay (networked mode)")
 		ideal    = flag.Bool("idealmem", false, "idealized memory system (simulated mode)")
+		jsonOut  = flag.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -59,22 +72,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "-" {
+			return
+		}
+	}
 	printResult(res)
 }
 
 func parseMode(s string) (tailbench.Mode, error) {
-	switch strings.ToLower(s) {
-	case "integrated":
-		return tailbench.ModeIntegrated, nil
-	case "loopback":
-		return tailbench.ModeLoopback, nil
-	case "networked":
-		return tailbench.ModeNetworked, nil
-	case "simulated":
-		return tailbench.ModeSimulated, nil
-	default:
-		return 0, fmt.Errorf("tailbench: unknown mode %q", s)
-	}
+	return tailbench.ParseMode(strings.ToLower(s))
 }
 
 func printResult(res *tailbench.Result) {
@@ -95,4 +106,130 @@ func printResult(res *tailbench.Result) {
 	if res.Runs > 1 {
 		fmt.Printf("p95 95%% CI  : ±%.2f%%\n", res.P95CIRelative*100)
 	}
+}
+
+// runCluster implements the cluster subcommand.
+func runCluster(args []string) {
+	fs := flag.NewFlagSet("tailbench cluster", flag.ExitOnError)
+	var (
+		appName  = fs.String("app", "masstree", "application to run ("+strings.Join(tailbench.Apps(), ", ")+")")
+		mode     = fs.String("mode", "integrated", "cluster execution path: integrated (live replicas) or simulated (virtual time)")
+		policy   = fs.String("policy", "leastq", "balancer policy: "+strings.Join(tailbench.BalancerPolicies(), ", "))
+		replicas = fs.Int("replicas", 2, "number of replica servers")
+		threads  = fs.Int("threads", 1, "worker threads per replica")
+		qps      = fs.Float64("qps", 2000, "cluster-wide offered load in queries per second (0 = saturation)")
+		requests = fs.Int("requests", 2000, "measured requests")
+		warmup   = fs.Int("warmup", 0, "warmup requests (0 = 10% of requests)")
+		scale    = fs.Float64("scale", 1.0, "application dataset scale")
+		seed     = fs.Int64("seed", 1, "random seed")
+		validate = fs.Bool("validate", false, "validate every response (integrated mode)")
+		slow     = fs.String("slow", "", "straggler injection as comma-separated index:factor pairs, e.g. 0:3,2:1.5")
+		jsonOut  = fs.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
+	)
+	fs.Parse(args)
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slowdowns, err := parseSlowdowns(*slow, *replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
+	res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+		App:       *appName,
+		Mode:      m,
+		Policy:    *policy,
+		Replicas:  *replicas,
+		Threads:   *threads,
+		QPS:       *qps,
+		Requests:  *requests,
+		Warmup:    *warmup,
+		Scale:     *scale,
+		Seed:      *seed,
+		Validate:  *validate,
+		Slowdowns: slowdowns,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "-" {
+			return
+		}
+	}
+	printClusterResult(res)
+}
+
+// parseSlowdowns turns "0:3,2:1.5" into a dense per-replica factor slice.
+func parseSlowdowns(s string, replicas int) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make([]float64, replicas)
+	for i := range out {
+		out[i] = 1
+	}
+	seen := make(map[int]bool, replicas)
+	for _, pair := range strings.Split(s, ",") {
+		idxStr, facStr, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -slow entry %q (want index:factor)", pair)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 || idx >= replicas {
+			return nil, fmt.Errorf("bad -slow replica index %q (cluster has %d replicas)", idxStr, replicas)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("duplicate -slow entry for replica %d", idx)
+		}
+		seen[idx] = true
+		fac, err := strconv.ParseFloat(facStr, 64)
+		if err != nil || math.IsNaN(fac) || math.IsInf(fac, 0) || fac < 1 {
+			return nil, fmt.Errorf("bad -slow factor %q (want a finite number >= 1)", facStr)
+		}
+		out[idx] = fac
+	}
+	return out, nil
+}
+
+// writeJSON marshals v to path ("-" means stdout).
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func printClusterResult(res *tailbench.ClusterResult) {
+	fmt.Printf("app         : %s\n", res.App)
+	fmt.Printf("mode        : cluster/%s\n", res.Mode)
+	fmt.Printf("policy      : %s\n", res.Policy)
+	fmt.Printf("replicas    : %d x %d threads\n", res.Replicas, res.Threads)
+	fmt.Printf("offered QPS : %.1f\n", res.OfferedQPS)
+	fmt.Printf("achieved QPS: %.1f\n", res.AchievedQPS)
+	fmt.Printf("requests    : %d (errors %d)\n", res.Requests, res.Errors)
+	row := func(name string, s tailbench.LatencyStats) {
+		fmt.Printf("%-8s mean=%-12v p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+			name, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+	row("queue", res.Queue)
+	row("service", res.Service)
+	row("sojourn", res.Sojourn)
+	fmt.Println()
+	res.WriteReplicaTable(os.Stdout)
 }

@@ -1,0 +1,94 @@
+// Clustersweep: compare load-balancing policies on a replicated cluster.
+// Two scenarios, both measured with the suite's open-loop methodology:
+//
+//  1. A uniform 4-replica masstree cluster at high load — queue-aware
+//     policies (leastq, jsq2) keep the p99 well below random routing,
+//     because a single unlucky queue no longer dominates the tail.
+//  2. The same cluster with one replica slowed 3x (a straggler, e.g. a
+//     hot shard or a throttled machine) — random routing keeps feeding
+//     the slow replica a full quarter of the traffic and the tail
+//     explodes, while queue-aware policies route around it.
+//
+// Both scenarios use the simulated cluster path (service times calibrated
+// once from the real application, then replayed in virtual time), so the
+// whole comparison takes a few seconds and is reproducible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tailbench"
+)
+
+const (
+	replicas = 4
+	requests = 4000
+	warmup   = 400
+	scale    = 0.1
+	seed     = 1
+)
+
+func main() {
+	// Calibrate once: measured service times set the cluster's nominal
+	// capacity (replicas / mean service time) and feed the simulation.
+	samples, err := tailbench.MeasureServiceTimes("masstree", scale, seed, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	satQPS := tailbench.SaturationQPS(samples, 1)
+	fmt.Printf("masstree: single-replica saturation ~%.0f QPS; cluster of %d replicas\n\n", satQPS, replicas)
+
+	run := func(policy string, load float64, slowdowns []float64) *tailbench.ClusterResult {
+		res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+			App:            "masstree",
+			Mode:           tailbench.ModeSimulated,
+			Policy:         policy,
+			Replicas:       replicas,
+			Threads:        1,
+			QPS:            load * satQPS * replicas,
+			Requests:       requests,
+			Warmup:         warmup,
+			Scale:          scale,
+			Seed:           seed,
+			Slowdowns:      slowdowns,
+			ServiceSamples: samples,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	scenario := func(title string, load float64, slowdowns []float64) {
+		fmt.Printf("%s (offered load %.0f%% of nominal capacity)\n", title, load*100)
+		fmt.Printf("%-12s %-12s %-12s %-12s %s\n", "policy", "p95", "p99", "mean", "straggler_share")
+		var randomP99, bestQueueAwareP99 time.Duration
+		for _, policy := range tailbench.BalancerPolicies() {
+			res := run(policy, load, slowdowns)
+			share := float64(res.PerReplica[0].Dispatched) / float64(requests+warmup)
+			fmt.Printf("%-12s %-12v %-12v %-12v %.0f%%\n", policy,
+				res.Sojourn.P95.Round(time.Microsecond), res.Sojourn.P99.Round(time.Microsecond),
+				res.Sojourn.Mean.Round(time.Microsecond), share*100)
+			switch policy {
+			case "random":
+				randomP99 = res.Sojourn.P99
+			case "leastq", "jsq2":
+				if bestQueueAwareP99 == 0 || res.Sojourn.P99 < bestQueueAwareP99 {
+					bestQueueAwareP99 = res.Sojourn.P99
+				}
+			}
+		}
+		if bestQueueAwareP99 > 0 && randomP99 > bestQueueAwareP99 {
+			fmt.Printf("→ queue-aware balancing cuts the p99 %.1fx below random routing\n\n",
+				float64(randomP99)/float64(bestQueueAwareP99))
+		} else {
+			fmt.Println("→ no p99 advantage at this load")
+			fmt.Println()
+		}
+	}
+
+	scenario("uniform cluster, high load", 0.85, nil)
+	scenario("straggler: replica 0 slowed 3x", 0.6, []float64{3, 1, 1, 1})
+}

@@ -1,0 +1,3 @@
+module tailbench
+
+go 1.24

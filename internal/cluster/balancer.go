@@ -1,0 +1,145 @@
+// Package cluster implements the multi-replica serving harness: N replica
+// servers, each with its own worker pool and bounded request queue, behind a
+// pluggable load balancer. It extends the single-server TailBench
+// methodology (open-loop arrivals, sojourn time measured from scheduled
+// arrival instants) to the cluster setting, enabling replica-scaling,
+// balancer-policy, and straggler studies that a single-node harness cannot
+// express. Two execution paths are provided: a live path that drives real
+// app.Server replicas (cluster.Run), and a deterministic virtual-time
+// discrete-event path (cluster.Simulate) for fast, reproducible experiments
+// and tests.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tailbench/internal/workload"
+)
+
+// Balancer selects the replica each arriving request is dispatched to. Pick
+// receives the per-replica count of outstanding requests (queued plus in
+// service) observed at the arrival instant and returns a replica index.
+// Balancers are driven by the single dispatcher goroutine and need not be
+// safe for concurrent use.
+type Balancer interface {
+	// Name returns the policy name ("random", "roundrobin", ...).
+	Name() string
+	// Pick selects a replica given per-replica outstanding request counts.
+	// len(outstanding) is the replica count and is the same on every call.
+	Pick(outstanding []int) int
+}
+
+// Policy names accepted by NewBalancer.
+const (
+	PolicyRandom     = "random"
+	PolicyRoundRobin = "roundrobin"
+	PolicyLeastQueue = "leastq"
+	PolicyJSQ2       = "jsq2"
+)
+
+// Policies returns the built-in balancer policy names in presentation order.
+func Policies() []string {
+	return []string{PolicyRandom, PolicyRoundRobin, PolicyLeastQueue, PolicyJSQ2}
+}
+
+// NewBalancer constructs a balancer by policy name. seed drives the random
+// choices of the random and jsq2 policies; roundrobin and leastq ignore it.
+func NewBalancer(policy string, seed int64) (Balancer, error) {
+	switch policy {
+	case PolicyRandom:
+		return &randomBalancer{r: workload.NewRand(workload.SplitSeed(seed, 7))}, nil
+	case PolicyRoundRobin:
+		return &roundRobinBalancer{}, nil
+	case PolicyLeastQueue:
+		return &leastQueueBalancer{r: workload.NewRand(workload.SplitSeed(seed, 7))}, nil
+	case PolicyJSQ2:
+		return &jsq2Balancer{r: workload.NewRand(workload.SplitSeed(seed, 7))}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown balancer policy %q (available: %v)", policy, Policies())
+	}
+}
+
+// randomBalancer dispatches each request to a uniformly random replica.
+type randomBalancer struct{ r *rand.Rand }
+
+func (b *randomBalancer) Name() string { return PolicyRandom }
+
+func (b *randomBalancer) Pick(outstanding []int) int {
+	if len(outstanding) <= 1 {
+		return 0
+	}
+	return b.r.Intn(len(outstanding))
+}
+
+// roundRobinBalancer cycles through replicas in index order.
+type roundRobinBalancer struct{ next int }
+
+func (b *roundRobinBalancer) Name() string { return PolicyRoundRobin }
+
+func (b *roundRobinBalancer) Pick(outstanding []int) int {
+	if len(outstanding) == 0 {
+		return 0
+	}
+	idx := b.next % len(outstanding)
+	b.next = idx + 1
+	return idx
+}
+
+// leastQueueBalancer dispatches to the replica with the fewest outstanding
+// requests, breaking ties uniformly at random among the minima (seeded, so
+// the dispatch sequence is still deterministic per seed). A fixed
+// lowest-index tie-break would funnel nearly all sub-saturating traffic to
+// replica 0, since queues are usually empty when the dispatcher looks.
+type leastQueueBalancer struct{ r *rand.Rand }
+
+func (b *leastQueueBalancer) Name() string { return PolicyLeastQueue }
+
+func (b *leastQueueBalancer) Pick(outstanding []int) int {
+	best, ties := 0, 1
+	for i := 1; i < len(outstanding); i++ {
+		switch {
+		case outstanding[i] < outstanding[best]:
+			best, ties = i, 1
+		case outstanding[i] == outstanding[best]:
+			// Reservoir-style choice: each of the k tied replicas ends up
+			// selected with probability 1/k.
+			ties++
+			if b.r.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// jsq2Balancer implements power-of-two-choices: sample two distinct replicas
+// uniformly at random and dispatch to the one with fewer outstanding
+// requests. Ties are broken by a coin flip between the two candidates — a
+// fixed-index tie-break would starve high-index replicas whenever queues
+// are empty (see leastQueueBalancer).
+type jsq2Balancer struct{ r *rand.Rand }
+
+func (b *jsq2Balancer) Name() string { return PolicyJSQ2 }
+
+func (b *jsq2Balancer) Pick(outstanding []int) int {
+	n := len(outstanding)
+	if n <= 1 {
+		return 0
+	}
+	i := b.r.Intn(n)
+	j := b.r.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	switch {
+	case outstanding[j] < outstanding[i]:
+		return j
+	case outstanding[i] < outstanding[j]:
+		return i
+	case b.r.Intn(2) == 0:
+		return j
+	default:
+		return i
+	}
+}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/core"
+	"tailbench/internal/workload"
+)
+
+// Config parameterizes a live cluster run.
+type Config struct {
+	// Policy is the balancer policy name (see Policies).
+	Policy string
+	// Threads is the number of worker threads per replica (default 1).
+	Threads int
+	// QueueCap bounds each replica's request queue. The dispatcher blocks
+	// when the chosen replica's queue is full; because sojourn time is
+	// measured from the scheduled arrival instant, that backpressure shows
+	// up as latency rather than silently thinning the offered load.
+	// Default 4096.
+	QueueCap int
+	// QPS is the cluster-wide offered load; 0 means saturation.
+	QPS float64
+	// Requests is the number of measured requests (default 1000).
+	Requests int
+	// WarmupRequests is the number of discarded warmup requests
+	// (default 10% of Requests, matching the simulated path).
+	WarmupRequests int
+	// Seed drives all randomness (arrivals, request contents, balancer).
+	Seed int64
+	// KeepRaw retains every cluster-wide latency sample in the result.
+	KeepRaw bool
+	// Validate makes the harness check every response.
+	Validate bool
+	// Slowdowns optionally assigns each replica a service-time inflation
+	// factor (straggler injection). Empty means all replicas run at nominal
+	// speed; otherwise its length must equal the replica count. Values
+	// below 1 are treated as 1.
+	Slowdowns []float64
+	// Timeout bounds the whole run (default derived from Requests and QPS).
+	Timeout time.Duration
+}
+
+// Errors returned by cluster configuration validation.
+var (
+	ErrNoReplicas   = errors.New("cluster: at least one replica server is required")
+	ErrSlowdownsLen = errors.New("cluster: len(Slowdowns) must equal the replica count")
+)
+
+// withDefaults normalizes a Config for n replicas.
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyLeastQueue
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.WarmupRequests <= 0 {
+		c.WarmupRequests = c.Requests / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = core.DefaultTimeout(c.Requests+c.WarmupRequests, c.QPS)
+	}
+	return c
+}
+
+// slowdownFor returns the normalized slowdown factor for replica idx.
+// Values below 1 and non-finite values mean nominal speed.
+func (c Config) slowdownFor(idx int) float64 {
+	if idx >= len(c.Slowdowns) {
+		return 1
+	}
+	s := c.Slowdowns[idx]
+	if math.IsNaN(s) || math.IsInf(s, 0) || s < 1 {
+		return 1
+	}
+	return s
+}
+
+// replica is the runtime state of one live replica: its server, bounded
+// queue, and accounting.
+type replica struct {
+	idx      int
+	server   app.Server
+	slowdown float64
+	queue    chan clusterPending
+
+	outstanding atomic.Int64
+	dispatched  uint64 // dispatcher goroutine only
+	depth       depthAccum
+
+	collector *core.Collector
+}
+
+// clusterPending is one request flowing through a replica's queue.
+type clusterPending struct {
+	payload app.Request
+	// scheduled is the arrival instant assigned by the traffic shaper;
+	// sojourn time is measured from it, so dispatcher and balancer lag count
+	// as latency.
+	scheduled time.Time
+	// enqueue is when the request actually entered the replica's queue; the
+	// queue component is measured from it, matching core.Sample semantics.
+	enqueue time.Time
+	warmup  bool
+}
+
+// Run measures a cluster of live replica servers under the open-loop
+// methodology: a single dispatcher issues requests at their scheduled
+// arrival instants, the balancer routes each to a replica, and each
+// replica's worker pool drains its bounded queue. The caller owns the
+// servers (they are not closed). All replicas must serve the same
+// application; appName labels the result.
+func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg Config) (*Result, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if newClient == nil {
+		return nil, core.ErrNilClient
+	}
+	if len(cfg.Slowdowns) != 0 && len(cfg.Slowdowns) != len(servers) {
+		return nil, ErrSlowdownsLen
+	}
+	cfg = cfg.withDefaults()
+	balancer, err := NewBalancer(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	client, err := newClient(workload.SplitSeed(cfg.Seed, 1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: creating client: %w", err)
+	}
+
+	total := cfg.WarmupRequests + cfg.Requests
+	// Pre-generate payloads so request construction never perturbs dispatch
+	// timing, mirroring the single-server integrated harness.
+	payloads := make([]app.Request, total)
+	for i := range payloads {
+		payloads[i] = client.NextRequest()
+	}
+	shaper := core.NewTrafficShaper(cfg.QPS, workload.SplitSeed(cfg.Seed, 2))
+	offsets := shaper.Schedule(total)
+
+	aggregate := core.NewCollector(cfg.KeepRaw)
+	replicas := make([]*replica, len(servers))
+	var workers sync.WaitGroup
+	for r, server := range servers {
+		rep := &replica{
+			idx:       r,
+			server:    server,
+			slowdown:  cfg.slowdownFor(r),
+			queue:     make(chan clusterPending, cfg.QueueCap),
+			collector: core.NewCollector(false),
+		}
+		replicas[r] = rep
+		for w := 0; w < cfg.Threads; w++ {
+			workers.Add(1)
+			go func(rep *replica) {
+				defer workers.Done()
+				rep.work(client, cfg.Validate, aggregate)
+			}(rep)
+		}
+	}
+
+	// Dispatcher: issue requests open-loop at their scheduled instants,
+	// routing each through the balancer on a snapshot of per-replica
+	// outstanding counts.
+	outstanding := make([]int, len(replicas))
+	startTime := time.Now()
+	deadline := startTime.Add(cfg.Timeout)
+	for i := 0; i < total; i++ {
+		target := startTime.Add(offsets[i])
+		core.WaitUntil(target)
+		if time.Now().After(deadline) {
+			break
+		}
+		for r, rep := range replicas {
+			outstanding[r] = int(rep.outstanding.Load())
+		}
+		pick := balancer.Pick(outstanding)
+		rep := replicas[pick]
+		rep.depth.observe(outstanding[pick])
+		rep.dispatched++
+		rep.outstanding.Add(1)
+		rep.queue <- clusterPending{payload: payloads[i], scheduled: target, enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
+	}
+	for _, rep := range replicas {
+		close(rep.queue)
+	}
+	workers.Wait()
+
+	return assembleLive(appName, cfg, len(servers), replicas, aggregate), nil
+}
+
+// work drains one replica's queue on one worker goroutine.
+func (rep *replica) work(client app.Client, validate bool, aggregate *core.Collector) {
+	for p := range rep.queue {
+		start := time.Now()
+		resp, perr := rep.server.Process(p.payload)
+		if rep.slowdown > 1 {
+			// Straggler injection: inflate the effective service time by
+			// holding the worker (and therefore the replica's capacity) for
+			// the extra duration.
+			time.Sleep(time.Duration((rep.slowdown - 1) * float64(time.Since(start))))
+		}
+		end := time.Now()
+		failed := perr != nil
+		if !failed && validate {
+			failed = client.CheckResponse(p.payload, resp) != nil
+		}
+		sample := core.Sample{
+			Queue:   start.Sub(p.enqueue),
+			Service: end.Sub(start),
+			Sojourn: end.Sub(p.scheduled),
+			Warmup:  p.warmup,
+			Err:     failed,
+		}
+		rep.outstanding.Add(-1)
+		rep.collector.Record(sample)
+		aggregate.Record(sample)
+	}
+}
+
+// assembleLive builds the Result for a live run from the collectors.
+func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggregate *core.Collector) *Result {
+	agg := aggregate.Summary()
+	elapsed := agg.Last.Sub(agg.First)
+	achieved := 0.0
+	if elapsed > 0 {
+		achieved = float64(agg.Count) / elapsed.Seconds()
+	}
+	out := &Result{
+		App:            appName,
+		Policy:         cfg.Policy,
+		Replicas:       n,
+		Threads:        cfg.Threads,
+		OfferedQPS:     cfg.QPS,
+		AchievedQPS:    achieved,
+		Requests:       agg.Count,
+		Warmups:        agg.Warmups,
+		Errors:         agg.Errors,
+		Queue:          agg.Queue,
+		Service:        agg.Service,
+		Sojourn:        agg.Sojourn,
+		ServiceCDF:     agg.ServiceCDF,
+		SojournCDF:     agg.SojournCDF,
+		ServiceSamples: agg.RawService,
+		SojournSamples: agg.RawSojourn,
+		Elapsed:        elapsed,
+	}
+	for _, rep := range replicas {
+		rs := rep.collector.Summary()
+		// Per-replica throughput over the cluster-wide measurement interval,
+		// so the per-replica rates sum to the aggregate rate.
+		repAchieved := 0.0
+		if elapsed > 0 {
+			repAchieved = float64(rs.Count) / elapsed.Seconds()
+		}
+		out.PerReplica = append(out.PerReplica, ReplicaStats{
+			Index:          rep.idx,
+			Slowdown:       rep.slowdown,
+			Dispatched:     rep.dispatched,
+			Requests:       rs.Count,
+			Errors:         rs.Errors,
+			AchievedQPS:    repAchieved,
+			Queue:          rs.Queue,
+			Service:        rs.Service,
+			Sojourn:        rs.Sojourn,
+			MeanQueueDepth: rep.depth.mean(),
+			MaxQueueDepth:  rep.depth.max,
+		})
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/queueing"
+	"tailbench/internal/workload"
+)
+
+func TestPolicies(t *testing.T) {
+	want := []string{"random", "roundrobin", "leastq", "jsq2"}
+	if got := Policies(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Policies() = %v, want %v", got, want)
+	}
+	for _, p := range want {
+		b, err := NewBalancer(p, 1)
+		if err != nil {
+			t.Fatalf("NewBalancer(%q): %v", p, err)
+		}
+		if b.Name() != p {
+			t.Errorf("NewBalancer(%q).Name() = %q", p, b.Name())
+		}
+	}
+	if _, err := NewBalancer("no-such-policy", 1); err == nil {
+		t.Error("NewBalancer should reject unknown policies")
+	}
+}
+
+func TestRoundRobinSequence(t *testing.T) {
+	b, _ := NewBalancer(PolicyRoundRobin, 1)
+	outstanding := []int{9, 9, 9} // round robin ignores queue state
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := b.Pick(outstanding); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastQueueSequence(t *testing.T) {
+	b, _ := NewBalancer(PolicyLeastQueue, 1)
+	// A unique minimum must always win.
+	cases := []struct {
+		outstanding []int
+		want        int
+	}{
+		{[]int{2, 1, 3}, 1},
+		{[]int{2, 1, 0}, 2},
+		{[]int{5, 5, 4}, 2},
+		{[]int{0, 4, 4}, 0},
+	}
+	for _, c := range cases {
+		if got := b.Pick(c.outstanding); got != c.want {
+			t.Errorf("leastq.Pick(%v) = %d, want %d", c.outstanding, got, c.want)
+		}
+	}
+}
+
+func TestLeastQueueTieBreakSpreadsLoad(t *testing.T) {
+	// Ties are broken at random among the minima (seeded): over many picks
+	// on an all-idle cluster every replica must receive traffic, and only
+	// replicas in the tied-minimum set may ever be chosen.
+	outstanding := []int{0, 0, 7, 0}
+	seq := pickSequence(t, PolicyLeastQueue, 9, outstanding, 300)
+	counts := make([]int, len(outstanding))
+	for _, p := range seq {
+		if p == 2 {
+			t.Fatalf("leastq picked replica 2 with outstanding %v", outstanding)
+		}
+		counts[p]++
+	}
+	for _, r := range []int{0, 1, 3} {
+		if counts[r] < 300/10 {
+			t.Errorf("replica %d got %d/300 tied picks; tie-break is not spreading load", r, counts[r])
+		}
+	}
+	if again := pickSequence(t, PolicyLeastQueue, 9, outstanding, 300); !reflect.DeepEqual(seq, again) {
+		t.Fatal("leastq with the same seed must produce the same dispatch sequence")
+	}
+}
+
+// pickSequence drives a balancer through n picks over a fixed outstanding
+// vector and returns the sequence.
+func pickSequence(t *testing.T, policy string, seed int64, outstanding []int, n int) []int {
+	t.Helper()
+	b, err := NewBalancer(policy, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = b.Pick(outstanding)
+		if seq[i] < 0 || seq[i] >= len(outstanding) {
+			t.Fatalf("%s pick %d out of range: %d", policy, i, seq[i])
+		}
+	}
+	return seq
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	outstanding := []int{0, 0, 0, 0}
+	a := pickSequence(t, PolicyRandom, 42, outstanding, 200)
+	b := pickSequence(t, PolicyRandom, 42, outstanding, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("random balancer with the same seed must produce the same dispatch sequence")
+	}
+	c := pickSequence(t, PolicyRandom, 43, outstanding, 200)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("random balancer with different seeds should diverge")
+	}
+	counts := make([]int, len(outstanding))
+	for _, p := range a {
+		counts[p]++
+	}
+	for r, n := range counts {
+		if n == 0 {
+			t.Errorf("replica %d never picked in 200 uniform draws", r)
+		}
+	}
+}
+
+func TestJSQ2PrefersShorterQueue(t *testing.T) {
+	// Replica 0 has an empty queue, the rest are deeply backed up: jsq2 must
+	// route to 0 every time 0 is among the two sampled candidates (about
+	// half of all picks for 4 replicas), and never route to a candidate that
+	// loses the comparison.
+	outstanding := []int{0, 100, 100, 100}
+	seq := pickSequence(t, PolicyJSQ2, 7, outstanding, 400)
+	zero := 0
+	for _, p := range seq {
+		if p == 0 {
+			zero++
+		}
+	}
+	// P(candidate pair contains replica 0) = 1/2; 400 draws make
+	// deviations below 1/3 or above 2/3 astronomically unlikely.
+	if zero < 400/3 || zero > 2*400/3 {
+		t.Fatalf("jsq2 picked the empty replica %d/400 times, want about half", zero)
+	}
+	a := pickSequence(t, PolicyJSQ2, 7, outstanding, 400)
+	if !reflect.DeepEqual(seq, a) {
+		t.Fatal("jsq2 with the same seed must produce the same dispatch sequence")
+	}
+}
+
+func TestJSQ2TieBreakSpreadsLoad(t *testing.T) {
+	// With every queue tied at zero (any sub-saturating load), the coin-flip
+	// tie-break must leave no replica starved; each of 4 replicas expects
+	// 25% of 400 picks.
+	seq := pickSequence(t, PolicyJSQ2, 3, []int{0, 0, 0, 0}, 400)
+	counts := make([]int, 4)
+	for _, p := range seq {
+		counts[p]++
+	}
+	for r, n := range counts {
+		if n < 400/10 {
+			t.Errorf("replica %d got %d/400 tied picks; tie-break is not spreading load", r, n)
+		}
+	}
+}
+
+func TestSimulateQueueDepthAccounting(t *testing.T) {
+	// Six simultaneous arrivals (saturation schedule), two single-threaded
+	// replicas with constant 1ms service, round-robin dispatch: each replica
+	// serves three requests back to back, so the depths observed at dispatch
+	// are exactly 0, 1, 2.
+	res, err := Simulate(SimConfig{
+		Policy:   PolicyRoundRobin,
+		Threads:  1,
+		QPS:      0,
+		Requests: 6,
+		Seed:     1,
+		Replicas: []SimReplica{
+			{Service: queueing.DeterministicService{Value: time.Millisecond}},
+			{Service: queueing.DeterministicService{Value: time.Millisecond}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 6 {
+		t.Fatalf("Requests = %d, want 6", res.Requests)
+	}
+	for _, rep := range res.PerReplica {
+		if rep.Dispatched != 3 || rep.Requests != 3 {
+			t.Errorf("replica %d: dispatched=%d requests=%d, want 3/3", rep.Index, rep.Dispatched, rep.Requests)
+		}
+		if rep.MaxQueueDepth != 2 {
+			t.Errorf("replica %d: MaxQueueDepth = %d, want 2", rep.Index, rep.MaxQueueDepth)
+		}
+		if rep.MeanQueueDepth != 1 {
+			t.Errorf("replica %d: MeanQueueDepth = %v, want 1", rep.Index, rep.MeanQueueDepth)
+		}
+		// FIFO through one worker: queue waits are 0, 1ms, 2ms.
+		if rep.Queue.Min != 0 || rep.Queue.Max != 2*time.Millisecond {
+			t.Errorf("replica %d: queue min/max = %v/%v, want 0/2ms", rep.Index, rep.Queue.Min, rep.Queue.Max)
+		}
+	}
+	if res.Sojourn.Max != 3*time.Millisecond {
+		t.Errorf("Sojourn.Max = %v, want 3ms (2ms wait + 1ms service)", res.Sojourn.Max)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := SimConfig{
+		Policy:   PolicyJSQ2,
+		Threads:  2,
+		QPS:      3000,
+		Requests: 2000,
+		Seed:     11,
+		KeepRaw:  true,
+		Replicas: []SimReplica{
+			{Service: queueing.ExponentialService{Mean: time.Millisecond}},
+			{Service: queueing.ExponentialService{Mean: time.Millisecond}},
+			{Service: queueing.ExponentialService{Mean: time.Millisecond}, Slowdown: 2},
+		},
+	}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.SojournSamples, b.SojournSamples) {
+		t.Fatal("same seed must reproduce the exact sojourn sample stream")
+	}
+	if a.Sojourn != b.Sojourn || !reflect.DeepEqual(a.PerReplica, b.PerReplica) {
+		t.Fatal("same seed must reproduce summaries and per-replica stats")
+	}
+	cfg.Seed = 12
+	c, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.SojournSamples, c.SojournSamples) {
+		t.Fatal("different seeds should produce different sample streams")
+	}
+}
+
+// stragglerResult simulates a 4-replica cluster with replica 0 slowed 4x at
+// 70% of nominal cluster load.
+func stragglerResult(t *testing.T, policy string) *Result {
+	t.Helper()
+	mean := time.Millisecond
+	replicas := make([]SimReplica, 4)
+	for r := range replicas {
+		replicas[r] = SimReplica{Service: queueing.ExponentialService{Mean: mean}}
+	}
+	replicas[0].Slowdown = 4
+	res, err := Simulate(SimConfig{
+		App:            "synthetic-straggler",
+		Policy:         policy,
+		Threads:        1,
+		QPS:            2800, // 0.7 of the 4000 QPS nominal capacity
+		Requests:       4000,
+		WarmupRequests: 400,
+		Seed:           3,
+		Replicas:       replicas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStragglerQueueAwarePoliciesBeatRandom(t *testing.T) {
+	random := stragglerResult(t, PolicyRandom)
+	jsq2 := stragglerResult(t, PolicyJSQ2)
+	leastq := stragglerResult(t, PolicyLeastQueue)
+
+	// Random routing sends the slow replica a quarter of the traffic — far
+	// beyond its capacity — so its queue grows without bound and the
+	// cluster-wide p99 explodes. Queue-aware policies route around the
+	// straggler and keep the tail orders of magnitude lower.
+	if jsq2.Sojourn.P99 >= random.Sojourn.P99 {
+		t.Errorf("jsq2 p99 = %v, want < random p99 = %v", jsq2.Sojourn.P99, random.Sojourn.P99)
+	}
+	if leastq.Sojourn.P99 >= random.Sojourn.P99 {
+		t.Errorf("leastq p99 = %v, want < random p99 = %v", leastq.Sojourn.P99, random.Sojourn.P99)
+	}
+	if random.Sojourn.P99 < 2*jsq2.Sojourn.P99 {
+		t.Errorf("expected a decisive gap: random p99 = %v vs jsq2 p99 = %v", random.Sojourn.P99, jsq2.Sojourn.P99)
+	}
+	// The queue-aware policies shift load away from the straggler.
+	if jsq2.PerReplica[0].Dispatched >= random.PerReplica[0].Dispatched {
+		t.Errorf("jsq2 sent %d requests to the straggler, random sent %d; expected fewer",
+			jsq2.PerReplica[0].Dispatched, random.PerReplica[0].Dispatched)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{}); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("empty cluster: got %v, want ErrNoReplicas", err)
+	}
+	_, err := Simulate(SimConfig{Replicas: []SimReplica{{}}})
+	if !errors.Is(err, ErrNoService) {
+		t.Errorf("nil sampler: got %v, want ErrNoService", err)
+	}
+	_, err = Simulate(SimConfig{
+		Policy:   "bogus",
+		Replicas: []SimReplica{{Service: queueing.DeterministicService{Value: time.Millisecond}}},
+	})
+	if err == nil {
+		t.Error("unknown policy should be rejected")
+	}
+}
+
+// fakeServer is a trivial app.Server for exercising the live path without a
+// real application.
+type fakeServer struct{ delay time.Duration }
+
+func (f *fakeServer) Name() string { return "fake" }
+func (f *fakeServer) Process(req app.Request) (app.Response, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return app.Response(req), nil
+}
+func (f *fakeServer) Close() error { return nil }
+
+// fakeClient emits fixed one-byte requests.
+type fakeClient struct{}
+
+func (fakeClient) NextRequest() app.Request { return app.Request{0x1} }
+func (fakeClient) CheckResponse(req app.Request, resp app.Response) error {
+	if len(resp) != len(req) {
+		return app.ErrBadResponse
+	}
+	return nil
+}
+
+func TestRunLiveCluster(t *testing.T) {
+	servers := []app.Server{
+		&fakeServer{delay: 50 * time.Microsecond},
+		&fakeServer{delay: 50 * time.Microsecond},
+		&fakeServer{delay: 50 * time.Microsecond},
+	}
+	res, err := Run("fake", servers,
+		func(seed int64) (app.Client, error) { return fakeClient{}, nil },
+		Config{
+			Policy:         PolicyRoundRobin,
+			Threads:        1,
+			QPS:            5000,
+			Requests:       300,
+			WarmupRequests: 60,
+			Seed:           1,
+			Validate:       true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 300 {
+		t.Fatalf("Requests = %d, want 300", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("Errors = %d, want 0", res.Errors)
+	}
+	if len(res.PerReplica) != 3 {
+		t.Fatalf("PerReplica has %d entries, want 3", len(res.PerReplica))
+	}
+	var dispatched, measured uint64
+	for _, rep := range res.PerReplica {
+		dispatched += rep.Dispatched
+		measured += rep.Requests
+		if rep.Dispatched != 120 { // round robin splits 360 requests evenly
+			t.Errorf("replica %d dispatched %d, want 120", rep.Index, rep.Dispatched)
+		}
+	}
+	if dispatched != 360 || measured != 300 {
+		t.Errorf("dispatched=%d measured=%d, want 360/300", dispatched, measured)
+	}
+	if res.Sojourn.Count != 300 || res.Sojourn.Mean <= 0 {
+		t.Errorf("suspicious sojourn summary: %+v", res.Sojourn)
+	}
+}
+
+func TestRunLiveValidation(t *testing.T) {
+	newClient := func(seed int64) (app.Client, error) { return fakeClient{}, nil }
+	if _, err := Run("fake", nil, newClient, Config{}); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("no servers: got %v, want ErrNoReplicas", err)
+	}
+	servers := []app.Server{&fakeServer{}}
+	if _, err := Run("fake", servers, newClient, Config{Slowdowns: []float64{1, 2}}); !errors.Is(err, ErrSlowdownsLen) {
+		t.Errorf("bad slowdowns: got %v, want ErrSlowdownsLen", err)
+	}
+	if _, err := Run("fake", servers, newClient, Config{Policy: "bogus", Requests: 10}); err == nil {
+		t.Error("unknown policy should be rejected")
+	}
+}
+
+func TestEmpiricalServiceResamples(t *testing.T) {
+	samples := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	e := EmpiricalService{Samples: samples}
+	r := workload.NewRand(1)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		v := e.Sample(r)
+		if v != samples[0] && v != samples[1] && v != samples[2] {
+			t.Fatalf("resampled value %v not in source samples", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != len(samples) {
+		t.Errorf("expected all %d source values to appear, saw %d", len(samples), len(seen))
+	}
+	if (EmpiricalService{}).Sample(r) != 0 {
+		t.Error("empty empirical distribution should sample zero")
+	}
+}

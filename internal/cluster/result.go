@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench/internal/stats"
+)
+
+// ReplicaStats is the per-replica breakdown of a cluster run.
+type ReplicaStats struct {
+	// Index is the replica's position in the cluster.
+	Index int
+	// Slowdown is the service-time inflation factor the replica ran with
+	// (1.0 = nominal speed).
+	Slowdown float64
+	// Dispatched counts every request routed to this replica, including
+	// warmup and failed requests.
+	Dispatched uint64
+	// Requests counts the measured (post-warmup, non-error) requests.
+	Requests uint64
+	// Errors counts failed requests.
+	Errors uint64
+	// AchievedQPS is the replica's measured completion rate over the
+	// cluster-wide measurement interval (per-replica rates sum to the
+	// aggregate rate).
+	AchievedQPS float64
+	// Queue, Service, and Sojourn summarize the replica's latency components.
+	Queue   stats.LatencySummary
+	Service stats.LatencySummary
+	Sojourn stats.LatencySummary
+	// MeanQueueDepth is the mean number of outstanding requests (queued plus
+	// in service) observed at this replica at the instants requests were
+	// dispatched to it.
+	MeanQueueDepth float64
+	// MaxQueueDepth is the largest outstanding count observed at dispatch.
+	MaxQueueDepth int
+}
+
+// Result is the outcome of one cluster measurement (live or simulated).
+type Result struct {
+	// App is the application name (or synthetic workload label).
+	App string
+	// Policy is the balancer policy the run used.
+	Policy string
+	// Replicas is the number of replica servers.
+	Replicas int
+	// Threads is the number of worker threads per replica.
+	Threads int
+	// OfferedQPS is the configured cluster-wide arrival rate.
+	OfferedQPS float64
+	// AchievedQPS is the measured cluster-wide completion rate.
+	AchievedQPS float64
+	// Requests, Warmups, and Errors count measured, discarded, and failed
+	// requests across the whole cluster.
+	Requests uint64
+	Warmups  uint64
+	Errors   uint64
+	// Queue, Service, and Sojourn summarize cluster-wide latency. Sojourn is
+	// measured from each request's scheduled arrival instant, so balancer
+	// and dispatcher lag count as latency (the open-loop methodology).
+	Queue   stats.LatencySummary
+	Service stats.LatencySummary
+	Sojourn stats.LatencySummary
+	// ServiceCDF and SojournCDF are cluster-wide distributions.
+	ServiceCDF []stats.CDFPoint
+	SojournCDF []stats.CDFPoint
+	// ServiceSamples and SojournSamples carry raw samples when KeepRaw was
+	// set.
+	ServiceSamples []time.Duration
+	SojournSamples []time.Duration
+	// Elapsed is the measurement interval: wall-clock for live runs,
+	// virtual time for simulated runs.
+	Elapsed time.Duration
+	// PerReplica is the per-replica breakdown, indexed by replica.
+	PerReplica []ReplicaStats
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s [cluster %s x%d] threads=%d qps=%.1f achieved=%.1f n=%d err=%d sojourn{%s}",
+		r.App, r.Policy, r.Replicas, r.Threads, r.OfferedQPS, r.AchievedQPS,
+		r.Requests, r.Errors, r.Sojourn.String())
+}
+
+// depthAccum tracks queue-depth observations at dispatch instants.
+type depthAccum struct {
+	sum int64
+	n   int64
+	max int
+}
+
+func (d *depthAccum) observe(depth int) {
+	d.sum += int64(depth)
+	d.n++
+	if depth > d.max {
+		d.max = depth
+	}
+}
+
+func (d *depthAccum) mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.n)
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tailbench/internal/core"
+	"tailbench/internal/queueing"
+	"tailbench/internal/stats"
+	"tailbench/internal/workload"
+)
+
+// SimReplica describes one replica of a simulated cluster.
+type SimReplica struct {
+	// Service draws the replica's service times.
+	Service queueing.ServiceSampler
+	// Slowdown inflates every drawn service time (straggler injection).
+	// Values below 1 are treated as 1.
+	Slowdown float64
+}
+
+// SimConfig parameterizes a simulated cluster run. The simulation runs in
+// virtual time — it is fully deterministic given the seed and costs no
+// wall-clock waiting, which makes it the right path for tests and for quick
+// what-if studies (policy comparisons, straggler scenarios) before spending
+// time on live runs.
+type SimConfig struct {
+	// App labels the result (it can be a real application name when the
+	// service sampler was calibrated from one, or any synthetic label).
+	App string
+	// Policy is the balancer policy name (see Policies).
+	Policy string
+	// Threads is the number of worker threads per replica (default 1).
+	Threads int
+	// QPS is the cluster-wide Poisson arrival rate; 0 means back-to-back
+	// arrivals (saturation).
+	QPS float64
+	// Requests is the number of measured requests (default 1000).
+	Requests int
+	// WarmupRequests is the number of discarded warmup requests
+	// (default 10% of Requests).
+	WarmupRequests int
+	// Seed drives arrivals, service draws, and the balancer.
+	Seed int64
+	// KeepRaw retains every cluster-wide latency sample in the result.
+	KeepRaw bool
+	// Replicas describes the cluster.
+	Replicas []SimReplica
+}
+
+// ErrNoService is returned when a SimReplica lacks a service sampler.
+var ErrNoService = errors.New("cluster: SimReplica.Service must not be nil")
+
+// withDefaults normalizes a SimConfig.
+func (c SimConfig) withDefaults() SimConfig {
+	if c.App == "" {
+		c.App = "synthetic"
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyLeastQueue
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.WarmupRequests <= 0 {
+		c.WarmupRequests = c.Requests / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// finishHeap is a min-heap of completion instants, one entry per request a
+// replica has accepted but not yet finished; its length is the replica's
+// outstanding count.
+type finishHeap []time.Duration
+
+func (h finishHeap) Len() int            { return len(h) }
+func (h finishHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simReplicaState is the evolving state of one simulated replica.
+type simReplicaState struct {
+	slowdown float64
+	service  queueing.ServiceSampler
+	rng      *rand.Rand
+	// workerFree holds each worker's next-free instant; a new request starts
+	// on the earliest-free worker, which realizes FIFO multi-server service.
+	workerFree []time.Duration
+	// inflight tracks completion instants of accepted-but-unfinished
+	// requests; len(inflight) is the outstanding count.
+	inflight finishHeap
+
+	dispatched uint64
+	depth      depthAccum
+	measured   uint64
+
+	queueS, serviceS, sojournS []time.Duration
+}
+
+// Simulate runs the cluster as a virtual-time discrete-event simulation:
+// Poisson arrivals are routed by the balancer on the outstanding counts
+// observed at each arrival instant, and each replica serves FIFO with
+// Threads parallel workers whose service times come from the replica's
+// sampler (scaled by its slowdown).
+func Simulate(cfg SimConfig) (*Result, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, ErrNoReplicas
+	}
+	cfg = cfg.withDefaults()
+	balancer, err := NewBalancer(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	states := make([]*simReplicaState, len(cfg.Replicas))
+	for r, sr := range cfg.Replicas {
+		if sr.Service == nil {
+			return nil, fmt.Errorf("%w (replica %d)", ErrNoService, r)
+		}
+		slow := sr.Slowdown
+		if math.IsNaN(slow) || math.IsInf(slow, 0) || slow < 1 {
+			slow = 1
+		}
+		states[r] = &simReplicaState{
+			slowdown:   slow,
+			service:    sr.Service,
+			rng:        workload.NewRand(workload.SplitSeed(cfg.Seed, int64(100+r))),
+			workerFree: make([]time.Duration, cfg.Threads),
+		}
+	}
+
+	total := cfg.WarmupRequests + cfg.Requests
+	shaper := core.NewTrafficShaper(cfg.QPS, workload.SplitSeed(cfg.Seed, 2))
+	arrivals := shaper.Schedule(total)
+
+	var (
+		queueAll, serviceAll, sojournAll []time.Duration
+		outstanding                      = make([]int, len(states))
+		lastFinish                       time.Duration
+	)
+	for i := 0; i < total; i++ {
+		t := arrivals[i]
+		// Retire everything that completed before this arrival, then snapshot
+		// the outstanding counts the balancer decides on.
+		for r, st := range states {
+			for st.inflight.Len() > 0 && st.inflight[0] <= t {
+				heap.Pop(&st.inflight)
+			}
+			outstanding[r] = st.inflight.Len()
+		}
+		pick := balancer.Pick(outstanding)
+		st := states[pick]
+		st.depth.observe(outstanding[pick])
+		st.dispatched++
+
+		// Earliest-free worker serves next (FIFO across the replica).
+		w := 0
+		for k := 1; k < len(st.workerFree); k++ {
+			if st.workerFree[k] < st.workerFree[w] {
+				w = k
+			}
+		}
+		start := t
+		if st.workerFree[w] > start {
+			start = st.workerFree[w]
+		}
+		service := time.Duration(float64(st.service.Sample(st.rng)) * st.slowdown)
+		if service < 0 {
+			service = 0
+		}
+		finish := start + service
+		st.workerFree[w] = finish
+		heap.Push(&st.inflight, finish)
+		if finish > lastFinish {
+			lastFinish = finish
+		}
+
+		if i < cfg.WarmupRequests {
+			continue
+		}
+		st.measured++
+		queue, sojourn := start-t, finish-t
+		st.queueS = append(st.queueS, queue)
+		st.serviceS = append(st.serviceS, service)
+		st.sojournS = append(st.sojournS, sojourn)
+		queueAll = append(queueAll, queue)
+		serviceAll = append(serviceAll, service)
+		sojournAll = append(sojournAll, sojourn)
+	}
+
+	firstMeasured := time.Duration(0)
+	if cfg.WarmupRequests < total {
+		firstMeasured = arrivals[cfg.WarmupRequests]
+	}
+	elapsed := lastFinish - firstMeasured
+	achieved := 0.0
+	if elapsed > 0 {
+		achieved = float64(len(sojournAll)) / elapsed.Seconds()
+	}
+	out := &Result{
+		App:         cfg.App,
+		Policy:      cfg.Policy,
+		Replicas:    len(states),
+		Threads:     cfg.Threads,
+		OfferedQPS:  cfg.QPS,
+		AchievedQPS: achieved,
+		Requests:    uint64(len(sojournAll)),
+		Warmups:     uint64(cfg.WarmupRequests),
+		Queue:       stats.SummaryFromSamples(queueAll),
+		Service:     stats.SummaryFromSamples(serviceAll),
+		Sojourn:     stats.SummaryFromSamples(sojournAll),
+		ServiceCDF:  stats.SampleCDF(serviceAll),
+		SojournCDF:  stats.SampleCDF(sojournAll),
+		Elapsed:     elapsed,
+	}
+	if cfg.KeepRaw {
+		out.ServiceSamples = serviceAll
+		out.SojournSamples = sojournAll
+	}
+	for r, st := range states {
+		// Per-replica throughput is the replica's share of the cluster-wide
+		// measurement interval (a per-replica window degenerates for replicas
+		// that saw only a handful of requests).
+		repAchieved := 0.0
+		if elapsed > 0 {
+			repAchieved = float64(st.measured) / elapsed.Seconds()
+		}
+		out.PerReplica = append(out.PerReplica, ReplicaStats{
+			Index:          r,
+			Slowdown:       st.slowdown,
+			Dispatched:     st.dispatched,
+			Requests:       st.measured,
+			AchievedQPS:    repAchieved,
+			Queue:          stats.SummaryFromSamples(st.queueS),
+			Service:        stats.SummaryFromSamples(st.serviceS),
+			Sojourn:        stats.SummaryFromSamples(st.sojournS),
+			MeanQueueDepth: st.depth.mean(),
+			MaxQueueDepth:  st.depth.max,
+		})
+	}
+	return out, nil
+}
+
+// EmpiricalService is a queueing.ServiceSampler that resamples (with
+// replacement) from a measured service-time distribution, letting simulated
+// cluster runs reuse the calibration measurements of a real application.
+type EmpiricalService struct {
+	// Samples are the measured service times; must be non-empty.
+	Samples []time.Duration
+}
+
+// Sample implements queueing.ServiceSampler.
+func (e EmpiricalService) Sample(r *rand.Rand) time.Duration {
+	if len(e.Samples) == 0 {
+		return 0
+	}
+	return e.Samples[r.Intn(len(e.Samples))]
+}

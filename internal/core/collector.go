@@ -70,14 +70,17 @@ func (c *Collector) Record(s Sample) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if s.Warmup {
+		// Warmup samples do not open the measurement interval: throughput is
+		// counted over measured samples only, so including warmup time would
+		// deflate AchievedQPS by the warmup fraction.
+		c.warmups++
+		return
+	}
 	if c.first.IsZero() {
 		c.first = now
 	}
 	c.last = now
-	if s.Warmup {
-		c.warmups++
-		return
-	}
 	if s.Err {
 		c.errors++
 		return
@@ -136,6 +139,47 @@ func (c *Collector) snapshot() collectorSnapshot {
 		snap.sojournCDF = c.sojourn.CDF()
 	}
 	return snap
+}
+
+// CollectorSummary is the exported aggregate view of a collector, for
+// harnesses built outside package core (e.g. internal/cluster) that reuse
+// the collector but assemble their own result types.
+type CollectorSummary struct {
+	Count      uint64
+	Warmups    uint64
+	Errors     uint64
+	First      time.Time
+	Last       time.Time
+	Queue      stats.LatencySummary
+	Service    stats.LatencySummary
+	Sojourn    stats.LatencySummary
+	ServiceCDF []stats.CDFPoint
+	SojournCDF []stats.CDFPoint
+	// RawQueue, RawService, and RawSojourn are present when the collector
+	// was created with keepRaw.
+	RawQueue   []time.Duration
+	RawService []time.Duration
+	RawSojourn []time.Duration
+}
+
+// Summary extracts the collector's aggregate state.
+func (c *Collector) Summary() CollectorSummary {
+	snap := c.snapshot()
+	return CollectorSummary{
+		Count:      snap.count,
+		Warmups:    snap.warmups,
+		Errors:     snap.errors,
+		First:      snap.first,
+		Last:       snap.last,
+		Queue:      snap.queue,
+		Service:    snap.service,
+		Sojourn:    snap.sojourn,
+		ServiceCDF: snap.serviceCDF,
+		SojournCDF: snap.sojournCDF,
+		RawQueue:   snap.rawQueue,
+		RawService: snap.rawService,
+		RawSojourn: snap.rawSojourn,
+	}
 }
 
 // collectorSnapshot is the immutable view extracted at the end of a run.

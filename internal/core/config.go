@@ -123,13 +123,27 @@ func (c RunConfig) withDefaults() RunConfig {
 		c.NetworkDelay = 25 * time.Microsecond
 	}
 	if c.Timeout <= 0 {
-		total := c.Requests + c.WarmupRequests
-		// Allow 50ms per request on average plus scheduling slack; latency-
-		// critical requests are far shorter, so this only matters for sphinx
-		// and for deeply saturated runs.
-		c.Timeout = time.Duration(total)*50*time.Millisecond + 10*time.Second
+		c.Timeout = DefaultTimeout(c.Requests+c.WarmupRequests, c.QPS)
 	}
 	return c
+}
+
+// DefaultTimeout derives the default run deadline for total requests at the
+// given offered load: 50ms per request on average plus scheduling slack
+// (latency-critical requests are far shorter, so this only matters for
+// sphinx and deeply saturated runs), or the full arrival schedule plus
+// slack when a low rate makes the schedule itself the bottleneck. Shared by
+// the single-server and cluster harnesses so their deadline policies cannot
+// diverge.
+func DefaultTimeout(total int, qps float64) time.Duration {
+	timeout := time.Duration(total)*50*time.Millisecond + 10*time.Second
+	if qps > 0 {
+		scheduled := time.Duration(float64(total)/qps*float64(time.Second)) + 10*time.Second
+		if scheduled > timeout {
+			timeout = scheduled
+		}
+	}
+	return timeout
 }
 
 // validate reports configuration errors that defaults cannot fix.

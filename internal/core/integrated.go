@@ -89,7 +89,7 @@ func RunIntegrated(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 	deadline := startTime.Add(cfg.Timeout)
 	for i := 0; i < total; i++ {
 		target := startTime.Add(offsets[i])
-		waitUntil(target)
+		WaitUntil(target)
 		now := time.Now()
 		if now.After(deadline) {
 			break

@@ -194,7 +194,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 	var writeErr error
 	for i := 0; i < total; i++ {
 		target := start.Add(offsets[i])
-		waitUntil(target)
+		WaitUntil(target)
 		if time.Now().After(deadline) {
 			break
 		}

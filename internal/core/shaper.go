@@ -34,14 +34,14 @@ func (ts *TrafficShaper) Schedule(n int) []time.Duration {
 	return offsets
 }
 
-// waitUntil sleeps until the target time. It sleeps coarsely for most of the
+// WaitUntil sleeps until the target time. It sleeps coarsely for most of the
 // wait and spins for the final stretch so that sub-millisecond inter-arrival
 // gaps (tens of thousands of QPS) are honored with reasonable fidelity even
 // though the OS sleep granularity is much coarser. Late arrivals are simply
 // issued immediately; because sojourn time is measured from the *scheduled*
 // arrival instant, dispatcher lag shows up as latency instead of silently
 // thinning the offered load.
-func waitUntil(target time.Time) {
+func WaitUntil(target time.Time) {
 	const spinWindow = 100 * time.Microsecond
 	for {
 		now := time.Now()

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench"
+)
+
+// clusterCurve measures one latency-vs-load series for a replica cluster:
+// offered loads are fractions of the cluster's nominal saturation
+// throughput (replicas * threads * single-thread saturation QPS). The
+// caller supplies the calibration so every curve of an experiment shares
+// the same saturation estimate — policies and replica counts are then
+// compared at identical absolute offered loads.
+func clusterCurve(app string, mode tailbench.Mode, policy string, replicas, threads int, slowdowns []float64, cal *Calibration, opts Options) (*LoadCurve, error) {
+	opts = opts.normalize()
+	if replicas < 1 {
+		replicas = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	// Reuse the calibration's service samples for every simulated point so
+	// the application is measured once per experiment, not once per point.
+	var samples []time.Duration
+	if mode == tailbench.ModeSimulated {
+		samples = cal.ServiceSamples
+	}
+	curve := &LoadCurve{App: app, Mode: mode, Threads: threads, Policy: policy, Replicas: replicas}
+	for _, load := range opts.Loads {
+		qps := load * cal.SaturationQPS * float64(replicas*threads)
+		res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+			App:                 app,
+			Mode:                mode,
+			Policy:              policy,
+			Replicas:            replicas,
+			Threads:             threads,
+			QPS:                 qps,
+			Requests:            opts.Requests,
+			Warmup:              opts.Warmup,
+			Scale:               opts.Scale,
+			Seed:                opts.Seed,
+			Validate:            opts.Validate,
+			Slowdowns:           slowdowns,
+			CalibrationRequests: opts.CalibrationRequests,
+			ServiceSamples:      samples,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s cluster %s at load %.2f: %w", app, policy, load, err)
+		}
+		// Mean depth over all dispatch instants: weight each replica's mean
+		// by how many dispatches it observed.
+		var depthSum, dispatched float64
+		for _, rep := range res.PerReplica {
+			depthSum += rep.MeanQueueDepth * float64(rep.Dispatched)
+			dispatched += float64(rep.Dispatched)
+		}
+		var depth float64
+		if dispatched > 0 {
+			depth = depthSum / dispatched
+		}
+		curve.Points = append(curve.Points, LoadPoint{
+			Load:           load,
+			QPS:            qps,
+			Mean:           res.Sojourn.Mean,
+			P95:            res.Sojourn.P95,
+			P99:            res.Sojourn.P99,
+			QueueMean:      res.Queue.Mean,
+			MeanQueueDepth: depth,
+		})
+	}
+	return curve, nil
+}
+
+// PolicyComparison measures latency versus load for one cluster shape under
+// several balancer policies, producing one LoadCurve per policy. slowdowns
+// optionally injects stragglers (empty means a uniform cluster); mode
+// selects the live integrated path or the fast deterministic simulation.
+func PolicyComparison(app string, mode tailbench.Mode, replicas, threads int, policies []string, slowdowns []float64, opts Options) ([]*LoadCurve, error) {
+	if len(policies) == 0 {
+		policies = tailbench.BalancerPolicies()
+	}
+	cal, err := Calibrate(app, opts)
+	if err != nil {
+		return nil, err
+	}
+	var curves []*LoadCurve
+	for _, policy := range policies {
+		c, err := clusterCurve(app, mode, policy, replicas, threads, slowdowns, cal, opts)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// ReplicaScaling measures latency versus load for one balancer policy across
+// several replica counts, producing one LoadCurve per count. Because loads
+// are expressed as fractions of each cluster's own nominal capacity, the
+// curves overlay how well tail latency holds up as the same relative load is
+// spread over more replicas.
+func ReplicaScaling(app string, mode tailbench.Mode, policy string, replicaCounts []int, threads int, opts Options) ([]*LoadCurve, error) {
+	if len(replicaCounts) == 0 {
+		replicaCounts = []int{1, 2, 4}
+	}
+	cal, err := Calibrate(app, opts)
+	if err != nil {
+		return nil, err
+	}
+	var curves []*LoadCurve
+	for _, n := range replicaCounts {
+		c, err := clusterCurve(app, mode, policy, n, threads, nil, cal, opts)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}

@@ -1,0 +1,56 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"tailbench"
+)
+
+func TestPolicyComparisonSimulated(t *testing.T) {
+	opts := Quick()
+	opts.Requests = 300
+	opts.Warmup = 60
+	opts.Loads = []float64{0.3, 0.7}
+	curves, err := PolicyComparison("masstree", tailbench.ModeSimulated, 2, 1,
+		[]string{"random", "leastq"}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves, want 2", len(curves))
+	}
+	for _, c := range curves {
+		if c.Replicas != 2 || len(c.Points) != 2 {
+			t.Fatalf("malformed curve %+v", c)
+		}
+		if !strings.Contains(c.Label(), c.Policy) || !strings.Contains(c.Label(), "2x1thr") {
+			t.Errorf("cluster label should carry policy and shape: %q", c.Label())
+		}
+		for _, p := range c.Points {
+			if p.P99 <= 0 {
+				t.Errorf("%s: p99 missing at load %.2f", c.Label(), p.Load)
+			}
+		}
+	}
+}
+
+func TestReplicaScalingSimulated(t *testing.T) {
+	opts := Quick()
+	opts.Requests = 300
+	opts.Warmup = 60
+	opts.Loads = []float64{0.5}
+	curves, err := ReplicaScaling("masstree", tailbench.ModeSimulated, "jsq2", []int{1, 4}, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 || curves[0].Replicas != 1 || curves[1].Replicas != 4 {
+		t.Fatalf("unexpected curves: %+v", curves)
+	}
+	// Every curve shares one calibration, so the same relative load maps to
+	// exactly four times the absolute QPS on the 4-replica cluster.
+	q1, q4 := curves[0].Points[0].QPS, curves[1].Points[0].QPS
+	if q1 <= 0 || q4 != 4*q1 {
+		t.Errorf("replica scaling loads look wrong: 1-replica %.0f qps vs 4-replica %.0f qps", q1, q4)
+	}
+}

@@ -71,6 +71,37 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode converts a mode name ("integrated", "loopback", "networked",
+// "simulated") to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "integrated":
+		return ModeIntegrated, nil
+	case "loopback":
+		return ModeLoopback, nil
+	case "networked":
+		return ModeNetworked, nil
+	case "simulated":
+		return ModeSimulated, nil
+	default:
+		return 0, fmt.Errorf("tailbench: unknown mode %q", s)
+	}
+}
+
+// MarshalText encodes the mode by name, so JSON result files stay
+// self-describing and stable if the constant block ever changes.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText decodes a mode name.
+func (m *Mode) UnmarshalText(text []byte) error {
+	parsed, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
 // kind converts a Mode to the internal configuration kind.
 func (m Mode) kind() core.ConfigKind {
 	switch m {

@@ -35,8 +35,17 @@ type ClusterSpec struct {
 	Replicas int
 	// Threads is the number of worker threads per replica (default 1).
 	Threads int
-	// QPS is the cluster-wide offered load; 0 means saturation.
+	// QPS is the cluster-wide offered load; 0 means saturation. Shorthand
+	// for Load: Constant(QPS); ignored when Load is set.
 	QPS float64
+	// Load is the cluster-wide arrival process: any built-in shape
+	// (Constant, Diurnal, Ramp, Spike, Burst, Trace) or a custom
+	// LoadShape. Nil means Constant(QPS).
+	Load LoadShape
+	// Window is the width of the time-windowed latency accounting in the
+	// result. Zero enables windows automatically when Load is
+	// time-varying; a negative value disables them entirely.
+	Window time.Duration
 	// Requests is the number of measured requests (default 1000).
 	Requests int
 	// Warmup is the number of discarded warmup requests (default 10%).
@@ -88,11 +97,17 @@ type ReplicaResult struct {
 
 // ClusterResult is the outcome of a cluster measurement.
 type ClusterResult struct {
-	App         string
-	Mode        Mode
-	Policy      string
-	Replicas    int
-	Threads     int
+	App      string
+	Mode     Mode
+	Policy   string
+	Replicas int
+	Threads  int
+	// Shape names the arrival process family and ShapeSpec its canonical
+	// parameter encoding, re-parseable with ParseLoadShape.
+	Shape     string `json:",omitempty"`
+	ShapeSpec string `json:",omitempty"`
+	// OfferedQPS is the configured cluster-wide arrival rate — for
+	// time-varying shapes, the mean rate over the run's horizon.
 	OfferedQPS  float64
 	AchievedQPS float64
 	Requests    uint64
@@ -105,7 +120,11 @@ type ClusterResult struct {
 	// ServiceSamples and SojournSamples are present when KeepRaw was set.
 	ServiceSamples []time.Duration
 	SojournSamples []time.Duration
-	Elapsed        time.Duration
+	// Windows is the time-windowed latency series (see WindowStats);
+	// present when windowed accounting is enabled — automatic for
+	// time-varying load shapes, opt-in via ClusterSpec.Window otherwise.
+	Windows []WindowStats `json:",omitempty"`
+	Elapsed time.Duration
 	// PerReplica is the per-replica breakdown, indexed by replica.
 	PerReplica []ReplicaResult
 }
@@ -179,14 +198,8 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(spec.Slowdowns) != 0 && len(spec.Slowdowns) != spec.Replicas {
-		return nil, fmt.Errorf("tailbench: len(Slowdowns) = %d, must equal Replicas = %d",
-			len(spec.Slowdowns), spec.Replicas)
-	}
-	for r, s := range spec.Slowdowns {
-		if math.IsNaN(s) || math.IsInf(s, 0) {
-			return nil, fmt.Errorf("tailbench: Slowdowns[%d] = %v, must be finite", r, s)
-		}
+	if err := validateSlowdowns(spec.Slowdowns, spec.Replicas); err != nil {
+		return nil, err
 	}
 	switch spec.Mode {
 	case ModeIntegrated:
@@ -196,6 +209,25 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 	default:
 		return nil, ErrClusterMode{Mode: spec.Mode}
 	}
+}
+
+// validateSlowdowns checks a straggler-injection vector once, at the API
+// boundary, so both the integrated and simulated paths reject bad input with
+// the same clear message (the CLI surfaces it verbatim): the vector must be
+// as long as the cluster, and every factor must be a finite number >= 0
+// (factors below 1 mean nominal speed; negative service time is
+// meaningless).
+func validateSlowdowns(slowdowns []float64, replicas int) error {
+	if len(slowdowns) != 0 && len(slowdowns) != replicas {
+		return fmt.Errorf("tailbench: len(ClusterSpec.Slowdowns) = %d, must equal Replicas = %d",
+			len(slowdowns), replicas)
+	}
+	for r, s := range slowdowns {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return fmt.Errorf("tailbench: ClusterSpec.Slowdowns[%d] = %v, must be a finite factor >= 0", r, s)
+		}
+	}
+	return nil
 }
 
 // runClusterIntegrated builds N real replica servers and drives them live.
@@ -225,6 +257,8 @@ func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, erro
 			Threads:        spec.Threads,
 			QueueCap:       spec.QueueCap,
 			QPS:            spec.QPS,
+			Load:           spec.Load,
+			Window:         spec.Window,
 			Requests:       spec.Requests,
 			WarmupRequests: spec.Warmup,
 			Seed:           spec.Seed,
@@ -266,6 +300,8 @@ func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
 		Policy:         spec.Policy,
 		Threads:        spec.Threads,
 		QPS:            spec.QPS,
+		Load:           spec.Load,
+		Window:         spec.Window,
 		Requests:       spec.Requests,
 		WarmupRequests: spec.Warmup,
 		Seed:           spec.Seed,
@@ -286,6 +322,8 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 		Policy:         res.Policy,
 		Replicas:       res.Replicas,
 		Threads:        res.Threads,
+		Shape:          res.Shape,
+		ShapeSpec:      res.ShapeSpec,
 		OfferedQPS:     res.OfferedQPS,
 		AchievedQPS:    res.AchievedQPS,
 		Requests:       res.Requests,
@@ -295,6 +333,7 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 		Sojourn:        fromSummary(res.Sojourn),
 		ServiceSamples: res.ServiceSamples,
 		SojournSamples: res.SojournSamples,
+		Windows:        fromWindowStats(res.Windows),
 		Elapsed:        res.Elapsed,
 	}
 	for _, p := range res.ServiceCDF {

@@ -81,18 +81,32 @@ func reportFromFile(path string) error {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
 	fmt.Println(single.String())
+	if single.Shape != "" && single.Shape != "constant" {
+		fmt.Printf("load shape: %s\n", single.ShapeSpec)
+	}
+	if len(single.Windows) > 0 {
+		fmt.Println()
+		tailbench.WriteWindowTable(os.Stdout, single.Windows)
+	}
 	return nil
 }
 
 func printClusterReport(res *tailbench.ClusterResult) {
 	fmt.Printf("%s: %d-replica cluster (%d threads each), %s balancing, %s mode\n",
 		res.App, res.Replicas, res.Threads, res.Policy, res.Mode)
+	if res.Shape != "" && res.Shape != "constant" {
+		fmt.Printf("load shape: %s\n", res.ShapeSpec)
+	}
 	fmt.Printf("offered %.1f qps, achieved %.1f qps, %d requests (%d errors)\n",
 		res.OfferedQPS, res.AchievedQPS, res.Requests, res.Errors)
 	fmt.Printf("sojourn: mean=%v p50=%v p95=%v p99=%v max=%v\n",
 		res.Sojourn.Mean.Round(time.Microsecond), res.Sojourn.P50.Round(time.Microsecond),
 		res.Sojourn.P95.Round(time.Microsecond), res.Sojourn.P99.Round(time.Microsecond),
 		res.Sojourn.Max.Round(time.Microsecond))
+	if len(res.Windows) > 0 {
+		fmt.Println()
+		tailbench.WriteWindowTable(os.Stdout, res.Windows)
+	}
 	fmt.Println()
 	res.WriteReplicaTable(os.Stdout)
 }

@@ -34,6 +34,8 @@ func main() {
 		appName  = flag.String("app", "masstree", "application to run ("+strings.Join(tailbench.Apps(), ", ")+")")
 		mode     = flag.String("mode", "integrated", "harness configuration: integrated, loopback, networked, simulated")
 		qps      = flag.Float64("qps", 1000, "offered load in queries per second (0 = saturation)")
+		shapeArg = flag.String("shape", "", "time-varying load shape, e.g. diurnal:500,300,10s or spike:500,1500,5s,2s (overrides -qps; see tailbench.ParseLoadShape)")
+		window   = flag.Duration("window", 0, "windowed latency accounting width (0 = automatic for time-varying shapes)")
 		threads  = flag.Int("threads", 1, "application worker threads")
 		clients  = flag.Int("clients", 0, "client connections for loopback/networked modes (0 = auto)")
 		requests = flag.Int("requests", 2000, "measured requests")
@@ -53,10 +55,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	shape, err := parseShape(*shapeArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
 	res, err := tailbench.Run(tailbench.RunSpec{
 		App:          *appName,
 		Mode:         m,
 		QPS:          *qps,
+		Load:         shape,
+		Window:       *window,
 		Threads:      *threads,
 		Clients:      *clients,
 		Requests:     *requests,
@@ -88,9 +97,32 @@ func parseMode(s string) (tailbench.Mode, error) {
 	return tailbench.ParseMode(strings.ToLower(s))
 }
 
+// parseShape turns the -shape flag into a LoadShape; an empty flag keeps the
+// scalar -qps shorthand (nil shape).
+func parseShape(s string) (tailbench.LoadShape, error) {
+	if s == "" {
+		return nil, nil
+	}
+	return tailbench.ParseLoadShape(s)
+}
+
+// printWindows renders the windowed latency series, the view that makes a
+// time-varying run legible: offered vs achieved rate and the tail, window by
+// window.
+func printWindows(windows []tailbench.WindowStats) {
+	if len(windows) == 0 {
+		return
+	}
+	fmt.Println()
+	tailbench.WriteWindowTable(os.Stdout, windows)
+}
+
 func printResult(res *tailbench.Result) {
 	fmt.Printf("app         : %s\n", res.App)
 	fmt.Printf("mode        : %s\n", res.Mode)
+	if res.Shape != "" && res.Shape != "constant" {
+		fmt.Printf("load shape  : %s\n", res.ShapeSpec)
+	}
 	fmt.Printf("threads     : %d\n", res.Threads)
 	fmt.Printf("offered QPS : %.1f\n", res.OfferedQPS)
 	fmt.Printf("achieved QPS: %.1f\n", res.AchievedQPS)
@@ -106,6 +138,7 @@ func printResult(res *tailbench.Result) {
 	if res.Runs > 1 {
 		fmt.Printf("p95 95%% CI  : ±%.2f%%\n", res.P95CIRelative*100)
 	}
+	printWindows(res.Windows)
 }
 
 // runCluster implements the cluster subcommand.
@@ -118,6 +151,8 @@ func runCluster(args []string) {
 		replicas = fs.Int("replicas", 2, "number of replica servers")
 		threads  = fs.Int("threads", 1, "worker threads per replica")
 		qps      = fs.Float64("qps", 2000, "cluster-wide offered load in queries per second (0 = saturation)")
+		shapeArg = fs.String("shape", "", "time-varying load shape, e.g. spike:500,1500,5s,2s (overrides -qps; see tailbench.ParseLoadShape)")
+		window   = fs.Duration("window", 0, "windowed latency accounting width (0 = automatic for time-varying shapes)")
 		requests = fs.Int("requests", 2000, "measured requests")
 		warmup   = fs.Int("warmup", 0, "warmup requests (0 = 10% of requests)")
 		scale    = fs.Float64("scale", 1.0, "application dataset scale")
@@ -138,6 +173,11 @@ func runCluster(args []string) {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(2)
 	}
+	shape, err := parseShape(*shapeArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
 	res, err := tailbench.RunCluster(tailbench.ClusterSpec{
 		App:       *appName,
 		Mode:      m,
@@ -145,6 +185,8 @@ func runCluster(args []string) {
 		Replicas:  *replicas,
 		Threads:   *threads,
 		QPS:       *qps,
+		Load:      shape,
+		Window:    *window,
 		Requests:  *requests,
 		Warmup:    *warmup,
 		Scale:     *scale,
@@ -217,6 +259,9 @@ func writeJSON(path string, v any) error {
 func printClusterResult(res *tailbench.ClusterResult) {
 	fmt.Printf("app         : %s\n", res.App)
 	fmt.Printf("mode        : cluster/%s\n", res.Mode)
+	if res.Shape != "" && res.Shape != "constant" {
+		fmt.Printf("load shape  : %s\n", res.ShapeSpec)
+	}
 	fmt.Printf("policy      : %s\n", res.Policy)
 	fmt.Printf("replicas    : %d x %d threads\n", res.Replicas, res.Threads)
 	fmt.Printf("offered QPS : %.1f\n", res.OfferedQPS)
@@ -230,6 +275,7 @@ func printClusterResult(res *tailbench.ClusterResult) {
 	row("queue", res.Queue)
 	row("service", res.Service)
 	row("sojourn", res.Sojourn)
+	printWindows(res.Windows)
 	fmt.Println()
 	res.WriteReplicaTable(os.Stdout)
 }

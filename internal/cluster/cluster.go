@@ -10,6 +10,7 @@ import (
 
 	"tailbench/internal/app"
 	"tailbench/internal/core"
+	"tailbench/internal/load"
 	"tailbench/internal/workload"
 )
 
@@ -25,8 +26,15 @@ type Config struct {
 	// up as latency rather than silently thinning the offered load.
 	// Default 4096.
 	QueueCap int
-	// QPS is the cluster-wide offered load; 0 means saturation.
+	// QPS is the cluster-wide offered load; 0 means saturation. Ignored
+	// when Load is set.
 	QPS float64
+	// Load is the cluster-wide arrival-rate profile. Nil means a
+	// constant-rate profile at QPS (the scalar shorthand).
+	Load load.Shape
+	// Window is the windowed-accounting width; zero picks one
+	// automatically for time-varying shapes, negative disables windows.
+	Window time.Duration
 	// Requests is the number of measured requests (default 1000).
 	Requests int
 	// WarmupRequests is the number of discarded warmup requests
@@ -74,9 +82,23 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	if c.Timeout <= 0 {
-		c.Timeout = core.DefaultTimeout(c.Requests+c.WarmupRequests, c.QPS)
+		total := c.Requests + c.WarmupRequests
+		c.Timeout = core.DefaultTimeout(total, c.QPS)
+		if horizon := load.Horizon(c.shape(), total); horizon+10*time.Second > c.Timeout {
+			c.Timeout = horizon + 10*time.Second
+		}
 	}
 	return c
+}
+
+// shape resolves the arrival profile: the explicit Load if set, else the
+// constant-rate shorthand derived from QPS.
+func (c Config) shape() load.Shape { return load.Or(c.Load, c.QPS) }
+
+// windowing resolves the windowed-accounting policy, shared with the
+// single-server harness (see load.WindowEnabled).
+func (c Config) windowing() (width time.Duration, enabled bool) {
+	return c.Window, load.WindowEnabled(c.Window, c.Load)
 }
 
 // slowdownFor returns the normalized slowdown factor for replica idx.
@@ -114,6 +136,9 @@ type clusterPending struct {
 	// sojourn time is measured from it, so dispatcher and balancer lag count
 	// as latency.
 	scheduled time.Time
+	// offset is the scheduled arrival offset from the start of the run, for
+	// windowed accounting.
+	offset time.Duration
 	// enqueue is when the request actually entered the replica's queue; the
 	// queue component is measured from it, matching core.Sample semantics.
 	enqueue time.Time
@@ -153,10 +178,13 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	for i := range payloads {
 		payloads[i] = client.NextRequest()
 	}
-	shaper := core.NewTrafficShaper(cfg.QPS, workload.SplitSeed(cfg.Seed, 2))
+	shaper := core.NewShapedTrafficShaper(cfg.shape(), workload.SplitSeed(cfg.Seed, 2))
 	offsets := shaper.Schedule(total)
 
 	aggregate := core.NewCollector(cfg.KeepRaw)
+	if _, on := cfg.windowing(); on {
+		aggregate = core.NewWindowedCollector(cfg.KeepRaw)
+	}
 	replicas := make([]*replica, len(servers))
 	var workers sync.WaitGroup
 	for r, server := range servers {
@@ -197,7 +225,7 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 		rep.depth.observe(outstanding[pick])
 		rep.dispatched++
 		rep.outstanding.Add(1)
-		rep.queue <- clusterPending{payload: payloads[i], scheduled: target, enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
+		rep.queue <- clusterPending{payload: payloads[i], scheduled: target, offset: offsets[i], enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
 	}
 	for _, rep := range replicas {
 		close(rep.queue)
@@ -229,6 +257,7 @@ func (rep *replica) work(client app.Client, validate bool, aggregate *core.Colle
 			Sojourn: end.Sub(p.scheduled),
 			Warmup:  p.warmup,
 			Err:     failed,
+			Offset:  p.offset,
 		}
 		rep.outstanding.Add(-1)
 		rep.collector.Record(sample)
@@ -244,12 +273,15 @@ func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggreg
 	if elapsed > 0 {
 		achieved = float64(agg.Count) / elapsed.Seconds()
 	}
+	shape := cfg.shape()
 	out := &Result{
 		App:            appName,
 		Policy:         cfg.Policy,
 		Replicas:       n,
 		Threads:        cfg.Threads,
-		OfferedQPS:     cfg.QPS,
+		OfferedQPS:     load.OfferedRate(shape, cfg.Requests+cfg.WarmupRequests),
+		Shape:          shape.Name(),
+		ShapeSpec:      shape.Spec(),
 		AchievedQPS:    achieved,
 		Requests:       agg.Count,
 		Warmups:        agg.Warmups,
@@ -262,6 +294,9 @@ func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggreg
 		ServiceSamples: agg.RawService,
 		SojournSamples: agg.RawSojourn,
 		Elapsed:        elapsed,
+	}
+	if width, on := cfg.windowing(); on {
+		out.Windows = core.WindowsFromTimed(agg.Timed, width, shape)
 	}
 	for _, rep := range replicas {
 		rs := rep.collector.Summary()

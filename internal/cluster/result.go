@@ -47,8 +47,13 @@ type Result struct {
 	Replicas int
 	// Threads is the number of worker threads per replica.
 	Threads int
-	// OfferedQPS is the configured cluster-wide arrival rate.
+	// OfferedQPS is the configured cluster-wide arrival rate — for
+	// time-varying load shapes, the mean rate over the run's horizon.
 	OfferedQPS float64
+	// Shape names the arrival process family and ShapeSpec carries its
+	// canonical parameter encoding (see load.Parse).
+	Shape     string
+	ShapeSpec string
 	// AchievedQPS is the measured cluster-wide completion rate.
 	AchievedQPS float64
 	// Requests, Warmups, and Errors count measured, discarded, and failed
@@ -69,6 +74,10 @@ type Result struct {
 	// set.
 	ServiceSamples []time.Duration
 	SojournSamples []time.Duration
+	// Windows is the time-windowed latency series (offered/achieved QPS
+	// and sojourn percentiles per window); present when windowed
+	// accounting is enabled.
+	Windows []stats.WindowStat
 	// Elapsed is the measurement interval: wall-clock for live runs,
 	// virtual time for simulated runs.
 	Elapsed time.Duration

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tailbench/internal/core"
+	"tailbench/internal/load"
 	"tailbench/internal/queueing"
 	"tailbench/internal/stats"
 	"tailbench/internal/workload"
@@ -37,8 +38,14 @@ type SimConfig struct {
 	// Threads is the number of worker threads per replica (default 1).
 	Threads int
 	// QPS is the cluster-wide Poisson arrival rate; 0 means back-to-back
-	// arrivals (saturation).
+	// arrivals (saturation). Ignored when Load is set.
 	QPS float64
+	// Load is the cluster-wide arrival-rate profile. Nil means a
+	// constant-rate profile at QPS (the scalar shorthand).
+	Load load.Shape
+	// Window is the windowed-accounting width; zero picks one
+	// automatically for time-varying shapes, negative disables windows.
+	Window time.Duration
 	// Requests is the number of measured requests (default 1000).
 	Requests int
 	// WarmupRequests is the number of discarded warmup requests
@@ -146,12 +153,14 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		}
 	}
 
+	shape := load.Or(cfg.Load, cfg.QPS)
 	total := cfg.WarmupRequests + cfg.Requests
-	shaper := core.NewTrafficShaper(cfg.QPS, workload.SplitSeed(cfg.Seed, 2))
+	shaper := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2))
 	arrivals := shaper.Schedule(total)
 
 	var (
 		queueAll, serviceAll, sojournAll []time.Duration
+		timed                            []stats.TimedSample
 		outstanding                      = make([]int, len(states))
 		lastFinish                       time.Duration
 	)
@@ -203,6 +212,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		queueAll = append(queueAll, queue)
 		serviceAll = append(serviceAll, service)
 		sojournAll = append(sojournAll, sojourn)
+		timed = append(timed, stats.TimedSample{At: t, Sojourn: sojourn})
 	}
 
 	firstMeasured := time.Duration(0)
@@ -219,7 +229,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		Policy:      cfg.Policy,
 		Replicas:    len(states),
 		Threads:     cfg.Threads,
-		OfferedQPS:  cfg.QPS,
+		OfferedQPS:  load.OfferedRate(shape, total),
+		Shape:       shape.Name(),
+		ShapeSpec:   shape.Spec(),
 		AchievedQPS: achieved,
 		Requests:    uint64(len(sojournAll)),
 		Warmups:     uint64(cfg.WarmupRequests),
@@ -233,6 +245,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	if cfg.KeepRaw {
 		out.ServiceSamples = serviceAll
 		out.SojournSamples = sojournAll
+	}
+	if load.WindowEnabled(cfg.Window, cfg.Load) {
+		out.Windows = core.WindowsFromTimed(timed, cfg.Window, shape)
 	}
 	for r, st := range states {
 		// Per-replica throughput is the replica's share of the cluster-wide

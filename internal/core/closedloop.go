@@ -2,12 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
-	"tailbench/internal/workload"
-
 	"tailbench/internal/app"
+	"tailbench/internal/load"
+	"tailbench/internal/workload"
 )
 
 // RunClosedLoop measures an application with a conventional closed-loop load
@@ -35,10 +36,11 @@ func RunClosedLoop(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 	}
 	cfg = cfg.withDefaults()
 
-	collector := NewCollector(cfg.KeepRaw)
+	collector := newRunCollector(cfg)
 	var wg sync.WaitGroup
 	perClient := cfg.Requests / cfg.Clients
 	perClientWarmup := cfg.WarmupRequests / cfg.Clients
+	startTime := time.Now()
 
 	for c := 0; c < cfg.Clients; c++ {
 		n := perClient
@@ -51,17 +53,47 @@ func RunClosedLoop(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 		if err != nil {
 			return nil, fmt.Errorf("core: creating client %d: %w", c, err)
 		}
-		// Per-client think-time rate so aggregate offered load matches QPS.
-		var think *workload.ExponentialGen
-		if cfg.QPS > 0 {
-			think = workload.NewExponentialGen(cfg.QPS/float64(cfg.Clients), workload.SplitSeed(cfg.Seed, int64(4000+c)))
+		// Per-client think times at 1/Clients of the configured load shape,
+		// so the aggregate offered load tracks QPS (or the shape's rate at
+		// the current instant for time-varying shapes). For a constant
+		// shape this draws the exact think-time stream of the scalar-QPS
+		// harness.
+		shape := load.Scaled(cfg.shape(), 1/float64(cfg.Clients))
+		var thinkRand *rand.Rand
+		if shape.MaxRate() > 0 {
+			thinkRand = workload.NewRand(workload.SplitSeed(cfg.Seed, int64(4000+c)))
 		}
+		deadline := startTime.Add(cfg.Timeout)
 		wg.Add(1)
 		go func(cl app.Client, requests, warmups int) {
 			defer wg.Done()
 			for i := 0; i < requests+warmups; i++ {
-				if think != nil {
-					time.Sleep(think.Next())
+				if thinkRand != nil {
+					for {
+						rate := shape.Rate(time.Since(startTime))
+						if rate > 0 {
+							gap := time.Duration(thinkRand.ExpFloat64() * float64(time.Second) / rate)
+							// A gap that lands past the run deadline ends
+							// the client (a near-zero rate draws unbounded
+							// think times; the deadline bounds them).
+							if gap > time.Until(deadline) {
+								return
+							}
+							time.Sleep(gap)
+							break
+						}
+						// The shape prescribes no load right now (an off
+						// phase of a burst, a clipped diurnal trough): hold
+						// until it resumes rather than hammering the server
+						// saturation-style. A shape that stays at zero past
+						// the run deadline ends the client — issuing the
+						// leftover requests unpaced would measure a
+						// saturation burst the shape never asked for.
+						if time.Now().After(deadline) {
+							return
+						}
+						time.Sleep(time.Millisecond)
+					}
 				}
 				req := cl.NextRequest()
 				start := time.Now()
@@ -77,6 +109,9 @@ func RunClosedLoop(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 					Sojourn: end.Sub(start),
 					Warmup:  i < warmups,
 					Err:     failed,
+					// No scheduled instants exist in a closed loop; place
+					// the sample by completion time instead.
+					Offset: end.Sub(startTime),
 				})
 			}
 		}(client, n, w)

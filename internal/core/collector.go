@@ -28,6 +28,11 @@ type Sample struct {
 	// Err records whether the request failed (transport error or failed
 	// validation).
 	Err bool
+	// Offset places the sample on the run's time axis (the scheduled
+	// arrival offset from the start of the run). Windowed latency
+	// accounting bins samples by it; harnesses without scheduled instants
+	// (the closed-loop tester) use the completion offset instead.
+	Offset time.Duration
 }
 
 // Collector aggregates request samples into latency statistics. It is safe
@@ -35,7 +40,8 @@ type Sample struct {
 type Collector struct {
 	mu sync.Mutex
 
-	keepRaw bool
+	keepRaw    bool
+	trackTimed bool
 
 	queue   *stats.Histogram
 	service *stats.Histogram
@@ -44,6 +50,11 @@ type Collector struct {
 	rawQueue   []time.Duration
 	rawService []time.Duration
 	rawSojourn []time.Duration
+
+	// timed retains every measured sample's (offset, sojourn) pair for
+	// windowed accounting; maintained only when trackTimed is set, so
+	// runs without windowing keep the collector's old memory footprint.
+	timed []stats.TimedSample
 
 	count   uint64
 	warmups uint64
@@ -65,6 +76,24 @@ func NewCollector(keepRaw bool) *Collector {
 	}
 }
 
+// NewWindowedCollector returns a collector that additionally retains each
+// measured sample's time-axis offset and sojourn, the input of windowed
+// latency accounting (see stats.WindowSeries).
+func NewWindowedCollector(keepRaw bool) *Collector {
+	c := NewCollector(keepRaw)
+	c.trackTimed = true
+	return c
+}
+
+// newRunCollector builds the collector for one run, tracking timed samples
+// exactly when the config's windowing policy will consume them.
+func newRunCollector(cfg RunConfig) *Collector {
+	if _, on := cfg.windowing(); on {
+		return NewWindowedCollector(cfg.KeepRaw)
+	}
+	return NewCollector(cfg.KeepRaw)
+}
+
 // Record adds one sample.
 func (c *Collector) Record(s Sample) {
 	now := time.Now()
@@ -83,9 +112,15 @@ func (c *Collector) Record(s Sample) {
 	c.last = now
 	if s.Err {
 		c.errors++
+		if c.trackTimed {
+			c.timed = append(c.timed, stats.TimedSample{At: s.Offset, Err: true})
+		}
 		return
 	}
 	c.count++
+	if c.trackTimed {
+		c.timed = append(c.timed, stats.TimedSample{At: s.Offset, Sojourn: s.Sojourn})
+	}
 	c.queue.RecordDuration(s.Queue)
 	c.service.RecordDuration(s.Service)
 	c.sojourn.RecordDuration(s.Sojourn)
@@ -121,6 +156,7 @@ func (c *Collector) snapshot() collectorSnapshot {
 		errors:  c.errors,
 		first:   c.first,
 		last:    c.last,
+		timed:   append([]stats.TimedSample(nil), c.timed...),
 	}
 	if c.keepRaw && len(c.rawSojourn) > 0 {
 		snap.queue = stats.SummaryFromSamples(c.rawQueue)
@@ -160,6 +196,9 @@ type CollectorSummary struct {
 	RawQueue   []time.Duration
 	RawService []time.Duration
 	RawSojourn []time.Duration
+	// Timed carries every measured sample's time-axis offset and sojourn,
+	// for windowed accounting (see stats.WindowSeries).
+	Timed []stats.TimedSample
 }
 
 // Summary extracts the collector's aggregate state.
@@ -179,6 +218,7 @@ func (c *Collector) Summary() CollectorSummary {
 		RawQueue:   snap.rawQueue,
 		RawService: snap.rawService,
 		RawSojourn: snap.rawSojourn,
+		Timed:      snap.timed,
 	}
 }
 
@@ -197,4 +237,5 @@ type collectorSnapshot struct {
 	rawQueue   []time.Duration
 	rawService []time.Duration
 	rawSojourn []time.Duration
+	timed      []stats.TimedSample
 }

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"tailbench/internal/load"
 )
 
 // ConfigKind selects one of the harness configurations from Fig. 1.
@@ -55,8 +57,19 @@ func (k ConfigKind) String() string {
 // RunConfig parameterizes a single measurement run.
 type RunConfig struct {
 	// QPS is the offered load in queries per second. Zero or negative means
-	// "saturation": requests are issued back to back.
+	// "saturation": requests are issued back to back. Ignored when Load is
+	// set.
 	QPS float64
+	// Load is the arrival-rate profile driving the traffic shaper. Nil
+	// means a constant-rate profile at QPS — the scalar field stays the
+	// shorthand, so existing callers keep their exact behavior.
+	Load load.Shape
+	// Window is the width of the time-windowed latency accounting. Zero
+	// picks a width automatically for time-varying load shapes (the run's
+	// horizon split into stats.DefaultWindowCount windows) and disables
+	// windowing for constant-rate runs; a negative value disables it
+	// entirely.
+	Window time.Duration
 	// Threads is the number of application worker threads.
 	Threads int
 	// Clients is the number of client generators (connections) used by the
@@ -123,9 +136,20 @@ func (c RunConfig) withDefaults() RunConfig {
 		c.NetworkDelay = 25 * time.Microsecond
 	}
 	if c.Timeout <= 0 {
-		c.Timeout = DefaultTimeout(c.Requests+c.WarmupRequests, c.QPS)
+		c.Timeout = defaultTimeoutShape(c.Requests+c.WarmupRequests, c.shape())
 	}
 	return c
+}
+
+// shape resolves the arrival profile: the explicit Load if set, else the
+// constant-rate shorthand derived from QPS.
+func (c RunConfig) shape() load.Shape { return load.Or(c.Load, c.QPS) }
+
+// windowing resolves the windowed-accounting policy (see
+// load.WindowEnabled); when enabled, a zero width means automatic (resolved
+// by stats.WindowSeries).
+func (c RunConfig) windowing() (width time.Duration, enabled bool) {
+	return c.Window, load.WindowEnabled(c.Window, c.Load)
 }
 
 // DefaultTimeout derives the default run deadline for total requests at the
@@ -136,10 +160,16 @@ func (c RunConfig) withDefaults() RunConfig {
 // the single-server and cluster harnesses so their deadline policies cannot
 // diverge.
 func DefaultTimeout(total int, qps float64) time.Duration {
+	return defaultTimeoutShape(total, load.Constant(qps))
+}
+
+// defaultTimeoutShape generalizes DefaultTimeout to arbitrary arrival
+// shapes: the schedule horizon comes from integrating the shape's rate. For
+// a constant shape it reduces exactly to the scalar-QPS formula.
+func defaultTimeoutShape(total int, shape load.Shape) time.Duration {
 	timeout := time.Duration(total)*50*time.Millisecond + 10*time.Second
-	if qps > 0 {
-		scheduled := time.Duration(float64(total)/qps*float64(time.Second)) + 10*time.Second
-		if scheduled > timeout {
+	if horizon := load.Horizon(shape, total); horizon > 0 {
+		if scheduled := horizon + 10*time.Second; scheduled > timeout {
 			timeout = scheduled
 		}
 	}

@@ -247,8 +247,13 @@ func TestQueuingGrowsWithLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if high.Sojourn.P95 <= low.Sojourn.P95 {
-		t.Errorf("p95 at 80%%+ load (%v) should exceed p95 at 5%% load (%v)", high.Sojourn.P95, low.Sojourn.P95)
+	// Compare queue time, not sojourn: sojourn includes dispatcher lateness
+	// (measured from the scheduled instant, by design), and on a slow or
+	// single-CPU machine an OS sleep overshoot at low load can add several
+	// milliseconds of lateness noise that swamps the queuing signal this
+	// test is about.
+	if high.Queue.P95 <= low.Queue.P95 {
+		t.Errorf("queue p95 at 80%%+ load (%v) should exceed p95 at 5%% load (%v)", high.Queue.P95, low.Queue.P95)
 	}
 	if high.Queue.Mean <= low.Queue.Mean {
 		t.Errorf("queuing time should grow with load: %v vs %v", high.Queue.Mean, low.Queue.Mean)
@@ -280,7 +285,10 @@ func TestNetServerLoopback(t *testing.T) {
 
 func TestNetworkedAddsDelay(t *testing.T) {
 	srv := &fakeServer{name: "fake", busyWork: 20 * time.Microsecond}
-	base := RunConfig{QPS: 500, Threads: 1, Requests: 150, WarmupRequests: 30, Seed: 17, NetworkDelay: 200 * time.Microsecond}
+	// The injected one-way delay is large relative to scheduling noise
+	// (hundreds of microseconds on a busy single-CPU machine), so the
+	// p50 comparison stays robust under full-suite contention.
+	base := RunConfig{QPS: 500, Threads: 1, Requests: 150, WarmupRequests: 30, Seed: 17, NetworkDelay: time.Millisecond}
 	loop, err := SingleRun(Loopback, srv, fakeFactory(), base)
 	if err != nil {
 		t.Fatal(err)
@@ -290,8 +298,8 @@ func TestNetworkedAddsDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 	diff := netw.Sojourn.P50 - loop.Sojourn.P50
-	if diff < 300*time.Microsecond {
-		t.Errorf("networked config should add ~400us RTT vs loopback; p50 difference was %v", diff)
+	if diff < 1200*time.Microsecond {
+		t.Errorf("networked config should add ~2ms RTT vs loopback; p50 difference was %v", diff)
 	}
 }
 

@@ -22,6 +22,9 @@ type pendingRequest struct {
 	// sojourn time is measured from this instant, so dispatcher lag counts
 	// as latency rather than silently reducing offered load.
 	scheduled time.Time
+	// offset is the scheduled arrival offset from the start of the run,
+	// placing the sample on the time axis for windowed accounting.
+	offset time.Duration
 	// enqueue is when the request actually entered the queue.
 	enqueue time.Time
 	warmup  bool
@@ -54,10 +57,10 @@ func RunIntegrated(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 	for i := range payloads {
 		payloads[i] = client.NextRequest()
 	}
-	shaper := NewTrafficShaper(cfg.QPS, workload.SplitSeed(cfg.Seed, 2))
+	shaper := NewShapedTrafficShaper(cfg.shape(), workload.SplitSeed(cfg.Seed, 2))
 	offsets := shaper.Schedule(total)
 
-	collector := NewCollector(cfg.KeepRaw)
+	collector := newRunCollector(cfg)
 	queue := make(chan pendingRequest, total)
 
 	var workers sync.WaitGroup
@@ -79,6 +82,7 @@ func RunIntegrated(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 					Sojourn: end.Sub(p.scheduled),
 					Warmup:  p.warmup,
 					Err:     failed,
+					Offset:  p.offset,
 				})
 			}
 		}()
@@ -97,6 +101,7 @@ func RunIntegrated(server app.Server, newClient ClientFactory, cfg RunConfig) (*
 		queue <- pendingRequest{
 			payload:   payloads[i],
 			scheduled: target,
+			offset:    offsets[i],
 			enqueue:   now,
 			warmup:    i < cfg.WarmupRequests,
 		}

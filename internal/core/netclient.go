@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tailbench/internal/app"
+	"tailbench/internal/load"
 	"tailbench/internal/netproto"
 	"tailbench/internal/workload"
 )
@@ -29,7 +30,7 @@ func RunNetworked(addr string, appName string, newClient ClientFactory, cfg RunC
 		kind = Loopback
 	}
 
-	collector := NewCollector(cfg.KeepRaw)
+	collector := newRunCollector(cfg)
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Clients)
 
@@ -59,22 +60,23 @@ func RunNetworked(addr string, appName string, newClient ClientFactory, cfg RunC
 type clientConfig struct {
 	requests int
 	warmup   int
-	qps      float64
+	shape    load.Shape
 }
 
 // clientShare splits the total request budget and offered load evenly over
-// the configured clients, giving any remainder to the first client.
+// the configured clients, giving any remainder to the first client. Each
+// client follows the run's load shape scaled by 1/Clients, so the
+// superposition of the independent per-client arrival processes reproduces
+// the configured shape.
 func clientShare(cfg RunConfig, idx int) clientConfig {
 	cc := clientConfig{
 		requests: cfg.Requests / cfg.Clients,
 		warmup:   cfg.WarmupRequests / cfg.Clients,
+		shape:    load.Scaled(cfg.shape(), 1/float64(cfg.Clients)),
 	}
 	if idx == 0 {
 		cc.requests += cfg.Requests % cfg.Clients
 		cc.warmup += cfg.WarmupRequests % cfg.Clients
-	}
-	if cfg.QPS > 0 {
-		cc.qps = cfg.QPS / float64(cfg.Clients)
 	}
 	return cc
 }
@@ -82,8 +84,11 @@ func clientShare(cfg RunConfig, idx int) clientConfig {
 // inflight tracks a request awaiting its response.
 type inflight struct {
 	scheduled time.Time
-	payload   app.Request
-	warmup    bool
+	// offset is the scheduled arrival offset from the client's start, for
+	// windowed accounting.
+	offset  time.Duration
+	payload app.Request
+	warmup  bool
 }
 
 // pendingSet is the set of requests a client connection has issued but not
@@ -142,7 +147,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 	for i := range payloads {
 		payloads[i] = client.NextRequest()
 	}
-	shaper := NewTrafficShaper(share.qps, workload.SplitSeed(cfg.Seed, 2000+idx))
+	shaper := NewShapedTrafficShaper(share.shape, workload.SplitSeed(cfg.Seed, 2000+idx))
 	offsets := shaper.Schedule(total)
 
 	// The synthetic one-way NIC+switch delay; applied to sojourn time only,
@@ -183,6 +188,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 				Sojourn: now.Sub(inf.scheduled) + extraRTT,
 				Warmup:  inf.warmup,
 				Err:     failed,
+				Offset:  inf.offset,
 			})
 		}
 	}()
@@ -199,7 +205,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 			break
 		}
 		id := uint64(i)
-		pending.add(id, inflight{scheduled: target, payload: payloads[i], warmup: i < share.warmup})
+		pending.add(id, inflight{scheduled: target, offset: offsets[i], payload: payloads[i], warmup: i < share.warmup})
 		if err := netproto.Write(conn, &netproto.Message{Type: netproto.TypeRequest, ID: id, Payload: payloads[i]}); err != nil {
 			pending.remove(id)
 			writeErr = err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"tailbench/internal/load"
 	"tailbench/internal/stats"
 )
 
@@ -14,8 +15,15 @@ type Result struct {
 	App string
 	// Config is the harness configuration the run used.
 	Config ConfigKind
-	// OfferedQPS is the configured arrival rate; zero means saturation mode.
+	// OfferedQPS is the configured arrival rate — for time-varying load
+	// shapes, the mean rate over the run's horizon. Zero means saturation
+	// mode.
 	OfferedQPS float64
+	// Shape names the arrival process family ("constant", "diurnal", ...)
+	// and ShapeSpec carries its canonical parameter encoding (see
+	// load.Parse), so saved results are self-describing.
+	Shape     string
+	ShapeSpec string
 	// AchievedQPS is the measured completion rate over the measurement
 	// interval.
 	AchievedQPS float64
@@ -39,6 +47,11 @@ type Result struct {
 	ServiceSamples []time.Duration
 	SojournSamples []time.Duration
 	QueueSamples   []time.Duration
+	// Windows is the time-windowed latency series (offered/achieved QPS and
+	// sojourn percentiles per window). Present when windowed accounting is
+	// enabled — always for time-varying load shapes, opt-in via
+	// RunConfig.Window otherwise.
+	Windows []stats.WindowStat
 	// Elapsed is the wall-clock duration of the measurement interval.
 	Elapsed time.Duration
 	// Runs is the number of repeated runs aggregated into this result (1 for
@@ -63,10 +76,13 @@ func resultFromSnapshot(appName string, kind ConfigKind, cfg RunConfig, snap col
 	if elapsed > 0 {
 		achieved = float64(snap.count) / elapsed.Seconds()
 	}
-	return &Result{
+	shape := cfg.shape()
+	res := &Result{
 		App:            appName,
 		Config:         kind,
-		OfferedQPS:     cfg.QPS,
+		OfferedQPS:     load.OfferedRate(shape, cfg.Requests+cfg.WarmupRequests),
+		Shape:          shape.Name(),
+		ShapeSpec:      shape.Spec(),
 		AchievedQPS:    achieved,
 		Threads:        cfg.Threads,
 		Requests:       snap.count,
@@ -83,4 +99,20 @@ func resultFromSnapshot(appName string, kind ConfigKind, cfg RunConfig, snap col
 		Elapsed:        elapsed,
 		Runs:           1,
 	}
+	if width, on := cfg.windowing(); on {
+		res.Windows = WindowsFromTimed(snap.timed, width, shape)
+	}
+	return res
+}
+
+// WindowsFromTimed builds the windowed latency series from timed samples and
+// annotates each window with the offered load the shape prescribed for it.
+// Exported for harnesses outside package core (internal/cluster) that reuse
+// the collector and shaper but assemble their own result types.
+func WindowsFromTimed(timed []stats.TimedSample, width time.Duration, shape load.Shape) []stats.WindowStat {
+	ws := stats.WindowSeries(timed, width)
+	for i := range ws {
+		ws[i].OfferedQPS = load.MeanRate(shape, ws[i].Start, ws[i].End)
+	}
+	return ws
 }

@@ -177,7 +177,56 @@ func aggregateResults(results []*Result) *Result {
 		out.ServiceCDF = stats.SampleCDF(pooledService)
 		out.SojournCDF = stats.SampleCDF(pooledSojourn)
 	}
+	out.Windows = mergeWindows(results)
 	return &out
+}
+
+// mergeWindows averages per-window latency series across repeated runs.
+// Runs share a window grid when an explicit width was configured (windows
+// then sit at fixed multiples of it); with the automatic width each run
+// derives its own from its randomized span, so the grids differ. Windows
+// are averaged position-wise only when every run's window boundaries match
+// exactly; otherwise the first run's series is reported as-is.
+func mergeWindows(results []*Result) []stats.WindowStat {
+	base := results[0].Windows
+	if len(base) == 0 {
+		return base
+	}
+	for _, r := range results[1:] {
+		if len(r.Windows) != len(base) {
+			return base
+		}
+		for i := range base {
+			if r.Windows[i].Start != base[i].Start || r.Windows[i].End != base[i].End {
+				return base
+			}
+		}
+	}
+	n := float64(len(results))
+	out := make([]stats.WindowStat, len(base))
+	copy(out, base)
+	for i := range out {
+		var mean, p50, p95, p99 float64
+		out[i].Requests, out[i].Errors, out[i].AchievedQPS, out[i].Max = 0, 0, 0, 0
+		for _, r := range results {
+			w := r.Windows[i]
+			mean += float64(w.Mean)
+			p50 += float64(w.P50)
+			p95 += float64(w.P95)
+			p99 += float64(w.P99)
+			out[i].Requests += w.Requests
+			out[i].Errors += w.Errors
+			out[i].AchievedQPS += w.AchievedQPS / n
+			if w.Max > out[i].Max {
+				out[i].Max = w.Max
+			}
+		}
+		out[i].Mean = time.Duration(mean / n)
+		out[i].P50 = time.Duration(p50 / n)
+		out[i].P95 = time.Duration(p95 / n)
+		out[i].P99 = time.Duration(p99 / n)
+	}
+	return out
 }
 
 // MeasureServiceTimes runs the application at negligible load with a single

@@ -1,0 +1,439 @@
+// Package load defines the suite's arrival processes. The paper's central
+// methodological contribution is open-loop load generation — arrival instants
+// are computed up front, independent of response times — and this package
+// generalizes it from a single constant Poisson rate to pluggable,
+// time-varying load shapes: a Shape is an instantaneous arrival-rate profile
+// rate(t), and Schedule realizes it as a non-homogeneous Poisson process via
+// thinning (Lewis & Shedler 1979). Built-in shapes cover the scenarios
+// latency studies need beyond steady state: diurnal cycles, ramps, load
+// spikes, on-off bursts, and replayed rate traces.
+//
+// All shapes are deterministic functions of time, and Schedule is
+// deterministic given a seed, so shaped runs stay exactly reproducible — the
+// same property the constant-rate harness relies on for repeated-run
+// methodology.
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"tailbench/internal/workload"
+)
+
+// Shape is a time-varying arrival-rate profile: an instantaneous rate in
+// queries per second as a function of the offset from the start of the run.
+// Implementations must be deterministic (the same t always yields the same
+// rate) so that schedules are reproducible and offered load is computable in
+// hindsight for any time window.
+type Shape interface {
+	// Rate returns the instantaneous arrival rate (QPS) at offset t.
+	// Non-positive values mean no arrivals at that instant.
+	Rate(t time.Duration) float64
+	// MaxRate returns an upper bound on Rate over all t, used by the
+	// thinning sampler. A non-positive bound means saturation (arrivals
+	// back to back), matching the scalar-QPS convention.
+	MaxRate() float64
+	// Name identifies the shape family ("constant", "diurnal", ...).
+	Name() string
+	// Spec renders the canonical "name:arg,arg,..." encoding, re-parseable
+	// by Parse. Results embed it so saved runs are self-describing.
+	Spec() string
+}
+
+// acceptStream is the SplitSeed stream index of the thinning acceptance RNG,
+// kept distinct from the gap generator so the constant fast path and the
+// generic thinning path share the same gap stream.
+const acceptStream = 11
+
+// IsConstant reports whether the shape is a constant-rate profile (including
+// a scaled constant), i.e. whether thinning degenerates to the plain
+// homogeneous Poisson schedule of the scalar-QPS harness.
+func IsConstant(s Shape) bool { return s != nil && s.Name() == "constant" }
+
+// Schedule realizes the first n arrivals of the shape as offsets from the
+// start of the run, in non-decreasing order, by thinning a homogeneous
+// Poisson process at MaxRate: candidate arrivals are drawn with exponential
+// gaps at the bounding rate and accepted with probability Rate(t)/MaxRate.
+//
+// Two properties are load-bearing for compatibility:
+//   - A non-positive MaxRate yields an all-zero schedule (saturation),
+//     exactly like the scalar-QPS shaper.
+//   - A constant shape consumes the gap stream only, producing an arrival
+//     sequence bit-identical to the legacy constant-rate shaper at the same
+//     seed, so RunSpec{QPS: x} keeps behaving exactly as before.
+func Schedule(s Shape, n int, seed int64) []time.Duration {
+	offsets := make([]time.Duration, n)
+	if s == nil {
+		return offsets
+	}
+	max := s.MaxRate()
+	if max <= 0 || n == 0 {
+		return offsets
+	}
+	gaps := workload.NewExponentialGen(max, seed)
+	if IsConstant(s) {
+		var cum time.Duration
+		for i := range offsets {
+			cum += gaps.Next()
+			offsets[i] = cum
+		}
+		return offsets
+	}
+	accept := workload.NewRand(workload.SplitSeed(seed, acceptStream))
+	// Candidate budget: thinning needs MaxRate/Rate(t) candidates per
+	// arrival in expectation, so this bound is generous for any reasonable
+	// shape; it only trips for degenerate profiles whose rate stays ~0
+	// forever (e.g. a trace ending in zeros), where the remaining arrivals
+	// are emitted back to back rather than looping without progress.
+	budget := 1000*n + 10000
+	var t time.Duration
+	for i := 0; i < n; i++ {
+		for {
+			t += gaps.Next()
+			budget--
+			if budget < 0 {
+				for j := i; j < n; j++ {
+					offsets[j] = t
+				}
+				return offsets
+			}
+			r := s.Rate(t)
+			if r >= max || accept.Float64()*max < r {
+				offsets[i] = t
+				break
+			}
+		}
+	}
+	return offsets
+}
+
+// MeanRate returns the average of Rate over [from, to), integrated
+// numerically (exactly for constant shapes). Windowed results use it to
+// report the offered load of each window.
+func MeanRate(s Shape, from, to time.Duration) float64 {
+	if s == nil || to <= from {
+		return 0
+	}
+	if IsConstant(s) {
+		return s.Rate(from)
+	}
+	const steps = 256
+	width := to.Seconds() - from.Seconds()
+	dt := width / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		mid := from.Seconds() + (float64(i)+0.5)*dt
+		r := s.Rate(time.Duration(mid * float64(time.Second)))
+		if r > 0 {
+			sum += r
+		}
+	}
+	return sum / steps
+}
+
+// Or resolves the scalar-QPS shorthand every config carries: the explicit
+// shape when one is set, else the constant-rate profile at qps. Defining
+// the rule once keeps the live and simulated paths from drifting.
+func Or(s Shape, qps float64) Shape {
+	if s != nil {
+		return s
+	}
+	return Constant(qps)
+}
+
+// OfferedRate summarizes a shape as the single offered-load figure results
+// report: the rate itself for constant shapes, the mean rate over the
+// n-arrival horizon otherwise.
+func OfferedRate(s Shape, n int) float64 {
+	if s == nil {
+		return 0
+	}
+	if IsConstant(s) {
+		return s.Rate(0)
+	}
+	return MeanRate(s, 0, Horizon(s, n))
+}
+
+// WindowEnabled is the windowed-accounting policy every harness shares: an
+// explicit positive width always enables windows, zero enables them exactly
+// when a time-varying shape was explicitly configured (windows are how such
+// a run is read), and a negative width disables them.
+func WindowEnabled(window time.Duration, explicit Shape) bool {
+	if window > 0 {
+		return true
+	}
+	return window == 0 && explicit != nil && !IsConstant(explicit)
+}
+
+// Horizon estimates the time by which n arrivals have accumulated under the
+// shape — the t where the integral of Rate reaches n. It is exact for
+// constant shapes (n/qps) and numeric otherwise. Harnesses derive default
+// run deadlines and window widths from it. A saturation shape returns 0.
+func Horizon(s Shape, n int) time.Duration {
+	if s == nil || n <= 0 {
+		return 0
+	}
+	max := s.MaxRate()
+	if max <= 0 {
+		return 0
+	}
+	if IsConstant(s) {
+		return time.Duration(float64(n) / s.Rate(0) * float64(time.Second))
+	}
+	// Step so that at most one arrival accumulates per step at the peak
+	// rate; cap the walk so zero-rate tails cannot stall it, and fall back
+	// to extrapolating the remainder at the peak rate.
+	dt := 1.0 / max
+	const maxSteps = 4 << 20
+	cum := 0.0
+	t := 0.0
+	for step := 0; step < maxSteps; step++ {
+		r := s.Rate(time.Duration((t + dt/2) * float64(time.Second)))
+		if r > 0 {
+			cum += r * dt
+		}
+		t += dt
+		if cum >= float64(n) {
+			return time.Duration(t * float64(time.Second))
+		}
+	}
+	return time.Duration((t + (float64(n)-cum)/max) * float64(time.Second))
+}
+
+// clampRate normalizes a rate parameter: NaN, infinite, and negative rates
+// become 0 (no arrivals).
+func clampRate(q float64) float64 {
+	if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+		return 0
+	}
+	return q
+}
+
+// constant is the scalar-QPS arrival process.
+type constant struct{ qps float64 }
+
+// Constant returns the constant-rate Poisson shape — the paper's original
+// arrival process and the shorthand that a scalar QPS field maps to.
+func Constant(qps float64) Shape { return constant{qps: clampRate(qps)} }
+
+func (c constant) Rate(time.Duration) float64 { return c.qps }
+func (c constant) MaxRate() float64           { return c.qps }
+func (c constant) Name() string               { return "constant" }
+func (c constant) Spec() string               { return fmt.Sprintf("constant:%s", formatRate(c.qps)) }
+
+// diurnal is a sinusoidal day/night cycle.
+type diurnal struct {
+	base, amplitude float64
+	period          time.Duration
+}
+
+// Diurnal returns a sinusoidal rate profile base + amplitude*sin(2πt/period),
+// clamped at zero — a compressed day/night traffic cycle. An amplitude
+// larger than the base yields quiet spells with no arrivals.
+func Diurnal(base, amplitude float64, period time.Duration) Shape {
+	base = clampRate(base)
+	amplitude = clampRate(amplitude)
+	if period <= 0 {
+		return Constant(base)
+	}
+	return diurnal{base: base, amplitude: amplitude, period: period}
+}
+
+func (d diurnal) Rate(t time.Duration) float64 {
+	r := d.base + d.amplitude*math.Sin(2*math.Pi*t.Seconds()/d.period.Seconds())
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+func (d diurnal) MaxRate() float64 { return d.base + d.amplitude }
+func (d diurnal) Name() string     { return "diurnal" }
+func (d diurnal) Spec() string {
+	return fmt.Sprintf("diurnal:%s,%s,%s", formatRate(d.base), formatRate(d.amplitude), d.period)
+}
+
+// ramp is a linear transition between two rates.
+type ramp struct {
+	from, to float64
+	over     time.Duration
+}
+
+// Ramp returns a profile that moves linearly from one rate to another over
+// the given duration and holds the final rate afterwards — a warm ramp-up or
+// a controlled drain.
+func Ramp(from, to float64, over time.Duration) Shape {
+	from = clampRate(from)
+	to = clampRate(to)
+	if over <= 0 {
+		return Constant(to)
+	}
+	return ramp{from: from, to: to, over: over}
+}
+
+func (r ramp) Rate(t time.Duration) float64 {
+	if t >= r.over {
+		return r.to
+	}
+	if t < 0 {
+		return r.from
+	}
+	return r.from + (r.to-r.from)*(t.Seconds()/r.over.Seconds())
+}
+func (r ramp) MaxRate() float64 { return math.Max(r.from, r.to) }
+func (r ramp) Name() string     { return "ramp" }
+func (r ramp) Spec() string {
+	return fmt.Sprintf("ramp:%s,%s,%s", formatRate(r.from), formatRate(r.to), r.over)
+}
+
+// spike is a flash-crowd: a base rate with one rectangular burst.
+type spike struct {
+	base, peak   float64
+	start, width time.Duration
+}
+
+// Spike returns a base rate with a rectangular excursion to peak during
+// [start, start+width) — the flash-crowd scenario where provisioning for the
+// average hides the tail.
+func Spike(base, peak float64, start, width time.Duration) Shape {
+	base = clampRate(base)
+	peak = clampRate(peak)
+	if width <= 0 {
+		return Constant(base)
+	}
+	if start < 0 {
+		start = 0
+	}
+	return spike{base: base, peak: peak, start: start, width: width}
+}
+
+func (s spike) Rate(t time.Duration) float64 {
+	if t >= s.start && t < s.start+s.width {
+		return s.peak
+	}
+	return s.base
+}
+func (s spike) MaxRate() float64 { return math.Max(s.base, s.peak) }
+func (s spike) Name() string     { return "spike" }
+func (s spike) Spec() string {
+	return fmt.Sprintf("spike:%s,%s,%s,%s", formatRate(s.base), formatRate(s.peak), s.start, s.width)
+}
+
+// burst is a periodic on-off (square-wave) process, the deterministic
+// envelope of an MMPP on-off source.
+type burst struct {
+	low, high       float64
+	lowDur, highDur time.Duration
+}
+
+// Burst returns a periodic on-off profile: each cycle dwells at the low rate
+// for lowDur, then at the high rate for highDur — the square-wave envelope
+// of a two-state MMPP source, deterministic so runs stay reproducible.
+func Burst(low, high float64, lowDur, highDur time.Duration) Shape {
+	low = clampRate(low)
+	high = clampRate(high)
+	if lowDur <= 0 && highDur <= 0 {
+		return Constant(high)
+	}
+	if lowDur < 0 {
+		lowDur = 0
+	}
+	if highDur < 0 {
+		highDur = 0
+	}
+	return burst{low: low, high: high, lowDur: lowDur, highDur: highDur}
+}
+
+func (b burst) Rate(t time.Duration) float64 {
+	period := b.lowDur + b.highDur
+	if period <= 0 {
+		return b.high
+	}
+	phase := t % period
+	if phase < b.lowDur {
+		return b.low
+	}
+	return b.high
+}
+func (b burst) MaxRate() float64 { return math.Max(b.low, b.high) }
+func (b burst) Name() string     { return "burst" }
+func (b burst) Spec() string {
+	return fmt.Sprintf("burst:%s,%s,%s,%s", formatRate(b.low), formatRate(b.high), b.lowDur, b.highDur)
+}
+
+// trace replays a measured per-interval rate series.
+type trace struct {
+	interval time.Duration
+	rates    []float64
+	max      float64
+}
+
+// Trace returns a piecewise-constant profile that replays the given rate
+// series, one rate per interval, holding the final rate beyond the end of
+// the trace. This is the replay path for production rate logs.
+func Trace(interval time.Duration, rates []float64) Shape {
+	if interval <= 0 || len(rates) == 0 {
+		return Constant(0)
+	}
+	clamped := make([]float64, len(rates))
+	max := 0.0
+	for i, r := range rates {
+		clamped[i] = clampRate(r)
+		if clamped[i] > max {
+			max = clamped[i]
+		}
+	}
+	return trace{interval: interval, rates: clamped, max: max}
+}
+
+func (tr trace) Rate(t time.Duration) float64 {
+	if t < 0 {
+		return tr.rates[0]
+	}
+	idx := int(t / tr.interval)
+	if idx >= len(tr.rates) {
+		idx = len(tr.rates) - 1
+	}
+	return tr.rates[idx]
+}
+func (tr trace) MaxRate() float64 { return tr.max }
+func (tr trace) Name() string     { return "trace" }
+func (tr trace) Spec() string {
+	parts := make([]string, 0, len(tr.rates)+1)
+	parts = append(parts, tr.interval.String())
+	for _, r := range tr.rates {
+		parts = append(parts, formatRate(r))
+	}
+	return "trace:" + strings.Join(parts, ",")
+}
+
+// scaled multiplies an inner shape's rate by a constant factor. Harnesses
+// that split the offered load across k independent client connections drive
+// each from Scaled(shape, 1/k), so the superposition reproduces the shape.
+type scaled struct {
+	inner  Shape
+	factor float64
+}
+
+// Scaled returns the shape with every rate multiplied by factor.
+func Scaled(s Shape, factor float64) Shape {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
+		factor = 0
+	}
+	return scaled{inner: s, factor: factor}
+}
+
+func (s scaled) Rate(t time.Duration) float64 { return s.inner.Rate(t) * s.factor }
+func (s scaled) MaxRate() float64             { return s.inner.MaxRate() * s.factor }
+
+// Name reports the inner family: a scaled constant is still constant, which
+// keeps the Schedule fast path (and its bit-compatibility) intact.
+func (s scaled) Name() string { return s.inner.Name() }
+func (s scaled) Spec() string { return s.inner.Spec() }
+
+// formatRate renders a rate in plain decimal without trailing zeros
+// ("500", "2.5") so specs stay readable and re-parseable at any magnitude.
+func formatRate(q float64) string { return strconv.FormatFloat(q, 'f', -1, 64) }

@@ -81,6 +81,12 @@ type MGkConfig struct {
 	Requests    int
 	Warmup      int
 	Seed        int64
+	// Arrivals, when non-empty, supplies the exact arrival schedule
+	// (offsets from the start of the run, non-decreasing) instead of the
+	// homogeneous Poisson process at ArrivalRate — the hook through which
+	// time-varying load shapes drive the simulated system. Its length
+	// overrides Requests+Warmup.
+	Arrivals []time.Duration
 }
 
 // MGkResult holds the simulated latency distributions.
@@ -90,6 +96,10 @@ type MGkResult struct {
 	// SojournSamples are the raw post-warmup sojourn times, for percentile
 	// analysis beyond the summary.
 	SojournSamples []time.Duration
+	// ArrivalTimes are the virtual arrival instants of the post-warmup
+	// requests, index-aligned with SojournSamples (FIFO dispatch preserves
+	// arrival order), so callers can bin latency by time window.
+	ArrivalTimes []time.Duration
 }
 
 // event kinds for the DES.
@@ -131,20 +141,25 @@ func SimulateMGk(cfg MGkConfig, service ServiceSampler) MGkResult {
 	if cfg.Warmup < 0 {
 		cfg.Warmup = 0
 	}
-	arrivalGen := workload.NewExponentialGen(cfg.ArrivalRate, workload.SplitSeed(cfg.Seed, 1))
 	serviceRand := workload.NewRand(workload.SplitSeed(cfg.Seed, 2))
 
-	total := cfg.Requests + cfg.Warmup
 	events := &eventHeap{}
 	heap.Init(events)
 
-	// Pre-compute arrival times.
-	arrivals := make([]time.Duration, total)
-	var t time.Duration
-	for i := range arrivals {
-		t += arrivalGen.Next()
-		arrivals[i] = t
-		heap.Push(events, event{at: t, kind: evArrival})
+	// Pre-compute arrival times: either the caller-supplied schedule (the
+	// load-shape path) or a homogeneous Poisson process at ArrivalRate.
+	arrivals := cfg.Arrivals
+	if len(arrivals) == 0 {
+		arrivalGen := workload.NewExponentialGen(cfg.ArrivalRate, workload.SplitSeed(cfg.Seed, 1))
+		arrivals = make([]time.Duration, cfg.Requests+cfg.Warmup)
+		var t time.Duration
+		for i := range arrivals {
+			t += arrivalGen.Next()
+			arrivals[i] = t
+		}
+	}
+	for _, at := range arrivals {
+		heap.Push(events, event{at: at, kind: evArrival})
 	}
 
 	type queuedReq struct {
@@ -152,11 +167,12 @@ func SimulateMGk(cfg MGkConfig, service ServiceSampler) MGkResult {
 		arrival time.Duration
 	}
 	var (
-		fifo        []queuedReq
-		busy        = make([]bool, cfg.Servers)
-		nextArrival int
-		waits       []time.Duration
-		sojourns    []time.Duration
+		fifo         []queuedReq
+		busy         = make([]bool, cfg.Servers)
+		nextArrival  int
+		waits        []time.Duration
+		sojourns     []time.Duration
+		arrivalTimes []time.Duration
 	)
 	dispatch := func(now time.Duration) {
 		for len(fifo) > 0 {
@@ -179,6 +195,7 @@ func SimulateMGk(cfg MGkConfig, service ServiceSampler) MGkResult {
 			if req.index >= cfg.Warmup {
 				waits = append(waits, now-req.arrival)
 				sojourns = append(sojourns, done-req.arrival)
+				arrivalTimes = append(arrivalTimes, req.arrival)
 			}
 		}
 	}
@@ -198,5 +215,6 @@ func SimulateMGk(cfg MGkConfig, service ServiceSampler) MGkResult {
 		Wait:           stats.SummaryFromSamples(waits),
 		Sojourn:        stats.SummaryFromSamples(sojourns),
 		SojournSamples: sojourns,
+		ArrivalTimes:   arrivalTimes,
 	}
 }

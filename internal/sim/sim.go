@@ -18,6 +18,8 @@ import (
 	"math/rand"
 	"time"
 
+	"tailbench/internal/core"
+	"tailbench/internal/load"
 	"tailbench/internal/queueing"
 	"tailbench/internal/stats"
 	"tailbench/internal/workload"
@@ -158,6 +160,12 @@ type RunParams struct {
 	// IdealMemory removes the memory-contention inflation (zero-latency,
 	// infinite-bandwidth DRAM), as in the Sec. VII case study.
 	IdealMemory bool
+	// Load is the arrival-rate profile; nil means a constant-rate Poisson
+	// process at QPS (the scalar shorthand).
+	Load load.Shape
+	// Window is the windowed-accounting width; zero picks one
+	// automatically for time-varying shapes, negative disables windows.
+	Window time.Duration
 }
 
 // Result holds the simulated latency distributions.
@@ -171,6 +179,12 @@ type Result struct {
 	Sojourn        stats.LatencySummary
 	SojournSamples []time.Duration
 	ServiceSamples []time.Duration
+	// Shape and ShapeSpec identify the arrival process; Windows is the
+	// virtual-time windowed latency series (present when windowed
+	// accounting is enabled).
+	Shape     string
+	ShapeSpec string
+	Windows   []stats.WindowStat
 }
 
 // Run simulates the application under the integrated harness configuration.
@@ -198,22 +212,31 @@ func (m *AppModel) Run(p RunParams) (*Result, error) {
 	}
 	scale := m.PerfError * inflate
 	sampler := scaledSampler{dist: m.ServiceDist, scale: scale}
-	res := queueing.SimulateMGk(queueing.MGkConfig{
+	shape := load.Or(p.Load, p.QPS)
+	mgk := queueing.MGkConfig{
 		ArrivalRate: p.QPS,
 		Servers:     p.Threads,
 		Requests:    p.Requests,
 		Warmup:      p.Warmup,
 		Seed:        workload.SplitSeed(p.Seed, 777),
-	}, sampler)
+	}
+	if !load.IsConstant(shape) {
+		// Time-varying shapes hand the simulator an explicit schedule,
+		// realized with the same thinning sampler as the live harness.
+		mgk.Arrivals = load.Schedule(shape, p.Requests+p.Warmup, workload.SplitSeed(mgk.Seed, 1))
+	} else if p.Load != nil {
+		mgk.ArrivalRate = shape.Rate(0)
+	}
+	res := queueing.SimulateMGk(mgk, sampler)
 
 	serviceSamples := make([]time.Duration, 0, len(res.SojournSamples))
 	r := workload.NewRand(workload.SplitSeed(p.Seed, 778))
 	for range res.SojournSamples {
 		serviceSamples = append(serviceSamples, sampler.Sample(r))
 	}
-	return &Result{
+	out := &Result{
 		App:            m.Name,
-		QPS:            p.QPS,
+		QPS:            load.OfferedRate(shape, p.Requests+p.Warmup),
 		Threads:        p.Threads,
 		IdealMemory:    p.IdealMemory,
 		Queue:          res.Wait,
@@ -221,7 +244,17 @@ func (m *AppModel) Run(p RunParams) (*Result, error) {
 		Sojourn:        res.Sojourn,
 		SojournSamples: res.SojournSamples,
 		ServiceSamples: serviceSamples,
-	}, nil
+		Shape:          shape.Name(),
+		ShapeSpec:      shape.Spec(),
+	}
+	if load.WindowEnabled(p.Window, p.Load) {
+		timed := make([]stats.TimedSample, len(res.SojournSamples))
+		for i := range timed {
+			timed[i] = stats.TimedSample{At: res.ArrivalTimes[i], Sojourn: res.SojournSamples[i]}
+		}
+		out.Windows = core.WindowsFromTimed(timed, p.Window, shape)
+	}
+	return out, nil
 }
 
 // SaturationQPS estimates the load at which the simulated system saturates:

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowSeries(t *testing.T) {
+	var samples []TimedSample
+	// Two seconds of samples: 10ms sojourns in the first second, 50ms in
+	// the second, plus one error in the first window.
+	for i := 0; i < 100; i++ {
+		samples = append(samples, TimedSample{At: time.Duration(i) * 10 * time.Millisecond, Sojourn: 10 * time.Millisecond})
+		samples = append(samples, TimedSample{At: time.Second + time.Duration(i)*10*time.Millisecond, Sojourn: 50 * time.Millisecond})
+	}
+	samples = append(samples, TimedSample{At: 500 * time.Millisecond, Err: true})
+
+	ws := WindowSeries(samples, time.Second)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if ws[0].Requests != 100 || ws[0].Errors != 1 {
+		t.Errorf("window 0: requests=%d errors=%d", ws[0].Requests, ws[0].Errors)
+	}
+	if ws[0].P99 != 10*time.Millisecond || ws[1].P99 != 50*time.Millisecond {
+		t.Errorf("window p99s = %v, %v", ws[0].P99, ws[1].P99)
+	}
+	if ws[0].AchievedQPS != 100 {
+		t.Errorf("window 0 achieved = %v, want 100", ws[0].AchievedQPS)
+	}
+	if ws[1].Start != time.Second || ws[1].End != 2*time.Second {
+		t.Errorf("window 1 bounds = [%v, %v]", ws[1].Start, ws[1].End)
+	}
+}
+
+func TestWindowSeriesTrimsLeadingWarmupWindows(t *testing.T) {
+	// Samples only start at t=2s (everything earlier was warmup and is not
+	// in the timed set); the leading empty windows must be trimmed, but an
+	// interior lull must be kept.
+	var samples []TimedSample
+	for i := 0; i < 50; i++ {
+		samples = append(samples, TimedSample{At: 2*time.Second + time.Duration(i)*10*time.Millisecond, Sojourn: time.Millisecond})
+		samples = append(samples, TimedSample{At: 4*time.Second + time.Duration(i)*10*time.Millisecond, Sojourn: time.Millisecond})
+	}
+	ws := WindowSeries(samples, time.Second)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3 (leading 2 trimmed, interior lull kept)", len(ws))
+	}
+	if ws[0].Start != 2*time.Second {
+		t.Errorf("series starts at %v, want 2s", ws[0].Start)
+	}
+	if ws[1].Requests != 0 {
+		t.Errorf("interior lull window should be empty, has %d", ws[1].Requests)
+	}
+}
+
+func TestWindowSeriesAutoWidthAndEmpty(t *testing.T) {
+	if got := WindowSeries(nil, time.Second); got != nil {
+		t.Fatalf("empty samples should yield nil series")
+	}
+	samples := make([]TimedSample, 400)
+	for i := range samples {
+		samples[i] = TimedSample{At: time.Duration(i) * 5 * time.Millisecond, Sojourn: time.Millisecond}
+	}
+	ws := WindowSeries(samples, 0)
+	if len(ws) < DefaultWindowCount || len(ws) > DefaultWindowCount+1 {
+		t.Fatalf("auto width produced %d windows, want ~%d", len(ws), DefaultWindowCount)
+	}
+}

@@ -1,0 +1,122 @@
+package tailbench
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestResultJSONRoundTrip pins the contract tailbench-report -input depends
+// on: a Result written as JSON must unmarshal back identically, including
+// the named Mode and the named shape fields.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := Result{
+		App:         "masstree",
+		Mode:        ModeNetworked,
+		Shape:       "diurnal",
+		ShapeSpec:   "diurnal:500,300,10s",
+		OfferedQPS:  500,
+		AchievedQPS: 498.5,
+		Threads:     2,
+		Requests:    4000,
+		Errors:      3,
+		Queue:       LatencyStats{Count: 4000, Mean: time.Millisecond, P50: time.Millisecond, P95: 2 * time.Millisecond, P99: 3 * time.Millisecond, Max: 5 * time.Millisecond, Min: 100 * time.Microsecond},
+		Service:     LatencyStats{Count: 4000, Mean: 2 * time.Millisecond},
+		Sojourn:     LatencyStats{Count: 4000, P95: 4 * time.Millisecond, P99: 9 * time.Millisecond},
+		ServiceCDF:  []CDFPoint{{Value: time.Millisecond, Cumulative: 0.5}, {Value: 2 * time.Millisecond, Cumulative: 1}},
+		SojournCDF:  []CDFPoint{{Value: 3 * time.Millisecond, Cumulative: 1}},
+		Windows: []WindowStats{
+			{Start: 0, End: time.Second, Requests: 200, OfferedQPS: 200, AchievedQPS: 199, Mean: time.Millisecond, P50: time.Millisecond, P95: 2 * time.Millisecond, P99: 3 * time.Millisecond, Max: 4 * time.Millisecond},
+			{Start: time.Second, End: 2 * time.Second, Requests: 800, Errors: 1, OfferedQPS: 800, AchievedQPS: 790, P99: 9 * time.Millisecond},
+		},
+		Elapsed:       8 * time.Second,
+		Runs:          2,
+		P95CIRelative: 0.02,
+		IdealMemory:   true,
+	}
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	// The mode is encoded by name, not by constant value.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["Mode"] != "networked" {
+		t.Errorf("Mode encoded as %v, want \"networked\"", raw["Mode"])
+	}
+	if raw["Shape"] != "diurnal" {
+		t.Errorf("Shape encoded as %v, want \"diurnal\"", raw["Shape"])
+	}
+}
+
+// TestClusterResultJSONRoundTrip does the same for cluster results,
+// including the per-replica breakdown and the windowed series.
+func TestClusterResultJSONRoundTrip(t *testing.T) {
+	in := ClusterResult{
+		App:         "xapian",
+		Mode:        ModeSimulated,
+		Policy:      "jsq2",
+		Replicas:    4,
+		Threads:     2,
+		Shape:       "spike",
+		ShapeSpec:   "spike:500,1500,5s,2s",
+		OfferedQPS:  625,
+		AchievedQPS: 620.25,
+		Requests:    10000,
+		Errors:      1,
+		Queue:       LatencyStats{Count: 10000, Mean: 300 * time.Microsecond},
+		Service:     LatencyStats{Count: 10000, Mean: time.Millisecond},
+		Sojourn:     LatencyStats{Count: 10000, P99: 12 * time.Millisecond},
+		ServiceCDF:  []CDFPoint{{Value: time.Millisecond, Cumulative: 1}},
+		SojournCDF:  []CDFPoint{{Value: 2 * time.Millisecond, Cumulative: 1}},
+		Windows: []WindowStats{
+			{Start: 0, End: 500 * time.Millisecond, Requests: 250, OfferedQPS: 500, AchievedQPS: 500, P99: 2 * time.Millisecond},
+		},
+		Elapsed: 16 * time.Second,
+		PerReplica: []ReplicaResult{
+			{Index: 0, Slowdown: 1, Dispatched: 2500, Requests: 2400, AchievedQPS: 150, Sojourn: LatencyStats{Count: 2400, P95: 2 * time.Millisecond}, MeanQueueDepth: 1.5, MaxQueueDepth: 9},
+			{Index: 1, Slowdown: 3, Dispatched: 2400, Requests: 2300, Errors: 1, AchievedQPS: 145, MeanQueueDepth: 4.25, MaxQueueDepth: 31},
+		},
+	}
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out ClusterResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["Mode"] != "simulated" || raw["ShapeSpec"] != "spike:500,1500,5s,2s" {
+		t.Errorf("named fields encoded as Mode=%v ShapeSpec=%v", raw["Mode"], raw["ShapeSpec"])
+	}
+}
+
+// TestConstantShapeOmittedFieldsBackCompat checks that JSON written before
+// the LoadShape redesign (no Shape/ShapeSpec/Windows fields) still decodes.
+func TestConstantShapeOmittedFieldsBackCompat(t *testing.T) {
+	legacy := `{"App":"masstree","Mode":"integrated","OfferedQPS":2000,"AchievedQPS":1990,"Requests":1000}`
+	var out Result
+	if err := json.Unmarshal([]byte(legacy), &out); err != nil {
+		t.Fatalf("legacy unmarshal: %v", err)
+	}
+	if out.Shape != "" || out.Windows != nil {
+		t.Errorf("legacy result grew shape fields: %+v", out)
+	}
+}

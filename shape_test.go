@@ -1,0 +1,150 @@
+package tailbench
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticServiceSamples builds a deterministic, mildly dispersed
+// service-time population with ~1ms mean, so simulated cluster tests run in
+// virtual time without calibrating a real application.
+func syntheticServiceSamples(n int, seed int64) []time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = 500*time.Microsecond + time.Duration(r.Int63n(int64(time.Millisecond)))
+	}
+	return out
+}
+
+// TestQPSShorthandMatchesConstantShape is the regression test for the
+// LoadShape redesign's compatibility guarantee: at a fixed seed, a scalar
+// QPS spec and the equivalent explicit Constant shape must produce exactly
+// the same result, bit for bit, on the deterministic simulated paths.
+func TestQPSShorthandMatchesConstantShape(t *testing.T) {
+	samples := syntheticServiceSamples(300, 11)
+	base := ClusterSpec{
+		App:            "masstree",
+		Mode:           ModeSimulated,
+		Policy:         "leastq",
+		Replicas:       3,
+		Threads:        1,
+		QPS:            1500,
+		Requests:       3000,
+		Warmup:         300,
+		Seed:           7,
+		ServiceSamples: samples,
+	}
+	scalar, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := base
+	shaped.QPS = 0
+	shaped.Load = Constant(1500)
+	viaShape, err := RunCluster(shaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar, viaShape) {
+		t.Errorf("Constant(x) diverges from QPS shorthand:\nscalar: %+v\nshaped: %+v", scalar, viaShape)
+	}
+	if scalar.Shape != "constant" || !strings.HasPrefix(scalar.ShapeSpec, "constant:") {
+		t.Errorf("scalar run labeled %q/%q, want constant shape", scalar.Shape, scalar.ShapeSpec)
+	}
+	if scalar.Windows != nil {
+		t.Errorf("constant-rate run grew a window series without opting in")
+	}
+}
+
+// TestClusterSpikeWindowedTail is the acceptance scenario: in simulated
+// cluster mode under a 3x load spike, the windowed p99 series must surface a
+// tail excursion during the spike, and the queue-aware policies must ride it
+// with a lower peak p99 than random routing — all at a fixed seed.
+func TestClusterSpikeWindowedTail(t *testing.T) {
+	samples := syntheticServiceSamples(400, 3)
+	// 4 replicas x ~1000 QPS nominal capacity; base load 40%, spiking 3x
+	// to ~120% of capacity for 2 virtual seconds.
+	shape := Spike(1600, 4800, 2*time.Second, 2*time.Second)
+	peak := func(policy string) (time.Duration, *ClusterResult) {
+		res, err := RunCluster(ClusterSpec{
+			App:            "masstree",
+			Mode:           ModeSimulated,
+			Policy:         policy,
+			Replicas:       4,
+			Threads:        1,
+			Load:           shape,
+			Window:         500 * time.Millisecond,
+			Requests:       14000,
+			Warmup:         1000,
+			Seed:           5,
+			ServiceSamples: samples,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Shape != "spike" || res.ShapeSpec != shape.Spec() {
+			t.Fatalf("%s: labeled %q/%q, want spike", policy, res.Shape, res.ShapeSpec)
+		}
+		if len(res.Windows) == 0 {
+			t.Fatalf("%s: no windowed series", policy)
+		}
+		var worst time.Duration
+		var measured uint64
+		for _, w := range res.Windows {
+			if w.P99 > worst {
+				worst = w.P99
+			}
+			measured += w.Requests
+		}
+		if measured != res.Requests {
+			t.Errorf("%s: windows hold %d requests, result has %d", policy, measured, res.Requests)
+		}
+		return worst, res
+	}
+
+	randomPeak, randomRes := peak("random")
+	leastqPeak, _ := peak("leastq")
+	jsq2Peak, _ := peak("jsq2")
+
+	// The spike must be visible: the worst window's p99 has to tower over
+	// the quiet first window's.
+	if randomRes.Windows[0].P99*2 >= randomPeak {
+		t.Errorf("random: spike invisible in windows: first=%v peak=%v", randomRes.Windows[0].P99, randomPeak)
+	}
+	if leastqPeak >= randomPeak {
+		t.Errorf("leastq peak p99 %v not below random %v", leastqPeak, randomPeak)
+	}
+	if jsq2Peak >= randomPeak {
+		t.Errorf("jsq2 peak p99 %v not below random %v", jsq2Peak, randomPeak)
+	}
+}
+
+// TestRunClusterSlowdownValidation pins the API-boundary validation of
+// straggler vectors: wrong length and negative or non-finite factors must be
+// rejected with a clear error before any replica is built.
+func TestRunClusterSlowdownValidation(t *testing.T) {
+	base := ClusterSpec{App: "masstree", Mode: ModeSimulated, Replicas: 2, Requests: 10,
+		ServiceSamples: syntheticServiceSamples(10, 1)}
+
+	short := base
+	short.Slowdowns = []float64{2}
+	if _, err := RunCluster(short); err == nil || !strings.Contains(err.Error(), "must equal Replicas") {
+		t.Errorf("short slowdowns: err = %v", err)
+	}
+
+	negative := base
+	negative.Slowdowns = []float64{1, -3}
+	if _, err := RunCluster(negative); err == nil || !strings.Contains(err.Error(), "Slowdowns[1]") {
+		t.Errorf("negative slowdown: err = %v", err)
+	}
+
+	ok := base
+	ok.Slowdowns = []float64{1, 2.5}
+	if _, err := RunCluster(ok); err != nil {
+		t.Errorf("valid slowdowns rejected: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench"
+)
+
+// ShapeSeries is the windowed latency series of one balancer policy riding a
+// time-varying load shape: how the tail evolves window by window as the
+// shape plays out, plus the peak excursion for at-a-glance comparison.
+type ShapeSeries struct {
+	App      string
+	Mode     tailbench.Mode
+	Policy   string
+	Replicas int
+	Threads  int
+	// Shape and ShapeSpec identify the arrival process driven through the
+	// cluster.
+	Shape     string
+	ShapeSpec string
+	// Windows is the per-window series (offered/achieved QPS, sojourn
+	// percentiles).
+	Windows []tailbench.WindowStats
+	// PeakP99 is the worst windowed p99 — the figure of merit for how the
+	// policy rode the shape's excursion; OverallP99 is the whole-run p99
+	// that averages the excursion away (the contrast windowing exists to
+	// expose).
+	PeakP99    time.Duration
+	OverallP99 time.Duration
+}
+
+// Label returns the series label used in figure output.
+func (s ShapeSeries) Label() string {
+	return fmt.Sprintf("%s/%s/%dx%dthr/%s/%s", s.App, s.Mode, s.Replicas, s.Threads, s.Policy, s.Shape)
+}
+
+// ShapeComparison measures how each balancer policy rides a time-varying
+// load shape (a spike, a diurnal cycle, a burst train) on one cluster
+// configuration, producing one windowed ShapeSeries per policy. The
+// application is calibrated once — or not at all, when the caller supplies
+// a Calibration it already holds (e.g. the one it sized the shape's rates
+// from) — and every simulated policy run reuses the same service-time
+// samples, so policies are compared against an identical workload; window
+// sets the accounting width (zero picks one automatically from the shape's
+// horizon).
+func ShapeComparison(app string, mode tailbench.Mode, replicas, threads int, policies []string, shape tailbench.LoadShape, window time.Duration, cal *Calibration, opts Options) ([]*ShapeSeries, error) {
+	if shape == nil {
+		return nil, fmt.Errorf("sweep: ShapeComparison requires a load shape")
+	}
+	if len(policies) == 0 {
+		policies = tailbench.BalancerPolicies()
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	opts = opts.normalize()
+	if cal == nil {
+		var err error
+		cal, err = Calibrate(app, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var samples []time.Duration
+	if mode == tailbench.ModeSimulated {
+		samples = cal.ServiceSamples
+	}
+	var series []*ShapeSeries
+	for _, policy := range policies {
+		res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+			App:                 app,
+			Mode:                mode,
+			Policy:              policy,
+			Replicas:            replicas,
+			Threads:             threads,
+			Load:                shape,
+			Window:              window,
+			Requests:            opts.Requests,
+			Warmup:              opts.Warmup,
+			Scale:               opts.Scale,
+			Seed:                opts.Seed,
+			Validate:            opts.Validate,
+			CalibrationRequests: opts.CalibrationRequests,
+			ServiceSamples:      samples,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s cluster %s under %s: %w", app, policy, shape.Spec(), err)
+		}
+		s := &ShapeSeries{
+			App:        app,
+			Mode:       mode,
+			Policy:     policy,
+			Replicas:   replicas,
+			Threads:    threads,
+			Shape:      res.Shape,
+			ShapeSpec:  res.ShapeSpec,
+			Windows:    res.Windows,
+			OverallP99: res.Sojourn.P99,
+		}
+		for _, w := range res.Windows {
+			if w.P99 > s.PeakP99 {
+				s.PeakP99 = w.P99
+			}
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}

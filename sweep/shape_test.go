@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"tailbench"
+)
+
+func TestShapeComparisonSimulated(t *testing.T) {
+	opts := Quick()
+	opts.Requests = 3000
+	opts.Warmup = 300
+	shape := tailbench.Spike(400, 1200, time.Second, time.Second)
+	series, err := ShapeComparison("masstree", tailbench.ModeSimulated, 2, 1,
+		[]string{"random", "leastq"}, shape, 500*time.Millisecond, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	for _, s := range series {
+		if s.Shape != "spike" || s.ShapeSpec != shape.Spec() {
+			t.Errorf("%s: shape labels = %q/%q", s.Policy, s.Shape, s.ShapeSpec)
+		}
+		if len(s.Windows) == 0 {
+			t.Errorf("%s: no windowed series", s.Policy)
+		}
+		if s.PeakP99 <= 0 || s.PeakP99 < s.OverallP99/2 {
+			t.Errorf("%s: implausible peak p99 %v (overall %v)", s.Policy, s.PeakP99, s.OverallP99)
+		}
+		if s.Label() == "" {
+			t.Errorf("%s: empty label", s.Policy)
+		}
+	}
+}
+
+func TestShapeComparisonRequiresShape(t *testing.T) {
+	if _, err := ShapeComparison("masstree", tailbench.ModeSimulated, 2, 1, nil, nil, 0, nil, Quick()); err == nil {
+		t.Fatal("nil shape should be rejected")
+	}
+}

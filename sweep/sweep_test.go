@@ -67,9 +67,14 @@ func TestLatencyVsLoadCurve(t *testing.T) {
 	if len(curve.Points) != 2 {
 		t.Fatalf("points = %d", len(curve.Points))
 	}
-	lowP95, highP95 := curve.Points[0].P95, curve.Points[1].P95
-	if highP95 <= lowP95 {
-		t.Errorf("p95 at 85%% load (%v) should exceed p95 at 20%% load (%v) — the Fig. 3 shape", highP95, lowP95)
+	// Compare queuing delay, not sojourn p95: sojourn includes dispatcher
+	// lateness (measured from the scheduled instant, by design), and on a
+	// busy single-CPU machine an OS sleep overshoot at low load adds
+	// milliseconds of lateness noise that can swamp the queuing signal the
+	// Fig. 3 shape is about.
+	lowQ, highQ := curve.Points[0].QueueMean, curve.Points[1].QueueMean
+	if highQ <= lowQ {
+		t.Errorf("queuing at 85%% load (%v) should exceed queuing at 20%% load (%v) — the Fig. 3 shape", highQ, lowQ)
 	}
 	if curve.Label() == "" {
 		t.Error("label should be non-empty")

@@ -153,7 +153,17 @@ type RunSpec struct {
 	// Mode is the harness configuration.
 	Mode Mode
 	// QPS is the offered load; 0 means saturation (back-to-back requests).
+	// Shorthand for Load: Constant(QPS); ignored when Load is set.
 	QPS float64
+	// Load is the arrival process driving the open-loop traffic shaper:
+	// any built-in shape (Constant, Diurnal, Ramp, Spike, Burst, Trace) or
+	// a custom LoadShape. Nil means Constant(QPS).
+	Load LoadShape
+	// Window is the width of the time-windowed latency accounting in the
+	// result. Zero enables windows automatically (a twentieth of the run's
+	// horizon) when Load is time-varying and disables them for
+	// constant-rate runs; a negative value disables them entirely.
+	Window time.Duration
 	// Threads is the number of application worker threads (default 1).
 	Threads int
 	// Clients is the number of client connections for the loopback and
@@ -211,8 +221,15 @@ type CDFPoint struct {
 
 // Result is the outcome of a measurement run.
 type Result struct {
-	App         string
-	Mode        Mode
+	App  string
+	Mode Mode
+	// Shape names the arrival process family ("constant", "diurnal", ...)
+	// and ShapeSpec its canonical parameter encoding, re-parseable with
+	// ParseLoadShape, so saved results are self-describing.
+	Shape     string `json:",omitempty"`
+	ShapeSpec string `json:",omitempty"`
+	// OfferedQPS is the configured arrival rate — for time-varying shapes,
+	// the mean rate over the run's horizon.
 	OfferedQPS  float64
 	AchievedQPS float64
 	Threads     int
@@ -226,8 +243,12 @@ type Result struct {
 	// ServiceSamples and SojournSamples are present when KeepRaw was set.
 	ServiceSamples []time.Duration
 	SojournSamples []time.Duration
-	Elapsed        time.Duration
-	Runs           int
+	// Windows is the time-windowed latency series (see WindowStats);
+	// present when windowed accounting is enabled — automatic for
+	// time-varying load shapes, opt-in via RunSpec.Window otherwise.
+	Windows []WindowStats `json:",omitempty"`
+	Elapsed time.Duration
+	Runs    int
 	// P95CIRelative is the relative half-width of the 95% confidence
 	// interval of the p95 sojourn latency across repeated runs (0 if the run
 	// was not repeated).
@@ -254,6 +275,8 @@ func (s RunSpec) appConfig() app.Config {
 func (s RunSpec) runConfig() core.RunConfig {
 	return core.RunConfig{
 		QPS:            s.QPS,
+		Load:           s.Load,
+		Window:         s.Window,
 		Threads:        s.Threads,
 		Clients:        s.Clients,
 		Requests:       s.Requests,
@@ -320,6 +343,8 @@ func fromCore(spec RunSpec, res *core.Result) *Result {
 	out := &Result{
 		App:            res.App,
 		Mode:           spec.Mode,
+		Shape:          res.Shape,
+		ShapeSpec:      res.ShapeSpec,
 		OfferedQPS:     res.OfferedQPS,
 		AchievedQPS:    res.AchievedQPS,
 		Threads:        res.Threads,
@@ -341,6 +366,31 @@ func fromCore(spec RunSpec, res *core.Result) *Result {
 	}
 	for _, p := range res.SojournCDF {
 		out.SojournCDF = append(out.SojournCDF, CDFPoint{Value: p.Value, Cumulative: p.Cumulative})
+	}
+	out.Windows = fromWindowStats(res.Windows)
+	return out
+}
+
+// fromWindowStats converts the internal windowed series to the public type.
+func fromWindowStats(ws []stats.WindowStat) []WindowStats {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]WindowStats, len(ws))
+	for i, w := range ws {
+		out[i] = WindowStats{
+			Start:       w.Start,
+			End:         w.End,
+			Requests:    w.Requests,
+			Errors:      w.Errors,
+			OfferedQPS:  w.OfferedQPS,
+			AchievedQPS: w.AchievedQPS,
+			Mean:        w.Mean,
+			P50:         w.P50,
+			P95:         w.P95,
+			P99:         w.P99,
+			Max:         w.Max,
+		}
 	}
 	return out
 }
@@ -418,6 +468,8 @@ func runSimulated(spec RunSpec, f app.Factory) (*Result, error) {
 	}
 	simRes, err := model.Run(sim.RunParams{
 		QPS:         spec.QPS,
+		Load:        spec.Load,
+		Window:      spec.Window,
 		Threads:     threads,
 		Requests:    requests,
 		Warmup:      warmup,
@@ -430,8 +482,11 @@ func runSimulated(spec RunSpec, f app.Factory) (*Result, error) {
 	out := &Result{
 		App:         spec.App,
 		Mode:        ModeSimulated,
-		OfferedQPS:  spec.QPS,
-		AchievedQPS: spec.QPS,
+		Shape:       simRes.Shape,
+		ShapeSpec:   simRes.ShapeSpec,
+		OfferedQPS:  simRes.QPS,
+		AchievedQPS: simRes.QPS,
+		Windows:     fromWindowStats(simRes.Windows),
 		Threads:     threads,
 		Requests:    simRes.Sojourn.Count,
 		Queue:       fromSummary(simRes.Queue),

@@ -15,6 +15,46 @@ import (
 // (power-of-two-choices).
 func BalancerPolicies() []string { return cluster.Policies() }
 
+// ControllerPolicies returns the names of the built-in autoscaling
+// controller policies: static (hold the initial count), threshold
+// (queue-depth hysteresis), and target-p95 (windowed tail-latency goal).
+func ControllerPolicies() []string { return cluster.Controllers() }
+
+// AutoscaleSpec enables and parameterizes the replica autoscaling
+// controller of a cluster run. Each control interval the controller
+// observes per-replica queue depth and the interval's p95 sojourn and
+// returns a target active replica count; the harness provisions new
+// replicas or drains existing ones (a draining replica finishes the work it
+// has accepted, then retires) to move toward it. The control loop is driven
+// identically in wall-clock time (integrated mode) and virtual time
+// (simulated mode), so controllers tuned in fast deterministic simulation
+// transfer unchanged to live runs.
+type AutoscaleSpec struct {
+	// Policy is the controller policy (see ControllerPolicies; default
+	// static).
+	Policy string
+	// MinReplicas and MaxReplicas bound the active replica count.
+	// Defaults: MinReplicas 1; MaxReplicas twice the initial Replicas (and
+	// never below it). MaxReplicas is also the provisioned server pool
+	// size in integrated mode — replicas beyond the initial count are
+	// pre-built warm standbys, so mid-run provisioning does not perturb
+	// dispatch timing.
+	MinReplicas int
+	MaxReplicas int
+	// Interval is the control-tick period (default 100ms — wall-clock for
+	// integrated runs, virtual time for simulated ones).
+	Interval time.Duration
+	// HighDepth and LowDepth are the threshold policy's hysteresis marks
+	// on mean outstanding requests per active replica (defaults 3 and
+	// 0.5): above HighDepth the controller scales up proportionally to the
+	// backlog, below LowDepth it drains one replica per tick.
+	HighDepth float64
+	LowDepth  float64
+	// TargetP95 is the target-p95 policy's goal for each control
+	// interval's p95 sojourn (default 10ms).
+	TargetP95 time.Duration
+}
+
 // ClusterSpec describes one multi-replica measurement: N replica servers of
 // the same application behind a load balancer, driven by the same open-loop
 // methodology as single-server runs (sojourn time measured from scheduled
@@ -48,7 +88,9 @@ type ClusterSpec struct {
 	Window time.Duration
 	// Requests is the number of measured requests (default 1000).
 	Requests int
-	// Warmup is the number of discarded warmup requests (default 10%).
+	// Warmup is the number of discarded warmup requests. Zero means the
+	// default of 10% of Requests; a negative value means no warmup at all
+	// (the explicit-zero spelling, since 0 is taken by the default).
 	Warmup int
 	// Scale shrinks or grows the application dataset (default 1.0).
 	Scale float64
@@ -60,8 +102,15 @@ type ClusterSpec struct {
 	Validate bool
 	// Slowdowns optionally assigns each replica a service-time inflation
 	// factor for straggler studies; empty means all replicas run at nominal
-	// speed, otherwise its length must equal Replicas.
+	// speed, otherwise its length must equal Replicas — or, when Autoscale
+	// is set, the replica pool size (Autoscale.MaxReplicas), since a
+	// replica provisioned mid-run inherits the factor of the pool slot
+	// backing it.
 	Slowdowns []float64
+	// Autoscale enables the replica autoscaling controller; nil keeps the
+	// membership fixed at Replicas for the whole run. With Autoscale set,
+	// Replicas is the initial active count.
+	Autoscale *AutoscaleSpec
 	// QueueCap bounds each replica's request queue (integrated mode;
 	// default 4096).
 	QueueCap int
@@ -74,13 +123,29 @@ type ClusterSpec struct {
 	ServiceSamples []time.Duration
 }
 
-// ReplicaResult is the per-replica breakdown of a cluster run.
+// ReplicaResult is the per-replica breakdown of a cluster run: one row per
+// replica ever provisioned, including replicas drained and retired mid-run
+// by the autoscaling controller.
 type ReplicaResult struct {
-	Index      int
-	Slowdown   float64
-	Dispatched uint64
-	Requests   uint64
-	Errors     uint64
+	// Index is the replica's stable ID (assigned in provisioning order and
+	// never reused within a run).
+	Index int
+	// Slot is the pool slot that backed the replica; slots are reused
+	// after retirement.
+	Slot int
+	// State is the replica's lifecycle state at the end of the run:
+	// "active", "draining", or "retired".
+	State string
+	// ProvisionedAt and RetiredAt bound the replica's lifetime as offsets
+	// from the start of the run (RetiredAt is zero for replicas still
+	// provisioned at the end); Lifetime is the provisioned span.
+	ProvisionedAt time.Duration
+	RetiredAt     time.Duration `json:",omitempty"`
+	Lifetime      time.Duration
+	Slowdown      float64
+	Dispatched    uint64
+	Requests      uint64
+	Errors        uint64
 	// AchievedQPS is the replica's measured completion rate over the
 	// cluster-wide measurement interval (per-replica rates sum to the
 	// aggregate rate).
@@ -125,14 +190,45 @@ type ClusterResult struct {
 	// time-varying load shapes, opt-in via ClusterSpec.Window otherwise.
 	Windows []WindowStats `json:",omitempty"`
 	Elapsed time.Duration
-	// PerReplica is the per-replica breakdown, indexed by replica.
+	// Controller names the autoscaling policy that drove the run (empty
+	// for a fixed cluster), with MinReplicas/MaxReplicas its clamp bounds
+	// and ControlInterval its tick period.
+	Controller      string        `json:",omitempty"`
+	MinReplicas     int           `json:",omitempty"`
+	MaxReplicas     int           `json:",omitempty"`
+	ControlInterval time.Duration `json:",omitempty"`
+	// PeakReplicas is the largest number of simultaneously provisioned
+	// replicas, and ReplicaSeconds integrates the provisioned replica
+	// count over the run — the provisioning cost the run's SLO attainment
+	// was bought at. Both are filled for fixed clusters too (where
+	// ReplicaSeconds is simply Replicas times the run length), so static
+	// baselines and autoscaled runs compare directly.
+	PeakReplicas   int
+	ReplicaSeconds float64
+	// ScalingEvents is the controller's decision timeline: one entry per
+	// control tick that changed the active replica count.
+	ScalingEvents []ScalingEvent `json:",omitempty"`
+	// PerReplica is the per-replica breakdown, indexed by stable replica
+	// ID.
 	PerReplica []ReplicaResult
+}
+
+// ScalingEvent is one autoscaling decision that changed the active replica
+// count: at offset At, the active count moved From -> To.
+type ScalingEvent struct {
+	At   time.Duration
+	From int
+	To   int
 }
 
 // String renders a one-line summary.
 func (r *ClusterResult) String() string {
-	return fmt.Sprintf("%s [cluster %s x%d, %s] threads=%d qps=%.1f p95=%v p99=%v n=%d err=%d",
-		r.App, r.Policy, r.Replicas, r.Mode, r.Threads, r.OfferedQPS,
+	elastic := ""
+	if r.Controller != "" {
+		elastic = fmt.Sprintf(" %s[%d..%d] peak=%d", r.Controller, r.MinReplicas, r.MaxReplicas, r.PeakReplicas)
+	}
+	return fmt.Sprintf("%s [cluster %s x%d, %s]%s threads=%d qps=%.1f p95=%v p99=%v n=%d err=%d",
+		r.App, r.Policy, r.Replicas, r.Mode, elastic, r.Threads, r.OfferedQPS,
 		r.Sojourn.P95.Round(time.Microsecond), r.Sojourn.P99.Round(time.Microsecond),
 		r.Requests, r.Errors)
 }
@@ -145,11 +241,11 @@ func (r *ClusterResult) String() string {
 // view prints full queue/service/sojourn rows, the replay a compact
 // header).
 func (r *ClusterResult) WriteReplicaTable(w io.Writer) {
-	fmt.Fprintf(w, "%-8s %-6s %-10s %-10s %-12s %-12s %-10s %s\n",
-		"replica", "slow", "dispatched", "qps", "p95", "p99", "mean_depth", "max_depth")
+	fmt.Fprintf(w, "%-8s %-9s %-10s %-6s %-10s %-10s %-12s %-12s %-10s %s\n",
+		"replica", "state", "lifetime", "slow", "dispatched", "qps", "p95", "p99", "mean_depth", "max_depth")
 	for _, rep := range r.PerReplica {
-		fmt.Fprintf(w, "%-8d %-6.2f %-10d %-10.1f %-12v %-12v %-10.2f %d\n",
-			rep.Index, rep.Slowdown, rep.Dispatched, rep.AchievedQPS,
+		fmt.Fprintf(w, "%-8d %-9s %-10v %-6.2f %-10d %-10.1f %-12v %-12v %-10.2f %d\n",
+			rep.Index, rep.State, rep.Lifetime.Round(time.Millisecond), rep.Slowdown, rep.Dispatched, rep.AchievedQPS,
 			rep.Sojourn.P95.Round(time.Microsecond), rep.Sojourn.P99.Round(time.Microsecond),
 			rep.MeanQueueDepth, rep.MaxQueueDepth)
 	}
@@ -183,7 +279,61 @@ func (s ClusterSpec) normalize() ClusterSpec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.Autoscale != nil {
+		// Resolve the policy name and pool bounds here so the server pool,
+		// the slowdown validation, the policy probe, and the internal
+		// engines all agree on them.
+		a := *s.Autoscale
+		if a.Policy == "" {
+			a.Policy = "static"
+		}
+		if a.MinReplicas <= 0 {
+			a.MinReplicas = 1
+		}
+		if a.MaxReplicas <= 0 {
+			a.MaxReplicas = 2 * s.Replicas
+		}
+		if a.MaxReplicas < s.Replicas {
+			a.MaxReplicas = s.Replicas
+		}
+		if a.MinReplicas > a.MaxReplicas {
+			a.MinReplicas = a.MaxReplicas
+		}
+		s.Autoscale = &a
+	}
 	return s
+}
+
+// poolSize is the number of replica slots a run provisions resources for:
+// the fixed replica count, or the autoscaler's MaxReplicas.
+func (s ClusterSpec) poolSize() int {
+	if s.Autoscale != nil {
+		return s.Autoscale.MaxReplicas
+	}
+	return s.Replicas
+}
+
+// ReplicaPool returns the number of replica slots the spec will provision
+// resources for after defaulting: Replicas for a fixed cluster, the
+// resolved Autoscale.MaxReplicas for an elastic one. Slowdowns must have
+// exactly this length (when non-empty); the CLI uses it to size straggler
+// vectors without duplicating the defaulting rules.
+func (s ClusterSpec) ReplicaPool() int { return s.normalize().poolSize() }
+
+// autoscaleConfig converts the public sub-spec to the internal one.
+func (s ClusterSpec) autoscaleConfig() *cluster.AutoscaleConfig {
+	if s.Autoscale == nil {
+		return nil
+	}
+	return &cluster.AutoscaleConfig{
+		Policy:      s.Autoscale.Policy,
+		MinReplicas: s.Autoscale.MinReplicas,
+		MaxReplicas: s.Autoscale.MaxReplicas,
+		Interval:    s.Autoscale.Interval,
+		HighDepth:   s.Autoscale.HighDepth,
+		LowDepth:    s.Autoscale.LowDepth,
+		TargetP95:   s.Autoscale.TargetP95,
+	}
 }
 
 // RunCluster executes one cluster measurement according to the spec.
@@ -198,7 +348,15 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := validateSlowdowns(spec.Slowdowns, spec.Replicas); err != nil {
+	if spec.Autoscale != nil {
+		// Reject unknown controller policies before any (expensive) replica
+		// server is built; the engines would catch this too, but later.
+		// normalize has already resolved an empty policy to the default.
+		if _, err := cluster.NewController(cluster.AutoscaleConfig{Policy: spec.Autoscale.Policy}, spec.Replicas); err != nil {
+			return nil, err
+		}
+	}
+	if err := validateSlowdowns(spec.Slowdowns, spec.poolSize(), spec.Autoscale != nil); err != nil {
 		return nil, err
 	}
 	switch spec.Mode {
@@ -214,13 +372,18 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 // validateSlowdowns checks a straggler-injection vector once, at the API
 // boundary, so both the integrated and simulated paths reject bad input with
 // the same clear message (the CLI surfaces it verbatim): the vector must be
-// as long as the cluster, and every factor must be a finite number >= 0
-// (factors below 1 mean nominal speed; negative service time is
-// meaningless).
-func validateSlowdowns(slowdowns []float64, replicas int) error {
-	if len(slowdowns) != 0 && len(slowdowns) != replicas {
-		return fmt.Errorf("tailbench: len(ClusterSpec.Slowdowns) = %d, must equal Replicas = %d",
-			len(slowdowns), replicas)
+// as long as the replica pool (Replicas for a fixed cluster, the
+// autoscaler's MaxReplicas for an elastic one), and every factor must be a
+// finite number >= 0 (factors below 1 mean nominal speed; negative service
+// time is meaningless).
+func validateSlowdowns(slowdowns []float64, pool int, elastic bool) error {
+	if len(slowdowns) != 0 && len(slowdowns) != pool {
+		bound := "Replicas"
+		if elastic {
+			bound = "the replica pool (Autoscale.MaxReplicas)"
+		}
+		return fmt.Errorf("tailbench: len(ClusterSpec.Slowdowns) = %d, must equal %s = %d",
+			len(slowdowns), bound, pool)
 	}
 	for r, s := range slowdowns {
 		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
@@ -230,9 +393,12 @@ func validateSlowdowns(slowdowns []float64, replicas int) error {
 	return nil
 }
 
-// runClusterIntegrated builds N real replica servers and drives them live.
+// runClusterIntegrated builds the real replica server pool (the initial
+// replicas plus, when autoscaling, warm standbys up to MaxReplicas) and
+// drives it live.
 func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, error) {
-	servers := make([]app.Server, 0, spec.Replicas)
+	pool := spec.poolSize()
+	servers := make([]app.Server, 0, pool)
 	defer func() {
 		for _, s := range servers {
 			s.Close()
@@ -243,7 +409,7 @@ func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, erro
 	// the same config (mirroring the single-server path) or queries would
 	// target data no replica holds.
 	cfg := app.Config{Threads: spec.Threads, Scale: spec.Scale, Seed: spec.Seed}.Normalize()
-	for r := 0; r < spec.Replicas; r++ {
+	for r := 0; r < pool; r++ {
 		server, err := f.NewServer(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("tailbench: building %s replica %d: %w", spec.App, r, err)
@@ -265,6 +431,8 @@ func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, erro
 			KeepRaw:        spec.KeepRaw,
 			Validate:       spec.Validate,
 			Slowdowns:      spec.Slowdowns,
+			Replicas:       spec.Replicas,
+			Autoscale:      spec.autoscaleConfig(),
 		})
 	if err != nil {
 		return nil, err
@@ -288,7 +456,7 @@ func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
 			return nil, fmt.Errorf("tailbench: calibrating %s: %w", spec.App, err)
 		}
 	}
-	replicas := make([]cluster.SimReplica, spec.Replicas)
+	replicas := make([]cluster.SimReplica, spec.poolSize())
 	for r := range replicas {
 		replicas[r] = cluster.SimReplica{Service: cluster.EmpiricalService{Samples: samples}}
 		if r < len(spec.Slowdowns) {
@@ -296,17 +464,19 @@ func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
 		}
 	}
 	res, err := cluster.Simulate(cluster.SimConfig{
-		App:            spec.App,
-		Policy:         spec.Policy,
-		Threads:        spec.Threads,
-		QPS:            spec.QPS,
-		Load:           spec.Load,
-		Window:         spec.Window,
-		Requests:       spec.Requests,
-		WarmupRequests: spec.Warmup,
-		Seed:           spec.Seed,
-		KeepRaw:        spec.KeepRaw,
-		Replicas:       replicas,
+		App:             spec.App,
+		Policy:          spec.Policy,
+		Threads:         spec.Threads,
+		QPS:             spec.QPS,
+		Load:            spec.Load,
+		Window:          spec.Window,
+		Requests:        spec.Requests,
+		WarmupRequests:  spec.Warmup,
+		Seed:            spec.Seed,
+		KeepRaw:         spec.KeepRaw,
+		Replicas:        replicas,
+		InitialReplicas: spec.Replicas,
+		Autoscale:       spec.autoscaleConfig(),
 	})
 	if err != nil {
 		return nil, err
@@ -317,24 +487,33 @@ func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
 // fromClusterResult converts the internal cluster result to the public type.
 func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 	out := &ClusterResult{
-		App:            res.App,
-		Mode:           spec.Mode,
-		Policy:         res.Policy,
-		Replicas:       res.Replicas,
-		Threads:        res.Threads,
-		Shape:          res.Shape,
-		ShapeSpec:      res.ShapeSpec,
-		OfferedQPS:     res.OfferedQPS,
-		AchievedQPS:    res.AchievedQPS,
-		Requests:       res.Requests,
-		Errors:         res.Errors,
-		Queue:          fromSummary(res.Queue),
-		Service:        fromSummary(res.Service),
-		Sojourn:        fromSummary(res.Sojourn),
-		ServiceSamples: res.ServiceSamples,
-		SojournSamples: res.SojournSamples,
-		Windows:        fromWindowStats(res.Windows),
-		Elapsed:        res.Elapsed,
+		App:             res.App,
+		Mode:            spec.Mode,
+		Policy:          res.Policy,
+		Replicas:        res.Replicas,
+		Threads:         res.Threads,
+		Shape:           res.Shape,
+		ShapeSpec:       res.ShapeSpec,
+		OfferedQPS:      res.OfferedQPS,
+		AchievedQPS:     res.AchievedQPS,
+		Requests:        res.Requests,
+		Errors:          res.Errors,
+		Queue:           fromSummary(res.Queue),
+		Service:         fromSummary(res.Service),
+		Sojourn:         fromSummary(res.Sojourn),
+		ServiceSamples:  res.ServiceSamples,
+		SojournSamples:  res.SojournSamples,
+		Windows:         fromWindowStats(res.Windows),
+		Elapsed:         res.Elapsed,
+		Controller:      res.Controller,
+		MinReplicas:     res.MinReplicas,
+		MaxReplicas:     res.MaxReplicas,
+		ControlInterval: res.ControlInterval,
+		PeakReplicas:    res.PeakReplicas,
+		ReplicaSeconds:  res.ReplicaSeconds,
+	}
+	for _, ev := range res.ScalingEvents {
+		out.ScalingEvents = append(out.ScalingEvents, ScalingEvent{At: ev.At, From: ev.From, To: ev.To})
 	}
 	for _, p := range res.ServiceCDF {
 		out.ServiceCDF = append(out.ServiceCDF, CDFPoint{Value: p.Value, Cumulative: p.Cumulative})
@@ -345,6 +524,11 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 	for _, rs := range res.PerReplica {
 		out.PerReplica = append(out.PerReplica, ReplicaResult{
 			Index:          rs.Index,
+			Slot:           rs.Slot,
+			State:          rs.State,
+			ProvisionedAt:  rs.ProvisionedAt,
+			RetiredAt:      rs.RetiredAt,
+			Lifetime:       rs.Lifetime,
 			Slowdown:       rs.Slowdown,
 			Dispatched:     rs.Dispatched,
 			Requests:       rs.Requests,

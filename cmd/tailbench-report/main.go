@@ -97,6 +97,12 @@ func printClusterReport(res *tailbench.ClusterResult) {
 	if res.Shape != "" && res.Shape != "constant" {
 		fmt.Printf("load shape: %s\n", res.ShapeSpec)
 	}
+	if res.Controller != "" {
+		fmt.Printf("autoscale: %s controller [%d..%d replicas], tick %v\n",
+			res.Controller, res.MinReplicas, res.MaxReplicas, res.ControlInterval)
+		fmt.Printf("elasticity: peak %d replicas, %.1f replica-seconds, %d scaling events\n",
+			res.PeakReplicas, res.ReplicaSeconds, len(res.ScalingEvents))
+	}
 	fmt.Printf("offered %.1f qps, achieved %.1f qps, %d requests (%d errors)\n",
 		res.OfferedQPS, res.AchievedQPS, res.Requests, res.Errors)
 	fmt.Printf("sojourn: mean=%v p50=%v p95=%v p99=%v max=%v\n",

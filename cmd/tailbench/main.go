@@ -10,6 +10,12 @@
 // pluggable load balancer instead:
 //
 //	tailbench cluster -app masstree -policy jsq2 -replicas 4 -qps 8000 -slow 0:3
+//
+// With -autoscale, a controller grows and drains the replica set mid-run as
+// the load shape plays out:
+//
+//	tailbench cluster -app xapian -mode simulated -replicas 2 \
+//	  -autoscale threshold -max-replicas 8 -shape spike:1000,6000,2s,2s
 package main
 
 import (
@@ -39,7 +45,7 @@ func main() {
 		threads  = flag.Int("threads", 1, "application worker threads")
 		clients  = flag.Int("clients", 0, "client connections for loopback/networked modes (0 = auto)")
 		requests = flag.Int("requests", 2000, "measured requests")
-		warmup   = flag.Int("warmup", 0, "warmup requests (0 = 10% of requests)")
+		warmup   = flag.Int("warmup", 0, "warmup requests (0 = 10% of requests, negative = none)")
 		scale    = flag.Float64("scale", 1.0, "application dataset scale")
 		seed     = flag.Int64("seed", 1, "random seed")
 		repeats  = flag.Int("repeats", 1, "repeated runs with fresh seeds")
@@ -154,12 +160,20 @@ func runCluster(args []string) {
 		shapeArg = fs.String("shape", "", "time-varying load shape, e.g. spike:500,1500,5s,2s (overrides -qps; see tailbench.ParseLoadShape)")
 		window   = fs.Duration("window", 0, "windowed latency accounting width (0 = automatic for time-varying shapes)")
 		requests = fs.Int("requests", 2000, "measured requests")
-		warmup   = fs.Int("warmup", 0, "warmup requests (0 = 10% of requests)")
+		warmup   = fs.Int("warmup", 0, "warmup requests (0 = 10% of requests, negative = none)")
 		scale    = fs.Float64("scale", 1.0, "application dataset scale")
 		seed     = fs.Int64("seed", 1, "random seed")
 		validate = fs.Bool("validate", false, "validate every response (integrated mode)")
 		slow     = fs.String("slow", "", "straggler injection as comma-separated index:factor pairs, e.g. 0:3,2:1.5")
 		jsonOut  = fs.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
+
+		autoscale = fs.String("autoscale", "", "autoscaling controller policy: "+strings.Join(tailbench.ControllerPolicies(), ", ")+" (empty = fixed membership)")
+		minRepl   = fs.Int("min-replicas", 0, "autoscaler lower bound on active replicas (0 = 1)")
+		maxRepl   = fs.Int("max-replicas", 0, "autoscaler upper bound / warm pool size (0 = 2x -replicas)")
+		interval  = fs.Duration("control-interval", 0, "autoscaler control-tick period (0 = 100ms)")
+		scaleHigh = fs.Float64("scale-high", 0, "threshold policy: scale up above this mean queue depth per replica (0 = 3)")
+		scaleLow  = fs.Float64("scale-low", 0, "threshold policy: drain below this mean queue depth per replica (0 = 0.5)")
+		targetP95 = fs.Duration("target-p95", 0, "target-p95 policy: windowed p95 sojourn goal (0 = 10ms)")
 	)
 	fs.Parse(args)
 
@@ -168,17 +182,30 @@ func runCluster(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	slowdowns, err := parseSlowdowns(*slow, *replicas)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tailbench:", err)
-		os.Exit(2)
-	}
 	shape, err := parseShape(*shapeArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(2)
 	}
-	res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+	var autoSpec *tailbench.AutoscaleSpec
+	if *autoscale != "" {
+		autoSpec = &tailbench.AutoscaleSpec{
+			Policy:      *autoscale,
+			MinReplicas: *minRepl,
+			MaxReplicas: *maxRepl,
+			Interval:    *interval,
+			HighDepth:   *scaleHigh,
+			LowDepth:    *scaleLow,
+			TargetP95:   *targetP95,
+		}
+	} else if *minRepl != 0 || *maxRepl != 0 || *interval != 0 || *scaleHigh != 0 || *scaleLow != 0 || *targetP95 != 0 {
+		// Tuning flags without a controller would be silently ignored and
+		// the run would stay a fixed cluster — almost certainly not what
+		// the user meant.
+		fmt.Fprintln(os.Stderr, "tailbench: autoscaler tuning flags require -autoscale <policy> ("+strings.Join(tailbench.ControllerPolicies(), ", ")+")")
+		os.Exit(2)
+	}
+	spec := tailbench.ClusterSpec{
 		App:       *appName,
 		Mode:      m,
 		Policy:    *policy,
@@ -192,8 +219,19 @@ func runCluster(args []string) {
 		Scale:     *scale,
 		Seed:      *seed,
 		Validate:  *validate,
-		Slowdowns: slowdowns,
-	})
+		Autoscale: autoSpec,
+	}
+	// Straggler factors are per pool slot: with autoscaling the pool is the
+	// autoscaler's resolved upper bound, not just the initial replica
+	// count. ReplicaPool applies the spec's own defaulting, so -slow is
+	// validated against exactly the pool RunCluster will build.
+	slowdowns, err := parseSlowdowns(*slow, spec.ReplicaPool())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
+	spec.Slowdowns = slowdowns
+	res, err := tailbench.RunCluster(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(1)
@@ -264,6 +302,12 @@ func printClusterResult(res *tailbench.ClusterResult) {
 	}
 	fmt.Printf("policy      : %s\n", res.Policy)
 	fmt.Printf("replicas    : %d x %d threads\n", res.Replicas, res.Threads)
+	if res.Controller != "" {
+		fmt.Printf("autoscale   : %s [%d..%d], tick %v\n",
+			res.Controller, res.MinReplicas, res.MaxReplicas, res.ControlInterval)
+		fmt.Printf("elasticity  : peak %d replicas, %.1f replica-seconds, %d scaling events\n",
+			res.PeakReplicas, res.ReplicaSeconds, len(res.ScalingEvents))
+	}
 	fmt.Printf("offered QPS : %.1f\n", res.OfferedQPS)
 	fmt.Printf("achieved QPS: %.1f\n", res.AchievedQPS)
 	fmt.Printf("requests    : %d (errors %d)\n", res.Requests, res.Errors)

@@ -1,0 +1,157 @@
+// Autoscale: ride a flash-crowd spike with an elastic replica set and
+// compare provisioning strategies on the two axes that matter for a
+// latency-critical service — the worst windowed p99 (did we hold the SLO
+// through the spike?) and replica-seconds (what did the capacity cost?).
+//
+// Four ways to run the same 4-replica-class xapian (online search) workload
+// under a spike from ~50% to ~270% of one replica's capacity:
+//
+//   - static-base: provisioned for the base load (1 replica). Cheapest, and
+//     the spike destroys its tail — the under-provisioning mistake.
+//   - static-peak: provisioned for the crest (4 replicas, ~35% headroom at
+//     peak). The tail is flat, but most of the fleet idles outside the
+//     spike — the over-provisioning mistake.
+//   - threshold: starts at 1 replica; a queue-depth hysteresis controller
+//     grows the set as the spike hits and drains it afterwards.
+//   - target-p95: starts at 1 replica; a controller stepping on the
+//     per-tick windowed p95 against an SLO.
+//
+// Everything runs in deterministic virtual time from one calibration, so
+// the whole study takes seconds and reproduces exactly at the fixed seed.
+// The figure of merit: the threshold controller's peak windowed p99 lands
+// near static-peak's at a fraction of its replica-seconds (the same
+// contrast asserted by TestAutoscaleSpikeAcceptance on synthetic service
+// times).
+//
+// With -json, a machine-readable summary of every case is written as well;
+// CI runs this in short mode and uploads it as the BENCH_autoscale.json
+// artifact to track the elasticity trade-off over time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"tailbench"
+	"tailbench/sweep"
+)
+
+const app = "xapian"
+
+// caseSummary is the machine-readable record of one case, written by -json.
+type caseSummary struct {
+	Name           string
+	Replicas       int
+	PeakReplicas   int
+	PeakP99        time.Duration
+	OverallP99     time.Duration
+	ReplicaSeconds float64
+	ScalingEvents  int
+}
+
+func main() {
+	var (
+		requests = flag.Int("requests", 14000, "measured requests")
+		scale    = flag.Float64("scale", 0.1, "application dataset scale")
+		seed     = flag.Int64("seed", 1, "random seed")
+		jsonOut  = flag.String("json", "", "write a machine-readable study summary to this file (\"-\" for stdout)")
+	)
+	flag.Parse()
+
+	opts := sweep.Options{
+		Scale:    *scale,
+		Requests: *requests,
+		Warmup:   *requests / 10,
+		Seed:     *seed,
+	}
+	cal, err := sweep.Calibrate(app, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sat := math.Round(cal.SaturationQPS)
+	// Time base sized so the request budget covers the whole profile at the
+	// spike's ~1.1x-of-one-replica mean load.
+	horizon := time.Duration(float64(*requests+opts.Warmup) / (1.1 * sat) * float64(time.Second))
+	window := (horizon / 12).Round(10 * time.Microsecond)
+	shape := tailbench.Spike(math.Round(0.5*sat), math.Round(2.7*sat), horizon/3, horizon/3)
+	fmt.Printf("%s: one replica saturates at ~%.0f QPS; spike %s\n", app, sat, shape.Spec())
+	fmt.Printf("time base: %v horizon, %v windows (virtual time)\n\n", horizon.Round(10*time.Microsecond), window)
+
+	interval := horizon / 200
+	cases := []sweep.ControllerCase{
+		{Name: "static-base", Replicas: 1},
+		{Name: "static-peak", Replicas: 4},
+		{Name: "threshold", Replicas: 1, Autoscale: &tailbench.AutoscaleSpec{
+			Policy: "threshold", MinReplicas: 1, MaxReplicas: 4,
+			Interval: interval, HighDepth: 1.5, LowDepth: 0.4,
+		}},
+		{Name: "target-p95", Replicas: 1, Autoscale: &tailbench.AutoscaleSpec{
+			Policy: "target-p95", MinReplicas: 1, MaxReplicas: 4,
+			Interval: interval, TargetP95: 8 * cal.Service.P95,
+		}},
+	}
+	series, err := sweep.ControllerComparison(app, tailbench.ModeSimulated, "leastq",
+		cases, shape, window, cal, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var peakProv *sweep.ControllerSeries
+	for _, s := range series {
+		if s.Case.Name == "static-peak" {
+			peakProv = s
+		}
+	}
+	fmt.Printf("%-12s %-14s %-14s %-10s %-16s %s\n",
+		"case", "peak_win_p99", "vs static-peak", "peak_repl", "replica_seconds", "cost vs static-peak")
+	summaries := make([]caseSummary, 0, len(series))
+	for _, s := range series {
+		p99Ratio := float64(s.PeakP99) / float64(peakProv.PeakP99)
+		costRatio := s.ReplicaSeconds / peakProv.ReplicaSeconds
+		fmt.Printf("%-12s %-14v %-14s %-10d %-16.1f %.0f%%\n",
+			s.Case.Name, s.PeakP99.Round(time.Microsecond), fmt.Sprintf("%.2fx", p99Ratio),
+			s.PeakReplicas, s.ReplicaSeconds, 100*costRatio)
+		summaries = append(summaries, caseSummary{
+			Name:           s.Case.Name,
+			Replicas:       s.Case.Replicas,
+			PeakReplicas:   s.PeakReplicas,
+			PeakP99:        s.PeakP99,
+			OverallP99:     s.OverallP99,
+			ReplicaSeconds: s.ReplicaSeconds,
+			ScalingEvents:  s.ScalingEvents,
+		})
+	}
+
+	for _, s := range series {
+		if s.Case.Autoscale == nil {
+			continue
+		}
+		fmt.Printf("\n%s, window by window (repl is the mean provisioned replica count):\n", s.Case.Name)
+		tailbench.WriteWindowTable(os.Stdout, s.Windows)
+	}
+
+	if *jsonOut != "" {
+		payload := struct {
+			App       string
+			ShapeSpec string
+			Seed      int64
+			Requests  int
+			Cases     []caseSummary
+		}{App: app, ShapeSpec: shape.Spec(), Seed: *seed, Requests: *requests, Cases: summaries}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

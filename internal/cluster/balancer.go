@@ -1,13 +1,16 @@
-// Package cluster implements the multi-replica serving harness: N replica
-// servers, each with its own worker pool and bounded request queue, behind a
-// pluggable load balancer. It extends the single-server TailBench
-// methodology (open-loop arrivals, sojourn time measured from scheduled
-// arrival instants) to the cluster setting, enabling replica-scaling,
-// balancer-policy, and straggler studies that a single-node harness cannot
-// express. Two execution paths are provided: a live path that drives real
-// app.Server replicas (cluster.Run), and a deterministic virtual-time
-// discrete-event path (cluster.Simulate) for fast, reproducible experiments
-// and tests.
+// Package cluster implements the multi-replica serving harness: a dynamic
+// set of replica servers, each with its own worker pool and bounded request
+// queue, behind a pluggable load balancer, with an optional autoscaling
+// controller that grows and shrinks the replica set mid-run. It extends the
+// single-server TailBench methodology (open-loop arrivals, sojourn time
+// measured from scheduled arrival instants) to the cluster setting, enabling
+// replica-scaling, balancer-policy, straggler, and elasticity studies that a
+// single-node harness cannot express. Two execution paths are provided: a
+// live path that drives real app.Server replicas (cluster.Run), and a
+// deterministic virtual-time discrete-event path (cluster.Simulate) for
+// fast, reproducible experiments and tests. Both paths share the ReplicaSet
+// membership layer, so replica lifecycle (provision → active → draining →
+// retired) behaves identically in wall-clock and virtual time.
 package cluster
 
 import (
@@ -17,17 +20,28 @@ import (
 	"tailbench/internal/workload"
 )
 
+// Candidate is one routable replica in the snapshot a balancer picks over:
+// an active member of the replica set and its outstanding request count
+// (queued plus in service) observed at the arrival instant.
+type Candidate struct {
+	// ID is the replica's stable identity (see Member.ID). IDs are unique
+	// for the lifetime of a run, so a balancer can key internal state by ID
+	// and stay consistent across membership changes.
+	ID int
+	// Outstanding is the replica's queued-plus-in-service request count.
+	Outstanding int
+}
+
 // Balancer selects the replica each arriving request is dispatched to. Pick
-// receives the per-replica count of outstanding requests (queued plus in
-// service) observed at the arrival instant and returns a replica index.
-// Balancers are driven by the single dispatcher goroutine and need not be
-// safe for concurrent use.
+// receives the snapshot of active (routable) replicas in ascending ID order
+// — draining and retired replicas are never offered — and returns the chosen
+// replica's ID. The snapshot is never empty. Balancers are driven by the
+// single dispatcher goroutine and need not be safe for concurrent use.
 type Balancer interface {
 	// Name returns the policy name ("random", "roundrobin", ...).
 	Name() string
-	// Pick selects a replica given per-replica outstanding request counts.
-	// len(outstanding) is the replica count and is the same on every call.
-	Pick(outstanding []int) int
+	// Pick selects one of the candidates and returns its replica ID.
+	Pick(candidates []Candidate) int
 }
 
 // Policy names accepted by NewBalancer.
@@ -43,66 +57,85 @@ func Policies() []string {
 	return []string{PolicyRandom, PolicyRoundRobin, PolicyLeastQueue, PolicyJSQ2}
 }
 
+// balancerSeedStream is the SplitSeed stream index every seeded balancer
+// derives its RNG from. Keeping the derivation in one place guarantees the
+// live and virtual-time engines (and any future balancer) draw from the same
+// stream for the same run seed, so policy comparisons stay aligned across
+// paths.
+const balancerSeedStream = 7
+
+// balancerRand builds the seeded RNG a balancer's random choices come from.
+func balancerRand(seed int64) *rand.Rand {
+	return workload.NewRand(workload.SplitSeed(seed, balancerSeedStream))
+}
+
 // NewBalancer constructs a balancer by policy name. seed drives the random
-// choices of the random and jsq2 policies; roundrobin and leastq ignore it.
+// choices of the random, leastq (tie-breaks), and jsq2 policies; roundrobin
+// ignores it.
 func NewBalancer(policy string, seed int64) (Balancer, error) {
 	switch policy {
 	case PolicyRandom:
-		return &randomBalancer{r: workload.NewRand(workload.SplitSeed(seed, 7))}, nil
+		return &randomBalancer{r: balancerRand(seed)}, nil
 	case PolicyRoundRobin:
 		return &roundRobinBalancer{}, nil
 	case PolicyLeastQueue:
-		return &leastQueueBalancer{r: workload.NewRand(workload.SplitSeed(seed, 7))}, nil
+		return &leastQueueBalancer{r: balancerRand(seed)}, nil
 	case PolicyJSQ2:
-		return &jsq2Balancer{r: workload.NewRand(workload.SplitSeed(seed, 7))}, nil
+		return &jsq2Balancer{r: balancerRand(seed)}, nil
 	default:
 		return nil, fmt.Errorf("cluster: unknown balancer policy %q (available: %v)", policy, Policies())
 	}
 }
 
-// randomBalancer dispatches each request to a uniformly random replica.
+// randomBalancer dispatches each request to a uniformly random candidate.
 type randomBalancer struct{ r *rand.Rand }
 
 func (b *randomBalancer) Name() string { return PolicyRandom }
 
-func (b *randomBalancer) Pick(outstanding []int) int {
-	if len(outstanding) <= 1 {
-		return 0
+func (b *randomBalancer) Pick(candidates []Candidate) int {
+	if len(candidates) == 1 {
+		return candidates[0].ID
 	}
-	return b.r.Intn(len(outstanding))
+	return candidates[b.r.Intn(len(candidates))].ID
 }
 
-// roundRobinBalancer cycles through replicas in index order.
+// roundRobinBalancer cycles through the candidate IDs in ascending order.
+// The cursor is a replica ID, not a position, so fairness survives
+// membership changes: replicas that join mid-cycle take their place in ID
+// order and replicas that leave are simply skipped.
 type roundRobinBalancer struct{ next int }
 
 func (b *roundRobinBalancer) Name() string { return PolicyRoundRobin }
 
-func (b *roundRobinBalancer) Pick(outstanding []int) int {
-	if len(outstanding) == 0 {
-		return 0
+func (b *roundRobinBalancer) Pick(candidates []Candidate) int {
+	pick := candidates[0]
+	for _, c := range candidates {
+		if c.ID >= b.next {
+			pick = c
+			break
+		}
 	}
-	idx := b.next % len(outstanding)
-	b.next = idx + 1
-	return idx
+	b.next = pick.ID + 1
+	return pick.ID
 }
 
-// leastQueueBalancer dispatches to the replica with the fewest outstanding
+// leastQueueBalancer dispatches to the candidate with the fewest outstanding
 // requests, breaking ties uniformly at random among the minima (seeded, so
 // the dispatch sequence is still deterministic per seed). A fixed
 // lowest-index tie-break would funnel nearly all sub-saturating traffic to
-// replica 0, since queues are usually empty when the dispatcher looks.
+// the lowest ID, since queues are usually empty when the dispatcher looks.
 type leastQueueBalancer struct{ r *rand.Rand }
 
 func (b *leastQueueBalancer) Name() string { return PolicyLeastQueue }
 
-func (b *leastQueueBalancer) Pick(outstanding []int) int {
+func (b *leastQueueBalancer) Pick(candidates []Candidate) int {
 	best, ties := 0, 1
-	for i := 1; i < len(outstanding); i++ {
+	for i := 1; i < len(candidates); i++ {
 		switch {
-		case outstanding[i] < outstanding[best]:
+		case candidates[i].Outstanding < candidates[best].Outstanding:
 			best, ties = i, 1
-		case outstanding[i] == outstanding[best]:
-			// Reservoir-style choice: each of the k tied replicas ends up
+		case candidates[i].Outstanding == candidates[best].Outstanding:
+			// Reservoir-style choice: each of the k tied candidates ends up
 			// selected with probability 1/k.
 			ties++
 			if b.r.Intn(ties) == 0 {
@@ -110,22 +143,22 @@ func (b *leastQueueBalancer) Pick(outstanding []int) int {
 			}
 		}
 	}
-	return best
+	return candidates[best].ID
 }
 
-// jsq2Balancer implements power-of-two-choices: sample two distinct replicas
-// uniformly at random and dispatch to the one with fewer outstanding
-// requests. Ties are broken by a coin flip between the two candidates — a
-// fixed-index tie-break would starve high-index replicas whenever queues
-// are empty (see leastQueueBalancer).
+// jsq2Balancer implements power-of-two-choices: sample two distinct
+// candidates uniformly at random and dispatch to the one with fewer
+// outstanding requests. Ties are broken by a coin flip between the two
+// candidates — a fixed-position tie-break would starve high-ID replicas
+// whenever queues are empty (see leastQueueBalancer).
 type jsq2Balancer struct{ r *rand.Rand }
 
 func (b *jsq2Balancer) Name() string { return PolicyJSQ2 }
 
-func (b *jsq2Balancer) Pick(outstanding []int) int {
-	n := len(outstanding)
-	if n <= 1 {
-		return 0
+func (b *jsq2Balancer) Pick(candidates []Candidate) int {
+	n := len(candidates)
+	if n == 1 {
+		return candidates[0].ID
 	}
 	i := b.r.Intn(n)
 	j := b.r.Intn(n - 1)
@@ -133,13 +166,13 @@ func (b *jsq2Balancer) Pick(outstanding []int) int {
 		j++
 	}
 	switch {
-	case outstanding[j] < outstanding[i]:
-		return j
-	case outstanding[i] < outstanding[j]:
-		return i
+	case candidates[j].Outstanding < candidates[i].Outstanding:
+		return candidates[j].ID
+	case candidates[i].Outstanding < candidates[j].Outstanding:
+		return candidates[i].ID
 	case b.r.Intn(2) == 0:
-		return j
+		return candidates[j].ID
 	default:
-		return i
+		return candidates[i].ID
 	}
 }

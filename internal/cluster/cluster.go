@@ -37,8 +37,10 @@ type Config struct {
 	Window time.Duration
 	// Requests is the number of measured requests (default 1000).
 	Requests int
-	// WarmupRequests is the number of discarded warmup requests
-	// (default 10% of Requests, matching the simulated path).
+	// WarmupRequests is the number of discarded warmup requests. Zero means
+	// the default of 10% of Requests (matching the simulated path); a
+	// negative value means no warmup at all — the explicit-zero spelling,
+	// since 0 is taken by the default.
 	WarmupRequests int
 	// Seed drives all randomness (arrivals, request contents, balancer).
 	Seed int64
@@ -46,23 +48,33 @@ type Config struct {
 	KeepRaw bool
 	// Validate makes the harness check every response.
 	Validate bool
-	// Slowdowns optionally assigns each replica a service-time inflation
+	// Slowdowns optionally assigns each pool slot a service-time inflation
 	// factor (straggler injection). Empty means all replicas run at nominal
-	// speed; otherwise its length must equal the replica count. Values
-	// below 1 are treated as 1.
+	// speed; otherwise its length must equal the server pool size. A
+	// replica inherits the factor of the slot backing it. Values below 1
+	// are treated as 1.
 	Slowdowns []float64
 	// Timeout bounds the whole run (default derived from Requests and QPS).
 	Timeout time.Duration
+	// Replicas is the number of servers active when the run starts; the
+	// rest of the pool stands by for the autoscaler. Zero means the whole
+	// pool (the fixed-cluster behavior).
+	Replicas int
+	// Autoscale enables the autoscaling controller: each control interval
+	// it observes per-replica queue depth and the interval's p95 sojourn
+	// and grows or drains the replica set. Nil keeps membership fixed.
+	Autoscale *AutoscaleConfig
 }
 
 // Errors returned by cluster configuration validation.
 var (
 	ErrNoReplicas   = errors.New("cluster: at least one replica server is required")
-	ErrSlowdownsLen = errors.New("cluster: len(Slowdowns) must equal the replica count")
+	ErrSlowdownsLen = errors.New("cluster: len(Slowdowns) must equal the server pool size")
+	ErrReplicaCount = errors.New("cluster: the initial replica count must not exceed the replica pool size")
 )
 
-// withDefaults normalizes a Config for n replicas.
-func (c Config) withDefaults() Config {
+// withDefaults normalizes a Config for a pool of n servers.
+func (c Config) withDefaults(pool int) Config {
 	if c.Policy == "" {
 		c.Policy = PolicyLeastQueue
 	}
@@ -75,11 +87,16 @@ func (c Config) withDefaults() Config {
 	if c.Requests <= 0 {
 		c.Requests = 1000
 	}
-	if c.WarmupRequests <= 0 {
+	if c.WarmupRequests == 0 {
 		c.WarmupRequests = c.Requests / 10
+	} else if c.WarmupRequests < 0 {
+		c.WarmupRequests = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = pool
 	}
 	if c.Timeout <= 0 {
 		total := c.Requests + c.WarmupRequests
@@ -101,7 +118,7 @@ func (c Config) windowing() (width time.Duration, enabled bool) {
 	return c.Window, load.WindowEnabled(c.Window, c.Load)
 }
 
-// slowdownFor returns the normalized slowdown factor for replica idx.
+// slowdownFor returns the normalized slowdown factor for pool slot idx.
 // Values below 1 and non-finite values mean nominal speed.
 func (c Config) slowdownFor(idx int) float64 {
 	if idx >= len(c.Slowdowns) {
@@ -115,16 +132,20 @@ func (c Config) slowdownFor(idx int) float64 {
 }
 
 // replica is the runtime state of one live replica: its server, bounded
-// queue, and accounting.
+// queue, and accounting, attached to its lifecycle record in the set.
 type replica struct {
-	idx      int
+	member   *Member
 	server   app.Server
 	slowdown float64
 	queue    chan clusterPending
 
 	outstanding atomic.Int64
-	dispatched  uint64 // dispatcher goroutine only
-	depth       depthAccum
+	// lastDone is the offset (nanoseconds from run start) of the replica's
+	// most recent completion, stored before outstanding is decremented so
+	// that an observed zero outstanding count has an accurate idle instant.
+	lastDone   atomic.Int64
+	dispatched uint64 // dispatcher goroutine only
+	depth      depthAccum
 
 	collector *core.Collector
 }
@@ -145,11 +166,40 @@ type clusterPending struct {
 	warmup  bool
 }
 
+// liveEngine is the run-scoped state of the live cluster path: the server
+// pool, the replica set and per-replica runtimes, and the tick accounting
+// the autoscaler observes.
+type liveEngine struct {
+	cfg      Config
+	servers  []app.Server
+	client   app.Client
+	balancer Balancer
+
+	set      *ReplicaSet
+	replicas []*replica // indexed by member ID
+
+	aggregate *core.Collector
+	start     time.Time
+	workers   sync.WaitGroup
+
+	// autoscale marks whether workers should feed the tick buffer; tickMu
+	// guards it against the dispatcher's per-tick harvest. Entries carry
+	// their completion offset so a control tick can window exactly the
+	// completions that finished at or before its instant, mirroring the
+	// simulated engine.
+	autoscale bool
+	tickMu    sync.Mutex
+	tickBuf   []completion
+}
+
 // Run measures a cluster of live replica servers under the open-loop
 // methodology: a single dispatcher issues requests at their scheduled
-// arrival instants, the balancer routes each to a replica, and each
-// replica's worker pool drains its bounded queue. The caller owns the
-// servers (they are not closed). All replicas must serve the same
+// arrival instants, the balancer routes each to an active replica, and each
+// replica's worker pool drains its bounded queue. servers is the replica
+// pool: cfg.Replicas of them are active when the run starts and the rest
+// stand by as warm capacity for the autoscaling controller (with no
+// autoscaler every server is active, the fixed-cluster behavior). The caller
+// owns the servers (they are not closed). All replicas must serve the same
 // application; appName labels the result.
 func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg Config) (*Result, error) {
 	if len(servers) == 0 {
@@ -161,10 +211,20 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	if len(cfg.Slowdowns) != 0 && len(cfg.Slowdowns) != len(servers) {
 		return nil, ErrSlowdownsLen
 	}
-	cfg = cfg.withDefaults()
+	if cfg.Replicas > len(servers) {
+		return nil, fmt.Errorf("%w (%d > %d)", ErrReplicaCount, cfg.Replicas, len(servers))
+	}
+	cfg = cfg.withDefaults(len(servers))
 	balancer, err := NewBalancer(cfg.Policy, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	var loop *controlLoop
+	if cfg.Autoscale != nil {
+		loop, err = newControlLoop(*cfg.Autoscale, cfg.Replicas, len(servers))
+		if err != nil {
+			return nil, err
+		}
 	}
 	client, err := newClient(workload.SplitSeed(cfg.Seed, 1))
 	if err != nil {
@@ -185,58 +245,162 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	if _, on := cfg.windowing(); on {
 		aggregate = core.NewWindowedCollector(cfg.KeepRaw)
 	}
-	replicas := make([]*replica, len(servers))
-	var workers sync.WaitGroup
-	for r, server := range servers {
-		rep := &replica{
-			idx:       r,
-			server:    server,
-			slowdown:  cfg.slowdownFor(r),
-			queue:     make(chan clusterPending, cfg.QueueCap),
-			collector: core.NewCollector(false),
-		}
-		replicas[r] = rep
-		for w := 0; w < cfg.Threads; w++ {
-			workers.Add(1)
-			go func(rep *replica) {
-				defer workers.Done()
-				rep.work(client, cfg.Validate, aggregate)
-			}(rep)
-		}
+	eng := &liveEngine{
+		cfg:       cfg,
+		servers:   servers,
+		client:    client,
+		balancer:  balancer,
+		set:       NewReplicaSet(len(servers)),
+		aggregate: aggregate,
+		autoscale: loop != nil,
+	}
+	for r := 0; r < cfg.Replicas; r++ {
+		eng.provision(eng.set.Provision(0))
 	}
 
 	// Dispatcher: issue requests open-loop at their scheduled instants,
-	// routing each through the balancer on a snapshot of per-replica
-	// outstanding counts.
-	outstanding := make([]int, len(replicas))
+	// running any due control ticks first, then routing each request through
+	// the balancer on a snapshot of the active replicas.
+	var candidates []Candidate
 	startTime := time.Now()
+	eng.start = startTime
 	deadline := startTime.Add(cfg.Timeout)
 	for i := 0; i < total; i++ {
 		target := startTime.Add(offsets[i])
 		core.WaitUntil(target)
-		if time.Now().After(deadline) {
+		now := time.Now()
+		if now.After(deadline) {
 			break
 		}
-		for r, rep := range replicas {
-			outstanding[r] = int(rep.outstanding.Load())
+		if loop != nil {
+			eng.controlTicks(loop, now.Sub(startTime))
 		}
-		pick := balancer.Pick(outstanding)
-		rep := replicas[pick]
-		rep.depth.observe(outstanding[pick])
+		candidates = eng.snapshot(candidates[:0])
+		pick := eng.balancer.Pick(candidates)
+		rep := eng.replicas[pick]
+		rep.depth.observe(outstandingOf(candidates, pick))
 		rep.dispatched++
 		rep.outstanding.Add(1)
 		rep.queue <- clusterPending{payload: payloads[i], scheduled: target, offset: offsets[i], enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
 	}
-	for _, rep := range replicas {
-		close(rep.queue)
+	for _, id := range eng.set.ActiveIDs() {
+		close(eng.replicas[id].queue)
 	}
-	workers.Wait()
+	eng.workers.Wait()
+	end := time.Since(startTime)
+	// Draining replicas have now finished their accepted work; retire them
+	// at their last completion instant so lifetime spans are accurate.
+	for _, m := range eng.set.Members() {
+		if m.State == StateDraining {
+			eng.set.Retire(m.ID, time.Duration(eng.replicas[m.ID].lastDone.Load()))
+		}
+	}
 
-	return assembleLive(appName, cfg, len(servers), replicas, aggregate), nil
+	return assembleLive(appName, cfg, eng, loop, end), nil
+}
+
+// provision builds the runtime replica for a newly activated member and
+// starts its worker pool.
+func (e *liveEngine) provision(m *Member) {
+	rep := &replica{
+		member:    m,
+		server:    e.servers[m.Slot],
+		slowdown:  e.cfg.slowdownFor(m.Slot),
+		queue:     make(chan clusterPending, e.cfg.QueueCap),
+		collector: core.NewCollector(false),
+	}
+	e.replicas = append(e.replicas, rep)
+	for w := 0; w < e.cfg.Threads; w++ {
+		e.workers.Add(1)
+		go func() {
+			defer e.workers.Done()
+			e.work(rep)
+		}()
+	}
+}
+
+// drain closes a draining member's queue: the dispatcher is the only sender
+// and has already removed the replica from the routable set, so its workers
+// finish the backlog and exit. The replica retires once its outstanding
+// count reaches zero (observed at the next control tick, or at run end).
+func (e *liveEngine) drain(m *Member) {
+	close(e.replicas[m.ID].queue)
+}
+
+// snapshot appends the active replicas' candidates (ID plus outstanding
+// count) to buf in ascending ID order.
+func (e *liveEngine) snapshot(buf []Candidate) []Candidate {
+	for _, id := range e.set.ActiveIDs() {
+		buf = append(buf, Candidate{ID: id, Outstanding: int(e.replicas[id].outstanding.Load())})
+	}
+	return buf
+}
+
+// outstandingOf returns the outstanding count the snapshot recorded for the
+// picked replica, so depth accounting sees exactly what the balancer saw.
+func outstandingOf(candidates []Candidate, id int) int {
+	for _, c := range candidates {
+		if c.ID == id {
+			return c.Outstanding
+		}
+	}
+	return 0
+}
+
+// retireDrained retires every draining replica that has gone idle, at its
+// last completion instant.
+func (e *liveEngine) retireDrained() {
+	for _, m := range e.set.Members() {
+		if m.State == StateDraining && e.replicas[m.ID].outstanding.Load() == 0 {
+			e.set.Retire(m.ID, time.Duration(e.replicas[m.ID].lastDone.Load()))
+		}
+	}
+}
+
+// controlTicks runs every control tick due at or before now: observe the
+// cluster, ask the controller for a target, and provision or drain toward
+// it. Ticks fire between dispatches, so their cadence is bounded by arrival
+// spacing; a long quiet gap replays the missed ticks in order, which lets
+// depth-based scale-down proceed during lulls.
+func (e *liveEngine) controlTicks(loop *controlLoop, now time.Duration) {
+	for loop.next <= now {
+		at := loop.next
+		loop.next += loop.cfg.Interval
+		e.retireDrained()
+		outstanding := 0
+		for _, id := range e.set.ActiveIDs() {
+			outstanding += int(e.replicas[id].outstanding.Load())
+		}
+		target := loop.decide(controllerInput(at, e.set, outstanding, e.takeCompletions(at)))
+		applyTarget(e.set, target, at, e.provision, e.drain)
+	}
+}
+
+// takeCompletions removes and returns the sojourns of buffered completions
+// that finished at or before the tick instant, leaving later ones for
+// subsequent ticks. This keeps each control tick's latency window bounded
+// by its own interval even when several overdue ticks replay after a
+// dispatch gap — the same per-interval view the simulated engine pops off
+// its completion heap, so the two paths feed controllers structurally
+// identical observations.
+func (e *liveEngine) takeCompletions(at time.Duration) []time.Duration {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
+	var taken []time.Duration
+	kept := e.tickBuf[:0]
+	for _, c := range e.tickBuf {
+		if c.finish <= at {
+			taken = append(taken, c.sojourn)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	e.tickBuf = kept
+	return taken
 }
 
 // work drains one replica's queue on one worker goroutine.
-func (rep *replica) work(client app.Client, validate bool, aggregate *core.Collector) {
+func (e *liveEngine) work(rep *replica) {
 	for p := range rep.queue {
 		start := time.Now()
 		resp, perr := rep.server.Process(p.payload)
@@ -248,8 +412,8 @@ func (rep *replica) work(client app.Client, validate bool, aggregate *core.Colle
 		}
 		end := time.Now()
 		failed := perr != nil
-		if !failed && validate {
-			failed = client.CheckResponse(p.payload, resp) != nil
+		if !failed && e.cfg.Validate {
+			failed = e.client.CheckResponse(p.payload, resp) != nil
 		}
 		sample := core.Sample{
 			Queue:   start.Sub(p.enqueue),
@@ -259,15 +423,32 @@ func (rep *replica) work(client app.Client, validate bool, aggregate *core.Colle
 			Err:     failed,
 			Offset:  p.offset,
 		}
+		// Max-store: with several workers the last finisher is not
+		// necessarily the last storer, and retirement instants must be the
+		// true latest completion.
+		done := int64(end.Sub(e.start))
+		for {
+			prev := rep.lastDone.Load()
+			if done <= prev || rep.lastDone.CompareAndSwap(prev, done) {
+				break
+			}
+		}
 		rep.outstanding.Add(-1)
 		rep.collector.Record(sample)
-		aggregate.Record(sample)
+		e.aggregate.Record(sample)
+		if e.autoscale {
+			e.tickMu.Lock()
+			e.tickBuf = append(e.tickBuf, completion{finish: time.Duration(done), sojourn: sample.Sojourn})
+			e.tickMu.Unlock()
+		}
 	}
 }
 
-// assembleLive builds the Result for a live run from the collectors.
-func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggregate *core.Collector) *Result {
-	agg := aggregate.Summary()
+// assembleLive builds the Result for a live run from the collectors and the
+// replica set's lifecycle ledger. end is the wall-clock offset at which the
+// last worker finished.
+func assembleLive(appName string, cfg Config, eng *liveEngine, loop *controlLoop, end time.Duration) *Result {
+	agg := eng.aggregate.Summary()
 	elapsed := agg.Last.Sub(agg.First)
 	achieved := 0.0
 	if elapsed > 0 {
@@ -277,7 +458,7 @@ func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggreg
 	out := &Result{
 		App:            appName,
 		Policy:         cfg.Policy,
-		Replicas:       n,
+		Replicas:       cfg.Replicas,
 		Threads:        cfg.Threads,
 		OfferedQPS:     load.OfferedRate(shape, cfg.Requests+cfg.WarmupRequests),
 		Shape:          shape.Name(),
@@ -298,7 +479,7 @@ func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggreg
 	if width, on := cfg.windowing(); on {
 		out.Windows = core.WindowsFromTimed(agg.Timed, width, shape)
 	}
-	for _, rep := range replicas {
+	for _, rep := range eng.replicas {
 		rs := rep.collector.Summary()
 		// Per-replica throughput over the cluster-wide measurement interval,
 		// so the per-replica rates sum to the aggregate rate.
@@ -306,8 +487,8 @@ func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggreg
 		if elapsed > 0 {
 			repAchieved = float64(rs.Count) / elapsed.Seconds()
 		}
-		out.PerReplica = append(out.PerReplica, ReplicaStats{
-			Index:          rep.idx,
+		out.PerReplica = append(out.PerReplica, replicaStats(rep.member, end, ReplicaStats{
+			Index:          rep.member.ID,
 			Slowdown:       rep.slowdown,
 			Dispatched:     rep.dispatched,
 			Requests:       rs.Count,
@@ -318,7 +499,8 @@ func assembleLive(appName string, cfg Config, n int, replicas []*replica, aggreg
 			Sojourn:        rs.Sojourn,
 			MeanQueueDepth: rep.depth.mean(),
 			MaxQueueDepth:  rep.depth.max,
-		})
+		}))
 	}
+	annotateElastic(out, loop, eng.set, end)
 	return out
 }

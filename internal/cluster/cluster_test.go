@@ -30,9 +30,19 @@ func TestPolicies(t *testing.T) {
 	}
 }
 
+// cands builds a candidate snapshot with IDs 0..n-1 from outstanding counts,
+// the static-membership view the pre-elastic balancers picked over.
+func cands(outstanding ...int) []Candidate {
+	out := make([]Candidate, len(outstanding))
+	for i, o := range outstanding {
+		out[i] = Candidate{ID: i, Outstanding: o}
+	}
+	return out
+}
+
 func TestRoundRobinSequence(t *testing.T) {
 	b, _ := NewBalancer(PolicyRoundRobin, 1)
-	outstanding := []int{9, 9, 9} // round robin ignores queue state
+	outstanding := cands(9, 9, 9) // round robin ignores queue state
 	want := []int{0, 1, 2, 0, 1, 2, 0}
 	for i, w := range want {
 		if got := b.Pick(outstanding); got != w {
@@ -45,13 +55,13 @@ func TestLeastQueueSequence(t *testing.T) {
 	b, _ := NewBalancer(PolicyLeastQueue, 1)
 	// A unique minimum must always win.
 	cases := []struct {
-		outstanding []int
+		outstanding []Candidate
 		want        int
 	}{
-		{[]int{2, 1, 3}, 1},
-		{[]int{2, 1, 0}, 2},
-		{[]int{5, 5, 4}, 2},
-		{[]int{0, 4, 4}, 0},
+		{cands(2, 1, 3), 1},
+		{cands(2, 1, 0), 2},
+		{cands(5, 5, 4), 2},
+		{cands(0, 4, 4), 0},
 	}
 	for _, c := range cases {
 		if got := b.Pick(c.outstanding); got != c.want {
@@ -64,7 +74,7 @@ func TestLeastQueueTieBreakSpreadsLoad(t *testing.T) {
 	// Ties are broken at random among the minima (seeded): over many picks
 	// on an all-idle cluster every replica must receive traffic, and only
 	// replicas in the tied-minimum set may ever be chosen.
-	outstanding := []int{0, 0, 7, 0}
+	outstanding := cands(0, 0, 7, 0)
 	seq := pickSequence(t, PolicyLeastQueue, 9, outstanding, 300)
 	counts := make([]int, len(outstanding))
 	for _, p := range seq {
@@ -83,26 +93,30 @@ func TestLeastQueueTieBreakSpreadsLoad(t *testing.T) {
 	}
 }
 
-// pickSequence drives a balancer through n picks over a fixed outstanding
-// vector and returns the sequence.
-func pickSequence(t *testing.T, policy string, seed int64, outstanding []int, n int) []int {
+// pickSequence drives a balancer through n picks over a fixed candidate
+// snapshot and returns the sequence of picked IDs.
+func pickSequence(t *testing.T, policy string, seed int64, candidates []Candidate, n int) []int {
 	t.Helper()
 	b, err := NewBalancer(policy, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ids := make(map[int]bool, len(candidates))
+	for _, c := range candidates {
+		ids[c.ID] = true
+	}
 	seq := make([]int, n)
 	for i := range seq {
-		seq[i] = b.Pick(outstanding)
-		if seq[i] < 0 || seq[i] >= len(outstanding) {
-			t.Fatalf("%s pick %d out of range: %d", policy, i, seq[i])
+		seq[i] = b.Pick(candidates)
+		if !ids[seq[i]] {
+			t.Fatalf("%s pick %d not a candidate: %d", policy, i, seq[i])
 		}
 	}
 	return seq
 }
 
 func TestRandomDeterministicPerSeed(t *testing.T) {
-	outstanding := []int{0, 0, 0, 0}
+	outstanding := cands(0, 0, 0, 0)
 	a := pickSequence(t, PolicyRandom, 42, outstanding, 200)
 	b := pickSequence(t, PolicyRandom, 42, outstanding, 200)
 	if !reflect.DeepEqual(a, b) {
@@ -128,7 +142,7 @@ func TestJSQ2PrefersShorterQueue(t *testing.T) {
 	// route to 0 every time 0 is among the two sampled candidates (about
 	// half of all picks for 4 replicas), and never route to a candidate that
 	// loses the comparison.
-	outstanding := []int{0, 100, 100, 100}
+	outstanding := cands(0, 100, 100, 100)
 	seq := pickSequence(t, PolicyJSQ2, 7, outstanding, 400)
 	zero := 0
 	for _, p := range seq {
@@ -151,7 +165,7 @@ func TestJSQ2TieBreakSpreadsLoad(t *testing.T) {
 	// With every queue tied at zero (any sub-saturating load), the coin-flip
 	// tie-break must leave no replica starved; each of 4 replicas expects
 	// 25% of 400 picks.
-	seq := pickSequence(t, PolicyJSQ2, 3, []int{0, 0, 0, 0}, 400)
+	seq := pickSequence(t, PolicyJSQ2, 3, cands(0, 0, 0, 0), 400)
 	counts := make([]int, 4)
 	for _, p := range seq {
 		counts[p]++

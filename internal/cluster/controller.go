@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tailbench/internal/stats"
+)
+
+// Controller policy names accepted by NewController.
+const (
+	ControllerStatic    = "static"
+	ControllerThreshold = "threshold"
+	ControllerTargetP95 = "target-p95"
+)
+
+// Controllers returns the built-in autoscaling controller policy names in
+// presentation order.
+func Controllers() []string {
+	return []string{ControllerStatic, ControllerThreshold, ControllerTargetP95}
+}
+
+// AutoscaleConfig parameterizes the autoscaling control loop. The same
+// configuration drives the live engine (control ticks on the wall clock) and
+// the virtual-time engine (control ticks on the simulation clock), so a
+// controller tuned in fast deterministic simulation transfers unchanged to a
+// live run.
+type AutoscaleConfig struct {
+	// Policy is the controller policy name (see Controllers). Default
+	// static (hold the initial replica count).
+	Policy string
+	// MinReplicas and MaxReplicas bound the active replica count the
+	// controller may target. Defaults: MinReplicas 1, MaxReplicas the size
+	// of the replica pool. MaxReplicas also bounds concurrent provisioning:
+	// scale-ups stop early when every pool slot is active or still
+	// draining.
+	MinReplicas int
+	MaxReplicas int
+	// Interval is the control-tick period on the run's time axis
+	// (wall-clock for live runs, virtual time for simulations). Default
+	// 100ms.
+	Interval time.Duration
+	// HighDepth and LowDepth are the threshold policy's hysteresis marks on
+	// mean outstanding requests per active replica: above HighDepth the
+	// controller scales up proportionally to the observed backlog, below
+	// LowDepth it drains one replica per tick. Defaults 3 and 0.5.
+	HighDepth float64
+	LowDepth  float64
+	// TargetP95 is the target-p95 policy's latency goal for the windowed
+	// p95 observed each control tick. Default 10ms.
+	TargetP95 time.Duration
+}
+
+// withDefaults normalizes an AutoscaleConfig for a pool of the given size.
+func (a AutoscaleConfig) withDefaults(pool int) AutoscaleConfig {
+	if a.Policy == "" {
+		a.Policy = ControllerStatic
+	}
+	if a.MinReplicas <= 0 {
+		a.MinReplicas = 1
+	}
+	if a.MaxReplicas <= 0 || a.MaxReplicas > pool {
+		a.MaxReplicas = pool
+	}
+	if a.MinReplicas > a.MaxReplicas {
+		a.MinReplicas = a.MaxReplicas
+	}
+	if a.Interval <= 0 {
+		a.Interval = 100 * time.Millisecond
+	}
+	if a.HighDepth <= 0 {
+		a.HighDepth = 3
+	}
+	if a.LowDepth <= 0 {
+		a.LowDepth = 0.5
+	}
+	if a.LowDepth >= a.HighDepth {
+		a.LowDepth = a.HighDepth / 2
+	}
+	if a.TargetP95 <= 0 {
+		a.TargetP95 = 10 * time.Millisecond
+	}
+	return a
+}
+
+// ControllerInput is the observation a controller receives each control
+// tick, assembled identically by the live engine (from atomic per-replica
+// counters and a tick buffer of completed sojourns) and the virtual-time
+// engine (from the event state at the tick instant).
+type ControllerInput struct {
+	// Now is the tick instant as an offset from the start of the run.
+	Now time.Duration
+	// Active and Draining are the membership counts at the tick.
+	Active   int
+	Draining int
+	// Outstanding is the total queued-plus-in-service request count across
+	// the active replicas; MeanDepth is Outstanding divided by Active.
+	Outstanding int
+	MeanDepth   float64
+	// P95 is the 95th-percentile sojourn of the requests that completed
+	// since the previous tick (zero when none did), and Completed is how
+	// many there were — a per-control-interval latency window, not the
+	// whole-run percentile.
+	P95       time.Duration
+	Completed uint64
+}
+
+// Controller decides the target active replica count each control tick. A
+// controller observes queue depth and windowed tail latency and returns the
+// count it wants; the engine clamps the answer to [MinReplicas, MaxReplicas]
+// and provisions or drains replicas to move toward it. Controllers are
+// driven by the single dispatcher loop and need not be safe for concurrent
+// use; they must be deterministic functions of their observations so that
+// simulated scaling timelines reproduce exactly per seed.
+type Controller interface {
+	// Name returns the policy name ("static", "threshold", ...).
+	Name() string
+	// Target returns the desired active replica count.
+	Target(in ControllerInput) int
+}
+
+// NewController constructs a controller by policy name. initial is the run's
+// starting replica count, which the static policy holds forever.
+func NewController(cfg AutoscaleConfig, initial int) (Controller, error) {
+	switch cfg.Policy {
+	case ControllerStatic:
+		return staticController{n: initial}, nil
+	case ControllerThreshold:
+		return thresholdController{high: cfg.HighDepth, low: cfg.LowDepth}, nil
+	case ControllerTargetP95:
+		return targetP95Controller{target: cfg.TargetP95}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown controller policy %q (available: %v)", cfg.Policy, Controllers())
+	}
+}
+
+// staticController holds the initial replica count: the degenerate policy
+// that makes a fixed cluster a special case of the elastic machinery.
+type staticController struct{ n int }
+
+func (c staticController) Name() string               { return ControllerStatic }
+func (c staticController) Target(ControllerInput) int { return c.n }
+
+// thresholdController scales on queue-depth hysteresis. Above the high mark
+// it jumps straight to the capacity the observed backlog needs (ceil of
+// outstanding divided by the high mark) — a spike is answered in one tick,
+// not one replica per tick. Below the low mark it drains a single replica,
+// so scale-down is conservative and the hysteresis gap prevents flapping.
+type thresholdController struct{ high, low float64 }
+
+func (c thresholdController) Name() string { return ControllerThreshold }
+
+func (c thresholdController) Target(in ControllerInput) int {
+	switch {
+	case in.MeanDepth > c.high:
+		want := int(math.Ceil(float64(in.Outstanding) / c.high))
+		if want <= in.Active {
+			want = in.Active + 1
+		}
+		return want
+	case in.MeanDepth < c.low:
+		return in.Active - 1
+	}
+	return in.Active
+}
+
+// targetP95Controller aims the per-tick windowed p95 at an SLO: one replica
+// up when the window missed it, one down when the window came in under half
+// the target (the 2x slack is the hysteresis). Latency alone does not reveal
+// how much capacity is missing, so it moves one step per tick; the
+// depth-proportional threshold policy is the fast-reaction alternative.
+type targetP95Controller struct{ target time.Duration }
+
+func (c targetP95Controller) Name() string { return ControllerTargetP95 }
+
+func (c targetP95Controller) Target(in ControllerInput) int {
+	if in.Completed == 0 {
+		return in.Active
+	}
+	switch {
+	case in.P95 > c.target:
+		return in.Active + 1
+	case in.P95 < c.target/2:
+		return in.Active - 1
+	}
+	return in.Active
+}
+
+// controlLoop is the engine-agnostic half of the autoscaling driver: it owns
+// the controller, the tick schedule, and target clamping, while the engine
+// supplies observations and executes provisioning and draining.
+type controlLoop struct {
+	cfg  AutoscaleConfig
+	ctrl Controller
+	// next is the instant of the next control tick.
+	next time.Duration
+}
+
+// newControlLoop validates the config against the pool and builds the loop.
+func newControlLoop(cfg AutoscaleConfig, initial, pool int) (*controlLoop, error) {
+	cfg = cfg.withDefaults(pool)
+	ctrl, err := NewController(cfg, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &controlLoop{cfg: cfg, ctrl: ctrl, next: cfg.Interval}, nil
+}
+
+// decide runs the controller on one observation and clamps its answer.
+func (cl *controlLoop) decide(in ControllerInput) int {
+	t := cl.ctrl.Target(in)
+	if t < cl.cfg.MinReplicas {
+		t = cl.cfg.MinReplicas
+	}
+	if t > cl.cfg.MaxReplicas {
+		t = cl.cfg.MaxReplicas
+	}
+	return t
+}
+
+// applyTarget moves the set's active count toward target at offset now,
+// provisioning via the engine callback (which builds the runtime replica for
+// a new member) or draining youngest-first. Scale-ups stop early when the
+// pool has no free slot — draining replicas hold theirs until retirement —
+// and the achieved change is recorded in the scaling timeline.
+func applyTarget(set *ReplicaSet, target int, now time.Duration, provision func(*Member), drain func(*Member)) {
+	before := set.NumActive()
+	for set.NumActive() < target {
+		m := set.Provision(now)
+		if m == nil {
+			break
+		}
+		provision(m)
+	}
+	for set.NumActive() > target && set.NumActive() > 1 {
+		id := set.YoungestActive()
+		m := set.Member(id)
+		set.Drain(id, now)
+		drain(m)
+	}
+	if after := set.NumActive(); after != before {
+		set.Event(now, before, after)
+	}
+}
+
+// tickP95 summarizes one control interval's completed sojourns. It sorts in
+// place (the tick buffer is scratch) and returns zero for an empty interval.
+func tickP95(sojourns []time.Duration) time.Duration {
+	if len(sojourns) == 0 {
+		return 0
+	}
+	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	return stats.PercentileOfSorted(sojourns, 95)
+}
+
+// controllerInput assembles the shared observation from engine-provided
+// counts and the tick's completed sojourns.
+func controllerInput(now time.Duration, set *ReplicaSet, outstanding int, sojourns []time.Duration) ControllerInput {
+	in := ControllerInput{
+		Now:         now,
+		Active:      set.NumActive(),
+		Draining:    set.NumDraining(),
+		Outstanding: outstanding,
+		P95:         tickP95(sojourns),
+		Completed:   uint64(len(sojourns)),
+	}
+	if in.Active > 0 {
+		in.MeanDepth = float64(in.Outstanding) / float64(in.Active)
+	}
+	return in
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/load"
+	"tailbench/internal/queueing"
+)
+
+func TestReplicaSetLifecycle(t *testing.T) {
+	rs := NewReplicaSet(3)
+	a := rs.Provision(0)
+	b := rs.Provision(0)
+	if a.ID != 0 || b.ID != 1 || a.Slot != 0 || b.Slot != 1 {
+		t.Fatalf("unexpected initial members: %+v %+v", a, b)
+	}
+	if rs.NumActive() != 2 || rs.Peak() != 2 {
+		t.Fatalf("active=%d peak=%d, want 2/2", rs.NumActive(), rs.Peak())
+	}
+	c := rs.Provision(time.Second)
+	if c.ID != 2 || c.Slot != 2 || rs.Peak() != 3 {
+		t.Fatalf("third member: %+v peak=%d", c, rs.Peak())
+	}
+	if rs.Provision(time.Second) != nil {
+		t.Fatal("provision beyond the pool must fail")
+	}
+
+	rs.Drain(c.ID, 2*time.Second)
+	if c.State != StateDraining || rs.NumActive() != 2 || rs.NumDraining() != 1 {
+		t.Fatalf("after drain: state=%v active=%d draining=%d", c.State, rs.NumActive(), rs.NumDraining())
+	}
+	if got := rs.ActiveIDs(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("ActiveIDs = %v, want [0 1]", got)
+	}
+	// Draining members still hold their slot: the pool is full.
+	if rs.Provision(2*time.Second) != nil {
+		t.Fatal("draining member must hold its slot")
+	}
+	rs.Retire(c.ID, 3*time.Second)
+	if c.State != StateRetired || c.RetiredAt != 3*time.Second || rs.NumDraining() != 0 {
+		t.Fatalf("after retire: %+v draining=%d", c, rs.NumDraining())
+	}
+	// The freed slot is reused by the next provision, under a fresh ID.
+	d := rs.Provision(4 * time.Second)
+	if d == nil || d.ID != 3 || d.Slot != 2 {
+		t.Fatalf("slot not reused with fresh ID: %+v", d)
+	}
+	if rs.Peak() != 3 {
+		t.Fatalf("peak grew to %d, want 3 (never more than 3 concurrent)", rs.Peak())
+	}
+
+	// Cost ledger at end = 10s: a and b span 10s each, c spans 1s..3s,
+	// d spans 4s..10s.
+	if got, want := rs.ReplicaSeconds(10*time.Second), 10.0+10+2+6; got != want {
+		t.Fatalf("ReplicaSeconds = %v, want %v", got, want)
+	}
+	// Window [2s,4s): a + b fully (2s each), c for 1s, d absent.
+	if got, want := rs.MeanProvisioned(2*time.Second, 4*time.Second, 10*time.Second), 2.5; got != want {
+		t.Fatalf("MeanProvisioned = %v, want %v", got, want)
+	}
+}
+
+// TestBalancersPickOnlyCandidates pins the membership-change contract: no
+// policy may ever route to a replica that is not in the candidate snapshot
+// (i.e. draining or retired), even when the snapshot has non-contiguous IDs
+// left over from scale-down/scale-up cycles.
+func TestBalancersPickOnlyCandidates(t *testing.T) {
+	snapshots := [][]Candidate{
+		{{ID: 0, Outstanding: 1}},
+		{{ID: 0, Outstanding: 3}, {ID: 2, Outstanding: 3}},
+		{{ID: 1, Outstanding: 0}, {ID: 4, Outstanding: 2}, {ID: 7, Outstanding: 0}},
+		{{ID: 3, Outstanding: 5}, {ID: 5, Outstanding: 5}, {ID: 6, Outstanding: 5}, {ID: 9, Outstanding: 5}},
+	}
+	for _, policy := range Policies() {
+		b, err := NewBalancer(policy, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, snap := range snapshots {
+			allowed := map[int]bool{}
+			for _, c := range snap {
+				allowed[c.ID] = true
+			}
+			for i := 0; i < 200; i++ {
+				if id := b.Pick(snap); !allowed[id] {
+					t.Fatalf("%s picked replica %d, not in snapshot %v", policy, id, snap)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundRobinFairAcrossMembershipChange drives round robin through a
+// shrink/grow cycle: fairness must hold over whatever the active set is,
+// with the ID cursor skipping departed replicas and folding joiners in.
+func TestRoundRobinFairAcrossMembershipChange(t *testing.T) {
+	b, _ := NewBalancer(PolicyRoundRobin, 1)
+	count := func(snap []Candidate, picks int) map[int]int {
+		got := map[int]int{}
+		for i := 0; i < picks; i++ {
+			got[b.Pick(snap)]++
+		}
+		return got
+	}
+	// Full set {0,1,2}: perfectly even.
+	if got := count(cands(0, 0, 0), 300); got[0] != 100 || got[1] != 100 || got[2] != 100 {
+		t.Fatalf("full set picks = %v, want 100 each", got)
+	}
+	// Replica 1 drained: the survivors split evenly.
+	shrunk := []Candidate{{ID: 0}, {ID: 2}}
+	if got := count(shrunk, 300); got[0] != 150 || got[2] != 150 {
+		t.Fatalf("shrunk set picks = %v, want 150 each for 0 and 2", got)
+	}
+	// Replica 3 joins: three-way fairness again, new member included.
+	grown := []Candidate{{ID: 0}, {ID: 2}, {ID: 3}}
+	got := count(grown, 300)
+	for _, id := range []int{0, 2, 3} {
+		if got[id] != 100 {
+			t.Fatalf("grown set picks = %v, want 100 each", got)
+		}
+	}
+}
+
+// elasticSpikeConfig is the shared fixture: a pool of 8 nominal 1000-QPS
+// replicas riding a 6x spike, starting from 2 active replicas under a
+// queue-depth threshold controller.
+func elasticSpikeConfig(seed int64) SimConfig {
+	pool := make([]SimReplica, 8)
+	for i := range pool {
+		pool[i] = SimReplica{Service: queueing.ExponentialService{Mean: time.Millisecond}}
+	}
+	return SimConfig{
+		App:             "synthetic-elastic",
+		Policy:          PolicyLeastQueue,
+		Threads:         1,
+		Load:            load.Spike(1000, 6000, 2*time.Second, 2*time.Second),
+		Window:          500 * time.Millisecond,
+		Requests:        15000,
+		WarmupRequests:  1000,
+		Seed:            seed,
+		Replicas:        pool,
+		InitialReplicas: 2,
+		Autoscale: &AutoscaleConfig{
+			Policy:      ControllerThreshold,
+			MinReplicas: 2,
+			MaxReplicas: 8,
+			Interval:    50 * time.Millisecond,
+			HighDepth:   3,
+			LowDepth:    0.75,
+		},
+	}
+}
+
+func TestAutoscaleSimThresholdRidesSpike(t *testing.T) {
+	res, err := Simulate(elasticSpikeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controller != ControllerThreshold || res.MinReplicas != 2 || res.MaxReplicas != 8 {
+		t.Fatalf("controller fields not recorded: %+v", res)
+	}
+	if res.Replicas != 2 {
+		t.Fatalf("Replicas = %d, want the initial 2", res.Replicas)
+	}
+	if res.PeakReplicas <= 2 {
+		t.Fatalf("PeakReplicas = %d, controller never scaled up", res.PeakReplicas)
+	}
+	if len(res.ScalingEvents) < 2 {
+		t.Fatalf("ScalingEvents = %v, want at least one up and one down", res.ScalingEvents)
+	}
+	retired := 0
+	for _, rep := range res.PerReplica {
+		if rep.State == "retired" {
+			retired++
+			if rep.RetiredAt <= rep.ProvisionedAt || rep.Lifetime != rep.RetiredAt-rep.ProvisionedAt {
+				t.Fatalf("bad lifetime span: %+v", rep)
+			}
+		}
+	}
+	if retired == 0 {
+		t.Fatal("no replica was ever drained and retired after the spike")
+	}
+	// The cost ledger must price the elasticity below always-on peak
+	// provisioning: 8 replicas for the whole run.
+	static := 8 * (res.Elapsed + res.Windows[0].Start).Seconds()
+	if res.ReplicaSeconds <= 0 || res.ReplicaSeconds >= static {
+		t.Fatalf("ReplicaSeconds = %.2f, want within (0, %.2f)", res.ReplicaSeconds, static)
+	}
+	// The windowed series must expose the scaling timeline: near the
+	// initial 2 at the start, above it at the spike's crest.
+	first, peak := res.Windows[0].Replicas, 0.0
+	for _, w := range res.Windows {
+		if w.Replicas > peak {
+			peak = w.Replicas
+		}
+	}
+	if first > 3 || peak <= 3 {
+		t.Fatalf("window replica counts don't trace the spike: first=%.2f peak=%.2f", first, peak)
+	}
+}
+
+// TestAutoscaleSimDeterministic pins controller determinism: the same seed
+// must reproduce the exact scaling timeline, per-replica breakdown, and
+// latency summaries; a different seed must diverge.
+func TestAutoscaleSimDeterministic(t *testing.T) {
+	a, err := Simulate(elasticSpikeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(elasticSpikeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ScalingEvents, b.ScalingEvents) {
+		t.Fatalf("same seed, different scaling timelines:\n a: %v\n b: %v", a.ScalingEvents, b.ScalingEvents)
+	}
+	if a.Sojourn != b.Sojourn || !reflect.DeepEqual(a.PerReplica, b.PerReplica) {
+		t.Fatal("same seed must reproduce summaries and per-replica stats")
+	}
+	c, err := Simulate(elasticSpikeConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.ScalingEvents, c.ScalingEvents) && a.Sojourn == c.Sojourn {
+		t.Fatal("different seeds should produce different runs")
+	}
+}
+
+func TestWarmupExplicitZero(t *testing.T) {
+	base := SimConfig{
+		Requests: 1000,
+		QPS:      2000,
+		Replicas: []SimReplica{{Service: queueing.DeterministicService{Value: time.Millisecond}}},
+	}
+	defaulted, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Warmups != 100 {
+		t.Fatalf("Warmups = %d, want the 10%% default (100)", defaulted.Warmups)
+	}
+	none := base
+	none.WarmupRequests = -1
+	res, err := Simulate(none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmups != 0 {
+		t.Fatalf("Warmups = %d, want 0 for a negative WarmupRequests", res.Warmups)
+	}
+	if res.Requests != 1000 {
+		t.Fatalf("Requests = %d, want all 1000 measured", res.Requests)
+	}
+}
+
+// TestAutoscaleLiveCluster smoke-tests the live engine's elastic path: an
+// overloaded single replica must be scaled up, the run must complete with
+// every request accounted for, and the lifecycle ledger must be coherent.
+func TestAutoscaleLiveCluster(t *testing.T) {
+	servers := make([]app.Server, 4)
+	for i := range servers {
+		servers[i] = &fakeServer{delay: 200 * time.Microsecond}
+	}
+	res, err := Run("fake", servers,
+		func(seed int64) (app.Client, error) { return fakeClient{}, nil },
+		Config{
+			Policy:         PolicyLeastQueue,
+			Threads:        1,
+			QPS:            12000, // ~2.4x one replica's capacity
+			Requests:       3000,
+			WarmupRequests: 300,
+			Seed:           1,
+			Replicas:       1,
+			Autoscale: &AutoscaleConfig{
+				Policy:      ControllerThreshold,
+				MinReplicas: 1,
+				MaxReplicas: 4,
+				Interval:    10 * time.Millisecond,
+				HighDepth:   3,
+				LowDepth:    0.5,
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3000 {
+		t.Fatalf("Requests = %d, want 3000", res.Requests)
+	}
+	if res.PeakReplicas <= 1 {
+		t.Fatalf("PeakReplicas = %d, overload never triggered a scale-up", res.PeakReplicas)
+	}
+	if res.Controller != ControllerThreshold {
+		t.Fatalf("Controller = %q, want threshold", res.Controller)
+	}
+	var dispatched uint64
+	for _, rep := range res.PerReplica {
+		dispatched += rep.Dispatched
+		if rep.Lifetime <= 0 {
+			t.Errorf("replica %d has non-positive lifetime: %+v", rep.Index, rep)
+		}
+	}
+	if dispatched != 3300 {
+		t.Errorf("dispatched sum = %d, want 3300", dispatched)
+	}
+	if res.ReplicaSeconds <= 0 {
+		t.Errorf("ReplicaSeconds = %v, want > 0", res.ReplicaSeconds)
+	}
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench/internal/stats"
+)
+
+// ReplicaState is the lifecycle state of one cluster member. A replica is
+// provisioned into StateActive (routable), can be moved to StateDraining by
+// the autoscaling controller — no new requests are routed to it while it
+// finishes the work it has already accepted — and reaches StateRetired when
+// its last accepted request completes. Retired replicas release their pool
+// slot for future provisioning.
+type ReplicaState int
+
+const (
+	StateActive ReplicaState = iota
+	StateDraining
+	StateRetired
+)
+
+// String renders the state name used in results and tables.
+func (s ReplicaState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	case StateRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Member is one replica's lifecycle record in a ReplicaSet: a stable
+// identity, the pool slot backing it, its state, and its lifetime span on
+// the run's time axis (wall-clock offsets for live runs, virtual time for
+// simulations).
+type Member struct {
+	// ID is the stable replica identity. IDs are assigned in provisioning
+	// order and never reused within a run, so a balancer or a result row can
+	// refer to a replica across membership changes.
+	ID int
+	// Slot is the index of the backing pool resource (a live server or a
+	// simulated replica spec). Slots are reused after retirement.
+	Slot int
+	// State is the current lifecycle state.
+	State ReplicaState
+	// ProvisionedAt, DrainedAt, and RetiredAt are offsets from the start of
+	// the run; DrainedAt and RetiredAt are meaningful only once the
+	// corresponding transition has happened.
+	ProvisionedAt time.Duration
+	DrainedAt     time.Duration
+	RetiredAt     time.Duration
+}
+
+// span returns the member's provisioned interval, using end for members
+// still provisioned when the run finished.
+func (m *Member) span(end time.Duration) (from, to time.Duration) {
+	from = m.ProvisionedAt
+	to = end
+	if m.State == StateRetired && m.RetiredAt < end {
+		to = m.RetiredAt
+	}
+	if to < from {
+		to = from
+	}
+	return from, to
+}
+
+// ScalingEvent records one controller decision that changed the active
+// replica count.
+type ScalingEvent struct {
+	// At is the control-tick instant as an offset from the start of the run.
+	At time.Duration
+	// From and To are the active replica counts before and after the
+	// decision was applied (To reflects what the pool could actually
+	// deliver, not just what the controller asked for).
+	From int
+	To   int
+}
+
+// ReplicaSet tracks a dynamic replica population with stable IDs over a
+// fixed pool of backing slots. It is the membership layer shared by the live
+// and virtual-time cluster engines: the engines own replica runtime state
+// (queues, RNG streams, latency accounting) while the set owns identity,
+// lifecycle transitions, and the provisioning cost ledger (lifetime spans,
+// replica-seconds, scaling events). It is not safe for concurrent use; both
+// engines drive it from their single dispatcher loop.
+type ReplicaSet struct {
+	members []*Member // indexed by ID, in provisioning order
+	free    []int     // pool slots not backing a member (popped from the end)
+	active  []int     // IDs of active members, ascending
+	nDrain  int
+	peak    int
+	events  []ScalingEvent
+}
+
+// NewReplicaSet creates an empty set over the given number of pool slots.
+func NewReplicaSet(slots int) *ReplicaSet {
+	free := make([]int, 0, slots)
+	for s := slots - 1; s >= 0; s-- {
+		free = append(free, s)
+	}
+	return &ReplicaSet{free: free}
+}
+
+// Provision activates a new member at offset now and returns it, or nil when
+// every pool slot is already in use (the engine then runs below the
+// requested target until a draining replica retires and frees its slot).
+func (rs *ReplicaSet) Provision(now time.Duration) *Member {
+	if len(rs.free) == 0 {
+		return nil
+	}
+	slot := rs.free[len(rs.free)-1]
+	rs.free = rs.free[:len(rs.free)-1]
+	m := &Member{ID: len(rs.members), Slot: slot, State: StateActive, ProvisionedAt: now}
+	rs.members = append(rs.members, m)
+	rs.active = append(rs.active, m.ID)
+	if p := len(rs.active) + rs.nDrain; p > rs.peak {
+		rs.peak = p
+	}
+	return m
+}
+
+// Drain moves an active member to StateDraining at offset now: it stops
+// being routable immediately but keeps its slot until it retires.
+func (rs *ReplicaSet) Drain(id int, now time.Duration) {
+	m := rs.members[id]
+	if m.State != StateActive {
+		return
+	}
+	m.State = StateDraining
+	m.DrainedAt = now
+	rs.nDrain++
+	for i, a := range rs.active {
+		if a == id {
+			rs.active = append(rs.active[:i], rs.active[i+1:]...)
+			break
+		}
+	}
+}
+
+// Retire moves a draining member to StateRetired at offset now and returns
+// its slot to the pool.
+func (rs *ReplicaSet) Retire(id int, now time.Duration) {
+	m := rs.members[id]
+	if m.State != StateDraining {
+		return
+	}
+	m.State = StateRetired
+	if now < m.DrainedAt {
+		now = m.DrainedAt
+	}
+	m.RetiredAt = now
+	rs.nDrain--
+	rs.free = append(rs.free, m.Slot)
+}
+
+// Member returns the lifecycle record for a replica ID.
+func (rs *ReplicaSet) Member(id int) *Member { return rs.members[id] }
+
+// Members returns every member ever provisioned, in ID order.
+func (rs *ReplicaSet) Members() []*Member { return rs.members }
+
+// ActiveIDs returns the IDs of the active (routable) members in ascending
+// order. The returned slice is the set's own; callers must not mutate it.
+func (rs *ReplicaSet) ActiveIDs() []int { return rs.active }
+
+// YoungestActive returns the highest active ID — the replica the engines
+// drain first, so scale-downs retire the most recently provisioned capacity
+// (deterministic LIFO).
+func (rs *ReplicaSet) YoungestActive() int { return rs.active[len(rs.active)-1] }
+
+// NumActive returns the number of active members.
+func (rs *ReplicaSet) NumActive() int { return len(rs.active) }
+
+// NumDraining returns the number of draining members.
+func (rs *ReplicaSet) NumDraining() int { return rs.nDrain }
+
+// Peak returns the largest number of simultaneously provisioned (active plus
+// draining) members seen so far.
+func (rs *ReplicaSet) Peak() int { return rs.peak }
+
+// Event records one controller decision in the scaling timeline.
+func (rs *ReplicaSet) Event(at time.Duration, from, to int) {
+	rs.events = append(rs.events, ScalingEvent{At: at, From: from, To: to})
+}
+
+// Events returns the scaling timeline in tick order.
+func (rs *ReplicaSet) Events() []ScalingEvent { return rs.events }
+
+// ReplicaSeconds integrates the provisioned replica count over [0, end]: the
+// run's provisioning cost, the denominator that lets an autoscaled run be
+// scored on SLO attainment per unit of capacity paid for. A replica counts
+// from provisioning until retirement (draining replicas still hold their
+// slot, so they still cost).
+func (rs *ReplicaSet) ReplicaSeconds(end time.Duration) float64 {
+	total := 0.0
+	for _, m := range rs.members {
+		from, to := m.span(end)
+		total += (to - from).Seconds()
+	}
+	return total
+}
+
+// MeanProvisioned returns the time-weighted mean provisioned replica count
+// over [from, to).
+func (rs *ReplicaSet) MeanProvisioned(from, to, end time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	overlap := time.Duration(0)
+	for _, m := range rs.members {
+		f, t := m.span(end)
+		if f < from {
+			f = from
+		}
+		if t > to {
+			t = to
+		}
+		if t > f {
+			overlap += t - f
+		}
+	}
+	return float64(overlap) / float64(to-from)
+}
+
+// AnnotateWindows fills each window's Replicas field with the mean
+// provisioned replica count over the window, so windowed series expose the
+// scaling timeline next to the latency it bought.
+func (rs *ReplicaSet) AnnotateWindows(ws []stats.WindowStat, end time.Duration) {
+	for i := range ws {
+		ws[i].Replicas = rs.MeanProvisioned(ws[i].Start, ws[i].End, end)
+	}
+}

@@ -7,13 +7,29 @@ import (
 	"tailbench/internal/stats"
 )
 
-// ReplicaStats is the per-replica breakdown of a cluster run.
+// ReplicaStats is the per-replica breakdown of a cluster run: one row per
+// member the replica set ever provisioned, including replicas that were
+// drained and retired mid-run.
 type ReplicaStats struct {
-	// Index is the replica's position in the cluster.
+	// Index is the replica's stable ID (assigned in provisioning order,
+	// never reused within a run).
 	Index int
+	// Slot is the pool slot that backed the replica (a live server or a
+	// simulated replica spec); slots are reused after retirement.
+	Slot int
+	// State is the replica's lifecycle state at the end of the run
+	// ("active", "draining", or "retired").
+	State string
 	// Slowdown is the service-time inflation factor the replica ran with
 	// (1.0 = nominal speed).
 	Slowdown float64
+	// ProvisionedAt and RetiredAt bound the replica's lifetime as offsets
+	// from the start of the run; RetiredAt is zero for replicas still
+	// provisioned when the run ended. Lifetime is the provisioned span
+	// (through the end of the run for non-retired replicas).
+	ProvisionedAt time.Duration
+	RetiredAt     time.Duration
+	Lifetime      time.Duration
 	// Dispatched counts every request routed to this replica, including
 	// warmup and failed requests.
 	Dispatched uint64
@@ -37,13 +53,30 @@ type ReplicaStats struct {
 	MaxQueueDepth int
 }
 
+// replicaStats fills a row's lifecycle fields from the member record. end is
+// the run's final instant on its time axis, closing the span of replicas
+// still provisioned.
+func replicaStats(m *Member, end time.Duration, row ReplicaStats) ReplicaStats {
+	row.Slot = m.Slot
+	row.State = m.State.String()
+	row.ProvisionedAt = m.ProvisionedAt
+	from, to := m.span(end)
+	row.Lifetime = to - from
+	if m.State == StateRetired {
+		row.RetiredAt = m.RetiredAt
+	}
+	return row
+}
+
 // Result is the outcome of one cluster measurement (live or simulated).
 type Result struct {
 	// App is the application name (or synthetic workload label).
 	App string
 	// Policy is the balancer policy the run used.
 	Policy string
-	// Replicas is the number of replica servers.
+	// Replicas is the number of replica servers active at the start of the
+	// run (and throughout it, unless an autoscaling controller changed the
+	// membership — see Controller, PeakReplicas, and ScalingEvents).
 	Replicas int
 	// Threads is the number of worker threads per replica.
 	Threads int
@@ -75,20 +108,60 @@ type Result struct {
 	ServiceSamples []time.Duration
 	SojournSamples []time.Duration
 	// Windows is the time-windowed latency series (offered/achieved QPS
-	// and sojourn percentiles per window); present when windowed
-	// accounting is enabled.
+	// and sojourn percentiles per window, plus the mean provisioned replica
+	// count when the run was elastic); present when windowed accounting is
+	// enabled.
 	Windows []stats.WindowStat
 	// Elapsed is the measurement interval: wall-clock for live runs,
 	// virtual time for simulated runs.
 	Elapsed time.Duration
-	// PerReplica is the per-replica breakdown, indexed by replica.
+
+	// Controller is the autoscaling policy that drove the run ("" for a
+	// fixed cluster), with MinReplicas/MaxReplicas its clamp bounds and
+	// ControlInterval its tick period.
+	Controller      string
+	MinReplicas     int
+	MaxReplicas     int
+	ControlInterval time.Duration
+	// PeakReplicas is the largest number of simultaneously provisioned
+	// replicas; ReplicaSeconds integrates the provisioned count over the
+	// run — the provisioning cost an SLO was (or was not) met at.
+	PeakReplicas   int
+	ReplicaSeconds float64
+	// ScalingEvents is the controller's decision timeline (only decisions
+	// that changed the active count are recorded).
+	ScalingEvents []ScalingEvent
+
+	// PerReplica is the per-replica breakdown, one row per member ever
+	// provisioned, indexed by stable replica ID.
 	PerReplica []ReplicaStats
+}
+
+// annotateElastic fills a result's elasticity fields from the replica set's
+// ledger. Fixed runs (nil loop) get the cost metrics too (ReplicaSeconds of
+// a static cluster is simply N times the run length, the baseline autoscaled
+// runs are judged against), but no controller fields.
+func annotateElastic(out *Result, loop *controlLoop, set *ReplicaSet, end time.Duration) {
+	out.PeakReplicas = set.Peak()
+	out.ReplicaSeconds = set.ReplicaSeconds(end)
+	out.ScalingEvents = set.Events()
+	set.AnnotateWindows(out.Windows, end)
+	if loop != nil {
+		out.Controller = loop.cfg.Policy
+		out.MinReplicas = loop.cfg.MinReplicas
+		out.MaxReplicas = loop.cfg.MaxReplicas
+		out.ControlInterval = loop.cfg.Interval
+	}
 }
 
 // String renders a one-line summary.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s [cluster %s x%d] threads=%d qps=%.1f achieved=%.1f n=%d err=%d sojourn{%s}",
-		r.App, r.Policy, r.Replicas, r.Threads, r.OfferedQPS, r.AchievedQPS,
+	elastic := ""
+	if r.Controller != "" {
+		elastic = fmt.Sprintf(" ctrl=%s peak=%d", r.Controller, r.PeakReplicas)
+	}
+	return fmt.Sprintf("%s [cluster %s x%d]%s threads=%d qps=%.1f achieved=%.1f n=%d err=%d sojourn{%s}",
+		r.App, r.Policy, r.Replicas, elastic, r.Threads, r.OfferedQPS, r.AchievedQPS,
 		r.Requests, r.Errors, r.Sojourn.String())
 }
 

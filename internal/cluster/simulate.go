@@ -15,7 +15,7 @@ import (
 	"tailbench/internal/workload"
 )
 
-// SimReplica describes one replica of a simulated cluster.
+// SimReplica describes one pool slot of a simulated cluster.
 type SimReplica struct {
 	// Service draws the replica's service times.
 	Service queueing.ServiceSampler
@@ -27,8 +27,8 @@ type SimReplica struct {
 // SimConfig parameterizes a simulated cluster run. The simulation runs in
 // virtual time — it is fully deterministic given the seed and costs no
 // wall-clock waiting, which makes it the right path for tests and for quick
-// what-if studies (policy comparisons, straggler scenarios) before spending
-// time on live runs.
+// what-if studies (policy comparisons, straggler scenarios, autoscaling
+// controller tuning) before spending time on live runs.
 type SimConfig struct {
 	// App labels the result (it can be a real application name when the
 	// service sampler was calibrated from one, or any synthetic label).
@@ -48,15 +48,25 @@ type SimConfig struct {
 	Window time.Duration
 	// Requests is the number of measured requests (default 1000).
 	Requests int
-	// WarmupRequests is the number of discarded warmup requests
-	// (default 10% of Requests).
+	// WarmupRequests is the number of discarded warmup requests. Zero means
+	// the default of 10% of Requests; a negative value means no warmup at
+	// all — the explicit-zero spelling, since 0 is taken by the default.
 	WarmupRequests int
 	// Seed drives arrivals, service draws, and the balancer.
 	Seed int64
 	// KeepRaw retains every cluster-wide latency sample in the result.
 	KeepRaw bool
-	// Replicas describes the cluster.
+	// Replicas describes the replica pool, one spec per slot. A replica
+	// provisioned into a slot uses that slot's sampler and slowdown.
 	Replicas []SimReplica
+	// InitialReplicas is the number of pool slots active at virtual t=0;
+	// zero means the whole pool (the fixed-cluster behavior). It must not
+	// exceed the pool size (matching the live engine's ErrReplicaCount).
+	InitialReplicas int
+	// Autoscale enables the autoscaling controller, driven in virtual time
+	// exactly as the live engine drives it in wall-clock time. Nil keeps
+	// membership fixed.
+	Autoscale *AutoscaleConfig
 }
 
 // ErrNoService is returned when a SimReplica lacks a service sampler.
@@ -76,11 +86,16 @@ func (c SimConfig) withDefaults() SimConfig {
 	if c.Requests <= 0 {
 		c.Requests = 1000
 	}
-	if c.WarmupRequests <= 0 {
+	if c.WarmupRequests == 0 {
 		c.WarmupRequests = c.Requests / 10
+	} else if c.WarmupRequests < 0 {
+		c.WarmupRequests = 0
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.InitialReplicas <= 0 {
+		c.InitialReplicas = len(c.Replicas)
 	}
 	return c
 }
@@ -102,8 +117,32 @@ func (h *finishHeap) Pop() interface{} {
 	return x
 }
 
-// simReplicaState is the evolving state of one simulated replica.
+// completion is one finished request on the simulation's completion timeline,
+// feeding the controller's per-tick latency window.
+type completion struct {
+	finish  time.Duration
+	sojourn time.Duration
+}
+
+// completionHeap orders completions by finish instant.
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simReplicaState is the evolving state of one simulated replica, attached
+// to its lifecycle record in the set.
 type simReplicaState struct {
+	member   *Member
 	slowdown float64
 	service  queueing.ServiceSampler
 	rng      *rand.Rand
@@ -113,6 +152,9 @@ type simReplicaState struct {
 	// inflight tracks completion instants of accepted-but-unfinished
 	// requests; len(inflight) is the outstanding count.
 	inflight finishHeap
+	// lastBusy is the latest completion instant ever assigned to this
+	// replica — the moment a draining replica actually goes idle.
+	lastBusy time.Duration
 
 	dispatched uint64
 	depth      depthAccum
@@ -121,36 +163,53 @@ type simReplicaState struct {
 	queueS, serviceS, sojournS []time.Duration
 }
 
+// simEngine is the run-scoped state of the virtual-time cluster path.
+type simEngine struct {
+	cfg    SimConfig
+	set    *ReplicaSet
+	states []*simReplicaState // indexed by member ID
+
+	// completions feeds the controller's per-tick p95 window; only
+	// maintained when autoscaling is on.
+	completions completionHeap
+	tickBuf     []time.Duration
+}
+
 // Simulate runs the cluster as a virtual-time discrete-event simulation:
-// Poisson arrivals are routed by the balancer on the outstanding counts
-// observed at each arrival instant, and each replica serves FIFO with
-// Threads parallel workers whose service times come from the replica's
-// sampler (scaled by its slowdown).
+// open-loop arrivals are routed by the balancer over the snapshot of active
+// replicas at each arrival instant, and each replica serves FIFO with
+// Threads parallel workers whose service times come from its pool slot's
+// sampler (scaled by the slot's slowdown). With Autoscale set, control
+// ticks fire on the virtual clock and the replica set grows and drains
+// mid-run, deterministically per seed — the scaling timeline is part of the
+// reproducible output.
 func Simulate(cfg SimConfig) (*Result, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, ErrNoReplicas
+	}
+	for r, sr := range cfg.Replicas {
+		if sr.Service == nil {
+			return nil, fmt.Errorf("%w (replica %d)", ErrNoService, r)
+		}
+	}
+	if cfg.InitialReplicas > len(cfg.Replicas) {
+		return nil, fmt.Errorf("%w (%d > %d)", ErrReplicaCount, cfg.InitialReplicas, len(cfg.Replicas))
 	}
 	cfg = cfg.withDefaults()
 	balancer, err := NewBalancer(cfg.Policy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-
-	states := make([]*simReplicaState, len(cfg.Replicas))
-	for r, sr := range cfg.Replicas {
-		if sr.Service == nil {
-			return nil, fmt.Errorf("%w (replica %d)", ErrNoService, r)
+	eng := &simEngine{cfg: cfg, set: NewReplicaSet(len(cfg.Replicas))}
+	var loop *controlLoop
+	if cfg.Autoscale != nil {
+		loop, err = newControlLoop(*cfg.Autoscale, cfg.InitialReplicas, len(cfg.Replicas))
+		if err != nil {
+			return nil, err
 		}
-		slow := sr.Slowdown
-		if math.IsNaN(slow) || math.IsInf(slow, 0) || slow < 1 {
-			slow = 1
-		}
-		states[r] = &simReplicaState{
-			slowdown:   slow,
-			service:    sr.Service,
-			rng:        workload.NewRand(workload.SplitSeed(cfg.Seed, int64(100+r))),
-			workerFree: make([]time.Duration, cfg.Threads),
-		}
+	}
+	for r := 0; r < cfg.InitialReplicas; r++ {
+		eng.provision(eng.set.Provision(0))
 	}
 
 	shape := load.Or(cfg.Load, cfg.QPS)
@@ -161,22 +220,26 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	var (
 		queueAll, serviceAll, sojournAll []time.Duration
 		timed                            []stats.TimedSample
-		outstanding                      = make([]int, len(states))
+		candidates                       []Candidate
 		lastFinish                       time.Duration
 	)
 	for i := 0; i < total; i++ {
 		t := arrivals[i]
-		// Retire everything that completed before this arrival, then snapshot
-		// the outstanding counts the balancer decides on.
-		for r, st := range states {
-			for st.inflight.Len() > 0 && st.inflight[0] <= t {
-				heap.Pop(&st.inflight)
+		if loop != nil {
+			for loop.next <= t {
+				eng.controlTick(loop)
 			}
-			outstanding[r] = st.inflight.Len()
 		}
-		pick := balancer.Pick(outstanding)
-		st := states[pick]
-		st.depth.observe(outstanding[pick])
+		// Retire everything that completed before this arrival, then snapshot
+		// the active replicas the balancer decides over.
+		eng.advance(t)
+		candidates = candidates[:0]
+		for _, id := range eng.set.ActiveIDs() {
+			candidates = append(candidates, Candidate{ID: id, Outstanding: eng.states[id].inflight.Len()})
+		}
+		pick := balancer.Pick(candidates)
+		st := eng.states[pick]
+		st.depth.observe(outstandingOf(candidates, pick))
 		st.dispatched++
 
 		// Earliest-free worker serves next (FIFO across the replica).
@@ -197,15 +260,23 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		finish := start + service
 		st.workerFree[w] = finish
 		heap.Push(&st.inflight, finish)
+		if finish > st.lastBusy {
+			st.lastBusy = finish
+		}
 		if finish > lastFinish {
 			lastFinish = finish
+		}
+		queue, sojourn := start-t, finish-t
+		if loop != nil {
+			// The controller observes every completion, warmup included —
+			// it is an online signal, not a measurement artifact.
+			heap.Push(&eng.completions, completion{finish: finish, sojourn: sojourn})
 		}
 
 		if i < cfg.WarmupRequests {
 			continue
 		}
 		st.measured++
-		queue, sojourn := start-t, finish-t
 		st.queueS = append(st.queueS, queue)
 		st.serviceS = append(st.serviceS, service)
 		st.sojournS = append(st.sojournS, sojourn)
@@ -214,6 +285,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		sojournAll = append(sojournAll, sojourn)
 		timed = append(timed, stats.TimedSample{At: t, Sojourn: sojourn})
 	}
+	// Run out the clock: retire any replica still draining at its actual
+	// idle instant so lifetime spans are exact.
+	eng.advance(lastFinish + 1)
 
 	firstMeasured := time.Duration(0)
 	if cfg.WarmupRequests < total {
@@ -227,7 +301,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	out := &Result{
 		App:         cfg.App,
 		Policy:      cfg.Policy,
-		Replicas:    len(states),
+		Replicas:    cfg.InitialReplicas,
 		Threads:     cfg.Threads,
 		OfferedQPS:  load.OfferedRate(shape, total),
 		Shape:       shape.Name(),
@@ -249,7 +323,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	if load.WindowEnabled(cfg.Window, cfg.Load) {
 		out.Windows = core.WindowsFromTimed(timed, cfg.Window, shape)
 	}
-	for r, st := range states {
+	for _, st := range eng.states {
 		// Per-replica throughput is the replica's share of the cluster-wide
 		// measurement interval (a per-replica window degenerates for replicas
 		// that saw only a handful of requests).
@@ -257,8 +331,8 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		if elapsed > 0 {
 			repAchieved = float64(st.measured) / elapsed.Seconds()
 		}
-		out.PerReplica = append(out.PerReplica, ReplicaStats{
-			Index:          r,
+		out.PerReplica = append(out.PerReplica, replicaStats(st.member, lastFinish, ReplicaStats{
+			Index:          st.member.ID,
 			Slowdown:       st.slowdown,
 			Dispatched:     st.dispatched,
 			Requests:       st.measured,
@@ -268,9 +342,66 @@ func Simulate(cfg SimConfig) (*Result, error) {
 			Sojourn:        stats.SummaryFromSamples(st.sojournS),
 			MeanQueueDepth: st.depth.mean(),
 			MaxQueueDepth:  st.depth.max,
-		})
+		}))
 	}
+	annotateElastic(out, loop, eng.set, lastFinish)
 	return out, nil
+}
+
+// provision builds the simulation state for a newly activated member. The
+// RNG stream is keyed by the stable replica ID, so a fixed cluster keeps the
+// exact pre-elastic streams and a dynamic run never replays a retired
+// replica's draws.
+func (e *simEngine) provision(m *Member) {
+	sr := e.cfg.Replicas[m.Slot]
+	slow := sr.Slowdown
+	if math.IsNaN(slow) || math.IsInf(slow, 0) || slow < 1 {
+		slow = 1
+	}
+	e.states = append(e.states, &simReplicaState{
+		member:     m,
+		slowdown:   slow,
+		service:    sr.Service,
+		rng:        workload.NewRand(workload.SplitSeed(e.cfg.Seed, int64(100+m.ID))),
+		workerFree: make([]time.Duration, e.cfg.Threads),
+	})
+}
+
+// advance moves the simulation clock to t: completed work leaves the
+// outstanding sets, and draining replicas that have gone idle retire at
+// their true last-busy instant.
+func (e *simEngine) advance(t time.Duration) {
+	for _, m := range e.set.Members() {
+		if m.State == StateRetired {
+			continue
+		}
+		st := e.states[m.ID]
+		for st.inflight.Len() > 0 && st.inflight[0] <= t {
+			heap.Pop(&st.inflight)
+		}
+		if m.State == StateDraining && st.inflight.Len() == 0 {
+			e.set.Retire(m.ID, st.lastBusy)
+		}
+	}
+}
+
+// controlTick runs one control tick at loop.next on the virtual clock.
+func (e *simEngine) controlTick(loop *controlLoop) {
+	at := loop.next
+	loop.next += loop.cfg.Interval
+	e.advance(at)
+	e.tickBuf = e.tickBuf[:0]
+	for e.completions.Len() > 0 && e.completions[0].finish <= at {
+		e.tickBuf = append(e.tickBuf, heap.Pop(&e.completions).(completion).sojourn)
+	}
+	outstanding := 0
+	for _, id := range e.set.ActiveIDs() {
+		outstanding += e.states[id].inflight.Len()
+	}
+	target := loop.decide(controllerInput(at, e.set, outstanding, e.tickBuf))
+	applyTarget(e.set, target, at, e.provision, func(*Member) {})
+	// A drained replica with no outstanding work retires immediately.
+	e.advance(at)
 }
 
 // EmpiricalService is a queueing.ServiceSampler that resamples (with

@@ -80,7 +80,9 @@ type RunConfig struct {
 	// Requests is the number of measured requests to issue (after warmup).
 	Requests int
 	// WarmupRequests is the number of initial requests whose measurements
-	// are discarded. If zero, 10% of Requests (minimum 50) is used.
+	// are discarded. If zero, 10% of Requests (minimum 50) is used; a
+	// negative value means no warmup at all — the explicit-zero spelling,
+	// since 0 is taken by the default (matching the cluster configs).
 	WarmupRequests int
 	// Seed drives all randomness in the run (inter-arrival times and request
 	// contents). Repeated runs use different seeds.
@@ -115,11 +117,13 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Requests <= 0 {
 		c.Requests = 1000
 	}
-	if c.WarmupRequests <= 0 {
+	if c.WarmupRequests == 0 {
 		c.WarmupRequests = c.Requests / 10
 		if c.WarmupRequests < 50 {
 			c.WarmupRequests = 50
 		}
+	} else if c.WarmupRequests < 0 {
+		c.WarmupRequests = 0
 	}
 	if c.Clients <= 0 {
 		// Enough connections that client-side serialization is never the

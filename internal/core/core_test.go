@@ -91,6 +91,11 @@ func TestRunConfigDefaults(t *testing.T) {
 	if c.WarmupRequests != 50 {
 		t.Errorf("warmup floor should be 50, got %d", c.WarmupRequests)
 	}
+	// Negative means explicitly no warmup (0 is taken by the default).
+	c = RunConfig{Requests: 100, WarmupRequests: -1}.withDefaults()
+	if c.WarmupRequests != 0 {
+		t.Errorf("negative warmup should mean none, got %d", c.WarmupRequests)
+	}
 	c = RunConfig{Threads: 16}.withDefaults()
 	if c.Clients != 16 {
 		t.Errorf("clients should cap at 16, got %d", c.Clients)

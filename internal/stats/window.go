@@ -34,6 +34,10 @@ type WindowStat struct {
 	OfferedQPS float64
 	// AchievedQPS is Requests divided by the window width.
 	AchievedQPS float64
+	// Replicas is the time-weighted mean provisioned replica count over the
+	// window (filled by elastic cluster harnesses that know the membership
+	// timeline; zero otherwise).
+	Replicas float64
 	// Mean, P50, P95, P99, and Max summarize the window's sojourn times.
 	Mean time.Duration
 	P50  time.Duration

@@ -80,12 +80,22 @@ func TestClusterResultJSONRoundTrip(t *testing.T) {
 		ServiceCDF:  []CDFPoint{{Value: time.Millisecond, Cumulative: 1}},
 		SojournCDF:  []CDFPoint{{Value: 2 * time.Millisecond, Cumulative: 1}},
 		Windows: []WindowStats{
-			{Start: 0, End: 500 * time.Millisecond, Requests: 250, OfferedQPS: 500, AchievedQPS: 500, P99: 2 * time.Millisecond},
+			{Start: 0, End: 500 * time.Millisecond, Requests: 250, OfferedQPS: 500, AchievedQPS: 500, Replicas: 2.5, P99: 2 * time.Millisecond},
 		},
-		Elapsed: 16 * time.Second,
+		Elapsed:         16 * time.Second,
+		Controller:      "threshold",
+		MinReplicas:     2,
+		MaxReplicas:     8,
+		ControlInterval: 50 * time.Millisecond,
+		PeakReplicas:    6,
+		ReplicaSeconds:  42.5,
+		ScalingEvents: []ScalingEvent{
+			{At: 2 * time.Second, From: 2, To: 6},
+			{At: 4 * time.Second, From: 6, To: 5},
+		},
 		PerReplica: []ReplicaResult{
-			{Index: 0, Slowdown: 1, Dispatched: 2500, Requests: 2400, AchievedQPS: 150, Sojourn: LatencyStats{Count: 2400, P95: 2 * time.Millisecond}, MeanQueueDepth: 1.5, MaxQueueDepth: 9},
-			{Index: 1, Slowdown: 3, Dispatched: 2400, Requests: 2300, Errors: 1, AchievedQPS: 145, MeanQueueDepth: 4.25, MaxQueueDepth: 31},
+			{Index: 0, Slot: 0, State: "active", Lifetime: 16 * time.Second, Slowdown: 1, Dispatched: 2500, Requests: 2400, AchievedQPS: 150, Sojourn: LatencyStats{Count: 2400, P95: 2 * time.Millisecond}, MeanQueueDepth: 1.5, MaxQueueDepth: 9},
+			{Index: 1, Slot: 1, State: "retired", ProvisionedAt: 2 * time.Second, RetiredAt: 9 * time.Second, Lifetime: 7 * time.Second, Slowdown: 3, Dispatched: 2400, Requests: 2300, Errors: 1, AchievedQPS: 145, MeanQueueDepth: 4.25, MaxQueueDepth: 31},
 		},
 	}
 	data, err := json.Marshal(&in)
@@ -105,6 +115,36 @@ func TestClusterResultJSONRoundTrip(t *testing.T) {
 	}
 	if raw["Mode"] != "simulated" || raw["ShapeSpec"] != "spike:500,1500,5s,2s" {
 		t.Errorf("named fields encoded as Mode=%v ShapeSpec=%v", raw["Mode"], raw["ShapeSpec"])
+	}
+	if raw["Controller"] != "threshold" {
+		t.Errorf("Controller encoded as %v, want \"threshold\"", raw["Controller"])
+	}
+}
+
+// TestFixedClusterResultJSONOmitsElasticFields checks that a fixed-cluster
+// result (no controller) does not grow optional autoscaling fields in its
+// JSON encoding, keeping pre-elastic consumers unperturbed.
+func TestFixedClusterResultJSONOmitsElasticFields(t *testing.T) {
+	in := ClusterResult{App: "masstree", Policy: "leastq", Replicas: 2, PeakReplicas: 2, ReplicaSeconds: 4}
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Controller", "MinReplicas", "MaxReplicas", "ControlInterval", "ScalingEvents"} {
+		if _, present := raw[key]; present {
+			t.Errorf("fixed-cluster JSON carries %s", key)
+		}
+	}
+	var out ClusterResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.PeakReplicas != 2 || out.ReplicaSeconds != 4 {
+		t.Errorf("cost ledger did not round-trip: %+v", out)
 	}
 }
 

@@ -84,6 +84,11 @@ type WindowStats struct {
 	// requests.
 	OfferedQPS  float64
 	AchievedQPS float64
+	// Replicas is the time-weighted mean provisioned replica count over
+	// the window — the scaling timeline of an elastic cluster run (a
+	// fixed cluster reports its constant count; single-server runs report
+	// zero).
+	Replicas float64 `json:",omitempty"`
 	// Mean, P50, P95, P99, and Max summarize the window's sojourn times.
 	Mean time.Duration
 	P50  time.Duration
@@ -101,12 +106,31 @@ func WriteWindowTable(w io.Writer, windows []WindowStats) {
 	if len(windows) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "%-21s %-10s %-10s %-12s %-12s %-12s %s\n",
-		"window", "offered", "achieved", "p50", "p95", "p99", "n")
+	// The replica column only appears when some window carries membership
+	// accounting (cluster runs); single-server series stay unchanged.
+	withReplicas := false
 	for _, win := range windows {
-		fmt.Fprintf(w, "%-21s %-10.1f %-10.1f %-12v %-12v %-12v %d\n",
+		if win.Replicas > 0 {
+			withReplicas = true
+			break
+		}
+	}
+	repl := func(win WindowStats) string {
+		if !withReplicas {
+			return ""
+		}
+		return fmt.Sprintf(" %-6.1f", win.Replicas)
+	}
+	header := ""
+	if withReplicas {
+		header = " repl  "
+	}
+	fmt.Fprintf(w, "%-21s %-10s %-10s%s %-12s %-12s %-12s %s\n",
+		"window", "offered", "achieved", header, "p50", "p95", "p99", "n")
+	for _, win := range windows {
+		fmt.Fprintf(w, "%-21s %-10.1f %-10.1f%s %-12v %-12v %-12v %d\n",
 			fmt.Sprintf("%v-%v", win.Start.Round(time.Microsecond), win.End.Round(time.Microsecond)),
-			win.OfferedQPS, win.AchievedQPS,
+			win.OfferedQPS, win.AchievedQPS, repl(win),
 			win.P50.Round(time.Microsecond), win.P95.Round(time.Microsecond), win.P99.Round(time.Microsecond),
 			win.Requests)
 	}

@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench"
+)
+
+// ControllerCase is one entry of a ControllerComparison: a cluster sizing
+// plus an optional autoscaling controller. A nil Autoscale runs a fixed
+// cluster of Replicas servers — the static baselines (base-provisioned,
+// peak-provisioned) an elastic run is judged against.
+type ControllerCase struct {
+	// Name labels the case in figures; empty derives a label from the
+	// controller policy (or "static-N" for fixed clusters).
+	Name string
+	// Replicas is the initial (and, without a controller, permanent)
+	// replica count.
+	Replicas int
+	// Autoscale enables the controller for this case.
+	Autoscale *tailbench.AutoscaleSpec
+}
+
+// label resolves the case's display name.
+func (c ControllerCase) label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	if c.Autoscale == nil {
+		return fmt.Sprintf("static-%d", c.Replicas)
+	}
+	policy := c.Autoscale.Policy
+	if policy == "" {
+		policy = "static"
+	}
+	return policy
+}
+
+// ControllerSeries is the outcome of one ControllerCase riding a load shape:
+// the windowed latency/membership series plus the two scalar figures of
+// merit — the worst windowed p99 (SLO side) and the replica-seconds spent
+// (cost side). Comparing series answers the provisioning question the
+// TailBench methodology raises for elastic services: how close to
+// peak-provisioned tail latency can a controller get, at what fraction of
+// the peak-provisioned cost?
+type ControllerSeries struct {
+	Case ControllerCase
+	App  string
+	Mode tailbench.Mode
+	// Policy is the balancer policy every case shares.
+	Policy string
+	// Shape and ShapeSpec identify the arrival process.
+	Shape     string
+	ShapeSpec string
+	// Windows is the per-window series (offered/achieved QPS, mean
+	// provisioned replicas, sojourn percentiles).
+	Windows []tailbench.WindowStats
+	// PeakP99 is the worst windowed p99; OverallP99 the whole-run p99.
+	PeakP99    time.Duration
+	OverallP99 time.Duration
+	// PeakReplicas and ReplicaSeconds are the run's provisioning ledger.
+	PeakReplicas   int
+	ReplicaSeconds float64
+	// ScalingEvents counts the controller decisions that changed the
+	// active replica count.
+	ScalingEvents int
+}
+
+// Label returns the series label used in figure output.
+func (s ControllerSeries) Label() string {
+	return fmt.Sprintf("%s/%s/%s/%s/%s", s.App, s.Mode, s.Policy, s.Case.label(), s.Shape)
+}
+
+// ControllerComparison measures how each case — fixed clusters and
+// autoscaled ones — rides a time-varying load shape on one application,
+// producing one windowed ControllerSeries per case. The application is
+// calibrated once (or not at all when the caller supplies the Calibration it
+// sized the shape from), and every simulated case reuses the same
+// service-time samples, so controllers are compared against an identical
+// workload; window sets the accounting width (zero picks one automatically
+// from the shape's horizon).
+func ControllerComparison(app string, mode tailbench.Mode, policy string, cases []ControllerCase, shape tailbench.LoadShape, window time.Duration, cal *Calibration, opts Options) ([]*ControllerSeries, error) {
+	if shape == nil {
+		return nil, fmt.Errorf("sweep: ControllerComparison requires a load shape")
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("sweep: ControllerComparison requires at least one case")
+	}
+	if policy == "" {
+		policy = "leastq"
+	}
+	opts = opts.normalize()
+	if cal == nil {
+		var err error
+		cal, err = Calibrate(app, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var samples []time.Duration
+	if mode == tailbench.ModeSimulated {
+		samples = cal.ServiceSamples
+	}
+	var series []*ControllerSeries
+	for _, c := range cases {
+		res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+			App:                 app,
+			Mode:                mode,
+			Policy:              policy,
+			Replicas:            c.Replicas,
+			Load:                shape,
+			Window:              window,
+			Requests:            opts.Requests,
+			Warmup:              opts.Warmup,
+			Scale:               opts.Scale,
+			Seed:                opts.Seed,
+			Validate:            opts.Validate,
+			Autoscale:           c.Autoscale,
+			CalibrationRequests: opts.CalibrationRequests,
+			ServiceSamples:      samples,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s cluster case %q under %s: %w", app, c.label(), shape.Spec(), err)
+		}
+		s := &ControllerSeries{
+			Case:           c,
+			App:            app,
+			Mode:           mode,
+			Policy:         policy,
+			Shape:          res.Shape,
+			ShapeSpec:      res.ShapeSpec,
+			Windows:        res.Windows,
+			OverallP99:     res.Sojourn.P99,
+			PeakReplicas:   res.PeakReplicas,
+			ReplicaSeconds: res.ReplicaSeconds,
+			ScalingEvents:  len(res.ScalingEvents),
+		}
+		for _, w := range res.Windows {
+			if w.P99 > s.PeakP99 {
+				s.PeakP99 = w.P99
+			}
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"tailbench"
+)
+
+func TestControllerComparisonSimulated(t *testing.T) {
+	opts := Quick()
+	opts.Requests = 6000
+	opts.Warmup = 600
+	// Size the spike against the application's measured single-replica
+	// capacity: base load fits 1 replica, the crest needs ~3.
+	cal, err := Calibrate("masstree", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := cal.SaturationQPS
+	// Time base chosen so the request budget covers the whole profile.
+	horizon := time.Duration(float64(opts.Requests+opts.Warmup) / (1.1 * sat) * float64(time.Second))
+	shape := tailbench.Spike(0.5*sat, 2.7*sat, horizon/3, horizon/3)
+	cases := []ControllerCase{
+		{Replicas: 4}, // statically peak-provisioned baseline
+		{Replicas: 1, Autoscale: &tailbench.AutoscaleSpec{
+			Policy: "threshold", MinReplicas: 1, MaxReplicas: 4,
+			Interval: horizon / 200, HighDepth: 1.5, LowDepth: 0.4,
+		}},
+	}
+	series, err := ControllerComparison("masstree", tailbench.ModeSimulated, "leastq",
+		cases, shape, horizon/12, cal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2", len(series))
+	}
+	static, elastic := series[0], series[1]
+	if static.Case.label() != "static-4" || elastic.Case.label() != "threshold" {
+		t.Fatalf("labels = %q/%q", static.Case.label(), elastic.Case.label())
+	}
+	if static.PeakReplicas != 4 || static.ScalingEvents != 0 {
+		t.Errorf("static baseline: peak=%d events=%d, want 4/0", static.PeakReplicas, static.ScalingEvents)
+	}
+	if elastic.PeakReplicas <= 1 || elastic.ScalingEvents == 0 {
+		t.Errorf("elastic case never scaled: peak=%d events=%d", elastic.PeakReplicas, elastic.ScalingEvents)
+	}
+	if elastic.ReplicaSeconds >= static.ReplicaSeconds {
+		t.Errorf("elastic replica-seconds %.2f not below static %.2f", elastic.ReplicaSeconds, static.ReplicaSeconds)
+	}
+	for _, s := range series {
+		if len(s.Windows) == 0 || s.PeakP99 <= 0 {
+			t.Errorf("%s: missing windowed series", s.Label())
+		}
+	}
+	// The elastic windows carry the membership trace the static ones pin at
+	// a constant.
+	varied := false
+	for _, w := range elastic.Windows {
+		if w.Replicas > 0 && w.Replicas != elastic.Windows[0].Replicas {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("elastic windowed replica counts never varied")
+	}
+}
+
+func TestControllerComparisonValidation(t *testing.T) {
+	if _, err := ControllerComparison("masstree", tailbench.ModeSimulated, "", nil, nil, 0, nil, Quick()); err == nil {
+		t.Fatal("nil shape should be rejected")
+	}
+	if _, err := ControllerComparison("masstree", tailbench.ModeSimulated, "", nil, tailbench.Constant(100), 0, nil, Quick()); err == nil {
+		t.Fatal("empty case list should be rejected")
+	}
+}

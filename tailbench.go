@@ -171,7 +171,10 @@ type RunSpec struct {
 	Clients int
 	// Requests is the number of measured requests (default 1000).
 	Requests int
-	// Warmup is the number of discarded warmup requests (default 10%).
+	// Warmup is the number of discarded warmup requests. Zero means the
+	// default (10% of Requests, with a 50-request floor in live modes); a
+	// negative value means no warmup at all — the explicit-zero spelling,
+	// since 0 is taken by the default.
 	Warmup int
 	// Scale shrinks or grows the application dataset (default 1.0).
 	Scale float64
@@ -385,6 +388,7 @@ func fromWindowStats(ws []stats.WindowStat) []WindowStats {
 			Errors:      w.Errors,
 			OfferedQPS:  w.OfferedQPS,
 			AchievedQPS: w.AchievedQPS,
+			Replicas:    w.Replicas,
 			Mean:        w.Mean,
 			P50:         w.P50,
 			P95:         w.P95,
@@ -463,8 +467,10 @@ func runSimulated(spec RunSpec, f app.Factory) (*Result, error) {
 		requests = 1000
 	}
 	warmup := spec.Warmup
-	if warmup <= 0 {
+	if warmup == 0 {
 		warmup = requests / 10
+	} else if warmup < 0 {
+		warmup = 0
 	}
 	simRes, err := model.Run(sim.RunParams{
 		QPS:         spec.QPS,

@@ -20,6 +20,12 @@ func BalancerPolicies() []string { return cluster.Policies() }
 // (queue-depth hysteresis), and target-p95 (windowed tail-latency goal).
 func ControllerPolicies() []string { return cluster.Controllers() }
 
+// DrainPolicies returns the names of the built-in scale-down drain
+// policies: youngest (retire the most recently provisioned replica first,
+// the default) and oldest (rolling refresh: retire the longest-lived
+// replica first).
+func DrainPolicies() []string { return cluster.DrainPolicies() }
+
 // AutoscaleSpec enables and parameterizes the replica autoscaling
 // controller of a cluster run. Each control interval the controller
 // observes per-replica queue depth and the interval's p95 sojourn and
@@ -53,6 +59,15 @@ type AutoscaleSpec struct {
 	// TargetP95 is the target-p95 policy's goal for each control
 	// interval's p95 sojourn (default 10ms).
 	TargetP95 time.Duration
+	// ProvisionDelay is the cold-start latency of a scale-up: a replica the
+	// controller provisions mid-run holds its pool slot (and costs
+	// replica-seconds) immediately but turns routable only after the delay,
+	// identically on the wall clock and the virtual clock. Zero keeps the
+	// warm-pool behavior. The run's initial replicas always start active.
+	ProvisionDelay time.Duration
+	// DrainPolicy picks the scale-down victim: "youngest" (default) or
+	// "oldest" (rolling refresh). See DrainPolicies.
+	DrainPolicy string
 }
 
 // ClusterSpec describes one multi-replica measurement: N replica servers of
@@ -138,8 +153,11 @@ type ReplicaResult struct {
 	State string
 	// ProvisionedAt and RetiredAt bound the replica's lifetime as offsets
 	// from the start of the run (RetiredAt is zero for replicas still
-	// provisioned at the end); Lifetime is the provisioned span.
+	// provisioned at the end); Lifetime is the provisioned span. ActiveAt
+	// is when the replica turned routable — after ProvisionedAt exactly
+	// when the autoscaler's cold-start ProvisionDelay was in effect.
 	ProvisionedAt time.Duration
+	ActiveAt      time.Duration `json:",omitempty"`
 	RetiredAt     time.Duration `json:",omitempty"`
 	Lifetime      time.Duration
 	Slowdown      float64
@@ -326,13 +344,15 @@ func (s ClusterSpec) autoscaleConfig() *cluster.AutoscaleConfig {
 		return nil
 	}
 	return &cluster.AutoscaleConfig{
-		Policy:      s.Autoscale.Policy,
-		MinReplicas: s.Autoscale.MinReplicas,
-		MaxReplicas: s.Autoscale.MaxReplicas,
-		Interval:    s.Autoscale.Interval,
-		HighDepth:   s.Autoscale.HighDepth,
-		LowDepth:    s.Autoscale.LowDepth,
-		TargetP95:   s.Autoscale.TargetP95,
+		Policy:         s.Autoscale.Policy,
+		MinReplicas:    s.Autoscale.MinReplicas,
+		MaxReplicas:    s.Autoscale.MaxReplicas,
+		Interval:       s.Autoscale.Interval,
+		HighDepth:      s.Autoscale.HighDepth,
+		LowDepth:       s.Autoscale.LowDepth,
+		TargetP95:      s.Autoscale.TargetP95,
+		ProvisionDelay: s.Autoscale.ProvisionDelay,
+		DrainPolicy:    s.Autoscale.DrainPolicy,
 	}
 }
 
@@ -349,10 +369,11 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 		return nil, err
 	}
 	if spec.Autoscale != nil {
-		// Reject unknown controller policies before any (expensive) replica
-		// server is built; the engines would catch this too, but later.
-		// normalize has already resolved an empty policy to the default.
-		if _, err := cluster.NewController(cluster.AutoscaleConfig{Policy: spec.Autoscale.Policy}, spec.Replicas); err != nil {
+		// Reject unknown controller or drain policies before any (expensive)
+		// replica server is built; the engines would catch this too, but
+		// later. normalize has already resolved an empty policy to the
+		// default.
+		if _, err := cluster.NewControlLoop(*spec.autoscaleConfig(), spec.Replicas, spec.Autoscale.MaxReplicas); err != nil {
 			return nil, err
 		}
 	}
@@ -527,6 +548,7 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 			Slot:           rs.Slot,
 			State:          rs.State,
 			ProvisionedAt:  rs.ProvisionedAt,
+			ActiveAt:       rs.ActiveAt,
 			RetiredAt:      rs.RetiredAt,
 			Lifetime:       rs.Lifetime,
 			Slowdown:       rs.Slowdown,

@@ -63,13 +63,19 @@ func main() {
 	}
 }
 
-// reportFromFile renders a saved JSON result. Cluster results (identified by
-// their per-replica breakdown) get the full replica table; single-server
-// results get the aggregate summary.
+// reportFromFile renders a saved JSON result. Pipeline results (identified
+// by their tier chain) get the per-tier rendering, cluster results
+// (identified by their per-replica breakdown) the full replica table, and
+// single-server results the aggregate summary.
 func reportFromFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var pipe tailbench.PipelineResult
+	if err := json.Unmarshal(data, &pipe); err == nil && len(pipe.Tiers) > 0 {
+		printPipelineReport(&pipe)
+		return nil
 	}
 	var cluster tailbench.ClusterResult
 	if err := json.Unmarshal(data, &cluster); err == nil && cluster.Policy != "" && len(cluster.PerReplica) > 0 {
@@ -89,6 +95,32 @@ func reportFromFile(path string) error {
 		tailbench.WriteWindowTable(os.Stdout, single.Windows)
 	}
 	return nil
+}
+
+func printPipelineReport(res *tailbench.PipelineResult) {
+	fmt.Printf("%s: %d-tier pipeline, %s mode\n", res.Label, len(res.Tiers), res.Mode)
+	if res.Shape != "" && res.Shape != "constant" {
+		fmt.Printf("load shape: %s\n", res.ShapeSpec)
+	}
+	fmt.Printf("offered %.1f root qps, achieved %.1f qps, %d requests (%d errors)\n",
+		res.OfferedQPS, res.AchievedQPS, res.Requests, res.Errors)
+	s := res.Sojourn
+	fmt.Printf("end-to-end sojourn: mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	if len(res.Windows) > 0 {
+		fmt.Println()
+		tailbench.WriteWindowTable(os.Stdout, res.Windows)
+	}
+	fmt.Println()
+	res.WriteTierTable(os.Stdout)
+	for _, t := range res.Tiers {
+		if t.Controller != "" {
+			fmt.Printf("\n%s autoscale: %s [%d..%d], tick %v — peak %d replicas, %.1f replica-seconds, %d scaling events\n",
+				t.Name, t.Controller, t.MinReplicas, t.MaxReplicas, t.ControlInterval,
+				t.PeakReplicas, t.ReplicaSeconds, len(t.ScalingEvents))
+		}
+	}
 }
 
 func printClusterReport(res *tailbench.ClusterResult) {

@@ -16,6 +16,13 @@
 //
 //	tailbench cluster -app xapian -mode simulated -replicas 2 \
 //	  -autoscale threshold -max-replicas 8 -shape spike:1000,6000,2s,2s
+//
+// The pipeline subcommand chains clusters into a multi-tier topology with
+// fan-out/fan-in edges and optional hedging, so a request's sojourn spans
+// tiers (the "tail at scale" scenario):
+//
+//	tailbench pipeline -mode simulated -tiers xapian:2,xapian:16 \
+//	  -fanout 16 -hedge 500us -qps 2000
 package main
 
 import (
@@ -34,6 +41,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "cluster" {
 		runCluster(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "pipeline" {
+		runPipeline(os.Args[2:])
 		return
 	}
 	var (
@@ -174,6 +185,8 @@ func runCluster(args []string) {
 		scaleHigh = fs.Float64("scale-high", 0, "threshold policy: scale up above this mean queue depth per replica (0 = 3)")
 		scaleLow  = fs.Float64("scale-low", 0, "threshold policy: drain below this mean queue depth per replica (0 = 0.5)")
 		targetP95 = fs.Duration("target-p95", 0, "target-p95 policy: windowed p95 sojourn goal (0 = 10ms)")
+		provDelay = fs.Duration("provision-delay", 0, "cold-start latency before a scaled-up replica turns active (0 = instant warm pool)")
+		drainPol  = fs.String("drain-policy", "", "scale-down victim policy: "+strings.Join(tailbench.DrainPolicies(), ", ")+" (empty = youngest)")
 	)
 	fs.Parse(args)
 
@@ -190,15 +203,17 @@ func runCluster(args []string) {
 	var autoSpec *tailbench.AutoscaleSpec
 	if *autoscale != "" {
 		autoSpec = &tailbench.AutoscaleSpec{
-			Policy:      *autoscale,
-			MinReplicas: *minRepl,
-			MaxReplicas: *maxRepl,
-			Interval:    *interval,
-			HighDepth:   *scaleHigh,
-			LowDepth:    *scaleLow,
-			TargetP95:   *targetP95,
+			Policy:         *autoscale,
+			MinReplicas:    *minRepl,
+			MaxReplicas:    *maxRepl,
+			Interval:       *interval,
+			HighDepth:      *scaleHigh,
+			LowDepth:       *scaleLow,
+			TargetP95:      *targetP95,
+			ProvisionDelay: *provDelay,
+			DrainPolicy:    *drainPol,
 		}
-	} else if *minRepl != 0 || *maxRepl != 0 || *interval != 0 || *scaleHigh != 0 || *scaleLow != 0 || *targetP95 != 0 {
+	} else if *minRepl != 0 || *maxRepl != 0 || *interval != 0 || *scaleHigh != 0 || *scaleLow != 0 || *targetP95 != 0 || *provDelay != 0 || *drainPol != "" {
 		// Tuning flags without a controller would be silently ignored and
 		// the run would stay a fixed cluster — almost certainly not what
 		// the user meant.
@@ -246,6 +261,196 @@ func runCluster(args []string) {
 		}
 	}
 	printClusterResult(res)
+}
+
+// runPipeline implements the pipeline subcommand: a chain of clusters with
+// fan-out/fan-in edges and optional per-edge hedging.
+func runPipeline(args []string) {
+	fs := flag.NewFlagSet("tailbench pipeline", flag.ExitOnError)
+	var (
+		tiersArg = fs.String("tiers", "masstree:2,masstree:4", "tier chain, front-end first, as comma-separated app:replicas[:threads] entries")
+		fanout   = fs.String("fanout", "", "per-edge fan-out degrees for tiers 1..N-1, comma-separated (one value broadcasts to every edge; empty = 1)")
+		hedgeArg = fs.String("hedge", "", "per-edge hedging delay budgets for tiers 1..N-1, comma-separated durations (one value broadcasts; 0 or empty = no hedging)")
+		mode     = fs.String("mode", "simulated", "execution path: integrated (live replicas) or simulated (virtual time)")
+		policy   = fs.String("policy", "leastq", "balancer policy for every tier: "+strings.Join(tailbench.BalancerPolicies(), ", "))
+		qps      = fs.Float64("qps", 1000, "root arrival rate in queries per second (0 = saturation)")
+		shapeArg = fs.String("shape", "", "time-varying root load shape, e.g. spike:500,1500,5s,2s (overrides -qps)")
+		window   = fs.Duration("window", 0, "windowed latency accounting width (0 = automatic for time-varying shapes)")
+		requests = fs.Int("requests", 2000, "measured root requests")
+		warmup   = fs.Int("warmup", 0, "warmup root requests (0 = 10% of requests, negative = none)")
+		scale    = fs.Float64("scale", 1.0, "application dataset scale (every tier)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		jsonOut  = fs.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
+	)
+	fs.Parse(args)
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	shape, err := parseShape(*shapeArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
+	tiers, err := parseTiers(*tiersArg, *fanout, *hedgeArg, *policy, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
+	res, err := tailbench.RunPipeline(tailbench.PipelineSpec{
+		Mode:     m,
+		Tiers:    tiers,
+		QPS:      *qps,
+		Load:     shape,
+		Window:   *window,
+		Requests: *requests,
+		Warmup:   *warmup,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut == "-" {
+			return
+		}
+	}
+	printPipelineResult(res)
+}
+
+// parseTiers turns "-tiers xapian:2,masstree:16 -fanout 16 -hedge 500us"
+// into the tier chain. Edge vectors (-fanout, -hedge) cover tiers 1..N-1; a
+// single value broadcasts to every edge.
+func parseTiers(tiersArg, fanoutArg, hedgeArg, policy string, scale float64) ([]tailbench.TierSpec, error) {
+	entries := strings.Split(tiersArg, ",")
+	if len(entries) == 0 || tiersArg == "" {
+		return nil, fmt.Errorf("-tiers must name at least one tier")
+	}
+	fanouts, err := parseEdgeInts(fanoutArg, len(entries)-1)
+	if err != nil {
+		return nil, fmt.Errorf("bad -fanout: %w", err)
+	}
+	hedges, err := parseEdgeDurations(hedgeArg, len(entries)-1)
+	if err != nil {
+		return nil, fmt.Errorf("bad -hedge: %w", err)
+	}
+	tiers := make([]tailbench.TierSpec, 0, len(entries))
+	for i, entry := range entries {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad -tiers entry %q (want app:replicas[:threads])", entry)
+		}
+		replicas, err := strconv.Atoi(parts[1])
+		if err != nil || replicas < 1 {
+			return nil, fmt.Errorf("bad -tiers replica count %q", parts[1])
+		}
+		threads := 1
+		if len(parts) == 3 {
+			threads, err = strconv.Atoi(parts[2])
+			if err != nil || threads < 1 {
+				return nil, fmt.Errorf("bad -tiers thread count %q", parts[2])
+			}
+		}
+		t := tailbench.TierSpec{Cluster: tailbench.ClusterSpec{
+			App: parts[0], Policy: policy, Replicas: replicas, Threads: threads, Scale: scale,
+		}}
+		if i > 0 {
+			t.FanOut = fanouts[i-1]
+			if hedges[i-1] > 0 {
+				t.Hedge = &tailbench.HedgeSpec{Delay: hedges[i-1]}
+			}
+		}
+		tiers = append(tiers, t)
+	}
+	return tiers, nil
+}
+
+// parseEdgeInts parses a comma-separated int vector of length edges; empty
+// means all-1 and a single value broadcasts.
+func parseEdgeInts(s string, edges int) ([]int, error) {
+	out := make([]int, edges)
+	for i := range out {
+		out[i] = 1
+	}
+	if s == "" || edges == 0 {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 1 && len(parts) != edges {
+		return nil, fmt.Errorf("%d values for %d edges", len(parts), edges)
+	}
+	for i := range out {
+		p := parts[0]
+		if len(parts) > 1 {
+			p = parts[i]
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad degree %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseEdgeDurations parses a comma-separated duration vector of length
+// edges; empty means all-zero and a single value broadcasts.
+func parseEdgeDurations(s string, edges int) ([]time.Duration, error) {
+	out := make([]time.Duration, edges)
+	if s == "" || edges == 0 {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 1 && len(parts) != edges {
+		return nil, fmt.Errorf("%d values for %d edges", len(parts), edges)
+	}
+	for i := range out {
+		p := strings.TrimSpace(parts[0])
+		if len(parts) > 1 {
+			p = strings.TrimSpace(parts[i])
+		}
+		if p == "0" || p == "" {
+			continue
+		}
+		d, err := time.ParseDuration(p)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad delay %q", p)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+func printPipelineResult(res *tailbench.PipelineResult) {
+	fmt.Printf("topology    : %s\n", res.Label)
+	fmt.Printf("mode        : pipeline/%s\n", res.Mode)
+	if res.Shape != "" && res.Shape != "constant" {
+		fmt.Printf("load shape  : %s\n", res.ShapeSpec)
+	}
+	fmt.Printf("offered QPS : %.1f (root requests)\n", res.OfferedQPS)
+	fmt.Printf("achieved QPS: %.1f\n", res.AchievedQPS)
+	fmt.Printf("requests    : %d (errors %d)\n", res.Requests, res.Errors)
+	s := res.Sojourn
+	fmt.Printf("end-to-end  : mean=%-12v p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+		s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	printWindows(res.Windows)
+	fmt.Println()
+	res.WriteTierTable(os.Stdout)
+	for _, t := range res.Tiers {
+		if t.Controller != "" {
+			fmt.Printf("\n%s autoscale: %s [%d..%d], tick %v — peak %d replicas, %.1f replica-seconds, %d scaling events\n",
+				t.Name, t.Controller, t.MinReplicas, t.MaxReplicas, t.ControlInterval,
+				t.PeakReplicas, t.ReplicaSeconds, len(t.ScalingEvents))
+		}
+	}
 }
 
 // parseSlowdowns turns "0:3,2:1.5" into a dense per-replica factor slice.

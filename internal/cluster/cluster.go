@@ -145,7 +145,7 @@ type replica struct {
 	// that an observed zero outstanding count has an accurate idle instant.
 	lastDone   atomic.Int64
 	dispatched uint64 // dispatcher goroutine only
-	depth      depthAccum
+	depth      DepthAccum
 
 	collector *core.Collector
 }
@@ -219,9 +219,9 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	if err != nil {
 		return nil, err
 	}
-	var loop *controlLoop
+	var loop *ControlLoop
 	if cfg.Autoscale != nil {
-		loop, err = newControlLoop(*cfg.Autoscale, cfg.Replicas, len(servers))
+		loop, err = NewControlLoop(*cfg.Autoscale, cfg.Replicas, len(servers))
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +255,7 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 		autoscale: loop != nil,
 	}
 	for r := 0; r < cfg.Replicas; r++ {
-		eng.provision(eng.set.Provision(0))
+		eng.provision(eng.set.Provision(0, 0))
 	}
 
 	// Dispatcher: issue requests open-loop at their scheduled instants,
@@ -274,17 +274,28 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 		}
 		if loop != nil {
 			eng.controlTicks(loop, now.Sub(startTime))
+			// Cold-started replicas whose activation instant has passed join
+			// the routable set just before the snapshot, mirroring the
+			// virtual-time engine's advance-then-snapshot order.
+			eng.set.ActivateDue(now.Sub(startTime))
 		}
 		candidates = eng.snapshot(candidates[:0])
 		pick := eng.balancer.Pick(candidates)
 		rep := eng.replicas[pick]
-		rep.depth.observe(outstandingOf(candidates, pick))
+		rep.depth.Observe(outstandingOf(candidates, pick))
 		rep.dispatched++
 		rep.outstanding.Add(1)
 		rep.queue <- clusterPending{payload: payloads[i], scheduled: target, offset: offsets[i], enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
 	}
 	for _, id := range eng.set.ActiveIDs() {
 		close(eng.replicas[id].queue)
+	}
+	// Replicas still cold-starting at run end never joined the routable set;
+	// close their (empty) queues so their workers exit too.
+	for _, m := range eng.set.Members() {
+		if m.State == StateProvisioning {
+			close(eng.replicas[m.ID].queue)
+		}
 	}
 	eng.workers.Wait()
 	end := time.Since(startTime)
@@ -362,17 +373,17 @@ func (e *liveEngine) retireDrained() {
 // it. Ticks fire between dispatches, so their cadence is bounded by arrival
 // spacing; a long quiet gap replays the missed ticks in order, which lets
 // depth-based scale-down proceed during lulls.
-func (e *liveEngine) controlTicks(loop *controlLoop, now time.Duration) {
-	for loop.next <= now {
-		at := loop.next
-		loop.next += loop.cfg.Interval
+func (e *liveEngine) controlTicks(loop *ControlLoop, now time.Duration) {
+	for loop.Due(now) {
+		at := loop.Begin()
+		e.set.ActivateDue(at)
 		e.retireDrained()
 		outstanding := 0
 		for _, id := range e.set.ActiveIDs() {
 			outstanding += int(e.replicas[id].outstanding.Load())
 		}
-		target := loop.decide(controllerInput(at, e.set, outstanding, e.takeCompletions(at)))
-		applyTarget(e.set, target, at, e.provision, e.drain)
+		target := loop.Decide(Observe(at, e.set, outstanding, e.takeCompletions(at)))
+		loop.Apply(e.set, target, at, e.provision, e.drain)
 	}
 }
 
@@ -447,7 +458,7 @@ func (e *liveEngine) work(rep *replica) {
 // assembleLive builds the Result for a live run from the collectors and the
 // replica set's lifecycle ledger. end is the wall-clock offset at which the
 // last worker finished.
-func assembleLive(appName string, cfg Config, eng *liveEngine, loop *controlLoop, end time.Duration) *Result {
+func assembleLive(appName string, cfg Config, eng *liveEngine, loop *ControlLoop, end time.Duration) *Result {
 	agg := eng.aggregate.Summary()
 	elapsed := agg.Last.Sub(agg.First)
 	achieved := 0.0
@@ -497,8 +508,8 @@ func assembleLive(appName string, cfg Config, eng *liveEngine, loop *controlLoop
 			Queue:          rs.Queue,
 			Service:        rs.Service,
 			Sojourn:        rs.Sojourn,
-			MeanQueueDepth: rep.depth.mean(),
-			MaxQueueDepth:  rep.depth.max,
+			MeanQueueDepth: rep.depth.Mean(),
+			MaxQueueDepth:  rep.depth.Max(),
 		}))
 	}
 	annotateElastic(out, loop, eng.set, end)

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"tailbench/internal/app"
+)
+
+// TestProvisionDelayLifecycle pins the ReplicaSet cold-start state machine:
+// a delayed provision holds a slot without being routable, activates when
+// due, and a cancelled cold start retires instantly.
+func TestProvisionDelayLifecycle(t *testing.T) {
+	rs := NewReplicaSet(3)
+	a := rs.Provision(0, 0)
+	if a.State != StateActive || a.ActiveAt != 0 {
+		t.Fatalf("warm provision not active immediately: %+v", a)
+	}
+	b := rs.Provision(time.Second, 500*time.Millisecond)
+	if b.State != StateProvisioning || b.ActiveAt != 1500*time.Millisecond {
+		t.Fatalf("delayed provision wrong: %+v", b)
+	}
+	if rs.NumActive() != 1 || rs.NumProvisioning() != 1 || rs.Peak() != 2 {
+		t.Fatalf("counts: active=%d provisioning=%d peak=%d", rs.NumActive(), rs.NumProvisioning(), rs.Peak())
+	}
+	// Not due yet: stays out of the routable set.
+	if woke := rs.ActivateDue(1400 * time.Millisecond); len(woke) != 0 {
+		t.Fatalf("woke early: %v", woke)
+	}
+	if woke := rs.ActivateDue(1500 * time.Millisecond); len(woke) != 1 || woke[0].ID != b.ID {
+		t.Fatalf("activation missed: %v", woke)
+	}
+	if b.State != StateActive || rs.NumActive() != 2 {
+		t.Fatalf("after activation: %+v active=%d", b, rs.NumActive())
+	}
+	// A cold start cancelled before activation retires on the spot and
+	// frees its slot; it never held up a drain callback's work.
+	c := rs.Provision(2*time.Second, time.Second)
+	rs.Drain(c.ID, 2500*time.Millisecond)
+	if c.State != StateRetired || c.RetiredAt != 2500*time.Millisecond {
+		t.Fatalf("cancelled cold start: %+v", c)
+	}
+	if rs.NumProvisioning() != 0 {
+		t.Fatalf("provisioning count after cancel: %d", rs.NumProvisioning())
+	}
+	if rs.Provision(3*time.Second, 0) == nil {
+		t.Fatal("cancelled cold start did not free its slot")
+	}
+	// The cost ledger prices the cold start from provisioning, not
+	// activation: b spans 1s..4s (3s), c spans 2s..2.5s (0.5s).
+	got := rs.ReplicaSeconds(4 * time.Second)
+	want := 4.0 + 3.0 + 0.5 + 1.0 // a: 0..4, b: 1..4, c: 2..2.5, d: 3..4
+	if got != want {
+		t.Fatalf("ReplicaSeconds = %v, want %v", got, want)
+	}
+}
+
+// coldStartSpike returns the elastic spike fixture with a provisioning
+// delay added.
+func coldStartSpike(seed int64, delay time.Duration) SimConfig {
+	cfg := elasticSpikeConfig(seed)
+	auto := *cfg.Autoscale
+	auto.ProvisionDelay = delay
+	cfg.Autoscale = &auto
+	return cfg
+}
+
+// TestProvisionDelaySimColdStartCost pins the simulated engine's cold-start
+// semantics: scaled-up replicas activate exactly ProvisionDelay after the
+// controller asked for them, accept no work before that, and the delayed
+// reaction makes the spike-onset tail strictly worse than the warm-pool
+// run's while the scaling timeline still converges.
+func TestProvisionDelaySimColdStartCost(t *testing.T) {
+	warm, err := Simulate(elasticSpikeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 400 * time.Millisecond
+	cold, err := Simulate(coldStartSpike(21, delay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.PeakReplicas <= 2 {
+		t.Fatalf("cold-start run never scaled: peak=%d", cold.PeakReplicas)
+	}
+	scaled := 0
+	for _, rep := range cold.PerReplica {
+		if rep.ProvisionedAt == 0 {
+			if rep.ActiveAt != 0 {
+				t.Errorf("initial replica %d has ActiveAt %v, want 0 (initial fleet is warm)", rep.Index, rep.ActiveAt)
+			}
+			continue
+		}
+		scaled++
+		if rep.ActiveAt != rep.ProvisionedAt+delay {
+			t.Errorf("replica %d ActiveAt = %v, want ProvisionedAt %v + %v", rep.Index, rep.ActiveAt, rep.ProvisionedAt, delay)
+		}
+	}
+	if scaled == 0 {
+		t.Fatal("no replica was provisioned mid-run")
+	}
+	peakWindow := func(res *Result) time.Duration {
+		var worst time.Duration
+		for _, w := range res.Windows {
+			if w.P99 > worst {
+				worst = w.P99
+			}
+		}
+		return worst
+	}
+	if cw, ww := peakWindow(cold), peakWindow(warm); cw <= ww {
+		t.Errorf("cold-start peak windowed p99 %v not worse than warm %v", cw, ww)
+	}
+}
+
+// TestDrainPolicyOldest pins the rolling-refresh drain order: with the
+// oldest policy, scale-downs retire the longest-lived replicas, so the
+// initial fleet is gone by the end of a spike run while the youngest
+// survivors remain active; the default youngest policy keeps the initial
+// fleet alive instead.
+func TestDrainPolicyOldest(t *testing.T) {
+	oldestCfg := elasticSpikeConfig(21)
+	auto := *oldestCfg.Autoscale
+	auto.DrainPolicy = DrainOldest
+	oldestCfg.Autoscale = &auto
+	oldest, err := Simulate(oldestCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	youngest, err := Simulate(elasticSpikeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if youngest.PerReplica[0].State != "active" {
+		t.Errorf("youngest policy retired the initial replica 0: %+v", youngest.PerReplica[0])
+	}
+	if oldest.PerReplica[0].State != "retired" {
+		t.Errorf("oldest policy kept the initial replica 0: %+v", oldest.PerReplica[0])
+	}
+	// The survivors under oldest-first are the latest provisions.
+	maxID := len(oldest.PerReplica) - 1
+	if oldest.PerReplica[maxID].State == "retired" {
+		t.Errorf("oldest policy retired the youngest replica %d", maxID)
+	}
+}
+
+// TestDrainPolicyValidation pins the unknown-policy error.
+func TestDrainPolicyValidation(t *testing.T) {
+	if _, err := NewControlLoop(AutoscaleConfig{Policy: ControllerThreshold, DrainPolicy: "bogus"}, 1, 4); err == nil {
+		t.Fatal("unknown drain policy accepted")
+	}
+}
+
+// TestProvisionDelayLiveCluster smoke-tests the live engine's cold-start
+// path: the overload run must still complete with every request accounted
+// for, and mid-run provisions must record the delayed activation instant.
+func TestProvisionDelayLiveCluster(t *testing.T) {
+	servers := make([]app.Server, 4)
+	for i := range servers {
+		servers[i] = &fakeServer{delay: 200 * time.Microsecond}
+	}
+	const delay = 20 * time.Millisecond
+	res, err := Run("fake", servers,
+		func(seed int64) (app.Client, error) { return fakeClient{}, nil },
+		Config{
+			Policy:         PolicyLeastQueue,
+			Threads:        1,
+			QPS:            12000,
+			Requests:       3000,
+			WarmupRequests: 300,
+			Seed:           1,
+			Replicas:       1,
+			Autoscale: &AutoscaleConfig{
+				Policy:         ControllerThreshold,
+				MinReplicas:    1,
+				MaxReplicas:    4,
+				Interval:       10 * time.Millisecond,
+				HighDepth:      3,
+				LowDepth:       0.5,
+				ProvisionDelay: delay,
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3000 {
+		t.Fatalf("Requests = %d, want 3000", res.Requests)
+	}
+	if res.PeakReplicas <= 1 {
+		t.Fatalf("PeakReplicas = %d, overload never triggered a scale-up", res.PeakReplicas)
+	}
+	for _, rep := range res.PerReplica {
+		if rep.ProvisionedAt == 0 {
+			continue
+		}
+		if rep.ActiveAt != rep.ProvisionedAt+delay {
+			t.Errorf("replica %d ActiveAt = %v, want %v", rep.Index, rep.ActiveAt, rep.ProvisionedAt+delay)
+		}
+	}
+	var dispatched uint64
+	for _, rep := range res.PerReplica {
+		dispatched += rep.Dispatched
+	}
+	if dispatched != 3300 {
+		t.Errorf("dispatched sum = %d, want 3300", dispatched)
+	}
+}
+
+// TestProvisionDelayZeroBitCompat double-checks that a zero delay leaves
+// the elastic spike run untouched (the golden regressions cover the fixed
+// cluster; this pins the elastic path).
+func TestProvisionDelayZeroBitCompat(t *testing.T) {
+	a, err := Simulate(elasticSpikeConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(coldStartSpike(21, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sojourn != b.Sojourn || a.ReplicaSeconds != b.ReplicaSeconds {
+		t.Error("zero ProvisionDelay changed the run")
+	}
+}

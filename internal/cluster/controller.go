@@ -16,11 +16,21 @@ const (
 	ControllerTargetP95 = "target-p95"
 )
 
+// Drain policy names accepted by AutoscaleConfig.DrainPolicy.
+const (
+	DrainYoungest = "youngest"
+	DrainOldest   = "oldest"
+)
+
 // Controllers returns the built-in autoscaling controller policy names in
 // presentation order.
 func Controllers() []string {
 	return []string{ControllerStatic, ControllerThreshold, ControllerTargetP95}
 }
+
+// DrainPolicies returns the built-in drain policy names in presentation
+// order.
+func DrainPolicies() []string { return []string{DrainYoungest, DrainOldest} }
 
 // AutoscaleConfig parameterizes the autoscaling control loop. The same
 // configuration drives the live engine (control ticks on the wall clock) and
@@ -51,6 +61,18 @@ type AutoscaleConfig struct {
 	// TargetP95 is the target-p95 policy's latency goal for the windowed
 	// p95 observed each control tick. Default 10ms.
 	TargetP95 time.Duration
+	// ProvisionDelay is the cold-start latency of a scale-up: a replica the
+	// controller provisions mid-run holds its pool slot (and costs
+	// replica-seconds) immediately but becomes routable only after the
+	// delay. Zero keeps the warm-pool behavior (instant activation). The
+	// initial replicas of a run always start active — the delay models
+	// scaling out, not booting the fleet.
+	ProvisionDelay time.Duration
+	// DrainPolicy picks the scale-down victim: "youngest" (default) retires
+	// the most recently provisioned active replica (LIFO), "oldest" retires
+	// the longest-lived one (rolling refresh). Cold-starting replicas are
+	// always cancelled before any active replica is drained.
+	DrainPolicy string
 }
 
 // withDefaults normalizes an AutoscaleConfig for a pool of the given size.
@@ -82,6 +104,12 @@ func (a AutoscaleConfig) withDefaults(pool int) AutoscaleConfig {
 	if a.TargetP95 <= 0 {
 		a.TargetP95 = 10 * time.Millisecond
 	}
+	if a.ProvisionDelay < 0 {
+		a.ProvisionDelay = 0
+	}
+	if a.DrainPolicy == "" {
+		a.DrainPolicy = DrainYoungest
+	}
 	return a
 }
 
@@ -92,9 +120,11 @@ func (a AutoscaleConfig) withDefaults(pool int) AutoscaleConfig {
 type ControllerInput struct {
 	// Now is the tick instant as an offset from the start of the run.
 	Now time.Duration
-	// Active and Draining are the membership counts at the tick.
-	Active   int
-	Draining int
+	// Active, Provisioning, and Draining are the membership counts at the
+	// tick (Provisioning counts replicas still in their cold-start delay).
+	Active       int
+	Provisioning int
+	Draining     int
 	// Outstanding is the total queued-plus-in-service request count across
 	// the active replicas; MeanDepth is Outstanding divided by Active.
 	Outstanding int
@@ -188,28 +218,51 @@ func (c targetP95Controller) Target(in ControllerInput) int {
 	return in.Active
 }
 
-// controlLoop is the engine-agnostic half of the autoscaling driver: it owns
-// the controller, the tick schedule, and target clamping, while the engine
-// supplies observations and executes provisioning and draining.
-type controlLoop struct {
+// ControlLoop is the engine-agnostic half of the autoscaling driver: it owns
+// the controller, the tick schedule, target clamping, and the scale-up /
+// scale-down mechanics (cold-start delays, drain victim selection), while
+// the engine supplies observations and executes provisioning and draining.
+// It is exported so the pipeline engines can drive one loop per tier with
+// exactly the cluster semantics.
+type ControlLoop struct {
 	cfg  AutoscaleConfig
 	ctrl Controller
 	// next is the instant of the next control tick.
 	next time.Duration
 }
 
-// newControlLoop validates the config against the pool and builds the loop.
-func newControlLoop(cfg AutoscaleConfig, initial, pool int) (*controlLoop, error) {
+// NewControlLoop validates the config against the pool and builds the loop.
+func NewControlLoop(cfg AutoscaleConfig, initial, pool int) (*ControlLoop, error) {
 	cfg = cfg.withDefaults(pool)
+	switch cfg.DrainPolicy {
+	case DrainYoungest, DrainOldest:
+	default:
+		return nil, fmt.Errorf("cluster: unknown drain policy %q (available: %v)", cfg.DrainPolicy, DrainPolicies())
+	}
 	ctrl, err := NewController(cfg, initial)
 	if err != nil {
 		return nil, err
 	}
-	return &controlLoop{cfg: cfg, ctrl: ctrl, next: cfg.Interval}, nil
+	return &ControlLoop{cfg: cfg, ctrl: ctrl, next: cfg.Interval}, nil
 }
 
-// decide runs the controller on one observation and clamps its answer.
-func (cl *controlLoop) decide(in ControllerInput) int {
+// Config returns the loop's normalized configuration.
+func (cl *ControlLoop) Config() AutoscaleConfig { return cl.cfg }
+
+// Due reports whether a control tick is due at or before now.
+func (cl *ControlLoop) Due(now time.Duration) bool { return cl.next <= now }
+
+// Begin consumes the next due tick, returning its instant and advancing the
+// schedule. Engines call it only after Due returned true; overdue ticks
+// replay in order, one Begin per tick.
+func (cl *ControlLoop) Begin() time.Duration {
+	at := cl.next
+	cl.next += cl.cfg.Interval
+	return at
+}
+
+// Decide runs the controller on one observation and clamps its answer.
+func (cl *ControlLoop) Decide(in ControllerInput) int {
 	t := cl.ctrl.Target(in)
 	if t < cl.cfg.MinReplicas {
 		t = cl.cfg.MinReplicas
@@ -220,27 +273,41 @@ func (cl *controlLoop) decide(in ControllerInput) int {
 	return t
 }
 
-// applyTarget moves the set's active count toward target at offset now,
-// provisioning via the engine callback (which builds the runtime replica for
-// a new member) or draining youngest-first. Scale-ups stop early when the
-// pool has no free slot — draining replicas hold theirs until retirement —
-// and the achieved change is recorded in the scaling timeline.
-func applyTarget(set *ReplicaSet, target int, now time.Duration, provision func(*Member), drain func(*Member)) {
-	before := set.NumActive()
-	for set.NumActive() < target {
-		m := set.Provision(now)
+// Apply moves the set's population (active plus cold-starting) toward target
+// at offset now, provisioning via the engine callback (which builds the
+// runtime replica for a new member) or shedding capacity: pending cold
+// starts are cancelled first (they never accepted work), then active
+// replicas are drained per the configured drain policy. The drain callback
+// fires for both — a cancelled cold start never turned routable, but the
+// engine still tears its runtime down the same way. Scale-ups stop early
+// when the pool has no free slot — draining replicas hold theirs until
+// retirement — and the achieved change is recorded in the scaling timeline.
+func (cl *ControlLoop) Apply(set *ReplicaSet, target int, now time.Duration, provision func(*Member), drain func(*Member)) {
+	population := func() int { return set.NumActive() + set.NumProvisioning() }
+	before := population()
+	for population() < target {
+		m := set.Provision(now, cl.cfg.ProvisionDelay)
 		if m == nil {
 			break
 		}
 		provision(m)
 	}
-	for set.NumActive() > target && set.NumActive() > 1 {
-		id := set.YoungestActive()
+	for population() > target && population() > 1 {
+		id := set.YoungestProvisioning()
+		if id < 0 {
+			if set.NumActive() <= 1 {
+				break
+			}
+			id = set.YoungestActive()
+			if cl.cfg.DrainPolicy == DrainOldest {
+				id = set.OldestActive()
+			}
+		}
 		m := set.Member(id)
 		set.Drain(id, now)
 		drain(m)
 	}
-	if after := set.NumActive(); after != before {
+	if after := population(); after != before {
 		set.Event(now, before, after)
 	}
 }
@@ -255,16 +322,17 @@ func tickP95(sojourns []time.Duration) time.Duration {
 	return stats.PercentileOfSorted(sojourns, 95)
 }
 
-// controllerInput assembles the shared observation from engine-provided
+// Observe assembles the shared controller observation from engine-provided
 // counts and the tick's completed sojourns.
-func controllerInput(now time.Duration, set *ReplicaSet, outstanding int, sojourns []time.Duration) ControllerInput {
+func Observe(now time.Duration, set *ReplicaSet, outstanding int, sojourns []time.Duration) ControllerInput {
 	in := ControllerInput{
-		Now:         now,
-		Active:      set.NumActive(),
-		Draining:    set.NumDraining(),
-		Outstanding: outstanding,
-		P95:         tickP95(sojourns),
-		Completed:   uint64(len(sojourns)),
+		Now:          now,
+		Active:       set.NumActive(),
+		Provisioning: set.NumProvisioning(),
+		Draining:     set.NumDraining(),
+		Outstanding:  outstanding,
+		P95:          tickP95(sojourns),
+		Completed:    uint64(len(sojourns)),
 	}
 	if in.Active > 0 {
 		in.MeanDepth = float64(in.Outstanding) / float64(in.Active)

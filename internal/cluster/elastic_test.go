@@ -12,19 +12,19 @@ import (
 
 func TestReplicaSetLifecycle(t *testing.T) {
 	rs := NewReplicaSet(3)
-	a := rs.Provision(0)
-	b := rs.Provision(0)
+	a := rs.Provision(0, 0)
+	b := rs.Provision(0, 0)
 	if a.ID != 0 || b.ID != 1 || a.Slot != 0 || b.Slot != 1 {
 		t.Fatalf("unexpected initial members: %+v %+v", a, b)
 	}
 	if rs.NumActive() != 2 || rs.Peak() != 2 {
 		t.Fatalf("active=%d peak=%d, want 2/2", rs.NumActive(), rs.Peak())
 	}
-	c := rs.Provision(time.Second)
+	c := rs.Provision(time.Second, 0)
 	if c.ID != 2 || c.Slot != 2 || rs.Peak() != 3 {
 		t.Fatalf("third member: %+v peak=%d", c, rs.Peak())
 	}
-	if rs.Provision(time.Second) != nil {
+	if rs.Provision(time.Second, 0) != nil {
 		t.Fatal("provision beyond the pool must fail")
 	}
 
@@ -36,7 +36,7 @@ func TestReplicaSetLifecycle(t *testing.T) {
 		t.Fatalf("ActiveIDs = %v, want [0 1]", got)
 	}
 	// Draining members still hold their slot: the pool is full.
-	if rs.Provision(2*time.Second) != nil {
+	if rs.Provision(2*time.Second, 0) != nil {
 		t.Fatal("draining member must hold its slot")
 	}
 	rs.Retire(c.ID, 3*time.Second)
@@ -44,7 +44,7 @@ func TestReplicaSetLifecycle(t *testing.T) {
 		t.Fatalf("after retire: %+v draining=%d", c, rs.NumDraining())
 	}
 	// The freed slot is reused by the next provision, under a fresh ID.
-	d := rs.Provision(4 * time.Second)
+	d := rs.Provision(4*time.Second, 0)
 	if d == nil || d.ID != 3 || d.Slot != 2 {
 		t.Fatalf("slot not reused with fresh ID: %+v", d)
 	}

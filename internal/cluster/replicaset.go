@@ -8,22 +8,31 @@ import (
 )
 
 // ReplicaState is the lifecycle state of one cluster member. A replica is
-// provisioned into StateActive (routable), can be moved to StateDraining by
-// the autoscaling controller — no new requests are routed to it while it
-// finishes the work it has already accepted — and reaches StateRetired when
-// its last accepted request completes. Retired replicas release their pool
-// slot for future provisioning.
+// provisioned into StateActive (routable) — or, when the autoscaler's
+// ProvisionDelay models a cold start, into StateProvisioning until the delay
+// elapses — can be moved to StateDraining by the autoscaling controller — no
+// new requests are routed to it while it finishes the work it has already
+// accepted — and reaches StateRetired when its last accepted request
+// completes. Retired replicas release their pool slot for future
+// provisioning.
 type ReplicaState int
 
 const (
 	StateActive ReplicaState = iota
 	StateDraining
 	StateRetired
+	// StateProvisioning is the cold-start phase: the replica holds a pool
+	// slot (and costs replica-seconds) but is not routable until its
+	// activation instant. Appended after the original states so existing
+	// numeric values stay stable.
+	StateProvisioning
 )
 
 // String renders the state name used in results and tables.
 func (s ReplicaState) String() string {
 	switch s {
+	case StateProvisioning:
+		return "provisioning"
 	case StateActive:
 		return "active"
 	case StateDraining:
@@ -49,16 +58,21 @@ type Member struct {
 	Slot int
 	// State is the current lifecycle state.
 	State ReplicaState
-	// ProvisionedAt, DrainedAt, and RetiredAt are offsets from the start of
-	// the run; DrainedAt and RetiredAt are meaningful only once the
-	// corresponding transition has happened.
+	// ProvisionedAt, ActiveAt, DrainedAt, and RetiredAt are offsets from the
+	// start of the run. ActiveAt is the instant the replica became routable
+	// (equal to ProvisionedAt unless a cold-start ProvisionDelay held it in
+	// StateProvisioning first); DrainedAt and RetiredAt are meaningful only
+	// once the corresponding transition has happened.
 	ProvisionedAt time.Duration
+	ActiveAt      time.Duration
 	DrainedAt     time.Duration
 	RetiredAt     time.Duration
 }
 
 // span returns the member's provisioned interval, using end for members
-// still provisioned when the run finished.
+// still provisioned when the run finished. A cold-starting replica counts
+// from the instant it was asked for — provisioning capacity costs from the
+// moment it is reserved, not the moment it turns useful.
 func (m *Member) span(end time.Duration) (from, to time.Duration) {
 	from = m.ProvisionedAt
 	to = end
@@ -76,24 +90,26 @@ func (m *Member) span(end time.Duration) (from, to time.Duration) {
 type ScalingEvent struct {
 	// At is the control-tick instant as an offset from the start of the run.
 	At time.Duration
-	// From and To are the active replica counts before and after the
-	// decision was applied (To reflects what the pool could actually
-	// deliver, not just what the controller asked for).
+	// From and To are the target replica counts (active plus cold-starting)
+	// before and after the decision was applied (To reflects what the pool
+	// could actually deliver, not just what the controller asked for).
 	From int
 	To   int
 }
 
 // ReplicaSet tracks a dynamic replica population with stable IDs over a
 // fixed pool of backing slots. It is the membership layer shared by the live
-// and virtual-time cluster engines: the engines own replica runtime state
-// (queues, RNG streams, latency accounting) while the set owns identity,
-// lifecycle transitions, and the provisioning cost ledger (lifetime spans,
-// replica-seconds, scaling events). It is not safe for concurrent use; both
-// engines drive it from their single dispatcher loop.
+// and virtual-time cluster engines (and, tier by tier, the pipeline
+// engines): the engines own replica runtime state (queues, RNG streams,
+// latency accounting) while the set owns identity, lifecycle transitions,
+// and the provisioning cost ledger (lifetime spans, replica-seconds, scaling
+// events). It is not safe for concurrent use; each engine drives it from a
+// single goroutine (or under its own lock).
 type ReplicaSet struct {
 	members []*Member // indexed by ID, in provisioning order
 	free    []int     // pool slots not backing a member (popped from the end)
 	active  []int     // IDs of active members, ascending
+	pending []int     // IDs of provisioning (cold-starting) members, ascending
 	nDrain  int
 	peak    int
 	events  []ScalingEvent
@@ -108,39 +124,97 @@ func NewReplicaSet(slots int) *ReplicaSet {
 	return &ReplicaSet{free: free}
 }
 
-// Provision activates a new member at offset now and returns it, or nil when
-// every pool slot is already in use (the engine then runs below the
-// requested target until a draining replica retires and frees its slot).
-func (rs *ReplicaSet) Provision(now time.Duration) *Member {
+// Provision reserves a pool slot for a new member at offset now and returns
+// it, or nil when every pool slot is already in use (the engine then runs
+// below the requested target until a draining replica retires and frees its
+// slot). With delay zero the member activates immediately (the warm-pool
+// behavior); a positive delay models a cold start — the member holds its
+// slot from now but becomes routable only at now+delay (see ActivateDue).
+func (rs *ReplicaSet) Provision(now, delay time.Duration) *Member {
 	if len(rs.free) == 0 {
 		return nil
 	}
 	slot := rs.free[len(rs.free)-1]
 	rs.free = rs.free[:len(rs.free)-1]
-	m := &Member{ID: len(rs.members), Slot: slot, State: StateActive, ProvisionedAt: now}
+	m := &Member{ID: len(rs.members), Slot: slot, ProvisionedAt: now, ActiveAt: now + delay}
 	rs.members = append(rs.members, m)
-	rs.active = append(rs.active, m.ID)
-	if p := len(rs.active) + rs.nDrain; p > rs.peak {
+	if delay > 0 {
+		m.State = StateProvisioning
+		rs.pending = append(rs.pending, m.ID)
+	} else {
+		m.State = StateActive
+		rs.active = append(rs.active, m.ID)
+	}
+	if p := len(rs.active) + len(rs.pending) + rs.nDrain; p > rs.peak {
 		rs.peak = p
 	}
 	return m
 }
 
-// Drain moves an active member to StateDraining at offset now: it stops
-// being routable immediately but keeps its slot until it retires.
+// ActivateDue moves every provisioning member whose activation instant has
+// arrived (ActiveAt <= now) to StateActive, returning the newly routable
+// members in ID order. Both engines call it before snapshotting the
+// balancer's candidate set and before each control tick, so activation
+// happens at the same logical points on the wall clock and the virtual
+// clock.
+func (rs *ReplicaSet) ActivateDue(now time.Duration) []*Member {
+	var woke []*Member
+	kept := rs.pending[:0]
+	for _, id := range rs.pending {
+		m := rs.members[id]
+		if m.ActiveAt <= now {
+			m.State = StateActive
+			rs.insertActive(id)
+			woke = append(woke, m)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	rs.pending = kept
+	return woke
+}
+
+// insertActive adds an ID to the active list keeping it ascending; delayed
+// activations can complete out of ID order when delays differ.
+func (rs *ReplicaSet) insertActive(id int) {
+	i := len(rs.active)
+	for i > 0 && rs.active[i-1] > id {
+		i--
+	}
+	rs.active = append(rs.active, 0)
+	copy(rs.active[i+1:], rs.active[i:])
+	rs.active[i] = id
+}
+
+// Drain removes a member from the routable set at offset now. An active
+// member moves to StateDraining — it keeps its slot until the work it has
+// accepted completes — while a still-provisioning member is cancelled
+// outright: it never accepted work, so it retires immediately and frees its
+// slot.
 func (rs *ReplicaSet) Drain(id int, now time.Duration) {
 	m := rs.members[id]
-	if m.State != StateActive {
-		return
-	}
-	m.State = StateDraining
-	m.DrainedAt = now
-	rs.nDrain++
-	for i, a := range rs.active {
-		if a == id {
-			rs.active = append(rs.active[:i], rs.active[i+1:]...)
-			break
+	switch m.State {
+	case StateActive:
+		m.State = StateDraining
+		m.DrainedAt = now
+		rs.nDrain++
+		for i, a := range rs.active {
+			if a == id {
+				rs.active = append(rs.active[:i], rs.active[i+1:]...)
+				break
+			}
 		}
+	case StateProvisioning:
+		m.State = StateRetired
+		m.DrainedAt = now
+		m.RetiredAt = now
+		for i, p := range rs.pending {
+			if p == id {
+				rs.pending = append(rs.pending[:i], rs.pending[i+1:]...)
+				break
+			}
+		}
+		rs.free = append(rs.free, m.Slot)
 	}
 }
 
@@ -170,19 +244,38 @@ func (rs *ReplicaSet) Members() []*Member { return rs.members }
 // order. The returned slice is the set's own; callers must not mutate it.
 func (rs *ReplicaSet) ActiveIDs() []int { return rs.active }
 
-// YoungestActive returns the highest active ID — the replica the engines
-// drain first, so scale-downs retire the most recently provisioned capacity
-// (deterministic LIFO).
+// YoungestActive returns the highest active ID — the replica the default
+// drain policy retires first, so scale-downs shed the most recently
+// provisioned capacity (deterministic LIFO).
 func (rs *ReplicaSet) YoungestActive() int { return rs.active[len(rs.active)-1] }
+
+// OldestActive returns the lowest active ID — the victim of the "oldest"
+// drain policy (rolling refresh: scale-downs retire the longest-lived
+// capacity first).
+func (rs *ReplicaSet) OldestActive() int { return rs.active[0] }
+
+// YoungestProvisioning returns the highest still-cold-starting ID, or -1
+// when none is provisioning. Scale-downs cancel pending cold starts before
+// draining active replicas — undoing capacity that has not turned useful yet
+// is free.
+func (rs *ReplicaSet) YoungestProvisioning() int {
+	if len(rs.pending) == 0 {
+		return -1
+	}
+	return rs.pending[len(rs.pending)-1]
+}
 
 // NumActive returns the number of active members.
 func (rs *ReplicaSet) NumActive() int { return len(rs.active) }
 
+// NumProvisioning returns the number of members still cold-starting.
+func (rs *ReplicaSet) NumProvisioning() int { return len(rs.pending) }
+
 // NumDraining returns the number of draining members.
 func (rs *ReplicaSet) NumDraining() int { return rs.nDrain }
 
-// Peak returns the largest number of simultaneously provisioned (active plus
-// draining) members seen so far.
+// Peak returns the largest number of simultaneously provisioned (active,
+// cold-starting, or draining) members seen so far.
 func (rs *ReplicaSet) Peak() int { return rs.peak }
 
 // Event records one controller decision in the scaling timeline.
@@ -196,8 +289,8 @@ func (rs *ReplicaSet) Events() []ScalingEvent { return rs.events }
 // ReplicaSeconds integrates the provisioned replica count over [0, end]: the
 // run's provisioning cost, the denominator that lets an autoscaled run be
 // scored on SLO attainment per unit of capacity paid for. A replica counts
-// from provisioning until retirement (draining replicas still hold their
-// slot, so they still cost).
+// from provisioning until retirement (cold-starting and draining replicas
+// hold their slot, so they still cost).
 func (rs *ReplicaSet) ReplicaSeconds(end time.Duration) float64 {
 	total := 0.0
 	for _, m := range rs.members {

@@ -26,8 +26,11 @@ type ReplicaStats struct {
 	// ProvisionedAt and RetiredAt bound the replica's lifetime as offsets
 	// from the start of the run; RetiredAt is zero for replicas still
 	// provisioned when the run ended. Lifetime is the provisioned span
-	// (through the end of the run for non-retired replicas).
+	// (through the end of the run for non-retired replicas). ActiveAt is
+	// the instant the replica became routable — later than ProvisionedAt
+	// exactly when a cold-start ProvisionDelay was configured.
 	ProvisionedAt time.Duration
+	ActiveAt      time.Duration
 	RetiredAt     time.Duration
 	Lifetime      time.Duration
 	// Dispatched counts every request routed to this replica, including
@@ -60,12 +63,21 @@ func replicaStats(m *Member, end time.Duration, row ReplicaStats) ReplicaStats {
 	row.Slot = m.Slot
 	row.State = m.State.String()
 	row.ProvisionedAt = m.ProvisionedAt
+	row.ActiveAt = m.ActiveAt
 	from, to := m.span(end)
 	row.Lifetime = to - from
 	if m.State == StateRetired {
 		row.RetiredAt = m.RetiredAt
 	}
 	return row
+}
+
+// NewReplicaRow fills a per-replica row's lifecycle fields (slot, state,
+// lifetime span) from its membership record, exactly as both cluster engines
+// do; end closes the span of replicas still provisioned. Exported for
+// harnesses composed on top of the cluster machinery (the pipeline tiers).
+func NewReplicaRow(m *Member, end time.Duration, row ReplicaStats) ReplicaStats {
+	return replicaStats(m, end, row)
 }
 
 // Result is the outcome of one cluster measurement (live or simulated).
@@ -141,16 +153,17 @@ type Result struct {
 // ledger. Fixed runs (nil loop) get the cost metrics too (ReplicaSeconds of
 // a static cluster is simply N times the run length, the baseline autoscaled
 // runs are judged against), but no controller fields.
-func annotateElastic(out *Result, loop *controlLoop, set *ReplicaSet, end time.Duration) {
+func annotateElastic(out *Result, loop *ControlLoop, set *ReplicaSet, end time.Duration) {
 	out.PeakReplicas = set.Peak()
 	out.ReplicaSeconds = set.ReplicaSeconds(end)
 	out.ScalingEvents = set.Events()
 	set.AnnotateWindows(out.Windows, end)
 	if loop != nil {
-		out.Controller = loop.cfg.Policy
-		out.MinReplicas = loop.cfg.MinReplicas
-		out.MaxReplicas = loop.cfg.MaxReplicas
-		out.ControlInterval = loop.cfg.Interval
+		cfg := loop.Config()
+		out.Controller = cfg.Policy
+		out.MinReplicas = cfg.MinReplicas
+		out.MaxReplicas = cfg.MaxReplicas
+		out.ControlInterval = cfg.Interval
 	}
 }
 
@@ -165,14 +178,18 @@ func (r *Result) String() string {
 		r.Requests, r.Errors, r.Sojourn.String())
 }
 
-// depthAccum tracks queue-depth observations at dispatch instants.
-type depthAccum struct {
+// DepthAccum tracks queue-depth observations at dispatch instants. It is
+// exported for harnesses composed on top of the cluster machinery (the
+// pipeline tiers) so per-replica depth accounting stays identical
+// everywhere.
+type DepthAccum struct {
 	sum int64
 	n   int64
 	max int
 }
 
-func (d *depthAccum) observe(depth int) {
+// Observe records the outstanding count seen at one dispatch.
+func (d *DepthAccum) Observe(depth int) {
 	d.sum += int64(depth)
 	d.n++
 	if depth > d.max {
@@ -180,9 +197,13 @@ func (d *depthAccum) observe(depth int) {
 	}
 }
 
-func (d *depthAccum) mean() float64 {
+// Mean returns the mean observed depth (0 with no observations).
+func (d *DepthAccum) Mean() float64 {
 	if d.n == 0 {
 		return 0
 	}
 	return float64(d.sum) / float64(d.n)
 }
+
+// Max returns the largest observed depth.
+func (d *DepthAccum) Max() int { return d.max }

@@ -157,33 +157,72 @@ type simReplicaState struct {
 	lastBusy time.Duration
 
 	dispatched uint64
-	depth      depthAccum
+	depth      DepthAccum
 	measured   uint64
 
 	queueS, serviceS, sojournS []time.Duration
 }
 
-// simEngine is the run-scoped state of the virtual-time cluster path.
-type simEngine struct {
-	cfg    SimConfig
-	set    *ReplicaSet
-	states []*simReplicaState // indexed by member ID
+// SimClusterConfig parameterizes one composable virtual-time cluster engine
+// (see SimCluster): the membership/balancing/autoscaling machinery without
+// the arrival process, which the caller owns.
+type SimClusterConfig struct {
+	// Policy is the balancer policy name (see Policies).
+	Policy string
+	// Threads is the number of worker threads per replica (default 1).
+	Threads int
+	// Seed drives the balancer stream and the per-replica service streams.
+	Seed int64
+	// Replicas describes the replica pool, one spec per slot.
+	Replicas []SimReplica
+	// InitialReplicas is the number of pool slots active at virtual t=0;
+	// zero means the whole pool.
+	InitialReplicas int
+	// Autoscale enables the autoscaling control loop; nil keeps membership
+	// fixed.
+	Autoscale *AutoscaleConfig
+}
+
+// SimDispatch is the outcome of routing one arrival through a SimCluster:
+// the request's latency decomposition on the virtual clock and the replica
+// that served it.
+type SimDispatch struct {
+	Queue   time.Duration
+	Service time.Duration
+	Sojourn time.Duration
+	// Finish is the absolute completion instant (arrival + Sojourn).
+	Finish time.Duration
+	// Replica is the serving replica's stable ID.
+	Replica int
+}
+
+// SimCluster is the virtual-time cluster engine behind Simulate, factored
+// out so it composes: the pipeline harness runs one SimCluster per tier and
+// feeds each tier's arrivals from the previous tier's completions. The
+// caller supplies arrival instants in non-decreasing order via Dispatch;
+// the engine owns replica lifecycle, balancing, FIFO multi-worker service,
+// straggler slowdowns, per-replica accounting, and the autoscaling control
+// loop (ticks fire on the virtual clock whenever RunTicks observes them
+// due). A single-tier caller driving RunTicks+Dispatch per arrival is
+// bit-identical to the pre-extraction Simulate loop.
+type SimCluster struct {
+	cfg      SimClusterConfig
+	set      *ReplicaSet
+	states   []*simReplicaState // indexed by member ID
+	balancer Balancer
+	loop     *ControlLoop
 
 	// completions feeds the controller's per-tick p95 window; only
 	// maintained when autoscaling is on.
 	completions completionHeap
 	tickBuf     []time.Duration
+	candidates  []Candidate
+	lastFinish  time.Duration
 }
 
-// Simulate runs the cluster as a virtual-time discrete-event simulation:
-// open-loop arrivals are routed by the balancer over the snapshot of active
-// replicas at each arrival instant, and each replica serves FIFO with
-// Threads parallel workers whose service times come from its pool slot's
-// sampler (scaled by the slot's slowdown). With Autoscale set, control
-// ticks fire on the virtual clock and the replica set grows and drains
-// mid-run, deterministically per seed — the scaling timeline is part of the
-// reproducible output.
-func Simulate(cfg SimConfig) (*Result, error) {
+// NewSimCluster validates the config and builds the engine with its initial
+// replicas active at virtual t=0.
+func NewSimCluster(cfg SimClusterConfig) (*SimCluster, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, ErrNoReplicas
 	}
@@ -195,21 +234,212 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	if cfg.InitialReplicas > len(cfg.Replicas) {
 		return nil, fmt.Errorf("%w (%d > %d)", ErrReplicaCount, cfg.InitialReplicas, len(cfg.Replicas))
 	}
-	cfg = cfg.withDefaults()
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyLeastQueue
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.InitialReplicas <= 0 {
+		cfg.InitialReplicas = len(cfg.Replicas)
+	}
 	balancer, err := NewBalancer(cfg.Policy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	eng := &simEngine{cfg: cfg, set: NewReplicaSet(len(cfg.Replicas))}
-	var loop *controlLoop
+	sc := &SimCluster{cfg: cfg, set: NewReplicaSet(len(cfg.Replicas)), balancer: balancer}
 	if cfg.Autoscale != nil {
-		loop, err = newControlLoop(*cfg.Autoscale, cfg.InitialReplicas, len(cfg.Replicas))
+		sc.loop, err = NewControlLoop(*cfg.Autoscale, cfg.InitialReplicas, len(cfg.Replicas))
 		if err != nil {
 			return nil, err
 		}
 	}
 	for r := 0; r < cfg.InitialReplicas; r++ {
-		eng.provision(eng.set.Provision(0))
+		sc.provision(sc.set.Provision(0, 0))
+	}
+	return sc, nil
+}
+
+// provision builds the simulation state for a newly provisioned member. The
+// RNG stream is keyed by the stable replica ID, so a fixed cluster keeps the
+// exact pre-elastic streams and a dynamic run never replays a retired
+// replica's draws.
+func (sc *SimCluster) provision(m *Member) {
+	sr := sc.cfg.Replicas[m.Slot]
+	slow := sr.Slowdown
+	if math.IsNaN(slow) || math.IsInf(slow, 0) || slow < 1 {
+		slow = 1
+	}
+	sc.states = append(sc.states, &simReplicaState{
+		member:     m,
+		slowdown:   slow,
+		service:    sr.Service,
+		rng:        workload.NewRand(workload.SplitSeed(sc.cfg.Seed, int64(100+m.ID))),
+		workerFree: make([]time.Duration, sc.cfg.Threads),
+	})
+}
+
+// advance moves the engine's clock to t: cold-started replicas whose
+// activation instant has arrived become routable, completed work leaves the
+// outstanding sets, and draining replicas that have gone idle retire at
+// their true last-busy instant.
+func (sc *SimCluster) advance(t time.Duration) {
+	sc.set.ActivateDue(t)
+	for _, m := range sc.set.Members() {
+		if m.State == StateRetired || m.State == StateProvisioning {
+			continue
+		}
+		st := sc.states[m.ID]
+		for st.inflight.Len() > 0 && st.inflight[0] <= t {
+			heap.Pop(&st.inflight)
+		}
+		if m.State == StateDraining && st.inflight.Len() == 0 {
+			sc.set.Retire(m.ID, st.lastBusy)
+		}
+	}
+}
+
+// RunTicks fires every control tick due at or before t, in order. It is a
+// no-op for fixed clusters. Callers invoke it before dispatching an arrival
+// at t, mirroring the live engine's ticks-between-dispatches cadence.
+func (sc *SimCluster) RunTicks(t time.Duration) {
+	for sc.loop != nil && sc.loop.Due(t) {
+		at := sc.loop.Begin()
+		sc.advance(at)
+		sc.tickBuf = sc.tickBuf[:0]
+		for sc.completions.Len() > 0 && sc.completions[0].finish <= at {
+			sc.tickBuf = append(sc.tickBuf, heap.Pop(&sc.completions).(completion).sojourn)
+		}
+		outstanding := 0
+		for _, id := range sc.set.ActiveIDs() {
+			outstanding += sc.states[id].inflight.Len()
+		}
+		target := sc.loop.Decide(Observe(at, sc.set, outstanding, sc.tickBuf))
+		sc.loop.Apply(sc.set, target, at, sc.provision, func(*Member) {})
+		// A drained replica with no outstanding work retires immediately.
+		sc.advance(at)
+	}
+}
+
+// Dispatch routes one arrival at virtual instant t: the balancer picks over
+// the snapshot of active replicas, the earliest-free worker of the chosen
+// replica serves it FIFO, and the resulting latency decomposition is
+// returned. Arrivals must be fed in non-decreasing t order. When record is
+// true the request also enters the replica's measured statistics (callers
+// pass false for warmup traffic).
+func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
+	sc.advance(t)
+	sc.candidates = sc.candidates[:0]
+	for _, id := range sc.set.ActiveIDs() {
+		sc.candidates = append(sc.candidates, Candidate{ID: id, Outstanding: sc.states[id].inflight.Len()})
+	}
+	pick := sc.balancer.Pick(sc.candidates)
+	st := sc.states[pick]
+	st.depth.Observe(outstandingOf(sc.candidates, pick))
+	st.dispatched++
+
+	// Earliest-free worker serves next (FIFO across the replica).
+	w := 0
+	for k := 1; k < len(st.workerFree); k++ {
+		if st.workerFree[k] < st.workerFree[w] {
+			w = k
+		}
+	}
+	start := t
+	if st.workerFree[w] > start {
+		start = st.workerFree[w]
+	}
+	service := time.Duration(float64(st.service.Sample(st.rng)) * st.slowdown)
+	if service < 0 {
+		service = 0
+	}
+	finish := start + service
+	st.workerFree[w] = finish
+	heap.Push(&st.inflight, finish)
+	if finish > st.lastBusy {
+		st.lastBusy = finish
+	}
+	if finish > sc.lastFinish {
+		sc.lastFinish = finish
+	}
+	queue, sojourn := start-t, finish-t
+	if sc.loop != nil {
+		// The controller observes every completion, warmup included —
+		// it is an online signal, not a measurement artifact.
+		heap.Push(&sc.completions, completion{finish: finish, sojourn: sojourn})
+	}
+	if record {
+		st.measured++
+		st.queueS = append(st.queueS, queue)
+		st.serviceS = append(st.serviceS, service)
+		st.sojournS = append(st.sojournS, sojourn)
+	}
+	return SimDispatch{Queue: queue, Service: service, Sojourn: sojourn, Finish: finish, Replica: pick}
+}
+
+// LastFinish returns the latest completion instant ever assigned.
+func (sc *SimCluster) LastFinish() time.Duration { return sc.lastFinish }
+
+// Settle runs out the clock past the last completion so every draining
+// replica retires at its actual idle instant and lifetime spans are exact.
+func (sc *SimCluster) Settle() {
+	sc.advance(sc.lastFinish + 1)
+}
+
+// Rows assembles the per-replica breakdown. end closes the lifetime span of
+// replicas still provisioned; elapsed is the cluster-wide measurement
+// interval each replica's throughput is taken over (per-replica rates sum
+// to the aggregate rate).
+func (sc *SimCluster) Rows(end, elapsed time.Duration) []ReplicaStats {
+	rows := make([]ReplicaStats, 0, len(sc.states))
+	for _, st := range sc.states {
+		repAchieved := 0.0
+		if elapsed > 0 {
+			repAchieved = float64(st.measured) / elapsed.Seconds()
+		}
+		rows = append(rows, replicaStats(st.member, end, ReplicaStats{
+			Index:          st.member.ID,
+			Slowdown:       st.slowdown,
+			Dispatched:     st.dispatched,
+			Requests:       st.measured,
+			AchievedQPS:    repAchieved,
+			Queue:          stats.SummaryFromSamples(st.queueS),
+			Service:        stats.SummaryFromSamples(st.serviceS),
+			Sojourn:        stats.SummaryFromSamples(st.sojournS),
+			MeanQueueDepth: st.depth.Mean(),
+			MaxQueueDepth:  st.depth.Max(),
+		}))
+	}
+	return rows
+}
+
+// Set exposes the membership ledger (peak, replica-seconds, scaling events,
+// window annotation).
+func (sc *SimCluster) Set() *ReplicaSet { return sc.set }
+
+// Loop returns the autoscaling control loop, nil for fixed clusters.
+func (sc *SimCluster) Loop() *ControlLoop { return sc.loop }
+
+// Simulate runs the cluster as a virtual-time discrete-event simulation:
+// open-loop arrivals are routed by the balancer over the snapshot of active
+// replicas at each arrival instant, and each replica serves FIFO with
+// Threads parallel workers whose service times come from its pool slot's
+// sampler (scaled by the slot's slowdown). With Autoscale set, control
+// ticks fire on the virtual clock and the replica set grows and drains
+// mid-run, deterministically per seed — the scaling timeline is part of the
+// reproducible output.
+func Simulate(cfg SimConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	eng, err := NewSimCluster(SimClusterConfig{
+		Policy:          cfg.Policy,
+		Threads:         cfg.Threads,
+		Seed:            cfg.Seed,
+		Replicas:        cfg.Replicas,
+		InitialReplicas: cfg.InitialReplicas,
+		Autoscale:       cfg.Autoscale,
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	shape := load.Or(cfg.Load, cfg.QPS)
@@ -220,74 +450,23 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	var (
 		queueAll, serviceAll, sojournAll []time.Duration
 		timed                            []stats.TimedSample
-		candidates                       []Candidate
-		lastFinish                       time.Duration
 	)
 	for i := 0; i < total; i++ {
 		t := arrivals[i]
-		if loop != nil {
-			for loop.next <= t {
-				eng.controlTick(loop)
-			}
-		}
-		// Retire everything that completed before this arrival, then snapshot
-		// the active replicas the balancer decides over.
-		eng.advance(t)
-		candidates = candidates[:0]
-		for _, id := range eng.set.ActiveIDs() {
-			candidates = append(candidates, Candidate{ID: id, Outstanding: eng.states[id].inflight.Len()})
-		}
-		pick := balancer.Pick(candidates)
-		st := eng.states[pick]
-		st.depth.observe(outstandingOf(candidates, pick))
-		st.dispatched++
-
-		// Earliest-free worker serves next (FIFO across the replica).
-		w := 0
-		for k := 1; k < len(st.workerFree); k++ {
-			if st.workerFree[k] < st.workerFree[w] {
-				w = k
-			}
-		}
-		start := t
-		if st.workerFree[w] > start {
-			start = st.workerFree[w]
-		}
-		service := time.Duration(float64(st.service.Sample(st.rng)) * st.slowdown)
-		if service < 0 {
-			service = 0
-		}
-		finish := start + service
-		st.workerFree[w] = finish
-		heap.Push(&st.inflight, finish)
-		if finish > st.lastBusy {
-			st.lastBusy = finish
-		}
-		if finish > lastFinish {
-			lastFinish = finish
-		}
-		queue, sojourn := start-t, finish-t
-		if loop != nil {
-			// The controller observes every completion, warmup included —
-			// it is an online signal, not a measurement artifact.
-			heap.Push(&eng.completions, completion{finish: finish, sojourn: sojourn})
-		}
-
+		eng.RunTicks(t)
+		d := eng.Dispatch(t, i >= cfg.WarmupRequests)
 		if i < cfg.WarmupRequests {
 			continue
 		}
-		st.measured++
-		st.queueS = append(st.queueS, queue)
-		st.serviceS = append(st.serviceS, service)
-		st.sojournS = append(st.sojournS, sojourn)
-		queueAll = append(queueAll, queue)
-		serviceAll = append(serviceAll, service)
-		sojournAll = append(sojournAll, sojourn)
-		timed = append(timed, stats.TimedSample{At: t, Sojourn: sojourn})
+		queueAll = append(queueAll, d.Queue)
+		serviceAll = append(serviceAll, d.Service)
+		sojournAll = append(sojournAll, d.Sojourn)
+		timed = append(timed, stats.TimedSample{At: t, Sojourn: d.Sojourn})
 	}
 	// Run out the clock: retire any replica still draining at its actual
 	// idle instant so lifetime spans are exact.
-	eng.advance(lastFinish + 1)
+	eng.Settle()
+	lastFinish := eng.LastFinish()
 
 	firstMeasured := time.Duration(0)
 	if cfg.WarmupRequests < total {
@@ -323,85 +502,9 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	if load.WindowEnabled(cfg.Window, cfg.Load) {
 		out.Windows = core.WindowsFromTimed(timed, cfg.Window, shape)
 	}
-	for _, st := range eng.states {
-		// Per-replica throughput is the replica's share of the cluster-wide
-		// measurement interval (a per-replica window degenerates for replicas
-		// that saw only a handful of requests).
-		repAchieved := 0.0
-		if elapsed > 0 {
-			repAchieved = float64(st.measured) / elapsed.Seconds()
-		}
-		out.PerReplica = append(out.PerReplica, replicaStats(st.member, lastFinish, ReplicaStats{
-			Index:          st.member.ID,
-			Slowdown:       st.slowdown,
-			Dispatched:     st.dispatched,
-			Requests:       st.measured,
-			AchievedQPS:    repAchieved,
-			Queue:          stats.SummaryFromSamples(st.queueS),
-			Service:        stats.SummaryFromSamples(st.serviceS),
-			Sojourn:        stats.SummaryFromSamples(st.sojournS),
-			MeanQueueDepth: st.depth.mean(),
-			MaxQueueDepth:  st.depth.max,
-		}))
-	}
-	annotateElastic(out, loop, eng.set, lastFinish)
+	out.PerReplica = eng.Rows(lastFinish, elapsed)
+	annotateElastic(out, eng.Loop(), eng.Set(), lastFinish)
 	return out, nil
-}
-
-// provision builds the simulation state for a newly activated member. The
-// RNG stream is keyed by the stable replica ID, so a fixed cluster keeps the
-// exact pre-elastic streams and a dynamic run never replays a retired
-// replica's draws.
-func (e *simEngine) provision(m *Member) {
-	sr := e.cfg.Replicas[m.Slot]
-	slow := sr.Slowdown
-	if math.IsNaN(slow) || math.IsInf(slow, 0) || slow < 1 {
-		slow = 1
-	}
-	e.states = append(e.states, &simReplicaState{
-		member:     m,
-		slowdown:   slow,
-		service:    sr.Service,
-		rng:        workload.NewRand(workload.SplitSeed(e.cfg.Seed, int64(100+m.ID))),
-		workerFree: make([]time.Duration, e.cfg.Threads),
-	})
-}
-
-// advance moves the simulation clock to t: completed work leaves the
-// outstanding sets, and draining replicas that have gone idle retire at
-// their true last-busy instant.
-func (e *simEngine) advance(t time.Duration) {
-	for _, m := range e.set.Members() {
-		if m.State == StateRetired {
-			continue
-		}
-		st := e.states[m.ID]
-		for st.inflight.Len() > 0 && st.inflight[0] <= t {
-			heap.Pop(&st.inflight)
-		}
-		if m.State == StateDraining && st.inflight.Len() == 0 {
-			e.set.Retire(m.ID, st.lastBusy)
-		}
-	}
-}
-
-// controlTick runs one control tick at loop.next on the virtual clock.
-func (e *simEngine) controlTick(loop *controlLoop) {
-	at := loop.next
-	loop.next += loop.cfg.Interval
-	e.advance(at)
-	e.tickBuf = e.tickBuf[:0]
-	for e.completions.Len() > 0 && e.completions[0].finish <= at {
-		e.tickBuf = append(e.tickBuf, heap.Pop(&e.completions).(completion).sojourn)
-	}
-	outstanding := 0
-	for _, id := range e.set.ActiveIDs() {
-		outstanding += e.states[id].inflight.Len()
-	}
-	target := loop.decide(controllerInput(at, e.set, outstanding, e.tickBuf))
-	applyTarget(e.set, target, at, e.provision, func(*Member) {})
-	// A drained replica with no outstanding work retires immediately.
-	e.advance(at)
 }
 
 // EmpiricalService is a queueing.ServiceSampler that resamples (with

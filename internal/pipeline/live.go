@@ -1,0 +1,664 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/cluster"
+	"tailbench/internal/core"
+	"tailbench/internal/load"
+	"tailbench/internal/stats"
+	"tailbench/internal/workload"
+)
+
+// liveRoot is one root request's bookkeeping on the live path. done and the
+// per-tier critical sojourns are atomics: whichever worker resolves the last
+// straggler writes them.
+type liveRoot struct {
+	at      time.Duration
+	warmup  bool
+	err     atomic.Bool
+	done    atomic.Int64
+	tierMax []atomic.Int64
+}
+
+// liveNode is one sub-request in a root's fan-out tree on the live path.
+type liveNode struct {
+	tier   int
+	parent *liveNode
+	root   *liveRoot
+	// dispatchAt is the node's logical birth offset: the root's scheduled
+	// arrival for tier 0 (open-loop: dispatcher lag counts as latency), the
+	// parent's completion offset for deeper tiers. The node's tier-local
+	// sojourn is measured from it, for the original and any hedge duplicate
+	// alike.
+	dispatchAt time.Duration
+	// settled flips when the first copy completes; the loser only updates
+	// capacity accounting.
+	settled atomic.Bool
+	timer   *time.Timer
+	// pending counts unresolved children; maxChildDone their latest
+	// completion.
+	pending      atomic.Int32
+	maxChildDone atomic.Int64
+}
+
+// liveCompletion is one completion in a tier's control-tick buffer.
+type liveCompletion struct {
+	finish  time.Duration
+	sojourn time.Duration
+}
+
+// liveReplica is the runtime state of one live tier replica.
+type liveReplica struct {
+	member   *cluster.Member
+	server   app.Server
+	slowdown float64
+	queue    chan livePending
+	closed   bool // queue closed (guarded by the tier mutex)
+
+	outstanding atomic.Int64
+	lastDone    atomic.Int64
+	dispatched  uint64             // guarded by the tier mutex
+	depth       cluster.DepthAccum // guarded by the tier mutex
+
+	collector *core.Collector
+}
+
+// livePending is one request flowing through a live replica's queue.
+type livePending struct {
+	node    *liveNode
+	payload app.Request
+	hedge   bool
+	enqueue time.Time
+}
+
+// liveTier is one tier of the live pipeline. Unlike the cluster engine's
+// single dispatcher goroutine, a tier's dispatches originate from many
+// goroutines (the root scheduler, upstream workers spawning fan-out,
+// hedge timers), so the balancer/membership state is guarded by a mutex;
+// lock order is strictly downstream (a worker of tier i only ever takes
+// tier i+1's mutex), so the chain cannot deadlock.
+type liveTier struct {
+	idx int
+	cfg TierConfig
+	eng *liveEngine
+
+	client     app.Client
+	payloads   []app.Request
+	payloadIdx atomic.Int64
+
+	mu       sync.Mutex
+	balancer cluster.Balancer
+	set      *cluster.ReplicaSet
+	replicas []*liveReplica // indexed by member ID
+	loop     *cluster.ControlLoop
+	// closing marks teardown (guarded by mu): once set, dispatch becomes a
+	// no-op, so a straggling hedge timer (or, after a timeout, an upstream
+	// worker spawning fan-out) can never send on a closed replica queue.
+	closing bool
+
+	collector *core.Collector // tier-local logical sub-request samples
+	workers   sync.WaitGroup
+
+	tickMu  sync.Mutex
+	tickBuf []liveCompletion
+
+	hedgesIssued atomic.Uint64
+	hedgeWins    atomic.Uint64
+}
+
+// liveEngine is the run-scoped state of the live pipeline path.
+type liveEngine struct {
+	cfg   Config
+	tiers []*liveTier
+	start time.Time
+
+	lastDone  atomic.Int64 // latest completion offset across every tier
+	remaining atomic.Int64 // unresolved roots
+	allDone   chan struct{}
+	stop      chan struct{} // stops control tickers
+}
+
+// storeMax CAS-stores v into a if it is larger.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		prev := a.Load()
+		if v <= prev || a.CompareAndSwap(prev, v) {
+			return
+		}
+	}
+}
+
+// Run measures a live pipeline: real replica servers per tier, driven by
+// goroutines on the wall clock. Root requests are issued open-loop at their
+// scheduled instants; a request completing at tier i spawns its fan-out into
+// tier i+1 from the worker that finished it, fan-in resolves on the slowest
+// descendant, and hedge duplicates fire from timers when a sub-request
+// overruns its edge's delay budget. The caller owns the tier server pools
+// (they are not closed).
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	shape := load.Or(cfg.Load, cfg.QPS)
+	total := cfg.WarmupRequests + cfg.Requests
+	mult := fanMultipliers(cfg.Tiers)
+
+	eng := &liveEngine{cfg: cfg, allDone: make(chan struct{}), stop: make(chan struct{})}
+	eng.remaining.Store(int64(total))
+	for i, tc := range cfg.Tiers {
+		t, err := newLiveTier(eng, i, tc, total*mult[i], cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.tiers = append(eng.tiers, t)
+	}
+
+	arrivals := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2)).Schedule(total)
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = core.DefaultTimeout(total, cfg.QPS)
+		if horizon := load.Horizon(shape, total); horizon+10*time.Second > timeout {
+			timeout = horizon + 10*time.Second
+		}
+		// Every tier adds queueing and service downstream of the arrival
+		// horizon; give the chain room to drain.
+		timeout += time.Duration(len(cfg.Tiers)) * 5 * time.Second
+	}
+
+	// The clock starts before the control tickers and the scheduler so both
+	// measure offsets from the same origin.
+	eng.start = time.Now()
+
+	// Control tickers: one per autoscaled tier, mirroring the cluster
+	// engine's tick cadence on the wall clock.
+	for _, t := range eng.tiers {
+		if t.loop == nil {
+			continue
+		}
+		go func(t *liveTier) {
+			ticker := time.NewTicker(t.loop.Config().Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-eng.stop:
+					return
+				case <-ticker.C:
+					t.mu.Lock()
+					t.runTicksLocked(time.Since(eng.start))
+					t.mu.Unlock()
+				}
+			}
+		}(t)
+	}
+
+	roots := make([]*liveRoot, total)
+	for i := 0; i < total; i++ {
+		core.WaitUntil(eng.start.Add(arrivals[i]))
+		root := &liveRoot{at: arrivals[i], warmup: i < cfg.WarmupRequests, tierMax: make([]atomic.Int64, len(cfg.Tiers))}
+		roots[i] = root
+		node := &liveNode{tier: 0, root: root, dispatchAt: arrivals[i]}
+		eng.tiers[0].dispatch(node, eng.tiers[0].nextPayload(), false)
+	}
+
+	timedOut := false
+	select {
+	case <-eng.allDone:
+	case <-time.After(timeout):
+		timedOut = true
+	}
+	close(eng.stop)
+	eng.teardown()
+	// Teardown drains in-flight work; if that resolved the last stragglers
+	// after all, the run is complete and the data is whole.
+	if timedOut && eng.remaining.Load() > 0 {
+		return nil, fmt.Errorf("%w (%d of %d roots unresolved after %v)", ErrTimedOut, eng.remaining.Load(), total, timeout)
+	}
+	return assembleLive(cfg, eng, roots, arrivals, shape, mult), nil
+}
+
+// teardown stops the engine: mark every tier closing (turning further
+// dispatches — straggling hedge timers, or fan-out spawns of work still
+// draining after a timeout — into no-ops), close every still-open replica
+// queue so workers finish their backlog and exit, and retire draining
+// replicas at their true idle instants. It returns only once every worker
+// has exited, so the caller may safely close the tier servers afterwards.
+func (e *liveEngine) teardown() {
+	for _, t := range e.tiers {
+		t.mu.Lock()
+		t.closing = true
+		t.mu.Unlock()
+	}
+	// Close front-to-back: by the time tier i's workers are awaited, tier
+	// i-1's have exited, so nothing upstream can still be blocked sending
+	// into tier i (and post-closing dispatches no-op).
+	for _, t := range e.tiers {
+		t.mu.Lock()
+		for _, rep := range t.replicas {
+			if !rep.closed {
+				close(rep.queue)
+				rep.closed = true
+			}
+		}
+		t.mu.Unlock()
+		t.workers.Wait()
+		t.mu.Lock()
+		for _, m := range t.set.Members() {
+			if m.State == cluster.StateDraining {
+				t.set.Retire(m.ID, time.Duration(t.replicas[m.ID].lastDone.Load()))
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// newLiveTier validates one tier's live configuration and builds its runtime:
+// balancer, membership set, control loop, payload pool, and the initial
+// replicas with their worker pools.
+func newLiveTier(eng *liveEngine, idx int, tc TierConfig, payloadCount int, cfg Config) (*liveTier, error) {
+	if len(tc.Servers) == 0 {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, cluster.ErrNoReplicas)
+	}
+	if tc.NewClient == nil {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, core.ErrNilClient)
+	}
+	if len(tc.Slowdowns) != 0 && len(tc.Slowdowns) != len(tc.Servers) {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, cluster.ErrSlowdownsLen)
+	}
+	if tc.Replicas > len(tc.Servers) {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w (%d > %d)", idx, tc.Name, cluster.ErrReplicaCount, tc.Replicas, len(tc.Servers))
+	}
+	if tc.Replicas <= 0 {
+		tc.Replicas = len(tc.Servers)
+	}
+	if tc.QueueCap <= 0 {
+		tc.QueueCap = 4096
+	}
+	seed := tierSeed(cfg.Seed, idx)
+	balancer, err := cluster.NewBalancer(tc.Policy, seed)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, err)
+	}
+	t := &liveTier{
+		idx:      idx,
+		cfg:      tc,
+		eng:      eng,
+		balancer: balancer,
+		set:      cluster.NewReplicaSet(len(tc.Servers)),
+	}
+	if tc.Autoscale != nil {
+		t.loop, err = cluster.NewControlLoop(*tc.Autoscale, tc.Replicas, len(tc.Servers))
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, err)
+		}
+	}
+	if load.WindowEnabled(cfg.Window, cfg.Load) {
+		t.collector = core.NewWindowedCollector(false)
+	} else {
+		t.collector = core.NewCollector(false)
+	}
+	t.client, err = tc.NewClient(workload.SplitSeed(seed, 1))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): creating client: %w", idx, tc.Name, err)
+	}
+	// Pre-generate every original sub-request payload the tier can consume
+	// (hedge duplicates reuse their original's payload), so payload
+	// construction never sits on a latency path.
+	t.payloads = make([]app.Request, payloadCount)
+	for i := range t.payloads {
+		t.payloads[i] = t.client.NextRequest()
+	}
+	for r := 0; r < tc.Replicas; r++ {
+		t.provisionLocked(t.set.Provision(0, 0))
+	}
+	return t, nil
+}
+
+// nextPayload hands out the tier's next pre-generated payload.
+func (t *liveTier) nextPayload() app.Request {
+	return t.payloads[t.payloadIdx.Add(1)-1]
+}
+
+// slowdownFor normalizes the slowdown factor of pool slot idx.
+func (t *liveTier) slowdownFor(idx int) float64 {
+	if idx >= len(t.cfg.Slowdowns) {
+		return 1
+	}
+	s := t.cfg.Slowdowns[idx]
+	if math.IsNaN(s) || math.IsInf(s, 0) || s < 1 {
+		return 1
+	}
+	return s
+}
+
+// provisionLocked builds the runtime replica for a newly provisioned member
+// and starts its worker pool. Callers hold the tier mutex (or run before
+// any concurrency starts).
+func (t *liveTier) provisionLocked(m *cluster.Member) {
+	rep := &liveReplica{
+		member:    m,
+		server:    t.cfg.Servers[m.Slot],
+		slowdown:  t.slowdownFor(m.Slot),
+		queue:     make(chan livePending, t.cfg.QueueCap),
+		collector: core.NewCollector(false),
+	}
+	t.replicas = append(t.replicas, rep)
+	for w := 0; w < t.cfg.Threads; w++ {
+		t.workers.Add(1)
+		go t.work(rep)
+	}
+}
+
+// drainLocked closes a draining (or cancelled cold-start) member's queue:
+// dispatchers no longer route to it, so its workers finish the backlog and
+// exit.
+func (t *liveTier) drainLocked(m *cluster.Member) {
+	rep := t.replicas[m.ID]
+	if !rep.closed {
+		close(rep.queue)
+		rep.closed = true
+	}
+}
+
+// runTicksLocked fires every control tick due at or before now, mirroring
+// the cluster live engine. Callers hold the tier mutex.
+func (t *liveTier) runTicksLocked(now time.Duration) {
+	for t.loop.Due(now) {
+		at := t.loop.Begin()
+		t.set.ActivateDue(at)
+		for _, m := range t.set.Members() {
+			if m.State == cluster.StateDraining && t.replicas[m.ID].outstanding.Load() == 0 {
+				t.set.Retire(m.ID, time.Duration(t.replicas[m.ID].lastDone.Load()))
+			}
+		}
+		outstanding := 0
+		for _, id := range t.set.ActiveIDs() {
+			outstanding += int(t.replicas[id].outstanding.Load())
+		}
+		target := t.loop.Decide(cluster.Observe(at, t.set, outstanding, t.takeCompletions(at)))
+		t.loop.Apply(t.set, target, at, t.provisionLocked, t.drainLocked)
+	}
+}
+
+// takeCompletions removes and returns the sojourns of buffered completions
+// that finished at or before the tick instant (see the cluster engine's
+// twin for why later ones are kept).
+func (t *liveTier) takeCompletions(at time.Duration) []time.Duration {
+	t.tickMu.Lock()
+	defer t.tickMu.Unlock()
+	var taken []time.Duration
+	kept := t.tickBuf[:0]
+	for _, c := range t.tickBuf {
+		if c.finish <= at {
+			taken = append(taken, c.sojourn)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	t.tickBuf = kept
+	return taken
+}
+
+// dispatch routes one sub-request copy (original or hedge duplicate) into
+// the tier: run due control ticks, snapshot the active replicas, let the
+// balancer pick, and enqueue. The enqueue happens under the tier mutex so a
+// concurrent scale-down cannot close the chosen queue between pick and
+// send; a full queue blocks the dispatcher here, which is backpressure
+// propagating upstream (and, at tier 0, open-loop latency).
+func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		// Teardown has begun: the queues are (about to be) closed. A hedge
+		// duplicate arriving now lost its race by definition; an original
+		// can only get here after a timeout, whose roots are abandoned.
+		return
+	}
+	now := time.Since(t.eng.start)
+	if t.loop != nil {
+		t.runTicksLocked(now)
+		t.set.ActivateDue(now)
+	}
+	var candidates []cluster.Candidate
+	for _, id := range t.set.ActiveIDs() {
+		candidates = append(candidates, cluster.Candidate{ID: id, Outstanding: int(t.replicas[id].outstanding.Load())})
+	}
+	pick := t.balancer.Pick(candidates)
+	rep := t.replicas[pick]
+	for _, c := range candidates {
+		if c.ID == pick {
+			rep.depth.Observe(c.Outstanding)
+			break
+		}
+	}
+	rep.dispatched++
+	rep.outstanding.Add(1)
+	if !hedge && t.cfg.HedgeDelay > 0 && t.idx > 0 {
+		n.timer = time.AfterFunc(t.cfg.HedgeDelay, func() {
+			if n.settled.Load() {
+				return
+			}
+			t.hedgesIssued.Add(1)
+			t.dispatch(n, payload, true)
+		})
+	}
+	rep.queue <- livePending{node: n, payload: payload, hedge: hedge, enqueue: time.Now()}
+}
+
+// work drains one replica's queue on one worker goroutine: process, record,
+// settle the logical sub-request (first copy wins), and fan out or fan in.
+func (t *liveTier) work(rep *liveReplica) {
+	defer t.workers.Done()
+	for p := range rep.queue {
+		start := time.Now()
+		resp, perr := rep.server.Process(p.payload)
+		if rep.slowdown > 1 {
+			// Straggler injection: hold the worker for the extra duration.
+			time.Sleep(time.Duration((rep.slowdown - 1) * float64(time.Since(start))))
+		}
+		end := time.Now()
+		failed := perr != nil
+		if !failed && t.cfg.Validate {
+			failed = t.client.CheckResponse(p.payload, resp) != nil
+		}
+		endOff := end.Sub(t.eng.start)
+		storeMax(&rep.lastDone, int64(endOff))
+		storeMax(&t.eng.lastDone, int64(endOff))
+		n := p.node
+		sample := core.Sample{
+			Queue:   start.Sub(p.enqueue),
+			Service: end.Sub(start),
+			Sojourn: endOff - n.dispatchAt,
+			Warmup:  n.root.warmup,
+			Err:     failed,
+			Offset:  n.dispatchAt,
+		}
+		rep.outstanding.Add(-1)
+		// Every served copy counts at the replica (and toward the
+		// controller's completion window): redundant hedge work is real
+		// capacity spent.
+		rep.collector.Record(sample)
+		if t.loop != nil {
+			t.tickMu.Lock()
+			t.tickBuf = append(t.tickBuf, liveCompletion{finish: endOff, sojourn: sample.Sojourn})
+			t.tickMu.Unlock()
+		}
+		if !n.settled.CompareAndSwap(false, true) {
+			continue // the other copy already won the race
+		}
+		if p.hedge {
+			t.hedgeWins.Add(1)
+		}
+		if n.timer != nil {
+			n.timer.Stop()
+		}
+		if failed {
+			n.root.err.Store(true)
+		}
+		t.collector.Record(sample)
+		if !n.root.warmup {
+			storeMax(&n.root.tierMax[t.idx], int64(sample.Sojourn))
+		}
+		t.eng.settle(n, endOff)
+	}
+}
+
+// settle handles a node whose tier-local service just completed: spawn its
+// fan-out into the next tier, or resolve fan-in up the tree.
+func (e *liveEngine) settle(n *liveNode, done time.Duration) {
+	if n.tier+1 < len(e.tiers) {
+		nt := e.tiers[n.tier+1]
+		k := nt.cfg.FanOut
+		n.pending.Store(int32(k))
+		for j := 0; j < k; j++ {
+			child := &liveNode{tier: n.tier + 1, parent: n, root: n.root, dispatchAt: done}
+			nt.dispatch(child, nt.nextPayload(), false)
+		}
+		return
+	}
+	e.resolve(n, done)
+}
+
+// resolve propagates a completed node up the fan-in tree; the root resolves
+// when its last straggler does.
+func (e *liveEngine) resolve(n *liveNode, done time.Duration) {
+	for {
+		p := n.parent
+		if p == nil {
+			n.root.done.Store(int64(done))
+			if e.remaining.Add(-1) == 0 {
+				close(e.allDone)
+			}
+			return
+		}
+		storeMax(&p.maxChildDone, int64(done))
+		if p.pending.Add(-1) > 0 {
+			return
+		}
+		n, done = p, time.Duration(p.maxChildDone.Load())
+	}
+}
+
+// assembleLive builds the Result from the root records and tier collectors.
+func assembleLive(cfg Config, eng *liveEngine, roots []*liveRoot, arrivals []time.Duration, shape load.Shape, mult []int) *Result {
+	total := len(roots)
+	end := time.Duration(eng.lastDone.Load())
+	firstMeasured := time.Duration(0)
+	if cfg.WarmupRequests < total {
+		firstMeasured = arrivals[cfg.WarmupRequests]
+	}
+	elapsed := end - firstMeasured
+
+	var sojournAll []time.Duration
+	var timed []stats.TimedSample
+	var errs uint64
+	for _, r := range roots {
+		if r.warmup {
+			continue
+		}
+		if r.err.Load() {
+			errs++
+			timed = append(timed, stats.TimedSample{At: r.at, Err: true})
+			continue
+		}
+		sojourn := time.Duration(r.done.Load()) - r.at
+		sojournAll = append(sojournAll, sojourn)
+		timed = append(timed, stats.TimedSample{At: r.at, Sojourn: sojourn})
+	}
+	achieved := 0.0
+	if elapsed > 0 {
+		achieved = float64(len(sojournAll)) / elapsed.Seconds()
+	}
+	out := &Result{
+		Label:       label(cfg.Tiers),
+		Shape:       shape.Name(),
+		ShapeSpec:   shape.Spec(),
+		OfferedQPS:  load.OfferedRate(shape, total),
+		AchievedQPS: achieved,
+		Requests:    uint64(len(sojournAll)),
+		Warmups:     uint64(cfg.WarmupRequests),
+		Errors:      errs,
+		Sojourn:     stats.SummaryFromSamples(sojournAll),
+		SojournCDF:  stats.SampleCDF(sojournAll),
+		Elapsed:     elapsed,
+	}
+	if cfg.KeepRaw {
+		out.SojournSamples = sojournAll
+	}
+	windowed := load.WindowEnabled(cfg.Window, cfg.Load)
+	if windowed {
+		out.Windows = core.WindowsFromTimed(timed, cfg.Window, shape)
+		// As in the simulated engine: the end-to-end windows carry the
+		// front-end tier's membership.
+		eng.tiers[0].set.AnnotateWindows(out.Windows, end)
+	}
+
+	for i, t := range eng.tiers {
+		agg := t.collector.Summary()
+		tr := TierResult{
+			Name:         t.cfg.Name,
+			App:          t.cfg.App,
+			Policy:       t.cfg.Policy,
+			Replicas:     t.cfg.Replicas,
+			Threads:      t.cfg.Threads,
+			FanOut:       t.cfg.FanOut,
+			HedgeDelay:   t.cfg.HedgeDelay,
+			HedgesIssued: t.hedgesIssued.Load(),
+			HedgeWins:    t.hedgeWins.Load(),
+			OfferedQPS:   out.OfferedQPS * float64(mult[i]),
+			Requests:     agg.Count,
+			Errors:       agg.Errors,
+			Queue:        agg.Queue,
+			Service:      agg.Service,
+			Sojourn:      agg.Sojourn,
+			Critical:     liveCriticalSummary(roots, i),
+		}
+		if windowed {
+			tr.Windows = core.WindowsFromTimed(agg.Timed, cfg.Window, shape)
+			for w := range tr.Windows {
+				tr.Windows[w].OfferedQPS *= float64(mult[i])
+			}
+		}
+		for _, rep := range t.replicas {
+			rs := rep.collector.Summary()
+			repAchieved := 0.0
+			if elapsed > 0 {
+				repAchieved = float64(rs.Count) / elapsed.Seconds()
+			}
+			tr.PerReplica = append(tr.PerReplica, cluster.NewReplicaRow(rep.member, end, cluster.ReplicaStats{
+				Index:          rep.member.ID,
+				Slowdown:       rep.slowdown,
+				Dispatched:     rep.dispatched,
+				Requests:       rs.Count,
+				Errors:         rs.Errors,
+				AchievedQPS:    repAchieved,
+				Queue:          rs.Queue,
+				Service:        rs.Service,
+				Sojourn:        rs.Sojourn,
+				MeanQueueDepth: rep.depth.Mean(),
+				MaxQueueDepth:  rep.depth.Max(),
+			}))
+		}
+		annotateTier(&tr, t.loop, t.set, end)
+		out.Tiers = append(out.Tiers, tr)
+	}
+	return out
+}
+
+// liveCriticalSummary summarizes, across measured roots, the slowest
+// sub-request sojourn each root saw at the tier.
+func liveCriticalSummary(roots []*liveRoot, tier int) stats.LatencySummary {
+	var crit []time.Duration
+	for _, r := range roots {
+		if !r.warmup {
+			crit = append(crit, time.Duration(r.tierMax[tier].Load()))
+		}
+	}
+	return stats.SummaryFromSamples(crit)
+}

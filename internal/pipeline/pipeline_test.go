@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"tailbench/internal/cluster"
+	"tailbench/internal/queueing"
+)
+
+// detTier builds a tier whose every replica serves in exactly d (times an
+// optional per-slot slowdown).
+func detTier(name string, replicas int, d time.Duration, slowdowns ...float64) TierConfig {
+	pool := make([]cluster.SimReplica, replicas)
+	for i := range pool {
+		pool[i] = cluster.SimReplica{Service: queueing.DeterministicService{Value: d}}
+		if i < len(slowdowns) {
+			pool[i].Slowdown = slowdowns[i]
+		}
+	}
+	return TierConfig{Name: name, App: "det", Policy: cluster.PolicyRoundRobin, Replicas: replicas, SimReplicas: pool}
+}
+
+// TestSimulateFanInExact pins the fan-in arithmetic on a fully
+// deterministic topology: a 1ms front-end fanning out to three 2ms shard
+// replicas, one of which runs 3x slow. Round-robin sends each root's three
+// sub-requests to the three distinct replicas, so at negligible load every
+// root's end-to-end sojourn is exactly front + max(2ms, 2ms, 6ms) = 7ms —
+// the straggler gates every request.
+func TestSimulateFanInExact(t *testing.T) {
+	shard := detTier("shards", 3, 2*time.Millisecond, 1, 1, 3)
+	shard.FanOut = 3
+	cfg := Config{
+		Tiers: []TierConfig{
+			detTier("front", 1, time.Millisecond),
+			shard,
+		},
+		QPS:            1, // ~1s apart at this seed: no queueing anywhere
+		Requests:       30,
+		WarmupRequests: -1,
+		Seed:           2,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 30 || res.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d", res.Requests, res.Errors)
+	}
+	want := 7 * time.Millisecond
+	if res.Sojourn.Min != want || res.Sojourn.Max != want {
+		t.Errorf("end-to-end sojourn = [%v, %v], want exactly %v", res.Sojourn.Min, res.Sojourn.Max, want)
+	}
+	shards := res.Tiers[1]
+	if shards.Requests != 90 {
+		t.Errorf("shard sub-requests = %d, want 90", shards.Requests)
+	}
+	if shards.Critical.Min != 6*time.Millisecond || shards.Critical.Max != 6*time.Millisecond {
+		t.Errorf("critical path = [%v, %v], want exactly 6ms", shards.Critical.Min, shards.Critical.Max)
+	}
+	if shards.Sojourn.Min != 2*time.Millisecond || shards.Sojourn.Max != 6*time.Millisecond {
+		t.Errorf("shard sojourn = [%v, %v], want [2ms, 6ms]", shards.Sojourn.Min, shards.Sojourn.Max)
+	}
+	// Per-tier offered rates carry the fan-out multiplier.
+	if res.Tiers[0].OfferedQPS != 1 || shards.OfferedQPS != 3 {
+		t.Errorf("offered rates = %.1f/%.1f, want 1/3", res.Tiers[0].OfferedQPS, shards.OfferedQPS)
+	}
+}
+
+// TestSimulateHedgeExact pins first-response-wins on the same deterministic
+// topology: hedging the shard edge at 3ms duplicates exactly the slow
+// replica's sub-request (2ms ones finish under budget). The round-robin
+// cursor keeps cycling across hedges, so two roots out of three get their
+// duplicate on a fast replica (finish at 3ms + 2ms = 5ms, beating the 6ms
+// original: end-to-end 6ms) and every third root's duplicate lands back on
+// the slow replica and loses (end-to-end stays 7ms) — all of it exact.
+func TestSimulateHedgeExact(t *testing.T) {
+	shard := detTier("shards", 3, 2*time.Millisecond, 3, 1, 1)
+	shard.FanOut = 3
+	shard.HedgeDelay = 3 * time.Millisecond
+	cfg := Config{
+		Tiers: []TierConfig{
+			detTier("front", 1, time.Millisecond),
+			shard,
+		},
+		QPS:            1,
+		Requests:       30,
+		WarmupRequests: -1,
+		Seed:           2,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := res.Tiers[1]
+	if shards.HedgesIssued != 30 {
+		t.Fatalf("hedges issued = %d, want exactly one per root (30)", shards.HedgesIssued)
+	}
+	if shards.HedgeWins != 20 {
+		t.Fatalf("hedge wins = %d, want 20 (the cursor parks every third duplicate on the slow replica)", shards.HedgeWins)
+	}
+	if res.Sojourn.Min != 6*time.Millisecond || res.Sojourn.Max != 7*time.Millisecond {
+		t.Errorf("hedged end-to-end sojourn = [%v, %v], want exactly [6ms, 7ms]", res.Sojourn.Min, res.Sojourn.Max)
+	}
+	// Losing copies still consume capacity: the slow replica served its 30
+	// originals plus the 10 duplicates that landed back on it.
+	var slowDispatched uint64
+	for _, rep := range shards.PerReplica {
+		if rep.Slowdown == 3 {
+			slowDispatched = rep.Dispatched
+		}
+	}
+	if slowDispatched != 40 {
+		t.Errorf("slow replica dispatched = %d, want 40 (losers still cost capacity)", slowDispatched)
+	}
+}
+
+// TestConfigValidation pins the internal config checks.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Simulate(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	over := Config{
+		Tiers: []TierConfig{
+			detTier("front", 1, time.Millisecond),
+			func() TierConfig { tc := detTier("s", 1, time.Millisecond); tc.FanOut = 4096; return tc }(),
+			func() TierConfig { tc := detTier("s2", 1, time.Millisecond); tc.FanOut = 4096; return tc }(),
+		},
+		Requests: 1000,
+	}
+	if _, err := Simulate(over); err == nil {
+		t.Error("fan-out explosion accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench/internal/cluster"
+	"tailbench/internal/stats"
+)
+
+// TierResult is the per-tier breakdown of a pipeline run: the tier's own
+// cluster accounting (latency components of the sub-requests it served,
+// windowed series, per-replica rows, elasticity ledger) plus the inbound
+// edge's fan-out/hedging ledger and the fan-in straggler view.
+type TierResult struct {
+	// Name, App, Policy, Replicas, and Threads identify the tier.
+	Name     string
+	App      string
+	Policy   string
+	Replicas int
+	Threads  int
+	// FanOut is the inbound edge's fan-out degree (1 for tier 0).
+	FanOut int
+	// HedgeDelay is the inbound edge's hedging budget (0 = no hedging);
+	// HedgesIssued counts duplicated sub-requests and HedgeWins how many of
+	// those duplicates beat their original (first-response-wins).
+	HedgeDelay   time.Duration
+	HedgesIssued uint64
+	HedgeWins    uint64
+	// OfferedQPS is the tier's nominal sub-request arrival rate: the root
+	// rate times the fan-out multiplier up the chain (hedge duplicates are
+	// extra, unplanned load and are not included).
+	OfferedQPS float64
+	// Requests counts measured sub-requests (one per logical sub-request;
+	// hedge duplicates resolve into their original); Errors counts failed
+	// ones.
+	Requests uint64
+	Errors   uint64
+	// Queue, Service, and Sojourn summarize the tier-local latency of the
+	// measured sub-requests (dispatch into the tier until first completed
+	// copy).
+	Queue   stats.LatencySummary
+	Service stats.LatencySummary
+	Sojourn stats.LatencySummary
+	// Critical summarizes, per measured root request, the slowest of the
+	// root's sub-requests at this tier — the fan-in straggler that actually
+	// gated the root. Critical.P99 against Sojourn.P99 is the
+	// tail-amplification factor of the edge's fan-out degree.
+	Critical stats.LatencySummary
+	// Windows is the tier's windowed series, binned by sub-request dispatch
+	// offset; present when windowed accounting is enabled.
+	Windows []stats.WindowStat
+	// Controller fields and the cost ledger mirror cluster.Result.
+	Controller      string
+	MinReplicas     int
+	MaxReplicas     int
+	ControlInterval time.Duration
+	PeakReplicas    int
+	ReplicaSeconds  float64
+	ScalingEvents   []cluster.ScalingEvent
+	// PerReplica is the tier's per-replica breakdown, indexed by stable
+	// replica ID.
+	PerReplica []cluster.ReplicaStats
+}
+
+// Result is the outcome of one pipeline measurement (live or simulated).
+type Result struct {
+	// Label names the topology, e.g. "xapian > 16*masstree".
+	Label string
+	// Shape names the root arrival process and ShapeSpec its canonical
+	// parameter encoding.
+	Shape     string
+	ShapeSpec string
+	// OfferedQPS is the configured root arrival rate (mean over the horizon
+	// for time-varying shapes); AchievedQPS the measured root completion
+	// rate.
+	OfferedQPS  float64
+	AchievedQPS float64
+	// Requests, Warmups, and Errors count measured, discarded, and failed
+	// root requests.
+	Requests uint64
+	Warmups  uint64
+	Errors   uint64
+	// Sojourn summarizes the end-to-end root sojourn: from the root's
+	// scheduled arrival instant until its whole fan-out tree completed.
+	Sojourn    stats.LatencySummary
+	SojournCDF []stats.CDFPoint
+	// SojournSamples carries the raw end-to-end samples when KeepRaw was
+	// set, in root arrival order.
+	SojournSamples []time.Duration
+	// Windows is the end-to-end windowed series, binned by root arrival
+	// offset.
+	Windows []stats.WindowStat
+	// Elapsed is the measurement interval (first measured root arrival to
+	// last completion) on the run's time axis.
+	Elapsed time.Duration
+	// Tiers is the per-tier breakdown, front-end first.
+	Tiers []TierResult
+}
+
+// label renders the topology label from the tier chain.
+func label(tiers []TierConfig) string {
+	out := ""
+	for i, t := range tiers {
+		if i > 0 {
+			out += " > "
+		}
+		if t.FanOut > 1 {
+			out += fmt.Sprintf("%d*", t.FanOut)
+		}
+		out += t.App
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s [pipeline %d tiers] qps=%.1f achieved=%.1f n=%d err=%d sojourn{%s}",
+		r.Label, len(r.Tiers), r.OfferedQPS, r.AchievedQPS, r.Requests, r.Errors, r.Sojourn.String())
+}
+
+// annotateTier fills a tier result's elasticity fields from its membership
+// ledger and control loop.
+func annotateTier(out *TierResult, loop *cluster.ControlLoop, set *cluster.ReplicaSet, end time.Duration) {
+	out.PeakReplicas = set.Peak()
+	out.ReplicaSeconds = set.ReplicaSeconds(end)
+	out.ScalingEvents = set.Events()
+	set.AnnotateWindows(out.Windows, end)
+	if loop != nil {
+		cfg := loop.Config()
+		out.Controller = cfg.Policy
+		out.MinReplicas = cfg.MinReplicas
+		out.MaxReplicas = cfg.MaxReplicas
+		out.ControlInterval = cfg.Interval
+	}
+}

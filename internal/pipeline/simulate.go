@@ -1,0 +1,296 @@
+package pipeline
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"tailbench/internal/cluster"
+	"tailbench/internal/core"
+	"tailbench/internal/load"
+	"tailbench/internal/stats"
+	"tailbench/internal/workload"
+)
+
+// simRoot is one root request's bookkeeping: its scheduled arrival, warmup
+// flag, resolved end-to-end completion instant, and the per-tier slowest
+// sub-request sojourn (the fan-in critical path at each tier).
+type simRoot struct {
+	at      time.Duration
+	warmup  bool
+	done    time.Duration
+	tierMax []time.Duration
+}
+
+// simNode is one sub-request in a root's fan-out tree.
+type simNode struct {
+	tier   int
+	parent *simNode
+	root   *simRoot
+	// dispatchAt is the instant the original copy was dispatched into the
+	// tier; the node's tier-local sojourn is measured from it.
+	dispatchAt time.Duration
+	// firstDisp holds the original copy's outcome while a hedge is pending.
+	firstDisp cluster.SimDispatch
+	// pending counts unresolved children; maxChildDone tracks their latest
+	// completion (the fan-in straggler).
+	pending      int
+	maxChildDone time.Duration
+}
+
+// simEvent is one entry of the global event queue: dispatch a node's
+// original copy (hedge=false) or its hedge duplicate (hedge=true) at
+// instant at. seq breaks time ties in push order, which keeps the event
+// schedule — and therefore every RNG draw — deterministic.
+type simEvent struct {
+	at    time.Duration
+	seq   uint64
+	node  *simNode
+	hedge bool
+}
+
+type simEventHeap []simEvent
+
+func (h simEventHeap) Len() int { return len(h) }
+func (h simEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *simEventHeap) Push(x interface{}) { *h = append(*h, x.(simEvent)) }
+func (h *simEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simTier couples a tier's cluster engine with its pipeline-level
+// accounting.
+type simTier struct {
+	cfg TierConfig
+	eng *cluster.SimCluster
+
+	hedgesIssued uint64
+	hedgeWins    uint64
+
+	queueS, serviceS, sojournS []time.Duration
+	timed                      []stats.TimedSample
+}
+
+// Simulate runs the pipeline as a deterministic virtual-time discrete-event
+// simulation: root arrivals follow the shaped open-loop schedule, every
+// sub-request dispatch is an event on a global queue ordered by (instant,
+// creation order), and each tier's cluster engine serves its share exactly
+// as cluster.Simulate would. Fan-out spawns child events at the parent's
+// effective completion; fan-in resolves a parent when its slowest child
+// completes; hedge duplicates fire at dispatch+delay when the original has
+// not finished by then, and the first response wins.
+func Simulate(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tiers := make([]*simTier, len(cfg.Tiers))
+	for i, tc := range cfg.Tiers {
+		eng, err := cluster.NewSimCluster(cluster.SimClusterConfig{
+			Policy:          tc.Policy,
+			Threads:         tc.Threads,
+			Seed:            tierSeed(cfg.Seed, i),
+			Replicas:        tc.SimReplicas,
+			InitialReplicas: tc.Replicas,
+			Autoscale:       tc.Autoscale,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: tier %d (%s): %w", i, tc.Name, err)
+		}
+		tiers[i] = &simTier{cfg: tc, eng: eng}
+	}
+
+	shape := load.Or(cfg.Load, cfg.QPS)
+	total := cfg.WarmupRequests + cfg.Requests
+	arrivals := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2)).Schedule(total)
+
+	roots := make([]*simRoot, total)
+	events := make(simEventHeap, 0, total)
+	var seq uint64
+	push := func(at time.Duration, node *simNode, hedge bool) {
+		heap.Push(&events, simEvent{at: at, seq: seq, node: node, hedge: hedge})
+		seq++
+	}
+	for i := 0; i < total; i++ {
+		roots[i] = &simRoot{at: arrivals[i], warmup: i < cfg.WarmupRequests, tierMax: make([]time.Duration, len(tiers))}
+		push(arrivals[i], &simNode{tier: 0, root: roots[i]}, false)
+	}
+
+	// settle resolves a node's tier-local service (its winning copy
+	// completed at eff): record the tier sample, then fan out or fan in.
+	var settle func(n *simNode, eff time.Duration, win cluster.SimDispatch)
+	var resolve func(n *simNode, done time.Duration)
+	settle = func(n *simNode, eff time.Duration, win cluster.SimDispatch) {
+		st := tiers[n.tier]
+		sojourn := eff - n.dispatchAt
+		if !n.root.warmup {
+			st.queueS = append(st.queueS, win.Queue)
+			st.serviceS = append(st.serviceS, win.Service)
+			st.sojournS = append(st.sojournS, sojourn)
+			st.timed = append(st.timed, stats.TimedSample{At: n.dispatchAt, Sojourn: sojourn})
+			if sojourn > n.root.tierMax[n.tier] {
+				n.root.tierMax[n.tier] = sojourn
+			}
+		}
+		if n.tier == len(tiers)-1 {
+			resolve(n, eff)
+			return
+		}
+		k := tiers[n.tier+1].cfg.FanOut
+		n.pending = k
+		for j := 0; j < k; j++ {
+			push(eff, &simNode{tier: n.tier + 1, parent: n, root: n.root}, false)
+		}
+	}
+	resolve = func(n *simNode, done time.Duration) {
+		for {
+			p := n.parent
+			if p == nil {
+				n.root.done = done
+				return
+			}
+			if done > p.maxChildDone {
+				p.maxChildDone = done
+			}
+			p.pending--
+			if p.pending > 0 {
+				return
+			}
+			n, done = p, p.maxChildDone
+		}
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(simEvent)
+		st := tiers[ev.node.tier]
+		st.eng.RunTicks(ev.at)
+		d := st.eng.Dispatch(ev.at, !ev.node.root.warmup)
+		if ev.hedge {
+			st.hedgesIssued++
+			eff, win := ev.node.firstDisp.Finish, ev.node.firstDisp
+			if d.Finish < eff {
+				eff, win = d.Finish, d
+				st.hedgeWins++
+			}
+			settle(ev.node, eff, win)
+			continue
+		}
+		ev.node.dispatchAt = ev.at
+		if hd := st.cfg.HedgeDelay; hd > 0 && d.Finish > ev.at+hd {
+			// The original will still be in flight when the budget expires:
+			// schedule the duplicate, defer settling until it resolves.
+			ev.node.firstDisp = d
+			push(ev.at+hd, ev.node, true)
+			continue
+		}
+		settle(ev.node, d.Finish, d)
+	}
+
+	end := time.Duration(0)
+	for _, st := range tiers {
+		st.eng.Settle()
+		if f := st.eng.LastFinish(); f > end {
+			end = f
+		}
+	}
+	firstMeasured := time.Duration(0)
+	if cfg.WarmupRequests < total {
+		firstMeasured = arrivals[cfg.WarmupRequests]
+	}
+	elapsed := end - firstMeasured
+
+	var sojournAll []time.Duration
+	var timed []stats.TimedSample
+	for _, r := range roots {
+		if r.warmup {
+			continue
+		}
+		sojourn := r.done - r.at
+		sojournAll = append(sojournAll, sojourn)
+		timed = append(timed, stats.TimedSample{At: r.at, Sojourn: sojourn})
+	}
+	achieved := 0.0
+	if elapsed > 0 {
+		achieved = float64(len(sojournAll)) / elapsed.Seconds()
+	}
+	out := &Result{
+		Label:       label(cfg.Tiers),
+		Shape:       shape.Name(),
+		ShapeSpec:   shape.Spec(),
+		OfferedQPS:  load.OfferedRate(shape, total),
+		AchievedQPS: achieved,
+		Requests:    uint64(len(sojournAll)),
+		Warmups:     uint64(cfg.WarmupRequests),
+		Sojourn:     stats.SummaryFromSamples(sojournAll),
+		SojournCDF:  stats.SampleCDF(sojournAll),
+		Elapsed:     elapsed,
+	}
+	if cfg.KeepRaw {
+		out.SojournSamples = sojournAll
+	}
+	windowed := load.WindowEnabled(cfg.Window, cfg.Load)
+	if windowed {
+		out.Windows = core.WindowsFromTimed(timed, cfg.Window, shape)
+		// The end-to-end windows carry the front-end tier's membership —
+		// the capacity at the door root requests arrive at (and, for a
+		// single-tier pipeline, exactly the cluster run's annotation).
+		tiers[0].eng.Set().AnnotateWindows(out.Windows, end)
+	}
+
+	mult := fanMultipliers(cfg.Tiers)
+	for i, st := range tiers {
+		replicas := st.cfg.Replicas
+		if replicas <= 0 {
+			replicas = len(st.cfg.SimReplicas)
+		}
+		tr := TierResult{
+			Name:         st.cfg.Name,
+			App:          st.cfg.App,
+			Policy:       st.cfg.Policy,
+			Replicas:     replicas,
+			Threads:      st.cfg.Threads,
+			FanOut:       st.cfg.FanOut,
+			HedgeDelay:   st.cfg.HedgeDelay,
+			HedgesIssued: st.hedgesIssued,
+			HedgeWins:    st.hedgeWins,
+			OfferedQPS:   out.OfferedQPS * float64(mult[i]),
+			Requests:     uint64(len(st.sojournS)),
+			Queue:        stats.SummaryFromSamples(st.queueS),
+			Service:      stats.SummaryFromSamples(st.serviceS),
+			Sojourn:      stats.SummaryFromSamples(st.sojournS),
+			Critical:     criticalSummary(roots, i),
+			PerReplica:   st.eng.Rows(end, elapsed),
+		}
+		if windowed {
+			tr.Windows = core.WindowsFromTimed(st.timed, cfg.Window, shape)
+			for w := range tr.Windows {
+				tr.Windows[w].OfferedQPS *= float64(mult[i])
+			}
+		}
+		annotateTier(&tr, st.eng.Loop(), st.eng.Set(), end)
+		out.Tiers = append(out.Tiers, tr)
+	}
+	return out, nil
+}
+
+// criticalSummary summarizes, across measured roots, the slowest
+// sub-request sojourn each root saw at the tier.
+func criticalSummary(roots []*simRoot, tier int) stats.LatencySummary {
+	var crit []time.Duration
+	for _, r := range roots {
+		if !r.warmup {
+			crit = append(crit, r.tierMax[tier])
+		}
+	}
+	return stats.SummaryFromSamples(crit)
+}

@@ -148,6 +148,105 @@ func TestFixedClusterResultJSONOmitsElasticFields(t *testing.T) {
 	}
 }
 
+// TestPipelineResultJSONRoundTrip pins the contract tailbench-report -input
+// depends on for pipeline runs: a PipelineResult written as JSON must
+// unmarshal back identically, per-tier fields included.
+func TestPipelineResultJSONRoundTrip(t *testing.T) {
+	in := PipelineResult{
+		Label:       "xapian > 16*masstree",
+		Mode:        ModeSimulated,
+		Shape:       "constant",
+		ShapeSpec:   "constant:2000",
+		OfferedQPS:  2000,
+		AchievedQPS: 1995.5,
+		Requests:    9000,
+		Errors:      2,
+		Sojourn:     LatencyStats{Count: 9000, Mean: 2 * time.Millisecond, P95: 5 * time.Millisecond, P99: 9 * time.Millisecond},
+		SojournCDF:  []CDFPoint{{Value: time.Millisecond, Cumulative: 0.4}, {Value: 9 * time.Millisecond, Cumulative: 1}},
+		Windows: []WindowStats{
+			{Start: 0, End: time.Second, Requests: 2000, OfferedQPS: 2000, AchievedQPS: 1990, Replicas: 2, P99: 8 * time.Millisecond},
+		},
+		Elapsed: 4 * time.Second,
+		Tiers: []TierResult{
+			{
+				Name: "frontend", App: "xapian", Policy: "leastq", Replicas: 2, Threads: 1, FanOut: 1,
+				OfferedQPS: 2000, Requests: 9000,
+				Queue:        LatencyStats{Count: 9000, Mean: 100 * time.Microsecond},
+				Sojourn:      LatencyStats{Count: 9000, P99: time.Millisecond},
+				Critical:     LatencyStats{Count: 9000, P99: time.Millisecond},
+				PeakReplicas: 2, ReplicaSeconds: 8,
+				PerReplica: []ReplicaResult{{Index: 0, State: "active", Lifetime: 4 * time.Second, Slowdown: 1, Dispatched: 5000}},
+			},
+			{
+				Name: "shards", App: "masstree", Policy: "jsq2", Replicas: 16, Threads: 2, FanOut: 16,
+				HedgeDelay: 500 * time.Microsecond, HedgesIssued: 7200, HedgeWins: 3100,
+				OfferedQPS: 32000, Requests: 144000, Errors: 1,
+				Sojourn:  LatencyStats{Count: 144000, P99: 900 * time.Microsecond},
+				Critical: LatencyStats{Count: 9000, P99: 3 * time.Millisecond},
+				Windows: []WindowStats{
+					{Start: 0, End: time.Second, Requests: 32000, OfferedQPS: 32000, Replicas: 16, P99: 850 * time.Microsecond},
+				},
+				Controller: "threshold", MinReplicas: 4, MaxReplicas: 24, ControlInterval: 50 * time.Millisecond,
+				PeakReplicas: 20, ReplicaSeconds: 70.5,
+				ScalingEvents: []ScalingEvent{{At: time.Second, From: 16, To: 20}},
+				PerReplica: []ReplicaResult{
+					{Index: 3, Slot: 3, State: "retired", ProvisionedAt: time.Second, ActiveAt: 1200 * time.Millisecond, RetiredAt: 3 * time.Second, Lifetime: 2 * time.Second, Slowdown: 1, Dispatched: 9000},
+				},
+			},
+		},
+	}
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out PipelineResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["Mode"] != "simulated" || raw["Label"] != "xapian > 16*masstree" {
+		t.Errorf("named fields encoded as Mode=%v Label=%v", raw["Mode"], raw["Label"])
+	}
+}
+
+// TestClusterResultJSONFreeOfPipelineFields checks that cluster (and
+// single-server) results do not grow pipeline fields in their JSON
+// encodings: the pipeline subsystem is a separate result type, and saved
+// cluster JSON must stay exactly as it was.
+func TestClusterResultJSONFreeOfPipelineFields(t *testing.T) {
+	cluster := ClusterResult{
+		App: "masstree", Policy: "leastq", Replicas: 2, PeakReplicas: 2, ReplicaSeconds: 4,
+		PerReplica: []ReplicaResult{{Index: 0, State: "active", Slowdown: 1}},
+	}
+	data, err := json.Marshal(&cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Tiers", "FanOut", "Hedge", "HedgeDelay", "Critical", "Label"} {
+		if _, present := raw[key]; present {
+			t.Errorf("cluster JSON carries pipeline field %s", key)
+		}
+	}
+	// A warm-pool replica (no cold-start delay) must not grow the ActiveAt
+	// field either: it is omitempty and zero outside ProvisionDelay runs.
+	rep := raw["PerReplica"].([]any)[0].(map[string]any)
+	for _, key := range []string{"ActiveAt", "FanOut", "Hedge"} {
+		if _, present := rep[key]; present {
+			t.Errorf("fixed-cluster replica row carries %s", key)
+		}
+	}
+}
+
 // TestConstantShapeOmittedFieldsBackCompat checks that JSON written before
 // the LoadShape redesign (no Shape/ShapeSpec/Windows fields) still decodes.
 func TestConstantShapeOmittedFieldsBackCompat(t *testing.T) {

@@ -1,0 +1,460 @@
+package tailbench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/cluster"
+	"tailbench/internal/pipeline"
+)
+
+// HedgeSpec is a per-edge hedging (request duplication) policy: a
+// sub-request that has not completed within Delay of its dispatch is
+// duplicated onto another replica of the same tier and the first response
+// wins. The loser still runs to completion and consumes capacity — hedging
+// buys tail latency with extra load, which is exactly the trade-off the
+// pipeline harness lets you measure.
+type HedgeSpec struct {
+	// Delay is the hedging budget; a common choice is the tier's p95
+	// sub-request sojourn ("hedge after the request is already slower than
+	// 95% of its peers"). Must be positive.
+	Delay time.Duration
+}
+
+// TierSpec describes one tier of a pipeline: the cluster serving it plus
+// the inbound edge from the previous tier.
+type TierSpec struct {
+	// Name labels the tier in results (default "tier<i>").
+	Name string
+	// Cluster describes the tier's cluster, reusing ClusterSpec. The
+	// honored fields are App, Policy, Replicas, Threads, Scale, Slowdowns,
+	// Autoscale, QueueCap, Validate, CalibrationRequests, and
+	// ServiceSamples; the run-level fields (Mode, QPS, Load, Window,
+	// Requests, Warmup, Seed, KeepRaw) come from the PipelineSpec, which
+	// drives every tier.
+	Cluster ClusterSpec
+	// FanOut is the number of sub-requests a request completing at the
+	// previous tier spawns into this tier (default 1). The parent request
+	// completes only when all of them have — fan-in waits for the slowest,
+	// so end-to-end tail latency inherits the max of FanOut sojourns (the
+	// "tail at scale" amplification). Must be 1 (or 0) on tier 0, which is
+	// fed by the root arrival process.
+	FanOut int
+	// Hedge optionally hedges the inbound edge's sub-requests; nil disables
+	// hedging. Must be nil on tier 0.
+	Hedge *HedgeSpec
+}
+
+// PipelineSpec describes one multi-tier measurement: a chain of clusters in
+// which a root request traverses every tier via fan-out/fan-in edges, and
+// the recorded sojourn of a root is its end-to-end span across tiers.
+type PipelineSpec struct {
+	// Mode selects the execution path: ModeIntegrated (real in-process
+	// replica servers per tier, live goroutines) or ModeSimulated
+	// (calibrated virtual-time simulation — deterministic per seed).
+	Mode Mode
+	// Tiers is the chain, front-end first. At least one tier is required.
+	Tiers []TierSpec
+	// QPS is the root arrival rate; 0 means saturation. Shorthand for
+	// Load: Constant(QPS); ignored when Load is set.
+	QPS float64
+	// Load is the root arrival process; nil means Constant(QPS).
+	Load LoadShape
+	// Window is the windowed-accounting width (zero = automatic for
+	// time-varying shapes, negative = disabled).
+	Window time.Duration
+	// Requests is the number of measured root requests (default 1000).
+	Requests int
+	// Warmup is the number of discarded warmup roots (0 = 10% of Requests,
+	// negative = none), together with their entire fan-out trees.
+	Warmup int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// KeepRaw retains every end-to-end sojourn sample in the result.
+	KeepRaw bool
+	// Timeout bounds an integrated (live) run; zero derives one from the
+	// arrival horizon plus per-tier drain slack. A run that overruns it
+	// drains its in-flight work, then fails with an error satisfying
+	// PipelineTimedOut (unless the drain completed the run after all).
+	Timeout time.Duration
+}
+
+// TierResult is the per-tier breakdown of a pipeline run.
+type TierResult struct {
+	// Name, App, Policy, Replicas, and Threads identify the tier.
+	Name     string
+	App      string
+	Policy   string
+	Replicas int
+	Threads  int
+	// FanOut is the inbound edge's fan-out degree (1 for tier 0).
+	FanOut int
+	// HedgeDelay is the inbound edge's hedging budget (0 = no hedging);
+	// HedgesIssued counts duplicated sub-requests and HedgeWins how many
+	// duplicates beat their original.
+	HedgeDelay   time.Duration `json:",omitempty"`
+	HedgesIssued uint64        `json:",omitempty"`
+	HedgeWins    uint64        `json:",omitempty"`
+	// OfferedQPS is the tier's nominal sub-request rate (root rate times
+	// the fan-out multiplier up the chain; hedge duplicates not included).
+	OfferedQPS float64
+	// Requests counts measured sub-requests; Errors counts failed ones.
+	Requests uint64
+	Errors   uint64
+	// Queue, Service, and Sojourn summarize tier-local sub-request latency
+	// (dispatch into the tier until first completed copy).
+	Queue   LatencyStats
+	Service LatencyStats
+	Sojourn LatencyStats
+	// Critical summarizes, per measured root, the slowest of the root's
+	// sub-requests at this tier — the straggler that actually gated the
+	// root. Critical.P99 over Sojourn.P99 is the edge's tail-amplification
+	// factor.
+	Critical LatencyStats
+	// Windows is the tier's windowed series, binned by sub-request dispatch
+	// offset.
+	Windows []WindowStats `json:",omitempty"`
+	// Controller fields and the provisioning cost ledger mirror
+	// ClusterResult.
+	Controller      string        `json:",omitempty"`
+	MinReplicas     int           `json:",omitempty"`
+	MaxReplicas     int           `json:",omitempty"`
+	ControlInterval time.Duration `json:",omitempty"`
+	PeakReplicas    int
+	ReplicaSeconds  float64
+	ScalingEvents   []ScalingEvent `json:",omitempty"`
+	// PerReplica is the tier's per-replica breakdown, indexed by stable
+	// replica ID.
+	PerReplica []ReplicaResult
+}
+
+// PipelineResult is the outcome of a pipeline measurement.
+type PipelineResult struct {
+	// Label names the topology, e.g. "xapian > 16*masstree".
+	Label string
+	Mode  Mode
+	// Shape names the root arrival process and ShapeSpec its canonical
+	// parameter encoding, re-parseable with ParseLoadShape.
+	Shape     string `json:",omitempty"`
+	ShapeSpec string `json:",omitempty"`
+	// OfferedQPS is the configured root arrival rate; AchievedQPS the
+	// measured root completion rate.
+	OfferedQPS  float64
+	AchievedQPS float64
+	// Requests and Errors count measured and failed root requests.
+	Requests uint64
+	Errors   uint64
+	// Sojourn summarizes end-to-end root latency: from the root's scheduled
+	// arrival until its whole fan-out tree completed.
+	Sojourn    LatencyStats
+	SojournCDF []CDFPoint
+	// SojournSamples is present when KeepRaw was set (root arrival order).
+	SojournSamples []time.Duration `json:",omitempty"`
+	// Windows is the end-to-end windowed series, binned by root arrival
+	// offset.
+	Windows []WindowStats `json:",omitempty"`
+	Elapsed time.Duration
+	// Tiers is the per-tier breakdown, front-end first.
+	Tiers []TierResult
+}
+
+// String renders a one-line summary.
+func (r *PipelineResult) String() string {
+	return fmt.Sprintf("%s [pipeline %d tiers, %s] qps=%.1f p95=%v p99=%v n=%d err=%d",
+		r.Label, len(r.Tiers), r.Mode, r.OfferedQPS,
+		r.Sojourn.P95.Round(time.Microsecond), r.Sojourn.P99.Round(time.Microsecond),
+		r.Requests, r.Errors)
+}
+
+// WriteTierTable renders the per-tier breakdown as an aligned text table
+// (one row per tier: fan-out, offered load, tier-local and critical-path
+// tails, hedging ledger). Both the tailbench CLI and tailbench-report use
+// it so the live and replayed views render identically.
+func (r *PipelineResult) WriteTierTable(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %-10s %-6s %-10s %-12s %-12s %-12s %-10s %s\n",
+		"tier", "app", "fanout", "offered", "p95", "p99", "crit_p99", "hedges", "hedge_wins")
+	for _, t := range r.Tiers {
+		hedges, wins := "-", "-"
+		if t.HedgeDelay > 0 {
+			hedges = fmt.Sprintf("%d", t.HedgesIssued)
+			wins = fmt.Sprintf("%d", t.HedgeWins)
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-6d %-10.1f %-12v %-12v %-12v %-10s %s\n",
+			t.Name, t.App, t.FanOut, t.OfferedQPS,
+			t.Sojourn.P95.Round(time.Microsecond), t.Sojourn.P99.Round(time.Microsecond),
+			t.Critical.P99.Round(time.Microsecond), hedges, wins)
+	}
+}
+
+// ErrPipelineMode is returned for pipeline modes that are not supported.
+type ErrPipelineMode struct{ Mode Mode }
+
+// Error implements error.
+func (e ErrPipelineMode) Error() string {
+	return fmt.Sprintf("tailbench: pipeline runs support integrated and simulated modes only, not %s", e.Mode)
+}
+
+// normalizePipeline validates the spec shape and resolves per-tier cluster
+// defaults.
+func normalizePipeline(spec PipelineSpec) (PipelineSpec, error) {
+	if spec.Requests < 0 {
+		return spec, fmt.Errorf("tailbench: PipelineSpec.Requests must not be negative (got %d)", spec.Requests)
+	}
+	if len(spec.Tiers) == 0 {
+		return spec, fmt.Errorf("tailbench: PipelineSpec.Tiers must name at least one tier")
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	tiers := make([]TierSpec, len(spec.Tiers))
+	copy(tiers, spec.Tiers)
+	spec.Tiers = tiers
+	for i := range spec.Tiers {
+		t := &spec.Tiers[i]
+		if t.Name == "" {
+			t.Name = fmt.Sprintf("tier%d", i)
+		}
+		if i == 0 {
+			if t.FanOut > 1 {
+				return spec, fmt.Errorf("tailbench: tier 0 is fed by the root arrival process and cannot have FanOut %d", t.FanOut)
+			}
+			if t.Hedge != nil {
+				return spec, fmt.Errorf("tailbench: tier 0 has no inbound edge to hedge")
+			}
+		}
+		if t.FanOut < 0 {
+			return spec, fmt.Errorf("tailbench: tier %d FanOut must not be negative (got %d)", i, t.FanOut)
+		}
+		if t.Hedge != nil && t.Hedge.Delay <= 0 {
+			return spec, fmt.Errorf("tailbench: tier %d Hedge.Delay must be positive (got %v)", i, t.Hedge.Delay)
+		}
+		t.Cluster.Seed = spec.Seed
+		t.Cluster = t.Cluster.normalize()
+		if _, err := factoryFor(t.Cluster.App); err != nil {
+			return spec, err
+		}
+		if t.Cluster.Autoscale != nil {
+			if _, err := cluster.NewControlLoop(*t.Cluster.autoscaleConfig(), t.Cluster.Replicas, t.Cluster.Autoscale.MaxReplicas); err != nil {
+				return spec, err
+			}
+		}
+		if err := validateSlowdowns(t.Cluster.Slowdowns, t.Cluster.poolSize(), t.Cluster.Autoscale != nil); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}
+
+// tierConfig builds the internal tier configuration shared by both paths.
+func (t TierSpec) tierConfig() pipeline.TierConfig {
+	cs := t.Cluster
+	hedge := time.Duration(0)
+	if t.Hedge != nil {
+		hedge = t.Hedge.Delay
+	}
+	return pipeline.TierConfig{
+		Name:       t.Name,
+		App:        cs.App,
+		Policy:     cs.Policy,
+		Threads:    cs.Threads,
+		Replicas:   cs.Replicas,
+		FanOut:     t.FanOut,
+		HedgeDelay: hedge,
+		Autoscale:  cs.autoscaleConfig(),
+	}
+}
+
+// RunPipeline executes one multi-tier measurement according to the spec.
+func RunPipeline(spec PipelineSpec) (*PipelineResult, error) {
+	spec, err := normalizePipeline(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{
+		QPS:            spec.QPS,
+		Load:           spec.Load,
+		Window:         spec.Window,
+		Requests:       spec.Requests,
+		WarmupRequests: spec.Warmup,
+		Seed:           spec.Seed,
+		KeepRaw:        spec.KeepRaw,
+		Timeout:        spec.Timeout,
+	}
+	switch spec.Mode {
+	case ModeSimulated:
+		return runPipelineSimulated(spec, cfg)
+	case ModeIntegrated:
+		return runPipelineIntegrated(spec, cfg)
+	default:
+		return nil, ErrPipelineMode{Mode: spec.Mode}
+	}
+}
+
+// runPipelineSimulated calibrates each tier's service-time distribution
+// (once per distinct application/scale, unless the tier supplies
+// ServiceSamples) and runs the virtual-time engine.
+func runPipelineSimulated(spec PipelineSpec, cfg pipeline.Config) (*PipelineResult, error) {
+	type calKey struct {
+		app      string
+		scale    float64
+		requests int
+	}
+	calibrated := map[calKey][]time.Duration{}
+	for _, t := range spec.Tiers {
+		cs := t.Cluster
+		samples := cs.ServiceSamples
+		if len(samples) == 0 {
+			calReq := cs.CalibrationRequests
+			if calReq <= 0 {
+				calReq = 300
+			}
+			key := calKey{app: cs.App, scale: cs.Scale, requests: calReq}
+			if cached, ok := calibrated[key]; ok {
+				samples = cached
+			} else {
+				var err error
+				samples, err = MeasureServiceTimes(cs.App, cs.Scale, spec.Seed, calReq)
+				if err != nil {
+					return nil, fmt.Errorf("tailbench: calibrating %s: %w", cs.App, err)
+				}
+				calibrated[key] = samples
+			}
+		}
+		tc := t.tierConfig()
+		tc.SimReplicas = make([]cluster.SimReplica, cs.poolSize())
+		for r := range tc.SimReplicas {
+			tc.SimReplicas[r] = cluster.SimReplica{Service: cluster.EmpiricalService{Samples: samples}}
+			if r < len(cs.Slowdowns) {
+				tc.SimReplicas[r].Slowdown = cs.Slowdowns[r]
+			}
+		}
+		cfg.Tiers = append(cfg.Tiers, tc)
+	}
+	res, err := pipeline.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromPipelineResult(spec, res), nil
+}
+
+// runPipelineIntegrated builds every tier's real replica server pool and
+// drives the live goroutine engine.
+func runPipelineIntegrated(spec PipelineSpec, cfg pipeline.Config) (*PipelineResult, error) {
+	var servers []app.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i, t := range spec.Tiers {
+		cs := t.Cluster
+		f, err := factoryFor(cs.App)
+		if err != nil {
+			return nil, err
+		}
+		appCfg := app.Config{Threads: cs.Threads, Scale: cs.Scale, Seed: spec.Seed}.Normalize()
+		pool := make([]app.Server, 0, cs.poolSize())
+		for r := 0; r < cs.poolSize(); r++ {
+			server, err := f.NewServer(appCfg)
+			if err != nil {
+				return nil, fmt.Errorf("tailbench: building %s tier %d replica %d: %w", cs.App, i, r, err)
+			}
+			pool = append(pool, server)
+			servers = append(servers, server)
+		}
+		tc := t.tierConfig()
+		tc.Servers = pool
+		tc.NewClient = func(seed int64) (app.Client, error) { return f.NewClient(appCfg, seed) }
+		tc.Validate = cs.Validate
+		tc.QueueCap = cs.QueueCap
+		tc.Slowdowns = cs.Slowdowns
+		cfg.Tiers = append(cfg.Tiers, tc)
+	}
+	res, err := pipeline.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromPipelineResult(spec, res), nil
+}
+
+// fromPipelineResult converts the internal pipeline result to the public
+// type.
+func fromPipelineResult(spec PipelineSpec, res *pipeline.Result) *PipelineResult {
+	out := &PipelineResult{
+		Label:          res.Label,
+		Mode:           spec.Mode,
+		Shape:          res.Shape,
+		ShapeSpec:      res.ShapeSpec,
+		OfferedQPS:     res.OfferedQPS,
+		AchievedQPS:    res.AchievedQPS,
+		Requests:       res.Requests,
+		Errors:         res.Errors,
+		Sojourn:        fromSummary(res.Sojourn),
+		SojournSamples: res.SojournSamples,
+		Windows:        fromWindowStats(res.Windows),
+		Elapsed:        res.Elapsed,
+	}
+	for _, p := range res.SojournCDF {
+		out.SojournCDF = append(out.SojournCDF, CDFPoint{Value: p.Value, Cumulative: p.Cumulative})
+	}
+	for _, tier := range res.Tiers {
+		tr := TierResult{
+			Name:            tier.Name,
+			App:             tier.App,
+			Policy:          tier.Policy,
+			Replicas:        tier.Replicas,
+			Threads:         tier.Threads,
+			FanOut:          tier.FanOut,
+			HedgeDelay:      tier.HedgeDelay,
+			HedgesIssued:    tier.HedgesIssued,
+			HedgeWins:       tier.HedgeWins,
+			OfferedQPS:      tier.OfferedQPS,
+			Requests:        tier.Requests,
+			Errors:          tier.Errors,
+			Queue:           fromSummary(tier.Queue),
+			Service:         fromSummary(tier.Service),
+			Sojourn:         fromSummary(tier.Sojourn),
+			Critical:        fromSummary(tier.Critical),
+			Windows:         fromWindowStats(tier.Windows),
+			Controller:      tier.Controller,
+			MinReplicas:     tier.MinReplicas,
+			MaxReplicas:     tier.MaxReplicas,
+			ControlInterval: tier.ControlInterval,
+			PeakReplicas:    tier.PeakReplicas,
+			ReplicaSeconds:  tier.ReplicaSeconds,
+		}
+		for _, ev := range tier.ScalingEvents {
+			tr.ScalingEvents = append(tr.ScalingEvents, ScalingEvent{At: ev.At, From: ev.From, To: ev.To})
+		}
+		for _, rs := range tier.PerReplica {
+			tr.PerReplica = append(tr.PerReplica, ReplicaResult{
+				Index:          rs.Index,
+				Slot:           rs.Slot,
+				State:          rs.State,
+				ProvisionedAt:  rs.ProvisionedAt,
+				ActiveAt:       rs.ActiveAt,
+				RetiredAt:      rs.RetiredAt,
+				Lifetime:       rs.Lifetime,
+				Slowdown:       rs.Slowdown,
+				Dispatched:     rs.Dispatched,
+				Requests:       rs.Requests,
+				Errors:         rs.Errors,
+				AchievedQPS:    rs.AchievedQPS,
+				Queue:          fromSummary(rs.Queue),
+				Service:        fromSummary(rs.Service),
+				Sojourn:        fromSummary(rs.Sojourn),
+				MeanQueueDepth: rs.MeanQueueDepth,
+				MaxQueueDepth:  rs.MaxQueueDepth,
+			})
+		}
+		out.Tiers = append(out.Tiers, tr)
+	}
+	return out
+}
+
+// PipelineTimedOut reports whether an integrated pipeline run failed
+// because not every root request completed within the timeout.
+func PipelineTimedOut(err error) bool { return errors.Is(err, pipeline.ErrTimedOut) }

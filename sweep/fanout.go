@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench"
+)
+
+// FanoutPoint is one entry of a FanoutStudy: a two-tier pipeline (front-end
+// fanning out to K shards) measured without hedging and, optionally, with a
+// hedged shard edge.
+type FanoutPoint struct {
+	// K is the fan-out degree; ShardReplicas the shard tier's replica count
+	// (equal to K so the per-replica shard load stays constant across
+	// points — the amplification isolates the max-of-K fan-in, not a
+	// capacity change) and FrontReplicas the front-end's.
+	K             int
+	FrontReplicas int
+	ShardReplicas int
+	// P50 and P99 are the unhedged end-to-end root sojourn percentiles;
+	// Amplification is P99 over the K=1 point's P99 (1 for the first
+	// point, 0 when the study did not include K=1).
+	P50           time.Duration
+	P99           time.Duration
+	Amplification float64
+	// ShardP99 is the shard tier's per-sub-request p99 and CriticalP99 the
+	// per-root slowest-shard p99 — their ratio is the fan-in straggler
+	// penalty at this K.
+	ShardP99    time.Duration
+	CriticalP99 time.Duration
+	// Hedged companion (zero values when the study ran without hedging):
+	// the shard edge hedged at HedgeDelay cut the end-to-end p99 to
+	// HedgedP99, a fractional reduction of HedgeCut, at the price of
+	// HedgesIssued duplicate sub-requests (of which HedgeWins beat their
+	// original).
+	HedgeDelay   time.Duration
+	HedgedP99    time.Duration
+	HedgeCut     float64
+	HedgesIssued uint64
+	HedgeWins    uint64
+}
+
+// Label renders the point for figure output.
+func (p *FanoutPoint) Label() string {
+	return fmt.Sprintf("k=%d", p.K)
+}
+
+// FanoutStudySpec parameterizes a FanoutStudy.
+type FanoutStudySpec struct {
+	// App is the application serving the shard tier (and, unless
+	// FrontSpeedup separates them, the front-end).
+	App string
+	// Mode is the execution path (ModeSimulated recommended: every point
+	// reuses one calibration, so points differ only in topology).
+	Mode tailbench.Mode
+	// Policy is the balancer policy of both tiers (default leastq).
+	Policy string
+	// Fanouts are the fan-out degrees to measure (e.g. 1, 4, 16).
+	Fanouts []int
+	// QPS is the root arrival rate; 0 picks 20% of one shard replica's
+	// saturation throughput — a load where queueing noise does not drown
+	// the max-of-K effect.
+	QPS float64
+	// Hedge adds a hedged companion run per point: the shard edge
+	// duplicates sub-requests after Hedge.Delay, first response wins. A
+	// zero Delay picks each point's budget automatically as that point's
+	// unhedged shard-tier p95 sojourn — "hedge once a sub-request is
+	// slower than 95% of its peers", the classic tail-at-scale deployment
+	// rule. Nil measures only the unhedged points.
+	Hedge *tailbench.HedgeSpec
+	// Window is the windowed-accounting width (negative disables windows;
+	// fan-out studies usually run a constant rate, where they add little).
+	Window time.Duration
+	// FrontReplicas sizes the front-end cluster (default 2).
+	FrontReplicas int
+	// FrontSpeedup models the front-end as a lightweight aggregator: its
+	// service times are the shard samples divided by this factor
+	// (simulated mode only; values <= 1 make the front-end a full replica
+	// of the shard service, the default). The canonical partitioned
+	// service has a cheap root fanning out to expensive leaves, so the
+	// interesting studies set this well above 1.
+	FrontSpeedup float64
+}
+
+// FanoutStudy measures tail amplification versus fan-out degree: for each
+// degree K in spec.Fanouts it runs a two-tier pipeline — a front-end
+// cluster fanning out to a K-replica shard cluster — at the same root rate.
+// Shard replicas scale with K so every point offers the same per-replica
+// shard load; what grows with K is only the number of stragglers a root
+// must wait out, so the end-to-end p99 climbs with K even though every
+// shard's own latency distribution is unchanged (the "tail at scale"
+// amplification). With spec.Hedge set, each point also quantifies how much
+// of that amplification request hedging buys back, and at what duplicate
+// cost.
+//
+// The application is calibrated once (or not at all when the caller
+// supplies cal, whose ServiceSamples may also be synthetic for fully
+// deterministic studies), and every simulated run reuses the same samples,
+// so points differ only in topology.
+func FanoutStudy(spec FanoutStudySpec, cal *Calibration, opts Options) ([]*FanoutPoint, error) {
+	if len(spec.Fanouts) == 0 {
+		return nil, fmt.Errorf("sweep: FanoutStudy requires at least one fan-out degree")
+	}
+	for _, k := range spec.Fanouts {
+		if k < 1 {
+			return nil, fmt.Errorf("sweep: fan-out degree must be >= 1 (got %d)", k)
+		}
+	}
+	if spec.Policy == "" {
+		spec.Policy = "leastq"
+	}
+	if spec.FrontReplicas <= 0 {
+		spec.FrontReplicas = 2
+	}
+	opts = opts.normalize()
+	if cal == nil {
+		var err error
+		cal, err = Calibrate(spec.App, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.QPS <= 0 {
+		spec.QPS = 0.2 * cal.SaturationQPS
+	}
+	var shardSamples, frontSamples []time.Duration
+	if spec.Mode == tailbench.ModeSimulated {
+		shardSamples = cal.ServiceSamples
+		frontSamples = shardSamples
+		if spec.FrontSpeedup > 1 {
+			frontSamples = make([]time.Duration, len(shardSamples))
+			for i, s := range shardSamples {
+				frontSamples[i] = time.Duration(float64(s) / spec.FrontSpeedup)
+			}
+		}
+	}
+
+	run := func(k int, hedgeSpec *tailbench.HedgeSpec) (*tailbench.PipelineResult, error) {
+		return tailbench.RunPipeline(tailbench.PipelineSpec{
+			Mode: spec.Mode,
+			Tiers: []tailbench.TierSpec{
+				{Name: "frontend", Cluster: tailbench.ClusterSpec{
+					App: spec.App, Policy: spec.Policy, Replicas: spec.FrontReplicas,
+					Scale: opts.Scale, Validate: opts.Validate,
+					CalibrationRequests: opts.CalibrationRequests, ServiceSamples: frontSamples,
+				}},
+				{Name: "shards", Cluster: tailbench.ClusterSpec{
+					App: spec.App, Policy: spec.Policy, Replicas: k,
+					Scale: opts.Scale, Validate: opts.Validate,
+					CalibrationRequests: opts.CalibrationRequests, ServiceSamples: shardSamples,
+				}, FanOut: k, Hedge: hedgeSpec},
+			},
+			QPS:      spec.QPS,
+			Window:   spec.Window,
+			Requests: opts.Requests,
+			Warmup:   opts.Warmup,
+			Seed:     opts.Seed,
+		})
+	}
+
+	var points []*FanoutPoint
+	var baseP99 time.Duration
+	for _, k := range spec.Fanouts {
+		res, err := run(k, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s fan-out %d: %w", spec.App, k, err)
+		}
+		shards := res.Tiers[1]
+		p := &FanoutPoint{
+			K:             k,
+			FrontReplicas: res.Tiers[0].Replicas,
+			ShardReplicas: shards.Replicas,
+			P50:           res.Sojourn.P50,
+			P99:           res.Sojourn.P99,
+			ShardP99:      shards.Sojourn.P99,
+			CriticalP99:   shards.Critical.P99,
+		}
+		if k == 1 {
+			baseP99 = res.Sojourn.P99
+		}
+		if baseP99 > 0 {
+			p.Amplification = float64(p.P99) / float64(baseP99)
+		}
+		if spec.Hedge != nil {
+			budget := spec.Hedge.Delay
+			if budget <= 0 {
+				budget = shards.Sojourn.P95
+			}
+			hres, err := run(k, &tailbench.HedgeSpec{Delay: budget})
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s fan-out %d hedged: %w", spec.App, k, err)
+			}
+			p.HedgeDelay = budget
+			p.HedgedP99 = hres.Sojourn.P99
+			if p.P99 > 0 {
+				p.HedgeCut = 1 - float64(p.HedgedP99)/float64(p.P99)
+			}
+			p.HedgesIssued = hres.Tiers[1].HedgesIssued
+			p.HedgeWins = hres.Tiers[1].HedgeWins
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

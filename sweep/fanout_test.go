@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tailbench"
+)
+
+// fanoutCal builds a deterministic synthetic calibration so the study runs
+// without measuring a real application.
+func fanoutCal(seed int64) *Calibration {
+	r := rand.New(rand.NewSource(seed))
+	samples := make([]time.Duration, 400)
+	for i := range samples {
+		if r.Float64() < 0.02 {
+			samples[i] = time.Millisecond + time.Duration(r.Int63n(int64(2*time.Millisecond)))
+		} else {
+			samples[i] = 100*time.Microsecond + time.Duration(r.Int63n(int64(100*time.Microsecond)))
+		}
+	}
+	return &Calibration{
+		App:            "xapian",
+		ServiceSamples: samples,
+		SaturationQPS:  tailbench.SaturationQPS(samples, 1),
+	}
+}
+
+func TestFanoutStudy(t *testing.T) {
+	cal := fanoutCal(13)
+	opts := Options{Requests: 3000, Warmup: 300, Seed: 2}
+	points, err := FanoutStudy(FanoutStudySpec{
+		App:          "xapian",
+		Mode:         tailbench.ModeSimulated,
+		Fanouts:      []int{1, 4, 8},
+		Hedge:        &tailbench.HedgeSpec{}, // auto p95 budget per point
+		Window:       -1,
+		FrontSpeedup: 4,
+	}, cal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	if points[0].Amplification != 1 {
+		t.Errorf("k=1 amplification = %v, want 1", points[0].Amplification)
+	}
+	for i, p := range points {
+		if p.ShardReplicas != p.K || p.FrontReplicas != 2 {
+			t.Errorf("point %d: topology %d shards / %d front, want %d/2", i, p.ShardReplicas, p.FrontReplicas, p.K)
+		}
+		if p.P99 <= 0 || p.CriticalP99 < p.ShardP99 {
+			t.Errorf("point %d: p99=%v critical=%v shard=%v", i, p.P99, p.CriticalP99, p.ShardP99)
+		}
+		if p.HedgeDelay <= 0 || p.HedgedP99 <= 0 {
+			t.Errorf("point %d: hedged companion missing: %+v", i, p)
+		}
+		if i > 0 && p.Amplification <= points[i-1].Amplification {
+			t.Errorf("point %d: amplification %v did not grow past %v", i, p.Amplification, points[i-1].Amplification)
+		}
+	}
+	// The points must be deterministic given the calibration and options.
+	again, err := FanoutStudy(FanoutStudySpec{
+		App: "xapian", Mode: tailbench.ModeSimulated, Fanouts: []int{1, 4, 8},
+		Hedge: &tailbench.HedgeSpec{}, Window: -1, FrontSpeedup: 4,
+	}, cal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if *points[i] != *again[i] {
+			t.Errorf("point %d not reproducible:\n a: %+v\n b: %+v", i, points[i], again[i])
+		}
+	}
+}
+
+func TestFanoutStudyValidation(t *testing.T) {
+	cal := fanoutCal(13)
+	if _, err := FanoutStudy(FanoutStudySpec{App: "xapian", Mode: tailbench.ModeSimulated}, cal, Options{}); err == nil {
+		t.Error("empty fan-out list accepted")
+	}
+	if _, err := FanoutStudy(FanoutStudySpec{App: "xapian", Mode: tailbench.ModeSimulated, Fanouts: []int{0}}, cal, Options{}); err == nil {
+		t.Error("zero fan-out degree accepted")
+	}
+}

@@ -22,8 +22,9 @@ func ControllerPolicies() []string { return cluster.Controllers() }
 
 // DrainPolicies returns the names of the built-in scale-down drain
 // policies: youngest (retire the most recently provisioned replica first,
-// the default) and oldest (rolling refresh: retire the longest-lived
-// replica first).
+// the default), oldest (rolling refresh: retire the longest-lived replica
+// first), and least-loaded (retire the replica with the fewest outstanding
+// requests — the one that finishes its backlog and frees its slot soonest).
 func DrainPolicies() []string { return cluster.DrainPolicies() }
 
 // AutoscaleSpec enables and parameterizes the replica autoscaling
@@ -65,8 +66,9 @@ type AutoscaleSpec struct {
 	// identically on the wall clock and the virtual clock. Zero keeps the
 	// warm-pool behavior. The run's initial replicas always start active.
 	ProvisionDelay time.Duration
-	// DrainPolicy picks the scale-down victim: "youngest" (default) or
-	// "oldest" (rolling refresh). See DrainPolicies.
+	// DrainPolicy picks the scale-down victim: "youngest" (default),
+	// "oldest" (rolling refresh), or "least-loaded" (fewest outstanding
+	// requests). See DrainPolicies.
 	DrainPolicy string
 }
 
@@ -78,11 +80,17 @@ type ClusterSpec struct {
 	// App is the application name (see Apps).
 	App string
 	// Mode selects the execution path. ModeIntegrated (the default) runs N
-	// real in-process replica servers. ModeSimulated calibrates the
-	// application's service-time distribution once and then runs a
-	// deterministic virtual-time simulation of the cluster — orders of
-	// magnitude faster, and exactly reproducible given the seed. Loopback
-	// and networked cluster modes are not supported yet.
+	// real in-process replica servers dispatched to by direct queue
+	// handoff. ModeLoopback puts each replica behind its own NetServer on
+	// the loopback device, with the balancer staying client-side in the
+	// dispatcher, which issues requests over per-replica connection pools —
+	// the policy comparison then includes network-stack costs.
+	// ModeNetworked additionally charges the synthetic one-way NIC/switch
+	// delay (NetworkDelay) on each hop, standing in for a multi-machine
+	// deployment. ModeSimulated calibrates the application's service-time
+	// distribution once and then runs a deterministic virtual-time
+	// simulation of the cluster — orders of magnitude faster, and exactly
+	// reproducible given the seed.
 	Mode Mode
 	// Policy is the balancer policy (see BalancerPolicies; default leastq).
 	Policy string
@@ -129,6 +137,11 @@ type ClusterSpec struct {
 	// QueueCap bounds each replica's request queue (integrated mode;
 	// default 4096).
 	QueueCap int
+	// NetworkDelay is the synthetic one-way NIC+switch delay of
+	// ModeNetworked, charged on both directions of every hop (default
+	// 25µs, the paper's measured per-end overhead). Ignored by the other
+	// modes.
+	NetworkDelay time.Duration
 	// CalibrationRequests sets how many requests calibrate the simulated
 	// path's service-time distribution (simulated mode; default 300).
 	CalibrationRequests int
@@ -269,12 +282,12 @@ func (r *ClusterResult) WriteReplicaTable(w io.Writer) {
 	}
 }
 
-// ErrClusterMode is returned for cluster modes that are not supported yet.
+// ErrClusterMode is returned for unknown cluster modes.
 type ErrClusterMode struct{ Mode Mode }
 
 // Error implements error.
 func (e ErrClusterMode) Error() string {
-	return fmt.Sprintf("tailbench: cluster runs support integrated and simulated modes only, not %s", e.Mode)
+	return fmt.Sprintf("tailbench: cluster runs support integrated, loopback, networked, and simulated modes, not %s", e.Mode)
 }
 
 // normalize fills ClusterSpec defaults.
@@ -382,7 +395,11 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 	}
 	switch spec.Mode {
 	case ModeIntegrated:
-		return runClusterIntegrated(spec, f)
+		return runClusterLive(spec, f, cluster.TransportInProcess)
+	case ModeLoopback:
+		return runClusterLive(spec, f, cluster.TransportLoopback)
+	case ModeNetworked:
+		return runClusterLive(spec, f, cluster.TransportNetworked)
 	case ModeSimulated:
 		return runClusterSimulated(spec)
 	default:
@@ -414,10 +431,11 @@ func validateSlowdowns(slowdowns []float64, pool int, elastic bool) error {
 	return nil
 }
 
-// runClusterIntegrated builds the real replica server pool (the initial
-// replicas plus, when autoscaling, warm standbys up to MaxReplicas) and
-// drives it live.
-func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, error) {
+// runClusterLive builds the real replica server pool (the initial replicas
+// plus, when autoscaling, warm standbys up to MaxReplicas) and drives it
+// live over the given transport: in-process queues for the integrated mode,
+// per-replica NetServers with client-side balancing for loopback/networked.
+func runClusterLive(spec ClusterSpec, f app.Factory, transport string) (*ClusterResult, error) {
 	pool := spec.poolSize()
 	servers := make([]app.Server, 0, pool)
 	defer func() {
@@ -454,6 +472,8 @@ func runClusterIntegrated(spec ClusterSpec, f app.Factory) (*ClusterResult, erro
 			Slowdowns:      spec.Slowdowns,
 			Replicas:       spec.Replicas,
 			Autoscale:      spec.autoscaleConfig(),
+			Transport:      transport,
+			NetDelay:       spec.NetworkDelay,
 		})
 	if err != nil {
 		return nil, err

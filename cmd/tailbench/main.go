@@ -163,7 +163,8 @@ func runCluster(args []string) {
 	fs := flag.NewFlagSet("tailbench cluster", flag.ExitOnError)
 	var (
 		appName  = fs.String("app", "masstree", "application to run ("+strings.Join(tailbench.Apps(), ", ")+")")
-		mode     = fs.String("mode", "integrated", "cluster execution path: integrated (live replicas) or simulated (virtual time)")
+		mode     = fs.String("mode", "integrated", "cluster execution path: integrated (in-process dispatch), loopback (each replica behind its own NetServer, client-side balancing), networked (loopback plus synthetic NIC/switch delay), or simulated (virtual time)")
+		netDelay = fs.Duration("net-delay", 25*time.Microsecond, "one-way synthetic network delay per hop (networked mode)")
 		policy   = fs.String("policy", "leastq", "balancer policy: "+strings.Join(tailbench.BalancerPolicies(), ", "))
 		replicas = fs.Int("replicas", 2, "number of replica servers")
 		threads  = fs.Int("threads", 1, "worker threads per replica")
@@ -221,20 +222,21 @@ func runCluster(args []string) {
 		os.Exit(2)
 	}
 	spec := tailbench.ClusterSpec{
-		App:       *appName,
-		Mode:      m,
-		Policy:    *policy,
-		Replicas:  *replicas,
-		Threads:   *threads,
-		QPS:       *qps,
-		Load:      shape,
-		Window:    *window,
-		Requests:  *requests,
-		Warmup:    *warmup,
-		Scale:     *scale,
-		Seed:      *seed,
-		Validate:  *validate,
-		Autoscale: autoSpec,
+		App:          *appName,
+		Mode:         m,
+		Policy:       *policy,
+		Replicas:     *replicas,
+		Threads:      *threads,
+		QPS:          *qps,
+		Load:         shape,
+		Window:       *window,
+		Requests:     *requests,
+		Warmup:       *warmup,
+		Scale:        *scale,
+		Seed:         *seed,
+		Validate:     *validate,
+		NetworkDelay: *netDelay,
+		Autoscale:    autoSpec,
 	}
 	// Straggler factors are per pool slot: with autoscaling the pool is the
 	// autoscaler's resolved upper bound, not just the initial replica
@@ -271,7 +273,8 @@ func runPipeline(args []string) {
 		tiersArg = fs.String("tiers", "masstree:2,masstree:4", "tier chain, front-end first, as comma-separated app:replicas[:threads] entries")
 		fanout   = fs.String("fanout", "", "per-edge fan-out degrees for tiers 1..N-1, comma-separated (one value broadcasts to every edge; empty = 1)")
 		hedgeArg = fs.String("hedge", "", "per-edge hedging delay budgets for tiers 1..N-1, comma-separated durations (one value broadcasts; 0 or empty = no hedging)")
-		mode     = fs.String("mode", "simulated", "execution path: integrated (live replicas) or simulated (virtual time)")
+		mode     = fs.String("mode", "simulated", "execution path: integrated (live replicas, in-process edges), loopback/networked (live, every edge crosses TCP with client-side balancing), or simulated (virtual time)")
+		netDelay = fs.Duration("net-delay", 25*time.Microsecond, "one-way synthetic network delay per hop (networked mode)")
 		policy   = fs.String("policy", "leastq", "balancer policy for every tier: "+strings.Join(tailbench.BalancerPolicies(), ", "))
 		qps      = fs.Float64("qps", 1000, "root arrival rate in queries per second (0 = saturation)")
 		shapeArg = fs.String("shape", "", "time-varying root load shape, e.g. spike:500,1500,5s,2s (overrides -qps)")
@@ -300,14 +303,15 @@ func runPipeline(args []string) {
 		os.Exit(2)
 	}
 	res, err := tailbench.RunPipeline(tailbench.PipelineSpec{
-		Mode:     m,
-		Tiers:    tiers,
-		QPS:      *qps,
-		Load:     shape,
-		Window:   *window,
-		Requests: *requests,
-		Warmup:   *warmup,
-		Seed:     *seed,
+		Mode:         m,
+		Tiers:        tiers,
+		QPS:          *qps,
+		Load:         shape,
+		Window:       *window,
+		Requests:     *requests,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		NetworkDelay: *netDelay,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)

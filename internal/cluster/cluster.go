@@ -60,6 +60,17 @@ type Config struct {
 	// rest of the pool stands by for the autoscaler. Zero means the whole
 	// pool (the fixed-cluster behavior).
 	Replicas int
+	// Transport selects how dispatched requests reach replicas (see
+	// Transports): "" or "inprocess" hands them to per-replica worker pools
+	// over bounded in-process queues; "loopback" puts each replica behind
+	// its own NetServer with the balancer staying client-side; "networked"
+	// additionally charges the synthetic one-way NIC/switch delay per hop.
+	// The in-process queue-capacity backpressure (QueueCap) applies only to
+	// the in-process transport — over TCP, backpressure is the network's.
+	Transport string
+	// NetDelay is the one-way synthetic network delay of the networked
+	// transport (default DefaultNetDelay). Ignored by other transports.
+	NetDelay time.Duration
 	// Autoscale enables the autoscaling controller: each control interval
 	// it observes per-replica queue depth and the interval's p95 sojourn
 	// and grows or drains the replica set. Nil keeps membership fixed.
@@ -131,13 +142,26 @@ func (c Config) slowdownFor(idx int) float64 {
 	return s
 }
 
-// replica is the runtime state of one live replica: its server, bounded
-// queue, and accounting, attached to its lifecycle record in the set.
+// replica is the runtime state of one live replica: its lifecycle record in
+// the set, its accounting, and the transport-owned serving runtime (the
+// bounded queue of the in-process transport, or the connection pool and
+// pending map of the networked transports).
 type replica struct {
 	member   *Member
 	server   app.Server
 	slowdown float64
-	queue    chan clusterPending
+
+	// queue and qClosed are the in-process transport's runtime (dispatcher
+	// goroutine only).
+	queue   chan clusterPending
+	qClosed bool
+
+	// pool, pending, and pendMu are the networked transports' runtime: the
+	// client-side connection pool to the replica's NetServer and the
+	// requests awaiting responses on it.
+	pool    *core.ReplicaConn
+	pendMu  sync.Mutex
+	pending map[uint64]clusterPending
 
 	outstanding atomic.Int64
 	// lastDone is the offset (nanoseconds from run start) of the replica's
@@ -174,6 +198,7 @@ type liveEngine struct {
 	servers  []app.Server
 	client   app.Client
 	balancer Balancer
+	tr       transport
 
 	set      *ReplicaSet
 	replicas []*replica // indexed by member ID
@@ -254,6 +279,10 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 		aggregate: aggregate,
 		autoscale: loop != nil,
 	}
+	eng.tr, err = newTransport(cfg.Transport, eng)
+	if err != nil {
+		return nil, err
+	}
 	for r := 0; r < cfg.Replicas; r++ {
 		eng.provision(eng.set.Provision(0, 0))
 	}
@@ -262,6 +291,7 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	// running any due control ticks first, then routing each request through
 	// the balancer on a snapshot of the active replicas.
 	var candidates []Candidate
+	var dispatchErr error
 	startTime := time.Now()
 	eng.start = startTime
 	deadline := startTime.Add(cfg.Timeout)
@@ -285,20 +315,21 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 		rep.depth.Observe(outstandingOf(candidates, pick))
 		rep.dispatched++
 		rep.outstanding.Add(1)
-		rep.queue <- clusterPending{payload: payloads[i], scheduled: target, offset: offsets[i], enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
-	}
-	for _, id := range eng.set.ActiveIDs() {
-		close(eng.replicas[id].queue)
-	}
-	// Replicas still cold-starting at run end never joined the routable set;
-	// close their (empty) queues so their workers exit too.
-	for _, m := range eng.set.Members() {
-		if m.State == StateProvisioning {
-			close(eng.replicas[m.ID].queue)
+		p := clusterPending{payload: payloads[i], scheduled: target, offset: offsets[i], enqueue: time.Now(), warmup: i < cfg.WarmupRequests}
+		if err := eng.tr.dispatch(rep, p); err != nil {
+			rep.outstanding.Add(-1)
+			dispatchErr = err
+			break
 		}
 	}
-	eng.workers.Wait()
+	shutdownErr := eng.tr.shutdown(deadline)
 	end := time.Since(startTime)
+	if dispatchErr != nil {
+		return nil, fmt.Errorf("cluster: dispatch failed: %w", dispatchErr)
+	}
+	if shutdownErr != nil {
+		return nil, shutdownErr
+	}
 	// Draining replicas have now finished their accepted work; retire them
 	// at their last completion instant so lifetime spans are accurate.
 	for _, m := range eng.set.Members() {
@@ -310,39 +341,33 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	return assembleLive(appName, cfg, eng, loop, end), nil
 }
 
-// provision builds the runtime replica for a newly activated member and
-// starts its worker pool.
+// provision builds the runtime replica for a newly provisioned member and
+// hands it to the transport, which brings up its serving runtime (worker
+// pool, or connection pool to its net server).
 func (e *liveEngine) provision(m *Member) {
 	rep := &replica{
 		member:    m,
 		server:    e.servers[m.Slot],
 		slowdown:  e.cfg.slowdownFor(m.Slot),
-		queue:     make(chan clusterPending, e.cfg.QueueCap),
 		collector: core.NewCollector(false),
 	}
 	e.replicas = append(e.replicas, rep)
-	for w := 0; w < e.cfg.Threads; w++ {
-		e.workers.Add(1)
-		go func() {
-			defer e.workers.Done()
-			e.work(rep)
-		}()
-	}
+	e.tr.provision(rep)
 }
 
-// drain closes a draining member's queue: the dispatcher is the only sender
-// and has already removed the replica from the routable set, so its workers
-// finish the backlog and exit. The replica retires once its outstanding
-// count reaches zero (observed at the next control tick, or at run end).
+// drain tells the transport to stop feeding a draining member: the
+// dispatcher has already removed the replica from the routable set, so its
+// accepted work finishes and the replica retires once its outstanding count
+// reaches zero (observed at the next control tick, or at run end).
 func (e *liveEngine) drain(m *Member) {
-	close(e.replicas[m.ID].queue)
+	e.tr.drain(e.replicas[m.ID])
 }
 
-// snapshot appends the active replicas' candidates (ID plus outstanding
-// count) to buf in ascending ID order.
+// snapshot appends the active replicas' candidates (ID plus the transport's
+// outstanding-count signal) to buf in ascending ID order.
 func (e *liveEngine) snapshot(buf []Candidate) []Candidate {
 	for _, id := range e.set.ActiveIDs() {
-		buf = append(buf, Candidate{ID: id, Outstanding: int(e.replicas[id].outstanding.Load())})
+		buf = append(buf, Candidate{ID: id, Outstanding: e.tr.load(e.replicas[id])})
 	}
 	return buf
 }
@@ -383,7 +408,8 @@ func (e *liveEngine) controlTicks(loop *ControlLoop, now time.Duration) {
 			outstanding += int(e.replicas[id].outstanding.Load())
 		}
 		target := loop.Decide(Observe(at, e.set, outstanding, e.takeCompletions(at)))
-		loop.Apply(e.set, target, at, e.provision, e.drain)
+		loop.Apply(e.set, target, at, e.provision, e.drain,
+			func(id int) int { return int(e.replicas[id].outstanding.Load()) })
 	}
 }
 
@@ -410,7 +436,8 @@ func (e *liveEngine) takeCompletions(at time.Duration) []time.Duration {
 	return taken
 }
 
-// work drains one replica's queue on one worker goroutine.
+// work drains one replica's queue on one worker goroutine (the in-process
+// transport's serving runtime).
 func (e *liveEngine) work(rep *replica) {
 	for p := range rep.queue {
 		start := time.Now()
@@ -426,32 +453,40 @@ func (e *liveEngine) work(rep *replica) {
 		if !failed && e.cfg.Validate {
 			failed = e.client.CheckResponse(p.payload, resp) != nil
 		}
-		sample := core.Sample{
+		e.complete(rep, core.Sample{
 			Queue:   start.Sub(p.enqueue),
 			Service: end.Sub(start),
 			Sojourn: end.Sub(p.scheduled),
 			Warmup:  p.warmup,
 			Err:     failed,
 			Offset:  p.offset,
+		}, end)
+	}
+}
+
+// complete records one finished request, whichever transport carried it:
+// per-replica and aggregate accounting, the replica's last-completion
+// instant, and (when autoscaling) the control loop's tick buffer. It is
+// called from worker goroutines (in-process) or connection-pool readers
+// (networked), possibly several concurrently per replica.
+func (e *liveEngine) complete(rep *replica, sample core.Sample, end time.Time) {
+	// Max-store: with several workers the last finisher is not necessarily
+	// the last storer, and retirement instants must be the true latest
+	// completion.
+	done := int64(end.Sub(e.start))
+	for {
+		prev := rep.lastDone.Load()
+		if done <= prev || rep.lastDone.CompareAndSwap(prev, done) {
+			break
 		}
-		// Max-store: with several workers the last finisher is not
-		// necessarily the last storer, and retirement instants must be the
-		// true latest completion.
-		done := int64(end.Sub(e.start))
-		for {
-			prev := rep.lastDone.Load()
-			if done <= prev || rep.lastDone.CompareAndSwap(prev, done) {
-				break
-			}
-		}
-		rep.outstanding.Add(-1)
-		rep.collector.Record(sample)
-		e.aggregate.Record(sample)
-		if e.autoscale {
-			e.tickMu.Lock()
-			e.tickBuf = append(e.tickBuf, completion{finish: time.Duration(done), sojourn: sample.Sojourn})
-			e.tickMu.Unlock()
-		}
+	}
+	rep.outstanding.Add(-1)
+	rep.collector.Record(sample)
+	e.aggregate.Record(sample)
+	if e.autoscale {
+		e.tickMu.Lock()
+		e.tickBuf = append(e.tickBuf, completion{finish: time.Duration(done), sojourn: sample.Sojourn})
+		e.tickMu.Unlock()
 	}
 }
 

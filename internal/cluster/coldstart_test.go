@@ -151,6 +151,83 @@ func TestDrainPolicyValidation(t *testing.T) {
 	}
 }
 
+// TestDrainPolicyLeastLoaded pins the least-loaded victim selection: a
+// scale-down retires the active replica with the fewest outstanding
+// requests, ties breaking toward the youngest, and pending cold starts are
+// still cancelled first.
+func TestDrainPolicyLeastLoaded(t *testing.T) {
+	loop, err := NewControlLoop(AutoscaleConfig{Policy: ControllerStatic, DrainPolicy: DrainLeastLoaded}, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewReplicaSet(4)
+	for i := 0; i < 4; i++ {
+		set.Provision(0, 0)
+	}
+	loads := map[int]int{0: 5, 1: 2, 2: 7, 3: 2}
+	var drained []int
+	loadOf := func(id int) int { return loads[id] }
+	drain := func(m *Member) { drained = append(drained, m.ID) }
+	provision := func(*Member) {}
+
+	// Replicas 1 and 3 tie at the minimum; the youngest of the two (3) goes
+	// first, then 1, then the new minimum (0).
+	loop.Apply(set, 3, time.Second, provision, drain, loadOf)
+	loop.Apply(set, 2, 2*time.Second, provision, drain, loadOf)
+	loop.Apply(set, 1, 3*time.Second, provision, drain, loadOf)
+	if len(drained) != 3 || drained[0] != 3 || drained[1] != 1 || drained[2] != 0 {
+		t.Fatalf("least-loaded drain order = %v, want [3 1 0]", drained)
+	}
+
+	// A pending cold start is always the first victim, regardless of load.
+	set2 := NewReplicaSet(3)
+	set2.Provision(0, 0)
+	set2.Provision(0, 0)
+	cold := set2.Provision(time.Second, time.Minute)
+	drained = nil
+	loop2, err := NewControlLoop(AutoscaleConfig{Policy: ControllerStatic, DrainPolicy: DrainLeastLoaded}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop2.Apply(set2, 2, 2*time.Second, provision, drain, loadOf)
+	if len(drained) != 1 || drained[0] != cold.ID {
+		t.Fatalf("cold start not cancelled first: drained %v, want [%d]", drained, cold.ID)
+	}
+}
+
+// TestDrainPolicyLeastLoadedSim smoke-tests the policy end to end on the
+// virtual-time engine: the spike run scales and drains under least-loaded
+// selection with the same determinism guarantees as the other policies.
+func TestDrainPolicyLeastLoadedSim(t *testing.T) {
+	cfg := elasticSpikeConfig(21)
+	auto := *cfg.Autoscale
+	auto.DrainPolicy = DrainLeastLoaded
+	cfg.Autoscale = &auto
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakReplicas <= cfg.InitialReplicas {
+		t.Fatalf("spike run never scaled: peak=%d", a.PeakReplicas)
+	}
+	retired := 0
+	for _, rep := range a.PerReplica {
+		if rep.State == "retired" {
+			retired++
+		}
+	}
+	if retired == 0 {
+		t.Fatal("no replica was drained under least-loaded")
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ScalingEvents) != len(b.ScalingEvents) {
+		t.Fatalf("least-loaded scaling timeline not deterministic: %d vs %d events", len(a.ScalingEvents), len(b.ScalingEvents))
+	}
+}
+
 // TestProvisionDelayLiveCluster smoke-tests the live engine's cold-start
 // path: the overload run must still complete with every request accounted
 // for, and mid-run provisions must record the delayed activation instant.

@@ -18,8 +18,9 @@ const (
 
 // Drain policy names accepted by AutoscaleConfig.DrainPolicy.
 const (
-	DrainYoungest = "youngest"
-	DrainOldest   = "oldest"
+	DrainYoungest    = "youngest"
+	DrainOldest      = "oldest"
+	DrainLeastLoaded = "least-loaded"
 )
 
 // Controllers returns the built-in autoscaling controller policy names in
@@ -30,7 +31,7 @@ func Controllers() []string {
 
 // DrainPolicies returns the built-in drain policy names in presentation
 // order.
-func DrainPolicies() []string { return []string{DrainYoungest, DrainOldest} }
+func DrainPolicies() []string { return []string{DrainYoungest, DrainOldest, DrainLeastLoaded} }
 
 // AutoscaleConfig parameterizes the autoscaling control loop. The same
 // configuration drives the live engine (control ticks on the wall clock) and
@@ -70,8 +71,11 @@ type AutoscaleConfig struct {
 	ProvisionDelay time.Duration
 	// DrainPolicy picks the scale-down victim: "youngest" (default) retires
 	// the most recently provisioned active replica (LIFO), "oldest" retires
-	// the longest-lived one (rolling refresh). Cold-starting replicas are
-	// always cancelled before any active replica is drained.
+	// the longest-lived one (rolling refresh), and "least-loaded" retires
+	// the active replica with the fewest outstanding requests at the tick —
+	// the victim that finishes its backlog (and frees its slot) soonest,
+	// ties broken toward the youngest. Cold-starting replicas are always
+	// cancelled before any active replica is drained.
 	DrainPolicy string
 }
 
@@ -235,7 +239,7 @@ type ControlLoop struct {
 func NewControlLoop(cfg AutoscaleConfig, initial, pool int) (*ControlLoop, error) {
 	cfg = cfg.withDefaults(pool)
 	switch cfg.DrainPolicy {
-	case DrainYoungest, DrainOldest:
+	case DrainYoungest, DrainOldest, DrainLeastLoaded:
 	default:
 		return nil, fmt.Errorf("cluster: unknown drain policy %q (available: %v)", cfg.DrainPolicy, DrainPolicies())
 	}
@@ -277,12 +281,16 @@ func (cl *ControlLoop) Decide(in ControllerInput) int {
 // at offset now, provisioning via the engine callback (which builds the
 // runtime replica for a new member) or shedding capacity: pending cold
 // starts are cancelled first (they never accepted work), then active
-// replicas are drained per the configured drain policy. The drain callback
-// fires for both — a cancelled cold start never turned routable, but the
-// engine still tears its runtime down the same way. Scale-ups stop early
-// when the pool has no free slot — draining replicas hold theirs until
-// retirement — and the achieved change is recorded in the scaling timeline.
-func (cl *ControlLoop) Apply(set *ReplicaSet, target int, now time.Duration, provision func(*Member), drain func(*Member)) {
+// replicas are drained per the configured drain policy. loadOf reports a
+// replica's outstanding request count and feeds the least-loaded victim
+// selection; engines that maintain per-replica counters pass them through
+// (nil is accepted and reads as zero load everywhere, degrading least-loaded
+// to youngest). The drain callback fires for cancelled cold starts too — one
+// never turned routable, but the engine still tears its runtime down the
+// same way. Scale-ups stop early when the pool has no free slot — draining
+// replicas hold theirs until retirement — and the achieved change is
+// recorded in the scaling timeline.
+func (cl *ControlLoop) Apply(set *ReplicaSet, target int, now time.Duration, provision func(*Member), drain func(*Member), loadOf func(id int) int) {
 	population := func() int { return set.NumActive() + set.NumProvisioning() }
 	before := population()
 	for population() < target {
@@ -298,9 +306,13 @@ func (cl *ControlLoop) Apply(set *ReplicaSet, target int, now time.Duration, pro
 			if set.NumActive() <= 1 {
 				break
 			}
-			id = set.YoungestActive()
-			if cl.cfg.DrainPolicy == DrainOldest {
+			switch cl.cfg.DrainPolicy {
+			case DrainOldest:
 				id = set.OldestActive()
+			case DrainLeastLoaded:
+				id = leastLoadedActive(set, loadOf)
+			default:
+				id = set.YoungestActive()
 			}
 		}
 		m := set.Member(id)
@@ -310,6 +322,25 @@ func (cl *ControlLoop) Apply(set *ReplicaSet, target int, now time.Duration, pro
 	if after := population(); after != before {
 		set.Event(now, before, after)
 	}
+}
+
+// leastLoadedActive picks the active replica with the fewest outstanding
+// requests, breaking ties toward the youngest (highest ID) so the policy
+// degenerates to the default LIFO order on an idle cluster and stays
+// deterministic.
+func leastLoadedActive(set *ReplicaSet, loadOf func(id int) int) int {
+	ids := set.ActiveIDs()
+	best := ids[len(ids)-1]
+	if loadOf == nil {
+		return best
+	}
+	bestLoad := loadOf(best)
+	for i := len(ids) - 2; i >= 0; i-- {
+		if l := loadOf(ids[i]); l < bestLoad {
+			best, bestLoad = ids[i], l
+		}
+	}
+	return best
 }
 
 // tickP95 summarizes one control interval's completed sojourns. It sorts in

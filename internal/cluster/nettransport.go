@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tailbench/internal/app"
+	"tailbench/internal/core"
+	"tailbench/internal/netproto"
+)
+
+// DefaultNetDelay is the synthetic one-way NIC+switch delay of the networked
+// transport when none is configured — the per-end overhead the paper
+// measured on its tuned setup, matching the single-server networked mode.
+const DefaultNetDelay = 25 * time.Microsecond
+
+// netTransport realizes the loopback and networked cluster configurations:
+// every pool slot's application server sits behind its own NetServer on the
+// loopback device, and the dispatcher — which keeps the balancer client-side
+// — issues each request over the picked replica's connection pool. The
+// server measures queue and service time and reports them (plus its queue
+// depth) in the response header; the reader goroutines turn responses into
+// engine completions. A positive delay adds the synthetic one-way NIC/switch
+// time to each request's sojourn (both directions), the networked kind's
+// stand-in for a multi-machine deployment.
+type netTransport struct {
+	eng   *liveEngine
+	delay time.Duration // one-way; zero for loopback
+	conns int           // connections per replica pool
+
+	// servers and addrs are per pool slot: the serving side exists for the
+	// whole pool up front (warm standbys, mirroring the integrated path's
+	// pre-built server pool), while connection pools are dialed per
+	// provisioned member.
+	servers []*core.NetServer
+	addrs   []string
+
+	// errMu guards fatal, the first transport-level failure (dial, send);
+	// the dispatcher aborts the run on it.
+	errMu sync.Mutex
+	fatal error
+
+	nextID uint64 // dispatcher goroutine only
+}
+
+// StartNetFleet starts one NetServer per pool slot over the given
+// application servers, wrapping slowed slots in SlowServer so straggler
+// factors inflate the server-measured service times shipped back in
+// response headers. It returns the net servers and their bound loopback
+// addresses; on error, every already-started server is closed. Shared by
+// the cluster's networked transport and the pipeline's networked edges so
+// both fleets start (and fail) identically.
+func StartNetFleet(apps []app.Server, threads int, slowdownFor func(slot int) float64) ([]*core.NetServer, []string, error) {
+	var servers []*core.NetServer
+	var addrs []string
+	for slot, server := range apps {
+		if f := slowdownFor(slot); f > 1 {
+			server = SlowServer(server, f)
+		}
+		ns := core.NewNetServer(server, threads)
+		addr, err := ns.Start("127.0.0.1:0")
+		if err != nil {
+			for _, s := range servers {
+				s.Close()
+			}
+			return nil, nil, fmt.Errorf("cluster: starting replica %d net server: %w", slot, err)
+		}
+		servers = append(servers, ns)
+		addrs = append(addrs, addr)
+	}
+	return servers, addrs, nil
+}
+
+// newNetTransport starts the per-slot server fleet and returns the
+// transport. delay is the one-way synthetic network delay; zero means
+// loopback.
+func newNetTransport(eng *liveEngine, delay time.Duration) (*netTransport, error) {
+	servers, addrs, err := StartNetFleet(eng.servers, eng.cfg.Threads, eng.cfg.slowdownFor)
+	if err != nil {
+		return nil, err
+	}
+	return &netTransport{
+		eng:     eng,
+		delay:   delay,
+		conns:   ConnsPerReplica(eng.cfg.Threads),
+		servers: servers,
+		addrs:   addrs,
+	}, nil
+}
+
+// ConnsPerReplica sizes a replica's connection pool: enough parallel
+// connections that response serialization never bottlenecks the replica's
+// worker threads, without an unbounded file-descriptor bill. Shared with the
+// pipeline's networked edges so both harnesses pool identically.
+func ConnsPerReplica(threads int) int {
+	c := 2 * threads
+	if c < 2 {
+		c = 2
+	}
+	if c > 8 {
+		c = 8
+	}
+	return c
+}
+
+func (t *netTransport) name() string {
+	if t.delay > 0 {
+		return TransportNetworked
+	}
+	return TransportLoopback
+}
+
+// fail records the first fatal transport error; the dispatcher checks for it
+// before every dispatch.
+func (t *netTransport) fail(err error) {
+	t.errMu.Lock()
+	if t.fatal == nil {
+		t.fatal = err
+	}
+	t.errMu.Unlock()
+}
+
+func (t *netTransport) err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.fatal
+}
+
+// provision dials the connection pool to the member's slot server. The
+// response callback closes over the replica: completions re-enter the shared
+// engine accounting from the pool's reader goroutines.
+func (t *netTransport) provision(rep *replica) {
+	rep.pending = make(map[uint64]clusterPending)
+	pool, err := core.DialReplica(t.addrs[rep.member.Slot], t.conns, func(msg *netproto.Message, at time.Time) {
+		t.complete(rep, msg, at)
+	})
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	rep.pool = pool
+}
+
+// complete converts one response frame into an engine completion: the
+// server-measured queue and service times come from the header, the sojourn
+// is measured client-side from the scheduled arrival instant (so dispatch
+// and wire time count as latency), and the networked kind adds its synthetic
+// RTT.
+func (t *netTransport) complete(rep *replica, msg *netproto.Message, at time.Time) {
+	rep.pendMu.Lock()
+	p, ok := rep.pending[msg.ID]
+	if ok {
+		delete(rep.pending, msg.ID)
+	}
+	rep.pendMu.Unlock()
+	if !ok {
+		return // stale or duplicate response
+	}
+	failed := msg.Type == netproto.TypeError
+	if !failed && t.eng.cfg.Validate {
+		failed = t.eng.client.CheckResponse(p.payload, msg.Payload) != nil
+	}
+	t.eng.complete(rep, core.Sample{
+		Queue:   time.Duration(msg.QueueNs),
+		Service: time.Duration(msg.ServiceNs),
+		Sojourn: at.Sub(p.scheduled) + 2*t.delay,
+		Warmup:  p.warmup,
+		Err:     failed,
+		Offset:  p.offset,
+	}, at)
+}
+
+// load is the balancer's signal: the server's last reported queue depth plus
+// the requests sent since that report — the freshest client-side estimate of
+// the replica's true backlog, stale by one response flight. This staleness
+// (absent on the in-process transport, whose counters are exact) is part of
+// what networked-mode policy comparisons measure.
+func (t *netTransport) load(rep *replica) int {
+	if rep.pool == nil {
+		return 0
+	}
+	return rep.pool.EstimatedDepth()
+}
+
+// dispatch registers the request and sends it on the replica's pool.
+func (t *netTransport) dispatch(rep *replica, p clusterPending) error {
+	if err := t.err(); err != nil {
+		return err
+	}
+	if rep.pool == nil {
+		return fmt.Errorf("cluster: replica %d has no connection pool (provisioning failed)", rep.member.ID)
+	}
+	id := t.nextID
+	t.nextID++
+	rep.pendMu.Lock()
+	rep.pending[id] = p
+	rep.pendMu.Unlock()
+	if err := rep.pool.Send(id, p.payload); err != nil {
+		rep.pendMu.Lock()
+		delete(rep.pending, id)
+		rep.pendMu.Unlock()
+		t.fail(err)
+		return err
+	}
+	return nil
+}
+
+// drain is membership-level for the networked transports: the balancer
+// already stopped offering the replica, its in-flight responses still arrive
+// over the open pool, and the pool itself closes at shutdown (or once the
+// member retires with nothing outstanding).
+func (t *netTransport) drain(*replica) {}
+
+// shutdown waits for every in-flight request to complete (bounded by
+// deadline), then closes the connection pools and the per-slot net servers.
+func (t *netTransport) shutdown(deadline time.Time) error {
+	drained := true
+	for {
+		outstanding := 0
+		for _, rep := range t.eng.replicas {
+			outstanding += int(rep.outstanding.Load())
+		}
+		if outstanding == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	for _, rep := range t.eng.replicas {
+		if rep.pool != nil {
+			rep.pool.Close()
+		}
+	}
+	t.closeServers()
+	if err := t.err(); err != nil {
+		return err
+	}
+	if !drained {
+		outstanding := 0
+		for _, rep := range t.eng.replicas {
+			outstanding += int(rep.outstanding.Load())
+		}
+		return fmt.Errorf("cluster: %s transport timed out with %d responses outstanding", t.name(), outstanding)
+	}
+	return nil
+}
+
+func (t *netTransport) closeServers() {
+	for _, ns := range t.servers {
+		ns.Close()
+	}
+}
+
+// interface conformance (and a compile-time reminder that slowServer must
+// remain a full app.Server for NetServer to wrap it).
+var (
+	_ transport  = (*netTransport)(nil)
+	_ transport  = (*inProcessTransport)(nil)
+	_ app.Server = slowServer{}
+)

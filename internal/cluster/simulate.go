@@ -315,7 +315,8 @@ func (sc *SimCluster) RunTicks(t time.Duration) {
 			outstanding += sc.states[id].inflight.Len()
 		}
 		target := sc.loop.Decide(Observe(at, sc.set, outstanding, sc.tickBuf))
-		sc.loop.Apply(sc.set, target, at, sc.provision, func(*Member) {})
+		sc.loop.Apply(sc.set, target, at, sc.provision, func(*Member) {},
+			func(id int) int { return sc.states[id].inflight.Len() })
 		// A drained replica with no outstanding work retires immediately.
 		sc.advance(at)
 	}

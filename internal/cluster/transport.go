@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench/internal/app"
+)
+
+// Transport kind names accepted by Config.Transport. The transport decides
+// how a dispatched request reaches the replica the balancer picked — the
+// balancer itself always runs client-side, in the dispatcher — and how the
+// completion flows back into the engine's accounting.
+const (
+	// TransportInProcess hands requests to per-replica worker pools over
+	// bounded in-process queues — the integrated configuration, and the
+	// default. Byte-for-byte the pre-Transport dispatch path.
+	TransportInProcess = "inprocess"
+	// TransportLoopback puts each replica behind its own NetServer on the
+	// loopback device and issues requests over per-replica connection
+	// pools, capturing network-stack costs without propagation delay.
+	TransportLoopback = "loopback"
+	// TransportNetworked is loopback plus the synthetic one-way NIC/switch
+	// delay applied to each hop's sojourn, standing in for a multi-machine
+	// deployment.
+	TransportNetworked = "networked"
+)
+
+// Transports returns the built-in transport kind names in presentation
+// order.
+func Transports() []string {
+	return []string{TransportInProcess, TransportLoopback, TransportNetworked}
+}
+
+// transport abstracts the serving side of the live cluster engine: how a
+// replica's runtime is brought up when the member is provisioned, how the
+// dispatcher issues a request to it, which load signal the balancer sees for
+// it, and how everything is torn down once the dispatcher has issued its
+// last request. Completions re-enter the engine through liveEngine.complete
+// regardless of transport, so per-replica accounting, windowed collection,
+// and the autoscaler's tick buffer behave identically on every path.
+type transport interface {
+	// name returns the transport kind name.
+	name() string
+	// provision brings up the serving runtime for a newly provisioned
+	// member's replica (start its worker pool, or dial its connection
+	// pool). Errors are deferred to the next dispatch: the engine is
+	// mid-run and surfaces them through the dispatcher.
+	provision(rep *replica)
+	// load returns the outstanding-count signal the balancer's candidate
+	// snapshot carries for the replica.
+	load(rep *replica) int
+	// dispatch issues one request to the replica. Blocking here is
+	// backpressure: sojourn time is measured from the scheduled arrival
+	// instant, so a stalled dispatcher shows up as latency.
+	dispatch(rep *replica, p clusterPending) error
+	// drain stops routing new work to the replica; work it has accepted
+	// still completes and the member retires when its outstanding count
+	// reaches zero.
+	drain(rep *replica)
+	// shutdown runs after the dispatcher's last request: it waits for
+	// in-flight work to finish (bounded by deadline) and tears the serving
+	// runtimes down. It returns an error when the deadline cut the drain
+	// short.
+	shutdown(deadline time.Time) error
+}
+
+// newTransport resolves a transport kind name for the engine.
+func newTransport(kind string, eng *liveEngine) (transport, error) {
+	switch kind {
+	case "", TransportInProcess:
+		return &inProcessTransport{eng: eng}, nil
+	case TransportLoopback:
+		return newNetTransport(eng, 0)
+	case TransportNetworked:
+		delay := eng.cfg.NetDelay
+		if delay <= 0 {
+			delay = DefaultNetDelay
+		}
+		return newNetTransport(eng, delay)
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %q (available: %v)", kind, Transports())
+	}
+}
+
+// inProcessTransport is the integrated path: each replica owns a bounded
+// queue drained by Threads worker goroutines in this process. It preserves
+// the pre-Transport engine's behavior exactly — same queue capacity, same
+// blocking send, same worker loop.
+type inProcessTransport struct {
+	eng *liveEngine
+}
+
+func (t *inProcessTransport) name() string { return TransportInProcess }
+
+func (t *inProcessTransport) provision(rep *replica) {
+	rep.queue = make(chan clusterPending, t.eng.cfg.QueueCap)
+	for w := 0; w < t.eng.cfg.Threads; w++ {
+		t.eng.workers.Add(1)
+		go func() {
+			defer t.eng.workers.Done()
+			t.eng.work(rep)
+		}()
+	}
+}
+
+func (t *inProcessTransport) load(rep *replica) int {
+	return int(rep.outstanding.Load())
+}
+
+func (t *inProcessTransport) dispatch(rep *replica, p clusterPending) error {
+	rep.queue <- p
+	return nil
+}
+
+// drain closes a draining member's queue: the dispatcher is the only sender
+// and has already removed the replica from the routable set, so its workers
+// finish the backlog and exit.
+func (t *inProcessTransport) drain(rep *replica) {
+	t.closeQueue(rep)
+}
+
+// closeQueue closes a replica's queue once; only the dispatcher goroutine
+// drives the transport, so a plain flag suffices.
+func (t *inProcessTransport) closeQueue(rep *replica) {
+	if !rep.qClosed {
+		close(rep.queue)
+		rep.qClosed = true
+	}
+}
+
+func (t *inProcessTransport) shutdown(time.Time) error {
+	// Close every queue not already closed by a drain (active replicas, and
+	// replicas still cold-starting at run end that never joined the
+	// routable set), then wait for the workers to finish the backlog.
+	for _, rep := range t.eng.replicas {
+		t.closeQueue(rep)
+	}
+	t.eng.workers.Wait()
+	return nil
+}
+
+// SlowServer wraps an application server so every Process call's service
+// time is inflated by a constant factor, holding the caller (a NetServer
+// worker thread) — and therefore the replica's capacity — for the extra
+// duration. It is how the networked transports (cluster and pipeline alike)
+// realize per-slot straggler injection server-side, so the inflation shows
+// up in the server-measured ServiceNs exactly as the in-process worker's
+// sleep does.
+func SlowServer(inner app.Server, factor float64) app.Server {
+	return slowServer{inner: inner, factor: factor}
+}
+
+// slowServer is SlowServer's implementation.
+type slowServer struct {
+	inner  app.Server
+	factor float64
+}
+
+func (s slowServer) Name() string { return s.inner.Name() }
+
+func (s slowServer) Process(req app.Request) (app.Response, error) {
+	start := time.Now()
+	resp, err := s.inner.Process(req)
+	time.Sleep(time.Duration((s.factor - 1) * float64(time.Since(start))))
+	return resp, err
+}
+
+// Close is a no-op: the wrapped server is owned by the caller of Run, which
+// closes it directly.
+func (s slowServer) Close() error { return nil }

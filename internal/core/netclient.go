@@ -1,8 +1,8 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
@@ -50,8 +50,15 @@ func RunNetworked(addr string, appName string, newClient ClientFactory, cfg RunC
 	}
 	wg.Wait()
 	close(errs)
-	if err, ok := <-errs; ok {
-		return nil, err
+	// Report every failed client, not just the first one buffered: with many
+	// connections a single root cause (say, the server going away) fails them
+	// all, and a partial report hides how widespread the failure was.
+	var all []error
+	for err := range errs {
+		all = append(all, err)
+	}
+	if len(all) > 0 {
+		return nil, errors.Join(all...)
 	}
 	return resultFromSnapshot(appName, kind, cfg, collector.snapshot()), nil
 }
@@ -130,18 +137,13 @@ func (p *pendingSet) size() int {
 	return len(p.m)
 }
 
-// runClientConn drives a single client connection: an open-loop writer and a
-// response reader.
+// runClientConn drives a single client connection: an open-loop writer
+// issuing requests at their scheduled instants over a one-connection
+// ReplicaConn, whose reader records each response as it lands.
 func runClientConn(addr string, share clientConfig, client app.Client, cfg RunConfig, kind ConfigKind, collector *Collector, idx int64) error {
 	if share.requests+share.warmup == 0 {
 		return nil
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("core: client dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-
 	total := share.requests + share.warmup
 	payloads := make([]app.Request, total)
 	for i := range payloads {
@@ -158,40 +160,28 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 	}
 
 	pending := newPendingSet(total)
-
-	// Reader: consume responses until the connection is closed by the writer
-	// side (after all responses drained) or a transport error occurs.
-	var readerWG sync.WaitGroup
-	readerWG.Add(1)
-	go func() {
-		defer readerWG.Done()
-		for {
-			msg, err := netproto.Read(conn)
-			if err != nil {
-				return
-			}
-			if msg.Type != netproto.TypeResponse && msg.Type != netproto.TypeError {
-				continue
-			}
-			now := time.Now()
-			inf, ok := pending.take(msg.ID)
-			if !ok {
-				continue // stale or duplicate response
-			}
-			failed := msg.Type == netproto.TypeError
-			if !failed && cfg.Validate {
-				failed = client.CheckResponse(inf.payload, msg.Payload) != nil
-			}
-			collector.Record(Sample{
-				Queue:   time.Duration(msg.QueueNs),
-				Service: time.Duration(msg.ServiceNs),
-				Sojourn: now.Sub(inf.scheduled) + extraRTT,
-				Warmup:  inf.warmup,
-				Err:     failed,
-				Offset:  inf.offset,
-			})
+	pool, err := DialReplica(addr, 1, func(msg *netproto.Message, now time.Time) {
+		inf, ok := pending.take(msg.ID)
+		if !ok {
+			return // stale or duplicate response
 		}
-	}()
+		failed := msg.Type == netproto.TypeError
+		if !failed && cfg.Validate {
+			failed = client.CheckResponse(inf.payload, msg.Payload) != nil
+		}
+		collector.Record(Sample{
+			Queue:   time.Duration(msg.QueueNs),
+			Service: time.Duration(msg.ServiceNs),
+			Sojourn: now.Sub(inf.scheduled) + extraRTT,
+			Warmup:  inf.warmup,
+			Err:     failed,
+			Offset:  inf.offset,
+		})
+	})
+	if err != nil {
+		return fmt.Errorf("core: client %d: %w", idx, err)
+	}
+	defer pool.Close()
 
 	// Writer: issue requests open-loop at their scheduled instants.
 	start := time.Now()
@@ -206,7 +196,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 		}
 		id := uint64(i)
 		pending.add(id, inflight{scheduled: target, offset: offsets[i], payload: payloads[i], warmup: i < share.warmup})
-		if err := netproto.Write(conn, &netproto.Message{Type: netproto.TypeRequest, ID: id, Payload: payloads[i]}); err != nil {
+		if err := pool.Send(id, payloads[i]); err != nil {
 			pending.remove(id)
 			writeErr = err
 			break
@@ -215,7 +205,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 	}
 
 	// Drain: wait until every issued request has a recorded response, then
-	// tell the server we are done and unblock the reader.
+	// tell the server we are done (pool.Close sends the shutdown frame).
 	drained := true
 	for pending.size() > 0 {
 		if time.Now().After(deadline) {
@@ -224,9 +214,7 @@ func runClientConn(addr string, share clientConfig, client app.Client, cfg RunCo
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
-	_ = netproto.Write(conn, &netproto.Message{Type: netproto.TypeShutdown})
-	conn.Close()
-	readerWG.Wait()
+	pool.Close()
 
 	switch {
 	case writeErr != nil:

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tailbench/internal/app"
@@ -24,6 +25,11 @@ type NetServer struct {
 
 	ln    net.Listener
 	queue chan netPending
+
+	// outstanding counts requests accepted but not yet responded to
+	// (queued plus in service); every response header reports it so
+	// client-side balancers can steer by server-observed depth.
+	outstanding atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -135,6 +141,7 @@ func (s *NetServer) readLoop(conn net.Conn) {
 		}
 		switch msg.Type {
 		case netproto.TypeRequest:
+			s.outstanding.Add(1)
 			s.queue <- netPending{conn: sc, id: msg.ID, payload: msg.Payload, enqueue: time.Now()}
 		case netproto.TypeShutdown:
 			return
@@ -152,10 +159,17 @@ func (s *NetServer) worker() {
 		start := time.Now()
 		resp, err := s.app.Process(p.payload)
 		end := time.Now()
+		// Sample the depth after this request leaves it: the count the
+		// client's view converges to once the response lands.
+		depth := s.outstanding.Add(-1)
+		if depth < 0 {
+			depth = 0
+		}
 		msg := &netproto.Message{
 			ID:        p.id,
 			QueueNs:   start.Sub(p.enqueue).Nanoseconds(),
 			ServiceNs: end.Sub(start).Nanoseconds(),
+			Depth:     uint32(depth),
 		}
 		if err != nil {
 			msg.Type = netproto.TypeError

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tailbench/internal/netproto"
+)
+
+// ReplicaConn is a client-side connection pool to one replica's NetServer.
+// It owns a fixed set of TCP connections, spreads framed request sends over
+// them round-robin, and runs one reader goroutine per connection that hands
+// every response (with the server-measured queue/service times and queue
+// depth from the netproto header) to a caller-supplied callback. It
+// generalizes the per-connection send/receive loop of RunNetworked into the
+// reusable building block the networked cluster and pipeline transports
+// dispatch through: one pool per replica, with the balancer deciding
+// client-side which replica's pool a request is issued on.
+//
+// Alongside the wire plumbing the pool maintains the two client-side load
+// signals a balancer can steer by: Outstanding (requests sent and not yet
+// answered — exact from the client's vantage point, but blind to the
+// response still in flight) and EstimatedDepth (the last server-reported
+// depth plus the requests sent since that report — the freshest view of the
+// server's actual queue a client can hold, stale by one response flight).
+type ReplicaConn struct {
+	conns []*replicaConnHalf
+
+	next        atomic.Uint64 // round-robin send cursor
+	outstanding atomic.Int64
+
+	// estMu guards the two halves of the depth estimate so a send racing a
+	// response reset cannot be erased from it: lastDepth is the server's
+	// most recent reported depth, sentSince the requests sent after that
+	// report landed.
+	estMu     sync.Mutex
+	lastDepth int64
+	sentSince int64
+
+	onResponse func(msg *netproto.Message, at time.Time)
+	readers    sync.WaitGroup
+	closed     atomic.Bool
+}
+
+// replicaConnHalf is one TCP connection of the pool with its write lock
+// (sends from the dispatcher and reads by the reader goroutine share the
+// socket).
+type replicaConnHalf struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// DialReplica opens conns TCP connections to a replica's NetServer and
+// starts their readers. onResponse is invoked from a reader goroutine for
+// every response or error frame, after the pool's load signals have been
+// updated; it must not block for long (it is on the latency path of every
+// completion on that connection).
+func DialReplica(addr string, conns int, onResponse func(msg *netproto.Message, at time.Time)) (*ReplicaConn, error) {
+	if conns <= 0 {
+		conns = 1
+	}
+	rc := &ReplicaConn{onResponse: onResponse}
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			rc.Close()
+			return nil, fmt.Errorf("core: replica dial %s: %w", addr, err)
+		}
+		half := &replicaConnHalf{conn: conn}
+		rc.conns = append(rc.conns, half)
+		rc.readers.Add(1)
+		go rc.read(half)
+	}
+	return rc, nil
+}
+
+// read consumes responses from one connection until it closes.
+func (rc *ReplicaConn) read(half *replicaConnHalf) {
+	defer rc.readers.Done()
+	for {
+		msg, err := netproto.Read(half.conn)
+		if err != nil {
+			return
+		}
+		if msg.Type != netproto.TypeResponse && msg.Type != netproto.TypeError {
+			continue
+		}
+		now := time.Now()
+		rc.outstanding.Add(-1)
+		// A fresh server report supersedes the client's running estimate.
+		// (With several connections, reports can land slightly out of order;
+		// that reordering is within the estimate's stale-by-one-flight
+		// contract.)
+		rc.estMu.Lock()
+		rc.lastDepth = int64(msg.Depth)
+		rc.sentSince = 0
+		rc.estMu.Unlock()
+		if rc.onResponse != nil {
+			rc.onResponse(msg, now)
+		}
+	}
+}
+
+// Send issues one request frame on the pool's next connection.
+func (rc *ReplicaConn) Send(id uint64, payload []byte) error {
+	half := rc.conns[rc.next.Add(1)%uint64(len(rc.conns))]
+	rc.outstanding.Add(1)
+	rc.estMu.Lock()
+	rc.sentSince++
+	rc.estMu.Unlock()
+	half.wmu.Lock()
+	err := netproto.Write(half.conn, &netproto.Message{Type: netproto.TypeRequest, ID: id, Payload: payload})
+	half.wmu.Unlock()
+	if err != nil {
+		rc.outstanding.Add(-1)
+		return fmt.Errorf("core: replica send: %w", err)
+	}
+	return nil
+}
+
+// Outstanding returns the client-side in-flight count: requests sent on this
+// pool that have not been answered yet.
+func (rc *ReplicaConn) Outstanding() int { return int(rc.outstanding.Load()) }
+
+// EstimatedDepth returns the client's estimate of the server's outstanding
+// count: the depth the server reported in its most recent response header,
+// plus the requests this client has sent since that report landed. Between
+// responses the estimate ages — that staleness is a real property of
+// client-side balancing over a network, and exactly the signal degradation
+// networked-mode policy studies exist to measure.
+func (rc *ReplicaConn) EstimatedDepth() int {
+	rc.estMu.Lock()
+	d := rc.lastDepth + rc.sentSince
+	rc.estMu.Unlock()
+	if d < 0 {
+		return 0
+	}
+	return int(d)
+}
+
+// Close sends a shutdown frame on every connection, closes them, and waits
+// for the readers to exit. Responses still in flight when Close is called
+// are lost; callers drain Outstanding to zero first when they care.
+func (rc *ReplicaConn) Close() error {
+	if !rc.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, half := range rc.conns {
+		half.wmu.Lock()
+		_ = netproto.Write(half.conn, &netproto.Message{Type: netproto.TypeShutdown})
+		half.wmu.Unlock()
+		half.conn.Close()
+	}
+	rc.readers.Wait()
+	return nil
+}

@@ -16,6 +16,12 @@ import (
 //	spike:BASE,PEAK,START,WIDTH       spike:500,1500,5s,2s
 //	burst:LOW,HIGH,LOWDUR,HIGHDUR     burst:100,2000,2s,500ms
 //	trace:INTERVAL,RATE,RATE,...      trace:1s,100,500,900,500,100
+//	trace:@PATH                       trace:@rates.csv
+//	trace:INTERVAL,@PATH              trace:500ms,@rates.csv
+//
+// The @PATH forms load the rate series from a file (see TraceFile): one
+// rate per line or comma/whitespace-separated, #-comments ignored, with an
+// optional interval= directive the explicit INTERVAL overrides.
 //
 // Rates are floats in queries per second; durations use Go duration syntax.
 // Shape.Spec() of every built-in shape round-trips through Parse — which is
@@ -60,8 +66,19 @@ func Parse(spec string) (Shape, error) {
 		}
 		return p.done(Burst(low, high, lowDur, highDur))
 	case "trace":
+		// The @file forms delegate the rate series to a trace file.
+		if len(args) == 1 && strings.HasPrefix(args[0], "@") {
+			return TraceFile(strings.TrimPrefix(args[0], "@"), 0)
+		}
+		if len(args) == 2 && strings.HasPrefix(args[1], "@") {
+			interval := p.durPositive(args, 0)
+			if p.err != nil {
+				return nil, p.err
+			}
+			return TraceFile(strings.TrimPrefix(args[1], "@"), interval)
+		}
 		if len(args) < 2 {
-			return nil, fmt.Errorf("load: trace needs an interval and at least one rate (got %q)", spec)
+			return nil, fmt.Errorf("load: trace needs an interval and at least one rate, or a @file (got %q)", spec)
 		}
 		interval := p.durPositive(args, 0)
 		rates := make([]float64, 0, len(args)-1)

@@ -29,11 +29,15 @@ const (
 )
 
 // magic identifies TailBench frames and guards against protocol confusion.
-const magic = uint16(0x7B01)
+// It doubles as the framing version: 0x7B02 added the Depth field to the
+// header, so a peer speaking the 0x7B01 layout fails loudly on the magic
+// check instead of silently misparsing the stream.
+const magic = uint16(0x7B02)
 
 // headerSize is the fixed frame header size in bytes:
-// magic(2) + type(1) + id(8) + queueNs(8) + serviceNs(8) + payloadLen(4).
-const headerSize = 2 + 1 + 8 + 8 + 8 + 4
+// magic(2) + type(1) + id(8) + queueNs(8) + serviceNs(8) + depth(4) +
+// payloadLen(4).
+const headerSize = 2 + 1 + 8 + 8 + 8 + 4 + 4
 
 // MaxPayload bounds a single frame's payload (16 MiB), protecting against
 // corrupted length fields.
@@ -45,7 +49,13 @@ type Message struct {
 	ID        uint64
 	QueueNs   int64 // server-measured queuing time (responses only)
 	ServiceNs int64 // server-measured service time (responses only)
-	Payload   []byte
+	// Depth is the server's outstanding request count (queued plus in
+	// service) sampled as the response was written (responses only). It is
+	// the queue-depth signal a client-side balancer steers by: the freshest
+	// view of the replica's load a client can have without a round trip of
+	// its own — and therefore stale by exactly the response's flight time.
+	Depth   uint32
+	Payload []byte
 }
 
 // Errors returned by the codec.
@@ -65,7 +75,8 @@ func Write(w io.Writer, m *Message) error {
 	binary.BigEndian.PutUint64(buf[3:11], m.ID)
 	binary.BigEndian.PutUint64(buf[11:19], uint64(m.QueueNs))
 	binary.BigEndian.PutUint64(buf[19:27], uint64(m.ServiceNs))
-	binary.BigEndian.PutUint32(buf[27:31], uint32(len(m.Payload)))
+	binary.BigEndian.PutUint32(buf[27:31], m.Depth)
+	binary.BigEndian.PutUint32(buf[31:35], uint32(len(m.Payload)))
 	copy(buf[headerSize:], m.Payload)
 	_, err := w.Write(buf)
 	return err
@@ -86,8 +97,9 @@ func Read(r io.Reader) (*Message, error) {
 		ID:        binary.BigEndian.Uint64(hdr[3:11]),
 		QueueNs:   int64(binary.BigEndian.Uint64(hdr[11:19])),
 		ServiceNs: int64(binary.BigEndian.Uint64(hdr[19:27])),
+		Depth:     binary.BigEndian.Uint32(hdr[27:31]),
 	}
-	n := binary.BigEndian.Uint32(hdr[27:31])
+	n := binary.BigEndian.Uint32(hdr[31:35])
 	if n > MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, n)
 	}

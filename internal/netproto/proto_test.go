@@ -26,7 +26,7 @@ func TestRoundTrip(t *testing.T) {
 
 func TestResponseTimingFields(t *testing.T) {
 	var buf bytes.Buffer
-	in := &Message{Type: TypeResponse, ID: 7, QueueNs: 1234, ServiceNs: 567890, Payload: []byte{1}}
+	in := &Message{Type: TypeResponse, ID: 7, QueueNs: 1234, ServiceNs: 567890, Depth: 13, Payload: []byte{1}}
 	if err := Write(&buf, in); err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestResponseTimingFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.QueueNs != 1234 || out.ServiceNs != 567890 {
+	if out.QueueNs != 1234 || out.ServiceNs != 567890 || out.Depth != 13 {
 		t.Fatalf("timing fields lost: %+v", out)
 	}
 }
@@ -71,7 +71,7 @@ func TestPayloadTooLarge(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	raw[27], raw[28], raw[29], raw[30] = 0xFF, 0xFF, 0xFF, 0xFF
+	raw[31], raw[32], raw[33], raw[34] = 0xFF, 0xFF, 0xFF, 0xFF
 	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrPayloadTooLarge) {
 		t.Fatalf("expected ErrPayloadTooLarge on read, got %v", err)
 	}
@@ -112,9 +112,9 @@ func TestMultipleFramesOnStream(t *testing.T) {
 }
 
 func TestPropertyRoundTrip(t *testing.T) {
-	f := func(typ uint8, id uint64, q, s int64, payload []byte) bool {
+	f := func(typ uint8, id uint64, q, s int64, depth uint32, payload []byte) bool {
 		var buf bytes.Buffer
-		in := &Message{Type: typ, ID: id, QueueNs: q, ServiceNs: s, Payload: payload}
+		in := &Message{Type: typ, ID: id, QueueNs: q, ServiceNs: s, Depth: depth, Payload: payload}
 		if err := Write(&buf, in); err != nil {
 			return false
 		}
@@ -123,7 +123,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 			return false
 		}
 		return out.Type == typ && out.ID == id && out.QueueNs == q && out.ServiceNs == s &&
-			bytes.Equal(out.Payload, payload)
+			out.Depth == depth && bytes.Equal(out.Payload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -37,6 +37,12 @@ type liveNode struct {
 	// sojourn is measured from it, for the original and any hedge duplicate
 	// alike.
 	dispatchAt time.Duration
+	// synth is the accumulated synthetic network delay charged along the
+	// node's path from the root, through and including its own edge (one
+	// RTT per networked hop). Recorded latencies add it; the real clock the
+	// run executes on does not, since the loopback wire time underneath a
+	// networked edge is already real.
+	synth time.Duration
 	// settled flips when the first copy completes; the loser only updates
 	// capacity accounting.
 	settled atomic.Bool
@@ -53,13 +59,22 @@ type liveCompletion struct {
 	sojourn time.Duration
 }
 
-// liveReplica is the runtime state of one live tier replica.
+// liveReplica is the runtime state of one live tier replica. The serving
+// runtime belongs to the tier's edge transport: the in-process edge uses the
+// bounded queue, the networked edges the connection pool and pending map.
 type liveReplica struct {
 	member   *cluster.Member
 	server   app.Server
 	slowdown float64
 	queue    chan livePending
 	closed   bool // queue closed (guarded by the tier mutex)
+
+	// pool, pending, and pendMu are the networked edges' runtime; dialErr
+	// records a failed mid-run connection dial.
+	pool    *core.ReplicaConn
+	pendMu  sync.Mutex
+	pending map[uint64]livePending
+	dialErr error
 
 	outstanding atomic.Int64
 	lastDone    atomic.Int64
@@ -87,6 +102,12 @@ type liveTier struct {
 	idx int
 	cfg TierConfig
 	eng *liveEngine
+
+	// tr is the edge's transport; rttExtra is the synthetic round-trip
+	// charged to this tier's recorded sub-request latencies (zero except
+	// for networked edges).
+	tr       edgeTransport
+	rttExtra time.Duration
 
 	client     app.Client
 	payloads   []app.Request
@@ -155,6 +176,11 @@ func Run(cfg Config) (*Result, error) {
 	for i, tc := range cfg.Tiers {
 		t, err := newLiveTier(eng, i, tc, total*mult[i], cfg)
 		if err != nil {
+			// Tear down the tiers already built: their transports hold live
+			// resources (worker goroutines, and for networked edges TCP
+			// listeners and dialed pools) that would otherwise leak on every
+			// failed construction.
+			eng.teardown()
 			return nil, err
 		}
 		eng.tiers = append(eng.tiers, t)
@@ -203,7 +229,7 @@ func Run(cfg Config) (*Result, error) {
 		core.WaitUntil(eng.start.Add(arrivals[i]))
 		root := &liveRoot{at: arrivals[i], warmup: i < cfg.WarmupRequests, tierMax: make([]atomic.Int64, len(cfg.Tiers))}
 		roots[i] = root
-		node := &liveNode{tier: 0, root: root, dispatchAt: arrivals[i]}
+		node := &liveNode{tier: 0, root: root, dispatchAt: arrivals[i], synth: eng.tiers[0].rttExtra}
 		eng.tiers[0].dispatch(node, eng.tiers[0].nextPayload(), false)
 	}
 
@@ -235,19 +261,13 @@ func (e *liveEngine) teardown() {
 		t.closing = true
 		t.mu.Unlock()
 	}
-	// Close front-to-back: by the time tier i's workers are awaited, tier
-	// i-1's have exited, so nothing upstream can still be blocked sending
-	// into tier i (and post-closing dispatches no-op).
+	// Shut down front-to-back: by the time tier i's transport has drained,
+	// tier i-1's has, so nothing upstream can still be feeding tier i (and
+	// post-closing dispatches no-op). In-process edges wait for their
+	// workers' backlog; networked edges drain in-flight responses within a
+	// bounded grace, then close their pools and servers.
 	for _, t := range e.tiers {
-		t.mu.Lock()
-		for _, rep := range t.replicas {
-			if !rep.closed {
-				close(rep.queue)
-				rep.closed = true
-			}
-		}
-		t.mu.Unlock()
-		t.workers.Wait()
+		t.tr.shutdown(5 * time.Second)
 		t.mu.Lock()
 		for _, m := range t.set.Members() {
 			if m.State == cluster.StateDraining {
@@ -314,6 +334,10 @@ func newLiveTier(eng *liveEngine, idx int, tc TierConfig, payloadCount int, cfg 
 	for i := range t.payloads {
 		t.payloads[i] = t.client.NextRequest()
 	}
+	t.tr, t.rttExtra, err = newEdgeTransport(t)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, err)
+	}
 	for r := 0; r < tc.Replicas; r++ {
 		t.provisionLocked(t.set.Provision(0, 0))
 	}
@@ -338,32 +362,24 @@ func (t *liveTier) slowdownFor(idx int) float64 {
 }
 
 // provisionLocked builds the runtime replica for a newly provisioned member
-// and starts its worker pool. Callers hold the tier mutex (or run before
-// any concurrency starts).
+// and hands it to the edge transport, which brings up its serving runtime.
+// Callers hold the tier mutex (or run before any concurrency starts).
 func (t *liveTier) provisionLocked(m *cluster.Member) {
 	rep := &liveReplica{
 		member:    m,
 		server:    t.cfg.Servers[m.Slot],
 		slowdown:  t.slowdownFor(m.Slot),
-		queue:     make(chan livePending, t.cfg.QueueCap),
 		collector: core.NewCollector(false),
 	}
 	t.replicas = append(t.replicas, rep)
-	for w := 0; w < t.cfg.Threads; w++ {
-		t.workers.Add(1)
-		go t.work(rep)
-	}
+	t.tr.provision(rep)
 }
 
-// drainLocked closes a draining (or cancelled cold-start) member's queue:
-// dispatchers no longer route to it, so its workers finish the backlog and
-// exit.
+// drainLocked stops feeding a draining (or cancelled cold-start) member:
+// dispatchers no longer route to it, so its accepted work finishes and it
+// retires once idle.
 func (t *liveTier) drainLocked(m *cluster.Member) {
-	rep := t.replicas[m.ID]
-	if !rep.closed {
-		close(rep.queue)
-		rep.closed = true
-	}
+	t.tr.drain(t.replicas[m.ID])
 }
 
 // runTicksLocked fires every control tick due at or before now, mirroring
@@ -382,7 +398,8 @@ func (t *liveTier) runTicksLocked(now time.Duration) {
 			outstanding += int(t.replicas[id].outstanding.Load())
 		}
 		target := t.loop.Decide(cluster.Observe(at, t.set, outstanding, t.takeCompletions(at)))
-		t.loop.Apply(t.set, target, at, t.provisionLocked, t.drainLocked)
+		t.loop.Apply(t.set, target, at, t.provisionLocked, t.drainLocked,
+			func(id int) int { return int(t.replicas[id].outstanding.Load()) })
 	}
 }
 
@@ -427,7 +444,7 @@ func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
 	}
 	var candidates []cluster.Candidate
 	for _, id := range t.set.ActiveIDs() {
-		candidates = append(candidates, cluster.Candidate{ID: id, Outstanding: int(t.replicas[id].outstanding.Load())})
+		candidates = append(candidates, cluster.Candidate{ID: id, Outstanding: t.tr.load(t.replicas[id])})
 	}
 	pick := t.balancer.Pick(candidates)
 	rep := t.replicas[pick]
@@ -448,11 +465,21 @@ func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
 			t.dispatch(n, payload, true)
 		})
 	}
-	rep.queue <- livePending{node: n, payload: payload, hedge: hedge, enqueue: time.Now()}
+	if err := t.tr.dispatch(rep, livePending{node: n, payload: payload, hedge: hedge, enqueue: time.Now()}); err != nil {
+		// A transport send failure means this copy will never complete. Fail
+		// the sub-request (unless the other copy already won) so the root
+		// resolves with its error flagged instead of hanging to the timeout.
+		rep.outstanding.Add(-1)
+		if n.settled.CompareAndSwap(false, true) {
+			n.root.err.Store(true)
+			t.eng.settle(n, now, now+n.synth)
+		}
+	}
 }
 
-// work drains one replica's queue on one worker goroutine: process, record,
-// settle the logical sub-request (first copy wins), and fan out or fan in.
+// work drains one replica's queue on one worker goroutine (the in-process
+// edge's serving runtime): process, then hand the completion to the shared
+// engine path.
 func (t *liveTier) work(rep *liveReplica) {
 	defer t.workers.Done()
 	for p := range rep.queue {
@@ -467,62 +494,73 @@ func (t *liveTier) work(rep *liveReplica) {
 		if !failed && t.cfg.Validate {
 			failed = t.client.CheckResponse(p.payload, resp) != nil
 		}
-		endOff := end.Sub(t.eng.start)
-		storeMax(&rep.lastDone, int64(endOff))
-		storeMax(&t.eng.lastDone, int64(endOff))
-		n := p.node
-		sample := core.Sample{
-			Queue:   start.Sub(p.enqueue),
-			Service: end.Sub(start),
-			Sojourn: endOff - n.dispatchAt,
-			Warmup:  n.root.warmup,
-			Err:     failed,
-			Offset:  n.dispatchAt,
-		}
-		rep.outstanding.Add(-1)
-		// Every served copy counts at the replica (and toward the
-		// controller's completion window): redundant hedge work is real
-		// capacity spent.
-		rep.collector.Record(sample)
-		if t.loop != nil {
-			t.tickMu.Lock()
-			t.tickBuf = append(t.tickBuf, liveCompletion{finish: endOff, sojourn: sample.Sojourn})
-			t.tickMu.Unlock()
-		}
-		if !n.settled.CompareAndSwap(false, true) {
-			continue // the other copy already won the race
-		}
-		if p.hedge {
-			t.hedgeWins.Add(1)
-		}
-		if n.timer != nil {
-			n.timer.Stop()
-		}
-		if failed {
-			n.root.err.Store(true)
-		}
-		t.collector.Record(sample)
-		if !n.root.warmup {
-			storeMax(&n.root.tierMax[t.idx], int64(sample.Sojourn))
-		}
-		t.eng.settle(n, endOff)
+		t.complete(rep, p, start.Sub(p.enqueue), end.Sub(start), failed, end)
 	}
 }
 
+// complete records one finished sub-request copy, whichever transport
+// carried it — record at the replica, settle the logical sub-request (first
+// copy wins), and fan out or fan in. It runs on worker goroutines
+// (in-process edges) or connection-pool readers (networked edges).
+func (t *liveTier) complete(rep *liveReplica, p livePending, queue, service time.Duration, failed bool, end time.Time) {
+	endOff := end.Sub(t.eng.start)
+	storeMax(&rep.lastDone, int64(endOff))
+	storeMax(&t.eng.lastDone, int64(endOff))
+	n := p.node
+	sample := core.Sample{
+		Queue:   queue,
+		Service: service,
+		Sojourn: endOff - n.dispatchAt + t.rttExtra,
+		Warmup:  n.root.warmup,
+		Err:     failed,
+		Offset:  n.dispatchAt,
+	}
+	rep.outstanding.Add(-1)
+	// Every served copy counts at the replica (and toward the
+	// controller's completion window): redundant hedge work is real
+	// capacity spent.
+	rep.collector.Record(sample)
+	if t.loop != nil {
+		t.tickMu.Lock()
+		t.tickBuf = append(t.tickBuf, liveCompletion{finish: endOff, sojourn: sample.Sojourn})
+		t.tickMu.Unlock()
+	}
+	if !n.settled.CompareAndSwap(false, true) {
+		return // the other copy already won the race
+	}
+	if p.hedge {
+		t.hedgeWins.Add(1)
+	}
+	if n.timer != nil {
+		n.timer.Stop()
+	}
+	if failed {
+		n.root.err.Store(true)
+	}
+	t.collector.Record(sample)
+	if !n.root.warmup {
+		storeMax(&n.root.tierMax[t.idx], int64(sample.Sojourn))
+	}
+	t.eng.settle(n, endOff, endOff+n.synth)
+}
+
 // settle handles a node whose tier-local service just completed: spawn its
-// fan-out into the next tier, or resolve fan-in up the tree.
-func (e *liveEngine) settle(n *liveNode, done time.Duration) {
+// fan-out into the next tier, or resolve fan-in up the tree. done is the
+// real completion offset — children dispatch from it, since the run executes
+// on the real clock — while adj adds the synthetic network delay accumulated
+// along the node's path, the completion instant recorded latencies see.
+func (e *liveEngine) settle(n *liveNode, done, adj time.Duration) {
 	if n.tier+1 < len(e.tiers) {
 		nt := e.tiers[n.tier+1]
 		k := nt.cfg.FanOut
 		n.pending.Store(int32(k))
 		for j := 0; j < k; j++ {
-			child := &liveNode{tier: n.tier + 1, parent: n, root: n.root, dispatchAt: done}
+			child := &liveNode{tier: n.tier + 1, parent: n, root: n.root, dispatchAt: done, synth: n.synth + nt.rttExtra}
 			nt.dispatch(child, nt.nextPayload(), false)
 		}
 		return
 	}
-	e.resolve(n, done)
+	e.resolve(n, adj)
 }
 
 // resolve propagates a completed node up the fan-in tree; the root resolves
@@ -608,6 +646,8 @@ func assembleLive(cfg Config, eng *liveEngine, roots []*liveRoot, arrivals []tim
 			Replicas:     t.cfg.Replicas,
 			Threads:      t.cfg.Threads,
 			FanOut:       t.cfg.FanOut,
+			Transport:    t.tr.name(),
+			NetDelay:     t.rttExtra / 2,
 			HedgeDelay:   t.cfg.HedgeDelay,
 			HedgesIssued: t.hedgesIssued.Load(),
 			HedgeWins:    t.hedgeWins.Load(),

@@ -59,6 +59,24 @@ type TierConfig struct {
 	// tier's membership fixed.
 	Autoscale *cluster.AutoscaleConfig
 
+	// Transport selects how sub-requests cross the edge into this tier on
+	// the live path (see cluster.Transports): "" or "inprocess" hands them
+	// to per-replica worker pools over in-process queues; "loopback" puts
+	// each tier replica behind its own NetServer with the edge's balancer
+	// staying client-side; "networked" additionally charges the synthetic
+	// one-way NetDelay per hop. Tier 0's edge is the root dispatcher's hop
+	// into the front-end tier, so it participates like any other edge. The
+	// virtual-time path ignores it (the simulation models no network
+	// stack).
+	Transport string
+	// NetDelay is the one-way synthetic network delay of a networked edge
+	// (default cluster.DefaultNetDelay). The delay is charged to recorded
+	// latency — each sub-request's tier-local sojourn gains one RTT, and a
+	// root's end-to-end sojourn accumulates the RTTs along its critical
+	// path — while hedge budgets and fan-out timing run on the real clock,
+	// which already includes the true loopback wire time.
+	NetDelay time.Duration
+
 	// SimReplicas describes the tier's replica pool for the simulated path,
 	// one spec per slot.
 	SimReplicas []cluster.SimReplica

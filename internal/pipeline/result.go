@@ -21,6 +21,12 @@ type TierResult struct {
 	Threads  int
 	// FanOut is the inbound edge's fan-out degree (1 for tier 0).
 	FanOut int
+	// Transport names the edge's transport on the live path ("inprocess",
+	// "loopback", "networked"); empty on the virtual-time path, which
+	// models no network stack. NetDelay is the networked edge's one-way
+	// synthetic delay.
+	Transport string
+	NetDelay  time.Duration
 	// HedgeDelay is the inbound edge's hedging budget (0 = no hedging);
 	// HedgesIssued counts duplicated sub-requests and HedgeWins how many of
 	// those duplicates beat their original (first-response-wins).

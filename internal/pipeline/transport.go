@@ -1,0 +1,249 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"tailbench/internal/cluster"
+	"tailbench/internal/core"
+	"tailbench/internal/netproto"
+)
+
+// edgeTransport abstracts one tier's serving side on the live path,
+// mirroring the cluster engine's transport seam: how a replica's runtime
+// comes up when its member is provisioned, how a dispatched sub-request
+// reaches it, which load signal the edge's client-side balancer sees, and
+// how the tier is torn down. Completions re-enter the engine through
+// liveTier.complete on every transport, so settling, fan-out, fan-in, and
+// hedging behave identically whether an edge is an in-process handoff or a
+// TCP hop.
+type edgeTransport interface {
+	// name returns the transport kind name (see cluster.Transports).
+	name() string
+	// provision brings up the serving runtime for a new member's replica.
+	provision(rep *liveReplica)
+	// load returns the balancer's outstanding signal for the replica.
+	load(rep *liveReplica) int
+	// dispatch issues one sub-request copy to the replica. Callers hold the
+	// tier mutex.
+	dispatch(rep *liveReplica, p livePending) error
+	// drain stops feeding a draining (or cancelled cold-start) member.
+	// Callers hold the tier mutex.
+	drain(rep *liveReplica)
+	// shutdown runs during teardown, after the tier was marked closing: it
+	// drains in-flight work (bounded by the grace period) and tears the
+	// serving runtimes down, returning only when no more completions will
+	// arrive.
+	shutdown(grace time.Duration)
+}
+
+// newEdgeTransport resolves a tier's transport kind, returning the extra
+// round-trip delay its recorded latencies are charged (zero except for
+// networked edges).
+func newEdgeTransport(t *liveTier) (edgeTransport, time.Duration, error) {
+	switch t.cfg.Transport {
+	case "", cluster.TransportInProcess:
+		return &inProcessEdge{tier: t}, 0, nil
+	case cluster.TransportLoopback:
+		tr, err := newNetEdge(t, 0)
+		return tr, 0, err
+	case cluster.TransportNetworked:
+		delay := t.cfg.NetDelay
+		if delay <= 0 {
+			delay = cluster.DefaultNetDelay
+		}
+		tr, err := newNetEdge(t, delay)
+		return tr, 2 * delay, err
+	default:
+		return nil, 0, fmt.Errorf("unknown transport %q (available: %v)", t.cfg.Transport, cluster.Transports())
+	}
+}
+
+// inProcessEdge is the integrated path: each tier replica owns a bounded
+// queue drained by Threads worker goroutines — byte-for-byte the
+// pre-Transport pipeline dispatch.
+type inProcessEdge struct {
+	tier *liveTier
+}
+
+func (e *inProcessEdge) name() string { return cluster.TransportInProcess }
+
+func (e *inProcessEdge) provision(rep *liveReplica) {
+	rep.queue = make(chan livePending, e.tier.cfg.QueueCap)
+	for w := 0; w < e.tier.cfg.Threads; w++ {
+		e.tier.workers.Add(1)
+		go e.tier.work(rep)
+	}
+}
+
+func (e *inProcessEdge) load(rep *liveReplica) int {
+	return int(rep.outstanding.Load())
+}
+
+func (e *inProcessEdge) dispatch(rep *liveReplica, p livePending) error {
+	rep.queue <- p
+	return nil
+}
+
+func (e *inProcessEdge) drain(rep *liveReplica) {
+	if !rep.closed {
+		close(rep.queue)
+		rep.closed = true
+	}
+}
+
+func (e *inProcessEdge) shutdown(time.Duration) {
+	// Close every still-open queue so workers finish their backlog and
+	// exit; the tier is already marked closing, so no dispatch can race the
+	// close.
+	e.tier.mu.Lock()
+	for _, rep := range e.tier.replicas {
+		e.drain(rep)
+	}
+	e.tier.mu.Unlock()
+	e.tier.workers.Wait()
+}
+
+// netEdge realizes a loopback or networked tier edge: every pool slot's
+// server sits behind its own NetServer, and sub-requests are issued over
+// per-replica connection pools with the edge's balancer staying client-side.
+// Completions arrive on the pools' reader goroutines and re-enter the engine
+// exactly like worker completions — including fan-out into the next tier,
+// which makes downstream hops originate from the reader (lock order is still
+// strictly downstream, so the chain cannot deadlock).
+type netEdge struct {
+	tier    *liveTier
+	delay   time.Duration // one-way; zero for loopback
+	conns   int
+	servers []*core.NetServer
+	addrs   []string
+
+	nextID uint64 // guarded by the tier mutex (all dispatches hold it)
+}
+
+// newNetEdge starts the tier's per-slot server fleet (via the cluster
+// harness's shared StartNetFleet, so slowed slots and failure cleanup
+// behave identically) and returns the edge transport.
+func newNetEdge(t *liveTier, delay time.Duration) (*netEdge, error) {
+	servers, addrs, err := cluster.StartNetFleet(t.cfg.Servers, t.cfg.Threads, t.slowdownFor)
+	if err != nil {
+		return nil, err
+	}
+	return &netEdge{
+		tier:    t,
+		delay:   delay,
+		conns:   cluster.ConnsPerReplica(t.cfg.Threads),
+		servers: servers,
+		addrs:   addrs,
+	}, nil
+}
+
+func (e *netEdge) name() string {
+	if e.delay > 0 {
+		return cluster.TransportNetworked
+	}
+	return cluster.TransportLoopback
+}
+
+func (e *netEdge) provision(rep *liveReplica) {
+	rep.pending = make(map[uint64]livePending)
+	pool, err := core.DialReplica(e.addrs[rep.member.Slot], e.conns, func(msg *netproto.Message, at time.Time) {
+		e.complete(rep, msg, at)
+	})
+	if err != nil {
+		// The dial failed mid-run; the member serves nothing and dispatches
+		// to it fail over to erroring the sub-request (see dispatch).
+		rep.dialErr = err
+		return
+	}
+	rep.pool = pool
+}
+
+// complete converts a response frame into an engine completion: queue and
+// service times come from the server's header, the tier-local sojourn is
+// measured client-side from the node's dispatch instant plus the edge's
+// synthetic RTT.
+func (e *netEdge) complete(rep *liveReplica, msg *netproto.Message, at time.Time) {
+	rep.pendMu.Lock()
+	p, ok := rep.pending[msg.ID]
+	if ok {
+		delete(rep.pending, msg.ID)
+	}
+	rep.pendMu.Unlock()
+	if !ok {
+		return // stale or duplicate response
+	}
+	failed := msg.Type == netproto.TypeError
+	if !failed && e.tier.cfg.Validate {
+		failed = e.tier.client.CheckResponse(p.payload, msg.Payload) != nil
+	}
+	e.tier.complete(rep, p, time.Duration(msg.QueueNs), time.Duration(msg.ServiceNs), failed, at)
+}
+
+func (e *netEdge) load(rep *liveReplica) int {
+	if rep.pool == nil {
+		// A replica whose pool dial failed serves nothing: report it as
+		// maximally loaded so queue-aware balancers avoid it rather than
+		// being drawn to its phantom zero depth. (Requests a queue-blind
+		// policy still routes there fail the sub-request and flag the root;
+		// see dispatch.)
+		return int(^uint(0) >> 1)
+	}
+	return rep.pool.EstimatedDepth()
+}
+
+func (e *netEdge) dispatch(rep *liveReplica, p livePending) error {
+	if rep.pool == nil {
+		return fmt.Errorf("pipeline: tier %d replica %d has no connection pool: %w", e.tier.idx, rep.member.ID, rep.dialErr)
+	}
+	id := e.nextID
+	e.nextID++
+	rep.pendMu.Lock()
+	rep.pending[id] = p
+	rep.pendMu.Unlock()
+	if err := rep.pool.Send(id, p.payload); err != nil {
+		rep.pendMu.Lock()
+		delete(rep.pending, id)
+		rep.pendMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// drain is membership-level: the balancer stopped offering the replica and
+// its in-flight responses still arrive over the open pool, which closes at
+// shutdown.
+func (e *netEdge) drain(*liveReplica) {}
+
+// shutdown waits (bounded by grace) for in-flight sub-requests — including
+// hedge losers, whose capacity accounting is real — to complete, then closes
+// the pools and the per-slot net servers.
+func (e *netEdge) shutdown(grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for {
+		outstanding := 0
+		e.tier.mu.Lock()
+		for _, rep := range e.tier.replicas {
+			outstanding += int(rep.outstanding.Load())
+		}
+		e.tier.mu.Unlock()
+		if outstanding == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	e.tier.mu.Lock()
+	for _, rep := range e.tier.replicas {
+		if rep.pool != nil {
+			rep.pool.Close()
+		}
+	}
+	e.tier.mu.Unlock()
+	e.closeServers()
+}
+
+func (e *netEdge) closeServers() {
+	for _, ns := range e.servers {
+		ns.Close()
+	}
+}

@@ -179,6 +179,7 @@ func TestPipelineResultJSONRoundTrip(t *testing.T) {
 			},
 			{
 				Name: "shards", App: "masstree", Policy: "jsq2", Replicas: 16, Threads: 2, FanOut: 16,
+				Transport: "networked", NetworkDelay: 25 * time.Microsecond,
 				HedgeDelay: 500 * time.Microsecond, HedgesIssued: 7200, HedgeWins: 3100,
 				OfferedQPS: 32000, Requests: 144000, Errors: 1,
 				Sojourn:  LatencyStats{Count: 144000, P99: 900 * time.Microsecond},
@@ -212,6 +213,14 @@ func TestPipelineResultJSONRoundTrip(t *testing.T) {
 	}
 	if raw["Mode"] != "simulated" || raw["Label"] != "xapian > 16*masstree" {
 		t.Errorf("named fields encoded as Mode=%v Label=%v", raw["Mode"], raw["Label"])
+	}
+	// Edge-transport fields are omitempty: a tier without one (simulated, or
+	// pre-Transport JSON) must not grow them, so saved results stay stable.
+	frontend := raw["Tiers"].([]any)[0].(map[string]any)
+	for _, key := range []string{"Transport", "NetworkDelay"} {
+		if _, present := frontend[key]; present {
+			t.Errorf("transport-free tier JSON carries %s", key)
+		}
 	}
 }
 

@@ -54,6 +54,17 @@ func Burst(low, high float64, lowDur, highDur time.Duration) LoadShape {
 // the trace.
 func Trace(interval time.Duration, rates []float64) LoadShape { return load.Trace(interval, rates) }
 
+// TraceFile loads a rate series from a file into a Trace shape — the replay
+// path from production rate logs. Rates are separated by commas, whitespace,
+// or newlines; blank lines and #-comments are ignored; an optional
+// "interval=500ms" directive before the rates declares the file's sampling
+// interval. A positive interval argument overrides the directive; zero
+// defers to it (default 1s). The returned shape's Spec() renders the inline
+// trace grammar, so saved results stay self-describing without the file.
+func TraceFile(path string, interval time.Duration) (LoadShape, error) {
+	return load.TraceFile(path, interval)
+}
+
 // ParseLoadShape decodes the "name:arg,arg,..." shape grammar used by the
 // CLI -shape flag and embedded in JSON results (Result.ShapeSpec):
 //
@@ -63,8 +74,11 @@ func Trace(interval time.Duration, rates []float64) LoadShape { return load.Trac
 //	spike:500,1500,5s,2s
 //	burst:100,2000,2s,500ms
 //	trace:1s,100,500,900,500,100
+//	trace:@rates.csv
+//	trace:500ms,@rates.csv
 //
-// Every built-in shape's Spec() round-trips through ParseLoadShape.
+// The @PATH forms load the rate series from a file (see TraceFile). Every
+// built-in shape's Spec() round-trips through ParseLoadShape.
 func ParseLoadShape(spec string) (LoadShape, error) { return load.Parse(spec) }
 
 // WindowStats is one window of the time-windowed latency series. Windowed

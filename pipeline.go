@@ -24,6 +24,25 @@ type HedgeSpec struct {
 	Delay time.Duration
 }
 
+// EdgeSpec selects the transport of one tier's inbound edge, overriding the
+// pipeline-wide default set by PipelineSpec.Mode. An edge's transport
+// decides how sub-requests reach the tier's replicas on the live path:
+// ModeIntegrated hands them to per-replica worker pools in-process,
+// ModeLoopback puts each replica behind its own NetServer with the edge's
+// balancer staying client-side, and ModeNetworked additionally charges the
+// synthetic one-way NetworkDelay per hop — each sub-request's tier-local
+// sojourn gains one RTT and a root's end-to-end sojourn accumulates the RTTs
+// along its critical path, while hedge budgets and fan-out timing run on the
+// real clock (which already includes the true loopback wire time).
+type EdgeSpec struct {
+	// Mode is the edge's transport: ModeIntegrated, ModeLoopback, or
+	// ModeNetworked.
+	Mode Mode
+	// NetworkDelay is the one-way synthetic delay of a ModeNetworked edge
+	// (default 25µs).
+	NetworkDelay time.Duration
+}
+
 // TierSpec describes one tier of a pipeline: the cluster serving it plus
 // the inbound edge from the previous tier.
 type TierSpec struct {
@@ -46,15 +65,26 @@ type TierSpec struct {
 	// Hedge optionally hedges the inbound edge's sub-requests; nil disables
 	// hedging. Must be nil on tier 0.
 	Hedge *HedgeSpec
+	// Edge overrides the inbound edge's transport (see EdgeSpec); nil
+	// inherits the pipeline-wide default implied by PipelineSpec.Mode. Tier
+	// 0's edge is the root dispatcher's hop into the front-end tier, so it
+	// may carry a transport (unlike FanOut/Hedge, which require a previous
+	// tier). Only meaningful on the live path: a simulated run rejects
+	// networked edges, since the virtual-time model has no network stack.
+	Edge *EdgeSpec
 }
 
 // PipelineSpec describes one multi-tier measurement: a chain of clusters in
 // which a root request traverses every tier via fan-out/fan-in edges, and
 // the recorded sojourn of a root is its end-to-end span across tiers.
 type PipelineSpec struct {
-	// Mode selects the execution path: ModeIntegrated (real in-process
-	// replica servers per tier, live goroutines) or ModeSimulated
-	// (calibrated virtual-time simulation — deterministic per seed).
+	// Mode selects the execution path and the default edge transport:
+	// ModeIntegrated (real replica servers per tier, in-process dispatch),
+	// ModeLoopback (live, every tier's replicas behind their own NetServers
+	// with client-side balancing), ModeNetworked (loopback plus the
+	// synthetic per-hop NIC/switch delay), or ModeSimulated (calibrated
+	// virtual-time simulation — deterministic per seed, in-process edges
+	// only). Individual edges override the live default via TierSpec.Edge.
 	Mode Mode
 	// Tiers is the chain, front-end first. At least one tier is required.
 	Tiers []TierSpec
@@ -71,6 +101,10 @@ type PipelineSpec struct {
 	// Warmup is the number of discarded warmup roots (0 = 10% of Requests,
 	// negative = none), together with their entire fan-out trees.
 	Warmup int
+	// NetworkDelay is the default one-way synthetic delay of networked
+	// edges (default 25µs); TierSpec.Edge overrides it per edge. Ignored
+	// unless an edge is networked.
+	NetworkDelay time.Duration
 	// Seed makes the run reproducible (default 1).
 	Seed int64
 	// KeepRaw retains every end-to-end sojourn sample in the result.
@@ -92,6 +126,11 @@ type TierResult struct {
 	Threads  int
 	// FanOut is the inbound edge's fan-out degree (1 for tier 0).
 	FanOut int
+	// Transport names the inbound edge's transport on the live path
+	// ("inprocess", "loopback", "networked"); empty for simulated runs.
+	// NetworkDelay is a networked edge's one-way synthetic delay.
+	Transport    string        `json:",omitempty"`
+	NetworkDelay time.Duration `json:",omitempty"`
 	// HedgeDelay is the inbound edge's hedging budget (0 = no hedging);
 	// HedgesIssued counts duplicated sub-requests and HedgeWins how many
 	// duplicates beat their original.
@@ -174,16 +213,20 @@ func (r *PipelineResult) String() string {
 // tails, hedging ledger). Both the tailbench CLI and tailbench-report use
 // it so the live and replayed views render identically.
 func (r *PipelineResult) WriteTierTable(w io.Writer) {
-	fmt.Fprintf(w, "%-10s %-10s %-6s %-10s %-12s %-12s %-12s %-10s %s\n",
-		"tier", "app", "fanout", "offered", "p95", "p99", "crit_p99", "hedges", "hedge_wins")
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-6s %-10s %-12s %-12s %-12s %-10s %s\n",
+		"tier", "app", "edge", "fanout", "offered", "p95", "p99", "crit_p99", "hedges", "hedge_wins")
 	for _, t := range r.Tiers {
 		hedges, wins := "-", "-"
 		if t.HedgeDelay > 0 {
 			hedges = fmt.Sprintf("%d", t.HedgesIssued)
 			wins = fmt.Sprintf("%d", t.HedgeWins)
 		}
-		fmt.Fprintf(w, "%-10s %-10s %-6d %-10.1f %-12v %-12v %-12v %-10s %s\n",
-			t.Name, t.App, t.FanOut, t.OfferedQPS,
+		edge := t.Transport
+		if edge == "" {
+			edge = "-"
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-10s %-6d %-10.1f %-12v %-12v %-12v %-10s %s\n",
+			t.Name, t.App, edge, t.FanOut, t.OfferedQPS,
 			t.Sojourn.P95.Round(time.Microsecond), t.Sojourn.P99.Round(time.Microsecond),
 			t.Critical.P99.Round(time.Microsecond), hedges, wins)
 	}
@@ -194,7 +237,7 @@ type ErrPipelineMode struct{ Mode Mode }
 
 // Error implements error.
 func (e ErrPipelineMode) Error() string {
-	return fmt.Sprintf("tailbench: pipeline runs support integrated and simulated modes only, not %s", e.Mode)
+	return fmt.Sprintf("tailbench: pipeline runs support integrated, loopback, networked, and simulated modes, not %s", e.Mode)
 }
 
 // normalizePipeline validates the spec shape and resolves per-tier cluster
@@ -231,6 +274,17 @@ func normalizePipeline(spec PipelineSpec) (PipelineSpec, error) {
 		if t.Hedge != nil && t.Hedge.Delay <= 0 {
 			return spec, fmt.Errorf("tailbench: tier %d Hedge.Delay must be positive (got %v)", i, t.Hedge.Delay)
 		}
+		if t.Edge != nil {
+			if _, ok := transportForMode(t.Edge.Mode); !ok {
+				return spec, fmt.Errorf("tailbench: tier %d Edge.Mode must be integrated, loopback, or networked (got %s)", i, t.Edge.Mode)
+			}
+			if t.Edge.NetworkDelay < 0 {
+				return spec, fmt.Errorf("tailbench: tier %d Edge.NetworkDelay must not be negative (got %v)", i, t.Edge.NetworkDelay)
+			}
+			if spec.Mode == ModeSimulated && t.Edge.Mode != ModeIntegrated {
+				return spec, fmt.Errorf("tailbench: tier %d: %s tier edges are a live-path feature; the virtual-time model has no network stack", i, t.Edge.Mode)
+			}
+		}
 		t.Cluster.Seed = spec.Seed
 		t.Cluster = t.Cluster.normalize()
 		if _, err := factoryFor(t.Cluster.App); err != nil {
@@ -248,12 +302,40 @@ func normalizePipeline(spec PipelineSpec) (PipelineSpec, error) {
 	return spec, nil
 }
 
+// transportForMode maps a live execution mode to the internal transport kind
+// name it implies (the default for every edge of a pipeline run, and the
+// cluster dispatch path). Reports false for modes that are not transports
+// (simulated, unknown).
+func transportForMode(m Mode) (string, bool) {
+	switch m {
+	case ModeIntegrated:
+		return cluster.TransportInProcess, true
+	case ModeLoopback:
+		return cluster.TransportLoopback, true
+	case ModeNetworked:
+		return cluster.TransportNetworked, true
+	default:
+		return "", false
+	}
+}
+
 // tierConfig builds the internal tier configuration shared by both paths.
-func (t TierSpec) tierConfig() pipeline.TierConfig {
+// defaultTransport and defaultDelay are the pipeline-wide edge transport and
+// networked-edge delay implied by the run mode, which TierSpec.Edge
+// overrides.
+func (t TierSpec) tierConfig(defaultTransport string, defaultDelay time.Duration) pipeline.TierConfig {
 	cs := t.Cluster
 	hedge := time.Duration(0)
 	if t.Hedge != nil {
 		hedge = t.Hedge.Delay
+	}
+	transport := defaultTransport
+	netDelay := defaultDelay
+	if t.Edge != nil {
+		transport, _ = transportForMode(t.Edge.Mode)
+		if t.Edge.NetworkDelay > 0 {
+			netDelay = t.Edge.NetworkDelay
+		}
 	}
 	return pipeline.TierConfig{
 		Name:       t.Name,
@@ -264,6 +346,8 @@ func (t TierSpec) tierConfig() pipeline.TierConfig {
 		FanOut:     t.FanOut,
 		HedgeDelay: hedge,
 		Autoscale:  cs.autoscaleConfig(),
+		Transport:  transport,
+		NetDelay:   netDelay,
 	}
 }
 
@@ -286,8 +370,9 @@ func RunPipeline(spec PipelineSpec) (*PipelineResult, error) {
 	switch spec.Mode {
 	case ModeSimulated:
 		return runPipelineSimulated(spec, cfg)
-	case ModeIntegrated:
-		return runPipelineIntegrated(spec, cfg)
+	case ModeIntegrated, ModeLoopback, ModeNetworked:
+		transport, _ := transportForMode(spec.Mode)
+		return runPipelineLive(spec, cfg, transport)
 	default:
 		return nil, ErrPipelineMode{Mode: spec.Mode}
 	}
@@ -323,7 +408,7 @@ func runPipelineSimulated(spec PipelineSpec, cfg pipeline.Config) (*PipelineResu
 				calibrated[key] = samples
 			}
 		}
-		tc := t.tierConfig()
+		tc := t.tierConfig(cluster.TransportInProcess, 0)
 		tc.SimReplicas = make([]cluster.SimReplica, cs.poolSize())
 		for r := range tc.SimReplicas {
 			tc.SimReplicas[r] = cluster.SimReplica{Service: cluster.EmpiricalService{Samples: samples}}
@@ -340,9 +425,10 @@ func runPipelineSimulated(spec PipelineSpec, cfg pipeline.Config) (*PipelineResu
 	return fromPipelineResult(spec, res), nil
 }
 
-// runPipelineIntegrated builds every tier's real replica server pool and
-// drives the live goroutine engine.
-func runPipelineIntegrated(spec PipelineSpec, cfg pipeline.Config) (*PipelineResult, error) {
+// runPipelineLive builds every tier's real replica server pool and drives
+// the live goroutine engine; defaultTransport is the edge transport implied
+// by the run mode, overridden per tier by TierSpec.Edge.
+func runPipelineLive(spec PipelineSpec, cfg pipeline.Config, defaultTransport string) (*PipelineResult, error) {
 	var servers []app.Server
 	defer func() {
 		for _, s := range servers {
@@ -365,7 +451,7 @@ func runPipelineIntegrated(spec PipelineSpec, cfg pipeline.Config) (*PipelineRes
 			pool = append(pool, server)
 			servers = append(servers, server)
 		}
-		tc := t.tierConfig()
+		tc := t.tierConfig(defaultTransport, spec.NetworkDelay)
 		tc.Servers = pool
 		tc.NewClient = func(seed int64) (app.Client, error) { return f.NewClient(appCfg, seed) }
 		tc.Validate = cs.Validate
@@ -408,6 +494,8 @@ func fromPipelineResult(spec PipelineSpec, res *pipeline.Result) *PipelineResult
 			Replicas:        tier.Replicas,
 			Threads:         tier.Threads,
 			FanOut:          tier.FanOut,
+			Transport:       tier.Transport,
+			NetworkDelay:    tier.NetDelay,
 			HedgeDelay:      tier.HedgeDelay,
 			HedgesIssued:    tier.HedgesIssued,
 			HedgeWins:       tier.HedgeWins,

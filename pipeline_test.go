@@ -371,8 +371,16 @@ func TestRunPipelineValidation(t *testing.T) {
 		}
 	}
 
-	if _, err := RunPipeline(PipelineSpec{Mode: ModeLoopback, Tiers: base().Tiers}); err == nil ||
-		!strings.Contains(err.Error(), "integrated and simulated modes only") {
-		t.Errorf("loopback mode: err = %v", err)
+	if _, err := RunPipeline(PipelineSpec{Mode: Mode(99), Tiers: base().Tiers}); err == nil ||
+		!strings.Contains(err.Error(), "not Mode(99)") {
+		t.Errorf("unknown mode: err = %v", err)
+	}
+	// Networked edges are a live-path feature: the virtual-time model has no
+	// network stack, so a simulated run must reject them loudly rather than
+	// silently dropping the network costs.
+	netSpec := base()
+	netSpec.Tiers[1].Edge = &EdgeSpec{Mode: ModeNetworked}
+	if _, err := RunPipeline(netSpec); err == nil || !strings.Contains(err.Error(), "live-path feature") {
+		t.Errorf("simulated networked edge: err = %v", err)
 	}
 }

@@ -76,7 +76,9 @@ func clusterCurve(app string, mode tailbench.Mode, policy string, replicas, thre
 // PolicyComparison measures latency versus load for one cluster shape under
 // several balancer policies, producing one LoadCurve per policy. slowdowns
 // optionally injects stragglers (empty means a uniform cluster); mode
-// selects the live integrated path or the fast deterministic simulation.
+// selects the live integrated path, the loopback/networked paths (each
+// replica behind its own NetServer, balancer client-side), or the fast
+// deterministic simulation.
 func PolicyComparison(app string, mode tailbench.Mode, replicas, threads int, policies []string, slowdowns []float64, opts Options) ([]*LoadCurve, error) {
 	if len(policies) == 0 {
 		policies = tailbench.BalancerPolicies()
@@ -88,6 +90,37 @@ func PolicyComparison(app string, mode tailbench.Mode, replicas, threads int, po
 	var curves []*LoadCurve
 	for _, policy := range policies {
 		c, err := clusterCurve(app, mode, policy, replicas, threads, slowdowns, cal, opts)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// ClusterModeComparison measures latency versus load for one cluster shape
+// and balancer policy across several execution modes — the mode is the sweep
+// axis. Comparing integrated against loopback and networked curves isolates
+// what the network stack (and the synthetic NIC/switch delay) adds to the
+// tail, the Fig. 1 configuration study lifted to the cluster setting; the
+// networked modes also swap the balancer's exact in-process queue signal for
+// the stale client-side depth estimate, so policy gaps narrow. Calibration
+// is shared across modes, so every curve sees identical absolute offered
+// loads.
+func ClusterModeComparison(app string, modes []tailbench.Mode, policy string, replicas, threads int, opts Options) ([]*LoadCurve, error) {
+	if len(modes) == 0 {
+		modes = []tailbench.Mode{tailbench.ModeIntegrated, tailbench.ModeLoopback, tailbench.ModeNetworked}
+	}
+	if policy == "" {
+		policy = "leastq"
+	}
+	cal, err := Calibrate(app, opts)
+	if err != nil {
+		return nil, err
+	}
+	var curves []*LoadCurve
+	for _, mode := range modes {
+		c, err := clusterCurve(app, mode, policy, replicas, threads, nil, cal, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,191 @@
+package tailbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInProcessTransportGoldenDispatch pins the transport refactor's
+// compatibility guarantee on the live path: with a deterministic balancer
+// (random and roundrobin ignore queue state, so their pick sequence is a pure
+// function of the seeded RNG and the precomputed arrival schedule), the
+// per-replica dispatch counts of an integrated cluster run are exactly
+// reproducible even though individual latencies follow the wall clock. The
+// golden values below were captured from the pre-Transport dispatcher (the
+// direct rep.queue send); the in-process transport must route every request
+// to the same replica in the same order or these counts shift.
+func TestInProcessTransportGoldenDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster run")
+	}
+	golden := map[string][]uint64{
+		"random":     {507, 500, 493},
+		"roundrobin": {500, 500, 500},
+	}
+	for policy, want := range golden {
+		res, err := RunCluster(ClusterSpec{
+			App:      "masstree",
+			Mode:     ModeIntegrated,
+			Policy:   policy,
+			Replicas: 3,
+			Threads:  1,
+			QPS:      4000,
+			Requests: 1500,
+			Warmup:   -1,
+			Scale:    0.05,
+			Seed:     17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerReplica) != 3 {
+			t.Fatalf("%s: %d replicas, want 3", policy, len(res.PerReplica))
+		}
+		got := make([]uint64, len(res.PerReplica))
+		for i, rep := range res.PerReplica {
+			got[i] = rep.Dispatched
+		}
+		t.Logf("%s: dispatched %v", policy, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: replica %d dispatched %d, want %d (live dispatch order changed)", policy, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInProcessTransportGoldenPipeline extends the dispatch-order pin to the
+// live pipeline path: a two-tier fan-out topology under the roundrobin policy
+// routes deterministically, so the per-tier, per-replica dispatch counts are
+// exact.
+func TestInProcessTransportGoldenPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live pipeline run")
+	}
+	res, err := RunPipeline(PipelineSpec{
+		Mode: ModeIntegrated,
+		Tiers: []TierSpec{
+			{Cluster: ClusterSpec{App: "masstree", Policy: "roundrobin", Replicas: 2, Scale: 0.05}},
+			{Cluster: ClusterSpec{App: "masstree", Policy: "roundrobin", Replicas: 3, Scale: 0.05}, FanOut: 2},
+		},
+		QPS:      2000,
+		Requests: 600,
+		Warmup:   -1,
+		Seed:     17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]uint64{{300, 300}, {400, 400, 400}}
+	for ti, tier := range res.Tiers {
+		got := make([]uint64, len(tier.PerReplica))
+		for i, rep := range tier.PerReplica {
+			got[i] = rep.Dispatched
+		}
+		t.Logf("tier %d: dispatched %v", ti, got)
+		for i := range want[ti] {
+			if got[i] != want[ti][i] {
+				t.Errorf("tier %d replica %d dispatched %d, want %d (live dispatch order changed)", ti, i, got[i], want[ti][i])
+			}
+		}
+	}
+}
+
+// TestNetworkedClusterFullReport exercises the public networked cluster mode
+// end to end: a shaped (therefore windowed) run over per-replica NetServers
+// must come back with the complete reporting surface — windowed series,
+// per-replica rows, and validated responses.
+func TestNetworkedClusterFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live networked run")
+	}
+	res, err := RunCluster(ClusterSpec{
+		App:          "masstree",
+		Mode:         ModeNetworked,
+		Policy:       "jsq2",
+		Replicas:     3,
+		Load:         Spike(1500, 3000, 200*time.Millisecond, 200*time.Millisecond),
+		Requests:     900,
+		Warmup:       100,
+		Scale:        0.05,
+		Seed:         11,
+		Validate:     true,
+		NetworkDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeNetworked {
+		t.Errorf("Mode = %v, want networked", res.Mode)
+	}
+	if res.Requests != 900 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want 900/0", res.Requests, res.Errors)
+	}
+	if len(res.Windows) == 0 {
+		t.Error("shaped networked run carries no windowed series")
+	}
+	if len(res.PerReplica) != 3 {
+		t.Fatalf("PerReplica has %d entries, want 3", len(res.PerReplica))
+	}
+	for _, rep := range res.PerReplica {
+		if rep.Dispatched == 0 || rep.Requests == 0 {
+			t.Errorf("replica %d row empty: %+v", rep.Index, rep)
+		}
+	}
+	// Every sojourn carries the synthetic round trip.
+	if res.Sojourn.Min < 2*200*time.Microsecond {
+		t.Errorf("min sojourn %v below the synthetic RTT", res.Sojourn.Min)
+	}
+}
+
+// TestNetworkedPipelineEdgeFullReport exercises a networked edge through the
+// public pipeline API: the shard tier sits behind NetServers while the front
+// end stays in-process, and the result carries the full per-tier reporting
+// surface with the edge's transport named.
+func TestNetworkedPipelineEdgeFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live networked run")
+	}
+	res, err := RunPipeline(PipelineSpec{
+		Mode: ModeIntegrated,
+		Tiers: []TierSpec{
+			{Cluster: ClusterSpec{App: "masstree", Policy: "leastq", Replicas: 1, Scale: 0.05}},
+			{
+				Cluster: ClusterSpec{App: "masstree", Policy: "jsq2", Replicas: 3, Scale: 0.05},
+				FanOut:  3,
+				Edge:    &EdgeSpec{Mode: ModeNetworked, NetworkDelay: 300 * time.Microsecond},
+			},
+		},
+		QPS:      700,
+		Requests: 400,
+		Warmup:   50,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 400 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want 400/0", res.Requests, res.Errors)
+	}
+	if got := res.Tiers[0].Transport; got != "inprocess" {
+		t.Errorf("front edge transport = %q, want inprocess", got)
+	}
+	if got := res.Tiers[1].Transport; got != "networked" {
+		t.Errorf("shard edge transport = %q, want networked", got)
+	}
+	if res.Tiers[1].NetworkDelay != 300*time.Microsecond {
+		t.Errorf("shard edge delay = %v, want 300µs", res.Tiers[1].NetworkDelay)
+	}
+	for ti, tier := range res.Tiers {
+		if len(tier.PerReplica) == 0 {
+			t.Errorf("tier %d has no per-replica rows", ti)
+		}
+		if tier.Requests == 0 {
+			t.Errorf("tier %d recorded no sub-requests", ti)
+		}
+	}
+	// The networked hop's RTT reaches the end-to-end critical path.
+	if res.Sojourn.Min < 2*300*time.Microsecond {
+		t.Errorf("min end-to-end sojourn %v lost the networked hop's RTT", res.Sojourn.Min)
+	}
+}

@@ -1,0 +1,15 @@
+# Developer entry points. The go toolchain is the only dependency.
+
+.PHONY: test bench
+
+test:
+	go build ./... && go test ./...
+
+# bench regenerates the committed engine-throughput baseline: events/second
+# of the virtual-time cluster engine and the multi-tier pipeline event
+# queue, with and without tracing. Commit the refreshed BENCH_sim.json so
+# the perf trajectory stays reviewable PR-over-PR.
+bench:
+	go test -run '^$$' -bench 'BenchmarkSimCluster|BenchmarkPipelineSim' -benchtime 2s \
+		./internal/cluster ./internal/pipeline | go run ./cmd/benchjson > BENCH_sim.json
+	@cat BENCH_sim.json

@@ -98,6 +98,16 @@ type ClusterSpec struct {
 	Replicas int
 	// Threads is the number of worker threads per replica (default 1).
 	Threads int
+	// ThreadsPerReplica optionally assigns each replica pool slot its own
+	// worker thread count for heterogeneous-cluster studies (e.g. two big
+	// 4-thread replicas and two small 1-thread ones). Empty means every
+	// replica runs Threads workers; otherwise its length must equal the
+	// replica pool size (Replicas, or Autoscale.MaxReplicas when elastic)
+	// and non-positive entries fall back to Threads. Honored by every mode:
+	// live replicas size their worker pools (and net-mode connection pools)
+	// per slot, and the simulated path gives each replica model the slot's
+	// thread count.
+	ThreadsPerReplica []int
 	// QPS is the cluster-wide offered load; 0 means saturation. Shorthand
 	// for Load: Constant(QPS); ignored when Load is set.
 	QPS float64
@@ -149,6 +159,14 @@ type ClusterSpec struct {
 	// simulated mode, skipping calibration. Sweeps use this to calibrate an
 	// application once and reuse the samples across many simulated points.
 	ServiceSamples []time.Duration
+	// Trace enables request-level tracing and tail attribution (see
+	// TraceSpec); nil keeps tracing off and the dispatch hot path
+	// allocation-free.
+	Trace *TraceSpec
+	// Metrics, when non-nil, receives live per-replica counters and latency
+	// histograms as the run progresses (live modes only); results are
+	// identical with or without it.
+	Metrics *MetricsRegistry
 }
 
 // ReplicaResult is the per-replica breakdown of a cluster run: one row per
@@ -173,10 +191,13 @@ type ReplicaResult struct {
 	ActiveAt      time.Duration `json:",omitempty"`
 	RetiredAt     time.Duration `json:",omitempty"`
 	Lifetime      time.Duration
-	Slowdown      float64
-	Dispatched    uint64
-	Requests      uint64
-	Errors        uint64
+	// Threads is the replica's worker thread count (per-slot for
+	// heterogeneous clusters).
+	Threads    int `json:",omitempty"`
+	Slowdown   float64
+	Dispatched uint64
+	Requests   uint64
+	Errors     uint64
 	// AchievedQPS is the replica's measured completion rate over the
 	// cluster-wide measurement interval (per-replica rates sum to the
 	// aggregate rate).
@@ -198,6 +219,9 @@ type ClusterResult struct {
 	Policy   string
 	Replicas int
 	Threads  int
+	// ThreadsPer echoes the heterogeneous per-slot thread assignment when
+	// one was configured.
+	ThreadsPer []int `json:",omitempty"`
 	// Shape names the arrival process family and ShapeSpec its canonical
 	// parameter encoding, re-parseable with ParseLoadShape.
 	Shape     string `json:",omitempty"`
@@ -242,6 +266,8 @@ type ClusterResult struct {
 	// PerReplica is the per-replica breakdown, indexed by stable replica
 	// ID.
 	PerReplica []ReplicaResult
+	// Trace is the tail-attribution report when tracing was enabled.
+	Trace *TraceReport `json:",omitempty"`
 }
 
 // ScalingEvent is one autoscaling decision that changed the active replica
@@ -272,11 +298,22 @@ func (r *ClusterResult) String() string {
 // view prints full queue/service/sojourn rows, the replay a compact
 // header).
 func (r *ClusterResult) WriteReplicaTable(w io.Writer) {
-	fmt.Fprintf(w, "%-8s %-9s %-10s %-6s %-10s %-10s %-12s %-12s %-10s %s\n",
-		"replica", "state", "lifetime", "slow", "dispatched", "qps", "p95", "p99", "mean_depth", "max_depth")
+	// The thread column only appears for heterogeneous pools; homogeneous
+	// runs carry the count in the aggregate header.
+	hetero := len(r.ThreadsPer) > 0
+	threadsHeader, pad := "", ""
+	if hetero {
+		threadsHeader, pad = "threads  ", "         "
+	}
+	fmt.Fprintf(w, "%-8s %-9s %-10s %s%-6s %-10s %-10s %-12s %-12s %-10s %s\n",
+		"replica", "state", "lifetime", threadsHeader, "slow", "dispatched", "qps", "p95", "p99", "mean_depth", "max_depth")
 	for _, rep := range r.PerReplica {
-		fmt.Fprintf(w, "%-8d %-9s %-10v %-6.2f %-10d %-10.1f %-12v %-12v %-10.2f %d\n",
-			rep.Index, rep.State, rep.Lifetime.Round(time.Millisecond), rep.Slowdown, rep.Dispatched, rep.AchievedQPS,
+		threads := pad
+		if hetero {
+			threads = fmt.Sprintf("%-8d ", rep.Threads)
+		}
+		fmt.Fprintf(w, "%-8d %-9s %-10v %s%-6.2f %-10d %-10.1f %-12v %-12v %-10.2f %d\n",
+			rep.Index, rep.State, rep.Lifetime.Round(time.Millisecond), threads, rep.Slowdown, rep.Dispatched, rep.AchievedQPS,
 			rep.Sojourn.P95.Round(time.Microsecond), rep.Sojourn.P99.Round(time.Microsecond),
 			rep.MeanQueueDepth, rep.MaxQueueDepth)
 	}
@@ -393,6 +430,9 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 	if err := validateSlowdowns(spec.Slowdowns, spec.poolSize(), spec.Autoscale != nil); err != nil {
 		return nil, err
 	}
+	if err := validateThreadsPer(spec.ThreadsPerReplica, spec.poolSize(), spec.Autoscale != nil); err != nil {
+		return nil, err
+	}
 	switch spec.Mode {
 	case ModeIntegrated:
 		return runClusterLive(spec, f, cluster.TransportInProcess)
@@ -431,6 +471,21 @@ func validateSlowdowns(slowdowns []float64, pool int, elastic bool) error {
 	return nil
 }
 
+// validateThreadsPer checks a heterogeneous per-slot thread vector at the API
+// boundary with the same pool-length rule as Slowdowns (non-positive entries
+// are legal: they fall back to the homogeneous Threads).
+func validateThreadsPer(threadsPer []int, pool int, elastic bool) error {
+	if len(threadsPer) != 0 && len(threadsPer) != pool {
+		bound := "Replicas"
+		if elastic {
+			bound = "the replica pool (Autoscale.MaxReplicas)"
+		}
+		return fmt.Errorf("tailbench: len(ThreadsPerReplica) = %d, must equal %s = %d",
+			len(threadsPer), bound, pool)
+	}
+	return nil
+}
+
 // runClusterLive builds the real replica server pool (the initial replicas
 // plus, when autoscaling, warm standbys up to MaxReplicas) and drives it
 // live over the given transport: in-process queues for the integrated mode,
@@ -460,6 +515,7 @@ func runClusterLive(spec ClusterSpec, f app.Factory, transport string) (*Cluster
 		cluster.Config{
 			Policy:         spec.Policy,
 			Threads:        spec.Threads,
+			ThreadsPer:     spec.ThreadsPerReplica,
 			QueueCap:       spec.QueueCap,
 			QPS:            spec.QPS,
 			Load:           spec.Load,
@@ -474,6 +530,8 @@ func runClusterLive(spec ClusterSpec, f app.Factory, transport string) (*Cluster
 			Autoscale:      spec.autoscaleConfig(),
 			Transport:      transport,
 			NetDelay:       spec.NetworkDelay,
+			Trace:          spec.Trace.recorder(),
+			Metrics:        spec.Metrics,
 		})
 	if err != nil {
 		return nil, err
@@ -503,6 +561,9 @@ func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
 		if r < len(spec.Slowdowns) {
 			replicas[r].Slowdown = spec.Slowdowns[r]
 		}
+		if r < len(spec.ThreadsPerReplica) {
+			replicas[r].Threads = spec.ThreadsPerReplica[r]
+		}
 	}
 	res, err := cluster.Simulate(cluster.SimConfig{
 		App:             spec.App,
@@ -518,6 +579,7 @@ func runClusterSimulated(spec ClusterSpec) (*ClusterResult, error) {
 		Replicas:        replicas,
 		InitialReplicas: spec.Replicas,
 		Autoscale:       spec.autoscaleConfig(),
+		Trace:           spec.Trace.recorder(),
 	})
 	if err != nil {
 		return nil, err
@@ -533,6 +595,7 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 		Policy:          res.Policy,
 		Replicas:        res.Replicas,
 		Threads:         res.Threads,
+		ThreadsPer:      res.ThreadsPer,
 		Shape:           res.Shape,
 		ShapeSpec:       res.ShapeSpec,
 		OfferedQPS:      res.OfferedQPS,
@@ -552,6 +615,7 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 		ControlInterval: res.ControlInterval,
 		PeakReplicas:    res.PeakReplicas,
 		ReplicaSeconds:  res.ReplicaSeconds,
+		Trace:           res.Trace,
 	}
 	for _, ev := range res.ScalingEvents {
 		out.ScalingEvents = append(out.ScalingEvents, ScalingEvent{At: ev.At, From: ev.From, To: ev.To})
@@ -571,6 +635,7 @@ func fromClusterResult(spec ClusterSpec, res *cluster.Result) *ClusterResult {
 			ActiveAt:       rs.ActiveAt,
 			RetiredAt:      rs.RetiredAt,
 			Lifetime:       rs.Lifetime,
+			Threads:        rs.Threads,
 			Slowdown:       rs.Slowdown,
 			Dispatched:     rs.Dispatched,
 			Requests:       rs.Requests,

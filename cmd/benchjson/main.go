@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a stable
+// JSON document on stdout, so benchmark baselines can be committed to the
+// repo (BENCH_sim.json) and diffed PR-over-PR instead of living only in CI
+// logs. Usage:
+//
+//	go test -run '^$' -bench . ./internal/... | benchjson > BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one benchmark result row.
+type benchLine struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// doc is the committed artifact: environment header plus result rows, in
+// input order.
+type doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+func main() {
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*doc, error) {
+	out := &doc{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			row, err := parseBench(pkg, line)
+			if err != nil {
+				return nil, err
+			}
+			out.Benchmarks = append(out.Benchmarks, row)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBench parses one result row: name, iteration count, then
+// value-unit pairs (ns/op first, extra b.ReportMetric units after).
+func parseBench(pkg, line string) (benchLine, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return benchLine{}, fmt.Errorf("short benchmark line: %q", line)
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix so the committed name is machine-stable.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchLine{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	row := benchLine{Pkg: pkg, Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchLine{}, fmt.Errorf("value in %q: %w", line, err)
+		}
+		if f[i+1] == "ns/op" {
+			row.NsPerOp = v
+			continue
+		}
+		if row.Metrics == nil {
+			row.Metrics = map[string]float64{}
+		}
+		row.Metrics[f[i+1]] = v
+	}
+	return row, nil
+}

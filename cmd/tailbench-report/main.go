@@ -94,6 +94,7 @@ func reportFromFile(path string) error {
 		fmt.Println()
 		tailbench.WriteWindowTable(os.Stdout, single.Windows)
 	}
+	printAttribution(single.Trace)
 	return nil
 }
 
@@ -114,6 +115,7 @@ func printPipelineReport(res *tailbench.PipelineResult) {
 	}
 	fmt.Println()
 	res.WriteTierTable(os.Stdout)
+	printHedgeLedger(res)
 	for _, t := range res.Tiers {
 		if t.Controller != "" {
 			fmt.Printf("\n%s autoscale: %s [%d..%d], tick %v — peak %d replicas, %.1f replica-seconds, %d scaling events\n",
@@ -121,11 +123,52 @@ func printPipelineReport(res *tailbench.PipelineResult) {
 				t.PeakReplicas, t.ReplicaSeconds, len(t.ScalingEvents))
 		}
 	}
+	printAttribution(res.Trace)
+}
+
+// printHedgeLedger renders the hedging ledger of every hedged edge: how many
+// duplicates the edge issued, how many won their race, and the extra-traffic
+// fraction the tail improvement was bought with (duplicates over the tier's
+// measured sub-requests — redundant hedge work is real capacity spent).
+func printHedgeLedger(res *tailbench.PipelineResult) {
+	printed := false
+	for _, t := range res.Tiers {
+		if t.HedgeDelay <= 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println()
+			fmt.Println("hedging ledger:")
+			printed = true
+		}
+		extra, winRate := 0.0, 0.0
+		if t.Requests > 0 {
+			extra = float64(t.HedgesIssued) / float64(t.Requests)
+		}
+		if t.HedgesIssued > 0 {
+			winRate = float64(t.HedgeWins) / float64(t.HedgesIssued)
+		}
+		fmt.Printf("  %s: budget %v — %d duplicates issued (%.1f%% extra traffic), %d won the race (%.1f%%)\n",
+			t.Name, t.HedgeDelay, t.HedgesIssued, 100*extra, t.HedgeWins, 100*winRate)
+	}
+}
+
+// printAttribution renders the tail-attribution report of a traced result.
+func printAttribution(rep *tailbench.TraceReport) {
+	if rep == nil || len(rep.Slowest) == 0 {
+		return
+	}
+	fmt.Println()
+	tailbench.WriteTraceAttribution(os.Stdout, rep)
 }
 
 func printClusterReport(res *tailbench.ClusterResult) {
-	fmt.Printf("%s: %d-replica cluster (%d threads each), %s balancing, %s mode\n",
-		res.App, res.Replicas, res.Threads, res.Policy, res.Mode)
+	threads := fmt.Sprintf("%d threads each", res.Threads)
+	if len(res.ThreadsPer) > 0 {
+		threads = fmt.Sprintf("threads %v", res.ThreadsPer)
+	}
+	fmt.Printf("%s: %d-replica cluster (%s), %s balancing, %s mode\n",
+		res.App, res.Replicas, threads, res.Policy, res.Mode)
 	if res.Shape != "" && res.Shape != "constant" {
 		fmt.Printf("load shape: %s\n", res.ShapeSpec)
 	}
@@ -147,4 +190,5 @@ func printClusterReport(res *tailbench.ClusterResult) {
 	}
 	fmt.Println()
 	res.WriteReplicaTable(os.Stdout)
+	printAttribution(res.Trace)
 }

@@ -64,6 +64,7 @@ func main() {
 		netDelay = flag.Duration("netdelay", 25*time.Microsecond, "one-way synthetic network delay (networked mode)")
 		ideal    = flag.Bool("idealmem", false, "idealized memory system (simulated mode)")
 		jsonOut  = flag.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
+		obs      = addObsFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -77,6 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(2)
 	}
+	reg, stopObs := obs.start()
 	res, err := tailbench.Run(tailbench.RunSpec{
 		App:          *appName,
 		Mode:         m,
@@ -93,11 +95,15 @@ func main() {
 		Validate:     *validate,
 		NetworkDelay: *netDelay,
 		IdealMemory:  *ideal,
+		Trace:        obs.spec(),
+		Metrics:      reg,
 	})
+	stopObs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(1)
 	}
+	obs.finish(res.Trace)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, res); err != nil {
 			fmt.Fprintln(os.Stderr, "tailbench:", err)
@@ -108,6 +114,97 @@ func main() {
 		}
 	}
 	printResult(res)
+	printTraceReport(res.Trace)
+}
+
+// obsOpts groups the observability flags shared by every subcommand: the
+// Chrome trace export, the tail-attribution reservoir size, the live metrics
+// endpoint, and the progress-line interval.
+type obsOpts struct {
+	tracePath   string
+	topK        int
+	traceWindow time.Duration
+	metricsAddr string
+	progress    time.Duration
+}
+
+// addObsFlags registers the observability flags on a flag set.
+func addObsFlags(fs *flag.FlagSet) *obsOpts {
+	o := &obsOpts{}
+	fs.StringVar(&o.tracePath, "trace", "", "enable request tracing and write the retained span trees as Chrome trace-event JSON to this file (load in Perfetto)")
+	fs.IntVar(&o.topK, "trace-topk", 0, "slowest span trees retained per window (implies tracing; 0 with -trace = 8)")
+	fs.DurationVar(&o.traceWindow, "trace-window", 0, "tail-attribution window width (0 = whole run as one window)")
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /debug/vars expvar JSON)")
+	fs.DurationVar(&o.progress, "progress", 0, "print a live metrics progress line to stderr at this interval (0 = off)")
+	return o
+}
+
+// spec returns the TraceSpec implied by the flags; nil when tracing is off.
+func (o *obsOpts) spec() *tailbench.TraceSpec {
+	if o.tracePath == "" && o.topK <= 0 {
+		return nil
+	}
+	return &tailbench.TraceSpec{TopK: o.topK, Window: o.traceWindow}
+}
+
+// start brings up the live metrics surface implied by the flags: the HTTP
+// endpoint and/or the progress printer. It returns the registry to attach to
+// the spec (nil when neither flag was set) and a stop function.
+func (o *obsOpts) start() (*tailbench.MetricsRegistry, func()) {
+	if o.metricsAddr == "" && o.progress <= 0 {
+		return nil, func() {}
+	}
+	reg := tailbench.NewMetricsRegistry()
+	var stops []func()
+	if o.metricsAddr != "" {
+		srv, err := tailbench.ServeMetrics(o.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench: serving metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tailbench: serving live metrics on http://%s/metrics\n", srv.Addr())
+		stops = append(stops, func() { srv.Close() })
+	}
+	if o.progress > 0 {
+		stop := tailbench.StartMetricsProgress(reg, o.progress, func(line string) {
+			fmt.Fprintln(os.Stderr, line)
+		})
+		stops = append(stops, stop)
+	}
+	return reg, func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+// finish writes the Chrome trace export if one was requested.
+func (o *obsOpts) finish(rep *tailbench.TraceReport) {
+	if rep == nil || o.tracePath == "" {
+		return
+	}
+	f, err := os.Create(o.tracePath)
+	if err == nil {
+		err = tailbench.WriteChromeTrace(f, rep.Slowest)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench: writing trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tailbench: wrote %d span trees to %s (open in ui.perfetto.dev)\n", len(rep.Slowest), o.tracePath)
+}
+
+// printTraceReport renders the tail-attribution breakdown: what the run's
+// slowest requests were made of.
+func printTraceReport(rep *tailbench.TraceReport) {
+	if rep == nil || len(rep.Slowest) == 0 {
+		return
+	}
+	fmt.Println()
+	tailbench.WriteTraceAttribution(os.Stdout, rep)
 }
 
 func parseMode(s string) (tailbench.Mode, error) {
@@ -167,7 +264,7 @@ func runCluster(args []string) {
 		netDelay = fs.Duration("net-delay", 25*time.Microsecond, "one-way synthetic network delay per hop (networked mode)")
 		policy   = fs.String("policy", "leastq", "balancer policy: "+strings.Join(tailbench.BalancerPolicies(), ", "))
 		replicas = fs.Int("replicas", 2, "number of replica servers")
-		threads  = fs.Int("threads", 1, "worker threads per replica")
+		threads  = fs.String("threads", "1", "worker threads per replica: a single count (\"2\") or a per-replica vector (\"4,4,1,1\") for heterogeneous clusters")
 		qps      = fs.Float64("qps", 2000, "cluster-wide offered load in queries per second (0 = saturation)")
 		shapeArg = fs.String("shape", "", "time-varying load shape, e.g. spike:500,1500,5s,2s (overrides -qps; see tailbench.ParseLoadShape)")
 		window   = fs.Duration("window", 0, "windowed latency accounting width (0 = automatic for time-varying shapes)")
@@ -188,6 +285,7 @@ func runCluster(args []string) {
 		targetP95 = fs.Duration("target-p95", 0, "target-p95 policy: windowed p95 sojourn goal (0 = 10ms)")
 		provDelay = fs.Duration("provision-delay", 0, "cold-start latency before a scaled-up replica turns active (0 = instant warm pool)")
 		drainPol  = fs.String("drain-policy", "", "scale-down victim policy: "+strings.Join(tailbench.DrainPolicies(), ", ")+" (empty = youngest)")
+		obs       = addObsFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -197,6 +295,11 @@ func runCluster(args []string) {
 		os.Exit(2)
 	}
 	shape, err := parseShape(*shapeArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailbench:", err)
+		os.Exit(2)
+	}
+	baseThreads, threadsPer, err := parseThreadsSpec(*threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(2)
@@ -221,22 +324,26 @@ func runCluster(args []string) {
 		fmt.Fprintln(os.Stderr, "tailbench: autoscaler tuning flags require -autoscale <policy> ("+strings.Join(tailbench.ControllerPolicies(), ", ")+")")
 		os.Exit(2)
 	}
+	reg, stopObs := obs.start()
 	spec := tailbench.ClusterSpec{
-		App:          *appName,
-		Mode:         m,
-		Policy:       *policy,
-		Replicas:     *replicas,
-		Threads:      *threads,
-		QPS:          *qps,
-		Load:         shape,
-		Window:       *window,
-		Requests:     *requests,
-		Warmup:       *warmup,
-		Scale:        *scale,
-		Seed:         *seed,
-		Validate:     *validate,
-		NetworkDelay: *netDelay,
-		Autoscale:    autoSpec,
+		App:               *appName,
+		Mode:              m,
+		Policy:            *policy,
+		Replicas:          *replicas,
+		Threads:           baseThreads,
+		ThreadsPerReplica: threadsPer,
+		QPS:               *qps,
+		Load:              shape,
+		Window:            *window,
+		Requests:          *requests,
+		Warmup:            *warmup,
+		Scale:             *scale,
+		Seed:              *seed,
+		Validate:          *validate,
+		NetworkDelay:      *netDelay,
+		Autoscale:         autoSpec,
+		Trace:             obs.spec(),
+		Metrics:           reg,
 	}
 	// Straggler factors are per pool slot: with autoscaling the pool is the
 	// autoscaler's resolved upper bound, not just the initial replica
@@ -249,10 +356,12 @@ func runCluster(args []string) {
 	}
 	spec.Slowdowns = slowdowns
 	res, err := tailbench.RunCluster(spec)
+	stopObs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(1)
 	}
+	obs.finish(res.Trace)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, res); err != nil {
 			fmt.Fprintln(os.Stderr, "tailbench:", err)
@@ -263,6 +372,36 @@ func runCluster(args []string) {
 		}
 	}
 	printClusterResult(res)
+	printTraceReport(res.Trace)
+}
+
+// parseThreadsSpec parses the cluster -threads flag: a single count applies
+// to every replica; a comma-separated vector assigns per-replica counts (the
+// vector length must equal the replica pool, which RunCluster validates).
+// The homogeneous base count for a vector is its maximum, so shared
+// resources sized off Threads fit the largest replica.
+func parseThreadsSpec(s string) (int, []int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) == 1 {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return 0, nil, fmt.Errorf("bad -threads count %q", s)
+		}
+		return n, nil, nil
+	}
+	per := make([]int, len(parts))
+	max := 1
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return 0, nil, fmt.Errorf("bad -threads entry %q", p)
+		}
+		per[i] = n
+		if n > max {
+			max = n
+		}
+	}
+	return max, per, nil
 }
 
 // runPipeline implements the pipeline subcommand: a chain of clusters with
@@ -284,6 +423,7 @@ func runPipeline(args []string) {
 		scale    = fs.Float64("scale", 1.0, "application dataset scale (every tier)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		jsonOut  = fs.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
+		obs      = addObsFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -302,6 +442,7 @@ func runPipeline(args []string) {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(2)
 	}
+	reg, stopObs := obs.start()
 	res, err := tailbench.RunPipeline(tailbench.PipelineSpec{
 		Mode:         m,
 		Tiers:        tiers,
@@ -312,11 +453,15 @@ func runPipeline(args []string) {
 		Warmup:       *warmup,
 		Seed:         *seed,
 		NetworkDelay: *netDelay,
+		Trace:        obs.spec(),
+		Metrics:      reg,
 	})
+	stopObs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
 		os.Exit(1)
 	}
+	obs.finish(res.Trace)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, res); err != nil {
 			fmt.Fprintln(os.Stderr, "tailbench:", err)
@@ -327,6 +472,7 @@ func runPipeline(args []string) {
 		}
 	}
 	printPipelineResult(res)
+	printTraceReport(res.Trace)
 }
 
 // parseTiers turns "-tiers xapian:2,masstree:16 -fanout 16 -hedge 500us"

@@ -1,0 +1,152 @@
+// Tracedfanout: attribute a fan-out tail with request-level tracing, and
+// export the slowest span trees for visual inspection.
+//
+// The study runs the canonical partitioned-search topology — a light
+// front-end fanning each query out to 16 exponential-tailed shards — in the
+// virtual-time engine with tracing on, then asks the question summaries
+// cannot answer: *what were the slowest requests made of?* The tail
+// attribution decomposes each retained p99 tree into queueing, service,
+// network, hedge wait, and the max-of-k straggler penalty; at k=16 the
+// straggler component dominates — the "tail at scale" effect shown as a
+// cause, not inferred from a quantile.
+//
+// The run asserts its claims and exits non-zero if they drift (the input is
+// a fixed-seed simulation, so they are bit-stable):
+//
+//  1. every retained root's attribution components sum exactly to its
+//     measured sojourn (the decomposition reconciles, within 1%);
+//  2. the straggler component dominates the retained tails at k=16;
+//  3. the trace export is byte-reproducible: the same seed yields the same
+//     Chrome trace-event JSON.
+//
+// With -trace, the slowest span trees are written as Chrome trace-event
+// JSON — load the file at ui.perfetto.dev to walk a slow request's critical
+// path visually. CI runs this and uploads the file as the BENCH_trace.json
+// artifact. With -json, the attribution report itself is written as well.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"tailbench"
+)
+
+// shardServiceModel builds a deterministic exponential-tailed shard
+// service-time distribution (fixed generator seed: the assertions demand a
+// bit-reproducible input).
+func shardServiceModel(n int, mean time.Duration, seed int64) []time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(-float64(mean) * math.Log(1-r.Float64()))
+	}
+	return out
+}
+
+func main() {
+	var (
+		requests = flag.Int("requests", 10000, "measured root requests")
+		fanout   = flag.Int("fanout", 16, "fan-out degree k")
+		seed     = flag.Int64("seed", 3, "random seed")
+		traceOut = flag.String("trace", "", "write the slowest span trees as Chrome trace-event JSON to this file")
+		jsonOut  = flag.String("json", "", "write the tail-attribution report to this file (\"-\" for stdout)")
+	)
+	flag.Parse()
+
+	samples := shardServiceModel(500, time.Millisecond, 7)
+	front := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		front[i] = s / 4
+	}
+	spec := tailbench.PipelineSpec{
+		Mode: tailbench.ModeSimulated,
+		Tiers: []tailbench.TierSpec{
+			{Name: "frontend", Cluster: tailbench.ClusterSpec{App: "xapian", Replicas: 2, ServiceSamples: front}},
+			{Name: "shards", Cluster: tailbench.ClusterSpec{App: "xapian", Replicas: *fanout, ServiceSamples: samples},
+				FanOut: *fanout},
+		},
+		QPS: 150, Requests: *requests, Warmup: *requests / 10, Seed: *seed,
+		Trace: &tailbench.TraceSpec{TopK: 16},
+	}
+	res, err := tailbench.RunPipeline(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := res.Trace
+
+	fmt.Printf("fan-out %d over %d shards: p99 %v end-to-end, shard p99 %v per sub-request\n",
+		*fanout, *fanout, res.Sojourn.P99.Round(time.Microsecond), res.Tiers[1].Sojourn.P99.Round(time.Microsecond))
+	fmt.Println()
+	tailbench.WriteTraceAttribution(os.Stdout, rep)
+
+	// Claim 1: the decomposition reconciles — every retained root's
+	// components sum to its measured sojourn (exact by construction; the 1%
+	// gate is the acceptance bound).
+	for _, rt := range rep.Slowest {
+		diff := math.Abs(float64(rt.Attr.Total() - rt.Sojourn))
+		if diff > 0.01*float64(rt.Sojourn) {
+			log.Fatalf("CLAIM FAILED: root at +%v attributes %v of a %v sojourn", rt.At, rt.Attr.Total(), rt.Sojourn)
+		}
+	}
+	fmt.Printf("\nclaim 1 holds: all %d retained attributions reconcile with their sojourns\n", len(rep.Slowest))
+
+	// Claim 2: at k=16 the max-of-k straggler wait dominates the tail.
+	a := rep.Attr
+	if *fanout >= 16 {
+		if a.Straggler <= a.Queue || a.Straggler <= a.Service || a.Straggler <= a.Net || a.Straggler <= a.Hedge {
+			log.Fatalf("CLAIM FAILED: straggler %v not dominant (queue=%v service=%v net=%v hedge=%v)",
+				a.Straggler, a.Queue, a.Service, a.Net, a.Hedge)
+		}
+		fmt.Printf("claim 2 holds: straggler wait is the dominant tail component (%.0f%%)\n",
+			100*float64(a.Straggler)/float64(a.Total()))
+	}
+
+	// Claim 3: the export is byte-reproducible at the fixed seed.
+	var first bytes.Buffer
+	if err := tailbench.WriteChromeTrace(&first, rep.Slowest); err != nil {
+		log.Fatal(err)
+	}
+	res2, err := tailbench.RunPipeline(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := tailbench.WriteChromeTrace(&second, res2.Trace.Slowest); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		log.Fatal("CLAIM FAILED: trace export is not byte-reproducible at a fixed seed")
+	}
+	fmt.Printf("claim 3 holds: trace export is byte-reproducible (%d bytes)\n", first.Len())
+
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, first.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s — load it at ui.perfetto.dev\n", *traceOut)
+	}
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"tailbench/internal/app"
 	"tailbench/internal/core"
 	"tailbench/internal/load"
+	"tailbench/internal/metrics"
+	"tailbench/internal/trace"
 	"tailbench/internal/workload"
 )
 
@@ -20,6 +22,12 @@ type Config struct {
 	Policy string
 	// Threads is the number of worker threads per replica (default 1).
 	Threads int
+	// ThreadsPer optionally assigns each pool slot its own worker thread
+	// count (heterogeneous clusters: big and little replicas in one pool).
+	// Empty means every replica runs Threads workers; otherwise its length
+	// must equal the server pool size, and zero entries fall back to
+	// Threads. A replica inherits the thread count of the slot backing it.
+	ThreadsPer []int
 	// QueueCap bounds each replica's request queue. The dispatcher blocks
 	// when the chosen replica's queue is full; because sojourn time is
 	// measured from the scheduled arrival instant, that backpressure shows
@@ -75,13 +83,21 @@ type Config struct {
 	// it observes per-replica queue depth and the interval's p95 sojourn
 	// and grows or drains the replica set. Nil keeps membership fixed.
 	Autoscale *AutoscaleConfig
+	// Trace, when non-nil, records a span tree per measured request and
+	// retains the slowest per window (see internal/trace). Nil — the
+	// default — keeps the dispatch and completion paths allocation-free.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live counters and histograms as the
+	// run progresses; reported results are identical with or without it.
+	Metrics *metrics.Registry
 }
 
 // Errors returned by cluster configuration validation.
 var (
-	ErrNoReplicas   = errors.New("cluster: at least one replica server is required")
-	ErrSlowdownsLen = errors.New("cluster: len(Slowdowns) must equal the server pool size")
-	ErrReplicaCount = errors.New("cluster: the initial replica count must not exceed the replica pool size")
+	ErrNoReplicas    = errors.New("cluster: at least one replica server is required")
+	ErrSlowdownsLen  = errors.New("cluster: len(Slowdowns) must equal the server pool size")
+	ErrReplicaCount  = errors.New("cluster: the initial replica count must not exceed the replica pool size")
+	ErrThreadsPerLen = errors.New("cluster: len(ThreadsPer) must equal the server pool size")
 )
 
 // withDefaults normalizes a Config for a pool of n servers.
@@ -127,6 +143,16 @@ func (c Config) shape() load.Shape { return load.Or(c.Load, c.QPS) }
 // single-server harness (see load.WindowEnabled).
 func (c Config) windowing() (width time.Duration, enabled bool) {
 	return c.Window, load.WindowEnabled(c.Window, c.Load)
+}
+
+// threadsFor returns the worker thread count for pool slot idx: the slot's
+// ThreadsPer entry when configured and positive, else the homogeneous
+// Threads.
+func (c Config) threadsFor(idx int) int {
+	if idx < len(c.ThreadsPer) && c.ThreadsPer[idx] > 0 {
+		return c.ThreadsPer[idx]
+	}
+	return c.Threads
 }
 
 // slowdownFor returns the normalized slowdown factor for pool slot idx.
@@ -204,8 +230,12 @@ type liveEngine struct {
 	replicas []*replica // indexed by member ID
 
 	aggregate *core.Collector
-	start     time.Time
-	workers   sync.WaitGroup
+	// traceRTT is the synthetic round-trip charged inside each sojourn
+	// (networked transport only); the tracer carves it out of the queueing
+	// residual as a net span.
+	traceRTT time.Duration
+	start    time.Time
+	workers  sync.WaitGroup
 
 	// autoscale marks whether workers should feed the tick buffer; tickMu
 	// guards it against the dispatcher's per-tick harvest. Entries carry
@@ -235,6 +265,9 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	}
 	if len(cfg.Slowdowns) != 0 && len(cfg.Slowdowns) != len(servers) {
 		return nil, ErrSlowdownsLen
+	}
+	if len(cfg.ThreadsPer) != 0 && len(cfg.ThreadsPer) != len(servers) {
+		return nil, ErrThreadsPerLen
 	}
 	if cfg.Replicas > len(servers) {
 		return nil, fmt.Errorf("%w (%d > %d)", ErrReplicaCount, cfg.Replicas, len(servers))
@@ -270,6 +303,10 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	if _, on := cfg.windowing(); on {
 		aggregate = core.NewWindowedCollector(cfg.KeepRaw)
 	}
+	// The engine mirrors measured samples into the tracer itself (it knows
+	// the serving replica); the aggregate collector only carries the live
+	// instruments, never a second tracer.
+	aggregate.SetMetrics(cfg.Metrics, "cluster")
 	eng := &liveEngine{
 		cfg:       cfg,
 		servers:   servers,
@@ -282,6 +319,9 @@ func Run(appName string, servers []app.Server, newClient core.ClientFactory, cfg
 	eng.tr, err = newTransport(cfg.Transport, eng)
 	if err != nil {
 		return nil, err
+	}
+	if nt, ok := eng.tr.(*netTransport); ok {
+		eng.traceRTT = 2 * nt.delay
 	}
 	for r := 0; r < cfg.Replicas; r++ {
 		eng.provision(eng.set.Provision(0, 0))
@@ -481,6 +521,10 @@ func (e *liveEngine) complete(rep *replica, sample core.Sample, end time.Time) {
 		}
 	}
 	rep.outstanding.Add(-1)
+	if !sample.Warmup {
+		e.cfg.Trace.ObserveRequest(sample.Offset, sample.Queue, sample.Service,
+			sample.Sojourn, e.traceRTT, 0, rep.member.ID, sample.Err)
+	}
 	rep.collector.Record(sample)
 	e.aggregate.Record(sample)
 	if e.autoscale {
@@ -525,6 +569,8 @@ func assembleLive(appName string, cfg Config, eng *liveEngine, loop *ControlLoop
 	if width, on := cfg.windowing(); on {
 		out.Windows = core.WindowsFromTimed(agg.Timed, width, shape)
 	}
+	out.ThreadsPer = append([]int(nil), cfg.ThreadsPer...)
+	out.Trace = cfg.Trace.Report()
 	for _, rep := range eng.replicas {
 		rs := rep.collector.Summary()
 		// Per-replica throughput over the cluster-wide measurement interval,
@@ -535,6 +581,7 @@ func assembleLive(appName string, cfg Config, eng *liveEngine, loop *ControlLoop
 		}
 		out.PerReplica = append(out.PerReplica, replicaStats(rep.member, end, ReplicaStats{
 			Index:          rep.member.ID,
+			Threads:        cfg.threadsFor(rep.member.Slot),
 			Slowdown:       rep.slowdown,
 			Dispatched:     rep.dispatched,
 			Requests:       rs.Count,

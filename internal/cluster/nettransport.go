@@ -7,6 +7,7 @@ import (
 
 	"tailbench/internal/app"
 	"tailbench/internal/core"
+	"tailbench/internal/metrics"
 	"tailbench/internal/netproto"
 )
 
@@ -27,7 +28,7 @@ const DefaultNetDelay = 25 * time.Microsecond
 type netTransport struct {
 	eng   *liveEngine
 	delay time.Duration // one-way; zero for loopback
-	conns int           // connections per replica pool
+	conns []int         // connections per replica pool, per slot
 
 	// servers and addrs are per pool slot: the serving side exists for the
 	// whole pool up front (warm standbys, mirroring the integrated path's
@@ -47,18 +48,23 @@ type netTransport struct {
 // StartNetFleet starts one NetServer per pool slot over the given
 // application servers, wrapping slowed slots in SlowServer so straggler
 // factors inflate the server-measured service times shipped back in
-// response headers. It returns the net servers and their bound loopback
-// addresses; on error, every already-started server is closed. Shared by
-// the cluster's networked transport and the pipeline's networked edges so
-// both fleets start (and fail) identically.
-func StartNetFleet(apps []app.Server, threads int, slowdownFor func(slot int) float64) ([]*core.NetServer, []string, error) {
+// response headers. threadsFor sizes each slot's worker pool (heterogeneous
+// fleets run different counts per slot) and reg, when non-nil, instruments
+// every server under a <prefix><slot> instrument prefix (callers pick
+// distinct prefixes so multi-fleet runs do not merge counters). It returns
+// the net servers and their bound loopback addresses; on error, every
+// already-started server is closed. Shared by the cluster's networked
+// transport and the pipeline's networked edges so both fleets start (and
+// fail) identically.
+func StartNetFleet(apps []app.Server, threadsFor func(slot int) int, slowdownFor func(slot int) float64, reg *metrics.Registry, prefix string) ([]*core.NetServer, []string, error) {
 	var servers []*core.NetServer
 	var addrs []string
 	for slot, server := range apps {
 		if f := slowdownFor(slot); f > 1 {
 			server = SlowServer(server, f)
 		}
-		ns := core.NewNetServer(server, threads)
+		ns := core.NewNetServer(server, threadsFor(slot))
+		ns.SetMetrics(reg, fmt.Sprintf("%s%d", prefix, slot))
 		addr, err := ns.Start("127.0.0.1:0")
 		if err != nil {
 			for _, s := range servers {
@@ -76,14 +82,18 @@ func StartNetFleet(apps []app.Server, threads int, slowdownFor func(slot int) fl
 // transport. delay is the one-way synthetic network delay; zero means
 // loopback.
 func newNetTransport(eng *liveEngine, delay time.Duration) (*netTransport, error) {
-	servers, addrs, err := StartNetFleet(eng.servers, eng.cfg.Threads, eng.cfg.slowdownFor)
+	servers, addrs, err := StartNetFleet(eng.servers, eng.cfg.threadsFor, eng.cfg.slowdownFor, eng.cfg.Metrics, "replica")
 	if err != nil {
 		return nil, err
+	}
+	conns := make([]int, len(eng.servers))
+	for slot := range conns {
+		conns[slot] = ConnsPerReplica(eng.cfg.threadsFor(slot))
 	}
 	return &netTransport{
 		eng:     eng,
 		delay:   delay,
-		conns:   ConnsPerReplica(eng.cfg.Threads),
+		conns:   conns,
 		servers: servers,
 		addrs:   addrs,
 	}, nil
@@ -132,7 +142,7 @@ func (t *netTransport) err() error {
 // engine accounting from the pool's reader goroutines.
 func (t *netTransport) provision(rep *replica) {
 	rep.pending = make(map[uint64]clusterPending)
-	pool, err := core.DialReplica(t.addrs[rep.member.Slot], t.conns, func(msg *netproto.Message, at time.Time) {
+	pool, err := core.DialReplica(t.addrs[rep.member.Slot], t.conns[rep.member.Slot], func(msg *netproto.Message, at time.Time) {
 		t.complete(rep, msg, at)
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tailbench/internal/stats"
+	"tailbench/internal/trace"
 )
 
 // ReplicaStats is the per-replica breakdown of a cluster run: one row per
@@ -20,6 +21,10 @@ type ReplicaStats struct {
 	// State is the replica's lifecycle state at the end of the run
 	// ("active", "draining", or "retired").
 	State string
+	// Threads is the replica's worker thread count — per-slot in
+	// heterogeneous clusters (see Config.ThreadsPer), else the homogeneous
+	// count.
+	Threads int
 	// Slowdown is the service-time inflation factor the replica ran with
 	// (1.0 = nominal speed).
 	Slowdown float64
@@ -90,8 +95,11 @@ type Result struct {
 	// run (and throughout it, unless an autoscaling controller changed the
 	// membership — see Controller, PeakReplicas, and ScalingEvents).
 	Replicas int
-	// Threads is the number of worker threads per replica.
-	Threads int
+	// Threads is the number of worker threads per replica. ThreadsPer is
+	// the per-slot override of a heterogeneous cluster (empty when every
+	// replica runs Threads workers).
+	Threads    int
+	ThreadsPer []int `json:",omitempty"`
 	// OfferedQPS is the configured cluster-wide arrival rate — for
 	// time-varying load shapes, the mean rate over the run's horizon.
 	OfferedQPS float64
@@ -147,6 +155,10 @@ type Result struct {
 	// PerReplica is the per-replica breakdown, one row per member ever
 	// provisioned, indexed by stable replica ID.
 	PerReplica []ReplicaStats
+
+	// Trace is the tail-attribution report (slowest span trees per window,
+	// p99 decomposition); present when the run was traced.
+	Trace *trace.Report `json:",omitempty"`
 }
 
 // annotateElastic fills a result's elasticity fields from the replica set's

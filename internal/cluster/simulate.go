@@ -12,6 +12,7 @@ import (
 	"tailbench/internal/load"
 	"tailbench/internal/queueing"
 	"tailbench/internal/stats"
+	"tailbench/internal/trace"
 	"tailbench/internal/workload"
 )
 
@@ -22,6 +23,9 @@ type SimReplica struct {
 	// Slowdown inflates every drawn service time (straggler injection).
 	// Values below 1 are treated as 1.
 	Slowdown float64
+	// Threads overrides the cluster-wide worker thread count for this slot
+	// (heterogeneous clusters); zero means the homogeneous count.
+	Threads int
 }
 
 // SimConfig parameterizes a simulated cluster run. The simulation runs in
@@ -67,6 +71,10 @@ type SimConfig struct {
 	// exactly as the live engine drives it in wall-clock time. Nil keeps
 	// membership fixed.
 	Autoscale *AutoscaleConfig
+	// Trace, when non-nil, records a span tree per measured request and
+	// retains the slowest per window. The simulation appends trees in
+	// arrival order, so a fixed seed yields a bit-identical trace.
+	Trace *trace.Recorder
 }
 
 // ErrNoService is returned when a SimReplica lacks a service sampler.
@@ -144,6 +152,7 @@ func (h *completionHeap) Pop() interface{} {
 type simReplicaState struct {
 	member   *Member
 	slowdown float64
+	threads  int
 	service  queueing.ServiceSampler
 	rng      *rand.Rand
 	// workerFree holds each worker's next-free instant; a new request starts
@@ -270,12 +279,17 @@ func (sc *SimCluster) provision(m *Member) {
 	if math.IsNaN(slow) || math.IsInf(slow, 0) || slow < 1 {
 		slow = 1
 	}
+	threads := sc.cfg.Threads
+	if sr.Threads > 0 {
+		threads = sr.Threads
+	}
 	sc.states = append(sc.states, &simReplicaState{
 		member:     m,
 		slowdown:   slow,
+		threads:    threads,
 		service:    sr.Service,
 		rng:        workload.NewRand(workload.SplitSeed(sc.cfg.Seed, int64(100+m.ID))),
-		workerFree: make([]time.Duration, sc.cfg.Threads),
+		workerFree: make([]time.Duration, threads),
 	})
 }
 
@@ -400,6 +414,7 @@ func (sc *SimCluster) Rows(end, elapsed time.Duration) []ReplicaStats {
 		}
 		rows = append(rows, replicaStats(st.member, end, ReplicaStats{
 			Index:          st.member.ID,
+			Threads:        st.threads,
 			Slowdown:       st.slowdown,
 			Dispatched:     st.dispatched,
 			Requests:       st.measured,
@@ -459,6 +474,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		if i < cfg.WarmupRequests {
 			continue
 		}
+		cfg.Trace.ObserveRequest(t, d.Queue, d.Service, d.Sojourn, 0, 0, d.Replica, false)
 		queueAll = append(queueAll, d.Queue)
 		serviceAll = append(serviceAll, d.Service)
 		sojournAll = append(sojournAll, d.Sojourn)
@@ -504,6 +520,20 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		out.Windows = core.WindowsFromTimed(timed, cfg.Window, shape)
 	}
 	out.PerReplica = eng.Rows(lastFinish, elapsed)
+	for _, sr := range cfg.Replicas {
+		if sr.Threads > 0 {
+			// Heterogeneous pool: echo the effective per-slot assignment.
+			out.ThreadsPer = make([]int, len(cfg.Replicas))
+			for i, r := range cfg.Replicas {
+				out.ThreadsPer[i] = cfg.Threads
+				if r.Threads > 0 {
+					out.ThreadsPer[i] = r.Threads
+				}
+			}
+			break
+		}
+	}
+	out.Trace = cfg.Trace.Report()
 	annotateElastic(out, eng.Loop(), eng.Set(), lastFinish)
 	return out, nil
 }

@@ -95,7 +95,7 @@ func (t *inProcessTransport) name() string { return TransportInProcess }
 
 func (t *inProcessTransport) provision(rep *replica) {
 	rep.queue = make(chan clusterPending, t.eng.cfg.QueueCap)
-	for w := 0; w < t.eng.cfg.Threads; w++ {
+	for w := 0; w < t.eng.cfg.threadsFor(rep.member.Slot); w++ {
 		t.eng.workers.Add(1)
 		go func() {
 			defer t.eng.workers.Done()

@@ -4,7 +4,9 @@ import (
 	"sync"
 	"time"
 
+	"tailbench/internal/metrics"
 	"tailbench/internal/stats"
+	"tailbench/internal/trace"
 )
 
 // Sample is the timing record for one completed request, as collected by the
@@ -62,6 +64,22 @@ type Collector struct {
 
 	first time.Time
 	last  time.Time
+
+	// tracer and traceNet mirror measured samples into a span-tree recorder
+	// (flat trees: the harnesses feeding a Collector directly have no
+	// fan-out); traceNet is the synthetic RTT charged inside each sojourn.
+	tracer   *trace.Recorder
+	traceNet time.Duration
+
+	// met holds live-metrics handles when SetMetrics installed a registry.
+	met *collectorMetrics
+}
+
+// collectorMetrics is the collector's live instrument set.
+type collectorMetrics struct {
+	completed *metrics.Counter
+	errors    *metrics.Counter
+	sojourn   *metrics.Histogram
 }
 
 // NewCollector returns an empty collector. If keepRaw is true every
@@ -86,12 +104,46 @@ func NewWindowedCollector(keepRaw bool) *Collector {
 }
 
 // newRunCollector builds the collector for one run, tracking timed samples
-// exactly when the config's windowing policy will consume them.
+// exactly when the config's windowing policy will consume them, and wiring
+// the run's trace recorder and metrics registry when configured.
 func newRunCollector(cfg RunConfig) *Collector {
+	var c *Collector
 	if _, on := cfg.windowing(); on {
-		return NewWindowedCollector(cfg.KeepRaw)
+		c = NewWindowedCollector(cfg.KeepRaw)
+	} else {
+		c = NewCollector(cfg.KeepRaw)
 	}
-	return NewCollector(cfg.KeepRaw)
+	c.SetTrace(cfg.Trace, 0)
+	c.SetMetrics(cfg.Metrics, "run")
+	return c
+}
+
+// SetTrace mirrors measured samples into a span-tree recorder; netRTT is the
+// synthetic round-trip charged inside each sojourn (networked runs), so the
+// trace separates it from queueing. A nil recorder disables mirroring.
+func (c *Collector) SetTrace(rec *trace.Recorder, netRTT time.Duration) {
+	c.mu.Lock()
+	c.tracer = rec
+	c.traceNet = netRTT
+	c.mu.Unlock()
+}
+
+// SetMetrics instruments the collector against a shared registry under the
+// given name prefix; a nil registry disables it.
+func (c *Collector) SetMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	if prefix == "" {
+		prefix = "run"
+	}
+	c.mu.Lock()
+	c.met = &collectorMetrics{
+		completed: reg.Counter(prefix + "_completed"),
+		errors:    reg.Counter(prefix + "_errors"),
+		sojourn:   reg.Histogram(prefix + "_sojourn"),
+	}
+	c.mu.Unlock()
 }
 
 // Record adds one sample.
@@ -110,14 +162,22 @@ func (c *Collector) Record(s Sample) {
 		c.first = now
 	}
 	c.last = now
+	c.tracer.ObserveRequest(s.Offset, s.Queue, s.Service, s.Sojourn, c.traceNet, 0, 0, s.Err)
 	if s.Err {
 		c.errors++
+		if c.met != nil {
+			c.met.errors.Inc()
+		}
 		if c.trackTimed {
 			c.timed = append(c.timed, stats.TimedSample{At: s.Offset, Err: true})
 		}
 		return
 	}
 	c.count++
+	if c.met != nil {
+		c.met.completed.Inc()
+		c.met.sojourn.Observe(s.Sojourn)
+	}
 	if c.trackTimed {
 		c.timed = append(c.timed, stats.TimedSample{At: s.Offset, Sojourn: s.Sojourn})
 	}

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"tailbench/internal/load"
+	"tailbench/internal/metrics"
+	"tailbench/internal/trace"
 )
 
 // ConfigKind selects one of the harness configurations from Fig. 1.
@@ -100,6 +102,14 @@ type RunConfig struct {
 	// Timeout bounds the whole run. Zero means a generous default derived
 	// from the request count and offered load.
 	Timeout time.Duration
+	// Trace, when non-nil, records a span tree per measured request and
+	// retains the slowest per window (see internal/trace). Nil — the default
+	// — keeps the hot path allocation-free.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live counters/gauges/histograms as the
+	// run progresses (completions, errors, sojourn latencies). Reported
+	// results are identical with or without it.
+	Metrics *metrics.Registry
 }
 
 // Errors returned by run configuration validation.

@@ -31,6 +31,11 @@ func RunNetworked(addr string, appName string, newClient ClientFactory, cfg RunC
 	}
 
 	collector := newRunCollector(cfg)
+	if kind == Networked {
+		// Sojourns include the synthetic RTT; tell the tracer so the trace's
+		// net spans carve it out of the queueing residual.
+		collector.SetTrace(cfg.Trace, 2*cfg.NetworkDelay)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Clients)
 

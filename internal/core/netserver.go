@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tailbench/internal/app"
+	"tailbench/internal/metrics"
 	"tailbench/internal/netproto"
 )
 
@@ -37,6 +38,42 @@ type NetServer struct {
 
 	acceptors sync.WaitGroup
 	workers   sync.WaitGroup
+
+	// met carries the server's live instruments when SetMetrics installed a
+	// registry; nil keeps the serving path untouched.
+	met *serverMetrics
+}
+
+// serverMetrics holds the instrument handles a NetServer updates; resolved
+// once in SetMetrics so the per-request cost is a few atomic operations.
+type serverMetrics struct {
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	depth    *metrics.Gauge
+	queue    *metrics.Histogram
+	service  *metrics.Histogram
+}
+
+// SetMetrics instruments the server against a shared registry under the
+// given name prefix (e.g. "server" yields server_requests, server_errors,
+// server_depth, server_queue, server_service). Call before Start; passing a
+// nil registry leaves the server uninstrumented. Serving the registry over
+// HTTP is the caller's concern (see metrics.Serve) — the framed-TCP listener
+// stays protocol-pure.
+func (s *NetServer) SetMetrics(reg *metrics.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	if prefix == "" {
+		prefix = "server"
+	}
+	s.met = &serverMetrics{
+		requests: reg.Counter(prefix + "_requests"),
+		errors:   reg.Counter(prefix + "_errors"),
+		depth:    reg.Gauge(prefix + "_depth"),
+		queue:    reg.Histogram(prefix + "_queue"),
+		service:  reg.Histogram(prefix + "_service"),
+	}
 }
 
 // netPending is one request waiting in the server-side queue.
@@ -164,6 +201,15 @@ func (s *NetServer) worker() {
 		depth := s.outstanding.Add(-1)
 		if depth < 0 {
 			depth = 0
+		}
+		if s.met != nil {
+			s.met.requests.Inc()
+			if err != nil {
+				s.met.errors.Inc()
+			}
+			s.met.depth.Set(depth)
+			s.met.queue.Observe(start.Sub(p.enqueue))
+			s.met.service.Observe(end.Sub(start))
 		}
 		msg := &netproto.Message{
 			ID:        p.id,

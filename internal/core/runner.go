@@ -58,6 +58,7 @@ func SingleRun(kind ConfigKind, server app.Server, newClient ClientFactory, cfg 
 		return res, nil
 	case Loopback, Networked:
 		ns := NewNetServer(server, cfg.withDefaults().Threads)
+		ns.SetMetrics(cfg.Metrics, "server")
 		addr, err := ns.Start("127.0.0.1:0")
 		if err != nil {
 			return nil, err

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: counters and gauges verbatim, histograms as _count/_sum plus
+// p50/p95/p99 gauges derived from the cumulative epoch. Names are sanitized
+// to the Prometheus charset; output order is deterministic (sorted).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.visit(
+		func(name string, c *Counter) {
+			n := promName(name)
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value())
+		},
+		func(name string, g *Gauge) {
+			n := promName(name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value())
+		},
+		func(name string, h *Histogram) {
+			n := promName(name)
+			t := h.Total()
+			fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n", n, n, t.Count)
+			fmt.Fprintf(w, "# TYPE %s_sum_seconds counter\n%s_sum_seconds %g\n", n, n, t.Sum.Seconds())
+			for _, q := range []struct {
+				label string
+				v     time.Duration
+			}{{"p50", t.P50}, {"p95", t.P95}, {"p99", t.P99}, {"max", t.Max}} {
+				fmt.Fprintf(w, "# TYPE %s_%s_seconds gauge\n%s_%s_seconds %g\n", n, q.label, n, q.label, q.v.Seconds())
+			}
+		},
+	)
+}
+
+// promName maps an instrument name into the Prometheus metric charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9' && i > 0:
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// histJSON is a histogram's expvar-style rendering.
+type histJSON struct {
+	Count uint64 `json:"count"`
+	SumNs int64  `json:"sum_ns"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object (maps keyed
+// by instrument name; json.Marshal sorts keys, so output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := struct {
+		Counters   map[string]uint64   `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]histJSON{},
+	}
+	r.visit(
+		func(name string, c *Counter) { out.Counters[name] = c.Value() },
+		func(name string, g *Gauge) { out.Gauges[name] = g.Value() },
+		func(name string, h *Histogram) {
+			t := h.Total()
+			out.Histograms[name] = histJSON{
+				Count: t.Count, SumNs: int64(t.Sum),
+				P50Ns: int64(t.P50), P95Ns: int64(t.P95), P99Ns: int64(t.P99), MaxNs: int64(t.Max),
+			}
+		},
+	)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the registry over HTTP: /metrics in Prometheus text format
+// and /debug/vars (plus /metrics.json) in expvar-style JSON.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	serveJSON := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	}
+	mux.HandleFunc("/debug/vars", serveJSON)
+	mux.HandleFunc("/metrics.json", serveJSON)
+	return mux
+}
+
+// Server is a running metrics HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve exposes the registry on the given address (":0" picks a free port)
+// and returns the running server; scraping runs concurrently with the
+// harness until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,302 @@
+// Package metrics is the suite's live metrics surface: a small registry of
+// named counters, gauges, and windowed latency histograms that harness
+// engines update as a run progresses. It exists for *liveness* — per-window
+// progress lines in the CLIs and a Prometheus-text//expvar HTTP endpoint —
+// not for the final statistics, which stay with the collector so reported
+// results are unchanged whether metrics are on or off.
+//
+// Instruments are cheap (atomic counters/gauges, a mutex-guarded fixed
+// bucket array per histogram) and engines hold handles resolved once at
+// setup, so the per-request cost is a few atomic adds.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (in-flight requests, provisioned
+// replicas).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two latency buckets: bucket i counts
+// observations with bits.Len64(ns) == i, covering 1ns to ~9.2s and beyond.
+const histBuckets = 64
+
+// histEpoch is one accumulation epoch of a histogram.
+type histEpoch struct {
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets [histBuckets]uint64
+}
+
+func (e *histEpoch) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.count++
+	e.sum += d
+	if d > e.max {
+		e.max = d
+	}
+	e.buckets[bits.Len64(uint64(d))]++
+}
+
+// quantile estimates a quantile from the epoch's buckets: linear
+// interpolation inside the holding power-of-two bucket, which is plenty for
+// progress lines and endpoint scrapes.
+func (e *histEpoch) quantile(q float64) time.Duration {
+	if e.count == 0 {
+		return 0
+	}
+	rank := q * float64(e.count)
+	var seen float64
+	for i, n := range e.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+		}
+		hi := int64(1) << i
+		if seen+float64(n) >= rank {
+			frac := (rank - seen) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		seen += float64(n)
+	}
+	return e.max
+}
+
+// HistSnapshot is a frozen epoch view.
+type HistSnapshot struct {
+	Count uint64
+	Sum   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+func (e *histEpoch) snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: e.count,
+		Sum:   e.sum,
+		Max:   e.max,
+		P50:   e.quantile(0.50),
+		P95:   e.quantile(0.95),
+		P99:   e.quantile(0.99),
+	}
+}
+
+// Histogram is a windowed latency histogram: observations land in both a
+// cumulative epoch (served to scrapes) and the current window epoch, which
+// Rotate freezes and resets — the progress reporter rotates once per line so
+// each line shows that window's latencies, not the run-to-date blend.
+type Histogram struct {
+	mu    sync.Mutex
+	total histEpoch
+	win   histEpoch
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.total.observe(d)
+	h.win.observe(d)
+	h.mu.Unlock()
+}
+
+// Rotate freezes and resets the current window epoch, returning its
+// snapshot.
+func (h *Histogram) Rotate() HistSnapshot {
+	h.mu.Lock()
+	snap := h.win.snapshot()
+	h.win = histEpoch{}
+	h.mu.Unlock()
+	return snap
+}
+
+// Total snapshots the cumulative epoch.
+func (h *Histogram) Total() HistSnapshot {
+	h.mu.Lock()
+	snap := h.total.snapshot()
+	h.mu.Unlock()
+	return snap
+}
+
+// Registry is a namespace of instruments. Lookups get-or-create, so
+// independent subsystems (a cluster engine, its net servers, a CLI progress
+// reporter) can share one registry by name without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// visit walks the instruments in sorted name order (renderers depend on the
+// determinism).
+func (r *Registry) visit(counter func(string, *Counter), gauge func(string, *Gauge), hist func(string, *Histogram)) {
+	r.mu.Lock()
+	cn := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cn = append(cn, n)
+	}
+	gn := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		gn = append(gn, n)
+	}
+	hn := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hn = append(hn, n)
+	}
+	cs, gs, hs := r.counters, r.gauges, r.hists
+	r.mu.Unlock()
+	sort.Strings(cn)
+	sort.Strings(gn)
+	sort.Strings(hn)
+	for _, n := range cn {
+		counter(n, cs[n])
+	}
+	for _, n := range gn {
+		gauge(n, gs[n])
+	}
+	for _, n := range hn {
+		hist(n, hs[n])
+	}
+}
+
+// StartProgress launches a reporter printing one line per interval
+// summarizing every instrument: counters with their per-interval delta and
+// rate, gauges with their level, histograms with the interval window's
+// p50/p99 (rotating the window each line). print receives finished lines;
+// the returned stop function prints a final line for the tail interval and
+// shuts the reporter down.
+func StartProgress(r *Registry, interval time.Duration, print func(string)) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	prev := make(map[string]uint64)
+	start := time.Now()
+	line := func() {
+		elapsed := time.Since(start).Round(100 * time.Millisecond)
+		var b strings.Builder
+		fmt.Fprintf(&b, "[%7s]", elapsed)
+		r.visit(
+			func(name string, c *Counter) {
+				v := c.Value()
+				d := v - prev[name]
+				prev[name] = v
+				fmt.Fprintf(&b, " %s=%d (+%d %.1f/s)", name, v, d, float64(d)/interval.Seconds())
+			},
+			func(name string, g *Gauge) {
+				fmt.Fprintf(&b, " %s=%d", name, g.Value())
+			},
+			func(name string, h *Histogram) {
+				w := h.Rotate()
+				if w.Count == 0 {
+					fmt.Fprintf(&b, " %s{-}", name)
+					return
+				}
+				fmt.Fprintf(&b, " %s{p50=%v p99=%v}", name,
+					w.P50.Round(time.Microsecond), w.P99.Round(time.Microsecond))
+			},
+		)
+		print(b.String())
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				line()
+			case <-done:
+				line()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

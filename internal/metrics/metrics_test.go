@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("completed")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("completed") != c {
+		t.Fatal("counter lookup is not get-or-create")
+	}
+	g := r.Gauge("inflight")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	h := r.Histogram("sojourn")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	tot := h.Total()
+	if tot.Count != 100 || tot.Max != 100*time.Millisecond {
+		t.Fatalf("histogram total = %+v", tot)
+	}
+	if tot.P99 < 50*time.Millisecond || tot.P99 > 135*time.Millisecond {
+		t.Fatalf("p99 = %v, want within the top power-of-two bucket", tot.P99)
+	}
+	win := h.Rotate()
+	if win.Count != 100 {
+		t.Fatalf("window count = %d, want 100", win.Count)
+	}
+	if again := h.Rotate(); again.Count != 0 {
+		t.Fatalf("rotated window not reset: %+v", again)
+	}
+	if h.Total().Count != 100 {
+		t.Fatal("rotation must not touch the cumulative epoch")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := New().Histogram("x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Total().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("server_requests").Add(42)
+	r.Gauge("server_depth").Set(3)
+	r.Histogram("server_service").Observe(2 * time.Millisecond)
+
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE server_requests counter", "server_requests 42",
+		"server_depth 3", "server_service_count 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, prom)
+		}
+	}
+
+	var vars struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if vars.Counters["server_requests"] != 42 || vars.Gauges["server_depth"] != 3 {
+		t.Fatalf("expvar values wrong: %+v", vars)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("z").Set(9)
+	var x, y bytes.Buffer
+	if err := r.WriteJSON(&x); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&y); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != y.String() {
+		t.Fatal("JSON rendering is not deterministic")
+	}
+}
+
+func TestStartProgress(t *testing.T) {
+	r := New()
+	r.Counter("completed").Add(10)
+	r.Histogram("sojourn").Observe(time.Millisecond)
+	var mu sync.Mutex
+	var lines []string
+	stop := StartProgress(r, 20*time.Millisecond, func(s string) {
+		mu.Lock()
+		lines = append(lines, s)
+		mu.Unlock()
+	})
+	time.Sleep(50 * time.Millisecond)
+	stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no progress lines emitted")
+	}
+	if !strings.Contains(lines[0], "completed=10") {
+		t.Fatalf("line missing counter: %q", lines[0])
+	}
+}

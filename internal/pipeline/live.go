@@ -12,6 +12,7 @@ import (
 	"tailbench/internal/core"
 	"tailbench/internal/load"
 	"tailbench/internal/stats"
+	"tailbench/internal/trace"
 	"tailbench/internal/workload"
 )
 
@@ -24,6 +25,9 @@ type liveRoot struct {
 	err     atomic.Bool
 	done    atomic.Int64
 	tierMax []atomic.Int64
+	// tree is the root's span tree when tracing is on (measured roots only).
+	// Workers and reader goroutines append under the tree's own mutex.
+	tree *trace.Tree
 }
 
 // liveNode is one sub-request in a root's fan-out tree on the live path.
@@ -43,6 +47,10 @@ type liveNode struct {
 	// run executes on does not, since the loopback wire time underneath a
 	// networked edge is already real.
 	synth time.Duration
+	// span is the node's request span in the root's trace tree; written at
+	// original dispatch (before any copy can complete) and read by
+	// completion handlers.
+	span int32
 	// settled flips when the first copy completes; the loser only updates
 	// capacity accounting.
 	settled atomic.Bool
@@ -228,6 +236,9 @@ func Run(cfg Config) (*Result, error) {
 	for i := 0; i < total; i++ {
 		core.WaitUntil(eng.start.Add(arrivals[i]))
 		root := &liveRoot{at: arrivals[i], warmup: i < cfg.WarmupRequests, tierMax: make([]atomic.Int64, len(cfg.Tiers))}
+		if cfg.Trace != nil && !root.warmup {
+			root.tree = trace.NewTree(arrivals[i])
+		}
 		roots[i] = root
 		node := &liveNode{tier: 0, root: root, dispatchAt: arrivals[i], synth: eng.tiers[0].rttExtra}
 		eng.tiers[0].dispatch(node, eng.tiers[0].nextPayload(), false)
@@ -318,11 +329,15 @@ func newLiveTier(eng *liveEngine, idx int, tc TierConfig, payloadCount int, cfg 
 			return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, err)
 		}
 	}
+	if len(tc.ThreadsPer) != 0 && len(tc.ThreadsPer) != len(tc.Servers) {
+		return nil, fmt.Errorf("pipeline: tier %d (%s): %w", idx, tc.Name, cluster.ErrThreadsPerLen)
+	}
 	if load.WindowEnabled(cfg.Window, cfg.Load) {
 		t.collector = core.NewWindowedCollector(false)
 	} else {
 		t.collector = core.NewCollector(false)
 	}
+	t.collector.SetMetrics(cfg.Metrics, fmt.Sprintf("tier%d", idx))
 	t.client, err = tc.NewClient(workload.SplitSeed(seed, 1))
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: tier %d (%s): creating client: %w", idx, tc.Name, err)
@@ -456,6 +471,20 @@ func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
 	}
 	rep.dispatched++
 	rep.outstanding.Add(1)
+	if tree := n.root.tree; tree != nil && !hedge {
+		// The node's request span lives on the adjusted time axis: its start
+		// is the parent's synthetic-delay-adjusted completion, and a networked
+		// edge charges its RTT as a net span at the front.
+		parent := int32(0)
+		if n.parent != nil {
+			parent = n.parent.span
+		}
+		start := n.dispatchAt + n.synth - t.rttExtra
+		n.span = tree.Request(parent, t.idx, start)
+		if t.rttExtra > 0 {
+			tree.Net(n.span, start, t.rttExtra)
+		}
+	}
 	if !hedge && t.cfg.HedgeDelay > 0 && t.idx > 0 {
 		n.timer = time.AfterFunc(t.cfg.HedgeDelay, func() {
 			if n.settled.Load() {
@@ -472,6 +501,9 @@ func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
 		rep.outstanding.Add(-1)
 		if n.settled.CompareAndSwap(false, true) {
 			n.root.err.Store(true)
+			if tree := n.root.tree; tree != nil {
+				tree.Settle(n.span, -1, true)
+			}
 			t.eng.settle(n, now, now+n.synth)
 		}
 	}
@@ -525,17 +557,34 @@ func (t *liveTier) complete(rep *liveReplica, p livePending, queue, service time
 		t.tickBuf = append(t.tickBuf, liveCompletion{finish: endOff, sojourn: sample.Sojourn})
 		t.tickMu.Unlock()
 	}
+	tree := n.root.tree
 	if !n.settled.CompareAndSwap(false, true) {
-		return // the other copy already won the race
+		// The other copy already won the race; the loser's capacity spend is
+		// still real, so its attempt joins the tree late (the one late
+		// addition trees accept).
+		if tree != nil {
+			tree.Attempt(n.span, rep.member.ID, p.enqueue.Sub(t.eng.start)+n.synth,
+				queue, service, endOff+n.synth, true, p.hedge, false, failed)
+		}
+		return
 	}
 	if p.hedge {
 		t.hedgeWins.Add(1)
 	}
-	if n.timer != nil {
-		n.timer.Stop()
+	// Whether this node was actually hedged: the winning copy is the
+	// duplicate, or the hedge timer fired before it could be stopped (the
+	// duplicate is in flight and will report as the loser).
+	dupDispatched := p.hedge
+	if n.timer != nil && !n.timer.Stop() {
+		dupDispatched = true
 	}
 	if failed {
 		n.root.err.Store(true)
+	}
+	if tree != nil {
+		tree.Attempt(n.span, rep.member.ID, p.enqueue.Sub(t.eng.start)+n.synth,
+			queue, service, endOff+n.synth, dupDispatched, p.hedge, true, failed)
+		tree.Settle(n.span, rep.member.ID, failed)
 	}
 	t.collector.Record(sample)
 	if !n.root.warmup {
@@ -567,9 +616,16 @@ func (e *liveEngine) settle(n *liveNode, done, adj time.Duration) {
 // when its last straggler does.
 func (e *liveEngine) resolve(n *liveNode, done time.Duration) {
 	for {
+		if tree := n.root.tree; tree != nil {
+			tree.Close(n.span, done)
+		}
 		p := n.parent
 		if p == nil {
 			n.root.done.Store(int64(done))
+			if tree := n.root.tree; tree != nil {
+				tree.Close(0, done)
+				e.cfg.Trace.Observe(tree, done-n.root.at)
+			}
 			if e.remaining.Add(-1) == 0 {
 				close(e.allDone)
 			}
@@ -665,6 +721,7 @@ func assembleLive(cfg Config, eng *liveEngine, roots []*liveRoot, arrivals []tim
 				tr.Windows[w].OfferedQPS *= float64(mult[i])
 			}
 		}
+		tr.ThreadsPer = append([]int(nil), t.cfg.ThreadsPer...)
 		for _, rep := range t.replicas {
 			rs := rep.collector.Summary()
 			repAchieved := 0.0
@@ -673,6 +730,7 @@ func assembleLive(cfg Config, eng *liveEngine, roots []*liveRoot, arrivals []tim
 			}
 			tr.PerReplica = append(tr.PerReplica, cluster.NewReplicaRow(rep.member, end, cluster.ReplicaStats{
 				Index:          rep.member.ID,
+				Threads:        t.cfg.threadsFor(rep.member.Slot),
 				Slowdown:       rep.slowdown,
 				Dispatched:     rep.dispatched,
 				Requests:       rs.Count,
@@ -688,6 +746,7 @@ func assembleLive(cfg Config, eng *liveEngine, roots []*liveRoot, arrivals []tim
 		annotateTier(&tr, t.loop, t.set, end)
 		out.Tiers = append(out.Tiers, tr)
 	}
+	out.Trace = cfg.Trace.Report()
 	return out
 }
 

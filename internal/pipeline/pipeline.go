@@ -28,6 +28,8 @@ import (
 	"tailbench/internal/cluster"
 	"tailbench/internal/core"
 	"tailbench/internal/load"
+	"tailbench/internal/metrics"
+	"tailbench/internal/trace"
 	"tailbench/internal/workload"
 )
 
@@ -45,6 +47,11 @@ type TierConfig struct {
 	Policy string
 	// Threads is the number of worker threads per replica (default 1).
 	Threads int
+	// ThreadsPer optionally assigns each live pool slot its own worker
+	// thread count (heterogeneous tiers); empty means every replica runs
+	// Threads workers, otherwise its length must equal len(Servers). The
+	// simulated path expresses the same via SimReplica.Threads.
+	ThreadsPer []int
 	// Replicas is the tier's initial active replica count; zero means the
 	// whole pool.
 	Replicas int
@@ -119,6 +126,14 @@ type Config struct {
 	KeepRaw bool
 	// Timeout bounds a live run (default derived from the arrival horizon).
 	Timeout time.Duration
+	// Trace, when non-nil, records a span tree per measured root — the full
+	// fan-out/fan-in/hedge structure — and retains the slowest per window
+	// (see internal/trace). Nil keeps the dispatch paths allocation-free.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live per-tier counters and histograms
+	// as the run progresses (live path only); results are identical with or
+	// without it.
+	Metrics *metrics.Registry
 }
 
 // Errors returned by pipeline configuration validation.
@@ -183,6 +198,16 @@ func (c Config) withDefaults() (Config, error) {
 		}
 	}
 	return c, nil
+}
+
+// threadsFor returns the worker thread count for live pool slot idx: the
+// slot's ThreadsPer entry when configured and positive, else the homogeneous
+// Threads.
+func (t TierConfig) threadsFor(idx int) int {
+	if idx < len(t.ThreadsPer) && t.ThreadsPer[idx] > 0 {
+		return t.ThreadsPer[idx]
+	}
+	return t.Threads
 }
 
 // tierSeed derives the seed stream for tier t. Tier 0 uses the run seed

@@ -6,6 +6,7 @@ import (
 
 	"tailbench/internal/cluster"
 	"tailbench/internal/stats"
+	"tailbench/internal/trace"
 )
 
 // TierResult is the per-tier breakdown of a pipeline run: the tier's own
@@ -19,6 +20,9 @@ type TierResult struct {
 	Policy   string
 	Replicas int
 	Threads  int
+	// ThreadsPer is the per-slot worker thread assignment of a heterogeneous
+	// live tier; empty when every replica runs Threads workers.
+	ThreadsPer []int `json:",omitempty"`
 	// FanOut is the inbound edge's fan-out degree (1 for tier 0).
 	FanOut int
 	// Transport names the edge's transport on the live path ("inprocess",
@@ -102,6 +106,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Tiers is the per-tier breakdown, front-end first.
 	Tiers []TierResult
+	// Trace is the tail-attribution report when tracing was enabled: windowed
+	// latency decomposition (queueing / service / network / straggler / hedge)
+	// and the slowest retained span trees.
+	Trace *trace.Report `json:",omitempty"`
 }
 
 // label renders the topology label from the tier chain.

@@ -9,6 +9,7 @@ import (
 	"tailbench/internal/core"
 	"tailbench/internal/load"
 	"tailbench/internal/stats"
+	"tailbench/internal/trace"
 	"tailbench/internal/workload"
 )
 
@@ -20,6 +21,8 @@ type simRoot struct {
 	warmup  bool
 	done    time.Duration
 	tierMax []time.Duration
+	// tree is the root's span tree when tracing is on (measured roots only).
+	tree *trace.Tree
 }
 
 // simNode is one sub-request in a root's fan-out tree.
@@ -32,6 +35,8 @@ type simNode struct {
 	dispatchAt time.Duration
 	// firstDisp holds the original copy's outcome while a hedge is pending.
 	firstDisp cluster.SimDispatch
+	// span is the node's request span in the root's trace tree.
+	span int32
 	// pending counts unresolved children; maxChildDone tracks their latest
 	// completion (the fan-in straggler).
 	pending      int
@@ -123,6 +128,9 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 	for i := 0; i < total; i++ {
 		roots[i] = &simRoot{at: arrivals[i], warmup: i < cfg.WarmupRequests, tierMax: make([]time.Duration, len(tiers))}
+		if cfg.Trace != nil && !roots[i].warmup {
+			roots[i].tree = trace.NewTree(arrivals[i])
+		}
 		push(arrivals[i], &simNode{tier: 0, root: roots[i]}, false)
 	}
 
@@ -133,6 +141,9 @@ func Simulate(cfg Config) (*Result, error) {
 	settle = func(n *simNode, eff time.Duration, win cluster.SimDispatch) {
 		st := tiers[n.tier]
 		sojourn := eff - n.dispatchAt
+		if n.root.tree != nil {
+			n.root.tree.Settle(n.span, win.Replica, false)
+		}
 		if !n.root.warmup {
 			st.queueS = append(st.queueS, win.Queue)
 			st.serviceS = append(st.serviceS, win.Service)
@@ -154,9 +165,16 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 	resolve = func(n *simNode, done time.Duration) {
 		for {
+			if n.root.tree != nil {
+				n.root.tree.Close(n.span, done)
+			}
 			p := n.parent
 			if p == nil {
 				n.root.done = done
+				if n.root.tree != nil {
+					n.root.tree.Close(0, done)
+					cfg.Trace.Observe(n.root.tree, done-n.root.at)
+				}
 				return
 			}
 			if done > p.maxChildDone {
@@ -175,23 +193,40 @@ func Simulate(cfg Config) (*Result, error) {
 		st := tiers[ev.node.tier]
 		st.eng.RunTicks(ev.at)
 		d := st.eng.Dispatch(ev.at, !ev.node.root.warmup)
+		tree := ev.node.root.tree
 		if ev.hedge {
 			st.hedgesIssued++
 			eff, win := ev.node.firstDisp.Finish, ev.node.firstDisp
-			if d.Finish < eff {
+			dupWon := d.Finish < eff
+			if dupWon {
 				eff, win = d.Finish, d
 				st.hedgeWins++
+			}
+			if tree != nil {
+				orig := ev.node.firstDisp
+				tree.Attempt(ev.node.span, orig.Replica, ev.node.dispatchAt, orig.Queue, orig.Service, orig.Finish, true, false, !dupWon, false)
+				tree.Attempt(ev.node.span, d.Replica, ev.at, d.Queue, d.Service, d.Finish, true, true, dupWon, false)
 			}
 			settle(ev.node, eff, win)
 			continue
 		}
 		ev.node.dispatchAt = ev.at
+		if tree != nil {
+			parent := int32(0)
+			if ev.node.parent != nil {
+				parent = ev.node.parent.span
+			}
+			ev.node.span = tree.Request(parent, ev.node.tier, ev.at)
+		}
 		if hd := st.cfg.HedgeDelay; hd > 0 && d.Finish > ev.at+hd {
 			// The original will still be in flight when the budget expires:
 			// schedule the duplicate, defer settling until it resolves.
 			ev.node.firstDisp = d
 			push(ev.at+hd, ev.node, true)
 			continue
+		}
+		if tree != nil {
+			tree.Attempt(ev.node.span, d.Replica, ev.at, d.Queue, d.Service, d.Finish, false, false, true, false)
 		}
 		settle(ev.node, d.Finish, d)
 	}
@@ -271,6 +306,19 @@ func Simulate(cfg Config) (*Result, error) {
 			Critical:     criticalSummary(roots, i),
 			PerReplica:   st.eng.Rows(end, elapsed),
 		}
+		for _, sr := range st.cfg.SimReplicas {
+			if sr.Threads > 0 {
+				// Heterogeneous tier: echo the effective per-slot assignment.
+				tr.ThreadsPer = make([]int, len(st.cfg.SimReplicas))
+				for j, r := range st.cfg.SimReplicas {
+					tr.ThreadsPer[j] = st.cfg.Threads
+					if r.Threads > 0 {
+						tr.ThreadsPer[j] = r.Threads
+					}
+				}
+				break
+			}
+		}
 		if windowed {
 			tr.Windows = core.WindowsFromTimed(st.timed, cfg.Window, shape)
 			for w := range tr.Windows {
@@ -280,6 +328,7 @@ func Simulate(cfg Config) (*Result, error) {
 		annotateTier(&tr, st.eng.Loop(), st.eng.Set(), end)
 		out.Tiers = append(out.Tiers, tr)
 	}
+	out.Trace = cfg.Trace.Report()
 	return out, nil
 }
 

@@ -70,7 +70,7 @@ func (e *inProcessEdge) name() string { return cluster.TransportInProcess }
 
 func (e *inProcessEdge) provision(rep *liveReplica) {
 	rep.queue = make(chan livePending, e.tier.cfg.QueueCap)
-	for w := 0; w < e.tier.cfg.Threads; w++ {
+	for w := 0; w < e.tier.cfg.threadsFor(rep.member.Slot); w++ {
 		e.tier.workers.Add(1)
 		go e.tier.work(rep)
 	}
@@ -114,7 +114,7 @@ func (e *inProcessEdge) shutdown(time.Duration) {
 type netEdge struct {
 	tier    *liveTier
 	delay   time.Duration // one-way; zero for loopback
-	conns   int
+	conns   []int         // connections per replica pool, per slot
 	servers []*core.NetServer
 	addrs   []string
 
@@ -125,14 +125,19 @@ type netEdge struct {
 // harness's shared StartNetFleet, so slowed slots and failure cleanup
 // behave identically) and returns the edge transport.
 func newNetEdge(t *liveTier, delay time.Duration) (*netEdge, error) {
-	servers, addrs, err := cluster.StartNetFleet(t.cfg.Servers, t.cfg.Threads, t.slowdownFor)
+	servers, addrs, err := cluster.StartNetFleet(t.cfg.Servers, t.cfg.threadsFor, t.slowdownFor,
+		t.eng.cfg.Metrics, fmt.Sprintf("tier%d_replica", t.idx))
 	if err != nil {
 		return nil, err
+	}
+	conns := make([]int, len(t.cfg.Servers))
+	for slot := range conns {
+		conns[slot] = cluster.ConnsPerReplica(t.cfg.threadsFor(slot))
 	}
 	return &netEdge{
 		tier:    t,
 		delay:   delay,
-		conns:   cluster.ConnsPerReplica(t.cfg.Threads),
+		conns:   conns,
 		servers: servers,
 		addrs:   addrs,
 	}, nil
@@ -147,7 +152,7 @@ func (e *netEdge) name() string {
 
 func (e *netEdge) provision(rep *liveReplica) {
 	rep.pending = make(map[uint64]livePending)
-	pool, err := core.DialReplica(e.addrs[rep.member.Slot], e.conns, func(msg *netproto.Message, at time.Time) {
+	pool, err := core.DialReplica(e.addrs[rep.member.Slot], e.conns[rep.member.Slot], func(msg *netproto.Message, at time.Time) {
 		e.complete(rep, msg, at)
 	})
 	if err != nil {

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Components is a root sojourn decomposed into the causes the paper's
+// methodology separates. The decomposition is exact by construction:
+// Queue+Service+Net+Hedge+Straggler equals the root sojourn (up to float
+// rounding), so a reported p99 reconciles against its attribution.
+type Components struct {
+	// Queue is time spent waiting to be served along the critical path:
+	// queue wait proper plus dispatcher/balancer lag (the open-loop
+	// methodology charges that lag as latency, and so does the attribution).
+	Queue time.Duration
+	// Service is worker processing time along the critical path.
+	Service time.Duration
+	// Net is synthetic network RTT charged by networked transports.
+	Net time.Duration
+	// Hedge is latency added waiting for a hedge that ended up winning (the
+	// hedge delay of winning duplicates along the critical path).
+	Hedge time.Duration
+	// Straggler is the max-of-k fan-in penalty: at each fan-out, the excess
+	// of the slowest child over the median sibling. This is the component a
+	// single-server decomposition cannot see.
+	Straggler time.Duration
+}
+
+// Total sums the components; by construction it equals the root sojourn.
+func (c Components) Total() time.Duration {
+	return c.Queue + c.Service + c.Net + c.Hedge + c.Straggler
+}
+
+// fcomp is the float-nanosecond working form: pro-rating the critical child
+// at fan-ins needs fractional scaling, and keeping the arithmetic in floats
+// until the end is what makes the sum reconcile exactly.
+type fcomp struct {
+	queue, service, net, hedge, straggler float64
+}
+
+func (f fcomp) scaled(s float64) fcomp {
+	return fcomp{f.queue * s, f.service * s, f.net * s, f.hedge * s, f.straggler * s}
+}
+
+func (f fcomp) plus(o fcomp) fcomp {
+	return fcomp{f.queue + o.queue, f.service + o.service, f.net + o.net, f.hedge + o.hedge, f.straggler + o.straggler}
+}
+
+func (f fcomp) components() Components {
+	return Components{
+		Queue:     time.Duration(f.queue),
+		Service:   time.Duration(f.service),
+		Net:       time.Duration(f.net),
+		Hedge:     time.Duration(f.hedge),
+		Straggler: time.Duration(f.straggler),
+	}
+}
+
+// Attribute decomposes a span tree's root sojourn along its critical path.
+//
+// At each node, the tier-local interval (dispatch to settle) splits into net
+// RTT, hedge wait (for winning duplicates), service, and queue — queue is the
+// residual, so dispatcher lag lands there and the tier-local pieces sum
+// exactly. At each fan-out, the fan-in wait is the slowest child's subtree
+// duration s_max; the straggler component is s_max minus the median sibling
+// duration (what the fan-in would have cost anyway had children been
+// balanced), and the critical child's own decomposition is pro-rated by
+// median/s_max so the total stays exact.
+func Attribute(spans []Span) Components {
+	if len(spans) == 0 {
+		return Components{}
+	}
+	kids := make(map[int32][]int, len(spans))
+	var root int
+	for i, sp := range spans {
+		if sp.Parent < 0 {
+			root = i
+			continue
+		}
+		kids[sp.Parent] = append(kids[sp.Parent], i)
+	}
+	c := attrFan(spans, kids, root, float64(spans[root].Start)).components()
+	// The float pieces telescope to the root duration, but truncating each
+	// component to integer nanoseconds separately can drop a few ns from the
+	// sum. Fold that residual into the largest component so the exact-sum
+	// contract (Total() == root sojourn) holds in the integer domain too.
+	if diff := (spans[root].End - spans[root].Start) - c.Total(); diff != 0 {
+		largest := &c.Queue
+		for _, p := range []*time.Duration{&c.Service, &c.Net, &c.Hedge, &c.Straggler} {
+			if *p > *largest {
+				largest = p
+			}
+		}
+		*largest += diff
+	}
+	return c
+}
+
+// attrFan attributes the fan-in of a span's request children (used for both
+// the root span and interior request spans); from is the instant the fan
+// opened.
+func attrFan(spans []Span, kids map[int32][]int, idx int, from float64) fcomp {
+	var reqs []int
+	for _, k := range kids[spans[idx].ID] {
+		if spans[k].Kind == KindRequest {
+			reqs = append(reqs, k)
+		}
+	}
+	if len(reqs) == 0 {
+		return fcomp{}
+	}
+	durs := make([]float64, len(reqs))
+	crit, max := reqs[0], -1.0
+	for i, k := range reqs {
+		durs[i] = float64(spans[k].End - spans[k].Start)
+		if durs[i] > max {
+			max, crit = durs[i], k
+		}
+	}
+	sort.Float64s(durs)
+	med := durs[len(durs)/2]
+	if len(durs)%2 == 0 {
+		med = (durs[len(durs)/2-1] + durs[len(durs)/2]) / 2
+	}
+	c := attrNode(spans, kids, crit)
+	if max > 0 && len(reqs) > 1 {
+		c = c.scaled(med / max)
+		c.straggler += max - med
+	}
+	// Dispatch skew: children open when the fan does, but charge any gap
+	// between the fan instant and the critical child's start as queueing so
+	// the fan's cost still sums to its wait.
+	c.queue += float64(spans[crit].Start) - from
+	return c
+}
+
+// attrNode decomposes one request span's subtree.
+func attrNode(spans []Span, kids map[int32][]int, idx int) fcomp {
+	sp := spans[idx]
+	var net, service, hedgeWait, settle float64
+	settle = float64(sp.End) // leaf: the request span closes at its settle
+	var reqs []int
+	winner := -1
+	hedged := false
+	for _, k := range kids[sp.ID] {
+		switch spans[k].Kind {
+		case KindRequest:
+			reqs = append(reqs, k)
+		case KindNet:
+			net += float64(spans[k].End - spans[k].Start)
+		case KindHedge:
+			hedged = true
+			if spans[k].Winner {
+				winner = k
+			}
+		case KindService:
+			service += float64(spans[k].End - spans[k].Start)
+		}
+	}
+	if len(reqs) > 0 {
+		// Fan-out node: the tier-local work settled when the children
+		// opened.
+		settle = float64(spans[reqs[0]].Start)
+	}
+	if hedged && winner >= 0 {
+		w := spans[winner]
+		for _, k := range kids[w.ID] {
+			if spans[k].Kind == KindService {
+				service += float64(spans[k].End - spans[k].Start)
+			}
+		}
+		if wait := float64(w.Start) - float64(sp.Start) - net; wait > 0 {
+			hedgeWait = wait
+		}
+	}
+	own := fcomp{net: net, service: service, hedge: hedgeWait}
+	// Queue is the residual of the tier-local interval, so the local pieces
+	// sum exactly to settle-dispatch even when server- and client-side
+	// clocks disagree slightly on the live path.
+	own.queue = settle - float64(sp.Start) - net - service - hedgeWait
+	if len(reqs) == 0 {
+		return own
+	}
+	return own.plus(attrFan(spans, kids, idx, settle))
+}
+
+// RequestTrace is one retained root in a report: its attribution plus the
+// full span tree in canonical order.
+type RequestTrace struct {
+	// At is the root's scheduled arrival offset; Sojourn its end-to-end
+	// latency.
+	At      time.Duration
+	Sojourn time.Duration
+	Err     bool `json:",omitempty"`
+	Attr    Components
+	Spans   []Span
+}
+
+// Window is one window's tail attribution: the mean decomposition of its
+// retained (K slowest) roots. With per-window request counts in the hundreds
+// and the default K, the retained set brackets the window's p99, so the mean
+// reads as "what the window's worst requests were made of".
+type Window struct {
+	Start    time.Duration
+	End      time.Duration
+	Retained int
+	Slowest  time.Duration
+	Attr     Components
+}
+
+// Report is the recorder's final output.
+type Report struct {
+	// TopK is the per-window reservoir size; Width the window width (0 when
+	// the whole run was one window).
+	TopK  int
+	Width time.Duration `json:",omitempty"`
+	// Roots counts observed measured roots (Errors the failed ones); only
+	// the slowest were retained.
+	Roots  uint64
+	Errors uint64 `json:",omitempty"`
+	// Attr is the mean decomposition of the run's K slowest roots.
+	Attr Components
+	// Windows is the per-window tail attribution, in time order.
+	Windows []Window `json:",omitempty"`
+	// Slowest holds the run's K slowest span trees, slowest first.
+	Slowest []RequestTrace
+}
+
+// Report freezes the recorder's reservoirs into attribution form.
+func (r *Recorder) Report() *Report {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{TopK: r.topK, Roots: r.roots, Errors: r.errs}
+	if r.width > 0 {
+		rep.Width = r.width
+	}
+	var sum fcomp
+	for _, e := range r.global.entries {
+		rt := RequestTrace{At: e.tree.At, Sojourn: e.sojourn, Err: e.tree.Err, Spans: e.tree.Spans()}
+		rt.Attr = Attribute(rt.Spans)
+		sum = sum.plus(fcomp{
+			float64(rt.Attr.Queue), float64(rt.Attr.Service), float64(rt.Attr.Net),
+			float64(rt.Attr.Hedge), float64(rt.Attr.Straggler),
+		})
+		rep.Slowest = append(rep.Slowest, rt)
+	}
+	if n := len(rep.Slowest); n > 0 {
+		rep.Attr = sum.scaled(1 / float64(n)).components()
+	}
+	idxs := make([]int, 0, len(r.windows))
+	for w := range r.windows {
+		idxs = append(idxs, w)
+	}
+	sort.Ints(idxs)
+	for _, wi := range idxs {
+		rv := r.windows[wi]
+		w := Window{Retained: len(rv.entries)}
+		if r.width > 0 {
+			w.Start = time.Duration(wi) * r.width
+			w.End = w.Start + r.width
+		}
+		var wsum fcomp
+		for _, e := range rv.entries {
+			if e.sojourn > w.Slowest {
+				w.Slowest = e.sojourn
+			}
+			a := Attribute(e.tree.Spans())
+			wsum = wsum.plus(fcomp{
+				float64(a.Queue), float64(a.Service), float64(a.Net),
+				float64(a.Hedge), float64(a.Straggler),
+			})
+		}
+		if w.Retained > 0 {
+			w.Attr = wsum.scaled(1 / float64(w.Retained)).components()
+		}
+		rep.Windows = append(rep.Windows, w)
+	}
+	return rep
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format (the
+// "JSON Array Format" both chrome://tracing and Perfetto load). Fields are
+// marshaled from a struct, never a map, so the output is byte-deterministic
+// for a given span set — the property the golden trace test pins.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name    string `json:"name,omitempty"`
+	Tier    int    `json:"tier,omitempty"`
+	Replica int    `json:"replica,omitempty"`
+	Dup     bool   `json:"dup,omitempty"`
+	Winner  bool   `json:"winner,omitempty"`
+	Err     bool   `json:"err,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders retained request traces as Chrome trace-event JSON.
+// Each request tree becomes one named thread (pid 0), spans become complete
+// ("X") events on the run's shared time axis, so a fan-out request's critical
+// path is visually inspectable in Perfetto. Output bytes are deterministic
+// for a given trace set.
+func WriteChrome(w io.Writer, traces []RequestTrace) error {
+	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for tid, rt := range traces {
+		label := fmt.Sprintf("req @%.3fms sojourn %.3fms", ms(rt.At), ms(rt.Sojourn))
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: &chromeArgs{Name: label},
+		})
+		for _, sp := range rt.Spans {
+			ev := chromeEvent{
+				Name: spanName(sp),
+				Cat:  sp.Kind.String(),
+				Ph:   "X",
+				Pid:  0,
+				Tid:  tid,
+				Ts:   us(sp.Start),
+				Dur:  us(sp.End - sp.Start),
+				Args: &chromeArgs{Tier: sp.Tier, Replica: sp.Replica, Dup: sp.Dup, Winner: sp.Winner, Err: sp.Err},
+			}
+			file.TraceEvents = append(file.TraceEvents, ev)
+		}
+	}
+	enc, err := json.Marshal(file)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+func spanName(sp Span) string {
+	switch sp.Kind {
+	case KindRoot:
+		return "root"
+	case KindRequest:
+		if sp.Replica >= 0 {
+			return fmt.Sprintf("request t%d r%d", sp.Tier, sp.Replica)
+		}
+		return fmt.Sprintf("request t%d", sp.Tier)
+	case KindHedge:
+		switch {
+		case sp.Dup && sp.Winner:
+			return "hedge dup (winner)"
+		case sp.Dup:
+			return "hedge dup (loser)"
+		case sp.Winner:
+			return "hedge orig (winner)"
+		default:
+			return "hedge orig (loser)"
+		}
+	default:
+		return sp.Kind.String()
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+func us(d time.Duration) float64 { return float64(d) / 1e3 }

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fanTree builds a two-tier tree: a front request settling after front, then
+// k children with the given subtree durations.
+func fanTree(at, front time.Duration, children []time.Duration) *Tree {
+	t := NewTree(at)
+	req := t.Request(0, 0, at)
+	settle := at + front
+	t.Attempt(req, 0, at, front/2, front/2, settle, false, false, true, false)
+	t.Settle(req, 0, false)
+	var max time.Duration
+	for i, d := range children {
+		c := t.Request(req, 1, settle)
+		t.Attempt(c, i, settle, d/3, d-d/3, settle+d, false, false, true, false)
+		t.Settle(c, i, false)
+		t.Close(c, settle+d)
+		if d > max {
+			max = d
+		}
+	}
+	t.Close(req, settle+max)
+	t.Close(0, settle+max)
+	return t
+}
+
+func TestAttributeSumsToSojourn(t *testing.T) {
+	children := []time.Duration{
+		2 * time.Millisecond, 3 * time.Millisecond, 2500 * time.Microsecond,
+		9 * time.Millisecond, 2200 * time.Microsecond,
+	}
+	tr := fanTree(10*time.Millisecond, 4*time.Millisecond, children)
+	sojourn := 4*time.Millisecond + 9*time.Millisecond
+	attr := Attribute(tr.Spans())
+	if got := attr.Total(); durDiff(got, sojourn) > time.Microsecond {
+		t.Fatalf("attribution total = %v, want root sojourn %v (attr %+v)", got, sojourn, attr)
+	}
+	// The slowest child (9ms vs median 2.5ms) should dominate as straggler.
+	if attr.Straggler < 6*time.Millisecond {
+		t.Fatalf("straggler component = %v, want > 6ms for a 9ms-vs-2.5ms fan", attr.Straggler)
+	}
+}
+
+func TestAttributeFlatRequest(t *testing.T) {
+	rec := NewRecorder(4, 0)
+	rec.ObserveRequest(time.Millisecond, 300*time.Microsecond, 700*time.Microsecond,
+		1500*time.Microsecond, 100*time.Microsecond, 0, 2, false)
+	rep := rec.Report()
+	if len(rep.Slowest) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(rep.Slowest))
+	}
+	a := rep.Slowest[0].Attr
+	if a.Net != 100*time.Microsecond || a.Service != 700*time.Microsecond {
+		t.Fatalf("attr = %+v, want net=100µs service=700µs", a)
+	}
+	// Queue is the residual: sojourn - service - net = 700µs (the measured
+	// 300µs queue plus 400µs dispatcher lag).
+	if a.Queue != 700*time.Microsecond {
+		t.Fatalf("queue residual = %v, want 700µs", a.Queue)
+	}
+	if a.Total() != 1500*time.Microsecond {
+		t.Fatalf("total = %v, want 1.5ms", a.Total())
+	}
+}
+
+func TestAttributeHedgeWinner(t *testing.T) {
+	tr := NewTree(0)
+	req := tr.Request(0, 0, 0)
+	// Original copy is slow (settles at 10ms); the duplicate dispatched at
+	// 2ms wins at 5ms.
+	tr.Attempt(req, 0, 0, 8*time.Millisecond, 2*time.Millisecond, 10*time.Millisecond, true, false, false, false)
+	tr.Attempt(req, 1, 2*time.Millisecond, time.Millisecond, 2*time.Millisecond, 5*time.Millisecond, true, true, true, false)
+	tr.Settle(req, 1, false)
+	tr.Close(req, 5*time.Millisecond)
+	tr.Close(0, 5*time.Millisecond)
+	a := Attribute(tr.Spans())
+	if a.Hedge != 2*time.Millisecond {
+		t.Fatalf("hedge component = %v, want the 2ms hedge delay", a.Hedge)
+	}
+	if a.Service != 2*time.Millisecond || a.Queue != time.Millisecond {
+		t.Fatalf("attr = %+v, want winner's service=2ms queue=1ms", a)
+	}
+	if a.Total() != 5*time.Millisecond {
+		t.Fatalf("total = %v, want 5ms", a.Total())
+	}
+}
+
+func TestRecorderReservoirBounded(t *testing.T) {
+	rec := NewRecorder(3, 10*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * time.Millisecond
+		rec.ObserveRequest(at, 0, time.Duration(i)*time.Microsecond,
+			time.Duration(i)*time.Microsecond, 0, 0, 0, false)
+	}
+	rep := rec.Report()
+	if rep.Roots != 100 {
+		t.Fatalf("roots = %d, want 100", rep.Roots)
+	}
+	if len(rep.Slowest) != 3 {
+		t.Fatalf("retained %d global traces, want 3", len(rep.Slowest))
+	}
+	for i := 1; i < len(rep.Slowest); i++ {
+		if rep.Slowest[i].Sojourn > rep.Slowest[i-1].Sojourn {
+			t.Fatalf("slowest not sorted: %v after %v", rep.Slowest[i].Sojourn, rep.Slowest[i-1].Sojourn)
+		}
+	}
+	if rep.Slowest[0].Sojourn != 99*time.Microsecond {
+		t.Fatalf("slowest = %v, want 99µs", rep.Slowest[0].Sojourn)
+	}
+	if len(rep.Windows) != 10 {
+		t.Fatalf("windows = %d, want 10", len(rep.Windows))
+	}
+	for _, w := range rep.Windows {
+		if w.Retained > 3 {
+			t.Fatalf("window retained %d > topK 3", w.Retained)
+		}
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var rec *Recorder
+	rec.ObserveRequest(0, 0, time.Millisecond, time.Millisecond, 0, 0, 0, false)
+	rec.Observe(NewTree(0), time.Millisecond)
+	if rep := rec.Report(); rep != nil {
+		t.Fatalf("nil recorder report = %+v, want nil", rep)
+	}
+	if rec.Width() != 0 {
+		t.Fatal("nil recorder width != 0")
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	build := func() []RequestTrace {
+		rec := NewRecorder(2, 0)
+		rec.Observe(fanTree(time.Millisecond, time.Millisecond,
+			[]time.Duration{time.Millisecond, 4 * time.Millisecond}), 5*time.Millisecond)
+		rec.ObserveRequest(2*time.Millisecond, 100*time.Microsecond, 900*time.Microsecond,
+			time.Millisecond, 0, 0, 1, false)
+		return rec.Report().Slowest
+	}
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome trace output is not byte-deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"cat":"service"`, `"request t1 r1"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func durDiff(a, b time.Duration) time.Duration {
+	return time.Duration(math.Abs(float64(a - b)))
+}

@@ -1,0 +1,37 @@
+package tailbench
+
+import (
+	"time"
+
+	"tailbench/internal/metrics"
+)
+
+// MetricsRegistry is a live metrics surface: a set of named atomic counters,
+// gauges, and latency histograms the harness updates as a run progresses.
+// Attach one to a RunSpec, ClusterSpec, or PipelineSpec and the dispatchers,
+// replicas, and net servers publish completions, errors, queue depths, and
+// sojourn quantiles into it concurrently with the run; reported results are
+// identical with or without one. Expose it over HTTP with ServeMetrics or
+// poll it with StartMetricsProgress.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry builds an empty live metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricsServer is a running metrics HTTP endpoint serving a registry:
+// /metrics in the Prometheus text exposition format, /debug/vars and
+// /metrics.json in expvar-style JSON.
+type MetricsServer = metrics.Server
+
+// ServeMetrics exposes a registry on the given address (":0" picks a free
+// port); scraping runs concurrently with the harness until Close.
+func ServeMetrics(addr string, r *MetricsRegistry) (*MetricsServer, error) {
+	return metrics.Serve(addr, r)
+}
+
+// StartMetricsProgress starts a background goroutine that renders a one-line
+// snapshot of the registry every interval and hands it to print (e.g. a
+// per-window progress line on stderr). The returned stop function halts it.
+func StartMetricsProgress(r *MetricsRegistry, interval time.Duration, print func(string)) (stop func()) {
+	return metrics.StartProgress(r, interval, print)
+}

@@ -114,6 +114,16 @@ type PipelineSpec struct {
 	// drains its in-flight work, then fails with an error satisfying
 	// PipelineTimedOut (unless the drain completed the run after all).
 	Timeout time.Duration
+	// Trace enables request-level tracing and tail attribution: each
+	// measured root records its full fan-out/fan-in/hedge span tree, and the
+	// report decomposes the retained tails into queueing, service, network,
+	// straggler, and hedge components (see TraceSpec). Nil keeps tracing off
+	// and the dispatch hot paths allocation-free.
+	Trace *TraceSpec
+	// Metrics, when non-nil, receives live per-tier counters and latency
+	// histograms as the run progresses (live modes only); results are
+	// identical with or without it.
+	Metrics *MetricsRegistry
 }
 
 // TierResult is the per-tier breakdown of a pipeline run.
@@ -124,6 +134,9 @@ type TierResult struct {
 	Policy   string
 	Replicas int
 	Threads  int
+	// ThreadsPer echoes the tier's heterogeneous per-slot thread assignment
+	// when one was configured (live path).
+	ThreadsPer []int `json:",omitempty"`
 	// FanOut is the inbound edge's fan-out degree (1 for tier 0).
 	FanOut int
 	// Transport names the inbound edge's transport on the live path
@@ -198,6 +211,10 @@ type PipelineResult struct {
 	Elapsed time.Duration
 	// Tiers is the per-tier breakdown, front-end first.
 	Tiers []TierResult
+	// Trace is the tail-attribution report when tracing was enabled — for
+	// fan-out pipelines the place the straggler (max-of-k) component of the
+	// end-to-end tail becomes visible.
+	Trace *TraceReport `json:",omitempty"`
 }
 
 // String renders a one-line summary.
@@ -298,6 +315,9 @@ func normalizePipeline(spec PipelineSpec) (PipelineSpec, error) {
 		if err := validateSlowdowns(t.Cluster.Slowdowns, t.Cluster.poolSize(), t.Cluster.Autoscale != nil); err != nil {
 			return spec, err
 		}
+		if err := validateThreadsPer(t.Cluster.ThreadsPerReplica, t.Cluster.poolSize(), t.Cluster.Autoscale != nil); err != nil {
+			return spec, err
+		}
 	}
 	return spec, nil
 }
@@ -342,6 +362,7 @@ func (t TierSpec) tierConfig(defaultTransport string, defaultDelay time.Duration
 		App:        cs.App,
 		Policy:     cs.Policy,
 		Threads:    cs.Threads,
+		ThreadsPer: cs.ThreadsPerReplica,
 		Replicas:   cs.Replicas,
 		FanOut:     t.FanOut,
 		HedgeDelay: hedge,
@@ -366,6 +387,8 @@ func RunPipeline(spec PipelineSpec) (*PipelineResult, error) {
 		Seed:           spec.Seed,
 		KeepRaw:        spec.KeepRaw,
 		Timeout:        spec.Timeout,
+		Trace:          spec.Trace.recorder(),
+		Metrics:        spec.Metrics,
 	}
 	switch spec.Mode {
 	case ModeSimulated:
@@ -414,6 +437,9 @@ func runPipelineSimulated(spec PipelineSpec, cfg pipeline.Config) (*PipelineResu
 			tc.SimReplicas[r] = cluster.SimReplica{Service: cluster.EmpiricalService{Samples: samples}}
 			if r < len(cs.Slowdowns) {
 				tc.SimReplicas[r].Slowdown = cs.Slowdowns[r]
+			}
+			if r < len(cs.ThreadsPerReplica) {
+				tc.SimReplicas[r].Threads = cs.ThreadsPerReplica[r]
 			}
 		}
 		cfg.Tiers = append(cfg.Tiers, tc)
@@ -482,6 +508,7 @@ func fromPipelineResult(spec PipelineSpec, res *pipeline.Result) *PipelineResult
 		SojournSamples: res.SojournSamples,
 		Windows:        fromWindowStats(res.Windows),
 		Elapsed:        res.Elapsed,
+		Trace:          res.Trace,
 	}
 	for _, p := range res.SojournCDF {
 		out.SojournCDF = append(out.SojournCDF, CDFPoint{Value: p.Value, Cumulative: p.Cumulative})
@@ -493,6 +520,7 @@ func fromPipelineResult(spec PipelineSpec, res *pipeline.Result) *PipelineResult
 			Policy:          tier.Policy,
 			Replicas:        tier.Replicas,
 			Threads:         tier.Threads,
+			ThreadsPer:      tier.ThreadsPer,
 			FanOut:          tier.FanOut,
 			Transport:       tier.Transport,
 			NetworkDelay:    tier.NetDelay,
@@ -526,6 +554,7 @@ func fromPipelineResult(spec PipelineSpec, res *pipeline.Result) *PipelineResult
 				ActiveAt:       rs.ActiveAt,
 				RetiredAt:      rs.RetiredAt,
 				Lifetime:       rs.Lifetime,
+				Threads:        rs.Threads,
 				Slowdown:       rs.Slowdown,
 				Dispatched:     rs.Dispatched,
 				Requests:       rs.Requests,

@@ -199,6 +199,14 @@ type RunSpec struct {
 	// CalibrationRequests sets how many requests calibrate the simulated
 	// model (simulated mode only; default 300).
 	CalibrationRequests int
+	// Trace enables request-level tracing and tail attribution (see
+	// TraceSpec); nil keeps tracing off and the hot path allocation-free.
+	// The simulated mode's calibrated application model records no traces.
+	Trace *TraceSpec
+	// Metrics, when non-nil, receives live counters and latency histograms
+	// as the run progresses (live modes only); results are identical with or
+	// without it.
+	Metrics *MetricsRegistry
 }
 
 // LatencyStats summarizes one latency stream.
@@ -259,6 +267,8 @@ type Result struct {
 	// IdealMemory records whether the simulated run used the idealized
 	// memory system.
 	IdealMemory bool
+	// Trace is the tail-attribution report when tracing was enabled.
+	Trace *TraceReport `json:",omitempty"`
 }
 
 // String renders a one-line summary.
@@ -288,6 +298,7 @@ func (s RunSpec) runConfig() core.RunConfig {
 		KeepRaw:        s.KeepRaw,
 		Validate:       s.Validate,
 		NetworkDelay:   s.NetworkDelay,
+		Metrics:        s.Metrics,
 	}
 }
 
@@ -328,17 +339,22 @@ func Run(spec RunSpec) (*Result, error) {
 	defer server.Close()
 	clientFactory := func(seed int64) (app.Client, error) { return f.NewClient(cfg, seed) }
 
+	rec := spec.Trace.recorder()
+	runCfg := spec.runConfig()
+	runCfg.Trace = rec
 	var res *core.Result
 	if spec.Repeats > 1 {
-		res, err = core.RunRepeated(spec.Mode.kind(), server, clientFactory, spec.runConfig(),
+		res, err = core.RunRepeated(spec.Mode.kind(), server, clientFactory, runCfg,
 			core.RepeatOptions{MinRuns: spec.Repeats, MaxRuns: spec.Repeats})
 	} else {
-		res, err = core.SingleRun(spec.Mode.kind(), server, clientFactory, spec.runConfig())
+		res, err = core.SingleRun(spec.Mode.kind(), server, clientFactory, runCfg)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return fromCore(spec, res), nil
+	out := fromCore(spec, res)
+	out.Trace = rec.Report()
+	return out, nil
 }
 
 // fromCore converts an internal result to the public type.

@@ -1,9 +1,16 @@
 # Developer entry points. The go toolchain is the only dependency.
 
-.PHONY: test bench
+.PHONY: test bench lint
 
 test:
 	go build ./... && go test ./...
+
+# lint runs tailvet, the repo's own analyzer suite (see internal/lint),
+# through the go vet driver so every package is fully type-checked. CI
+# additionally runs staticcheck; locally that is optional.
+lint:
+	go build -o bin/tailvet ./cmd/tailvet
+	go vet -vettool=bin/tailvet ./...
 
 # bench regenerates the committed engine-throughput baseline: events/second
 # of the virtual-time cluster engine and the multi-tier pipeline event

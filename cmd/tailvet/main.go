@@ -1,0 +1,228 @@
+// Command tailvet is the repo's static-analysis gate: a vet tool running
+// the internal/lint analyzer suite, which enforces the harness's
+// determinism (simtime, seedrng), zero-overhead observability (nilguard),
+// concurrency (atomicmix), and unit-discipline (nsunits) invariants.
+//
+// It speaks the go vet tool protocol, so the canonical invocation is
+//
+//	go vet -vettool=$(which tailvet) ./...
+//
+// (or `make lint`, which builds the tool and runs exactly that). Run
+// standalone with package patterns — `tailvet ./...` — and it re-executes
+// itself through go vet so the toolchain supplies the build graph and
+// export data. Individual analyzers can be disabled with -<name>=false,
+// and single findings suppressed with a `//lint:allow <name> <reason>`
+// comment; see `tailvet help` for the analyzer list.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"tailbench/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tailvet", flag.ContinueOnError)
+	vFlag := fs.String("V", "", "print version and exit (go tool protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	enabled := make(map[string]*bool)
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	fs.Usage = func() { usage(fs) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *vFlag != "":
+		// cmd/go fingerprints the tool for its build cache; hashing the
+		// binary means a rebuilt tailvet invalidates stale vet results.
+		fmt.Printf("tailvet version %s\n", selfHash())
+		return 0
+	case *flagsFlag:
+		return printFlagDefs()
+	}
+
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return runUnit(fs.Arg(0), analyzersEnabled(enabled), *jsonFlag)
+	}
+	if fs.NArg() >= 1 && fs.Arg(0) == "help" {
+		usage(fs)
+		return 0
+	}
+	return runStandalone(fs.Args(), enabled)
+}
+
+// runUnit is the vet tool protocol: analyze one package unit described
+// by a cfg file, print findings, exit 2 if there were any.
+func runUnit(cfgPath string, analyzers []*lint.Analyzer, asJSON bool) int {
+	cfg, err := lint.ReadUnitConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+		return 1
+	}
+	if err := cfg.WriteVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: the driver wants facts, and tailvet has
+		// none to compute.
+		return 0
+	}
+	diags, fset, err := lint.AnalyzeUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	if asJSON {
+		printJSON(cfg.ImportPath, diags, fset)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// runStandalone re-executes through `go vet -vettool=self` so the go
+// command builds dependencies and supplies export data.
+func runStandalone(patterns []string, enabled map[string]*bool) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"vet", "-vettool=" + self}
+	for name, on := range enabled {
+		if !*on {
+			args = append(args, fmt.Sprintf("-%s=false", name))
+		}
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+		return 1
+	}
+	return 0
+}
+
+func analyzersEnabled(enabled map[string]*bool) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// printFlagDefs implements the `-flags` handshake: go vet asks the tool
+// which flags it accepts before forwarding any.
+func printFlagDefs() int {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []flagDef{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"}}
+	for _, a := range lint.Analyzers() {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	return 0
+}
+
+// printJSON mirrors the unitchecker JSON diagnostic shape:
+// {pkg: {analyzer: [{posn, message}]}}.
+func printJSON(pkg string, diags []lint.Diagnostic, fset *token.FileSet) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkg: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "tailvet:", err)
+	}
+}
+
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintf(os.Stderr, `tailvet enforces tailbench's determinism, zero-overhead, and concurrency
+invariants as static checks.
+
+Usage:
+  tailvet [packages]          analyze packages via go vet (default ./...)
+  go vet -vettool=tailvet ./...   same, driven by the go command
+
+Analyzers (disable with -<name>=false):
+`)
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, `
+Suppress a single finding with a trailing or preceding comment:
+  //lint:allow <analyzer> <reason>
+A directive before the package clause suppresses the analyzer for the
+whole file. The reason is required.
+`)
+}

@@ -1,3 +1,5 @@
+//lint:allow simtime live cluster engine: dispatch, service, and accounting run on the wall clock by design
+
 package cluster
 
 import (
@@ -513,7 +515,7 @@ func (e *liveEngine) complete(rep *replica, sample core.Sample, end time.Time) {
 	// Max-store: with several workers the last finisher is not necessarily
 	// the last storer, and retirement instants must be the true latest
 	// completion.
-	done := int64(end.Sub(e.start))
+	done := end.Sub(e.start).Nanoseconds()
 	for {
 		prev := rep.lastDone.Load()
 		if done <= prev || rep.lastDone.CompareAndSwap(prev, done) {

@@ -1,3 +1,5 @@
+//lint:allow simtime live-engine tests: fake servers sleep to emulate real service time
+
 package cluster
 
 import (

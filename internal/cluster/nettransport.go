@@ -1,3 +1,5 @@
+//lint:allow simtime networked transport: connection draining and deadlines run on the wall clock by design
+
 package cluster
 
 import (

@@ -1,3 +1,5 @@
+//lint:allow simtime live transport seam: straggler slowdowns stretch real service time on the wall clock
+
 package cluster
 
 import (

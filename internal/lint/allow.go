@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full grammar is
+// `//lint:allow <analyzer> <reason>`; the reason is mandatory.
+const allowPrefix = "//lint:allow"
+
+// allowKey scopes a directive to one analyzer on one line of one file.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowIndex is the per-package view of every allow directive.
+type allowIndex struct {
+	// lines holds line-scoped suppressions: a directive covers the line
+	// it sits on and the line below it, so both trailing comments and
+	// comments placed above the flagged statement work.
+	lines map[allowKey]bool
+	// files holds file-scoped suppressions, written before the package
+	// clause. The live engine files use these to opt whole files out of
+	// the simtime determinism check.
+	files map[string]map[string]bool // filename -> analyzer -> allowed
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed.
+func (ix *allowIndex) allowed(analyzer string, pos token.Position) bool {
+	if ix == nil {
+		return false
+	}
+	if ix.files[pos.Filename][analyzer] {
+		return true
+	}
+	return ix.lines[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		ix.lines[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// buildAllowIndex parses every allow directive in the files. Malformed
+// directives — a missing or unknown analyzer name, or a missing reason —
+// are returned as diagnostics so the allowlist cannot silently rot.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (*allowIndex, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ix := &allowIndex{
+		lines: make(map[allowKey]bool),
+		files: make(map[string]map[string]bool),
+	}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{c.Pos(), "allow",
+						"lint:allow directive needs an analyzer name and a reason"})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					diags = append(diags, Diagnostic{c.Pos(), "allow",
+						"lint:allow names unknown analyzer " + name})
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{c.Pos(), "allow",
+						"lint:allow " + name + " needs a reason"})
+					continue
+				}
+				if c.Pos() < f.Package {
+					m := ix.files[pos.Filename]
+					if m == nil {
+						m = make(map[string]bool)
+						ix.files[pos.Filename] = m
+					}
+					m[name] = true
+					continue
+				}
+				ix.lines[allowKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return ix, diags
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAllowSrc(t *testing.T, name, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+// TestAllowDirectiveValidation pins the malformed-directive diagnostics:
+// the allowlist stays self-documenting only because a missing reason or
+// an unknown analyzer name is itself a finding.
+func TestAllowDirectiveValidation(t *testing.T) {
+	const src = `package p
+
+var a = 1 //lint:allow simtime
+var b = 2 //lint:allow nosuch because reasons
+var c = 3 //lint:allow
+var d = 4 //lint:allow simtime documented reason
+var e = 5 //lint:allowance is a different word and not ours
+`
+	fset, f := parseAllowSrc(t, "allow_fixture.go", src)
+	ix, diags := buildAllowIndex(fset, []*ast.File{f}, Analyzers())
+	wantMsgs := []string{
+		"lint:allow simtime needs a reason",
+		"lint:allow names unknown analyzer nosuch",
+		"lint:allow directive needs an analyzer name and a reason",
+	}
+	if len(diags) != len(wantMsgs) {
+		t.Fatalf("got %d directive diagnostics, want %d: %v", len(diags), len(wantMsgs), diags)
+	}
+	for i, want := range wantMsgs {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diag %d = %q, want containing %q", i, diags[i].Message, want)
+		}
+	}
+	// The well-formed directive on line 6 suppresses simtime on its own
+	// line and the line below, for no other analyzer and no other line.
+	pos := func(line int) token.Position { return token.Position{Filename: "allow_fixture.go", Line: line} }
+	if !ix.allowed("simtime", pos(6)) || !ix.allowed("simtime", pos(7)) {
+		t.Error("valid directive does not cover its line and the next")
+	}
+	if ix.allowed("simtime", pos(5)) || ix.allowed("simtime", pos(8)) {
+		t.Error("line-scoped directive leaked beyond its two lines")
+	}
+	if ix.allowed("nsunits", pos(6)) {
+		t.Error("directive leaked to a different analyzer")
+	}
+	// The malformed directives on lines 3-5 register nothing.
+	if ix.allowed("simtime", pos(3)) {
+		t.Error("reason-less directive still suppressed its line")
+	}
+}
+
+// TestAllowDirectiveFileScope pins the file-scope rule: a directive
+// before the package clause covers the whole file, for its analyzer
+// only.
+func TestAllowDirectiveFileScope(t *testing.T) {
+	const src = `//lint:allow simtime this whole file runs on the wall clock by design
+
+package p
+
+var a = 1
+`
+	fset, f := parseAllowSrc(t, "filescope.go", src)
+	ix, diags := buildAllowIndex(fset, []*ast.File{f}, Analyzers())
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	pos := token.Position{Filename: "filescope.go", Line: 5}
+	if !ix.allowed("simtime", pos) {
+		t.Error("file-scoped directive does not cover the file body")
+	}
+	if ix.allowed("seedrng", pos) {
+		t.Error("file-scoped directive leaked to a different analyzer")
+	}
+	if ix.allowed("simtime", token.Position{Filename: "other.go", Line: 5}) {
+		t.Error("file-scoped directive leaked to a different file")
+	}
+}

@@ -1,0 +1,197 @@
+// Package lint is tailvet's analyzer suite: repo-specific static checks
+// that turn the harness's determinism, zero-overhead, and concurrency
+// contracts into machine-checked properties. The analyzers run over fully
+// type-checked packages, either driven by `go vet -vettool` (see
+// cmd/tailvet and driver.go) or in-process against the analysistest-style
+// fixtures under testdata/src.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer with a Run function over a Pass — but is built entirely on
+// the standard library so the module keeps its only-the-go-toolchain
+// dependency story.
+//
+// Findings can be suppressed with an allow directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A directive on (or immediately above) a line suppresses that analyzer's
+// findings on the line; a directive placed before the package clause
+// suppresses the analyzer for the whole file — that is how the live
+// engine files, which run on the wall clock by design, opt out of the
+// simtime determinism check. The reason is mandatory: a directive without
+// one is itself a finding, so the allowlist stays self-documenting.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, disable flags, and
+	// //lint:allow directives. Names are part of the tool's contract:
+	// tests pin them so documentation cannot drift.
+	Name string
+	// Doc is a one-line description surfaced by `tailvet help` and the
+	// -flags protocol.
+	Doc string
+	// SkipTests excludes _test.go files from the walk. Checks that
+	// guard production hot paths (RNG plumbing, atomics, unit
+	// conversions) skip tests; determinism checks do not, because the
+	// golden-hash tests are themselves deterministic code.
+	SkipTests bool
+	// Run reports findings on the pass via Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass holds one type-checked package being analyzed by one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow *allowIndex
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allow.allowed(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns the pass's files, honoring the analyzer's
+// SkipTests setting.
+func (p *Pass) SourceFiles() []*ast.File {
+	if !p.Analyzer.SkipTests {
+		return p.Files
+	}
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PkgPath returns the package path with any test-variant suffix
+// (`pkg [pkg.test]`) stripped, so path-scoped rules treat a package and
+// its in-package test unit identically.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// pathMatches reports whether path is exactly suffix or ends in
+// "/"+suffix, matching whole path segments only (so "internal/sim" does
+// not match "internal/sim_test").
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// funcObj resolves an identifier or selector's object as a package-level
+// function, returning nil otherwise.
+func funcObj(info *types.Info, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// isDuration reports whether t is exactly time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// isInt64 reports whether t is exactly the basic type int64.
+func isInt64(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// isIntegerKind reports whether t's underlying type is any integer.
+func isIntegerKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// analyzePackage runs the analyzers over one type-checked package and
+// returns position-sorted diagnostics, including any malformed allow
+// directives. Both drivers (the vet-protocol unit checker and the
+// fixture tests) funnel through here, so they agree exactly.
+func analyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Directives are validated against the full suite, not just the
+	// analyzers enabled for this run, so `-simtime=false` does not turn
+	// existing //lint:allow simtime annotations into findings.
+	allow, diags := buildAllowIndex(fset, files, Analyzers())
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			allow:     allow,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,15 @@
+package lint
+
+// Analyzers returns the full tailvet suite in stable order. The names
+// are a contract: they appear in diagnostics, in `-<name>=false` disable
+// flags, and in //lint:allow directives, and a root test pins them so
+// documentation cannot drift.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerSimtime,
+		AnalyzerSeedrng,
+		AnalyzerNilguard,
+		AnalyzerAtomicmix,
+		AnalyzerNsunits,
+	}
+}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicFuncPrefixes are the sync/atomic package-level function families
+// that take an address argument. Typed atomics (atomic.Int64 and
+// friends) are method-based and cannot be mixed with plain access, so
+// they need no check.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+// AnalyzerAtomicmix flags variables and struct fields that are accessed
+// through sync/atomic in one place and with a plain read or write in
+// another — the live engines' counters are exactly where this latent
+// race hides, and -race only catches it on the interleavings a test
+// happens to produce.
+var AnalyzerAtomicmix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "variables accessed via sync/atomic must never be read or written plainly elsewhere",
+	SkipTests: true,
+	Run:       runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	// Pass 1: collect every variable passed by address to a sync/atomic
+	// function, plus the source ranges of those sanctioned arguments.
+	atomicVars := make(map[*types.Var]token.Pos)
+	type posRange struct{ lo, hi token.Pos }
+	var sanctioned []posRange
+	files := pass.SourceFiles()
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call.Fun)
+			if fn == nil || fn.Pkg().Path() != "sync/atomic" || !hasAtomicPrefix(fn.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			operand := unparen(unary.X)
+			if v := addressedVar(pass.TypesInfo, operand); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				sanctioned = append(sanctioned, posRange{unary.Pos(), unary.End()})
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	inSanctioned := func(pos token.Pos) bool {
+		for _, r := range sanctioned {
+			if pos >= r.lo && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Pass 2: any other use of those variables is a plain access.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			firstAtomic, tracked := atomicVars[v]
+			if !tracked || inSanctioned(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic (first at %s) but read or written plainly here; mixed access races — use atomic ops everywhere or //lint:allow atomicmix <reason> for pre-publication init",
+				v.Name(), pass.Fset.Position(firstAtomic))
+			return true
+		})
+	}
+	return nil
+}
+
+func hasAtomicPrefix(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedVar resolves the variable or struct field named by the
+// operand of an & expression.
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v != nil && v.IsField() {
+			return v
+		}
+		return v
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics (e.g. a slice of counters) are
+		// tracked by the slice/array variable itself.
+		return addressedVar(info, unparen(e.X))
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// UnitConfig mirrors the JSON configuration cmd/go writes for each
+// package when driving a vet tool (`go vet -vettool=...`). Only the
+// fields tailvet consumes are declared; unknown fields are ignored by
+// encoding/json, which keeps the tool compatible across toolchains.
+type UnitConfig struct {
+	ID         string // package ID, e.g. "pkg [pkg.test]"
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string // absolute paths to the unit's Go sources
+
+	ImportMap   map[string]string // import path as written -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	Standard    map[string]bool
+
+	VetxOnly   bool   // only facts wanted; tailvet has none, so no-op
+	VetxOutput string // file the driver expects the tool to create
+	GoVersion  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadUnitConfig parses a vet.cfg file.
+func ReadUnitConfig(path string) (*UnitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// WriteVetx writes the (empty) facts file the go command expects. The
+// tailvet analyzers export no facts, but the file must exist for the
+// build cache to record the run.
+func (cfg *UnitConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// AnalyzeUnit type-checks one vet unit against the export data the go
+// command supplied and runs the analyzers over it. The returned FileSet
+// positions the diagnostics.
+func AnalyzeUnit(cfg *UnitConfig, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fset, err
+		}
+		files = append(files, f)
+	}
+	// Imports resolve through the export data of the already-compiled
+	// dependencies: map the path as written to its canonical form, then
+	// open the archive cmd/go listed for it.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fset, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := analyzePackage(fset, files, pkg, info, analyzers)
+	return diags, fset, err
+}
+
+// newTypesInfo allocates the fact tables the analyzers read.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,251 @@
+package lint
+
+// The fixture harness is a small analysistest: each directory under
+// testdata/src is parsed and type-checked as one package whose import
+// path is its path relative to testdata/src (so the suffix-scoped
+// analyzers see realistic package paths), the analyzer under test runs
+// through the same analyzePackage funnel as the vet driver, and the
+// reported diagnostics are reconciled against `// want "regexp"`
+// comments on the flagged lines.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One FileSet and source importer are shared across fixtures: the
+// importer re-type-checks stdlib packages from source, which costs a few
+// hundred milliseconds once and nothing after.
+var (
+	fixtureOnce sync.Once
+	fixtureFset *token.FileSet
+	fixtureImp  types.Importer
+)
+
+func fixtureImporter() (*token.FileSet, types.Importer) {
+	fixtureOnce.Do(func() {
+		fixtureFset = token.NewFileSet()
+		fixtureImp = importer.ForCompiler(fixtureFset, "source", nil)
+	})
+	return fixtureFset, fixtureImp
+}
+
+// loadFixture parses and type-checks the fixture package at
+// testdata/src/<rel>, using <rel> as its import path.
+func loadFixture(t *testing.T, rel string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset, imp := fixtureImporter()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", rel)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(rel, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", rel, err)
+	}
+	return fset, files, pkg, info
+}
+
+// wantKey addresses the expectations on one source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+// parseWants extracts `// want "re" ...` expectations. Patterns may be
+// double-quoted (with escapes) or backquoted; several may share one
+// comment for lines that produce several diagnostics.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	const marker = "// want "
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, marker)
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(c.Text[i+len(marker):])
+				for rest != "" {
+					q := rest[0]
+					if q != '"' && q != '`' {
+						t.Fatalf("%s: malformed want pattern: %q", pos, rest)
+					}
+					end := strings.IndexByte(rest[1:], q)
+					if end < 0 {
+						t.Fatalf("%s: unterminated want pattern: %q", pos, rest)
+					}
+					pat := rest[1 : 1+end]
+					if q == '"' {
+						unq, err := strconv.Unquote(rest[:end+2])
+						if err != nil {
+							t.Fatalf("%s: bad quoted want pattern: %v", pos, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pos, err)
+					}
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+					rest = strings.TrimSpace(rest[end+2:])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs analyzers over a fixture and returns the mismatches:
+// diagnostics with no matching want on their line, and wants no
+// diagnostic satisfied. An empty slice means the fixture is in spec.
+func checkFixture(t *testing.T, rel string, analyzers []*Analyzer) []string {
+	t.Helper()
+	fset, files, pkg, info := loadFixture(t, rel)
+	diags, err := analyzePackage(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixture %s: %v", rel, err)
+	}
+	type wantEntry struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	pending := make(map[wantKey][]*wantEntry)
+	for k, res := range parseWants(t, fset, files) {
+		for _, re := range res {
+			pending[k] = append(pending[k], &wantEntry{re: re})
+		}
+	}
+	var problems []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range pending[wantKey{pos.Filename, pos.Line}] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message))
+		}
+	}
+	for k, ws := range pending {
+		for _, w := range ws {
+			if !w.used {
+				problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// fixtureDirs maps each analyzer to its fixture packages; every analyzer
+// must have at least one flagged and one clean case among them.
+var fixtureDirs = map[string][]string{
+	"simtime":   {"simtime/internal/sim", "simtime/internal/cluster", "simtime/liveok"},
+	"seedrng":   {"seedrng/internal/gen", "seedrng/cmd/tool"},
+	"nilguard":  {"nilguard/internal/metrics", "nilguard/opted"},
+	"atomicmix": {"atomicmix/counters"},
+	"nsunits":   {"nsunits/units"},
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		dirs := fixtureDirs[a.Name]
+		if len(dirs) == 0 {
+			t.Errorf("analyzer %s has no fixtures", a.Name)
+			continue
+		}
+		for _, dir := range dirs {
+			a, dir := a, dir
+			t.Run(a.Name+"/"+path.Base(dir), func(t *testing.T) {
+				for _, p := range checkFixture(t, dir, []*Analyzer{a}) {
+					t.Error(p)
+				}
+			})
+		}
+	}
+}
+
+// TestFixturesFailWhenAnalyzerDisabled proves each flagged fixture
+// actually depends on its analyzer: with the analyzer disabled, the
+// fixture's want expectations must go unmatched. This is the guard the
+// acceptance criteria ask for — silently disabling a check cannot keep
+// the suite green.
+func TestFixturesFailWhenAnalyzerDisabled(t *testing.T) {
+	flagged := map[string]string{
+		"simtime":   "simtime/internal/sim",
+		"seedrng":   "seedrng/internal/gen",
+		"nilguard":  "nilguard/internal/metrics",
+		"atomicmix": "atomicmix/counters",
+		"nsunits":   "nsunits/units",
+	}
+	for _, a := range Analyzers() {
+		dir, ok := flagged[a.Name]
+		if !ok {
+			t.Errorf("analyzer %s has no flagged fixture", a.Name)
+			continue
+		}
+		if problems := checkFixture(t, dir, nil); len(problems) == 0 {
+			t.Errorf("%s: fixture %s reports no mismatches with the analyzer disabled; the fixture does not exercise the check", a.Name, dir)
+		}
+	}
+}
+
+// TestAnalyzerMetadata pins the suite's shape: stable names (they appear
+// in //lint:allow directives and disable flags, so they are API) and a
+// doc line for each.
+func TestAnalyzerMetadata(t *testing.T) {
+	wantNames := []string{"simtime", "seedrng", "nilguard", "atomicmix", "nsunits"}
+	as := Analyzers()
+	if len(as) != len(wantNames) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(as), len(wantNames))
+	}
+	for i, a := range as {
+		if a.Name != wantNames[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no run function", a.Name)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// nilsafeTarget names one type whose exported pointer-receiver methods
+// must begin with a nil-receiver guard.
+type nilsafeTarget struct {
+	pkgSuffix string
+	typeName  string
+}
+
+// builtinNilsafe is the observability surface whose disabled state is a
+// nil pointer: PR 6's contract is that tracing/metrics off stays an
+// allocation-free no-op, which only holds if every exported method
+// tolerates a nil receiver. Additional types opt in with a
+// `//lint:nilsafe` line in their doc comment.
+var builtinNilsafe = []nilsafeTarget{
+	{"internal/trace", "Recorder"},
+	{"internal/metrics", "Registry"},
+	{"internal/metrics", "Counter"},
+	{"internal/metrics", "Gauge"},
+	{"internal/metrics", "Histogram"},
+}
+
+// nilsafeDirective marks a type as nil-safe in its doc comment.
+const nilsafeDirective = "//lint:nilsafe"
+
+// AnalyzerNilguard verifies that exported pointer-receiver methods on
+// nil-safe types begin with `if r == nil { return ... }`, so the
+// observability-off path cannot panic or allocate.
+var AnalyzerNilguard = &Analyzer{
+	Name: "nilguard",
+	Doc:  "exported pointer-receiver methods on nil-safe observability types must begin with a nil-receiver guard",
+	Run:  runNilguard,
+}
+
+func runNilguard(pass *Pass) error {
+	path := pass.PkgPath()
+	target := make(map[string]bool)
+	for _, t := range builtinNilsafe {
+		if pathMatches(path, t.pkgSuffix) {
+			target[t.typeName] = true
+		}
+	}
+	for _, f := range pass.Files {
+		collectNilsafeTypes(f, target)
+	}
+	if len(target) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvName, typeName, ptr := receiverInfo(fd.Recv.List[0])
+			if !ptr || !target[typeName] {
+				continue
+			}
+			if recvName == "" || recvName == "_" {
+				// An unnamed receiver cannot be dereferenced, so the
+				// method is trivially nil-safe.
+				continue
+			}
+			if !startsWithNilGuard(fd.Body, recvName) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method (*%s).%s must begin with `if %s == nil { return ... }`: a nil %s is the observability-off state and must stay a no-op",
+					typeName, fd.Name.Name, recvName, typeName)
+			}
+		}
+	}
+	return nil
+}
+
+// collectNilsafeTypes adds types annotated //lint:nilsafe to target.
+func collectNilsafeTypes(f *ast.File, target map[string]bool) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if hasNilsafeDirective(gd.Doc) || hasNilsafeDirective(ts.Doc) || hasNilsafeDirective(ts.Comment) {
+				target[ts.Name.Name] = true
+			}
+		}
+	}
+}
+
+// receiverInfo extracts the receiver's name, base type name, and whether
+// it is a pointer receiver.
+func receiverInfo(field *ast.Field) (recvName, typeName string, ptr bool) {
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	// Strip any generic instantiation.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if ix, ok := t.(*ast.IndexListExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName, ptr
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition tests the receiver against nil (possibly as one leg of
+// an || chain, as in `if r == nil || t == nil`) and whose body ends by
+// returning.
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condTestsNil(ifStmt.Cond, recvName) {
+		return false
+	}
+	if len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	_, ok = ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// condTestsNil walks an || chain looking for `recvName == nil` (either
+// operand order).
+func condTestsNil(cond ast.Expr, recvName string) bool {
+	cond = unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LOR:
+		return condTestsNil(be.X, recvName) || condTestsNil(be.Y, recvName)
+	case token.EQL:
+		return isIdentNamed(be.X, recvName) && isIdentNamed(be.Y, "nil") ||
+			isIdentNamed(be.X, "nil") && isIdentNamed(be.Y, recvName)
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// hasNilsafeDirective reports whether the comment group contains the
+// directive on its own line.
+func hasNilsafeDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == nilsafeDirective || strings.HasPrefix(text, nilsafeDirective+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nonNsSuffixes are identifier suffixes that declare a unit other than
+// nanoseconds. Converting such a count straight to time.Duration (which
+// is nanoseconds) silently mis-scales it.
+var nonNsSuffixes = []string{
+	"Ms", "Millis", "Us", "Micros", "Sec", "Secs", "Seconds", "Mins", "Minutes",
+}
+
+// durationUnitMethods are the time.Duration accessors that do NOT return
+// nanoseconds; assigning their result to an *Ns name is a unit mismatch.
+var durationUnitMethods = map[string]bool{
+	"Seconds": true, "Milliseconds": true, "Microseconds": true,
+	"Minutes": true, "Hours": true,
+}
+
+// AnalyzerNsunits polices the int64-nanosecond / time.Duration boundary:
+// the wire format and the stats layer carry *Ns int64 fields, and every
+// crossing must say its conversion out loud.
+var AnalyzerNsunits = &Analyzer{
+	Name:      "nsunits",
+	Doc:       "int64 nanosecond fields and time.Duration convert only via Nanoseconds()/time.Duration(nsValue)",
+	SkipTests: true,
+	Run:       runNsunits,
+}
+
+func runNsunits(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						checkNsAssign(pass, lhs, n.Rhs[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && isNsName(key.Name) {
+					checkNsValue(pass, key.Name, n.Value)
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && isNsName(name.Name) {
+						checkNsValue(pass, name.Name, n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConversion flags int64(duration) — which should be
+// Duration.Nanoseconds() so the unit is explicit — and
+// time.Duration(count) where the count's name declares a non-nanosecond
+// unit. Constant expressions are exempt: `int64(time.Microsecond)` in a
+// const block cannot call a method.
+func checkConversion(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if cv, ok := info.Types[call]; ok && cv.Value != nil {
+		return // constant conversion
+	}
+	arg := unparen(call.Args[0])
+	argTV, ok := info.Types[arg]
+	if !ok {
+		return
+	}
+	switch {
+	case isInt64(tv.Type) && isDuration(argTV.Type):
+		pass.Reportf(call.Pos(),
+			"int64(%s) drops the unit; use (%s).Nanoseconds() so the ns contract is explicit",
+			exprString(arg), exprString(arg))
+	case isDuration(tv.Type) && argTV.Type != nil && isIntegerKind(argTV.Type):
+		if name := rootName(arg); name != "" && hasNonNsSuffix(name) {
+			pass.Reportf(call.Pos(),
+				"time.Duration(%s) treats a non-nanosecond count as nanoseconds; scale by the unit (e.g. * time.Millisecond) or rename with an Ns suffix",
+				name)
+		}
+	}
+}
+
+// checkNsAssign flags `xNs = <non-ns duration accessor>`.
+func checkNsAssign(pass *Pass, lhs, rhs ast.Expr) {
+	name := rootName(lhs)
+	if name == "" || !isNsName(name) {
+		return
+	}
+	checkNsValue(pass, name, rhs)
+}
+
+// checkNsValue flags a value flowing into an *Ns destination when it is
+// a time.Duration unit accessor other than Nanoseconds, possibly wrapped
+// in an int64 conversion.
+func checkNsValue(pass *Pass, dest string, rhs ast.Expr) {
+	rhs = unparen(rhs)
+	// Unwrap int64(...) so int64(d.Seconds()) is still caught.
+	if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			rhs = unparen(call.Args[0])
+		}
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !durationUnitMethods[sel.Sel.Name] {
+		return
+	}
+	if recvTV, ok := pass.TypesInfo.Types[sel.X]; !ok || !isDuration(recvTV.Type) {
+		return
+	}
+	pass.Reportf(rhs.Pos(),
+		"%s() is not nanoseconds but flows into %s; use Nanoseconds()",
+		sel.Sel.Name, dest)
+}
+
+// isNsName reports whether an identifier declares itself a nanosecond
+// count: an "Ns" suffix with the capital N, as in ServiceNs or sumNs.
+func isNsName(name string) bool {
+	return len(name) > 2 && strings.HasSuffix(name, "Ns")
+}
+
+func hasNonNsSuffix(name string) bool {
+	for _, s := range nonNsSuffixes {
+		if strings.HasSuffix(name, s) && len(name) > len(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootName names the identifier or selector field an expression refers
+// to ("x" or "a.b.x" -> "x"), or "" when it is not a plain reference.
+func rootName(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// exprString renders a small expression for a diagnostic message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.CallExpr:
+		if fn := exprString(e.Fun); fn != "" {
+			return fn + "(...)"
+		}
+	}
+	return "expr"
+}

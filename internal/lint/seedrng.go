@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// approvedRandCtors are the functions allowed to call
+// rand.New/rand.NewSource directly. Keeping construction funneled
+// through them keeps seeding policy in one place: workload.NewRand is
+// the repo-wide constructor (seeds always flow in from a spec), and
+// cluster's balancerRand derives balancer streams from the run seed via
+// workload.SplitSeed.
+var approvedRandCtors = map[string]bool{
+	"NewRand":      true,
+	"balancerRand": true,
+}
+
+// randCtorFuncs are the math/rand constructors whose call sites the
+// analyzer polices.
+var randCtorFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// AnalyzerSeedrng enforces the seeding policy: RNGs are built only inside
+// the approved constructors, and no seed expression may derive from the
+// wall clock — `rand.NewSource(time.Now().UnixNano())` is exactly how a
+// tree quietly de-determinizes.
+var AnalyzerSeedrng = &Analyzer{
+	Name:      "seedrng",
+	Doc:       "RNG construction only via approved constructors, with seeds never derived from the wall clock",
+	SkipTests: true,
+	Run:       runSeedrng,
+}
+
+func runSeedrng(pass *Pass) error {
+	// The construction funnel applies to library code; examples and
+	// commands may build RNGs from spec'd seeds directly, but even they
+	// must not seed from the clock.
+	internal := strings.Contains(pass.PkgPath()+"/", "internal/")
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				// Function literals inside a declaration inherit its
+				// name: a closure inside an approved constructor is
+				// still the constructor.
+				if n.Body != nil {
+					ast.Inspect(n.Body, func(m ast.Node) bool {
+						checkSeedCall(pass, m, internal, n.Name.Name)
+						return true
+					})
+				}
+				return false
+			default:
+				// Package-level initializers have no enclosing
+				// function, so construction there is always flagged.
+				checkSeedCall(pass, n, internal, "")
+				return true
+			}
+		})
+	}
+	return nil
+}
+
+// checkSeedCall inspects one node for a rand constructor call or a
+// wall-clock-derived seed argument.
+func checkSeedCall(pass *Pass, n ast.Node, internal bool, enclosing string) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := funcObj(pass.TypesInfo, call.Fun)
+	if fn == nil {
+		return
+	}
+	isRandCtor := (fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") &&
+		randCtorFuncs[fn.Name()]
+	if isRandCtor && internal && !approvedRandCtors[enclosing] {
+		pass.Reportf(call.Pos(),
+			"rand.%s outside an approved constructor (%s); build RNGs via workload.NewRand so seeding policy stays in one place",
+			fn.Name(), approvedCtorList())
+	}
+	if isRandCtor || takesSeedParam(fn) {
+		for _, arg := range call.Args {
+			if clock := findWallClockCall(pass.TypesInfo, arg); clock != nil {
+				pass.Reportf(clock.Pos(),
+					"seed for %s derives from the wall clock; seeds must come from the run's config/spec so runs are reproducible",
+					fn.Name())
+			}
+		}
+	}
+}
+
+// takesSeedParam reports whether fn has a parameter named like a seed,
+// which marks it as part of the seeding plumbing (workload.NewRand,
+// SplitSeed, NewExponentialGen, balancerRand, ...).
+func takesSeedParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		name := sig.Params().At(i).Name()
+		if name == "seed" || strings.HasSuffix(name, "Seed") {
+			return true
+		}
+	}
+	return false
+}
+
+// findWallClockCall returns the first use of a wall-clock time function
+// inside e, or nil.
+func findWallClockCall(info *types.Info, e ast.Expr) (found ast.Node) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func approvedCtorList() string {
+	return "workload.NewRand, balancerRand"
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose code must be reproducible at a
+// fixed seed: every golden-hash test in the repo depends on these never
+// consulting the wall clock or the global math/rand source. The paths
+// match whole trailing segments of the package path, so fixtures and the
+// real tree resolve identically. internal/cluster and internal/pipeline
+// are deterministic by default — their live engine files, which run on
+// the wall clock by design, carry file-scoped
+// `//lint:allow simtime <reason>` directives, so any *new* file in those
+// packages is held to the deterministic contract until it explicitly
+// opts out.
+var deterministicPkgs = []string{
+	"internal/sim",
+	"internal/stats",
+	"internal/load",
+	"internal/trace",
+	"internal/queueing",
+	"internal/workload",
+	"internal/cluster",
+	"internal/pipeline",
+}
+
+// wallClockFuncs are the time package functions that read or wait on the
+// wall clock. time.Duration arithmetic and constants stay fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandExempt are the math/rand package-level functions that do not
+// touch the shared global source: explicit constructors, whose seeds the
+// seedrng analyzer vets separately.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// AnalyzerSimtime forbids wall-clock reads and global math/rand use in
+// the deterministic packages, where either silently de-randomizes the
+// bit-reproducibility contract that every golden-hash test pins.
+var AnalyzerSimtime = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid wall-clock and global math/rand use in deterministic (virtual-time) packages",
+	Run:  runSimtime,
+}
+
+func runSimtime(pass *Pass) error {
+	path := pass.PkgPath()
+	det := false
+	for _, p := range deterministicPkgs {
+		if pathMatches(path, p) {
+			det = true
+			break
+		}
+	}
+	if !det {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"time.%s reads the wall clock in deterministic package %s; use the virtual clock (or //lint:allow simtime <reason> at a true live boundary)",
+						fn.Name(), path)
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandExempt[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"rand.%s draws from the global math/rand source in deterministic package %s; use a seeded *rand.Rand (workload.NewRand)",
+						fn.Name(), path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package counters is an atomicmix fixture: hits is accessed both
+// through sync/atomic and plainly, which is the latent race the analyzer
+// exists to catch; misses and generation each stick to one discipline.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+// record touches hits atomically: this is the sanctioned access.
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// snapshot reads hits plainly: mixed access, flagged.
+func (s *stats) snapshot() int64 {
+	return s.hits // want `hits is accessed with sync/atomic`
+}
+
+// bumpMiss only ever touches misses plainly: fine.
+func (s *stats) bumpMiss() { s.misses++ }
+
+// initHits is pre-publication initialization, annotated as such.
+func (s *stats) initHits(v int64) {
+	s.hits = v //lint:allow atomicmix pre-publication init before any goroutine starts
+}
+
+// generation is only ever accessed atomically: fine.
+var generation int64
+
+func nextGen() int64 { return atomic.AddInt64(&generation, 1) }

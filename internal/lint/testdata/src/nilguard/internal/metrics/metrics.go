@@ -1,0 +1,40 @@
+// Package metrics is a nilguard fixture: its import path ends in
+// internal/metrics, so Registry/Counter/Gauge/Histogram are on the
+// built-in nil-safe list.
+package metrics
+
+// Registry mirrors the real registry's nil-is-off contract.
+type Registry struct{ n int }
+
+// Get is guarded: fine.
+func (r *Registry) Get() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Bump is missing its guard.
+func (r *Registry) Bump() { // want `exported method \(\*Registry\)\.Bump must begin with`
+	r.n++
+}
+
+// reset is unexported: exempt.
+func (r *Registry) reset() { r.n = 0 }
+
+// Counter here has a value receiver: a nil pointer can never reach it.
+type Counter struct{ n int }
+
+// Value is exempt because the receiver is not a pointer.
+func (c Counter) Value() int { return c.n }
+
+// Gauge is on the built-in list; its guard may share an || chain.
+type Gauge struct{ n int }
+
+// Level is guarded with the receiver test first in an || chain: fine.
+func (g *Gauge) Level(min int) int {
+	if g == nil || g.n < min {
+		return 0
+	}
+	return g.n
+}

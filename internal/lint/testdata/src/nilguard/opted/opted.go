@@ -1,0 +1,28 @@
+// Package opted is the nilguard opt-in fixture: no built-in list entry
+// matches this path, so only the //lint:nilsafe directive puts Sink
+// under the check — and Plain, without the directive, stays exempt.
+package opted
+
+// Sink is nil-safe by contract: a nil *Sink means collection is off.
+//
+//lint:nilsafe
+type Sink struct{ n int }
+
+// Put lacks the guard.
+func (s *Sink) Put(v int) { // want `exported method \(\*Sink\)\.Put must begin with`
+	s.n += v
+}
+
+// Len is guarded with the receiver test as the first leg: fine.
+func (s *Sink) Len() int {
+	if s == nil || s.n < 0 {
+		return 0
+	}
+	return s.n
+}
+
+// Plain carries no directive: its unguarded methods are fine.
+type Plain struct{ n int }
+
+// Grow needs no guard because Plain never promised nil-safety.
+func (p *Plain) Grow() { p.n++ }

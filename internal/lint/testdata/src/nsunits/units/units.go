@@ -1,0 +1,50 @@
+// Package units is an nsunits fixture covering all three rules:
+// int64(duration) conversions, time.Duration(non-ns count) conversions,
+// and non-nanosecond accessors flowing into *Ns destinations.
+package units
+
+import "time"
+
+// Sample carries nanosecond and millisecond fields across the wire.
+type Sample struct {
+	ServiceNs int64
+	WaitMs    int64
+}
+
+// maxNs is a constant conversion: exempt.
+const maxNs = int64(1000 * time.Second)
+
+// toNs drops the unit implicitly.
+func toNs(d time.Duration) int64 {
+	return int64(d) // want `int64\(d\) drops the unit`
+}
+
+// toNsOK converts explicitly.
+func toNsOK(d time.Duration) int64 { return d.Nanoseconds() }
+
+// fromMs treats a millisecond count as nanoseconds.
+func fromMs(s Sample) time.Duration {
+	return time.Duration(s.WaitMs) // want `time\.Duration\(WaitMs\) treats a non-nanosecond count`
+}
+
+// fromMsOK scales the count by its unit before converting.
+func fromMsOK(s Sample) time.Duration {
+	return time.Duration(s.WaitMs * int64(time.Millisecond))
+}
+
+// fill records a duration into an Ns field via the wrong accessor.
+func fill(d time.Duration) Sample {
+	return Sample{ServiceNs: int64(d.Seconds())} // want `Seconds\(\) is not nanoseconds but flows into ServiceNs`
+}
+
+// fillOK uses Nanoseconds.
+func fillOK(d time.Duration) Sample {
+	return Sample{ServiceNs: d.Nanoseconds()}
+}
+
+// accumulate assigns a non-ns accessor into an Ns-suffixed variable.
+func accumulate(d time.Duration) int64 {
+	var sumNs int64
+	sumNs = d.Milliseconds() // want `Milliseconds\(\) is not nanoseconds but flows into sumNs`
+	return sumNs
+}

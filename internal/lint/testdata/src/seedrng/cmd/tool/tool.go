@@ -1,0 +1,12 @@
+// Package tool is the seedrng clean fixture: a command (no internal/ in
+// its path), so it may build RNGs from spec'd seeds directly — but even
+// commands must not seed from the clock.
+package tool
+
+import "math/rand"
+
+// Fixed builds an RNG from a literal seed: commands may do this.
+func Fixed() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// FromSpec builds an RNG from a flag-provided seed: also fine.
+func FromSpec(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,34 @@
+// Package gen is a seedrng fixture: an internal package, so RNG
+// construction must funnel through the approved constructors and no seed
+// may derive from the wall clock.
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NewRand is the approved constructor: building the RNG here is fine.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Stray builds an RNG outside the funnel: both constructor calls flag.
+func Stray() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `rand\.New outside an approved constructor` `rand\.NewSource outside an approved constructor`
+}
+
+// ClockSeeded feeds a wall-clock seed into the approved constructor: the
+// construction is fine but the seed is not.
+func ClockSeeded() *rand.Rand {
+	return NewRand(time.Now().UnixNano()) // want `seed for NewRand derives from the wall clock`
+}
+
+// balancerRand is the other approved constructor, but approved callers
+// still may not seed from the clock.
+func balancerRand() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seed for New derives from the wall clock` `seed for NewSource derives from the wall clock`
+}
+
+// Derived threads a seed from its caller: fine everywhere.
+func Derived(runSeed int64) *rand.Rand { return NewRand(runSeed + 1) }

@@ -1,0 +1,10 @@
+// simulate.go carries no file-scoped directive, so the deterministic
+// contract applies even though live.go in the same package opted out.
+package cluster
+
+import "time"
+
+// Advance must not consult the wall clock.
+func Advance() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in deterministic package`
+}

@@ -1,0 +1,38 @@
+// Package sim is a simtime fixture: its import path ends in
+// internal/sim, so it is a deterministic package and every wall-clock
+// read or global math/rand draw must be flagged.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tick reads the wall clock: forbidden here.
+func Tick() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in deterministic package`
+}
+
+// Wait blocks on the wall clock: forbidden here.
+func Wait(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep reads the wall clock in deterministic package`
+}
+
+// Jitter draws from the shared global source: forbidden here.
+func Jitter() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// Boundary is a sanctioned wall-clock read: the line-scoped allow
+// directive above the call suppresses the finding.
+func Boundary() time.Time {
+	//lint:allow simtime fixture exercises the line-scoped allow directive
+	return time.Now()
+}
+
+// Elapsed is pure duration arithmetic: always fine.
+func Elapsed(a, b time.Duration) time.Duration { return b - a }
+
+// Seeded builds an explicit source: the constructors are exempt from
+// simtime (seedrng vets their seeds separately).
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,14 @@
+// Package liveok is the simtime clean fixture: its import path matches
+// no deterministic package, so wall-clock and global-rand use are fine.
+package liveok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock outside the deterministic packages.
+func Stamp() time.Time { return time.Now() }
+
+// Roll draws from the global source outside the deterministic packages.
+func Roll() int { return rand.Intn(6) }

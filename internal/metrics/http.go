@@ -15,6 +15,9 @@ import (
 // p50/p95/p99 gauges derived from the cumulative epoch. Names are sanitized
 // to the Prometheus charset; output order is deterministic (sorted).
 func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
 	r.visit(
 		func(name string, c *Counter) {
 			n := promName(name)
@@ -68,6 +71,10 @@ type histJSON struct {
 // WriteJSON renders the registry as an expvar-style JSON object (maps keyed
 // by instrument name; json.Marshal sorts keys, so output is deterministic).
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
 	out := struct {
 		Counters   map[string]uint64   `json:"counters"`
 		Gauges     map[string]int64    `json:"gauges"`
@@ -83,8 +90,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		func(name string, h *Histogram) {
 			t := h.Total()
 			out.Histograms[name] = histJSON{
-				Count: t.Count, SumNs: int64(t.Sum),
-				P50Ns: int64(t.P50), P95Ns: int64(t.P95), P99Ns: int64(t.P99), MaxNs: int64(t.Max),
+				Count: t.Count, SumNs: t.Sum.Nanoseconds(),
+				P50Ns: t.P50.Nanoseconds(), P95Ns: t.P95.Nanoseconds(),
+				P99Ns: t.P99.Nanoseconds(), MaxNs: t.Max.Nanoseconds(),
 			}
 		},
 	)

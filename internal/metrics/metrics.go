@@ -20,30 +20,61 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. A nil *Counter (handed
+// out by a nil Registry when metrics are off) is a no-op.
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Gauge is an instantaneous level (in-flight requests, provisioned
-// replicas).
+// replicas). A nil *Gauge is a no-op.
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the level.
-func (g *Gauge) Set(n int64) { g.v.Store(n) }
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
 
 // Add moves the level by n (negative to decrease).
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
 
 // histBuckets is the number of power-of-two latency buckets: bucket i counts
 // observations with bits.Len64(ns) == i, covering 1ns to ~9.2s and beyond.
@@ -129,6 +160,9 @@ type Histogram struct {
 
 // Observe records one latency sample.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	h.total.observe(d)
 	h.win.observe(d)
@@ -138,6 +172,9 @@ func (h *Histogram) Observe(d time.Duration) {
 // Rotate freezes and resets the current window epoch, returning its
 // snapshot.
 func (h *Histogram) Rotate() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
 	h.mu.Lock()
 	snap := h.win.snapshot()
 	h.win = histEpoch{}
@@ -147,6 +184,9 @@ func (h *Histogram) Rotate() HistSnapshot {
 
 // Total snapshots the cumulative epoch.
 func (h *Histogram) Total() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
 	h.mu.Lock()
 	snap := h.total.snapshot()
 	h.mu.Unlock()
@@ -172,8 +212,12 @@ func New() *Registry {
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. A nil
+// registry (metrics off) returns a nil, no-op counter.
 func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.counters[name]
@@ -184,8 +228,12 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil, no-op gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g := r.gauges[name]
@@ -196,8 +244,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it on first use.
+// Histogram returns the named histogram, creating it on first use. A
+// nil registry returns a nil, no-op histogram.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]

@@ -1,3 +1,5 @@
+//lint:allow simtime live pipeline engine: goroutine dispatch, hedge timers, and ticks run on the wall clock by design
+
 package pipeline
 
 import (
@@ -536,8 +538,8 @@ func (t *liveTier) work(rep *liveReplica) {
 // (in-process edges) or connection-pool readers (networked edges).
 func (t *liveTier) complete(rep *liveReplica, p livePending, queue, service time.Duration, failed bool, end time.Time) {
 	endOff := end.Sub(t.eng.start)
-	storeMax(&rep.lastDone, int64(endOff))
-	storeMax(&t.eng.lastDone, int64(endOff))
+	storeMax(&rep.lastDone, endOff.Nanoseconds())
+	storeMax(&t.eng.lastDone, endOff.Nanoseconds())
 	n := p.node
 	sample := core.Sample{
 		Queue:   queue,
@@ -588,7 +590,7 @@ func (t *liveTier) complete(rep *liveReplica, p livePending, queue, service time
 	}
 	t.collector.Record(sample)
 	if !n.root.warmup {
-		storeMax(&n.root.tierMax[t.idx], int64(sample.Sojourn))
+		storeMax(&n.root.tierMax[t.idx], sample.Sojourn.Nanoseconds())
 	}
 	t.eng.settle(n, endOff, endOff+n.synth)
 }
@@ -621,7 +623,7 @@ func (e *liveEngine) resolve(n *liveNode, done time.Duration) {
 		}
 		p := n.parent
 		if p == nil {
-			n.root.done.Store(int64(done))
+			n.root.done.Store(done.Nanoseconds())
 			if tree := n.root.tree; tree != nil {
 				tree.Close(0, done)
 				e.cfg.Trace.Observe(tree, done-n.root.at)
@@ -631,7 +633,7 @@ func (e *liveEngine) resolve(n *liveNode, done time.Duration) {
 			}
 			return
 		}
-		storeMax(&p.maxChildDone, int64(done))
+		storeMax(&p.maxChildDone, done.Nanoseconds())
 		if p.pending.Add(-1) > 0 {
 			return
 		}

@@ -1,3 +1,5 @@
+//lint:allow simtime live edge transport: fleet shutdown grace periods run on the wall clock by design
+
 package pipeline
 
 import (

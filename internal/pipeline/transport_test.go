@@ -1,3 +1,5 @@
+//lint:allow simtime live-transport tests: echo servers sleep to emulate real service time
+
 package pipeline
 
 import (

@@ -121,7 +121,7 @@ func (h *Histogram) Record(v int64) {
 }
 
 // RecordDuration adds a time.Duration sample.
-func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
 
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }

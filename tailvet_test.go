@@ -1,0 +1,28 @@
+package tailbench_test
+
+import (
+	"testing"
+
+	"tailbench/internal/lint"
+)
+
+// tailvetAnalyzers pins the analyzer suite from outside the lint
+// package: the names appear in //lint:allow directives, disable flags,
+// and CI configuration across the tree, so adding, removing, or renaming
+// an analyzer must show up as an explicit diff here.
+var tailvetAnalyzers = []string{"simtime", "seedrng", "nilguard", "atomicmix", "nsunits"}
+
+func TestTailvetAnalyzerList(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) == 0 {
+		t.Fatal("tailvet has no analyzers")
+	}
+	if len(as) != len(tailvetAnalyzers) {
+		t.Fatalf("tailvet has %d analyzers, want %d — update tailvetAnalyzers and the README if this is intentional", len(as), len(tailvetAnalyzers))
+	}
+	for i, a := range as {
+		if a.Name != tailvetAnalyzers[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, tailvetAnalyzers[i])
+		}
+	}
+}

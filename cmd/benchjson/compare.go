@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression thresholds. Throughput on a quiet machine is repeatable to a
+// few percent, so 10% is a real regression; allocs/op is a deterministic
+// count, so any growth beyond float-rounding slack means the hot path
+// started allocating again — the property the engine's alloc-free design
+// exists to protect.
+const (
+	throughputTolerance = 0.10
+	allocsTolerance     = 0.02
+)
+
+// compareDocs diffs two benchjson documents and returns an error describing
+// every regression of new relative to old. Rows are matched by pkg+name;
+// rows present only in old fail (a benchmark silently vanishing is how
+// regressions hide), rows present only in new are fine (new coverage).
+func compareDocs(oldPath, newPath string, softThroughput bool) error {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		return err
+	}
+	regressions, warnings := compareBenches(oldDoc, newDoc, softThroughput)
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "benchjson: warning:", w)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		return fmt.Errorf("%d regression(s) vs %s", len(regressions), oldPath)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within thresholds of %s\n",
+		len(newDoc.Benchmarks), oldPath)
+	return nil
+}
+
+func readDoc(path string) (*doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// compareBenches returns the failing regressions and the soft warnings.
+func compareBenches(oldDoc, newDoc *doc, softThroughput bool) (regressions, warnings []string) {
+	key := func(b benchLine) string { return b.Pkg + "." + b.Name }
+	newRows := make(map[string]benchLine, len(newDoc.Benchmarks))
+	for _, b := range newDoc.Benchmarks {
+		newRows[key(b)] = b
+	}
+	for _, old := range oldDoc.Benchmarks {
+		k := key(old)
+		now, ok := newRows[k]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from new results", k))
+			continue
+		}
+		oldEv, oldHasEv := old.Metrics["events/s"]
+		newEv := now.Metrics["events/s"]
+		if oldHasEv && oldEv > 0 && newEv < oldEv*(1-throughputTolerance) {
+			msg := fmt.Sprintf("%s: events/s %.0f -> %.0f (%.1f%% drop, threshold %.0f%%)",
+				k, oldEv, newEv, 100*(1-newEv/oldEv), 100*throughputTolerance)
+			if softThroughput {
+				warnings = append(warnings, msg)
+			} else {
+				regressions = append(regressions, msg)
+			}
+		}
+		oldAl, oldHasAl := old.Metrics["allocs/op"]
+		newAl := now.Metrics["allocs/op"]
+		if oldHasAl && newAl > oldAl*(1+allocsTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %.0f -> %.0f (hot path allocating again)", k, oldAl, newAl))
+		}
+	}
+	return regressions, warnings
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkDoc(events, allocs float64) *doc {
+	return &doc{Benchmarks: []benchLine{{
+		Pkg:  "tailbench/internal/cluster",
+		Name: "SimCluster/plain",
+		Metrics: map[string]float64{
+			"events/s":  events,
+			"allocs/op": allocs,
+		},
+	}}}
+}
+
+func TestCompareWithinThresholds(t *testing.T) {
+	// 5% throughput drop and flat allocs: inside tolerance.
+	reg, warn := compareBenches(mkDoc(1000000, 100), mkDoc(950000, 100), false)
+	if len(reg) != 0 || len(warn) != 0 {
+		t.Fatalf("got regressions %v warnings %v, want none", reg, warn)
+	}
+}
+
+func TestCompareThroughputRegression(t *testing.T) {
+	reg, _ := compareBenches(mkDoc(1000000, 100), mkDoc(800000, 100), false)
+	if len(reg) != 1 || !strings.Contains(reg[0], "events/s") {
+		t.Fatalf("got %v, want one events/s regression", reg)
+	}
+}
+
+func TestCompareSoftThroughput(t *testing.T) {
+	reg, warn := compareBenches(mkDoc(1000000, 100), mkDoc(800000, 100), true)
+	if len(reg) != 0 {
+		t.Fatalf("soft mode still failed: %v", reg)
+	}
+	if len(warn) != 1 {
+		t.Fatalf("got warnings %v, want one", warn)
+	}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	// Allocation growth hard-fails even in soft-throughput mode.
+	reg, _ := compareBenches(mkDoc(1000000, 100), mkDoc(1000000, 110), true)
+	if len(reg) != 1 || !strings.Contains(reg[0], "allocs/op") {
+		t.Fatalf("got %v, want one allocs/op regression", reg)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	reg, _ := compareBenches(mkDoc(1000000, 100), &doc{}, true)
+	if len(reg) != 1 || !strings.Contains(reg[0], "missing") {
+		t.Fatalf("got %v, want one missing-benchmark regression", reg)
+	}
+}

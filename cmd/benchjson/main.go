@@ -4,11 +4,21 @@
 // logs. Usage:
 //
 //	go test -run '^$' -bench . ./internal/... | benchjson > BENCH_sim.json
+//
+// With -compare it becomes a regression gate instead: it diffs two such
+// documents and exits nonzero when the new one regresses the old —
+// throughput (events/s) dropping more than 10%, or allocations per
+// operation growing at all (beyond 2% slack). -soft-throughput downgrades
+// the throughput check to a warning for noisy shared runners, where
+// allocs/op stays trustworthy but events/s does not:
+//
+//	benchjson -compare -soft-throughput BENCH_sim.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -34,6 +44,20 @@ type doc struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit nonzero on regression")
+	softThroughput := flag.Bool("soft-throughput", false, "with -compare: report events/s regressions without failing (noisy runners)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareDocs(flag.Arg(0), flag.Arg(1), *softThroughput); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

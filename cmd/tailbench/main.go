@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +67,7 @@ func main() {
 		ideal    = flag.Bool("idealmem", false, "idealized memory system (simulated mode)")
 		jsonOut  = flag.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
 		obs      = addObsFlags(flag.CommandLine)
+		prof     = addProfFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -79,6 +82,7 @@ func main() {
 		os.Exit(2)
 	}
 	reg, stopObs := obs.start()
+	stopProf := prof.start()
 	res, err := tailbench.Run(tailbench.RunSpec{
 		App:          *appName,
 		Mode:         m,
@@ -98,6 +102,7 @@ func main() {
 		Trace:        obs.spec(),
 		Metrics:      reg,
 	})
+	stopProf()
 	stopObs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
@@ -115,6 +120,59 @@ func main() {
 	}
 	printResult(res)
 	printTraceReport(res.Trace)
+}
+
+// profOpts groups the profiling flags shared by every subcommand, so a hot
+// path found in a sweep can be pinned down without writing a benchmark.
+type profOpts struct {
+	cpuPath string
+	memPath string
+}
+
+// addProfFlags registers the profiling flags on a flag set.
+func addProfFlags(fs *flag.FlagSet) *profOpts {
+	o := &profOpts{}
+	fs.StringVar(&o.cpuPath, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	fs.StringVar(&o.memPath, "memprofile", "", "write a heap profile (taken after the run) to this file")
+	return o
+}
+
+// start begins CPU profiling if requested; the returned stop function
+// flushes the CPU profile and takes the post-run heap profile.
+func (o *profOpts) start() func() {
+	var cpuFile *os.File
+	if o.cpuPath != "" {
+		f, err := os.Create(o.cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tailbench:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if o.memPath != "" {
+			runtime.GC()
+			f, err := os.Create(o.memPath)
+			if err == nil {
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tailbench: writing heap profile:", err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 // obsOpts groups the observability flags shared by every subcommand: the
@@ -286,6 +344,7 @@ func runCluster(args []string) {
 		provDelay = fs.Duration("provision-delay", 0, "cold-start latency before a scaled-up replica turns active (0 = instant warm pool)")
 		drainPol  = fs.String("drain-policy", "", "scale-down victim policy: "+strings.Join(tailbench.DrainPolicies(), ", ")+" (empty = youngest)")
 		obs       = addObsFlags(fs)
+		prof      = addProfFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -325,6 +384,7 @@ func runCluster(args []string) {
 		os.Exit(2)
 	}
 	reg, stopObs := obs.start()
+	stopProf := prof.start()
 	spec := tailbench.ClusterSpec{
 		App:               *appName,
 		Mode:              m,
@@ -356,6 +416,7 @@ func runCluster(args []string) {
 	}
 	spec.Slowdowns = slowdowns
 	res, err := tailbench.RunCluster(spec)
+	stopProf()
 	stopObs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)
@@ -424,6 +485,7 @@ func runPipeline(args []string) {
 		seed     = fs.Int64("seed", 1, "random seed")
 		jsonOut  = fs.String("json", "", "write the full result as JSON to this file (\"-\" for stdout)")
 		obs      = addObsFlags(fs)
+		prof     = addProfFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -443,6 +505,7 @@ func runPipeline(args []string) {
 		os.Exit(2)
 	}
 	reg, stopObs := obs.start()
+	stopProf := prof.start()
 	res, err := tailbench.RunPipeline(tailbench.PipelineSpec{
 		Mode:         m,
 		Tiers:        tiers,
@@ -456,6 +519,7 @@ func runPipeline(args []string) {
 		Trace:        obs.spec(),
 		Metrics:      reg,
 	})
+	stopProf()
 	stopObs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tailbench:", err)

@@ -1,0 +1,115 @@
+package tailbench
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// goldenHash fingerprints a full result document. JSON marshalling covers
+// every exported field — summaries, CDFs, windows, scaling events, traces —
+// so a drift anywhere in a result is a hash change here.
+func goldenHash(t *testing.T, v interface{}) uint64 {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// Golden fingerprints of four fixed-seed simulated runs, spanning the
+// engine's feature surface: elastic scaling with cold starts and drains,
+// windowed accounting under time-varying shapes, request tracing, and a
+// hedged fan-out pipeline combining all of it. The simulated engines
+// guarantee same spec + same seed => byte-identical results, so these
+// values must survive ANY internal change — data-structure swaps, event
+// queue rewrites, allocation work. If one moves, either simulation
+// semantics changed (a breaking change to document loudly) or determinism
+// broke (a bug). Perf work is only mergeable when they hold.
+const (
+	goldenElastic  = 0x858dc459d96ff00a
+	goldenWindowed = 0x4c294e5671051e98
+	goldenTraced   = 0x09a3a810da25a5ce
+	goldenPipeline = 0x10c2a1f7b4ba9fb0
+)
+
+func TestGoldenElasticCluster(t *testing.T) {
+	res, err := RunCluster(ClusterSpec{
+		App: "masstree", Mode: ModeSimulated, Policy: "jsq2", Replicas: 2,
+		Load: Spike(1000, 6000, 2*time.Second, 2*time.Second), Window: time.Second,
+		Requests: 12000, Warmup: 1200, Seed: 5,
+		Autoscale: &AutoscaleSpec{
+			Policy: "threshold", MinReplicas: 2, MaxReplicas: 8,
+			Interval: 5 * time.Millisecond, HighDepth: 1.5, LowDepth: 0.4,
+			ProvisionDelay: 20 * time.Millisecond, DrainPolicy: "least-loaded",
+		},
+		ServiceSamples: syntheticServiceSamples(400, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenHash(t, res); got != goldenElastic {
+		t.Errorf("elastic golden hash = %#x, want %#x", got, uint64(goldenElastic))
+	}
+}
+
+func TestGoldenWindowedCluster(t *testing.T) {
+	res, err := RunCluster(ClusterSpec{
+		App: "masstree", Mode: ModeSimulated, Policy: "leastq", Replicas: 3, Threads: 2,
+		Load: Diurnal(2000, 1200, 4*time.Second), Window: 500 * time.Millisecond,
+		Requests: 10000, Warmup: 1000, Seed: 9,
+		ServiceSamples: syntheticServiceSamples(400, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenHash(t, res); got != goldenWindowed {
+		t.Errorf("windowed golden hash = %#x, want %#x", got, uint64(goldenWindowed))
+	}
+}
+
+func TestGoldenTracedCluster(t *testing.T) {
+	res, err := RunCluster(ClusterSpec{
+		App: "masstree", Mode: ModeSimulated, Policy: "leastq", Replicas: 3, Threads: 2,
+		QPS: 2500, Requests: 4000, Warmup: 400, Seed: 9,
+		ServiceSamples: syntheticServiceSamples(300, 11),
+		Trace:          &TraceSpec{TopK: 4, Window: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenHash(t, res); got != goldenTraced {
+		t.Errorf("traced golden hash = %#x, want %#x", got, uint64(goldenTraced))
+	}
+}
+
+func TestGoldenTracedPipeline(t *testing.T) {
+	shard := expServiceSamples(500, time.Millisecond, 7)
+	front := make([]time.Duration, len(shard))
+	for i, s := range shard {
+		front[i] = s / 4
+	}
+	res, err := RunPipeline(PipelineSpec{
+		Mode: ModeSimulated,
+		Tiers: []TierSpec{
+			{Name: "frontend", Cluster: ClusterSpec{App: "xapian", Replicas: 2, ServiceSamples: front}},
+			{Name: "shards", Cluster: ClusterSpec{
+				App: "xapian", Replicas: 4, ServiceSamples: shard,
+				Autoscale: &AutoscaleSpec{Policy: "threshold", MinReplicas: 4, MaxReplicas: 12, Interval: 10 * time.Millisecond},
+			}, FanOut: 8, Hedge: &HedgeSpec{Delay: 6 * time.Millisecond}},
+		},
+		Load: Spike(100, 400, 2*time.Second, 2*time.Second), Window: time.Second,
+		Requests: 6000, Warmup: 600, Seed: 3,
+		Trace: &TraceSpec{TopK: 4, Window: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenHash(t, res); got != goldenPipeline {
+		t.Errorf("pipeline golden hash = %#x, want %#x", got, uint64(goldenPipeline))
+	}
+}

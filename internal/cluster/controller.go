@@ -3,7 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"tailbench/internal/stats"
@@ -349,7 +349,7 @@ func tickP95(sojourns []time.Duration) time.Duration {
 	if len(sojourns) == 0 {
 		return 0
 	}
-	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	slices.Sort(sojourns)
 	return stats.PercentileOfSorted(sojourns, 95)
 }
 

@@ -1,0 +1,107 @@
+package cluster
+
+import "time"
+
+// The simulation hot loop orders work with 4-ary min-heaps specialized to
+// their element types. container/heap costs an interface{} boxing allocation
+// on every Push and Pop — one per simulated event — which dominated the
+// engine's allocation profile. The typed heaps below keep elements unboxed,
+// and the 4-ary layout halves the tree depth versus binary (fewer swaps per
+// sift, better cache locality on the small heaps the engine keeps).
+//
+// Neither heap promises a particular pop order among equal keys. That is
+// safe here by construction: popped inflight instants are discarded (only
+// the minimum and the length are observed), and completion ties differ only
+// in sojourn, which feeds a window that is sorted before use (tickP95).
+
+// durHeap is a min-heap of completion instants — one entry per request a
+// replica has accepted but not yet finished, so its length is the replica's
+// outstanding count and h[0] its next completion.
+type durHeap []time.Duration
+
+func (h durHeap) len() int { return len(h) }
+
+func (h *durHeap) push(d time.Duration) {
+	s := append(*h, d)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+// pop removes and returns the minimum instant.
+func (h *durHeap) pop() time.Duration {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		m := i
+		c := 4*i + 1
+		for e := c + 4; c < e && c < n; c++ {
+			if s[c] < s[m] {
+				m = c
+			}
+		}
+		if m == i {
+			return top
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}
+
+// completionQueue is a min-heap of completions ordered by finish instant —
+// the simulation's completion timeline feeding the controller's per-tick
+// latency window.
+type completionQueue []completion
+
+func (h completionQueue) len() int { return len(h) }
+
+func (h *completionQueue) push(c completion) {
+	s := append(*h, c)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if s[p].finish <= s[i].finish {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+// pop removes and returns the earliest-finishing completion.
+func (h *completionQueue) pop() completion {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		m := i
+		c := 4*i + 1
+		for e := c + 4; c < e && c < n; c++ {
+			if s[c].finish < s[m].finish {
+				m = c
+			}
+		}
+		if m == i {
+			return top
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}

@@ -283,8 +283,15 @@ func (rs *ReplicaSet) Event(at time.Duration, from, to int) {
 	rs.events = append(rs.events, ScalingEvent{At: at, From: from, To: to})
 }
 
-// Events returns the scaling timeline in tick order.
-func (rs *ReplicaSet) Events() []ScalingEvent { return rs.events }
+// Events returns a copy of the scaling timeline in tick order. It is a
+// snapshot: callers may sort, truncate, or annotate it without aliasing the
+// set's internal ledger (which keeps growing while a run is in flight).
+func (rs *ReplicaSet) Events() []ScalingEvent {
+	if rs.events == nil {
+		return nil
+	}
+	return append([]ScalingEvent(nil), rs.events...)
+}
 
 // ReplicaSeconds integrates the provisioned replica count over [0, end]: the
 // run's provisioning cost, the denominator that lets an autoscaled run be

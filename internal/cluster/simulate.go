@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -108,23 +107,6 @@ func (c SimConfig) withDefaults() SimConfig {
 	return c
 }
 
-// finishHeap is a min-heap of completion instants, one entry per request a
-// replica has accepted but not yet finished; its length is the replica's
-// outstanding count.
-type finishHeap []time.Duration
-
-func (h finishHeap) Len() int            { return len(h) }
-func (h finishHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
-func (h *finishHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // completion is one finished request on the simulation's completion timeline,
 // feeding the controller's per-tick latency window.
 type completion struct {
@@ -132,19 +114,16 @@ type completion struct {
 	sojourn time.Duration
 }
 
-// completionHeap orders completions by finish instant.
-type completionHeap []completion
-
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// simSample is one measured dispatch in the engine's central sample log:
+// the serving replica and the request's latency decomposition. Keeping one
+// flat, preallocated log (instead of three growable slices per replica)
+// makes the recording path allocation-free in steady state; Rows scatters
+// it back per replica once, at result-assembly time.
+type simSample struct {
+	replica int32
+	queue   time.Duration
+	service time.Duration
+	sojourn time.Duration
 }
 
 // simReplicaState is the evolving state of one simulated replica, attached
@@ -160,7 +139,7 @@ type simReplicaState struct {
 	workerFree []time.Duration
 	// inflight tracks completion instants of accepted-but-unfinished
 	// requests; len(inflight) is the outstanding count.
-	inflight finishHeap
+	inflight durHeap
 	// lastBusy is the latest completion instant ever assigned to this
 	// replica — the moment a draining replica actually goes idle.
 	lastBusy time.Duration
@@ -168,8 +147,6 @@ type simReplicaState struct {
 	dispatched uint64
 	depth      DepthAccum
 	measured   uint64
-
-	queueS, serviceS, sojournS []time.Duration
 }
 
 // SimClusterConfig parameterizes one composable virtual-time cluster engine
@@ -190,6 +167,11 @@ type SimClusterConfig struct {
 	// Autoscale enables the autoscaling control loop; nil keeps membership
 	// fixed.
 	Autoscale *AutoscaleConfig
+	// ExpectedMeasured is a capacity hint: the number of recorded (measured)
+	// dispatches the caller expects to feed. The engine preallocates its
+	// sample log from it so steady-state dispatches allocate nothing. Zero
+	// means no hint; the log grows as needed.
+	ExpectedMeasured int
 }
 
 // SimDispatch is the outcome of routing one arrival through a SimCluster:
@@ -223,10 +205,13 @@ type SimCluster struct {
 
 	// completions feeds the controller's per-tick p95 window; only
 	// maintained when autoscaling is on.
-	completions completionHeap
+	completions completionQueue
 	tickBuf     []time.Duration
 	candidates  []Candidate
 	lastFinish  time.Duration
+
+	// samples is the central measured-dispatch log (see simSample).
+	samples []simSample
 }
 
 // NewSimCluster validates the config and builds the engine with its initial
@@ -256,7 +241,15 @@ func NewSimCluster(cfg SimClusterConfig) (*SimCluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	sc := &SimCluster{cfg: cfg, set: NewReplicaSet(len(cfg.Replicas)), balancer: balancer}
+	sc := &SimCluster{
+		cfg:        cfg,
+		set:        NewReplicaSet(len(cfg.Replicas)),
+		balancer:   balancer,
+		candidates: make([]Candidate, 0, len(cfg.Replicas)),
+	}
+	if cfg.ExpectedMeasured > 0 {
+		sc.samples = make([]simSample, 0, cfg.ExpectedMeasured)
+	}
 	if cfg.Autoscale != nil {
 		sc.loop, err = NewControlLoop(*cfg.Autoscale, cfg.InitialReplicas, len(cfg.Replicas))
 		if err != nil {
@@ -290,6 +283,7 @@ func (sc *SimCluster) provision(m *Member) {
 		service:    sr.Service,
 		rng:        workload.NewRand(workload.SplitSeed(sc.cfg.Seed, int64(100+m.ID))),
 		workerFree: make([]time.Duration, threads),
+		inflight:   make(durHeap, 0, 4*threads),
 	})
 }
 
@@ -304,10 +298,10 @@ func (sc *SimCluster) advance(t time.Duration) {
 			continue
 		}
 		st := sc.states[m.ID]
-		for st.inflight.Len() > 0 && st.inflight[0] <= t {
-			heap.Pop(&st.inflight)
+		for st.inflight.len() > 0 && st.inflight[0] <= t {
+			st.inflight.pop()
 		}
-		if m.State == StateDraining && st.inflight.Len() == 0 {
+		if m.State == StateDraining && st.inflight.len() == 0 {
 			sc.set.Retire(m.ID, st.lastBusy)
 		}
 	}
@@ -321,16 +315,16 @@ func (sc *SimCluster) RunTicks(t time.Duration) {
 		at := sc.loop.Begin()
 		sc.advance(at)
 		sc.tickBuf = sc.tickBuf[:0]
-		for sc.completions.Len() > 0 && sc.completions[0].finish <= at {
-			sc.tickBuf = append(sc.tickBuf, heap.Pop(&sc.completions).(completion).sojourn)
+		for sc.completions.len() > 0 && sc.completions[0].finish <= at {
+			sc.tickBuf = append(sc.tickBuf, sc.completions.pop().sojourn)
 		}
 		outstanding := 0
 		for _, id := range sc.set.ActiveIDs() {
-			outstanding += sc.states[id].inflight.Len()
+			outstanding += sc.states[id].inflight.len()
 		}
 		target := sc.loop.Decide(Observe(at, sc.set, outstanding, sc.tickBuf))
 		sc.loop.Apply(sc.set, target, at, sc.provision, func(*Member) {},
-			func(id int) int { return sc.states[id].inflight.Len() })
+			func(id int) int { return sc.states[id].inflight.len() })
 		// A drained replica with no outstanding work retires immediately.
 		sc.advance(at)
 	}
@@ -346,7 +340,7 @@ func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
 	sc.advance(t)
 	sc.candidates = sc.candidates[:0]
 	for _, id := range sc.set.ActiveIDs() {
-		sc.candidates = append(sc.candidates, Candidate{ID: id, Outstanding: sc.states[id].inflight.Len()})
+		sc.candidates = append(sc.candidates, Candidate{ID: id, Outstanding: sc.states[id].inflight.len()})
 	}
 	pick := sc.balancer.Pick(sc.candidates)
 	st := sc.states[pick]
@@ -370,7 +364,7 @@ func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
 	}
 	finish := start + service
 	st.workerFree[w] = finish
-	heap.Push(&st.inflight, finish)
+	st.inflight.push(finish)
 	if finish > st.lastBusy {
 		st.lastBusy = finish
 	}
@@ -381,13 +375,11 @@ func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
 	if sc.loop != nil {
 		// The controller observes every completion, warmup included —
 		// it is an online signal, not a measurement artifact.
-		heap.Push(&sc.completions, completion{finish: finish, sojourn: sojourn})
+		sc.completions.push(completion{finish: finish, sojourn: sojourn})
 	}
 	if record {
 		st.measured++
-		st.queueS = append(st.queueS, queue)
-		st.serviceS = append(st.serviceS, service)
-		st.sojournS = append(st.sojournS, sojourn)
+		sc.samples = append(sc.samples, simSample{replica: int32(pick), queue: queue, service: service, sojourn: sojourn})
 	}
 	return SimDispatch{Queue: queue, Service: service, Sojourn: sojourn, Finish: finish, Replica: pick}
 }
@@ -406,8 +398,29 @@ func (sc *SimCluster) Settle() {
 // interval each replica's throughput is taken over (per-replica rates sum
 // to the aggregate rate).
 func (sc *SimCluster) Rows(end, elapsed time.Duration) []ReplicaStats {
+	// Scatter the central sample log back per replica (appends within one
+	// replica preserve dispatch order, so summaries match the former
+	// per-replica recording exactly).
+	type perReplica struct{ queue, service, sojourn []time.Duration }
+	per := make([]perReplica, len(sc.states))
+	for i, st := range sc.states {
+		if st.measured == 0 {
+			continue
+		}
+		per[i] = perReplica{
+			queue:   make([]time.Duration, 0, st.measured),
+			service: make([]time.Duration, 0, st.measured),
+			sojourn: make([]time.Duration, 0, st.measured),
+		}
+	}
+	for _, s := range sc.samples {
+		p := &per[s.replica]
+		p.queue = append(p.queue, s.queue)
+		p.service = append(p.service, s.service)
+		p.sojourn = append(p.sojourn, s.sojourn)
+	}
 	rows := make([]ReplicaStats, 0, len(sc.states))
-	for _, st := range sc.states {
+	for i, st := range sc.states {
 		repAchieved := 0.0
 		if elapsed > 0 {
 			repAchieved = float64(st.measured) / elapsed.Seconds()
@@ -419,9 +432,9 @@ func (sc *SimCluster) Rows(end, elapsed time.Duration) []ReplicaStats {
 			Dispatched:     st.dispatched,
 			Requests:       st.measured,
 			AchievedQPS:    repAchieved,
-			Queue:          stats.SummaryFromSamples(st.queueS),
-			Service:        stats.SummaryFromSamples(st.serviceS),
-			Sojourn:        stats.SummaryFromSamples(st.sojournS),
+			Queue:          stats.SummaryFromSamples(per[i].queue),
+			Service:        stats.SummaryFromSamples(per[i].service),
+			Sojourn:        stats.SummaryFromSamples(per[i].sojourn),
 			MeanQueueDepth: st.depth.Mean(),
 			MaxQueueDepth:  st.depth.Max(),
 		}))
@@ -447,12 +460,13 @@ func (sc *SimCluster) Loop() *ControlLoop { return sc.loop }
 func Simulate(cfg SimConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	eng, err := NewSimCluster(SimClusterConfig{
-		Policy:          cfg.Policy,
-		Threads:         cfg.Threads,
-		Seed:            cfg.Seed,
-		Replicas:        cfg.Replicas,
-		InitialReplicas: cfg.InitialReplicas,
-		Autoscale:       cfg.Autoscale,
+		Policy:           cfg.Policy,
+		Threads:          cfg.Threads,
+		Seed:             cfg.Seed,
+		Replicas:         cfg.Replicas,
+		InitialReplicas:  cfg.InitialReplicas,
+		Autoscale:        cfg.Autoscale,
+		ExpectedMeasured: cfg.Requests,
 	})
 	if err != nil {
 		return nil, err
@@ -463,10 +477,10 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	shaper := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2))
 	arrivals := shaper.Schedule(total)
 
-	var (
-		queueAll, serviceAll, sojournAll []time.Duration
-		timed                            []stats.TimedSample
-	)
+	queueAll := make([]time.Duration, 0, cfg.Requests)
+	serviceAll := make([]time.Duration, 0, cfg.Requests)
+	sojournAll := make([]time.Duration, 0, cfg.Requests)
+	timed := make([]stats.TimedSample, 0, cfg.Requests)
 	for i := 0; i < total; i++ {
 		t := arrivals[i]
 		eng.RunTicks(t)
@@ -494,6 +508,14 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	if elapsed > 0 {
 		achieved = float64(len(sojournAll)) / elapsed.Seconds()
 	}
+	// Sort each series once and share it between the summary and the CDF
+	// (KeepRaw hands out the originals, so the sorts work on copies).
+	serviceSorted := make([]time.Duration, len(serviceAll))
+	copy(serviceSorted, serviceAll)
+	stats.SortDurations(serviceSorted)
+	sojournSorted := make([]time.Duration, len(sojournAll))
+	copy(sojournSorted, sojournAll)
+	stats.SortDurations(sojournSorted)
 	out := &Result{
 		App:         cfg.App,
 		Policy:      cfg.Policy,
@@ -506,10 +528,10 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		Requests:    uint64(len(sojournAll)),
 		Warmups:     uint64(cfg.WarmupRequests),
 		Queue:       stats.SummaryFromSamples(queueAll),
-		Service:     stats.SummaryFromSamples(serviceAll),
-		Sojourn:     stats.SummaryFromSamples(sojournAll),
-		ServiceCDF:  stats.SampleCDF(serviceAll),
-		SojournCDF:  stats.SampleCDF(sojournAll),
+		Service:     stats.SummaryFromSorted(serviceSorted),
+		Sojourn:     stats.SummaryFromSorted(sojournSorted),
+		ServiceCDF:  stats.CDFFromSorted(serviceSorted),
+		SojournCDF:  stats.CDFFromSorted(sojournSorted),
 		Elapsed:     elapsed,
 	}
 	if cfg.KeepRaw {

@@ -1,0 +1,28 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+// TestSimulateMarginalAllocs bounds the multi-tier engine end to end:
+// growing a run by 4000 roots (each a front event pair plus a 4-way hedged
+// shard fan-out) must not grow the allocation count by more than ~1 per
+// 100 extra roots. The per-root machinery — event queue slots, fan-in
+// nodes, tierMax scratch, trace trees — is either preallocated from the
+// spec or recycled through free lists, so allocations stay a function of
+// the topology, not the request count.
+func TestSimulateMarginalAllocs(t *testing.T) {
+	run := func(requests int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Simulate(benchPipelineConfig(requests, nil)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := run(1000), run(5000)
+	marginal := (big - small) / 4000
+	if marginal > 0.01 {
+		t.Fatalf("marginal cost %.4f allocs/root over +4000 roots (%.0f -> %.0f), want <= 0.01",
+			marginal, small, big)
+	}
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+// eventQueue is a typed 4-ary min-heap over simEvents ordered by
+// (at, seq) — strictly total since seq is unique — replacing the former
+// container/heap implementation whose interface{} boxing allocated on every
+// push and pop. With a strict total order any correct heap pops the exact
+// same event sequence, so the replacement is invisible to the golden hashes.
+type eventQueue []simEvent
+
+func (h eventQueue) len() int { return len(h) }
+
+func (h eventQueue) before(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventQueue) push(e simEvent) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.before(i, p) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
+
+// pop removes and returns the earliest event.
+func (h *eventQueue) pop() simEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = simEvent{} // release the node pointer to the free list's owner
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		m := i
+		c := 4*i + 1
+		for e := c + 4; c < e && c < n; c++ {
+			if s.before(c, m) {
+				m = c
+			}
+		}
+		if m == i {
+			return top
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}

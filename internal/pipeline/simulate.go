@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -20,8 +19,10 @@ type simRoot struct {
 	at      time.Duration
 	warmup  bool
 	done    time.Duration
-	tierMax []time.Duration
+	tierMax []time.Duration // a window into one run-wide backing array
 	// tree is the root's span tree when tracing is on (measured roots only).
+	// It is acquired lazily at the root's first dispatch and handed to the
+	// recorder at fan-in, so only in-flight roots hold span storage.
 	tree *trace.Tree
 }
 
@@ -54,25 +55,6 @@ type simEvent struct {
 	hedge bool
 }
 
-type simEventHeap []simEvent
-
-func (h simEventHeap) Len() int { return len(h) }
-func (h simEventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h simEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *simEventHeap) Push(x interface{}) { *h = append(*h, x.(simEvent)) }
-func (h *simEventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // simTier couples a tier's cluster engine with its pipeline-level
 // accounting.
 type simTier struct {
@@ -99,39 +81,74 @@ func Simulate(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mult := fanMultipliers(cfg.Tiers)
 	tiers := make([]*simTier, len(cfg.Tiers))
 	for i, tc := range cfg.Tiers {
+		// One root contributes mult[i] measured sub-requests at tier i —
+		// the exact capacity every per-tier sample sink needs, so the
+		// steady-state event loop appends without growing.
+		measured := cfg.Requests * mult[i]
 		eng, err := cluster.NewSimCluster(cluster.SimClusterConfig{
-			Policy:          tc.Policy,
-			Threads:         tc.Threads,
-			Seed:            tierSeed(cfg.Seed, i),
-			Replicas:        tc.SimReplicas,
-			InitialReplicas: tc.Replicas,
-			Autoscale:       tc.Autoscale,
+			Policy:           tc.Policy,
+			Threads:          tc.Threads,
+			Seed:             tierSeed(cfg.Seed, i),
+			Replicas:         tc.SimReplicas,
+			InitialReplicas:  tc.Replicas,
+			Autoscale:        tc.Autoscale,
+			ExpectedMeasured: measured,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: tier %d (%s): %w", i, tc.Name, err)
 		}
-		tiers[i] = &simTier{cfg: tc, eng: eng}
+		tiers[i] = &simTier{
+			cfg:      tc,
+			eng:      eng,
+			queueS:   make([]time.Duration, 0, measured),
+			serviceS: make([]time.Duration, 0, measured),
+			sojournS: make([]time.Duration, 0, measured),
+			timed:    make([]stats.TimedSample, 0, measured),
+		}
 	}
 
 	shape := load.Or(cfg.Load, cfg.QPS)
 	total := cfg.WarmupRequests + cfg.Requests
 	arrivals := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2)).Schedule(total)
 
-	roots := make([]*simRoot, total)
-	events := make(simEventHeap, 0, total)
+	// Roots, their per-tier straggler maxima, and the tier-0 nodes live in
+	// three run-wide backing arrays (three allocations instead of three per
+	// root); deeper-tier nodes come from a free list that recycles a node
+	// the moment its subtree resolves, so steady-state fan-out allocates
+	// nothing once the pool has warmed to the in-flight working set.
+	nt := len(tiers)
+	roots := make([]simRoot, total)
+	tierMaxAll := make([]time.Duration, total*nt)
+	rootNodes := make([]simNode, total)
+	var freeNodes []*simNode
+	newNode := func(tier int, parent *simNode, root *simRoot) *simNode {
+		if k := len(freeNodes); k > 0 {
+			n := freeNodes[k-1]
+			freeNodes = freeNodes[:k-1]
+			*n = simNode{tier: tier, parent: parent, root: root}
+			return n
+		}
+		return &simNode{tier: tier, parent: parent, root: root}
+	}
+	recycleNode := func(n *simNode) { freeNodes = append(freeNodes, n) }
+
+	events := make(eventQueue, 0, total)
 	var seq uint64
 	push := func(at time.Duration, node *simNode, hedge bool) {
-		heap.Push(&events, simEvent{at: at, seq: seq, node: node, hedge: hedge})
+		events.push(simEvent{at: at, seq: seq, node: node, hedge: hedge})
 		seq++
 	}
 	for i := 0; i < total; i++ {
-		roots[i] = &simRoot{at: arrivals[i], warmup: i < cfg.WarmupRequests, tierMax: make([]time.Duration, len(tiers))}
-		if cfg.Trace != nil && !roots[i].warmup {
-			roots[i].tree = trace.NewTree(arrivals[i])
-		}
-		push(arrivals[i], &simNode{tier: 0, root: roots[i]}, false)
+		r := &roots[i]
+		r.at = arrivals[i]
+		r.warmup = i < cfg.WarmupRequests
+		r.tierMax = tierMaxAll[i*nt : (i+1)*nt : (i+1)*nt]
+		n := &rootNodes[i]
+		n.tier, n.root = 0, r
+		push(arrivals[i], n, false)
 	}
 
 	// settle resolves a node's tier-local service (its winning copy
@@ -160,7 +177,7 @@ func Simulate(cfg Config) (*Result, error) {
 		k := tiers[n.tier+1].cfg.FanOut
 		n.pending = k
 		for j := 0; j < k; j++ {
-			push(eff, &simNode{tier: n.tier + 1, parent: n, root: n.root}, false)
+			push(eff, newNode(n.tier+1, n, n.root), false)
 		}
 	}
 	resolve = func(n *simNode, done time.Duration) {
@@ -170,30 +187,42 @@ func Simulate(cfg Config) (*Result, error) {
 			}
 			p := n.parent
 			if p == nil {
-				n.root.done = done
-				if n.root.tree != nil {
-					n.root.tree.Close(0, done)
-					cfg.Trace.Observe(n.root.tree, done-n.root.at)
+				root := n.root
+				root.done = done
+				if root.tree != nil {
+					root.tree.Close(0, done)
+					cfg.Trace.Observe(root.tree, done-root.at)
 				}
+				recycleNode(n)
 				return
 			}
 			if done > p.maxChildDone {
 				p.maxChildDone = done
 			}
 			p.pending--
-			if p.pending > 0 {
+			pending := p.pending
+			// Every event touching n has fired and its subtree is resolved:
+			// nothing references it past this point.
+			recycleNode(n)
+			if pending > 0 {
 				return
 			}
 			n, done = p, p.maxChildDone
 		}
 	}
 
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(simEvent)
+	for events.len() > 0 {
+		ev := events.pop()
+		root := ev.node.root
+		if cfg.Trace != nil && !root.warmup && root.tree == nil {
+			// First event of a measured root: acquire its span tree (recycled
+			// from the recorder's free list once the run is warm).
+			root.tree = cfg.Trace.AcquireTree(root.at)
+		}
 		st := tiers[ev.node.tier]
 		st.eng.RunTicks(ev.at)
-		d := st.eng.Dispatch(ev.at, !ev.node.root.warmup)
-		tree := ev.node.root.tree
+		d := st.eng.Dispatch(ev.at, !root.warmup)
+		tree := root.tree
 		if ev.hedge {
 			st.hedgesIssued++
 			eff, win := ev.node.firstDisp.Finish, ev.node.firstDisp
@@ -244,9 +273,10 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 	elapsed := end - firstMeasured
 
-	var sojournAll []time.Duration
-	var timed []stats.TimedSample
-	for _, r := range roots {
+	sojournAll := make([]time.Duration, 0, cfg.Requests)
+	timed := make([]stats.TimedSample, 0, cfg.Requests)
+	for i := range roots {
+		r := &roots[i]
 		if r.warmup {
 			continue
 		}
@@ -258,6 +288,11 @@ func Simulate(cfg Config) (*Result, error) {
 	if elapsed > 0 {
 		achieved = float64(len(sojournAll)) / elapsed.Seconds()
 	}
+	// One shared sort feeds both the summary and the CDF (KeepRaw hands out
+	// the original, so the sort works on a copy).
+	sojournSorted := make([]time.Duration, len(sojournAll))
+	copy(sojournSorted, sojournAll)
+	stats.SortDurations(sojournSorted)
 	out := &Result{
 		Label:       label(cfg.Tiers),
 		Shape:       shape.Name(),
@@ -266,8 +301,8 @@ func Simulate(cfg Config) (*Result, error) {
 		AchievedQPS: achieved,
 		Requests:    uint64(len(sojournAll)),
 		Warmups:     uint64(cfg.WarmupRequests),
-		Sojourn:     stats.SummaryFromSamples(sojournAll),
-		SojournCDF:  stats.SampleCDF(sojournAll),
+		Sojourn:     stats.SummaryFromSorted(sojournSorted),
+		SojournCDF:  stats.CDFFromSorted(sojournSorted),
 		Elapsed:     elapsed,
 	}
 	if cfg.KeepRaw {
@@ -282,7 +317,6 @@ func Simulate(cfg Config) (*Result, error) {
 		tiers[0].eng.Set().AnnotateWindows(out.Windows, end)
 	}
 
-	mult := fanMultipliers(cfg.Tiers)
 	for i, st := range tiers {
 		replicas := st.cfg.Replicas
 		if replicas <= 0 {
@@ -334,11 +368,11 @@ func Simulate(cfg Config) (*Result, error) {
 
 // criticalSummary summarizes, across measured roots, the slowest
 // sub-request sojourn each root saw at the tier.
-func criticalSummary(roots []*simRoot, tier int) stats.LatencySummary {
-	var crit []time.Duration
-	for _, r := range roots {
-		if !r.warmup {
-			crit = append(crit, r.tierMax[tier])
+func criticalSummary(roots []simRoot, tier int) stats.LatencySummary {
+	crit := make([]time.Duration, 0, len(roots))
+	for i := range roots {
+		if !roots[i].warmup {
+			crit = append(crit, roots[i].tierMax[tier])
 		}
 	}
 	return stats.SummaryFromSamples(crit)

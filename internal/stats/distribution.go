@@ -3,7 +3,6 @@ package stats
 import (
 	"errors"
 	"math/rand"
-	"sort"
 	"time"
 )
 
@@ -29,7 +28,7 @@ func NewEmpiricalDistribution(samples []time.Duration) (*EmpiricalDistribution, 
 	}
 	sorted := make([]time.Duration, len(samples))
 	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	SortDurations(sorted)
 	return &EmpiricalDistribution{
 		sorted: sorted,
 		mean:   MeanDuration(sorted),

@@ -12,7 +12,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 )
 
@@ -283,7 +282,16 @@ func SampleCDF(samples []time.Duration) []CDFPoint {
 	}
 	sorted := make([]time.Duration, len(samples))
 	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	SortDurations(sorted)
+	return CDFFromSorted(sorted)
+}
+
+// CDFFromSorted computes the same CDF as SampleCDF from an already-sorted
+// slice (the sort-sharing counterpart of SummaryFromSorted).
+func CDFFromSorted(sorted []time.Duration) []CDFPoint {
+	if len(sorted) == 0 {
+		return nil
+	}
 	pts := make([]CDFPoint, 0, len(sorted))
 	n := float64(len(sorted))
 	for i, v := range sorted {

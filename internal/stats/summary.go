@@ -3,7 +3,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 )
 
@@ -51,7 +50,17 @@ func SummaryFromSamples(samples []time.Duration) LatencySummary {
 	}
 	sorted := make([]time.Duration, len(samples))
 	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	SortDurations(sorted)
+	return SummaryFromSorted(sorted)
+}
+
+// SummaryFromSorted computes the same metrics as SummaryFromSamples from an
+// already-sorted slice, letting result assembly share one sort between a
+// stream's summary and its CDF.
+func SummaryFromSorted(sorted []time.Duration) LatencySummary {
+	if len(sorted) == 0 {
+		return LatencySummary{}
+	}
 	var sum time.Duration
 	for _, v := range sorted {
 		sum += v
@@ -96,7 +105,7 @@ func Percentile(samples []time.Duration, p float64) time.Duration {
 	}
 	sorted := make([]time.Duration, len(samples))
 	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	SortDurations(sorted)
 	return PercentileOfSorted(sorted, p)
 }
 

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"sort"
 	"time"
 )
 
@@ -113,7 +112,7 @@ func WindowSeries(samples []TimedSample, width time.Duration) []WindowStat {
 		}
 		if len(buckets[b]) > 0 {
 			sorted := buckets[b]
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			SortDurations(sorted)
 			var sum time.Duration
 			for _, d := range sorted {
 				sum += d

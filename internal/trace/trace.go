@@ -118,6 +118,13 @@ type Tree struct {
 	At    time.Duration
 	Err   bool
 	spans []Span
+
+	// pooled marks a tree acquired from a Recorder's free list
+	// (AcquireTree); only pooled trees are ever recycled. refs counts the
+	// reservoirs currently retaining the tree, maintained under the
+	// recorder's mutex.
+	pooled bool
+	refs   int32
 }
 
 // NewTree starts a span tree for a root request arriving at the given offset.
@@ -232,6 +239,12 @@ type Recorder struct {
 	global  reservoir
 	roots   uint64
 	errs    uint64
+
+	// free holds pooled trees retained by no reservoir, ready for reuse by
+	// AcquireTree. This is what caps the traced simulation's allocations:
+	// span storage cycles through the free list instead of being rebuilt
+	// for every measured request.
+	free []*Tree
 }
 
 // DefaultTopK is the per-window reservoir size when the spec leaves it zero.
@@ -243,7 +256,9 @@ func NewRecorder(topK int, width time.Duration) *Recorder {
 	if topK <= 0 {
 		topK = DefaultTopK
 	}
-	return &Recorder{topK: topK, width: width, windows: make(map[int]*reservoir)}
+	r := &Recorder{topK: topK, width: width, windows: make(map[int]*reservoir)}
+	r.global = reservoir{cap: topK, entries: make([]entry, 0, topK)}
+	return r
 }
 
 // Width returns the recorder's window width (0 when windowing is off).
@@ -269,20 +284,27 @@ type reservoir struct {
 	entries []entry
 }
 
-func (rv *reservoir) offer(e entry) {
+// offer inserts e if it ranks among the cap slowest, reporting whether it
+// was retained and which tree (if any) fell off the bottom — the hook the
+// recorder's free list uses to reclaim span storage. The entries slice is
+// preallocated to cap, so a full reservoir shifts in place and never
+// allocates.
+func (rv *reservoir) offer(e entry) (retained bool, evicted *Tree) {
 	i := len(rv.entries)
 	for i > 0 && rv.entries[i-1].sojourn < e.sojourn {
 		i--
 	}
 	if i >= rv.cap {
-		return
+		return false, nil
 	}
-	rv.entries = append(rv.entries, entry{})
+	if len(rv.entries) < rv.cap {
+		rv.entries = append(rv.entries, entry{})
+	} else {
+		evicted = rv.entries[len(rv.entries)-1].tree
+	}
 	copy(rv.entries[i+1:], rv.entries[i:])
 	rv.entries[i] = e
-	if len(rv.entries) > rv.cap {
-		rv.entries = rv.entries[:rv.cap]
-	}
+	return true, evicted
 }
 
 // Observe offers a resolved root's tree to the reservoirs. The engines call
@@ -300,17 +322,71 @@ func (r *Recorder) Observe(t *Tree, sojourn time.Duration) {
 	}
 	e := entry{tree: t, sojourn: sojourn, seq: r.roots}
 	r.global.cap = r.topK
-	r.global.offer(e)
+	t.refs = 0
+	retained, evicted := r.global.offer(e)
+	if retained {
+		t.refs++
+	}
+	r.release(evicted)
 	w := 0
 	if r.width > 0 {
 		w = int(t.At / r.width)
 	}
 	rv := r.windows[w]
 	if rv == nil {
-		rv = &reservoir{cap: r.topK}
+		rv = &reservoir{cap: r.topK, entries: make([]entry, 0, r.topK)}
 		r.windows[w] = rv
 	}
-	rv.offer(e)
+	retained, evicted = rv.offer(e)
+	if retained {
+		t.refs++
+	}
+	r.release(evicted)
+	if t.pooled && t.refs == 0 {
+		r.free = append(r.free, t)
+	}
+}
+
+// release drops one reservoir's claim on a previously observed tree,
+// returning it to the free list once no reservoir retains it. Only pooled
+// trees participate; live-path trees are left to the garbage collector.
+// Callers hold r.mu.
+func (r *Recorder) release(t *Tree) {
+	if t == nil || !t.pooled {
+		return
+	}
+	if t.refs--; t.refs == 0 {
+		r.free = append(r.free, t)
+	}
+}
+
+// AcquireTree returns a span tree rooted at the given arrival offset,
+// reusing the span storage of a tree every reservoir has since evicted. It
+// is the allocation-free counterpart of NewTree for callers that finish
+// recording before handing the tree to Observe — both simulated engines and
+// ObserveRequest qualify. The live pipeline path does not: it records hedge
+// losers after the root resolves, the one late addition a tree accepts, so
+// it must keep building trees with NewTree (recycling one could hand its
+// spans to a different request first). A nil recorder falls back to NewTree.
+func (r *Recorder) AcquireTree(at time.Duration) *Tree {
+	if r == nil {
+		return NewTree(at)
+	}
+	r.mu.Lock()
+	var t *Tree
+	if n := len(r.free); n > 0 {
+		t = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	}
+	r.mu.Unlock()
+	if t == nil {
+		t = &Tree{pooled: true}
+	}
+	t.At = at
+	t.Err = false
+	t.spans = append(t.spans[:0], Span{ID: 0, Parent: -1, Kind: KindRoot, Replica: -1, Start: at, End: at})
+	return t
 }
 
 // ObserveRequest records a request with no fan-out (the single-server and
@@ -321,7 +397,7 @@ func (r *Recorder) ObserveRequest(at, queue, service, sojourn, net time.Duration
 	if r == nil {
 		return
 	}
-	t := NewTree(at)
+	t := r.AcquireTree(at)
 	req := t.Request(0, tier, at)
 	end := at + sojourn
 	if net > 0 {

@@ -1,0 +1,416 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tailbench"
+	"tailbench/internal/workload"
+)
+
+// GridAxes enumerates the dimensions of a configuration grid. The cell set
+// is the cross product policy × shape × controller × fan-out; empty axes
+// default to a single neutral value (see GridConfig.normalize).
+type GridAxes struct {
+	// Policies are the balancer policies under comparison.
+	Policies []string
+	// Shapes are the arrival processes (any LoadShape; parse CLI specs
+	// with tailbench.ParseLoadShape).
+	Shapes []tailbench.LoadShape
+	// Controllers are autoscaling policies; the sentinel "static" (or "")
+	// keeps the cell's replica set fixed.
+	Controllers []string
+	// FanOuts are fan-out degrees: 1 runs a single cluster, k > 1 runs a
+	// two-tier front+shards pipeline whose shard edge fans out k ways.
+	FanOuts []int
+}
+
+// ControllerStatic is the controller-axis sentinel for a fixed replica set.
+const ControllerStatic = "static"
+
+// GridConfig parameterizes a RunGrid sweep: the axes, the fixed topology
+// every cell shares, replication, and parallelism. Every cell is an
+// independent virtual-time simulation with its own seed derived from Seed
+// and the cell's index, so the merged results are bit-identical no matter
+// how many workers ran them or in what order.
+type GridConfig struct {
+	Axes GridAxes
+
+	// Replicas and Threads shape the serving cluster (fan-out cells use
+	// them for the front tier). Defaults: 4 replicas, 1 thread.
+	Replicas int
+	Threads  int
+	// ShardReplicas sizes the shard tier of fan-out cells (default 8).
+	ShardReplicas int
+	// Requests and Warmup are per-cell measured and discarded request
+	// counts (defaults 400 and 10%).
+	Requests int
+	Warmup   int
+	// Reps runs each axis tuple this many times with distinct derived
+	// seeds (default 1); replication is what turns a grid cell into a
+	// confidence interval instead of a point estimate.
+	Reps int
+	// Seed is the root seed every per-cell seed is split from (default 1).
+	Seed int64
+	// Workers caps the worker goroutines (default GOMAXPROCS).
+	Workers int
+	// ServiceMean is the mean of the synthetic exponential service-time
+	// distribution shared by every cell (default 1ms). One fixed sample
+	// set is drawn from the root seed, so cells differ only in their axes
+	// and per-cell seed.
+	ServiceMean time.Duration
+	// Window is the windowed-accounting width passed to every cell (zero
+	// enables windows automatically for time-varying shapes).
+	Window time.Duration
+}
+
+// gridApp labels grid cells in results. The simulated path never
+// instantiates the application when ServiceSamples are supplied, but the
+// name must still resolve in the app registry.
+const gridApp = "masstree"
+
+// serviceSampleCount is the size of the shared synthetic service-time
+// sample set cells resample from.
+const serviceSampleCount = 512
+
+func (c GridConfig) normalize() GridConfig {
+	if len(c.Axes.Policies) == 0 {
+		c.Axes.Policies = []string{"leastq"}
+	}
+	if len(c.Axes.Shapes) == 0 {
+		c.Axes.Shapes = []tailbench.LoadShape{nil} // nil = constant at the derived QPS
+	}
+	if len(c.Axes.Controllers) == 0 {
+		c.Axes.Controllers = []string{ControllerStatic}
+	}
+	if len(c.Axes.FanOuts) == 0 {
+		c.Axes.FanOuts = []int{1}
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.ShardReplicas <= 0 {
+		c.ShardReplicas = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 400
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Requests / 10
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ServiceMean <= 0 {
+		c.ServiceMean = time.Millisecond
+	}
+	return c
+}
+
+// SimReport is one grid cell's outcome — one JSONL row, in the spirit of
+// the pacs_sweep runner's per-tuple verdict records.
+type SimReport struct {
+	// Cell is the flat cell index (tuple-major, rep-minor) and Rep the
+	// replication index within the tuple. Seed is the cell's derived seed.
+	Cell int
+	Rep  int
+	Seed int64
+
+	Policy     string
+	Shape      string
+	ShapeSpec  string
+	Controller string
+	FanOut     int
+
+	OfferedQPS  float64
+	AchievedQPS float64
+	Requests    uint64
+
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+
+	// PeakWindowP99 is the worst windowed p99 (zero when the cell ran
+	// without windows) — the statistic SLO verdicts are taken against
+	// under time-varying load.
+	PeakWindowP99 time.Duration
+	// PeakReplicas and ReplicaSeconds are the provisioning ledger (summed
+	// across tiers for fan-out cells).
+	PeakReplicas   int
+	ReplicaSeconds float64
+}
+
+// GridResult is the merged outcome of a grid sweep, reports in cell order.
+type GridResult struct {
+	// Cells is the number of runs: tuples × reps.
+	Cells   int
+	Reports []SimReport
+}
+
+// cellSpec is one enumerated run before execution.
+type cellSpec struct {
+	idx        int
+	rep        int
+	seed       int64
+	policy     string
+	shape      tailbench.LoadShape
+	controller string
+	fanOut     int
+}
+
+// enumerate lists every cell in deterministic tuple-major order. The
+// per-cell seed is split from the root seed by flat index, so a cell's RNG
+// streams depend only on its coordinates — never on scheduling.
+func enumerate(cfg GridConfig) []cellSpec {
+	var cells []cellSpec
+	idx := 0
+	for _, pol := range cfg.Axes.Policies {
+		for _, sh := range cfg.Axes.Shapes {
+			for _, ctrl := range cfg.Axes.Controllers {
+				for _, k := range cfg.Axes.FanOuts {
+					for rep := 0; rep < cfg.Reps; rep++ {
+						cells = append(cells, cellSpec{
+							idx:        idx,
+							rep:        rep,
+							seed:       workload.SplitSeed(cfg.Seed, int64(idx)),
+							policy:     pol,
+							shape:      sh,
+							controller: ctrl,
+							fanOut:     k,
+						})
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// RunGrid fans the configuration grid across Workers goroutines, each cell
+// an independent deterministic simulation, and merges the per-cell reports
+// in cell order. Because every cell's seed derives from the root seed and
+// the cell index alone, the merged result is byte-for-byte identical
+// whether the grid ran on one worker or sixteen.
+func RunGrid(cfg GridConfig) (*GridResult, error) {
+	cfg = cfg.normalize()
+	samples := syntheticServiceTimes(cfg.Seed, cfg.ServiceMean)
+	cells := enumerate(cfg)
+
+	reports := make([]SimReport, len(cells))
+	errs := make([]error, len(cells))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				reports[i], errs[i] = runCell(cfg, cells[i], samples)
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return &GridResult{Cells: len(cells), Reports: reports}, nil
+}
+
+// syntheticServiceTimes draws the shared exponential service-time sample
+// set from the root seed (stream 77, distinct from the engines' streams).
+func syntheticServiceTimes(seed int64, mean time.Duration) []time.Duration {
+	rng := workload.NewRand(workload.SplitSeed(seed, 77))
+	out := make([]time.Duration, serviceSampleCount)
+	for i := range out {
+		out[i] = time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+	return out
+}
+
+// cellQPS picks the constant arrival rate for cells whose shape axis is nil:
+// 70% of the serving tier's nominal capacity.
+func cellQPS(cfg GridConfig) float64 {
+	return 0.7 * float64(cfg.Replicas*cfg.Threads) / cfg.ServiceMean.Seconds()
+}
+
+// autoscale builds the cell's controller spec, nil for static cells.
+func autoscale(cfg GridConfig, controller string, replicas int) *tailbench.AutoscaleSpec {
+	if controller == "" || controller == ControllerStatic {
+		return nil
+	}
+	return &tailbench.AutoscaleSpec{
+		Policy:      controller,
+		MinReplicas: 1,
+		MaxReplicas: 2 * replicas,
+	}
+}
+
+func runCell(cfg GridConfig, cell cellSpec, samples []time.Duration) (SimReport, error) {
+	rpt := SimReport{
+		Cell:       cell.idx,
+		Rep:        cell.rep,
+		Seed:       cell.seed,
+		Policy:     cell.policy,
+		Controller: cell.controller,
+		FanOut:     cell.fanOut,
+	}
+	if rpt.Controller == "" {
+		rpt.Controller = ControllerStatic
+	}
+	if cell.fanOut <= 1 {
+		res, err := tailbench.RunCluster(tailbench.ClusterSpec{
+			App:            gridApp,
+			Mode:           tailbench.ModeSimulated,
+			Policy:         cell.policy,
+			Replicas:       cfg.Replicas,
+			Threads:        cfg.Threads,
+			QPS:            cellQPS(cfg),
+			Load:           cell.shape,
+			Window:         cfg.Window,
+			Requests:       cfg.Requests,
+			Warmup:         cfg.Warmup,
+			Seed:           cell.seed,
+			ServiceSamples: samples,
+			Autoscale:      autoscale(cfg, cell.controller, cfg.Replicas),
+		})
+		if err != nil {
+			return rpt, fmt.Errorf("sweep: grid cell %d (%s): %w", cell.idx, cell.policy, err)
+		}
+		rpt.Shape, rpt.ShapeSpec = res.Shape, res.ShapeSpec
+		rpt.OfferedQPS, rpt.AchievedQPS = res.OfferedQPS, res.AchievedQPS
+		rpt.Requests = res.Requests
+		rpt.Mean, rpt.P50, rpt.P95, rpt.P99, rpt.Max =
+			res.Sojourn.Mean, res.Sojourn.P50, res.Sojourn.P95, res.Sojourn.P99, res.Sojourn.Max
+		rpt.PeakWindowP99 = peakWindowP99(res.Windows)
+		rpt.PeakReplicas = res.PeakReplicas
+		rpt.ReplicaSeconds = res.ReplicaSeconds
+		return rpt, nil
+	}
+	// Fan-out cell: a front tier fanning out into a shard tier; the
+	// controller (if any) scales the shards, where the fan-in straggler
+	// pressure lands.
+	res, err := tailbench.RunPipeline(tailbench.PipelineSpec{
+		Mode: tailbench.ModeSimulated,
+		Tiers: []tailbench.TierSpec{
+			{Name: "front", Cluster: tailbench.ClusterSpec{
+				App: gridApp, Policy: cell.policy,
+				Replicas: cfg.Replicas, Threads: cfg.Threads,
+				ServiceSamples: samples,
+			}},
+			{Name: "shards", Cluster: tailbench.ClusterSpec{
+				App: gridApp, Policy: cell.policy,
+				Replicas: cfg.ShardReplicas, Threads: cfg.Threads,
+				ServiceSamples: samples,
+				Autoscale:      autoscale(cfg, cell.controller, cfg.ShardReplicas),
+			}, FanOut: cell.fanOut},
+		},
+		QPS:      cellQPS(cfg) / float64(cell.fanOut),
+		Load:     cell.shape,
+		Window:   cfg.Window,
+		Requests: cfg.Requests,
+		Warmup:   cfg.Warmup,
+		Seed:     cell.seed,
+	})
+	if err != nil {
+		return rpt, fmt.Errorf("sweep: grid cell %d (%s k=%d): %w", cell.idx, cell.policy, cell.fanOut, err)
+	}
+	rpt.Shape, rpt.ShapeSpec = res.Shape, res.ShapeSpec
+	rpt.OfferedQPS, rpt.AchievedQPS = res.OfferedQPS, res.AchievedQPS
+	rpt.Requests = res.Requests
+	rpt.Mean, rpt.P50, rpt.P95, rpt.P99, rpt.Max =
+		res.Sojourn.Mean, res.Sojourn.P50, res.Sojourn.P95, res.Sojourn.P99, res.Sojourn.Max
+	rpt.PeakWindowP99 = peakWindowP99(res.Windows)
+	for _, tier := range res.Tiers {
+		rpt.PeakReplicas += tier.PeakReplicas
+		rpt.ReplicaSeconds += tier.ReplicaSeconds
+	}
+	return rpt, nil
+}
+
+func peakWindowP99(ws []tailbench.WindowStats) time.Duration {
+	var peak time.Duration
+	for _, w := range ws {
+		if w.P99 > peak {
+			peak = w.P99
+		}
+	}
+	return peak
+}
+
+// WriteJSONL writes one SimReport JSON object per line, in cell order —
+// the machine-readable merge whose bytes are independent of worker count.
+func (g *GridResult) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range g.Reports {
+		if err := enc.Encode(&g.Reports[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gridCSVHeader is the CSV column set, latencies in microseconds.
+var gridCSVHeader = []string{
+	"cell", "rep", "seed", "policy", "shape", "controller", "fanout",
+	"offered_qps", "achieved_qps", "requests",
+	"mean_us", "p50_us", "p95_us", "p99_us", "max_us",
+	"peak_window_p99_us", "peak_replicas", "replica_seconds",
+}
+
+// WriteCSV writes the report table with a header row, in cell order.
+func (g *GridResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(gridCSVHeader); err != nil {
+		return err
+	}
+	us := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 1, 64)
+	}
+	for i := range g.Reports {
+		r := &g.Reports[i]
+		rec := []string{
+			strconv.Itoa(r.Cell), strconv.Itoa(r.Rep), strconv.FormatInt(r.Seed, 10),
+			r.Policy, r.Shape, r.Controller, strconv.Itoa(r.FanOut),
+			strconv.FormatFloat(r.OfferedQPS, 'f', 2, 64),
+			strconv.FormatFloat(r.AchievedQPS, 'f', 2, 64),
+			strconv.FormatUint(r.Requests, 10),
+			us(r.Mean), us(r.P50), us(r.P95), us(r.P99), us(r.Max),
+			us(r.PeakWindowP99), strconv.Itoa(r.PeakReplicas),
+			strconv.FormatFloat(r.ReplicaSeconds, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tailbench"
+)
+
+// gridTestConfig is a ≥1000-cell grid kept cheap per cell: 4 policies ×
+// 2 shapes × 2 controllers × 2 fan-outs = 32 tuples × 32 reps = 1024 cells.
+func gridTestConfig(t *testing.T, workers int) GridConfig {
+	t.Helper()
+	spike, err := tailbench.ParseLoadShape("spike:600,2400,400ms,150ms")
+	if err != nil {
+		t.Fatalf("ParseLoadShape: %v", err)
+	}
+	return GridConfig{
+		Axes: GridAxes{
+			Policies:    []string{"random", "roundrobin", "leastq", "jsq2"},
+			Shapes:      []tailbench.LoadShape{nil, spike},
+			Controllers: []string{ControllerStatic, "threshold"},
+			FanOuts:     []int{1, 4},
+		},
+		Replicas:      2,
+		ShardReplicas: 4,
+		Requests:      40,
+		Reps:          32,
+		Seed:          42,
+		Workers:       workers,
+	}
+}
+
+// TestGridWorkerCountInvariant is the sweep's core determinism contract:
+// the merged JSONL of a ≥1000-cell grid is byte-identical whether the
+// cells ran on one worker or many, because every cell's seed derives from
+// the root seed and the cell index alone.
+func TestGridWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-cell grid in -short mode")
+	}
+	serial, err := RunGrid(gridTestConfig(t, 1))
+	if err != nil {
+		t.Fatalf("RunGrid(workers=1): %v", err)
+	}
+	if serial.Cells < 1000 {
+		t.Fatalf("grid has %d cells, want >= 1000", serial.Cells)
+	}
+	parallel, err := RunGrid(gridTestConfig(t, 8))
+	if err != nil {
+		t.Fatalf("RunGrid(workers=8): %v", err)
+	}
+
+	var a, b bytes.Buffer
+	if err := serial.WriteJSONL(&a); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if err := parallel.WriteJSONL(&b); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL differs between workers=1 and workers=8 (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	var c bytes.Buffer
+	if err := serial.WriteCSV(&c); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	var d bytes.Buffer
+	if err := parallel.WriteCSV(&d); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !bytes.Equal(c.Bytes(), d.Bytes()) {
+		t.Fatal("CSV differs between workers=1 and workers=8")
+	}
+}
+
+// TestGridEnumeration pins the cell order (tuple-major, rep-minor) and the
+// per-cell seed derivation, which together make the output layout part of
+// the package contract.
+func TestGridEnumeration(t *testing.T) {
+	cfg := GridConfig{
+		Axes: GridAxes{
+			Policies:    []string{"a", "b"},
+			Controllers: []string{ControllerStatic},
+			FanOuts:     []int{1, 2},
+		},
+		Reps: 2,
+	}.normalize()
+	cells := enumerate(cfg)
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	seeds := map[int64]bool{}
+	for i, c := range cells {
+		if c.idx != i {
+			t.Errorf("cell %d: idx = %d", i, c.idx)
+		}
+		if c.rep != i%2 {
+			t.Errorf("cell %d: rep = %d, want %d", i, c.rep, i%2)
+		}
+		if seeds[c.seed] {
+			t.Errorf("cell %d: duplicate seed %d", i, c.seed)
+		}
+		seeds[c.seed] = true
+	}
+	// Tuple-major order: policy varies slowest, rep fastest.
+	if cells[0].policy != "a" || cells[4].policy != "b" {
+		t.Errorf("policy order: got %q then %q", cells[0].policy, cells[4].policy)
+	}
+	if cells[0].fanOut != 1 || cells[2].fanOut != 2 {
+		t.Errorf("fan-out order: got %d then %d", cells[0].fanOut, cells[2].fanOut)
+	}
+}
+
+// TestGridControllerCells checks that elastic cells actually scale: a
+// threshold-controlled cell under a spike must report a different
+// provisioning ledger than its static twin.
+func TestGridControllerCells(t *testing.T) {
+	spike, err := tailbench.ParseLoadShape("spike:400,4000,200ms,800ms")
+	if err != nil {
+		t.Fatalf("ParseLoadShape: %v", err)
+	}
+	base := GridConfig{
+		Axes: GridAxes{
+			Policies:    []string{"leastq"},
+			Shapes:      []tailbench.LoadShape{spike},
+			Controllers: []string{ControllerStatic, "threshold"},
+			FanOuts:     []int{1},
+		},
+		Replicas: 2,
+		Requests: 600,
+		Seed:     7,
+		Window:   200 * time.Millisecond,
+	}
+	res, err := RunGrid(base)
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(res.Reports))
+	}
+	static, elastic := res.Reports[0], res.Reports[1]
+	if static.Controller != ControllerStatic || elastic.Controller != "threshold" {
+		t.Fatalf("controller labels: %q, %q", static.Controller, elastic.Controller)
+	}
+	if static.PeakReplicas != base.Replicas {
+		t.Errorf("static cell peaked at %d replicas, want %d", static.PeakReplicas, base.Replicas)
+	}
+	if elastic.PeakReplicas <= base.Replicas {
+		t.Errorf("threshold cell never scaled past %d replicas under a 10x spike", elastic.PeakReplicas)
+	}
+	if static.PeakWindowP99 == 0 || elastic.PeakWindowP99 == 0 {
+		t.Error("windowed accounting missing from reports")
+	}
+}

@@ -1,6 +1,6 @@
 # Developer entry points. The go toolchain is the only dependency.
 
-.PHONY: test bench lint
+.PHONY: test bench plan-baseline lint
 
 test:
 	go build ./... && go test ./...
@@ -20,3 +20,12 @@ bench:
 	go test -run '^$$' -bench 'BenchmarkSimCluster|BenchmarkPipelineSim' -benchtime 2s \
 		./internal/cluster ./internal/pipeline | go run ./cmd/benchjson > BENCH_sim.json
 	@cat BENCH_sim.json
+
+# plan-baseline regenerates the committed planner search-cost baseline: the
+# events-simulated count of each optimization stage on a pinned search
+# space. The count is deterministic, so CI fails if any stage grows —
+# commit the refreshed BENCH_planner.json when the search itself changes.
+plan-baseline:
+	go run ./cmd/tailbench-plan -policies leastq,random -fanouts 1,4 -seed 42 \
+		-study -bench BENCH_planner.json
+	@cat BENCH_planner.json

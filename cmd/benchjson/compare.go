@@ -87,6 +87,15 @@ func compareBenches(oldDoc, newDoc *doc, softThroughput bool) (regressions, warn
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: allocs/op %.0f -> %.0f (hot path allocating again)", k, oldAl, newAl))
 		}
+		// events-simulated is a deterministic count (the planner's search
+		// cost on a pinned space), so any growth at all means the search got
+		// less effective — no tolerance.
+		oldEs, oldHasEs := old.Metrics["events-simulated"]
+		newEs := now.Metrics["events-simulated"]
+		if oldHasEs && newEs > oldEs {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: events-simulated %.0f -> %.0f (search doing more work)", k, oldEs, newEs))
+		}
 	}
 	return regressions, warnings
 }

@@ -49,6 +49,27 @@ func TestCompareAllocsRegression(t *testing.T) {
 	}
 }
 
+func mkPlanDoc(events float64) *doc {
+	return &doc{Benchmarks: []benchLine{{
+		Pkg:     "tailbench/internal/plan",
+		Name:    "PlannerStudy/adaptive",
+		Metrics: map[string]float64{"events-simulated": events},
+	}}}
+}
+
+func TestCompareEventsSimulatedRegression(t *testing.T) {
+	// events-simulated is deterministic: any growth fails, even in soft
+	// mode; shrinking (the search getting cheaper) is fine.
+	reg, _ := compareBenches(mkPlanDoc(50000), mkPlanDoc(50001), true)
+	if len(reg) != 1 || !strings.Contains(reg[0], "events-simulated") {
+		t.Fatalf("got %v, want one events-simulated regression", reg)
+	}
+	reg, _ = compareBenches(mkPlanDoc(50000), mkPlanDoc(40000), false)
+	if len(reg) != 0 {
+		t.Fatalf("cheaper search flagged as regression: %v", reg)
+	}
+}
+
 func TestCompareMissingBenchmark(t *testing.T) {
 	reg, _ := compareBenches(mkDoc(1000000, 100), &doc{}, true)
 	if len(reg) != 1 || !strings.Contains(reg[0], "missing") {

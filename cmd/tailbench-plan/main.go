@@ -1,0 +1,309 @@
+// Command tailbench-plan searches a configuration grid for the cheapest
+// SLO-feasible configuration — the capacity-planning question the
+// exhaustive grid answers by brute force. Per axis tuple (policy × shape ×
+// controller × fan-out) it bisects the replica range for the minimal
+// feasible count, early-aborts probes whose running windowed p99 has
+// already blown the SLO, prunes tuples whose cheapest conceivable cost
+// cannot beat the incumbent, and memoizes completed cells — typically
+// 10-100x fewer simulated events than the grid, for the exact same answer.
+//
+// The frontier (one row per tuple: minimal feasible replicas, peak
+// windowed p99, ReplicaSeconds cost) goes to -csv/-json; output is
+// byte-identical at any -workers value.
+//
+// Example:
+//
+//	tailbench-plan -policies leastq,random -fanouts 1,4 \
+//	  -slo 20ms -max-replicas 16 -csv frontier.csv -json frontier.json
+//
+// -study additionally measures the optimization stack: it re-runs the
+// search as an exhaustive scan, exhaustive+abort, adaptive without memo,
+// and fully adaptive, then reports each stage's simulated events (and
+// writes them as a benchjson document via -bench, which CI diffs with
+// `benchjson -compare` to catch the search getting less effective).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tailbench"
+	"tailbench/internal/plan"
+	"tailbench/sweep"
+)
+
+func main() {
+	var (
+		policies    = flag.String("policies", "leastq", "comma-separated balancer policies")
+		shapes      = flag.String("shapes", "const", "semicolon-separated load shapes (\"const\" = steady arrivals at 70% capacity; others per tailbench.ParseLoadShape)")
+		controllers = flag.String("controllers", "static", "comma-separated autoscaling controllers (\"static\" = fixed replica set)")
+		fanouts     = flag.String("fanouts", "1", "comma-separated fan-out degrees (1 = single cluster, k>1 = front+shards pipeline)")
+		replicas    = flag.Int("replicas", 4, "nominal replicas (sets the offered load; front tier for fan-out cells)")
+		threads     = flag.Int("threads", 1, "threads per replica")
+		requests    = flag.Int("requests", 400, "measured requests per cell")
+		warmup      = flag.Int("warmup", 0, "warmup requests per cell (0 = 10% of requests, negative = none)")
+		reps        = flag.Int("reps", 1, "replications per probe; feasibility requires every rep to hold the SLO")
+		seed        = flag.Int64("seed", 1, "root seed; per-cell seeds are split from it by search coordinates")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (output is identical for any value)")
+		svcMean     = flag.Duration("service-mean", time.Millisecond, "mean of the synthetic exponential service-time distribution")
+		window      = flag.Duration("window", 25*time.Millisecond, "windowed latency accounting width (must be positive: SLO verdicts are windowed)")
+		slo         = flag.Duration("slo", 20*time.Millisecond, "latency SLO: peak windowed p99 a feasible configuration must stay under")
+		minRepl     = flag.Int("min-replicas", 1, "replica search floor")
+		maxRepl     = flag.Int("max-replicas", 16, "replica search ceiling")
+		noAbort     = flag.Bool("disable-abort", false, "run every probe to completion (no SLO early abort)")
+		noPrune     = flag.Bool("disable-prune", false, "never skip cost-dominated tuples")
+		noMemo      = flag.Bool("disable-memo", false, "re-simulate frontier cells instead of reading the probe cache")
+		exhaustive  = flag.Bool("exhaustive", false, "scan the full replica range instead of searching (the correctness oracle)")
+		study       = flag.Bool("study", false, "measure each optimization stage against the exhaustive baseline")
+		benchOut    = flag.String("bench", "", "with -study: write the stage measurements as a benchjson document to this file (\"-\" for stdout)")
+		jsonOut     = flag.String("json", "", "write the frontier result as JSON to this file (\"-\" for stdout)")
+		csvOut      = flag.String("csv", "", "write the frontier table as CSV to this file (\"-\" for stdout)")
+	)
+	flag.Parse()
+
+	cfg := plan.Config{
+		Grid: sweep.GridConfig{
+			Axes: sweep.GridAxes{
+				Policies:    splitList(*policies, ","),
+				Controllers: splitList(*controllers, ","),
+			},
+			Replicas:    *replicas,
+			Threads:     *threads,
+			Requests:    *requests,
+			Warmup:      *warmup,
+			Reps:        *reps,
+			Seed:        *seed,
+			Workers:     *workers,
+			ServiceMean: *svcMean,
+			Window:      *window,
+		},
+		SLO:          *slo,
+		MinReplicas:  *minRepl,
+		MaxReplicas:  *maxRepl,
+		DisableAbort: *noAbort,
+		DisablePrune: *noPrune,
+		DisableMemo:  *noMemo,
+	}
+	for _, spec := range splitList(*shapes, ";") {
+		if spec == "const" {
+			cfg.Grid.Axes.Shapes = append(cfg.Grid.Axes.Shapes, nil)
+			continue
+		}
+		shape, err := tailbench.ParseLoadShape(spec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Grid.Axes.Shapes = append(cfg.Grid.Axes.Shapes, shape)
+	}
+	for _, s := range splitList(*fanouts, ",") {
+		k, err := strconv.Atoi(s)
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("bad fan-out %q", s))
+		}
+		cfg.Grid.Axes.FanOuts = append(cfg.Grid.Axes.FanOuts, k)
+	}
+
+	if *study {
+		runStudy(cfg, *benchOut, *jsonOut, *csvOut)
+		return
+	}
+
+	search := plan.Run
+	if *exhaustive {
+		search = plan.Exhaustive
+	}
+	start := time.Now() //lint:allow simtime CLI progress reporting, not simulation state
+	res, err := search(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start) //lint:allow simtime CLI progress reporting, not simulation state
+	writeResult(res, *jsonOut, *csvOut)
+	printSummary(res, elapsed)
+}
+
+// stage is one measured configuration of the optimization stack.
+type stage struct {
+	name   string
+	run    func(plan.Config) (*plan.Result, error)
+	mutate func(*plan.Config)
+}
+
+// runStudy measures the optimization stack stage by stage on the same
+// search space: exhaustive scan, exhaustive with SLO abort, adaptive
+// without memoization, fully adaptive. Every stage must agree on the
+// optimum; the events-simulated column is what the stack buys.
+func runStudy(cfg plan.Config, benchOut, jsonOut, csvOut string) {
+	stages := []stage{
+		{"exhaustive", plan.Exhaustive, func(c *plan.Config) { c.DisableAbort = true }},
+		{"exhaustive-abort", plan.Exhaustive, func(c *plan.Config) {}},
+		{"adaptive-nomemo", plan.Run, func(c *plan.Config) { c.DisableMemo = true }},
+		{"adaptive", plan.Run, func(c *plan.Config) {}},
+	}
+	var (
+		results []*plan.Result
+		wall    []time.Duration
+	)
+	for _, st := range stages {
+		c := cfg
+		st.mutate(&c)
+		start := time.Now() //lint:allow simtime CLI stage timing, not simulation state
+		res, err := st.run(c)
+		if err != nil {
+			fatal(fmt.Errorf("stage %s: %w", st.name, err))
+		}
+		wall = append(wall, time.Since(start)) //lint:allow simtime CLI stage timing, not simulation state
+		results = append(results, res)
+	}
+	base := results[0]
+	for i, res := range results {
+		if (res.Best == nil) != (base.Best == nil) ||
+			(res.Best != nil && (res.Best.Tuple != base.Best.Tuple || res.Best.Replicas != base.Best.Replicas)) {
+			fatal(fmt.Errorf("stage %s found a different optimum than the exhaustive baseline", stages[i].name))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "tailbench-plan: study over %d tuples, replica range [%d, %d]\n",
+		base.Stats.Tuples, cfg.MinReplicas, cfg.MaxReplicas)
+	fmt.Fprintf(os.Stderr, "%-18s %14s %9s %10s %9s %10s %9s\n",
+		"stage", "events", "speedup", "cells-run", "aborted", "memoized", "pruned")
+	for i, res := range results {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "%-18s %14d %8.1fx %10d %9d %10d %9d\n",
+			stages[i].name, s.EventsSimulated,
+			float64(base.Stats.EventsSimulated)/float64(s.EventsSimulated),
+			s.CellsRun, s.CellsAborted, s.CellsMemoized, s.CellsPruned)
+	}
+
+	if benchOut != "" {
+		if err := writeTo(benchOut, func(w io.Writer) error {
+			return writeBench(w, stages, results, wall)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	writeResult(results[len(results)-1], jsonOut, csvOut)
+}
+
+// benchDoc mirrors the benchjson document schema so the study output slots
+// straight into the existing `benchjson -compare` regression gate.
+type benchDoc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// writeBench renders the study as a benchjson document: one row per stage,
+// events-simulated as the gated metric (deterministic — any growth is the
+// search getting less effective) plus the trace counters for context.
+func writeBench(w io.Writer, stages []stage, results []*plan.Result, wall []time.Duration) error {
+	out := benchDoc{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+	base := results[0].Stats.EventsSimulated
+	for i, res := range results {
+		s := res.Stats
+		out.Benchmarks = append(out.Benchmarks, benchLine{
+			Pkg:        "tailbench/internal/plan",
+			Name:       "PlannerStudy/" + stages[i].name,
+			Iterations: 1,
+			NsPerOp:    float64(wall[i].Nanoseconds()),
+			Metrics: map[string]float64{
+				"events-simulated": float64(s.EventsSimulated),
+				"speedup-events":   float64(base) / float64(s.EventsSimulated),
+				"cells-run":        float64(s.CellsRun),
+				"cells-aborted":    float64(s.CellsAborted),
+				"cells-memoized":   float64(s.CellsMemoized),
+				"cells-pruned":     float64(s.CellsPruned),
+				"tuples-pruned":    float64(s.TuplesPruned),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeResult writes the frontier to the requested sinks, defaulting to a
+// CSV table on stdout when neither flag is set.
+func writeResult(res *plan.Result, jsonOut, csvOut string) {
+	wrote := false
+	if jsonOut != "" {
+		if err := writeTo(jsonOut, res.WriteJSON); err != nil {
+			fatal(err)
+		}
+		wrote = true
+	}
+	if csvOut != "" {
+		if err := writeTo(csvOut, res.WriteCSV); err != nil {
+			fatal(err)
+		}
+		wrote = true
+	}
+	if !wrote {
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func printSummary(res *plan.Result, elapsed time.Duration) {
+	s := res.Stats
+	if res.Best != nil {
+		fmt.Fprintf(os.Stderr,
+			"tailbench-plan: best %s/%s/%s/k=%d at %d replicas (peak windowed p99 %v, %.4f replica-seconds)\n",
+			res.Best.Policy, res.Best.Shape, res.Best.Controller, res.Best.FanOut,
+			res.Best.Replicas, res.Best.PeakWindowP99, res.Best.ReplicaSeconds)
+	} else {
+		fmt.Fprintf(os.Stderr, "tailbench-plan: no feasible configuration under SLO %v\n", res.SLO)
+	}
+	fmt.Fprintf(os.Stderr,
+		"tailbench-plan: %d/%d cells run (%d aborted, %d memoized, %d pruned), %d events simulated in %v\n",
+		s.CellsRun, s.CellsTotal, s.CellsAborted, s.CellsMemoized, s.CellsPruned,
+		s.EventsSimulated, elapsed.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tailbench-plan:", err)
+	os.Exit(1)
+}
+
+// splitList splits a separator-joined flag value, dropping empty tokens.
+func splitList(s, sep string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, sep) {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// writeTo streams write to the named file, or stdout for "-".
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

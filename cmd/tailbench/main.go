@@ -472,7 +472,7 @@ func runPipeline(args []string) {
 	var (
 		tiersArg = fs.String("tiers", "masstree:2,masstree:4", "tier chain, front-end first, as comma-separated app:replicas[:threads] entries")
 		fanout   = fs.String("fanout", "", "per-edge fan-out degrees for tiers 1..N-1, comma-separated (one value broadcasts to every edge; empty = 1)")
-		hedgeArg = fs.String("hedge", "", "per-edge hedging delay budgets for tiers 1..N-1, comma-separated durations (one value broadcasts; 0 or empty = no hedging)")
+		hedgeArg = fs.String("hedge", "", "per-edge hedging budgets for tiers 1..N-1, comma-separated durations; prefix rtt-floor+ to anchor a budget on the edge's observed round-trip floor (one value broadcasts; 0 or empty = no hedging)")
 		mode     = fs.String("mode", "simulated", "execution path: integrated (live replicas, in-process edges), loopback/networked (live, every edge crosses TCP with client-side balancing), or simulated (virtual time)")
 		netDelay = fs.Duration("net-delay", 25*time.Microsecond, "one-way synthetic network delay per hop (networked mode)")
 		policy   = fs.String("policy", "leastq", "balancer policy for every tier: "+strings.Join(tailbench.BalancerPolicies(), ", "))
@@ -551,7 +551,7 @@ func parseTiers(tiersArg, fanoutArg, hedgeArg, policy string, scale float64) ([]
 	if err != nil {
 		return nil, fmt.Errorf("bad -fanout: %w", err)
 	}
-	hedges, err := parseEdgeDurations(hedgeArg, len(entries)-1)
+	hedges, err := parseEdgeHedges(hedgeArg, len(entries)-1)
 	if err != nil {
 		return nil, fmt.Errorf("bad -hedge: %w", err)
 	}
@@ -577,9 +577,7 @@ func parseTiers(tiersArg, fanoutArg, hedgeArg, policy string, scale float64) ([]
 		}}
 		if i > 0 {
 			t.FanOut = fanouts[i-1]
-			if hedges[i-1] > 0 {
-				t.Hedge = &tailbench.HedgeSpec{Delay: hedges[i-1]}
-			}
+			t.Hedge = hedges[i-1]
 		}
 		tiers = append(tiers, t)
 	}
@@ -614,10 +612,12 @@ func parseEdgeInts(s string, edges int) ([]int, error) {
 	return out, nil
 }
 
-// parseEdgeDurations parses a comma-separated duration vector of length
-// edges; empty means all-zero and a single value broadcasts.
-func parseEdgeDurations(s string, edges int) ([]time.Duration, error) {
-	out := make([]time.Duration, edges)
+// parseEdgeHedges parses the -hedge edge vector of length edges: each entry
+// is a plain duration budget, or "rtt-floor+<duration>" to anchor the budget
+// on the edge's observed round-trip floor. Empty or "0" disables hedging on
+// that edge, and a single value broadcasts.
+func parseEdgeHedges(s string, edges int) ([]*tailbench.HedgeSpec, error) {
+	out := make([]*tailbench.HedgeSpec, edges)
 	if s == "" || edges == 0 {
 		return out, nil
 	}
@@ -633,11 +633,16 @@ func parseEdgeDurations(s string, edges int) ([]time.Duration, error) {
 		if p == "0" || p == "" {
 			continue
 		}
-		d, err := time.ParseDuration(p)
-		if err != nil || d < 0 {
-			return nil, fmt.Errorf("bad delay %q", p)
+		rttFloor := false
+		if rest, ok := strings.CutPrefix(p, "rtt-floor+"); ok {
+			rttFloor = true
+			p = rest
 		}
-		out[i] = d
+		d, err := time.ParseDuration(p)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad hedge %q", p)
+		}
+		out[i] = &tailbench.HedgeSpec{Delay: d, RTTFloor: rttFloor}
 	}
 	return out, nil
 }

@@ -152,6 +152,13 @@ type Result struct {
 	// that changed the active count are recorded).
 	ScalingEvents []ScalingEvent
 
+	// EventsSimulated counts the engine dispatches the run performed, warmup
+	// included (simulated path only; zero for live runs). Aborted reports
+	// that the run stopped early through SimConfig.StopWhen — the result
+	// then covers exactly the simulated prefix.
+	EventsSimulated int64
+	Aborted         bool
+
 	// PerReplica is the per-replica breakdown, one row per member ever
 	// provisioned, indexed by stable replica ID.
 	PerReplica []ReplicaStats

@@ -74,6 +74,13 @@ type SimConfig struct {
 	// retains the slowest per window. The simulation appends trees in
 	// arrival order, so a fixed seed yields a bit-identical trace.
 	Trace *trace.Recorder
+	// StopWhen, when non-nil, is polled at accounting-window boundaries with
+	// the run's running snapshot; returning true aborts the run there. The
+	// aborted run's result covers exactly the simulated prefix and sets
+	// Aborted. Polling requires an explicit positive Window (the automatic
+	// width depends on the full run's span, which an online check cannot
+	// know); with Window <= 0 the hook is never called.
+	StopWhen func(SimSnapshot) bool
 }
 
 // ErrNoService is returned when a SimReplica lacks a service sampler.
@@ -172,6 +179,11 @@ type SimClusterConfig struct {
 	// sample log from it so steady-state dispatches allocate nothing. Zero
 	// means no hint; the log grows as needed.
 	ExpectedMeasured int
+	// StopWhen, when non-nil, is the early-abort hook the driving harness
+	// polls (via ShouldStop) at accounting-window boundaries. The engine
+	// never calls it on its own — the caller owns the arrival process and
+	// the window grid, so it owns the polling cadence too.
+	StopWhen func(SimSnapshot) bool
 }
 
 // SimDispatch is the outcome of routing one arrival through a SimCluster:
@@ -212,6 +224,11 @@ type SimCluster struct {
 
 	// samples is the central measured-dispatch log (see simSample).
 	samples []simSample
+
+	// events counts every dispatch (warmup included); recorded counts the
+	// measured ones. Both feed SimSnapshot for the early-abort hook.
+	events   int64
+	recorded int64
 }
 
 // NewSimCluster validates the config and builds the engine with its initial
@@ -346,6 +363,7 @@ func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
 	st := sc.states[pick]
 	st.depth.Observe(outstandingOf(sc.candidates, pick))
 	st.dispatched++
+	sc.events++
 
 	// Earliest-free worker serves next (FIFO across the replica).
 	w := 0
@@ -379,6 +397,7 @@ func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
 	}
 	if record {
 		st.measured++
+		sc.recorded++
 		sc.samples = append(sc.samples, simSample{replica: int32(pick), queue: queue, service: service, sojourn: sojourn})
 	}
 	return SimDispatch{Queue: queue, Service: service, Sojourn: sojourn, Finish: finish, Replica: pick}
@@ -386,6 +405,34 @@ func (sc *SimCluster) Dispatch(t time.Duration, record bool) SimDispatch {
 
 // LastFinish returns the latest completion instant ever assigned.
 func (sc *SimCluster) LastFinish() time.Duration { return sc.lastFinish }
+
+// Events returns the number of dispatches the engine has routed so far,
+// warmup included — the unit early-abort savings are measured in.
+func (sc *SimCluster) Events() int64 { return sc.events }
+
+// Snapshot captures the engine's running early-abort state at virtual
+// instant now. PeakWindowP99 is left zero: window accounting belongs to the
+// driving harness, which fills it before polling the hook.
+func (sc *SimCluster) Snapshot(now time.Duration) SimSnapshot {
+	return SimSnapshot{
+		Now:            now,
+		Events:         sc.events,
+		Measured:       sc.recorded,
+		ReplicaSeconds: sc.set.ReplicaSeconds(now),
+	}
+}
+
+// ShouldStop polls the configured StopWhen hook with the engine's snapshot
+// at now, carrying the caller-maintained running peak windowed p99. It is
+// false whenever no hook is configured.
+func (sc *SimCluster) ShouldStop(now, peakWindowP99 time.Duration) bool {
+	if sc.cfg.StopWhen == nil {
+		return false
+	}
+	snap := sc.Snapshot(now)
+	snap.PeakWindowP99 = peakWindowP99
+	return sc.cfg.StopWhen(snap)
+}
 
 // Settle runs out the clock past the last completion so every draining
 // replica retires at its actual idle instant and lifetime spans are exact.
@@ -467,6 +514,7 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		InitialReplicas:  cfg.InitialReplicas,
 		Autoscale:        cfg.Autoscale,
 		ExpectedMeasured: cfg.Requests,
+		StopWhen:         cfg.StopWhen,
 	})
 	if err != nil {
 		return nil, err
@@ -476,6 +524,15 @@ func Simulate(cfg SimConfig) (*Result, error) {
 	total := cfg.WarmupRequests + cfg.Requests
 	shaper := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2))
 	arrivals := shaper.Schedule(total)
+
+	// The early-abort tracker mirrors the post-hoc window series online:
+	// it only exists with a hook and an explicit window width (see
+	// SimConfig.StopWhen), so the hot loop of every other run is untouched.
+	var tracker *windowPeakTracker
+	if cfg.StopWhen != nil && cfg.Window > 0 {
+		tracker = newWindowPeakTracker(cfg.Window)
+	}
+	aborted := false
 
 	queueAll := make([]time.Duration, 0, cfg.Requests)
 	serviceAll := make([]time.Duration, 0, cfg.Requests)
@@ -493,6 +550,10 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		serviceAll = append(serviceAll, d.Service)
 		sojournAll = append(sojournAll, d.Sojourn)
 		timed = append(timed, stats.TimedSample{At: t, Sojourn: d.Sojourn})
+		if tracker != nil && tracker.observe(t, d.Sojourn) && eng.ShouldStop(t, tracker.peakP99()) {
+			aborted = true
+			break
+		}
 	}
 	// Run out the clock: retire any replica still draining at its actual
 	// idle instant so lifetime spans are exact.
@@ -556,6 +617,8 @@ func Simulate(cfg SimConfig) (*Result, error) {
 		}
 	}
 	out.Trace = cfg.Trace.Report()
+	out.EventsSimulated = eng.Events()
+	out.Aborted = aborted
 	annotateElastic(out, eng.Loop(), eng.Set(), lastFinish)
 	return out, nil
 }

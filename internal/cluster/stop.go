@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"time"
+
+	"tailbench/internal/stats"
+)
+
+// SimSnapshot is the running state a virtual-time engine exposes to an
+// early-abort hook (see SimClusterConfig.StopWhen): enough to decide that a
+// run's outcome is already determined — an SLO window has blown, or the
+// accrued provisioning cost has passed the best complete configuration —
+// without simulating the rest of the request budget. Snapshots are taken at
+// accounting-window boundaries, where PeakWindowP99 is exact: a window's
+// sample set is final once every arrival binned into it has been dispatched,
+// so an abort verdict taken against it equals the verdict a full run would
+// have reached for that window.
+type SimSnapshot struct {
+	// Now is the virtual instant of the check (the arrival or completion
+	// that closed the window).
+	Now time.Duration
+	// Events counts engine dispatches so far, warmup included — the unit
+	// the planner's events-simulated savings are measured in.
+	Events int64
+	// Measured counts recorded (post-warmup) dispatches so far.
+	Measured int64
+	// PeakWindowP99 is the worst p99 over the accounting windows completed
+	// so far, computed exactly as the post-hoc windowed series computes it.
+	PeakWindowP99 time.Duration
+	// ReplicaSeconds is the provisioning cost accrued through Now. It only
+	// grows as the run continues, so exceeding a complete run's cost here
+	// proves this run can never undercut it.
+	ReplicaSeconds float64
+}
+
+// windowPeakTracker maintains the running peak windowed p99 of an
+// arrival-ordered sample stream, finalizing each window the moment an
+// arrival lands past its right edge. Because samples enter in arrival order
+// and windows bin by arrival instant, a finalized window's sample multiset —
+// and therefore its PercentileOfSorted p99 — is identical to the one the
+// post-hoc stats.WindowSeries would compute for it.
+type windowPeakTracker struct {
+	width time.Duration
+	bin   int
+	buf   []time.Duration
+	peak  time.Duration
+	any   bool
+}
+
+func newWindowPeakTracker(width time.Duration) *windowPeakTracker {
+	return &windowPeakTracker{width: width}
+}
+
+// observe adds one measured sample and reports whether it closed a window
+// (the caller snapshots and polls its stop hook exactly then).
+func (w *windowPeakTracker) observe(at, sojourn time.Duration) bool {
+	b := int(at / w.width)
+	if b < 0 {
+		b = 0
+	}
+	closed := false
+	if w.any && b != w.bin {
+		w.finalize()
+		closed = true
+	}
+	if !w.any || b != w.bin {
+		w.bin = b
+		w.any = true
+	}
+	w.buf = append(w.buf, sojourn)
+	return closed
+}
+
+// finalize folds the current window into the peak and resets the buffer.
+func (w *windowPeakTracker) finalize() {
+	if len(w.buf) == 0 {
+		return
+	}
+	stats.SortDurations(w.buf)
+	if p := stats.PercentileOfSorted(w.buf, 99); p > w.peak {
+		w.peak = p
+	}
+	w.buf = w.buf[:0]
+}
+
+// peakP99 returns the worst finalized windowed p99 so far.
+func (w *windowPeakTracker) peakP99() time.Duration { return w.peak }

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tailbench/internal/queueing"
+)
+
+// stopTestConfig is an overloaded 2-replica cluster with an explicit window:
+// queueing builds over the run, so later windows carry a worse p99 than
+// early ones — the shape an SLO-abort hook exists to catch.
+func stopTestConfig(requests int) SimConfig {
+	pool := make([]SimReplica, 2)
+	for i := range pool {
+		pool[i] = SimReplica{Service: queueing.ExponentialService{Mean: time.Millisecond}}
+	}
+	return SimConfig{
+		Policy:   PolicyLeastQueue,
+		QPS:      2.2 / time.Millisecond.Seconds(),
+		Window:   25 * time.Millisecond,
+		Requests: requests,
+		Seed:     7,
+		Replicas: pool,
+	}
+}
+
+// TestStopWhenOnlinePeakMatchesPostHocWindows pins the abort hook's
+// correctness contract: the running PeakWindowP99 handed to StopWhen is
+// computed exactly as the post-hoc windowed series computes it. A
+// never-aborting hook records the final polled peak, which must equal the
+// post-hoc maximum over every window except the last (the last window only
+// finalizes when a later arrival lands past it, which never happens).
+func TestStopWhenOnlinePeakMatchesPostHocWindows(t *testing.T) {
+	cfg := stopTestConfig(3000)
+	var polled time.Duration
+	cfg.StopWhen = func(s SimSnapshot) bool {
+		if s.PeakWindowP99 < polled {
+			t.Fatalf("PeakWindowP99 went backwards: %v after %v", s.PeakWindowP99, polled)
+		}
+		polled = s.PeakWindowP99
+		return false
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatal("never-aborting hook produced an aborted result")
+	}
+	if len(res.Windows) < 3 {
+		t.Fatalf("want at least 3 windows, got %d", len(res.Windows))
+	}
+	want := time.Duration(0)
+	for _, w := range res.Windows[:len(res.Windows)-1] {
+		if w.P99 > want {
+			want = w.P99
+		}
+	}
+	if polled != want {
+		t.Fatalf("online peak %v != post-hoc peak over finalized windows %v", polled, want)
+	}
+}
+
+// TestStopWhenNeverFiringIsInert pins that wiring a hook that never aborts
+// changes nothing about the result: the measurement must be bit-identical to
+// the hookless run (the tracker observes, it never perturbs).
+func TestStopWhenNeverFiringIsInert(t *testing.T) {
+	plain, err := Simulate(stopTestConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stopTestConfig(1500)
+	cfg.StopWhen = func(SimSnapshot) bool { return false }
+	hooked, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, hooked) {
+		t.Fatal("inert StopWhen hook changed the result")
+	}
+}
+
+// TestStopWhenAbortsEarly pins the abort path end to end: a hook tripping on
+// the running windowed p99 stops the run mid-schedule, the result says so,
+// and the events-simulated saving is real. It also pins soundness — the
+// abort verdict agrees with the full run: the full run's windows do contain
+// a window over the threshold.
+func TestStopWhenAbortsEarly(t *testing.T) {
+	full, err := Simulate(stopTestConfig(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Aborted {
+		t.Fatal("hookless run reported Aborted")
+	}
+	if full.EventsSimulated == 0 {
+		t.Fatal("full run reported zero EventsSimulated")
+	}
+	// Pick a threshold the full run demonstrably blows somewhere in its
+	// interior windows so the online tracker must trip on it too.
+	peak := time.Duration(0)
+	for _, w := range full.Windows[:len(full.Windows)-1] {
+		if w.P99 > peak {
+			peak = w.P99
+		}
+	}
+	slo := peak / 2
+	blown := false
+	for _, w := range full.Windows {
+		if w.P99 > slo {
+			blown = true
+		}
+	}
+	if !blown {
+		t.Fatal("test setup: full run never exceeds the SLO threshold")
+	}
+
+	cfg := stopTestConfig(3000)
+	cfg.StopWhen = func(s SimSnapshot) bool { return s.PeakWindowP99 > slo }
+	aborted, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aborted.Aborted {
+		t.Fatal("SLO-tripping hook did not abort")
+	}
+	if aborted.EventsSimulated >= full.EventsSimulated {
+		t.Fatalf("abort simulated %d events, full run %d — no saving",
+			aborted.EventsSimulated, full.EventsSimulated)
+	}
+	if aborted.Requests >= full.Requests {
+		t.Fatalf("aborted run measured %d requests, full run %d", aborted.Requests, full.Requests)
+	}
+	// The aborted run is a prefix of the full run: its windowed series must
+	// match the full run's windows over the fully-covered prefix.
+	if len(aborted.Windows) < 2 {
+		t.Fatalf("aborted run has %d windows, want >= 2", len(aborted.Windows))
+	}
+	for i, w := range aborted.Windows[:len(aborted.Windows)-1] {
+		if w.P99 != full.Windows[i].P99 || w.Requests != full.Windows[i].Requests {
+			t.Fatalf("window %d diverges between aborted prefix and full run: %+v vs %+v",
+				i, w, full.Windows[i])
+		}
+	}
+}
+
+// TestStopWhenSnapshotCost pins that ReplicaSeconds in the snapshot is the
+// running provisioning cost: it must be positive, non-decreasing across
+// polls, and bounded by the completed run's total.
+func TestStopWhenSnapshotCost(t *testing.T) {
+	cfg := stopTestConfig(1500)
+	var last float64
+	var lastEvents int64
+	cfg.StopWhen = func(s SimSnapshot) bool {
+		if s.ReplicaSeconds <= 0 || s.ReplicaSeconds < last {
+			t.Fatalf("ReplicaSeconds not positive/monotone: %v after %v", s.ReplicaSeconds, last)
+		}
+		if s.Events <= lastEvents {
+			t.Fatalf("Events not increasing: %d after %d", s.Events, lastEvents)
+		}
+		last, lastEvents = s.ReplicaSeconds, s.Events
+		return false
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last == 0 {
+		t.Fatal("hook was never polled")
+	}
+	if last > res.ReplicaSeconds {
+		t.Fatalf("mid-run cost %v exceeds final cost %v", last, res.ReplicaSeconds)
+	}
+	if lastEvents > res.EventsSimulated {
+		t.Fatalf("mid-run events %d exceed final %d", lastEvents, res.EventsSimulated)
+	}
+}

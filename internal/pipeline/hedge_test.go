@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// floorTier builds a liveTier the way newLiveTier would as far as hedge
+// budgeting is concerned: config, the edge's synthetic RTT, and the
+// wire-floor sentinel.
+func floorTier(cfg TierConfig, rttExtra time.Duration) *liveTier {
+	t := &liveTier{cfg: cfg, rttExtra: rttExtra}
+	t.wireFloor.Store(math.MaxInt64)
+	return t
+}
+
+// TestHedgeRTTFloorBudget pins the derived budget on an edge with synthetic
+// delay: the effective hedge delay is the configured budget plus the
+// synthetic RTT plus the observed wire floor, so a networked edge stops
+// hedging inside time the network costs every request.
+func TestHedgeRTTFloorBudget(t *testing.T) {
+	rtt := 2 * time.Millisecond // synthetic round trip: 2 x 1ms NetDelay
+	tier := floorTier(TierConfig{HedgeDelay: 500 * time.Microsecond, HedgeRTTFloor: true}, rtt)
+
+	// Before any completion: budget + synthetic RTT, observed floor zero —
+	// early, never late.
+	if got, want := tier.hedgeDelay(), 2500*time.Microsecond; got != want {
+		t.Fatalf("pre-observation budget = %v, want %v", got, want)
+	}
+
+	// Completions teach the edge its wire floor; the minimum wins.
+	tier.observeWire(300 * time.Microsecond)
+	tier.observeWire(450 * time.Microsecond)
+	if got, want := tier.hedgeDelay(), 2800*time.Microsecond; got != want {
+		t.Fatalf("budget after observations = %v, want %v", got, want)
+	}
+	tier.observeWire(200 * time.Microsecond)
+	if got, want := tier.hedgeDelay(), 2700*time.Microsecond; got != want {
+		t.Fatalf("budget after lower floor = %v, want %v", got, want)
+	}
+	// Clock skew can produce a negative wire sample; it clamps to zero
+	// rather than producing a budget under Delay + RTT.
+	tier.observeWire(-time.Millisecond)
+	if got, want := tier.hedgeDelay(), 2500*time.Microsecond; got != want {
+		t.Fatalf("budget after negative sample = %v, want %v", got, want)
+	}
+}
+
+// TestHedgeConstantBudgetUnaffected pins that without RTTFloor the budget is
+// exactly the configured delay — synthetic RTT and wire observations do not
+// leak in, and the tracking itself stays off.
+func TestHedgeConstantBudgetUnaffected(t *testing.T) {
+	tier := floorTier(TierConfig{HedgeDelay: 500 * time.Microsecond}, 2*time.Millisecond)
+	tier.observeWire(300 * time.Microsecond)
+	if got, want := tier.hedgeDelay(), 500*time.Microsecond; got != want {
+		t.Fatalf("constant budget = %v, want %v", got, want)
+	}
+	if tier.wireFloor.Load() != math.MaxInt64 {
+		t.Fatal("wire-floor tracking ran on a non-RTT-floor edge")
+	}
+}
+
+// TestHedgeDisabledStaysDisabled pins that RTTFloor cannot turn hedging on
+// by itself: a zero budget stays zero.
+func TestHedgeDisabledStaysDisabled(t *testing.T) {
+	tier := floorTier(TierConfig{HedgeRTTFloor: true}, 2*time.Millisecond)
+	tier.observeWire(300 * time.Microsecond)
+	if got := tier.hedgeDelay(); got != 0 {
+		t.Fatalf("disabled edge derived budget %v, want 0", got)
+	}
+}

@@ -141,6 +141,11 @@ type liveTier struct {
 
 	hedgesIssued atomic.Uint64
 	hedgeWins    atomic.Uint64
+	// wireFloor is the smallest wire time (completion minus enqueue minus
+	// queue wait minus service) observed on any completed copy, in
+	// nanoseconds; math.MaxInt64 until the first observation. Maintained
+	// only for RTT-floor hedge budgets.
+	wireFloor atomic.Int64
 }
 
 // liveEngine is the run-scoped state of the live pipeline path.
@@ -325,6 +330,7 @@ func newLiveTier(eng *liveEngine, idx int, tc TierConfig, payloadCount int, cfg 
 		balancer: balancer,
 		set:      cluster.NewReplicaSet(len(tc.Servers)),
 	}
+	t.wireFloor.Store(math.MaxInt64)
 	if tc.Autoscale != nil {
 		t.loop, err = cluster.NewControlLoop(*tc.Autoscale, tc.Replicas, len(tc.Servers))
 		if err != nil {
@@ -488,7 +494,7 @@ func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
 		}
 	}
 	if !hedge && t.cfg.HedgeDelay > 0 && t.idx > 0 {
-		n.timer = time.AfterFunc(t.cfg.HedgeDelay, func() {
+		n.timer = time.AfterFunc(t.hedgeDelay(), func() {
 			if n.settled.Load() {
 				return
 			}
@@ -507,6 +513,50 @@ func (t *liveTier) dispatch(n *liveNode, payload app.Request, hedge bool) {
 				tree.Settle(n.span, -1, true)
 			}
 			t.eng.settle(n, now, now+n.synth)
+		}
+	}
+}
+
+// hedgeDelay is the edge's effective hedging budget for the next original
+// dispatch. A plain budget is used as configured; an RTT-floor budget adds
+// what the transport costs every request — the edge's synthetic RTT plus
+// the smallest wire time observed on any completed copy so far — so a
+// hedge can never fire inside time no duplicate could beat. Before the
+// first completion the observed floor reads as zero, which errs toward
+// hedging early, never late.
+func (t *liveTier) hedgeDelay() time.Duration {
+	d := t.cfg.HedgeDelay
+	if d <= 0 || !t.cfg.HedgeRTTFloor {
+		return d
+	}
+	return d + t.rttExtra + t.observedWireFloor()
+}
+
+// observedWireFloor reads the edge's wire-time floor, zero until the first
+// completed copy reports one.
+func (t *liveTier) observedWireFloor() time.Duration {
+	if f := t.wireFloor.Load(); f != math.MaxInt64 {
+		return time.Duration(f)
+	}
+	return 0
+}
+
+// observeWire folds one completed copy's wire time into the edge's floor
+// (atomic min). Only RTT-floor hedged edges pay for the tracking; negative
+// inputs (clock skew between the enqueue stamp and the worker's clock)
+// clamp to zero.
+func (t *liveTier) observeWire(wire time.Duration) {
+	if t.cfg.HedgeDelay <= 0 || !t.cfg.HedgeRTTFloor {
+		return
+	}
+	if wire < 0 {
+		wire = 0
+	}
+	v := wire.Nanoseconds()
+	for {
+		prev := t.wireFloor.Load()
+		if v >= prev || t.wireFloor.CompareAndSwap(prev, v) {
+			return
 		}
 	}
 }
@@ -540,6 +590,11 @@ func (t *liveTier) complete(rep *liveReplica, p livePending, queue, service time
 	endOff := end.Sub(t.eng.start)
 	storeMax(&rep.lastDone, endOff.Nanoseconds())
 	storeMax(&t.eng.lastDone, endOff.Nanoseconds())
+	// The copy's wire time is everything between enqueue and completion
+	// that was neither queue wait nor service — the transport cost the
+	// edge charges every copy, and the floor RTT-anchored hedge budgets
+	// build on.
+	t.observeWire(endOff - p.enqueue.Sub(t.eng.start) - queue - service)
 	n := p.node
 	sample := core.Sample{
 		Queue:   queue,

@@ -62,6 +62,14 @@ type TierConfig struct {
 	// within it is duplicated once onto the tier and the first response
 	// wins. Zero disables hedging; tier 0 never hedges.
 	HedgeDelay time.Duration
+	// HedgeRTTFloor makes the live path derive the effective budget from
+	// the edge's round-trip floor: HedgeDelay plus the synthetic RTT
+	// (2×NetDelay on networked edges) plus the smallest wire time observed
+	// on any completed copy so far, so hedging never fires inside time the
+	// transport costs every request. The simulated path has no wire time
+	// and charges no synthetic RTT, so it ignores this flag and uses
+	// HedgeDelay as configured.
+	HedgeRTTFloor bool
 	// Autoscale enables the tier's autoscaling control loop; nil keeps the
 	// tier's membership fixed.
 	Autoscale *cluster.AutoscaleConfig
@@ -134,6 +142,14 @@ type Config struct {
 	// as the run progresses (live path only); results are identical with or
 	// without it.
 	Metrics *metrics.Registry
+	// StopWhen, when non-nil, is polled by the simulated path whenever an
+	// end-to-end accounting window completes (every measured root binned
+	// into it has resolved); returning true aborts the run there. The
+	// snapshot aggregates all tiers: Events and ReplicaSeconds sum over the
+	// tier engines, Measured counts resolved measured roots. As with the
+	// cluster hook, polling requires an explicit positive Window; the live
+	// path ignores the hook.
+	StopWhen func(cluster.SimSnapshot) bool
 }
 
 // Errors returned by pipeline configuration validation.

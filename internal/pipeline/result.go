@@ -104,6 +104,12 @@ type Result struct {
 	// Elapsed is the measurement interval (first measured root arrival to
 	// last completion) on the run's time axis.
 	Elapsed time.Duration
+	// EventsSimulated counts engine dispatches across every tier, warmup and
+	// hedge duplicates included (simulated path only; zero for live runs).
+	// Aborted reports the run stopped early through Config.StopWhen — the
+	// result then covers exactly the resolved prefix.
+	EventsSimulated int64
+	Aborted         bool
 	// Tiers is the per-tier breakdown, front-end first.
 	Tiers []TierResult
 	// Trace is the tail-attribution report when tracing was enabled: windowed

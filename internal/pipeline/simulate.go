@@ -16,10 +16,11 @@ import (
 // flag, resolved end-to-end completion instant, and the per-tier slowest
 // sub-request sojourn (the fan-in critical path at each tier).
 type simRoot struct {
-	at      time.Duration
-	warmup  bool
-	done    time.Duration
-	tierMax []time.Duration // a window into one run-wide backing array
+	at       time.Duration
+	warmup   bool
+	resolved bool
+	done     time.Duration
+	tierMax  []time.Duration // a window into one run-wide backing array
 	// tree is the root's span tree when tracing is on (measured roots only).
 	// It is acquired lazily at the root's first dispatch and handed to the
 	// recorder at fan-in, so only in-flight roots hold span storage.
@@ -114,6 +115,57 @@ func Simulate(cfg Config) (*Result, error) {
 	total := cfg.WarmupRequests + cfg.Requests
 	arrivals := core.NewShapedTrafficShaper(shape, workload.SplitSeed(cfg.Seed, 2)).Schedule(total)
 
+	// Early-abort window tracking (see Config.StopWhen). End-to-end windows
+	// bin roots by arrival instant, and roots resolve out of arrival order
+	// (fan-in waits for stragglers), so a window is final only once every
+	// measured root binned into it has resolved. The arrival schedule is
+	// known up front, which makes completion detection a per-window pending
+	// countdown; windows finalize in grid order exactly as the post-hoc
+	// series computes them.
+	var (
+		abortNow         bool
+		winPending       []int
+		winBuf           [][]time.Duration
+		nextWin          int
+		peakWin          time.Duration
+		measuredResolved int64
+	)
+	if cfg.StopWhen != nil && cfg.Window > 0 && cfg.WarmupRequests < total {
+		winPending = make([]int, int(arrivals[total-1]/cfg.Window)+1)
+		winBuf = make([][]time.Duration, len(winPending))
+		for i := cfg.WarmupRequests; i < total; i++ {
+			winPending[int(arrivals[i]/cfg.Window)]++
+		}
+	}
+	observeRoot := func(r *simRoot, done time.Duration) {
+		b := int(r.at / cfg.Window)
+		winBuf[b] = append(winBuf[b], done-r.at)
+		winPending[b]--
+		closed := false
+		for nextWin < len(winPending) && winPending[nextWin] == 0 {
+			if buf := winBuf[nextWin]; len(buf) > 0 {
+				stats.SortDurations(buf)
+				if p := stats.PercentileOfSorted(buf, 99); p > peakWin {
+					peakWin = p
+				}
+				winBuf[nextWin] = nil
+				closed = true
+			}
+			nextWin++
+		}
+		if !closed {
+			return
+		}
+		snap := cluster.SimSnapshot{Now: done, Measured: measuredResolved, PeakWindowP99: peakWin}
+		for _, st := range tiers {
+			snap.Events += st.eng.Events()
+			snap.ReplicaSeconds += st.eng.Set().ReplicaSeconds(done)
+		}
+		if cfg.StopWhen(snap) {
+			abortNow = true
+		}
+	}
+
 	// Roots, their per-tier straggler maxima, and the tier-0 nodes live in
 	// three run-wide backing arrays (three allocations instead of three per
 	// root); deeper-tier nodes come from a free list that recycles a node
@@ -189,9 +241,14 @@ func Simulate(cfg Config) (*Result, error) {
 			if p == nil {
 				root := n.root
 				root.done = done
+				root.resolved = true
 				if root.tree != nil {
 					root.tree.Close(0, done)
 					cfg.Trace.Observe(root.tree, done-root.at)
+				}
+				if winPending != nil && !root.warmup {
+					measuredResolved++
+					observeRoot(root, done)
 				}
 				recycleNode(n)
 				return
@@ -211,7 +268,7 @@ func Simulate(cfg Config) (*Result, error) {
 		}
 	}
 
-	for events.len() > 0 {
+	for events.len() > 0 && !abortNow {
 		ev := events.pop()
 		root := ev.node.root
 		if cfg.Trace != nil && !root.warmup && root.tree == nil {
@@ -277,7 +334,9 @@ func Simulate(cfg Config) (*Result, error) {
 	timed := make([]stats.TimedSample, 0, cfg.Requests)
 	for i := range roots {
 		r := &roots[i]
-		if r.warmup {
+		// An aborted run leaves roots with unresolved fan-out trees; their
+		// end-to-end sojourn is undefined and they are excluded everywhere.
+		if r.warmup || !r.resolved {
 			continue
 		}
 		sojourn := r.done - r.at
@@ -363,15 +422,19 @@ func Simulate(cfg Config) (*Result, error) {
 		out.Tiers = append(out.Tiers, tr)
 	}
 	out.Trace = cfg.Trace.Report()
+	for _, st := range tiers {
+		out.EventsSimulated += st.eng.Events()
+	}
+	out.Aborted = abortNow
 	return out, nil
 }
 
-// criticalSummary summarizes, across measured roots, the slowest
+// criticalSummary summarizes, across measured resolved roots, the slowest
 // sub-request sojourn each root saw at the tier.
 func criticalSummary(roots []simRoot, tier int) stats.LatencySummary {
 	crit := make([]time.Duration, 0, len(roots))
 	for i := range roots {
-		if !roots[i].warmup {
+		if !roots[i].warmup && roots[i].resolved {
 			crit = append(crit, roots[i].tierMax[tier])
 		}
 	}

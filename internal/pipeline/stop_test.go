@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tailbench/internal/cluster"
+	"tailbench/internal/queueing"
+)
+
+// stopPipelineConfig is an overloaded fan-out pipeline with an explicit
+// end-to-end window, so the windowed p99 degrades across the run — the
+// shape the SLO-abort hook exists to catch.
+func stopPipelineConfig(requests int) Config {
+	tier := func(name string, replicas int, mean time.Duration) TierConfig {
+		pool := make([]cluster.SimReplica, replicas)
+		for i := range pool {
+			pool[i] = cluster.SimReplica{Service: queueing.ExponentialService{Mean: mean}}
+		}
+		return TierConfig{Name: name, App: "stop", Policy: cluster.PolicyLeastQueue, Replicas: replicas, SimReplicas: pool}
+	}
+	shards := tier("shards", 4, time.Millisecond)
+	shards.FanOut = 3
+	return Config{
+		Tiers:    []TierConfig{tier("front", 2, 250*time.Microsecond), shards},
+		QPS:      1400,
+		Window:   50 * time.Millisecond,
+		Requests: requests,
+		Seed:     11,
+	}
+}
+
+// TestPipelineStopWhenInertAndExact pins two contracts at once: a
+// never-aborting hook leaves the result bit-identical to the hookless run,
+// and the final PeakWindowP99 it was polled with equals the post-hoc peak
+// over the whole series (pending-count tracking finalizes the last window
+// too, once its final root resolves).
+func TestPipelineStopWhenInertAndExact(t *testing.T) {
+	plain, err := Simulate(stopPipelineConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stopPipelineConfig(2000)
+	var polled time.Duration
+	cfg.StopWhen = func(s cluster.SimSnapshot) bool {
+		if s.PeakWindowP99 < polled {
+			t.Fatalf("PeakWindowP99 went backwards: %v after %v", s.PeakWindowP99, polled)
+		}
+		polled = s.PeakWindowP99
+		return false
+	}
+	hooked, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, hooked) {
+		t.Fatal("inert StopWhen hook changed the pipeline result")
+	}
+	if len(plain.Windows) < 3 {
+		t.Fatalf("want at least 3 windows, got %d", len(plain.Windows))
+	}
+	want := time.Duration(0)
+	for _, w := range plain.Windows {
+		if w.P99 > want {
+			want = w.P99
+		}
+	}
+	if polled != want {
+		t.Fatalf("online peak %v != post-hoc peak over finalized windows %v", polled, want)
+	}
+}
+
+// TestPipelineStopWhenAbortsEarly pins the abort path: tripping on the
+// running end-to-end windowed p99 stops the event loop mid-schedule with a
+// real events-simulated saving, the result says so, and the windowed prefix
+// matches the full run's windows exactly.
+func TestPipelineStopWhenAbortsEarly(t *testing.T) {
+	full, err := Simulate(stopPipelineConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Aborted || full.EventsSimulated == 0 {
+		t.Fatalf("full run: Aborted=%v EventsSimulated=%d", full.Aborted, full.EventsSimulated)
+	}
+	peak := time.Duration(0)
+	for _, w := range full.Windows[:len(full.Windows)-1] {
+		if w.P99 > peak {
+			peak = w.P99
+		}
+	}
+	slo := peak / 2
+
+	cfg := stopPipelineConfig(2000)
+	cfg.StopWhen = func(s cluster.SimSnapshot) bool { return s.PeakWindowP99 > slo }
+	aborted, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aborted.Aborted {
+		t.Fatal("SLO-tripping hook did not abort")
+	}
+	if aborted.EventsSimulated >= full.EventsSimulated {
+		t.Fatalf("abort simulated %d events, full run %d — no saving",
+			aborted.EventsSimulated, full.EventsSimulated)
+	}
+	if aborted.Requests >= full.Requests {
+		t.Fatalf("aborted run measured %d roots, full run %d", aborted.Requests, full.Requests)
+	}
+	if len(aborted.Windows) < 2 {
+		t.Fatalf("aborted run has %d windows, want >= 2", len(aborted.Windows))
+	}
+	for i, w := range aborted.Windows[:len(aborted.Windows)-1] {
+		if w.P99 != full.Windows[i].P99 || w.Requests != full.Windows[i].Requests {
+			t.Fatalf("window %d diverges between aborted prefix and full run: %+v vs %+v",
+				i, w, full.Windows[i])
+		}
+	}
+}

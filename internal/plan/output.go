@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteJSON writes the full Result — frontier, best point, and search
+// trace — as indented JSON. The bytes are a pure function of the Config:
+// wall-clock fields are zeroed at probe time and slices keep axis order,
+// so any worker count produces the same output.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// planCSVHeader is the frontier table's column set, latencies in
+// microseconds, one row per axis tuple.
+var planCSVHeader = []string{
+	"tuple", "policy", "shape", "controller", "fanout",
+	"status", "replicas", "peak_window_p99_us", "replica_seconds",
+}
+
+// WriteCSV writes the per-tuple frontier table with a header row, tuples in
+// axis order. Infeasible and pruned tuples keep their identity columns and
+// leave the frontier columns zero.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(planCSVHeader); err != nil {
+		return err
+	}
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		rec := []string{
+			strconv.Itoa(t.Tuple), t.Policy, t.Shape, t.Controller,
+			strconv.Itoa(t.FanOut), t.Status, strconv.Itoa(t.Replicas),
+			strconv.FormatFloat(float64(t.PeakWindowP99)/float64(time.Microsecond), 'f', 1, 64),
+			strconv.FormatFloat(t.ReplicaSeconds, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

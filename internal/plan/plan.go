@@ -1,0 +1,724 @@
+// Package plan implements the adaptive SLO-frontier planner: given a grid
+// workload (sweep.GridConfig axes) and a latency SLO, it searches the
+// replica dimension of every axis tuple for the cheapest configuration —
+// by ReplicaSeconds — whose peak windowed p99 holds the SLO, and returns
+// the full cost/SLO frontier.
+//
+// Three stacked optimizations make the search 10-100x cheaper in simulated
+// events than the exhaustive grid it replaces, without changing a single
+// answer:
+//
+//  1. Engine-level early abort: every probe runs with a CellLimits SLO
+//     threshold, so a cell whose running peak windowed p99 has already
+//     blown the SLO stops at that window boundary instead of burning its
+//     full request budget. The verdict is definitive — the blown window
+//     would appear identically in the full run.
+//  2. Monotonicity pruning: per (policy, shape, controller, fan-out) tuple,
+//     feasibility is monotone in the replica count, so the planner bisects
+//     [MinReplicas, MaxReplicas] instead of scanning it, and a
+//     branch-and-bound bound (cheapest conceivable cost = minimal replicas
+//     x arrival-schedule span, no simulation needed) skips whole tuples
+//     that cannot undercut the incumbent best.
+//  3. Cell memoization + arena reuse: every completed (non-aborted) cell
+//     report enters an FNV-keyed cache, so frontier assembly re-reads
+//     probes instead of re-simulating them, and each worker reuses its
+//     sweep.CellArena across cells.
+//
+// Determinism contract: every cell's seed derives from the grid seed and
+// the cell's coordinates alone, probes are issued and folded in tuple
+// order with a barrier per search round, and wall-clock fields are zeroed
+// — so the same Config produces byte-identical frontier JSON at any worker
+// count, and Run finds the exact optimum Exhaustive finds (assuming
+// feasibility is monotone in the replica count, which bisection relies
+// on).
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"tailbench"
+	"tailbench/internal/workload"
+	"tailbench/sweep"
+)
+
+// Config parameterizes one frontier search.
+type Config struct {
+	// Grid supplies the axes, fixed topology, request budget, reps, seed,
+	// and worker count; it is normalized exactly as sweep.RunGrid would.
+	// Window must be explicit (positive): SLO verdicts are taken against
+	// the peak windowed p99 and the early-abort hook polls at window
+	// boundaries.
+	Grid sweep.GridConfig
+	// SLO is the feasibility threshold: a configuration is feasible when
+	// the peak windowed p99 of every replication stays at or under it.
+	SLO time.Duration
+	// MinReplicas and MaxReplicas bound the replica search dimension
+	// (defaults 1 and 16). The override resizes the serving tier — the
+	// cluster for fan-out 1 cells, the shard tier for fan-out cells.
+	MinReplicas int
+	MaxReplicas int
+
+	// DisableAbort runs every probe to completion (no SLO early abort).
+	// DisablePrune keeps branch-and-bound from skipping dominated tuples.
+	// DisableMemo makes frontier assembly re-simulate instead of reading
+	// the probe cache. All three exist so each optimization's saving is
+	// independently measurable; none of them changes any answer.
+	DisableAbort bool
+	DisablePrune bool
+	DisableMemo  bool
+	// CostAbort applies only to Exhaustive: once a tuple's frontier is
+	// resolved, the redundant cells above it run with MaxReplicaSeconds set
+	// to the running incumbent cost, aborting as soon as their accrued cost
+	// proves them dominated. It forces a sequential scan (the incumbent is
+	// order-dependent), so it is off by default.
+	CostAbort bool
+}
+
+// Statuses a tuple can end the search in.
+const (
+	StatusFeasible   = "feasible"   // frontier point found
+	StatusInfeasible = "infeasible" // SLO blown even at MaxReplicas
+	StatusPruned     = "pruned"     // cost-dominated, never fully searched
+)
+
+// TupleResult is one axis tuple's outcome: its identity, status, and — for
+// feasible tuples — the frontier point (minimal feasible replica count)
+// with its aggregate statistics and per-rep reports.
+type TupleResult struct {
+	Tuple      int
+	Policy     string
+	Shape      string
+	Controller string
+	FanOut     int
+
+	Status string
+	// Replicas is the minimal feasible serving-tier size (0 unless
+	// feasible). PeakWindowP99 is the worst peak across the frontier
+	// cell's replications; ReplicaSeconds the mean provisioning cost —
+	// the quantity the optimum minimizes.
+	Replicas       int
+	PeakWindowP99  time.Duration
+	ReplicaSeconds float64
+	// Reports are the frontier cell's per-rep reports (wall-clock fields
+	// zeroed; empty unless feasible).
+	Reports []sweep.SimReport `json:",omitempty"`
+}
+
+// Stats is the search trace: how much of the cell space was actually
+// simulated and what each optimization saved.
+type Stats struct {
+	// Tuples counts axis tuples, TuplesPruned those branch-and-bound
+	// skipped before resolution.
+	Tuples       int
+	TuplesPruned int
+	// CellsTotal is the full cell space (tuples x replica range x reps).
+	// CellsRun counts simulations executed, CellsAborted those that
+	// stopped early on a limit, CellsMemoized cache reads that replaced a
+	// re-run, and CellsPruned the cells never evaluated at all.
+	CellsTotal    int
+	CellsRun      int
+	CellsAborted  int
+	CellsMemoized int
+	CellsPruned   int
+	// EventsSimulated sums engine dispatches across every executed cell —
+	// the currency all savings are measured in.
+	EventsSimulated int64
+}
+
+// Result is a frontier search's outcome. Its JSON encoding is byte-stable:
+// same Config, same bytes, regardless of worker count.
+type Result struct {
+	SLO         time.Duration
+	MinReplicas int
+	MaxReplicas int
+	// Best is the cheapest feasible frontier point (nil when no tuple is
+	// feasible); Tuples is every tuple's outcome in axis order.
+	Best   *TupleResult `json:",omitempty"`
+	Tuples []TupleResult
+	Stats  Stats
+}
+
+// Errors returned by Config validation.
+var (
+	ErrNoSLO    = errors.New("plan: Config.SLO must be positive")
+	ErrNoWindow = errors.New("plan: Config.Grid.Window must be an explicit positive width (SLO verdicts and abort polling are windowed)")
+	ErrBounds   = errors.New("plan: replica bounds must satisfy 1 <= MinReplicas <= MaxReplicas")
+)
+
+// tupleState is one axis tuple's evolving search state.
+type tupleState struct {
+	idx        int
+	policy     string
+	shape      sweep.Cell // template carrying the shape value
+	controller string
+	fanOut     int
+
+	status string // "" while active
+	lo, hi int    // bisection bounds; invariant: hi is probed-feasible
+	// outcomes caches probe aggregates by replica count.
+	outcomes map[int]probeOutcome
+	// bound is the a-priori cost lower bound (lazily computed).
+	bound    float64
+	boundSet bool
+}
+
+// probeOutcome aggregates one (tuple, replicas) evaluation across reps.
+type probeOutcome struct {
+	feasible       bool
+	peakWindowP99  time.Duration
+	replicaSeconds float64
+	reports        []sweep.SimReport
+}
+
+// probe is one unit of batch work: evaluate tuple t at replica count r.
+type probe struct {
+	t *tupleState
+	r int
+	// maxRS is the cost-abort threshold (Exhaustive only); fullReps keeps
+	// all replications running even after an infeasible one (Exhaustive
+	// scans every cell, Run stops a probe at the first decisive rep).
+	maxRS    float64
+	fullReps bool
+}
+
+// probeResult carries a probe's outcome plus its accounting deltas, folded
+// into the planner single-threaded at the round barrier.
+type probeResult struct {
+	out      probeOutcome
+	cellsRun int
+	aborted  int
+	events   int64
+	keys     []uint64 // memo keys of completed reports, aligned with out.reports
+	err      error
+}
+
+// memoEntry is one FNV-keyed cache slot; the canonical spec string guards
+// against hash collisions.
+type memoEntry struct {
+	spec string
+	rpt  sweep.SimReport
+}
+
+// planner is the shared machinery behind Run and Exhaustive.
+type planner struct {
+	cfg    Config
+	grid   sweep.GridConfig
+	reps   int
+	span   int // replica range size
+	tuples []*tupleState
+
+	memo  map[uint64]memoEntry
+	seen  map[uint64]struct{} // distinct cells evaluated
+	stats Stats
+
+	arenas chan *sweep.CellArena
+}
+
+func newPlanner(cfg Config) (*planner, error) {
+	if cfg.SLO <= 0 {
+		return nil, ErrNoSLO
+	}
+	if cfg.Grid.Window <= 0 {
+		return nil, ErrNoWindow
+	}
+	if cfg.MinReplicas <= 0 {
+		cfg.MinReplicas = 1
+	}
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = 16
+	}
+	if cfg.MinReplicas > cfg.MaxReplicas {
+		return nil, fmt.Errorf("%w (got [%d, %d])", ErrBounds, cfg.MinReplicas, cfg.MaxReplicas)
+	}
+	grid := cfg.Grid.Normalized()
+	p := &planner{
+		cfg:  cfg,
+		grid: grid,
+		reps: grid.Reps,
+		span: cfg.MaxReplicas - cfg.MinReplicas + 1,
+		memo: map[uint64]memoEntry{},
+		seen: map[uint64]struct{}{},
+	}
+	idx := 0
+	for _, pol := range grid.Axes.Policies {
+		for _, sh := range grid.Axes.Shapes {
+			for _, ctrl := range grid.Axes.Controllers {
+				for _, k := range grid.Axes.FanOuts {
+					p.tuples = append(p.tuples, &tupleState{
+						idx:        idx,
+						policy:     pol,
+						shape:      sweep.Cell{Shape: sh},
+						controller: ctrl,
+						fanOut:     k,
+						lo:         cfg.MinReplicas,
+						hi:         cfg.MaxReplicas,
+						outcomes:   map[int]probeOutcome{},
+					})
+					idx++
+				}
+			}
+		}
+	}
+	p.stats.Tuples = len(p.tuples)
+	p.stats.CellsTotal = len(p.tuples) * p.span * p.reps
+	p.arenas = make(chan *sweep.CellArena, grid.Workers)
+	for i := 0; i < grid.Workers; i++ {
+		p.arenas <- sweep.NewCellArena(grid)
+	}
+	return p, nil
+}
+
+// cell builds the canonical cell for (tuple, replicas, rep). The flat index
+// enumerates the whole search space tuple-major, replica-middle, rep-minor,
+// and the seed splits from the grid seed by that index alone — identical
+// for Run and Exhaustive, independent of search order and worker count.
+func (p *planner) cell(t *tupleState, r, rep int) sweep.Cell {
+	flat := (t.idx*p.span+(r-p.cfg.MinReplicas))*p.reps + rep
+	return sweep.Cell{
+		Index:      flat,
+		Rep:        rep,
+		Seed:       workload.SplitSeed(p.grid.Seed, int64(flat)),
+		Policy:     t.policy,
+		Shape:      t.shape.Shape,
+		Controller: t.controller,
+		FanOut:     t.fanOut,
+		Replicas:   r,
+	}
+}
+
+// memoKey hashes the canonical cell spec with FNV-64a.
+func memoKey(c sweep.Cell) (uint64, string) {
+	spec := fmt.Sprintf("p=%s|s=%s|c=%s|k=%d|r=%d|rep=%d|seed=%d",
+		c.Policy, shapeLabel(c.Shape), c.Controller, c.FanOut, c.Replicas, c.Rep, c.Seed)
+	h := fnv.New64a()
+	h.Write([]byte(spec))
+	return h.Sum64(), spec
+}
+
+// shapeLabel renders the shape axis for tuple identity and memo keys.
+func shapeLabel(s tailbench.LoadShape) string {
+	if s == nil {
+		return "const"
+	}
+	return s.Spec()
+}
+
+// runProbe evaluates one (tuple, replicas) pair: its replications run
+// sequentially on the caller's arena, each under the configured limits.
+// Unless fullReps is set, the probe stops at the first infeasible rep —
+// the verdict is already decided.
+func (p *planner) runProbe(pr probe, arena *sweep.CellArena) probeResult {
+	res := probeResult{out: probeOutcome{feasible: true}}
+	for rep := 0; rep < p.reps; rep++ {
+		cell := p.cell(pr.t, pr.r, rep)
+		limits := sweep.CellLimits{MaxReplicaSeconds: pr.maxRS}
+		if !p.cfg.DisableAbort {
+			limits.SLO = p.cfg.SLO
+		}
+		rpt, err := sweep.RunCell(p.grid, cell, limits, arena)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		rpt.SimWallNs = 0 // byte-stable output: the host's clock is not part of the answer
+		res.cellsRun++
+		res.events += rpt.EventsSimulated
+		if rpt.Aborted {
+			res.aborted++
+		}
+		key, _ := memoKey(cell)
+		res.keys = append(res.keys, key)
+		res.out.reports = append(res.out.reports, rpt)
+		if rpt.PeakWindowP99 > res.out.peakWindowP99 {
+			res.out.peakWindowP99 = rpt.PeakWindowP99
+		}
+		res.out.replicaSeconds += rpt.ReplicaSeconds
+		infeasible := rpt.PeakWindowP99 > p.cfg.SLO || (rpt.Aborted && rpt.AbortReason == "slo")
+		if infeasible {
+			res.out.feasible = false
+			if !pr.fullReps {
+				break
+			}
+		}
+	}
+	if n := len(res.out.reports); n > 0 {
+		res.out.replicaSeconds /= float64(n)
+	}
+	return res
+}
+
+// runBatch fans probes across the worker pool and returns results slot-
+// indexed, so folding them in probe order is deterministic no matter which
+// worker ran what.
+func (p *planner) runBatch(probes []probe) ([]probeResult, error) {
+	out := make([]probeResult, len(probes))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.grid.Workers
+	if workers > len(probes) {
+		workers = len(probes)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := <-p.arenas
+			defer func() { p.arenas <- arena }()
+			for i := range work {
+				out[i] = p.runProbe(probes[i], arena)
+			}
+		}()
+	}
+	for i := range probes {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i := range out {
+		if out[i].err != nil {
+			return nil, out[i].err
+		}
+	}
+	return out, nil
+}
+
+// fold absorbs a probe's accounting and memoizes its completed reports.
+// Called single-threaded, in probe order.
+func (p *planner) fold(pr probe, res probeResult) {
+	p.stats.CellsRun += res.cellsRun
+	p.stats.CellsAborted += res.aborted
+	p.stats.EventsSimulated += res.events
+	for i, rpt := range res.out.reports {
+		key := res.keys[i]
+		p.seen[key] = struct{}{}
+		if rpt.Aborted {
+			continue // an aborted report is a prefix, not the cell's answer
+		}
+		_, spec := memoKey(p.cell(pr.t, pr.r, rpt.Rep))
+		if e, ok := p.memo[key]; ok && e.spec != spec {
+			continue // FNV collision: keep the first entry, treat as miss later
+		}
+		p.memo[key] = memoEntry{spec: spec, rpt: rpt}
+	}
+	pr.t.outcomes[pr.r] = res.out
+}
+
+// lowerBound returns the tuple's a-priori cost bound: the cheapest
+// conceivable cell needs at least its minimal replica count provisioned for
+// at least the arrival schedule's span (arrivals do not depend on capacity,
+// and cost only grows past the last arrival). Elastic tuples may drain to
+// one replica; fan-out tuples pay the static front tier on top.
+func (p *planner) lowerBound(t *tupleState) float64 {
+	if t.boundSet {
+		return t.bound
+	}
+	min := math.Inf(1)
+	for r := p.cfg.MinReplicas; r <= p.cfg.MaxReplicas; r++ {
+		base := float64(r)
+		if t.controller != "" && t.controller != sweep.ControllerStatic {
+			base = 1
+		}
+		if t.fanOut > 1 {
+			base += float64(p.grid.Replicas)
+		}
+		sum := 0.0
+		for rep := 0; rep < p.reps; rep++ {
+			sum += sweep.ScheduleSpan(p.grid, p.cell(t, r, rep)).Seconds()
+		}
+		if c := base * sum / float64(p.reps); c < min {
+			min = c
+		}
+	}
+	t.bound, t.boundSet = min, true
+	return min
+}
+
+// resolveFeasible marks a tuple resolved at its minimal feasible replica
+// count and returns the frontier cost.
+func (t *tupleState) resolveFeasible(r int) float64 {
+	t.status = StatusFeasible
+	t.lo, t.hi = r, r
+	return t.outcomes[r].replicaSeconds
+}
+
+// resolveTuple searches one tuple to resolution on its own: a viability
+// probe at MaxReplicas, then plain bisection. Returns the frontier cost
+// (+Inf when infeasible). Used for the branch-and-bound leader, which must
+// resolve before the main rounds so an incumbent exists to prune against.
+func (p *planner) resolveTuple(t *tupleState) (float64, error) {
+	res, err := p.runBatch([]probe{{t: t, r: p.cfg.MaxReplicas}})
+	if err != nil {
+		return 0, err
+	}
+	p.fold(probe{t: t, r: p.cfg.MaxReplicas}, res[0])
+	if !t.outcomes[p.cfg.MaxReplicas].feasible {
+		t.status = StatusInfeasible
+		return math.Inf(1), nil
+	}
+	for t.lo < t.hi {
+		mid := (t.lo + t.hi) / 2
+		res, err := p.runBatch([]probe{{t: t, r: mid}})
+		if err != nil {
+			return 0, err
+		}
+		p.fold(probe{t: t, r: mid}, res[0])
+		if t.outcomes[mid].feasible {
+			t.hi = mid
+		} else {
+			t.lo = mid + 1
+		}
+	}
+	return t.resolveFeasible(t.hi), nil
+}
+
+// Run executes the adaptive frontier search. See the package comment for
+// the optimization stack; the Disable flags peel layers off one at a time.
+func Run(cfg Config) (*Result, error) {
+	p, err := newPlanner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	incumbent := math.Inf(1)
+	fold := func(probes []probe) error {
+		results, err := p.runBatch(probes)
+		if err != nil {
+			return err
+		}
+		for i, pr := range probes {
+			p.fold(pr, results[i])
+		}
+		return nil
+	}
+
+	// Branch-and-bound leader: resolve the tuple with the cheapest a-priori
+	// bound first. Synchronized rounds resolve every tuple in the same
+	// round, so without a leader the incumbent would always arrive too late
+	// to prune anything; resolving the most promising tuple up front gives
+	// every other tuple a bar to clear before it spends a single event.
+	if !p.cfg.DisablePrune && len(p.tuples) > 1 {
+		leader := p.tuples[0]
+		for _, t := range p.tuples[1:] {
+			if p.lowerBound(t) < p.lowerBound(leader) {
+				leader = t
+			}
+		}
+		c, err := p.resolveTuple(leader)
+		if err != nil {
+			return nil, err
+		}
+		if c < incumbent {
+			incumbent = c
+		}
+	}
+
+	// Round 0 — viability: probe every surviving tuple at MaxReplicas.
+	// Feasibility is monotone in the replica count, so an infeasible
+	// ceiling settles the whole tuple; a bound past the incumbent settles
+	// it without probing at all.
+	var viability []probe
+	for _, t := range p.tuples {
+		if t.status != "" {
+			continue
+		}
+		if !p.cfg.DisablePrune && !math.IsInf(incumbent, 1) && p.lowerBound(t) >= incumbent {
+			t.status = StatusPruned
+			p.stats.TuplesPruned++
+			continue
+		}
+		viability = append(viability, probe{t: t, r: p.cfg.MaxReplicas})
+	}
+	if err := fold(viability); err != nil {
+		return nil, err
+	}
+	for _, pr := range viability {
+		t := pr.t
+		if !t.outcomes[p.cfg.MaxReplicas].feasible {
+			t.status = StatusInfeasible
+			continue
+		}
+		if p.cfg.MinReplicas == p.cfg.MaxReplicas {
+			if c := t.resolveFeasible(p.cfg.MaxReplicas); c < incumbent {
+				incumbent = c
+			}
+		}
+	}
+
+	// Bisection rounds: every active tuple probes its midpoint, a barrier
+	// collects the round, and states/incumbent update in tuple order —
+	// the worker-count-invariance discipline.
+	for {
+		var probes []probe
+		for _, t := range p.tuples {
+			if t.status != "" || t.lo >= t.hi {
+				continue
+			}
+			if !p.cfg.DisablePrune && !math.IsInf(incumbent, 1) && p.lowerBound(t) >= incumbent {
+				t.status = StatusPruned
+				p.stats.TuplesPruned++
+				continue
+			}
+			probes = append(probes, probe{t: t, r: (t.lo + t.hi) / 2})
+		}
+		if len(probes) == 0 {
+			break
+		}
+		if err := fold(probes); err != nil {
+			return nil, err
+		}
+		for _, pr := range probes {
+			t := pr.t
+			if t.outcomes[pr.r].feasible {
+				t.hi = pr.r
+			} else {
+				t.lo = pr.r + 1
+			}
+			if t.lo >= t.hi {
+				if c := t.resolveFeasible(t.hi); c < incumbent {
+					incumbent = c
+				}
+			}
+		}
+	}
+
+	return p.assemble()
+}
+
+// Exhaustive scans the entire (tuple x replica) space — the planner's
+// correctness oracle and the events-simulated baseline the optimizations
+// are measured against. DisableAbort turns the SLO early abort off (the
+// true exhaustive grid); CostAbort additionally cost-bounds the redundant
+// cells above each tuple's already-resolved frontier, which forces a
+// sequential scan.
+func Exhaustive(cfg Config) (*Result, error) {
+	p, err := newPlanner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.CostAbort {
+		if err := p.exhaustiveSequential(); err != nil {
+			return nil, err
+		}
+	} else {
+		var probes []probe
+		for _, t := range p.tuples {
+			for r := p.cfg.MinReplicas; r <= p.cfg.MaxReplicas; r++ {
+				probes = append(probes, probe{t: t, r: r, fullReps: true})
+			}
+		}
+		results, err := p.runBatch(probes)
+		if err != nil {
+			return nil, err
+		}
+		for i, pr := range probes {
+			p.fold(pr, results[i])
+		}
+	}
+	for _, t := range p.tuples {
+		t.status = StatusInfeasible
+		for r := p.cfg.MinReplicas; r <= p.cfg.MaxReplicas; r++ {
+			if t.outcomes[r].feasible {
+				t.resolveFeasible(r)
+				break
+			}
+		}
+	}
+	return p.assemble()
+}
+
+// exhaustiveSequential is the CostAbort scan: tuple-major, replicas
+// ascending. Cells above a tuple's first feasible replica count are
+// redundant for the frontier, so they run only to completion-or-cost-bound
+// against the running incumbent. Cost aborts carry no feasibility verdict
+// — which is fine, these cells' verdicts are never consulted.
+func (p *planner) exhaustiveSequential() error {
+	arena := <-p.arenas
+	defer func() { p.arenas <- arena }()
+	incumbent := math.Inf(1)
+	for _, t := range p.tuples {
+		frontier := 0
+		for r := p.cfg.MinReplicas; r <= p.cfg.MaxReplicas; r++ {
+			pr := probe{t: t, r: r, fullReps: true}
+			if frontier > 0 && !math.IsInf(incumbent, 1) {
+				pr.maxRS = incumbent
+			}
+			res := p.runProbe(pr, arena)
+			if res.err != nil {
+				return res.err
+			}
+			p.fold(pr, res)
+			if frontier == 0 && res.out.feasible {
+				frontier = r
+				if c := res.out.replicaSeconds; c < incumbent {
+					incumbent = c
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// assemble builds the Result: per-tuple outcomes in axis order, the best
+// frontier point, and the search trace. Frontier reports come from the
+// memo cache; with DisableMemo they are re-simulated — the measurable cost
+// of not remembering.
+func (p *planner) assemble() (*Result, error) {
+	out := &Result{
+		SLO:         p.cfg.SLO,
+		MinReplicas: p.cfg.MinReplicas,
+		MaxReplicas: p.cfg.MaxReplicas,
+		Tuples:      make([]TupleResult, 0, len(p.tuples)),
+	}
+	arena := <-p.arenas
+	defer func() { p.arenas <- arena }()
+	for _, t := range p.tuples {
+		tr := TupleResult{
+			Tuple:      t.idx,
+			Policy:     t.policy,
+			Shape:      shapeLabel(t.shape.Shape),
+			Controller: t.controller,
+			FanOut:     t.fanOut,
+			Status:     t.status,
+		}
+		if tr.Controller == "" {
+			tr.Controller = sweep.ControllerStatic
+		}
+		if t.status == StatusFeasible {
+			r := t.hi
+			o := t.outcomes[r]
+			tr.Replicas = r
+			tr.PeakWindowP99 = o.peakWindowP99
+			tr.ReplicaSeconds = o.replicaSeconds
+			for rep := 0; rep < p.reps; rep++ {
+				cell := p.cell(t, r, rep)
+				key, spec := memoKey(cell)
+				if e, ok := p.memo[key]; ok && e.spec == spec && !p.cfg.DisableMemo {
+					p.stats.CellsMemoized++
+					tr.Reports = append(tr.Reports, e.rpt)
+					continue
+				}
+				rpt, err := sweep.RunCell(p.grid, cell, sweep.CellLimits{}, arena)
+				if err != nil {
+					return nil, err
+				}
+				rpt.SimWallNs = 0
+				p.stats.CellsRun++
+				p.stats.EventsSimulated += rpt.EventsSimulated
+				p.seen[key] = struct{}{}
+				tr.Reports = append(tr.Reports, rpt)
+			}
+			if out.Best == nil || tr.ReplicaSeconds < out.Best.ReplicaSeconds {
+				c := tr
+				out.Best = &c
+			}
+		}
+		out.Tuples = append(out.Tuples, tr)
+	}
+	p.stats.CellsPruned = p.stats.CellsTotal - len(p.seen)
+	out.Stats = p.stats
+	return out, nil
+}

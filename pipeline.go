@@ -22,6 +22,15 @@ type HedgeSpec struct {
 	// sub-request sojourn ("hedge after the request is already slower than
 	// 95% of its peers"). Must be positive.
 	Delay time.Duration
+	// RTTFloor anchors the budget on the edge's round-trip floor: the
+	// effective delay becomes Delay plus the edge's synthetic RTT plus the
+	// smallest wire time observed on any completed copy, so a networked
+	// edge never hedges inside time the network costs every request — a
+	// constant budget tuned for an in-process edge fires uselessly early
+	// once an RTT sits under it. Live path only; the simulated path has no
+	// wire time and charges no synthetic RTT, so there the budget stays
+	// Delay as configured. CLI spec: "rtt-floor+<duration>".
+	RTTFloor bool
 }
 
 // EdgeSpec selects the transport of one tier's inbound edge, overriding the
@@ -346,8 +355,10 @@ func transportForMode(m Mode) (string, bool) {
 func (t TierSpec) tierConfig(defaultTransport string, defaultDelay time.Duration) pipeline.TierConfig {
 	cs := t.Cluster
 	hedge := time.Duration(0)
+	hedgeRTTFloor := false
 	if t.Hedge != nil {
 		hedge = t.Hedge.Delay
+		hedgeRTTFloor = t.Hedge.RTTFloor
 	}
 	transport := defaultTransport
 	netDelay := defaultDelay
@@ -358,17 +369,18 @@ func (t TierSpec) tierConfig(defaultTransport string, defaultDelay time.Duration
 		}
 	}
 	return pipeline.TierConfig{
-		Name:       t.Name,
-		App:        cs.App,
-		Policy:     cs.Policy,
-		Threads:    cs.Threads,
-		ThreadsPer: cs.ThreadsPerReplica,
-		Replicas:   cs.Replicas,
-		FanOut:     t.FanOut,
-		HedgeDelay: hedge,
-		Autoscale:  cs.autoscaleConfig(),
-		Transport:  transport,
-		NetDelay:   netDelay,
+		Name:          t.Name,
+		App:           cs.App,
+		Policy:        cs.Policy,
+		Threads:       cs.Threads,
+		ThreadsPer:    cs.ThreadsPerReplica,
+		Replicas:      cs.Replicas,
+		FanOut:        t.FanOut,
+		HedgeDelay:    hedge,
+		HedgeRTTFloor: hedgeRTTFloor,
+		Autoscale:     cs.autoscaleConfig(),
+		Transport:     transport,
+		NetDelay:      netDelay,
 	}
 }
 

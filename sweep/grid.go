@@ -12,6 +12,11 @@ import (
 	"time"
 
 	"tailbench"
+	"tailbench/internal/cluster"
+	"tailbench/internal/core"
+	"tailbench/internal/load"
+	"tailbench/internal/pipeline"
+	"tailbench/internal/stats"
 	"tailbench/internal/workload"
 )
 
@@ -158,6 +163,23 @@ type SimReport struct {
 	// across tiers for fan-out cells).
 	PeakReplicas   int
 	ReplicaSeconds float64
+
+	// Replicas is the cell's effective serving-tier size: the Cell.Replicas
+	// override when one was set (the planner's search coordinate — the shard
+	// tier for fan-out cells), else the grid's nominal count.
+	Replicas int
+	// EventsSimulated counts engine dispatches (warmup included, summed
+	// across tiers) and SimWallNs the wall-clock cost of the cell's
+	// simulation. SimWallNs is the one field that varies run to run;
+	// byte-identity comparisons zero it first.
+	EventsSimulated int64
+	SimWallNs       int64
+	// Aborted reports the cell stopped early on a CellLimits threshold;
+	// AbortReason says which one ("slo" or "cost", empty otherwise). An
+	// slo-aborted cell is definitively infeasible — the blown window would
+	// appear identically in the full run.
+	Aborted     bool
+	AbortReason string
 }
 
 // GridResult is the merged outcome of a grid sweep, reports in cell order.
@@ -167,36 +189,66 @@ type GridResult struct {
 	Reports []SimReport
 }
 
-// cellSpec is one enumerated run before execution.
-type cellSpec struct {
-	idx        int
-	rep        int
-	seed       int64
-	policy     string
-	shape      tailbench.LoadShape
-	controller string
-	fanOut     int
+// Cell identifies one run in the grid's cell space: the axis tuple, the
+// replication index, the derived seed, and (for planner searches) an
+// optional serving-tier replica override. RunGrid enumerates cells itself;
+// the capacity planner constructs them directly.
+type Cell struct {
+	// Index is the flat cell index and Rep the replication index within the
+	// tuple; both are echoed into the report. Seed is the cell's derived
+	// seed (zero is normalized to 1, matching the engines).
+	Index int
+	Rep   int
+	Seed  int64
+
+	Policy     string
+	Shape      tailbench.LoadShape
+	Controller string
+	FanOut     int
+
+	// Replicas, when positive, overrides the serving tier's size — the
+	// cluster for fan-out 1, the shard tier (where the controller and the
+	// fan-in straggler pressure land) for fan-out cells, whose front tier
+	// stays at the grid's nominal size. Zero keeps the nominal count. The
+	// offered load always derives from the nominal topology, so the override
+	// resizes capacity under an unchanged workload — the capacity-planning
+	// question.
+	Replicas int
+}
+
+// CellLimits carries a cell's early-abort thresholds, zero meaning no limit.
+// Both are polled at accounting-window boundaries, so they require an
+// explicit positive GridConfig.Window to ever fire.
+type CellLimits struct {
+	// SLO aborts the cell once its running peak windowed p99 exceeds it —
+	// the verdict is definitive, the full run would blow the same window.
+	SLO time.Duration
+	// MaxReplicaSeconds aborts the cell once its accrued provisioning cost
+	// strictly exceeds it. Cost only grows, so the aborted cell can never
+	// undercut the bound; note the aborted run yields NO feasibility
+	// verdict.
+	MaxReplicaSeconds float64
 }
 
 // enumerate lists every cell in deterministic tuple-major order. The
 // per-cell seed is split from the root seed by flat index, so a cell's RNG
 // streams depend only on its coordinates — never on scheduling.
-func enumerate(cfg GridConfig) []cellSpec {
-	var cells []cellSpec
+func enumerate(cfg GridConfig) []Cell {
+	var cells []Cell
 	idx := 0
 	for _, pol := range cfg.Axes.Policies {
 		for _, sh := range cfg.Axes.Shapes {
 			for _, ctrl := range cfg.Axes.Controllers {
 				for _, k := range cfg.Axes.FanOuts {
 					for rep := 0; rep < cfg.Reps; rep++ {
-						cells = append(cells, cellSpec{
-							idx:        idx,
-							rep:        rep,
-							seed:       workload.SplitSeed(cfg.Seed, int64(idx)),
-							policy:     pol,
-							shape:      sh,
-							controller: ctrl,
-							fanOut:     k,
+						cells = append(cells, Cell{
+							Index:      idx,
+							Rep:        rep,
+							Seed:       workload.SplitSeed(cfg.Seed, int64(idx)),
+							Policy:     pol,
+							Shape:      sh,
+							Controller: ctrl,
+							FanOut:     k,
 						})
 						idx++
 					}
@@ -229,8 +281,11 @@ func RunGrid(cfg GridConfig) (*GridResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: the sample set is shared (read-only),
+			// the replica-pool slices are reused across this worker's cells.
+			arena := &CellArena{samples: samples}
 			for i := range work {
-				reports[i], errs[i] = runCell(cfg, cells[i], samples)
+				reports[i], errs[i] = RunCell(cfg, cells[i], CellLimits{}, arena)
 			}
 		}()
 	}
@@ -245,6 +300,12 @@ func RunGrid(cfg GridConfig) (*GridResult, error) {
 	return &GridResult{Cells: len(cells), Reports: reports}, nil
 }
 
+// Normalized returns the config with every default resolved — the exact
+// config RunGrid executes. The capacity planner normalizes once up front so
+// its search space (replica bounds, window, seeds) is pinned before
+// enumeration.
+func (c GridConfig) Normalized() GridConfig { return c.normalize() }
+
 // syntheticServiceTimes draws the shared exponential service-time sample
 // set from the root seed (stream 77, distinct from the engines' streams).
 func syntheticServiceTimes(seed int64, mean time.Duration) []time.Duration {
@@ -256,55 +317,160 @@ func syntheticServiceTimes(seed int64, mean time.Duration) []time.Duration {
 	return out
 }
 
+// CellArena is per-worker scratch reused across sequential RunCell calls:
+// the synthetic service-time sample set (derived once, not per cell) and
+// the replica-pool slices (regrown only when a cell needs a bigger pool).
+// An arena must not be shared between concurrent RunCell calls.
+type CellArena struct {
+	samples []time.Duration
+	pools   [2][]cluster.SimReplica
+}
+
+// NewCellArena builds a worker's arena for the given grid, deriving the
+// shared sample set from the normalized config's seed.
+func NewCellArena(cfg GridConfig) *CellArena {
+	cfg = cfg.normalize()
+	return &CellArena{samples: syntheticServiceTimes(cfg.Seed, cfg.ServiceMean)}
+}
+
+// pool returns backing slot i resliced to n replicas, every slot resampling
+// from the shared sample set — the exact pool the public wrappers build per
+// cell, without the per-cell allocation.
+func (a *CellArena) pool(i, n int) []cluster.SimReplica {
+	if cap(a.pools[i]) < n {
+		a.pools[i] = make([]cluster.SimReplica, n)
+	}
+	p := a.pools[i][:n]
+	for r := range p {
+		p[r] = cluster.SimReplica{Service: cluster.EmpiricalService{Samples: a.samples}}
+	}
+	return p
+}
+
 // cellQPS picks the constant arrival rate for cells whose shape axis is nil:
 // 70% of the serving tier's nominal capacity.
 func cellQPS(cfg GridConfig) float64 {
 	return 0.7 * float64(cfg.Replicas*cfg.Threads) / cfg.ServiceMean.Seconds()
 }
 
-// autoscale builds the cell's controller spec, nil for static cells.
-func autoscale(cfg GridConfig, controller string, replicas int) *tailbench.AutoscaleSpec {
+// autoscale builds the cell's controller config, nil for static cells. It
+// resolves the exact bounds the public AutoscaleSpec defaulting would: the
+// pool may double, the floor is one replica.
+func autoscale(controller string, replicas int) *cluster.AutoscaleConfig {
 	if controller == "" || controller == ControllerStatic {
 		return nil
 	}
-	return &tailbench.AutoscaleSpec{
+	return &cluster.AutoscaleConfig{
 		Policy:      controller,
 		MinReplicas: 1,
 		MaxReplicas: 2 * replicas,
 	}
 }
 
-func runCell(cfg GridConfig, cell cellSpec, samples []time.Duration) (SimReport, error) {
+// stopHook builds the engine hook for a cell's limits; the returned string
+// reports which threshold fired. SLO has priority: an SLO abort is a
+// definitive infeasibility verdict, a cost abort only a bound.
+func stopHook(limits CellLimits) (func(cluster.SimSnapshot) bool, *string) {
+	if limits.SLO <= 0 && limits.MaxReplicaSeconds <= 0 {
+		return nil, nil
+	}
+	reason := new(string)
+	return func(s cluster.SimSnapshot) bool {
+		if limits.SLO > 0 && s.PeakWindowP99 > limits.SLO {
+			*reason = "slo"
+			return true
+		}
+		if limits.MaxReplicaSeconds > 0 && s.ReplicaSeconds > limits.MaxReplicaSeconds {
+			*reason = "cost"
+			return true
+		}
+		return false
+	}, reason
+}
+
+// ScheduleSpan returns the last root-arrival instant of the cell's
+// deterministic schedule. Arrivals do not depend on capacity, so every run
+// of the cell — at any replica override — spans at least this horizon; the
+// planner's branch-and-bound turns that into an a-priori cost lower bound
+// (replicas × span) without simulating a single event.
+func ScheduleSpan(cfg GridConfig, cell Cell) time.Duration {
+	cfg = cfg.normalize()
+	qps := cellQPS(cfg)
+	if cell.FanOut > 1 {
+		qps /= float64(cell.FanOut)
+	}
+	seed := cell.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// The engines treat WarmupRequests 0 as the 10% default, so the
+	// effective schedule length resolves the same way here.
+	warm := cfg.Warmup
+	if warm == 0 {
+		warm = cfg.Requests / 10
+	}
+	total := cfg.Requests + warm
+	shape := load.Or(cell.Shape, qps)
+	arrivals := core.NewShapedTrafficShaper(shape, workload.SplitSeed(seed, 2)).Schedule(total)
+	return arrivals[total-1]
+}
+
+// RunCell runs one grid cell through the internal virtual-time engines and
+// assembles its report. It replicates the public RunCluster/RunPipeline
+// simulated chains exactly — same defaulting, pool construction, and seed
+// streams — so a limit-free RunCell is bit-identical to the pre-planner
+// grid cells; limits add the early-abort hook on top of an otherwise
+// unchanged run. arena may be nil (a fresh one is derived) and cfg raw (it
+// is normalized here; normalization is idempotent).
+func RunCell(cfg GridConfig, cell Cell, limits CellLimits, arena *CellArena) (SimReport, error) {
+	cfg = cfg.normalize()
+	if arena == nil {
+		arena = NewCellArena(cfg)
+	}
 	rpt := SimReport{
-		Cell:       cell.idx,
-		Rep:        cell.rep,
-		Seed:       cell.seed,
-		Policy:     cell.policy,
-		Controller: cell.controller,
-		FanOut:     cell.fanOut,
+		Cell:       cell.Index,
+		Rep:        cell.Rep,
+		Seed:       cell.Seed,
+		Policy:     cell.Policy,
+		Controller: cell.Controller,
+		FanOut:     cell.FanOut,
 	}
 	if rpt.Controller == "" {
 		rpt.Controller = ControllerStatic
 	}
-	if cell.fanOut <= 1 {
-		res, err := tailbench.RunCluster(tailbench.ClusterSpec{
-			App:            gridApp,
-			Mode:           tailbench.ModeSimulated,
-			Policy:         cell.policy,
-			Replicas:       cfg.Replicas,
-			Threads:        cfg.Threads,
-			QPS:            cellQPS(cfg),
-			Load:           cell.shape,
-			Window:         cfg.Window,
-			Requests:       cfg.Requests,
-			Warmup:         cfg.Warmup,
-			Seed:           cell.seed,
-			ServiceSamples: samples,
-			Autoscale:      autoscale(cfg, cell.controller, cfg.Replicas),
+	stop, reason := stopHook(limits)
+
+	if cell.FanOut <= 1 {
+		replicas := cfg.Replicas
+		if cell.Replicas > 0 {
+			replicas = cell.Replicas
+		}
+		rpt.Replicas = replicas
+		as := autoscale(cell.Controller, replicas)
+		pool := replicas
+		if as != nil {
+			pool = as.MaxReplicas
+		}
+		begin := time.Now()
+		res, err := cluster.Simulate(cluster.SimConfig{
+			App:             gridApp,
+			Policy:          cell.Policy,
+			Threads:         cfg.Threads,
+			QPS:             cellQPS(cfg),
+			Load:            cell.Shape,
+			Window:          cfg.Window,
+			Requests:        cfg.Requests,
+			WarmupRequests:  cfg.Warmup,
+			Seed:            cell.Seed,
+			Replicas:        arena.pool(0, pool),
+			InitialReplicas: replicas,
+			Autoscale:       as,
+			StopWhen:        stop,
 		})
 		if err != nil {
-			return rpt, fmt.Errorf("sweep: grid cell %d (%s): %w", cell.idx, cell.policy, err)
+			return rpt, fmt.Errorf("sweep: grid cell %d (%s): %w", cell.Index, cell.Policy, err)
 		}
+		rpt.SimWallNs = time.Since(begin).Nanoseconds()
 		rpt.Shape, rpt.ShapeSpec = res.Shape, res.ShapeSpec
 		rpt.OfferedQPS, rpt.AchievedQPS = res.OfferedQPS, res.AchievedQPS
 		rpt.Requests = res.Requests
@@ -313,36 +479,56 @@ func runCell(cfg GridConfig, cell cellSpec, samples []time.Duration) (SimReport,
 		rpt.PeakWindowP99 = peakWindowP99(res.Windows)
 		rpt.PeakReplicas = res.PeakReplicas
 		rpt.ReplicaSeconds = res.ReplicaSeconds
+		rpt.EventsSimulated = res.EventsSimulated
+		rpt.Aborted = res.Aborted
+		if res.Aborted && reason != nil {
+			rpt.AbortReason = *reason
+		}
 		return rpt, nil
 	}
+
 	// Fan-out cell: a front tier fanning out into a shard tier; the
-	// controller (if any) scales the shards, where the fan-in straggler
-	// pressure lands.
-	res, err := tailbench.RunPipeline(tailbench.PipelineSpec{
-		Mode: tailbench.ModeSimulated,
-		Tiers: []tailbench.TierSpec{
-			{Name: "front", Cluster: tailbench.ClusterSpec{
-				App: gridApp, Policy: cell.policy,
-				Replicas: cfg.Replicas, Threads: cfg.Threads,
-				ServiceSamples: samples,
-			}},
-			{Name: "shards", Cluster: tailbench.ClusterSpec{
-				App: gridApp, Policy: cell.policy,
-				Replicas: cfg.ShardReplicas, Threads: cfg.Threads,
-				ServiceSamples: samples,
-				Autoscale:      autoscale(cfg, cell.controller, cfg.ShardReplicas),
-			}, FanOut: cell.fanOut},
+	// controller (if any) and the replica override both act on the shards,
+	// where the fan-in straggler pressure lands.
+	shards := cfg.ShardReplicas
+	if cell.Replicas > 0 {
+		shards = cell.Replicas
+	}
+	rpt.Replicas = shards
+	as := autoscale(cell.Controller, shards)
+	shardPool := shards
+	if as != nil {
+		shardPool = as.MaxReplicas
+	}
+	begin := time.Now()
+	res, err := pipeline.Simulate(pipeline.Config{
+		Tiers: []pipeline.TierConfig{
+			{
+				Name: "front", App: gridApp, Policy: cell.Policy,
+				Threads: cfg.Threads, Replicas: cfg.Replicas,
+				Transport:   cluster.TransportInProcess,
+				SimReplicas: arena.pool(0, cfg.Replicas),
+			},
+			{
+				Name: "shards", App: gridApp, Policy: cell.Policy,
+				Threads: cfg.Threads, Replicas: shards,
+				FanOut: cell.FanOut, Autoscale: as,
+				Transport:   cluster.TransportInProcess,
+				SimReplicas: arena.pool(1, shardPool),
+			},
 		},
-		QPS:      cellQPS(cfg) / float64(cell.fanOut),
-		Load:     cell.shape,
-		Window:   cfg.Window,
-		Requests: cfg.Requests,
-		Warmup:   cfg.Warmup,
-		Seed:     cell.seed,
+		QPS:            cellQPS(cfg) / float64(cell.FanOut),
+		Load:           cell.Shape,
+		Window:         cfg.Window,
+		Requests:       cfg.Requests,
+		WarmupRequests: cfg.Warmup,
+		Seed:           cell.Seed,
+		StopWhen:       stop,
 	})
 	if err != nil {
-		return rpt, fmt.Errorf("sweep: grid cell %d (%s k=%d): %w", cell.idx, cell.policy, cell.fanOut, err)
+		return rpt, fmt.Errorf("sweep: grid cell %d (%s k=%d): %w", cell.Index, cell.Policy, cell.FanOut, err)
 	}
+	rpt.SimWallNs = time.Since(begin).Nanoseconds()
 	rpt.Shape, rpt.ShapeSpec = res.Shape, res.ShapeSpec
 	rpt.OfferedQPS, rpt.AchievedQPS = res.OfferedQPS, res.AchievedQPS
 	rpt.Requests = res.Requests
@@ -353,10 +539,15 @@ func runCell(cfg GridConfig, cell cellSpec, samples []time.Duration) (SimReport,
 		rpt.PeakReplicas += tier.PeakReplicas
 		rpt.ReplicaSeconds += tier.ReplicaSeconds
 	}
+	rpt.EventsSimulated = res.EventsSimulated
+	rpt.Aborted = res.Aborted
+	if res.Aborted && reason != nil {
+		rpt.AbortReason = *reason
+	}
 	return rpt, nil
 }
 
-func peakWindowP99(ws []tailbench.WindowStats) time.Duration {
+func peakWindowP99(ws []stats.WindowStat) time.Duration {
 	var peak time.Duration
 	for _, w := range ws {
 		if w.P99 > peak {
@@ -384,6 +575,7 @@ var gridCSVHeader = []string{
 	"offered_qps", "achieved_qps", "requests",
 	"mean_us", "p50_us", "p95_us", "p99_us", "max_us",
 	"peak_window_p99_us", "peak_replicas", "replica_seconds",
+	"replicas", "events_simulated", "sim_wall_ns", "aborted", "abort_reason",
 }
 
 // WriteCSV writes the report table with a header row, in cell order.
@@ -406,6 +598,10 @@ func (g *GridResult) WriteCSV(w io.Writer) error {
 			us(r.Mean), us(r.P50), us(r.P95), us(r.P99), us(r.Max),
 			us(r.PeakWindowP99), strconv.Itoa(r.PeakReplicas),
 			strconv.FormatFloat(r.ReplicaSeconds, 'f', 4, 64),
+			strconv.Itoa(r.Replicas),
+			strconv.FormatInt(r.EventsSimulated, 10),
+			strconv.FormatInt(r.SimWallNs, 10),
+			strconv.FormatBool(r.Aborted), r.AbortReason,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

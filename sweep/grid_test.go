@@ -52,6 +52,14 @@ func TestGridWorkerCountInvariant(t *testing.T) {
 		t.Fatalf("RunGrid(workers=8): %v", err)
 	}
 
+	// SimWallNs is the one report field that measures the host, not the
+	// simulation; zero it on both sides before the byte comparison.
+	for _, g := range []*GridResult{serial, parallel} {
+		for i := range g.Reports {
+			g.Reports[i].SimWallNs = 0
+		}
+	}
+
 	var a, b bytes.Buffer
 	if err := serial.WriteJSONL(&a); err != nil {
 		t.Fatalf("WriteJSONL: %v", err)
@@ -93,23 +101,82 @@ func TestGridEnumeration(t *testing.T) {
 	}
 	seeds := map[int64]bool{}
 	for i, c := range cells {
-		if c.idx != i {
-			t.Errorf("cell %d: idx = %d", i, c.idx)
+		if c.Index != i {
+			t.Errorf("cell %d: Index = %d", i, c.Index)
 		}
-		if c.rep != i%2 {
-			t.Errorf("cell %d: rep = %d, want %d", i, c.rep, i%2)
+		if c.Rep != i%2 {
+			t.Errorf("cell %d: Rep = %d, want %d", i, c.Rep, i%2)
 		}
-		if seeds[c.seed] {
-			t.Errorf("cell %d: duplicate seed %d", i, c.seed)
+		if seeds[c.Seed] {
+			t.Errorf("cell %d: duplicate seed %d", i, c.Seed)
 		}
-		seeds[c.seed] = true
+		seeds[c.Seed] = true
 	}
 	// Tuple-major order: policy varies slowest, rep fastest.
-	if cells[0].policy != "a" || cells[4].policy != "b" {
-		t.Errorf("policy order: got %q then %q", cells[0].policy, cells[4].policy)
+	if cells[0].Policy != "a" || cells[4].Policy != "b" {
+		t.Errorf("policy order: got %q then %q", cells[0].Policy, cells[4].Policy)
 	}
-	if cells[0].fanOut != 1 || cells[2].fanOut != 2 {
-		t.Errorf("fan-out order: got %d then %d", cells[0].fanOut, cells[2].fanOut)
+	if cells[0].FanOut != 1 || cells[2].FanOut != 2 {
+		t.Errorf("fan-out order: got %d then %d", cells[0].FanOut, cells[2].FanOut)
+	}
+}
+
+// TestGridMarginalAllocs bounds the sweep layer end to end in the style of
+// the cluster engine's marginal-allocs pin: growing a cell by 10000 requests
+// must not grow the allocation count by more than ~5 per 100 extra events —
+// per-event cost stays amortized into the fixed, spec-sized setup, and the
+// sweep layer adds no per-request allocations of its own on top of the
+// engine.
+func TestGridMarginalAllocs(t *testing.T) {
+	base := GridConfig{
+		Axes:     GridAxes{Policies: []string{"leastq"}},
+		Replicas: 2,
+		Seed:     5,
+		Workers:  1,
+	}
+	run := func(requests int) float64 {
+		cfg := base
+		cfg.Requests = requests
+		return testing.AllocsPerRun(3, func() {
+			if _, err := RunGrid(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := run(2000), run(12000)
+	if per := (big - small) / 10000; per > 0.05 {
+		t.Fatalf("marginal allocations %.4f/request (small=%.0f big=%.0f), want <= 0.05", per, small, big)
+	}
+}
+
+// TestRunCellArenaReuse pins the arena's reason to exist: consecutive
+// RunCell calls on a warm arena skip the per-cell sample derivation and
+// pool construction, so they allocate strictly less than arena-less calls.
+// The warm path must also stay flat — re-running must not regrow anything.
+func TestRunCellArenaReuse(t *testing.T) {
+	cfg := GridConfig{
+		Axes:     GridAxes{Policies: []string{"leastq"}, FanOuts: []int{4}},
+		Replicas: 2,
+		Requests: 60,
+		Seed:     9,
+	}
+	cell := enumerate(cfg.normalize())[0]
+	arena := NewCellArena(cfg)
+	run := func(a *CellArena) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := RunCell(cfg, cell, CellLimits{}, a); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	warm1 := run(arena)
+	warm2 := run(arena)
+	cold := run(nil)
+	if warm2 > warm1 {
+		t.Errorf("warm arena allocations grew between passes: %.0f then %.0f", warm1, warm2)
+	}
+	if warm2 >= cold {
+		t.Errorf("warm arena run allocates %.0f, arena-less %.0f — reuse saves nothing", warm2, cold)
 	}
 }
 
